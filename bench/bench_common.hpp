@@ -1,0 +1,53 @@
+// Shared configuration of the §VI reproduction benches: all figures run on
+// the same synthetic Internet topology and the same 500-AS sample, mirroring
+// the paper's single CAIDA snapshot + single AS sample.
+#pragma once
+
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+#include "panagree/topology/capacity.hpp"
+#include "panagree/topology/generator.hpp"
+
+namespace panagree::benchcfg {
+
+/// Topology size; override with PANAGREE_ASES for quick runs.
+inline std::size_t num_ases() {
+  if (const char* env = std::getenv("PANAGREE_ASES")) {
+    return static_cast<std::size_t>(std::stoul(env));
+  }
+  return 12000;
+}
+
+/// Analyzed-source sample size (the paper samples 500 ASes); override with
+/// PANAGREE_SOURCES.
+inline std::size_t num_sources() {
+  if (const char* env = std::getenv("PANAGREE_SOURCES")) {
+    return static_cast<std::size_t>(std::stoul(env));
+  }
+  return 500;
+}
+
+inline constexpr std::uint64_t kTopologySeed = 424242;
+inline constexpr std::uint64_t kSampleSeed = 7;
+
+inline topology::GeneratorParams internet_params() {
+  topology::GeneratorParams params;
+  params.num_ases = num_ases();
+  params.tier1_count = 12;
+  params.seed = kTopologySeed;
+  return params;
+}
+
+/// Generates the shared topology with degree-gravity capacities assigned.
+inline topology::GeneratedTopology make_internet() {
+  auto topo = topology::generate_internet(internet_params());
+  topology::assign_degree_gravity_capacities(topo.graph);
+  std::cerr << "[bench] topology: " << topo.graph.num_ases() << " ASes, "
+            << topo.graph.num_links() << " links (seed " << kTopologySeed
+            << ")\n";
+  return topo;
+}
+
+}  // namespace panagree::benchcfg

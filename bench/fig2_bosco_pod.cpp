@@ -1,0 +1,127 @@
+// Figure 2: Price of Dishonesty (minimum and mean over 200 random
+// choice-set draws) guaranteed by BOSCO, as a function of the number of
+// choices W_X = W_Y, for the two utility distributions of the paper:
+//   U(1) = uniform on [-1, 1] x [-1, 1]
+//   U(2) = uniform on [-1/2, 1] x [-1/2, 1].
+//
+// Expected shape (paper §V-E): PoD falls as choices are added, flattens
+// around 50 choices near ~0.1, and the number of equilibrium (active)
+// choices settles around 4.
+#include <iostream>
+#include <memory>
+
+#include "panagree/core/bosco/service.hpp"
+#include "panagree/util/table.hpp"
+
+namespace {
+
+using namespace panagree;
+
+struct SeriesSpec {
+  const char* name;
+  double lo;
+  double hi;
+};
+
+}  // namespace
+
+int main() {
+  std::cout << "== Figure 2: BOSCO Price of Dishonesty vs. choice-set size "
+               "==\n"
+            << "200 random choice-set draws per (W, distribution); PoD = 1 - "
+               "E[N|equilibrium]/E[N|truthful].\n\n";
+
+  const SeriesSpec series[] = {
+      {"U(1)=Unif[-1,1]^2", -1.0, 1.0},
+      {"U(2)=Unif[-1/2,1]^2", -0.5, 1.0},
+  };
+
+  util::Table table({"W", "U(1) min", "U(1) mean", "U(2) min", "U(2) mean",
+                     "U(1) act.choices", "U(2) act.choices", "conv.trials"});
+
+  for (std::size_t w = 10; w <= 60; w += 10) {
+    std::vector<std::string> row{std::to_string(w)};
+    std::vector<std::string> active;
+    std::size_t converged = 0;
+    for (const SeriesSpec& spec : series) {
+      bosco::BoscoService service(
+          std::make_unique<bosco::UniformDistribution>(spec.lo, spec.hi),
+          std::make_unique<bosco::UniformDistribution>(spec.lo, spec.hi),
+          bosco::BoscoServiceOptions{
+              .trials = 200, .seed = 1000 + w, .equilibrium = {},
+              .truthful_grid = 600});
+      const auto stats = service.trial_statistics(w);
+      row.push_back(util::format_double(stats.min_pod, 4));
+      row.push_back(util::format_double(stats.mean_pod, 4));
+      active.push_back(util::format_double(
+          0.5 * (stats.mean_active_choices_x + stats.mean_active_choices_y),
+          2));
+      converged += stats.converged_trials;
+    }
+    row.push_back(active[0]);
+    row.push_back(active[1]);
+    row.push_back(std::to_string(converged));
+    table.add_row(std::move(row));
+  }
+
+  table.print(std::cout);
+  std::cout << '\n';
+  table.print_csv(std::cout, "fig2");
+  std::cout << "\nPaper reference: PoD decreases with W and flattens around "
+               "W~50 at roughly 0.1 for both distributions; ~4 equilibrium "
+               "choices per party at that point.\n";
+
+  // Extension beyond the paper: the mechanism's efficiency under
+  // non-uniform utility beliefs (the paper evaluates uniforms only). The
+  // guarantees (Theorems 1-4) are distribution-free; the question is
+  // whether the ~10% PoD level carries over.
+  std::cout << "\n-- extension: non-uniform utility distributions (W = 50) "
+               "--\n";
+  util::Table ext({"distribution pair", "min PoD", "mean PoD",
+                   "converged trials"});
+  struct NamedDist {
+    const char* name;
+    std::unique_ptr<bosco::UtilityDistribution> (*make)();
+  };
+  const NamedDist dists[] = {
+      {"Triangular(-1, 0.2, 1)^2",
+       [] {
+         return std::unique_ptr<bosco::UtilityDistribution>(
+             std::make_unique<bosco::TriangularDistribution>(-1.0, 0.2, 1.0));
+       }},
+      {"TruncNormal(0.1, 0.5 | [-1, 1])^2",
+       [] {
+         return std::unique_ptr<bosco::UtilityDistribution>(
+             std::make_unique<bosco::TruncatedNormalDistribution>(0.1, 0.5,
+                                                                  -1.0, 1.0));
+       }},
+      {"asymmetric: Unif[-1,1] x TruncNormal(0.3, 0.4 | [-0.5, 1.2])",
+       [] {
+         return std::unique_ptr<bosco::UtilityDistribution>(
+             std::make_unique<bosco::UniformDistribution>(-1.0, 1.0));
+       }},
+  };
+  for (std::size_t d = 0; d < 3; ++d) {
+    auto dist_x = dists[d].make();
+    std::unique_ptr<bosco::UtilityDistribution> dist_y;
+    if (d == 2) {
+      dist_y = std::make_unique<bosco::TruncatedNormalDistribution>(0.3, 0.4,
+                                                                    -0.5, 1.2);
+    } else {
+      dist_y = dists[d].make();
+    }
+    bosco::BoscoService service(std::move(dist_x), std::move(dist_y),
+                                bosco::BoscoServiceOptions{
+                                    .trials = 200,
+                                    .seed = 4242 + d,
+                                    .equilibrium = {},
+                                    .truthful_grid = 600});
+    const auto stats = service.trial_statistics(50);
+    ext.add_row({dists[d].name, util::format_double(stats.min_pod, 4),
+                 util::format_double(stats.mean_pod, 4),
+                 std::to_string(stats.converged_trials)});
+  }
+  ext.print(std::cout);
+  ext.print_csv(std::cout, "fig2_ext");
+  return 0;
+}

@@ -1,0 +1,101 @@
+// Figure 3: distribution (CDF) of ASes with respect to the number of
+// length-3 paths starting at the AS, under increasing degrees of MA
+// conclusion: GRC only, Top-1/Top-5/Top-50 own MAs, all own MAs (MA*), and
+// all MAs including indirectly gained paths (MA).
+//
+// Also prints the §VI-A in-text statistics: average and maximum number of
+// additional MA paths per analyzed AS (paper, on the full CAIDA graph:
+// average 22,891, maximum 196,796 - absolute values scale with graph size;
+// the orderings and CDF shapes are the reproduction target).
+#include <algorithm>
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "panagree/diversity/report.hpp"
+#include "panagree/util/stats.hpp"
+#include "panagree/util/table.hpp"
+
+namespace {
+
+using namespace panagree;
+
+void print_cdf_table(const std::vector<diversity::ScenarioRow>& rows,
+                     const char* tag) {
+  std::vector<double> grc, top1, top5, top50, star, all;
+  for (const auto& row : rows) {
+    grc.push_back(row.grc);
+    top1.push_back(row.ma_top[0]);
+    top5.push_back(row.ma_top[1]);
+    top50.push_back(row.ma_top[2]);
+    star.push_back(row.ma_star);
+    all.push_back(row.ma_all);
+  }
+  const double max_value = *std::max_element(all.begin(), all.end());
+  const util::Cdf cdf_grc(grc), cdf_1(top1), cdf_5(top5), cdf_50(top50),
+      cdf_star(star), cdf_all(all);
+
+  util::Table table({"x", "CDF GRC", "CDF Top1", "CDF Top5", "CDF Top50",
+                     "CDF MA*", "CDF MA"});
+  for (const double x : util::log_space(1.0, std::max(2.0, max_value), 14)) {
+    table.add_row({x, cdf_grc.fraction_at_or_below(x),
+                   cdf_1.fraction_at_or_below(x),
+                   cdf_5.fraction_at_or_below(x),
+                   cdf_50.fraction_at_or_below(x),
+                   cdf_star.fraction_at_or_below(x),
+                   cdf_all.fraction_at_or_below(x)},
+                  3);
+  }
+  table.print(std::cout);
+  std::cout << '\n';
+  table.print_csv(std::cout, tag);
+
+  util::Table summary(
+      {"series", "mean", "median", "p90", "max"});
+  const auto add_summary = [&](const char* name,
+                               const std::vector<double>& v) {
+    const util::Summary s = util::summarize(v);
+    summary.add_row({name, util::format_double(s.mean, 1),
+                     util::format_double(s.median, 1),
+                     util::format_double(util::percentile(v, 0.9), 1),
+                     util::format_double(s.max, 1)});
+  };
+  add_summary("GRC", grc);
+  add_summary("MA* (Top 1)", top1);
+  add_summary("MA* (Top 5)", top5);
+  add_summary("MA* (Top 50)", top50);
+  add_summary("MA*", star);
+  add_summary("MA", all);
+  std::cout << '\n';
+  summary.print(std::cout);
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "== Figure 3: length-3 paths per AS under MA conclusion "
+               "degrees ==\n";
+  const auto topo = benchcfg::make_internet();
+  diversity::DiversityParams params;
+  params.sample_sources = benchcfg::num_sources();
+  params.seed = benchcfg::kSampleSeed;
+  const auto report = diversity::analyze_path_diversity(topo.graph, params);
+
+  std::cout << "analyzed sources: " << report.sources.size() << "\n\n";
+  print_cdf_table(report.path_rows, "fig3");
+
+  std::cout << "\n-- §VI-A in-text statistics (additional MA paths per AS) "
+               "--\n";
+  util::Table stats({"metric", "measured", "paper (70k-AS CAIDA)"});
+  stats.add_row({"average additional length-3 paths",
+                 util::format_double(report.additional_paths.mean, 1),
+                 "22891"});
+  stats.add_row({"maximum additional length-3 paths",
+                 util::format_double(report.additional_paths.max, 1),
+                 "196796"});
+  stats.print(std::cout);
+  stats.print_csv(std::cout, "fig3_stats");
+  std::cout << "\nReproduction target: ordering GRC < Top1 < Top5 < Top50 < "
+               "MA* <= MA, with Top-1 already gaining thousands of paths and "
+               "MA ~ MA* (most gains are directly negotiated).\n";
+  return 0;
+}

@@ -1,0 +1,149 @@
+// Micro-benchmarks (google-benchmark) for the hot paths of the library:
+// topology generation, beaconing, diversity counting, PAN forwarding, and
+// the BOSCO mechanism pipeline.
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "panagree/bgp/analysis.hpp"
+#include "panagree/core/bosco/efficiency.hpp"
+#include "panagree/core/bosco/equilibrium.hpp"
+#include "panagree/diversity/length3.hpp"
+#include "panagree/pan/beaconing.hpp"
+#include "panagree/pan/forwarding.hpp"
+#include "panagree/sim/engine.hpp"
+#include "panagree/topology/examples.hpp"
+#include "panagree/topology/generator.hpp"
+
+namespace {
+
+using namespace panagree;
+
+const topology::GeneratedTopology& cached_topology() {
+  static const topology::GeneratedTopology topo = [] {
+    topology::GeneratorParams params;
+    params.num_ases = 3000;
+    params.tier1_count = 8;
+    params.seed = 99;
+    return topology::generate_internet(params);
+  }();
+  return topo;
+}
+
+void BM_GenerateInternet(benchmark::State& state) {
+  topology::GeneratorParams params;
+  params.num_ases = static_cast<std::size_t>(state.range(0));
+  params.tier1_count = 6;
+  params.seed = 1;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(topology::generate_internet(params));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_GenerateInternet)->Arg(500)->Arg(2000)->Unit(benchmark::kMillisecond);
+
+void BM_Beaconing(benchmark::State& state) {
+  const auto& topo = cached_topology();
+  for (auto _ : state) {
+    pan::BeaconService beacons(topo.graph);
+    beacons.run();
+    benchmark::DoNotOptimize(beacons.up_segments(topo.tier3.front()));
+  }
+}
+BENCHMARK(BM_Beaconing)->Unit(benchmark::kMillisecond);
+
+void BM_Length3Count(benchmark::State& state) {
+  const auto& topo = cached_topology();
+  const diversity::Length3Analyzer analyzer(topo.graph);
+  topology::AsId src = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(analyzer.count(src, {1, 5, 50}));
+    src = (src + 17) % static_cast<topology::AsId>(topo.graph.num_ases());
+  }
+}
+BENCHMARK(BM_Length3Count);
+
+void BM_SipHash(benchmark::State& state) {
+  const pan::MacKey key{1, 2};
+  std::uint64_t word = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(pan::siphash24_words(key, {word, word + 1, 3}));
+    ++word;
+  }
+}
+BENCHMARK(BM_SipHash);
+
+void BM_IssueAndForward(benchmark::State& state) {
+  const auto t = topology::make_fig1();
+  const pan::KeyStore keys(1, t.graph.num_ases());
+  const pan::ForwardingEngine engine(t.graph, keys);
+  const std::vector<topology::AsId> path{t.H, t.D, t.A, t.B, t.E, t.I};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(engine.forward(pan::issue_path(keys, path)));
+  }
+}
+BENCHMARK(BM_IssueAndForward);
+
+void BM_EventEngine(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Engine engine;
+    int counter = 0;
+    for (int i = 0; i < 10000; ++i) {
+      engine.schedule(static_cast<double>((i * 7919) % 1000),
+                      [&counter] { ++counter; });
+    }
+    engine.run();
+    benchmark::DoNotOptimize(counter);
+  }
+  state.SetItemsProcessed(state.iterations() * 10000);
+}
+BENCHMARK(BM_EventEngine)->Unit(benchmark::kMillisecond);
+
+void BM_ValleyFreeEnumeration(benchmark::State& state) {
+  const auto t = topology::make_fig1();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        bgp::enumerate_valley_free_paths(t.graph, t.H, t.I, 6));
+  }
+}
+BENCHMARK(BM_ValleyFreeEnumeration);
+
+void BM_BoscoBestResponse(benchmark::State& state) {
+  const bosco::UniformDistribution dist(-1.0, 1.0);
+  util::Rng rng(1);
+  const auto w = static_cast<std::size_t>(state.range(0));
+  const auto vx = bosco::ChoiceSet::random(dist, w, rng);
+  const auto vy = bosco::ChoiceSet::random(dist, w, rng);
+  const auto sy = bosco::Strategy::quantizer(vy);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(bosco::best_response_to(vx, vy, sy, dist));
+  }
+}
+BENCHMARK(BM_BoscoBestResponse)->Arg(20)->Arg(60);
+
+void BM_BoscoEquilibrium(benchmark::State& state) {
+  const bosco::UniformDistribution dist(-1.0, 1.0);
+  util::Rng rng(2);
+  const auto w = static_cast<std::size_t>(state.range(0));
+  const auto vx = bosco::ChoiceSet::random(dist, w, rng);
+  const auto vy = bosco::ChoiceSet::random(dist, w, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(bosco::find_equilibrium(vx, vy, dist, dist));
+  }
+}
+BENCHMARK(BM_BoscoEquilibrium)->Arg(20)->Arg(60);
+
+void BM_BoscoExpectedNash(benchmark::State& state) {
+  const bosco::UniformDistribution dist(-1.0, 1.0);
+  util::Rng rng(3);
+  const auto vx = bosco::ChoiceSet::random(dist, 40, rng);
+  const auto vy = bosco::ChoiceSet::random(dist, 40, rng);
+  const auto eq = bosco::find_equilibrium(vx, vy, dist, dist);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        bosco::expected_nash_product(vx, vy, eq.x, eq.y, dist, dist));
+  }
+}
+BENCHMARK(BM_BoscoExpectedNash);
+
+}  // namespace

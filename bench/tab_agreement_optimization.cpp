@@ -1,0 +1,171 @@
+// Ablation table for §IV and §V-E design choices:
+//
+//  (a) Flow-volume targets vs. cash compensation (§IV-C) under increasingly
+//      dissimilar cost structures: cash concludes exactly while the joint
+//      utility is non-negative, whereas the volume program degrades to
+//      all-zero targets once no qualified volume split helps both parties.
+//  (b) BOSCO choice-set construction (§V-E): random sampling vs. an
+//      equal-quantile grid, at fixed cardinality.
+#include <iostream>
+#include <memory>
+
+#include "panagree/core/agreements/utility.hpp"
+#include "panagree/core/bargain/cash.hpp"
+#include "panagree/core/bargain/flow_volume.hpp"
+#include "panagree/core/bosco/service.hpp"
+#include "panagree/econ/business.hpp"
+#include "panagree/topology/examples.hpp"
+#include "panagree/util/table.hpp"
+
+namespace {
+
+using namespace panagree;
+
+struct Scenario {
+  topology::Fig1 t = topology::make_fig1();
+  econ::Economy economy{t.graph};
+  econ::TrafficAllocation base;
+  bargain::FlowVolumeProblem problem;
+
+  explicit Scenario(double e_internal_cost) {
+    economy.set_link_pricing(t.A, t.D, econ::PricingFunction::per_unit(2.0));
+    economy.set_link_pricing(t.B, t.E, econ::PricingFunction::per_unit(2.0));
+    economy.set_link_pricing(t.D, t.H, econ::PricingFunction::per_unit(2.6));
+    economy.set_link_pricing(t.E, t.I, econ::PricingFunction::per_unit(2.6));
+    economy.set_internal_cost(t.D, econ::InternalCostFunction::linear(0.05));
+    economy.set_internal_cost(
+        t.E, econ::InternalCostFunction::linear(e_internal_cost));
+    base.add_path_flow(std::vector<topology::AsId>{t.H, t.D, t.A, t.B}, 4.0);
+    base.add_path_flow(std::vector<topology::AsId>{t.I, t.E, t.B, t.A}, 4.0);
+
+    problem.party_x = t.D;
+    problem.party_y = t.E;
+    problem.x_segments.push_back(bargain::SegmentOption{
+        {t.H, t.D, t.E, t.B}, {t.H, t.D, t.A, t.B}, 4.0, 6.0});
+    problem.y_segments.push_back(bargain::SegmentOption{
+        {t.I, t.E, t.D, t.A}, {t.I, t.E, t.B, t.A}, 4.0, 6.0});
+  }
+};
+
+}  // namespace
+
+int main() {
+  std::cout << "== Ablation (a): flow-volume targets vs. cash compensation "
+               "(§IV-C) ==\n"
+            << "Asymmetry knob: E's internal forwarding cost per unit "
+               "(D stays at 0.05). Cash utilities are estimated at full "
+               "expected usage of the new segments.\n\n";
+
+  util::Table table({"E internal cost", "u_D(full)", "u_E(full)", "joint",
+                     "cash concludes", "cash transfer D->E",
+                     "volume concludes", "vol u_D", "vol u_E",
+                     "vol allowance D", "vol allowance E"});
+  for (const double k : {0.05, 0.3, 0.6, 0.9, 1.2, 1.6, 2.0, 2.6}) {
+    Scenario s(k);
+    const agreements::AgreementEvaluator evaluator(s.economy, s.base);
+
+    // Cash route: utilities at full expected usage (§IV-B: "estimated based
+    // on the expected volume of the newly enabled flows").
+    const std::size_t n = 2 * (s.problem.x_segments.size() +
+                               s.problem.y_segments.size());
+    std::vector<double> full(n);
+    full[0] = s.problem.x_segments[0].reroutable;
+    full[1] = s.problem.x_segments[0].max_new_demand;
+    full[2] = s.problem.y_segments[0].reroutable;
+    full[3] = s.problem.y_segments[0].max_new_demand;
+    const auto full_shift = bargain::shift_for_variables(s.problem, full);
+    const double u_d = evaluator.utility_change(s.t.D, full_shift);
+    const double u_e = evaluator.utility_change(s.t.E, full_shift);
+    const auto cash = bargain::negotiate_cash(u_d, u_e);
+
+    // Flow-volume route: qualified volumes via the Eq. 9 program.
+    const auto volume = bargain::solve_flow_volume(s.problem, evaluator);
+
+    table.add_row(
+        {util::format_double(k, 2), util::format_double(u_d, 2),
+         util::format_double(u_e, 2), util::format_double(u_d + u_e, 2),
+         cash ? "yes" : "no",
+         cash ? util::format_double(cash->transfer_x_to_y, 2) : "-",
+         volume.concluded ? "yes" : "no", util::format_double(volume.u_x, 2),
+         util::format_double(volume.u_y, 2),
+         util::format_double(volume.x_targets[0].allowance, 2),
+         util::format_double(volume.y_targets[0].allowance, 2)});
+  }
+  table.print(std::cout);
+  table.print_csv(std::cout, "tab_opt_a");
+
+  // The §IV-C separation case: a one-sided agreement (only D gains paths;
+  // E's side has nothing to offer its customers). No flow-volume split can
+  // give E non-negative utility, so the Eq. 9 program returns all-zero
+  // targets - yet the joint utility at full usage is positive, so the cash
+  // structure concludes by compensating E.
+  std::cout << "\n-- one-sided agreement: cash concludes, volume cannot --\n";
+  util::Table one_sided({"E internal cost", "u_D(full)", "u_E(full)", "joint",
+                         "cash concludes", "cash transfer D->E",
+                         "volume concludes"});
+  for (const double k : {0.1, 0.2, 0.3}) {
+    Scenario s(k);
+    s.problem.y_segments.clear();
+    const agreements::AgreementEvaluator evaluator(s.economy, s.base);
+    std::vector<double> full{s.problem.x_segments[0].reroutable,
+                             s.problem.x_segments[0].max_new_demand};
+    const auto full_shift = bargain::shift_for_variables(s.problem, full);
+    const double u_d = evaluator.utility_change(s.t.D, full_shift);
+    const double u_e = evaluator.utility_change(s.t.E, full_shift);
+    const auto cash = bargain::negotiate_cash(u_d, u_e);
+    const auto volume = bargain::solve_flow_volume(s.problem, evaluator);
+    one_sided.add_row(
+        {util::format_double(k, 2), util::format_double(u_d, 2),
+         util::format_double(u_e, 2), util::format_double(u_d + u_e, 2),
+         cash ? "yes" : "no",
+         cash ? util::format_double(cash->transfer_x_to_y, 2) : "-",
+         volume.concluded ? "yes" : "no"});
+  }
+  one_sided.print(std::cout);
+  one_sided.print_csv(std::cout, "tab_opt_a2");
+
+  std::cout << "\n== Ablation (b): BOSCO choice-set construction (§V-E) ==\n"
+            << "Random sampling (100 trials) vs. equal-quantile grid at "
+               "W=30.\n\n";
+  util::Table bosco_table(
+      {"distribution", "random min PoD", "random mean PoD", "quantile PoD"});
+  struct Dist {
+    const char* name;
+    double lo, hi;
+  };
+  for (const Dist d : {Dist{"U(1)=Unif[-1,1]^2", -1.0, 1.0},
+                       Dist{"U(2)=Unif[-1/2,1]^2", -0.5, 1.0}}) {
+    bosco::BoscoService service(
+        std::make_unique<bosco::UniformDistribution>(d.lo, d.hi),
+        std::make_unique<bosco::UniformDistribution>(d.lo, d.hi),
+        bosco::BoscoServiceOptions{
+            .trials = 100, .seed = 5, .equilibrium = {}, .truthful_grid = 600});
+    const auto stats = service.trial_statistics(30);
+
+    const bosco::UniformDistribution dist(d.lo, d.hi);
+    const auto grid = bosco::ChoiceSet::quantile_grid(dist, 30);
+    const auto eq = bosco::find_equilibrium(grid, grid, dist, dist);
+    double grid_pod = 1.0;
+    if (eq.converged) {
+      const double truthful =
+          bosco::expected_truthful_nash_product(dist, dist, 600);
+      grid_pod = bosco::price_of_dishonesty(
+          bosco::expected_nash_product(grid, grid, eq.x, eq.y, dist, dist),
+          truthful);
+    }
+    bosco_table.add_row({d.name, util::format_double(stats.min_pod, 4),
+                         util::format_double(stats.mean_pod, 4),
+                         eq.converged ? util::format_double(grid_pod, 4)
+                                      : "no equilibrium"});
+  }
+  bosco_table.print(std::cout);
+  bosco_table.print_csv(std::cout, "tab_opt_b");
+
+  std::cout << "\nReading (a): once E's costs dominate, the joint utility "
+               "turns negative and *both* structures refuse the agreement; "
+               "in the intermediate regime cash still concludes via "
+               "compensation where volume targets shrink toward zero.\n"
+            << "Reading (b): random generation with enough trials matches "
+               "or beats a deterministic quantile grid (§V-E).\n";
+  return 0;
+}

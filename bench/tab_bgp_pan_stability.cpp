@@ -1,0 +1,98 @@
+// Stability table (the executable form of §II): BGP-style route selection
+// needs the GRC to stay stable, while PAN source-selected forwarding is
+// loop-free for the very same GRC-violating arrangements.
+//
+// The paper presents this argument qualitatively around Fig. 1; this bench
+// renders it as a stability matrix over the canonical SPP gadgets and their
+// Fig. 1 instantiations, plus the PAN forwarding counterpart.
+#include <iostream>
+
+#include "panagree/bgp/async.hpp"
+#include "panagree/bgp/gadgets.hpp"
+#include "panagree/bgp/policy.hpp"
+#include "panagree/bgp/simulator.hpp"
+#include "panagree/pan/forwarding.hpp"
+#include "panagree/topology/examples.hpp"
+#include "panagree/util/table.hpp"
+
+namespace {
+
+using namespace panagree;
+
+void add_instance(util::Table& table, const char* name,
+                  const bgp::SppInstance& instance) {
+  const auto solutions = bgp::find_stable_solutions(instance);
+  const auto sync = bgp::run_synchronous(instance);
+  const auto safety = bgp::check_safety(instance, 40, 2024);
+  // Event-driven message-passing run with MRAI batching (ns-3-style view).
+  bgp::AsyncSpvpParams async_params;
+  async_params.max_messages = 30000;
+  const auto async = bgp::check_async_safety(instance, 20, 99, async_params);
+  table.add_row(
+      {name, std::to_string(solutions.size()),
+       sync.outcome == bgp::Outcome::kConverged ? "converges" : "oscillates",
+       safety.always_converged ? "always" : "not always",
+       std::to_string(safety.distinct_outcomes),
+       async.always_converged ? "always" : "not always",
+       std::to_string(async.distinct_outcomes),
+       util::format_double(async.mean_messages, 0)});
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "== Table: BGP stability vs. PAN forwarding (§II) ==\n\n";
+  const auto t = topology::make_fig1();
+
+  util::Table bgp_table({"instance", "stable solutions", "synchronous SPVP",
+                         "random activations converge", "distinct outcomes",
+                         "async (MRAI) converges", "async outcomes",
+                         "mean msgs"});
+  add_instance(bgp_table, "GOOD GADGET (control)", bgp::make_good_gadget());
+  add_instance(bgp_table, "DISAGREE", bgp::make_disagree());
+  add_instance(bgp_table, "BGP WEDGIE", bgp::make_wedgie());
+  add_instance(bgp_table, "BAD GADGET", bgp::make_bad_gadget());
+  add_instance(bgp_table, "Fig.1 D/E mutual providers (DISAGREE)",
+               bgp::make_fig1_disagree(t));
+  add_instance(bgp_table, "Fig.1 + AS C agreements (BAD GADGET)",
+               bgp::make_fig1_bad_gadget(t));
+  add_instance(bgp_table, "Fig.1 Gao-Rexford, dest A",
+               bgp::make_gao_rexford_spp(t.graph, t.A));
+  add_instance(bgp_table, "Fig.1 Gao-Rexford, dest I",
+               bgp::make_gao_rexford_spp(t.graph, t.I));
+  add_instance(
+      bgp_table, "Fig.1 mutual-transit policy (dest B)",
+      bgp::make_mutual_transit_spp(t.graph, t.B, {{t.D, t.E}}));
+  bgp_table.print(std::cout);
+  bgp_table.print_csv(std::cout, "tab_bgp");
+
+  std::cout << "\n-- PAN data plane on the same GRC-violating paths --\n";
+  const pan::KeyStore keys(1, t.graph.num_ases());
+  const pan::ForwardingEngine engine(t.graph, keys);
+  util::Table pan_table({"path", "GRC-valid", "delivered", "loop-free"});
+  const std::vector<std::vector<topology::AsId>> paths{
+      {t.D, t.E, t.B, t.A},        // §II: "path DEBA ... E would not send
+                                   // these packets back to D"
+      {t.E, t.D, t.A},             // agreement path EDA
+      {t.H, t.D, t.E, t.B},        // extended agreement path HDEB
+      {t.H, t.D, t.A},             // plain GRC path as control
+  };
+  for (const auto& path : paths) {
+    const auto result = engine.forward(pan::issue_path(keys, path));
+    std::string name;
+    for (const auto as : path) {
+      name += t.graph.info(as).name;
+    }
+    pan_table.add_row(
+        {name, bgp::grc_forwarding_allowed(t.graph, path) ? "yes" : "no",
+         result.delivered ? "yes" : "no",
+         result.trace.size() == path.size() ? "yes" : "no"});
+  }
+  pan_table.print(std::cout);
+  pan_table.print_csv(std::cout, "tab_pan");
+
+  std::cout << "\nReading: every GRC-violating BGP arrangement is either "
+               "non-deterministic (wedgie) or divergent (BAD GADGET), while "
+               "the PAN forwards the same paths loop-free - the §II claim.\n";
+  return 0;
+}

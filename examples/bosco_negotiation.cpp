@@ -1,0 +1,87 @@
+// Mechanism-assisted negotiation with BOSCO (§V).
+//
+// Two ASes want to conclude a cash-compensation agreement but will not
+// reveal their true utilities. The BOSCO service estimates utility
+// distributions, constructs choice sets, computes a Nash equilibrium of the
+// one-shot bargaining game, and publishes the mechanism-information set.
+// The parties verify the equilibrium and play it; the service adjudicates.
+#include <cmath>
+#include <iostream>
+#include <memory>
+
+#include "panagree/core/bosco/service.hpp"
+#include "panagree/util/table.hpp"
+
+using namespace panagree;
+
+int main() {
+  // The service's belief about each party's utility (in practice derived
+  // from transit price heuristics, §V-C1).
+  bosco::BoscoService service(
+      std::make_unique<bosco::UniformDistribution>(-1.0, 1.0),
+      std::make_unique<bosco::UniformDistribution>(-1.0, 1.0),
+      bosco::BoscoServiceOptions{
+          .trials = 100, .seed = 17, .equilibrium = {}, .truthful_grid = 600});
+
+  // Configure a mechanism with 40 choices per party.
+  const bosco::MechanismInfoSet info = service.configure(40);
+  std::cout << "BOSCO configuration (W = 40, best of 100 random draws):\n"
+            << "  E[N | equilibrium] = " << info.expected_nash << "\n"
+            << "  E[N | truthful]    = " << info.expected_truthful << "\n"
+            << "  Price of Dishonesty = " << info.pod << "\n"
+            << "  active choices: X = " << info.strategy_x.active_choices()
+            << ", Y = " << info.strategy_y.active_choices() << "\n\n";
+
+  // The parties can verify the proposed equilibrium themselves (§V-C6).
+  const bool verified = bosco::is_nash_equilibrium(
+      info.choices_x, info.choices_y, info.strategy_x, info.strategy_y,
+      service.dist_x(), service.dist_y());
+  std::cout << "Parties verify the equilibrium: "
+            << (verified ? "valid - following it is a best response"
+                         : "INVALID")
+            << "\n\n";
+
+  // Show the equilibrium strategy of party X: a threshold rule mapping true
+  // utility intervals to claims (Theorem 4: intervals, never points, so the
+  // claim cannot be inverted to the exact utility).
+  util::Table strategy({"true utility in", "claim v_X"});
+  const auto& starts = info.strategy_x.starts();
+  for (std::size_t i = 0; i < info.strategy_x.num_choices(); ++i) {
+    if (starts[i] < starts[i + 1]) {
+      strategy.add_row(
+          {"[" + util::format_double(starts[i], 3) + ", " +
+               util::format_double(starts[i + 1], 3) + ")",
+           util::format_double(info.choices_x.value(i), 3)});
+    }
+  }
+  std::cout << "Equilibrium strategy of X (threshold rule):\n";
+  strategy.print(std::cout);
+
+  // Play a few negotiations with hidden true utilities.
+  std::cout << "\nNegotiations (true utilities are never revealed):\n";
+  util::Table games({"true u_X", "true u_Y", "claim v_X", "claim v_Y",
+                     "outcome", "Pi X->Y", "u_X after", "u_Y after"});
+  const double cases[][2] = {
+      {0.8, 0.3}, {0.4, -0.2}, {-0.3, 0.9}, {-0.6, 0.2}, {-0.7, -0.4}};
+  for (const auto& c : cases) {
+    const auto outcome = bosco::BoscoService::execute(info, c[0], c[1]);
+    games.add_row({util::format_double(c[0], 2), util::format_double(c[1], 2),
+                   std::isinf(outcome.claim_x)
+                       ? "-inf"
+                       : util::format_double(outcome.claim_x, 3),
+                   std::isinf(outcome.claim_y)
+                       ? "-inf"
+                       : util::format_double(outcome.claim_y, 3),
+                   outcome.concluded ? "concluded" : "cancelled",
+                   outcome.concluded
+                       ? util::format_double(outcome.transfer_x_to_y, 3)
+                       : "-",
+                   util::format_double(outcome.u_x_after, 3),
+                   util::format_double(outcome.u_y_after, 3)});
+  }
+  games.print(std::cout);
+  std::cout << "\nNote the §V-D guarantees at work: after-negotiation "
+               "utilities are never negative (Theorem 1) and concluded "
+               "deals always have non-negative joint utility (Theorem 2).\n";
+  return 0;
+}

@@ -1,0 +1,123 @@
+// Structuring an agreement with flow-volume targets (§IV-A), then extending
+// an agreement path to a third AS (§III-B3) within the negotiated
+// allowances.
+#include <iostream>
+
+#include "panagree/core/agreements/extension.hpp"
+#include "panagree/core/agreements/mutuality.hpp"
+#include "panagree/core/agreements/utility.hpp"
+#include "panagree/core/bargain/flow_volume.hpp"
+#include "panagree/core/bargain/negotiation.hpp"
+#include "panagree/econ/business.hpp"
+#include "panagree/topology/examples.hpp"
+#include "panagree/util/table.hpp"
+
+using namespace panagree;
+
+int main() {
+  const topology::Fig1 t = topology::make_fig1();
+  const topology::Graph& g = t.graph;
+
+  // Economy and base traffic, as in the quickstart.
+  econ::Economy economy(g);
+  economy.set_link_pricing(t.A, t.D, econ::PricingFunction::per_unit(2.0));
+  economy.set_link_pricing(t.B, t.E, econ::PricingFunction::per_unit(2.0));
+  economy.set_link_pricing(t.D, t.H, econ::PricingFunction::per_unit(2.6));
+  economy.set_link_pricing(t.E, t.I, econ::PricingFunction::per_unit(2.6));
+  economy.set_internal_cost(t.D, econ::InternalCostFunction::linear(0.05));
+  economy.set_internal_cost(t.E, econ::InternalCostFunction::linear(0.05));
+  econ::TrafficAllocation base;
+  base.add_path_flow(std::vector<topology::AsId>{t.H, t.D, t.A, t.B}, 4.0);
+  base.add_path_flow(std::vector<topology::AsId>{t.I, t.E, t.B, t.A}, 4.0);
+
+  // The MA between D and E (the §VI generation rule applied to Fig. 1).
+  const agreements::Agreement ma =
+      agreements::make_mutuality_agreement(g, t.D, t.E);
+  std::cout << "Agreement: " << ma.to_string(g) << "\n\n";
+
+  // Negotiate flow-volume targets (Eq. 9): for each new segment, how much
+  // existing traffic may be rerouted and how much new demand admitted.
+  bargain::FlowVolumeProblem problem;
+  problem.party_x = t.D;
+  problem.party_y = t.E;
+  problem.x_segments.push_back(bargain::SegmentOption{
+      {t.H, t.D, t.E, t.B}, {t.H, t.D, t.A, t.B}, 4.0, 6.0});
+  problem.y_segments.push_back(bargain::SegmentOption{
+      {t.I, t.E, t.D, t.A}, {t.I, t.E, t.B, t.A}, 4.0, 6.0});
+
+  const agreements::AgreementEvaluator evaluator(economy, base);
+  const bargain::FlowVolumeSolution sol =
+      bargain::solve_flow_volume(problem, evaluator);
+  std::cout << "Flow-volume program (Eq. 9): "
+            << (sol.concluded ? "agreement concluded" : "no agreement")
+            << "\n  u_D = " << sol.u_x << ", u_E = " << sol.u_y
+            << ", Nash product = " << sol.nash << "\n\n";
+
+  util::Table targets({"party", "segment", "allowance f_P", "rerouted",
+                       "new demand"});
+  const auto add_targets = [&](const char* who,
+                               const std::vector<bargain::FlowVolumeTarget>&
+                                   list) {
+    for (const auto& target : list) {
+      std::string seg;
+      for (const auto as : target.segment) {
+        seg += g.info(as).name;
+      }
+      targets.add_row({who, seg, util::format_double(target.allowance, 3),
+                       util::format_double(target.rerouted, 3),
+                       util::format_double(target.new_demand, 3)});
+    }
+  };
+  add_targets("D", sol.x_targets);
+  add_targets("E", sol.y_targets);
+  targets.print(std::cout);
+
+  // Register the concluded agreement with its allowances, then extend the
+  // EDA segment to F (the paper's agreement a', §III-B3). The extension
+  // must fit within the parent's allowance.
+  agreements::AgreementRegistry registry;
+  std::vector<agreements::FlowAllowance> allowances;
+  allowances.push_back(agreements::FlowAllowance{
+      {t.E, t.D, t.A}, sol.y_targets[0].allowance, 0.0});
+  const auto id = registry.register_agreement(ma, std::move(allowances));
+
+  std::cout << "\nExtension a' (E grants F access to segment EDA):\n";
+  for (const double volume : {2.0, 50.0}) {
+    agreements::Extension ext;
+    ext.parent = id;
+    ext.party = t.E;
+    ext.beneficiary = t.F;
+    ext.extended_segment = {t.F, t.E, t.D, t.A};
+    ext.volume = volume;
+    const bool ok = registry.try_register_extension(g, ext);
+    const auto remaining = registry.remaining(id, {t.E, t.D, t.A});
+    std::cout << "  request " << volume << " units: "
+              << (ok ? "granted" : "refused (parent allowance exceeded)")
+              << ", remaining allowance = " << *remaining << "\n";
+  }
+
+  // The same negotiation, fully automated: segments, reroutable volumes and
+  // demand limits are derived from the observed traffic and the elasticity
+  // model; both structuring methods are solved in one call.
+  std::cout << "\n-- automated negotiation (derived from observed traffic) "
+               "--\n";
+  const traffic::DemandElasticity elasticity(
+      {.max_new_fraction = 1.0, .half_point = 0.1});
+  const auto negotiation =
+      bargain::negotiate_agreement(ma, evaluator, elasticity);
+  std::cout << "derived segments: " << negotiation.problem.x_segments.size()
+            << " for D, " << negotiation.problem.y_segments.size()
+            << " for E\n"
+            << "flow-volume: "
+            << (negotiation.volume.concluded ? "concludes" : "no agreement")
+            << " (u_D = " << negotiation.volume.u_x
+            << ", u_E = " << negotiation.volume.u_y << ")\n"
+            << "cash at full usage: "
+            << (negotiation.cash ? "concludes" : "no agreement");
+  if (negotiation.cash) {
+    std::cout << " (Pi_{D->E} = " << negotiation.cash->transfer_x_to_y
+              << ")";
+  }
+  std::cout << "\n";
+  return 0;
+}

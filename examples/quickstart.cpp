@@ -1,0 +1,78 @@
+// Quickstart: the paper's running example end to end in ~80 lines.
+//
+// Builds the Fig. 1 topology, attaches an economy, forms the
+// mutuality-based agreement a = [D(^{A}); E(^{B}, ->{F})] (Eq. 6), evaluates
+// both parties' agreement utility for a concrete traffic shift (Eq. 3/7),
+// and settles the difference with the Nash-bargaining cash transfer
+// (Eq. 10-11).
+#include <iostream>
+
+#include "panagree/core/agreements/agreement.hpp"
+#include "panagree/core/agreements/utility.hpp"
+#include "panagree/core/bargain/cash.hpp"
+#include "panagree/econ/business.hpp"
+#include "panagree/topology/examples.hpp"
+
+using namespace panagree;
+
+int main() {
+  // 1. The AS topology of Fig. 1.
+  const topology::Fig1 t = topology::make_fig1();
+  const topology::Graph& g = t.graph;
+  std::cout << "Topology: " << g.num_ases() << " ASes, " << g.num_links()
+            << " links\n";
+
+  // 2. An economy: per-unit transit prices and internal costs (§III-A).
+  econ::Economy economy(g);
+  economy.set_link_pricing(t.A, t.D, econ::PricingFunction::per_unit(2.0));
+  economy.set_link_pricing(t.B, t.E, econ::PricingFunction::per_unit(2.0));
+  economy.set_link_pricing(t.D, t.H, econ::PricingFunction::per_unit(2.6));
+  economy.set_link_pricing(t.E, t.I, econ::PricingFunction::per_unit(2.6));
+  economy.set_internal_cost(t.D, econ::InternalCostFunction::linear(0.05));
+  economy.set_internal_cost(t.E, econ::InternalCostFunction::linear(0.05));
+
+  // 3. Today's traffic: H and I reach the far side via their providers.
+  econ::TrafficAllocation base;
+  base.add_path_flow(std::vector<topology::AsId>{t.H, t.D, t.A, t.B}, 4.0);
+  base.add_path_flow(std::vector<topology::AsId>{t.I, t.E, t.B, t.A}, 4.0);
+
+  // 4. The paper's mutuality-based agreement (Eq. 6).
+  agreements::Agreement a;
+  a.grant_x.grantor = t.D;
+  a.grant_x.providers = {t.A};
+  a.grant_y.grantor = t.E;
+  a.grant_y.providers = {t.B};
+  a.grant_y.peers = {t.F};
+  a.validate(g);
+  std::cout << "Agreement a = " << a.to_string(g)
+            << (a.violates_grc() ? "  (GRC-violating: needs a PAN)" : "")
+            << "\n";
+
+  // 5. The agreement's traffic effect: both sides reroute their customer
+  //    traffic over the partner and attract some new demand (Eq. 7c).
+  agreements::TrafficShift shift;
+  shift.reroutes.push_back(agreements::Reroute{
+      {t.H, t.D, t.A, t.B}, {t.H, t.D, t.E, t.B}, 4.0});
+  shift.reroutes.push_back(agreements::Reroute{
+      {t.I, t.E, t.B, t.A}, {t.I, t.E, t.D, t.A}, 4.0});
+  shift.new_demands.push_back(
+      agreements::NewDemand{{t.H, t.D, t.E, t.B}, 3.0});
+  shift.new_demands.push_back(
+      agreements::NewDemand{{t.I, t.E, t.D, t.A}, 2.0});
+
+  // 6. Agreement utilities u_D(a), u_E(a) (Eq. 3).
+  const agreements::AgreementEvaluator evaluator(economy, base);
+  const double u_d = evaluator.utility_change(t.D, shift);
+  const double u_e = evaluator.utility_change(t.E, shift);
+  std::cout << "u_D(a) = " << u_d << ", u_E(a) = " << u_e << "\n";
+
+  // 7. Cash compensation (Eq. 11): split the surplus equally.
+  if (const auto deal = bargain::negotiate_cash(u_d, u_e)) {
+    std::cout << "Cash deal: Pi_{D->E} = " << deal->transfer_x_to_y
+              << "  =>  u_D = " << deal->u_x_after
+              << ", u_E = " << deal->u_y_after << "\n";
+  } else {
+    std::cout << "No viable deal (joint utility negative).\n";
+  }
+  return 0;
+}

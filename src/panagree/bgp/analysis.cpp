@@ -1,0 +1,73 @@
+#include "panagree/bgp/analysis.hpp"
+
+#include <functional>
+
+#include "panagree/bgp/policy.hpp"
+#include "panagree/bgp/simulator.hpp"
+
+namespace panagree::bgp {
+
+std::vector<Path> enumerate_valley_free_paths(const Graph& graph, AsId src,
+                                              AsId dst, std::size_t max_len) {
+  util::require(src < graph.num_ases() && dst < graph.num_ases(),
+                "enumerate_valley_free_paths: AS out of range");
+  std::vector<Path> out;
+  if (src == dst) {
+    out.push_back({src});
+    return out;
+  }
+  std::vector<bool> on_path(graph.num_ases(), false);
+  Path path{src};
+  on_path[src] = true;
+  const std::function<void(AsId)> dfs = [&](AsId cur) {
+    if (path.size() >= max_len) {
+      return;
+    }
+    for (const AsId next : graph.neighbors(cur)) {
+      if (on_path[next]) {
+        continue;
+      }
+      path.push_back(next);
+      if (is_valley_free(graph, path)) {
+        if (next == dst) {
+          out.push_back(path);
+        } else {
+          on_path[next] = true;
+          dfs(next);
+          on_path[next] = false;
+        }
+      }
+      path.pop_back();
+    }
+  };
+  dfs(src);
+  return out;
+}
+
+int route_relationship_class(const Graph& graph, const Path& path) {
+  if (path.size() < 2) {
+    return 0;
+  }
+  const auto role = graph.role_of(path[0], path[1]);
+  util::require(role.has_value(),
+                "route_relationship_class: first hop is not a link");
+  switch (*role) {
+    case topology::NeighborRole::kCustomer:
+      return 0;
+    case topology::NeighborRole::kPeer:
+      return 1;
+    case topology::NeighborRole::kProvider:
+      return 2;
+  }
+  return 3;
+}
+
+StabilityProfile profile_stability(const SppInstance& instance) {
+  StabilityProfile profile;
+  profile.stable_solutions = find_stable_solutions(instance).size();
+  profile.safe_under_synchronous =
+      run_synchronous(instance).outcome == Outcome::kConverged;
+  return profile;
+}
+
+}  // namespace panagree::bgp

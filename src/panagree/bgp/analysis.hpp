@@ -1,0 +1,32 @@
+// Cross-cutting BGP/route analysis helpers.
+#pragma once
+
+#include <vector>
+
+#include "panagree/bgp/spp.hpp"
+#include "panagree/topology/graph.hpp"
+
+namespace panagree::bgp {
+
+using topology::Graph;
+
+/// All simple valley-free paths from src to dst with at most `max_len` ASes.
+[[nodiscard]] std::vector<Path> enumerate_valley_free_paths(
+    const Graph& graph, AsId src, AsId dst, std::size_t max_len = 6);
+
+/// Relationship class of a route as seen by its first AS (how the route was
+/// learned): 0 = from a customer, 1 = from a peer, 2 = from a provider.
+/// Single-AS paths are class 0.
+[[nodiscard]] int route_relationship_class(const Graph& graph,
+                                           const Path& path);
+
+/// Summary of an SPP instance's stability structure (brute force; use on
+/// gadget-sized instances only).
+struct StabilityProfile {
+  std::size_t stable_solutions = 0;
+  bool safe_under_synchronous = false;  ///< synchronous SPVP converged
+};
+
+[[nodiscard]] StabilityProfile profile_stability(const SppInstance& instance);
+
+}  // namespace panagree::bgp

@@ -1,0 +1,169 @@
+#include "panagree/bgp/async.hpp"
+
+#include <map>
+#include <set>
+
+namespace panagree::bgp {
+
+namespace {
+
+/// Router state of the asynchronous protocol.
+class AsyncState {
+ public:
+  AsyncState(const SppInstance& instance, const AsyncSpvpParams& params)
+      : instance_(&instance),
+        params_(params),
+        rng_(params.seed),
+        current_(instance.num_nodes()) {
+    // listeners_[u] = nodes whose permitted paths use u as next hop.
+    listeners_.resize(instance.num_nodes());
+    for (AsId node = 0; node < instance.num_nodes(); ++node) {
+      for (const AsId hop : instance.next_hops(node)) {
+        listeners_[hop].push_back(node);
+      }
+    }
+    current_[instance.origin()] = Path{instance.origin()};
+  }
+
+  AsyncSpvpResult run() {
+    pending_.assign(instance_->num_nodes(), false);
+    announce(instance_->origin());
+    engine_.run();
+    AsyncSpvpResult result;
+    result.assignment = current_;
+    result.messages = delivered_;
+    result.sim_time_s = engine_.now();
+    result.converged = delivered_ < params_.max_messages &&
+                       is_stable(*instance_, current_);
+    return result;
+  }
+
+ private:
+  /// Rate-limited announcement (MRAI): schedules one batched announcement
+  /// per node; interim changes are folded into the pending one.
+  void schedule_announce(AsId from) {
+    if (pending_[from]) {
+      return;  // an announcement is already pending; it will pick up the
+               // latest state when it fires
+    }
+    pending_[from] = true;
+    const double jitter =
+        rng_.uniform(params_.mrai_min_s, params_.mrai_max_s);
+    engine_.schedule(jitter, [this, from] {
+      pending_[from] = false;
+      announce(from);
+    });
+  }
+
+  /// Sends `from`'s current path to everyone who may route through it.
+  /// Deliveries on one (from, listener) channel are FIFO, as over a BGP
+  /// session's TCP connection - reordered updates would let a stale
+  /// announcement overwrite a newer one.
+  void announce(AsId from) {
+    for (const AsId listener : listeners_[from]) {
+      if (delivered_ + in_flight_ >= params_.max_messages) {
+        return;  // budget exhausted: divergence cut-off
+      }
+      ++in_flight_;
+      const Path payload = current_[from];
+      const double delay =
+          rng_.uniform(params_.min_delay_s, params_.max_delay_s);
+      const std::uint64_t channel =
+          (static_cast<std::uint64_t>(from) << 32) | listener;
+      double when = engine_.now() + delay;
+      const auto it = channel_clock_.find(channel);
+      if (it != channel_clock_.end() && when <= it->second) {
+        when = it->second + 1e-9;
+      }
+      channel_clock_[channel] = when;
+      engine_.schedule_at(when, [this, listener, from, payload] {
+        --in_flight_;
+        ++delivered_;
+        receive(listener, from, payload);
+      });
+    }
+  }
+
+  /// UPDATE handler: store the neighbor's path, re-select, re-announce on
+  /// change.
+  void receive(AsId node, AsId from, const Path& path) {
+    rib_in_[node][from] = path;
+    if (node == instance_->origin()) {
+      return;
+    }
+    // Best permitted path consistent with rib-in knowledge.
+    Path best;
+    for (const Path& candidate : instance_->permitted(node)) {
+      if (candidate.size() < 2) {
+        continue;
+      }
+      const auto it = rib_in_[node].find(candidate[1]);
+      if (it == rib_in_[node].end()) {
+        continue;
+      }
+      const Path& neighbor_path = it->second;
+      if (neighbor_path.size() + 1 == candidate.size() &&
+          std::equal(neighbor_path.begin(), neighbor_path.end(),
+                     candidate.begin() + 1)) {
+        best = candidate;
+        break;  // permitted paths are ranked best-first
+      }
+    }
+    if (best != current_[node]) {
+      current_[node] = std::move(best);
+      schedule_announce(node);
+    }
+  }
+
+  const SppInstance* instance_;
+  AsyncSpvpParams params_;
+  util::Rng rng_;
+  sim::Engine engine_;
+  Assignment current_;
+  std::vector<std::vector<AsId>> listeners_;
+  std::vector<bool> pending_;
+  std::map<std::uint64_t, double> channel_clock_;
+  std::map<AsId, std::map<AsId, Path>> rib_in_;
+  std::size_t delivered_ = 0;
+  std::size_t in_flight_ = 0;
+};
+
+}  // namespace
+
+AsyncSpvpResult run_async(const SppInstance& instance,
+                          const AsyncSpvpParams& params) {
+  util::require(params.min_delay_s > 0.0 &&
+                    params.max_delay_s >= params.min_delay_s,
+                "run_async: need 0 < min_delay <= max_delay");
+  util::require(params.mrai_min_s > 0.0 &&
+                    params.mrai_max_s >= params.mrai_min_s,
+                "run_async: need 0 < mrai_min <= mrai_max");
+  util::require(params.max_messages > 0, "run_async: message budget empty");
+  AsyncState state(instance, params);
+  return state.run();
+}
+
+AsyncSafetyReport check_async_safety(const SppInstance& instance,
+                                     std::size_t trials, std::uint64_t seed,
+                                     const AsyncSpvpParams& params) {
+  AsyncSafetyReport report;
+  report.trials = trials;
+  std::set<Assignment> outcomes;
+  double messages = 0.0;
+  for (std::size_t t = 0; t < trials; ++t) {
+    AsyncSpvpParams p = params;
+    p.seed = seed + t;
+    const AsyncSpvpResult result = run_async(instance, p);
+    if (!result.converged) {
+      report.always_converged = false;
+    } else {
+      outcomes.insert(result.assignment);
+    }
+    messages += static_cast<double>(result.messages);
+  }
+  report.distinct_outcomes = outcomes.size();
+  report.mean_messages = messages / static_cast<double>(trials);
+  return report;
+}
+
+}  // namespace panagree::bgp

@@ -1,0 +1,59 @@
+// Event-driven, message-passing SPVP on the discrete-event engine: the
+// ns-3-style view of BGP convergence.
+//
+// Routers exchange UPDATE messages over links with randomized per-message
+// delays; each recomputes its best permitted path on receipt and announces
+// changes. Convergence = the message queue drains and the resulting
+// assignment is stable; divergence (BAD GADGET) = unbounded message churn,
+// cut off by a message budget. Compared to the round-based simulator in
+// simulator.hpp, this model exposes *timing* effects: which wedgie state a
+// topology lands in depends on real message interleavings.
+#pragma once
+
+#include <cstdint>
+
+#include "panagree/bgp/spp.hpp"
+#include "panagree/sim/engine.hpp"
+#include "panagree/util/rng.hpp"
+
+namespace panagree::bgp {
+
+struct AsyncSpvpParams {
+  double min_delay_s = 0.01;  ///< per-message propagation delay bounds
+  double max_delay_s = 0.05;
+  /// MRAI-style advertisement batching (jittered): a router announces at
+  /// most one update per interval, batching interim changes. Without it,
+  /// DISAGREE-shaped instances livelock structurally - every receipt
+  /// triggers an immediate flip-and-announce, so contradicting updates
+  /// cross forever. Real BGP rate-limits advertisements for this reason.
+  double mrai_min_s = 0.02;
+  double mrai_max_s = 0.1;
+  std::size_t max_messages = 200000;  ///< divergence cut-off
+  std::uint64_t seed = 1;
+};
+
+struct AsyncSpvpResult {
+  bool converged = false;
+  Assignment assignment;
+  std::size_t messages = 0;  ///< UPDATE messages delivered
+  double sim_time_s = 0.0;   ///< simulated time at quiescence / cut-off
+};
+
+/// Runs the asynchronous protocol to quiescence or the message budget.
+[[nodiscard]] AsyncSpvpResult run_async(const SppInstance& instance,
+                                        const AsyncSpvpParams& params = {});
+
+/// Statistical variant of simulator.hpp's check_safety under real message
+/// timing: how many distinct stable outcomes do different delay seeds reach?
+struct AsyncSafetyReport {
+  bool always_converged = true;
+  std::size_t distinct_outcomes = 0;
+  std::size_t trials = 0;
+  double mean_messages = 0.0;
+};
+
+[[nodiscard]] AsyncSafetyReport check_async_safety(
+    const SppInstance& instance, std::size_t trials, std::uint64_t seed,
+    const AsyncSpvpParams& params = {});
+
+}  // namespace panagree::bgp

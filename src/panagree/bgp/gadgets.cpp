@@ -1,0 +1,59 @@
+#include "panagree/bgp/gadgets.hpp"
+
+namespace panagree::bgp {
+
+SppInstance make_disagree() {
+  SppInstance spp(3, /*origin=*/0);
+  spp.set_permitted(1, {{1, 2, 0}, {1, 0}});
+  spp.set_permitted(2, {{2, 1, 0}, {2, 0}});
+  return spp;
+}
+
+SppInstance make_bad_gadget() {
+  SppInstance spp(4, /*origin=*/0);
+  spp.set_permitted(1, {{1, 2, 0}, {1, 0}});
+  spp.set_permitted(2, {{2, 3, 0}, {2, 0}});
+  spp.set_permitted(3, {{3, 1, 0}, {3, 0}});
+  return spp;
+}
+
+SppInstance make_good_gadget() {
+  SppInstance spp(4, /*origin=*/0);
+  spp.set_permitted(1, {{1, 0}, {1, 2, 0}});
+  spp.set_permitted(2, {{2, 0}, {2, 3, 0}});
+  spp.set_permitted(3, {{3, 2, 0}, {3, 1, 0}});
+  return spp;
+}
+
+SppInstance make_wedgie() {
+  SppInstance spp(4, /*origin=*/0);
+  spp.set_permitted(1, {{1, 0}});
+  spp.set_permitted(2, {{2, 3, 1, 0}, {2, 1, 0}});
+  spp.set_permitted(3, {{3, 2, 1, 0}, {3, 1, 0}});
+  return spp;
+}
+
+SppInstance make_fig1_disagree(const topology::Fig1& t) {
+  SppInstance spp(t.graph.num_ases(), /*origin=*/t.A);
+  // B reaches its peer A directly.
+  spp.set_permitted(t.B, {{t.B, t.A}});
+  // D and E exchange their provider routes and prefer the peer-learned one.
+  spp.set_permitted(t.D, {{t.D, t.E, t.B, t.A}, {t.D, t.A}});
+  spp.set_permitted(t.E, {{t.E, t.D, t.A}, {t.E, t.B, t.A}});
+  return spp;
+}
+
+SppInstance make_fig1_bad_gadget(const topology::Fig1& t) {
+  SppInstance spp(t.graph.num_ases(), /*origin=*/t.A);
+  spp.set_permitted(t.B, {{t.B, t.A}});
+  // C gains routes via D, D via E, E via C - each preferring the
+  // agreement-peer route over its own provider route. The E-C path uses the
+  // peering the C-E agreement would create; it does not exist in the plain
+  // Fig. 1 graph, which is fine at the SPP level (paths are explicit).
+  spp.set_permitted(t.C, {{t.C, t.D, t.A}, {t.C, t.A}});
+  spp.set_permitted(t.D, {{t.D, t.E, t.B, t.A}, {t.D, t.A}});
+  spp.set_permitted(t.E, {{t.E, t.C, t.A}, {t.E, t.B, t.A}});
+  return spp;
+}
+
+}  // namespace panagree::bgp

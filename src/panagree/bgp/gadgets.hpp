@@ -1,0 +1,43 @@
+// Canonical SPP gadgets from the BGP-convergence literature, plus the
+// paper's Fig. 1 instantiations of them (§II).
+//
+// DISAGREE converges but non-deterministically (two stable states); adding
+// a third AS with the same GRC-violating agreement yields BAD GADGET, which
+// has no stable state and oscillates forever. GOOD GADGET is a safe
+// counterpart used as a control in tests.
+#pragma once
+
+#include "panagree/bgp/spp.hpp"
+#include "panagree/topology/examples.hpp"
+
+namespace panagree::bgp {
+
+/// Classical DISAGREE: origin 0; nodes 1 and 2 each prefer the route through
+/// the other over their direct route. Exactly two stable solutions.
+[[nodiscard]] SppInstance make_disagree();
+
+/// Classical BAD GADGET: origin 0; nodes 1, 2, 3 in a cyclic preference
+/// (each prefers the route through its clockwise neighbor's direct route).
+/// No stable solution; SPVP oscillates.
+[[nodiscard]] SppInstance make_bad_gadget();
+
+/// A safe gadget (shortest-path preferences): unique stable solution,
+/// converges under any activation order.
+[[nodiscard]] SppInstance make_good_gadget();
+
+/// BGP-wedgie-style extended DISAGREE (RFC 4264 flavour): origin 0 behind
+/// provider 1; nodes 2 and 3 each prefer the longer route via the other.
+[[nodiscard]] SppInstance make_wedgie();
+
+/// The paper's §II DISAGREE on the Fig. 1 topology: D and E exchange
+/// provider routes (to A via D, to A via B via E) and prefer peer-learned
+/// routes. Destination is AS A.
+[[nodiscard]] SppInstance make_fig1_disagree(const topology::Fig1& fig1);
+
+/// The paper's §II BAD GADGET on the Fig. 1 topology: AS C concludes the
+/// same kind of agreement with both D and E (requires the C-E peering the
+/// agreement would create), yielding cyclic preferences among C, D, E for
+/// destination A. No stable solution.
+[[nodiscard]] SppInstance make_fig1_bad_gadget(const topology::Fig1& fig1);
+
+}  // namespace panagree::bgp

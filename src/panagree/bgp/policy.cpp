@@ -1,0 +1,219 @@
+#include "panagree/bgp/policy.hpp"
+
+#include <algorithm>
+#include <functional>
+
+namespace panagree::bgp {
+
+namespace {
+
+enum class Phase { kClimbing, kDescending };
+
+/// Relationship class used for GRC ranking: routes learned from customers
+/// beat peer routes beat provider routes.
+int route_class(const Graph& graph, const Path& path) {
+  if (path.size() < 2) {
+    return 0;
+  }
+  switch (*graph.role_of(path[0], path[1])) {
+    case NeighborRole::kCustomer:
+      return 0;
+    case NeighborRole::kPeer:
+      return 1;
+    case NeighborRole::kProvider:
+      return 2;
+  }
+  return 3;
+}
+
+struct StepRule {
+  /// Returns true if the DFS may extend `path` (ending at `cur`, in `phase`)
+  /// with the step cur -> next, and yields the next phase.
+  std::function<bool(AsId cur, AsId next, Phase phase, Phase& next_phase)>
+      allowed;
+};
+
+/// Enumerates simple paths src -> dst whose steps satisfy `rule`, up to
+/// `max_len` ASes.
+std::vector<Path> enumerate_paths(const Graph& graph, AsId src, AsId dst,
+                                  std::size_t max_len, const StepRule& rule) {
+  std::vector<Path> out;
+  if (src == dst) {
+    out.push_back({src});
+    return out;
+  }
+  std::vector<bool> on_path(graph.num_ases(), false);
+  Path path{src};
+  on_path[src] = true;
+
+  const std::function<void(AsId, Phase)> dfs = [&](AsId cur, Phase phase) {
+    if (path.size() >= max_len) {
+      return;
+    }
+    for (const AsId next : graph.neighbors(cur)) {
+      if (on_path[next]) {
+        continue;
+      }
+      Phase next_phase = phase;
+      if (!rule.allowed(cur, next, phase, next_phase)) {
+        continue;
+      }
+      path.push_back(next);
+      if (next == dst) {
+        out.push_back(path);
+      } else {
+        on_path[next] = true;
+        dfs(next, next_phase);
+        on_path[next] = false;
+      }
+      path.pop_back();
+    }
+  };
+  dfs(src, Phase::kClimbing);
+  return out;
+}
+
+/// The valley-free step rule: climb via providers, cross at most one peering
+/// link, then only descend via customers.
+bool valley_free_step(const Graph& graph, AsId cur, AsId next, Phase phase,
+                      Phase& next_phase) {
+  const auto role = graph.role_of(cur, next);
+  PANAGREE_ASSERT(role.has_value());
+  switch (*role) {
+    case NeighborRole::kProvider:  // climbing
+      if (phase != Phase::kClimbing) {
+        return false;
+      }
+      next_phase = Phase::kClimbing;
+      return true;
+    case NeighborRole::kPeer:  // the single allowed plateau step
+      if (phase != Phase::kClimbing) {
+        return false;
+      }
+      next_phase = Phase::kDescending;
+      return true;
+    case NeighborRole::kCustomer:  // descending
+      next_phase = Phase::kDescending;
+      return true;
+  }
+  return false;
+}
+
+void rank_paths(const Graph& graph, std::vector<Path>& paths,
+                bool shorter_is_better) {
+  std::sort(paths.begin(), paths.end(), [&](const Path& a, const Path& b) {
+    const int ca = route_class(graph, a);
+    const int cb = route_class(graph, b);
+    if (ca != cb) {
+      return ca < cb;
+    }
+    if (shorter_is_better && a.size() != b.size()) {
+      return a.size() < b.size();
+    }
+    return a < b;
+  });
+}
+
+}  // namespace
+
+bool is_valley_free(const Graph& graph, const std::vector<AsId>& path) {
+  if (path.size() <= 1) {
+    return true;
+  }
+  Phase phase = Phase::kClimbing;
+  for (std::size_t i = 0; i + 1 < path.size(); ++i) {
+    if (!graph.role_of(path[i], path[i + 1]).has_value()) {
+      return false;  // not even a link
+    }
+    Phase next_phase = phase;
+    if (!valley_free_step(graph, path[i], path[i + 1], phase, next_phase)) {
+      return false;
+    }
+    phase = next_phase;
+  }
+  return true;
+}
+
+bool grc_forwarding_allowed(const Graph& graph,
+                            const std::vector<AsId>& path) {
+  if (path.size() <= 2) {
+    return true;  // no transit AS involved
+  }
+  for (std::size_t i = 1; i + 1 < path.size(); ++i) {
+    const bool prev_is_customer =
+        graph.role_of(path[i], path[i - 1]) == NeighborRole::kCustomer;
+    const bool next_is_customer =
+        graph.role_of(path[i], path[i + 1]) == NeighborRole::kCustomer;
+    if (!prev_is_customer && !next_is_customer) {
+      return false;
+    }
+  }
+  return true;
+}
+
+SppInstance make_gao_rexford_spp(const Graph& graph, AsId destination,
+                                 const GaoRexfordOptions& options) {
+  util::require(destination < graph.num_ases(),
+                "make_gao_rexford_spp: destination out of range");
+  SppInstance instance(graph.num_ases(), destination);
+  const StepRule rule{[&graph](AsId cur, AsId next, Phase phase,
+                               Phase& next_phase) {
+    return valley_free_step(graph, cur, next, phase, next_phase);
+  }};
+  for (AsId node = 0; node < graph.num_ases(); ++node) {
+    if (node == destination) {
+      continue;
+    }
+    auto paths = enumerate_paths(graph, node, destination,
+                                 options.max_path_length, rule);
+    rank_paths(graph, paths, options.shorter_is_better);
+    instance.set_permitted(node, std::move(paths));
+  }
+  return instance;
+}
+
+SppInstance make_mutual_transit_spp(
+    const Graph& graph, AsId destination,
+    const std::vector<std::pair<AsId, AsId>>& mutual_transit,
+    const GaoRexfordOptions& options) {
+  util::require(destination < graph.num_ases(),
+                "make_mutual_transit_spp: destination out of range");
+  const auto is_mutual = [&mutual_transit](AsId x, AsId y) {
+    for (const auto& [a, b] : mutual_transit) {
+      if ((a == x && b == y) || (a == y && b == x)) {
+        return true;
+      }
+    }
+    return false;
+  };
+  // The mutual-transit agreement lets a party re-climb to its providers
+  // right after crossing the agreement peering link: the partner's traffic
+  // is forwarded into the party's providers (GRC violation of §II).
+  const StepRule rule{[&graph, &is_mutual](AsId cur, AsId next, Phase phase,
+                                           Phase& next_phase) {
+    const auto role = graph.role_of(cur, next);
+    PANAGREE_ASSERT(role.has_value());
+    if (*role == NeighborRole::kPeer && phase == Phase::kClimbing &&
+        is_mutual(cur, next)) {
+      // Crossing the agreement link keeps the "climbing" right: the partner
+      // may hand the traffic to its own provider next (a strict superset of
+      // the plain valley-free peer step, which would force a descent).
+      next_phase = Phase::kClimbing;
+      return true;
+    }
+    return valley_free_step(graph, cur, next, phase, next_phase);
+  }};
+  SppInstance instance(graph.num_ases(), destination);
+  for (AsId node = 0; node < graph.num_ases(); ++node) {
+    if (node == destination) {
+      continue;
+    }
+    auto paths = enumerate_paths(graph, node, destination,
+                                 options.max_path_length, rule);
+    rank_paths(graph, paths, options.shorter_is_better);
+    instance.set_permitted(node, std::move(paths));
+  }
+  return instance;
+}
+
+}  // namespace panagree::bgp

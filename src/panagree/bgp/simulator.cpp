@@ -1,0 +1,84 @@
+#include "panagree/bgp/simulator.hpp"
+
+#include <set>
+
+namespace panagree::bgp {
+
+SpvpResult run_synchronous(const SppInstance& instance,
+                           std::size_t max_rounds) {
+  SpvpResult result;
+  result.assignment.assign(instance.num_nodes(), Path{});
+  result.assignment[instance.origin()] = Path{instance.origin()};
+
+  std::set<Assignment> seen;
+  seen.insert(result.assignment);
+
+  for (std::size_t round = 0; round < max_rounds; ++round) {
+    Assignment next(instance.num_nodes());
+    for (AsId node = 0; node < instance.num_nodes(); ++node) {
+      next[node] = best_available_path(instance, node, result.assignment);
+    }
+    result.steps = round + 1;
+    if (next == result.assignment) {
+      result.outcome = Outcome::kConverged;
+      return result;
+    }
+    result.assignment = std::move(next);
+    if (!seen.insert(result.assignment).second) {
+      result.outcome = Outcome::kOscillated;
+      return result;
+    }
+  }
+  result.outcome = Outcome::kOscillated;
+  return result;
+}
+
+SpvpResult run_random_activations(const SppInstance& instance, util::Rng& rng,
+                                  std::size_t max_steps) {
+  SpvpResult result;
+  result.assignment.assign(instance.num_nodes(), Path{});
+  result.assignment[instance.origin()] = Path{instance.origin()};
+
+  // Track how many consecutive activations changed nothing; once every node
+  // has been activated without change, re-check stability exactly.
+  for (std::size_t step = 0; step < max_steps; ++step) {
+    const AsId node =
+        static_cast<AsId>(rng.uniform_index(instance.num_nodes()));
+    Path best = best_available_path(instance, node, result.assignment);
+    result.steps = step + 1;
+    if (best != result.assignment[node]) {
+      result.assignment[node] = std::move(best);
+    } else if (step % instance.num_nodes() == 0 &&
+               is_stable(instance, result.assignment)) {
+      result.outcome = Outcome::kConverged;
+      return result;
+    }
+  }
+  if (is_stable(instance, result.assignment)) {
+    result.outcome = Outcome::kConverged;
+  } else {
+    result.outcome = Outcome::kOscillated;
+  }
+  return result;
+}
+
+SafetyReport check_safety(const SppInstance& instance, std::size_t trials,
+                          std::uint64_t seed, std::size_t max_steps) {
+  SafetyReport report;
+  report.trials = trials;
+  std::set<Assignment> outcomes;
+  for (std::size_t t = 0; t < trials; ++t) {
+    util::Rng rng(seed + t);
+    const SpvpResult result =
+        run_random_activations(instance, rng, max_steps);
+    if (result.outcome != Outcome::kConverged) {
+      report.always_converged = false;
+    } else {
+      outcomes.insert(result.assignment);
+    }
+  }
+  report.distinct_outcomes = outcomes.size();
+  return report;
+}
+
+}  // namespace panagree::bgp

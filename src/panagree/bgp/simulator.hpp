@@ -1,0 +1,54 @@
+// Simple Path Vector Protocol (SPVP) simulation over an SPP instance.
+//
+// Reproduces the §II stability arguments executably: Gao-Rexford instances
+// converge under any activation sequence, DISAGREE converges but
+// non-deterministically (two stable outcomes), and BAD GADGET oscillates
+// forever under fair activation.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+
+#include "panagree/bgp/spp.hpp"
+#include "panagree/util/rng.hpp"
+
+namespace panagree::bgp {
+
+enum class Outcome : std::uint8_t {
+  kConverged,   ///< reached a stable assignment
+  kOscillated,  ///< revisited a global state (synchronous) / step budget hit
+};
+
+struct SpvpResult {
+  Outcome outcome = Outcome::kOscillated;
+  Assignment assignment;  ///< final (converged) or last (oscillated) state
+  std::size_t steps = 0;  ///< rounds (synchronous) or activations (random)
+};
+
+/// Runs SPVP with synchronous rounds: every node simultaneously re-selects
+/// its best available path. Oscillation is detected exactly by revisiting a
+/// previously seen global state.
+[[nodiscard]] SpvpResult run_synchronous(const SppInstance& instance,
+                                         std::size_t max_rounds = 10000);
+
+/// Runs SPVP with uniformly random single-node activations (a fair
+/// activation sequence almost surely). Declares convergence when the
+/// current assignment is stable; gives up after `max_steps` activations.
+[[nodiscard]] SpvpResult run_random_activations(const SppInstance& instance,
+                                                util::Rng& rng,
+                                                std::size_t max_steps = 100000);
+
+/// Statistical safety check: runs `trials` random-activation simulations
+/// with distinct seeds and reports whether all converged and how many
+/// distinct stable outcomes were reached (DISAGREE: 2; safe instances: 1).
+struct SafetyReport {
+  bool always_converged = true;
+  std::size_t distinct_outcomes = 0;
+  std::size_t trials = 0;
+};
+
+[[nodiscard]] SafetyReport check_safety(const SppInstance& instance,
+                                        std::size_t trials, std::uint64_t seed,
+                                        std::size_t max_steps = 100000);
+
+}  // namespace panagree::bgp

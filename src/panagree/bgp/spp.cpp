@@ -1,0 +1,138 @@
+#include "panagree/bgp/spp.hpp"
+
+#include <algorithm>
+#include <set>
+
+namespace panagree::bgp {
+
+SppInstance::SppInstance(std::size_t num_nodes, AsId origin)
+    : origin_(origin), permitted_(num_nodes) {
+  util::require(origin < num_nodes, "SppInstance: origin out of range");
+  permitted_[origin] = {Path{origin}};
+}
+
+void SppInstance::set_permitted(AsId node, std::vector<Path> ranked) {
+  util::require(node < permitted_.size(), "set_permitted: node out of range");
+  util::require(node != origin_,
+                "set_permitted: the origin's path is fixed to itself");
+  for (const Path& p : ranked) {
+    util::require(!p.empty() && p.front() == node,
+                  "set_permitted: path must start at the owning node");
+    util::require(p.back() == origin_,
+                  "set_permitted: path must end at the origin");
+    std::set<AsId> seen(p.begin(), p.end());
+    util::require(seen.size() == p.size(),
+                  "set_permitted: path must be simple");
+  }
+  permitted_[node] = std::move(ranked);
+}
+
+const std::vector<Path>& SppInstance::permitted(AsId node) const {
+  util::require(node < permitted_.size(), "permitted: node out of range");
+  return permitted_[node];
+}
+
+int SppInstance::rank_of(AsId node, const Path& path) const {
+  const auto& paths = permitted(node);
+  for (std::size_t i = 0; i < paths.size(); ++i) {
+    if (paths[i] == path) {
+      return static_cast<int>(i);
+    }
+  }
+  return -1;
+}
+
+std::vector<AsId> SppInstance::next_hops(AsId node) const {
+  std::set<AsId> hops;
+  for (const Path& p : permitted(node)) {
+    if (p.size() >= 2) {
+      hops.insert(p[1]);
+    }
+  }
+  return {hops.begin(), hops.end()};
+}
+
+void SppInstance::validate() const {
+  for (AsId node = 0; node < permitted_.size(); ++node) {
+    std::set<Path> unique(permitted_[node].begin(), permitted_[node].end());
+    util::require(unique.size() == permitted_[node].size(),
+                  "SppInstance: duplicate permitted path");
+    if (node == origin_) {
+      util::require(permitted_[node] == std::vector<Path>{Path{origin_}},
+                    "SppInstance: origin must hold exactly its trivial path");
+    }
+  }
+}
+
+Path best_available_path(const SppInstance& instance, AsId node,
+                         const Assignment& assignment) {
+  if (node == instance.origin()) {
+    return Path{node};
+  }
+  // A permitted path u.v.rest is available iff v currently selects v.rest.
+  const auto& ranked = instance.permitted(node);
+  for (const Path& candidate : ranked) {
+    if (candidate.size() < 2) {
+      continue;  // only the origin owns a length-1 path
+    }
+    const AsId next = candidate[1];
+    const Path& next_path = assignment[next];
+    if (next_path.size() + 1 == candidate.size() &&
+        std::equal(next_path.begin(), next_path.end(),
+                   candidate.begin() + 1)) {
+      return candidate;
+    }
+  }
+  return {};
+}
+
+bool is_stable(const SppInstance& instance, const Assignment& assignment) {
+  util::require(assignment.size() == instance.num_nodes(),
+                "is_stable: assignment size mismatch");
+  for (AsId node = 0; node < instance.num_nodes(); ++node) {
+    if (best_available_path(instance, node, assignment) != assignment[node]) {
+      return false;
+    }
+  }
+  return true;
+}
+
+namespace {
+
+void enumerate(const SppInstance& instance, AsId node, Assignment& current,
+               std::vector<Assignment>& found, std::size_t limit) {
+  if (found.size() >= limit) {
+    return;
+  }
+  if (node == instance.num_nodes()) {
+    if (is_stable(instance, current)) {
+      found.push_back(current);
+    }
+    return;
+  }
+  if (node == instance.origin()) {
+    current[node] = Path{node};
+    enumerate(instance, node + 1, current, found, limit);
+    return;
+  }
+  // Try the empty path and every permitted path.
+  current[node] = {};
+  enumerate(instance, node + 1, current, found, limit);
+  for (const Path& p : instance.permitted(node)) {
+    current[node] = p;
+    enumerate(instance, node + 1, current, found, limit);
+  }
+  current[node] = {};
+}
+
+}  // namespace
+
+std::vector<Assignment> find_stable_solutions(const SppInstance& instance,
+                                              std::size_t limit) {
+  std::vector<Assignment> found;
+  Assignment current(instance.num_nodes());
+  enumerate(instance, 0, current, found, limit);
+  return found;
+}
+
+}  // namespace panagree::bgp

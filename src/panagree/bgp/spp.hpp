@@ -1,0 +1,69 @@
+// The Stable Paths Problem (SPP) of Griffin, Shepherd & Wilfong, the formal
+// model behind the paper's §II stability discussion.
+//
+// An SPP instance fixes one destination (the origin) and, for every other
+// node, an ordered list of permitted paths to the origin (most preferred
+// first). BGP-style route selection is the Simple Path Vector Protocol
+// (SPVP) over this structure; see simulator.hpp. DISAGREE, BAD GADGET and
+// the BGP-wedgie instances of §II are built in gadgets.hpp, and Gao-Rexford
+// policies are compiled into SPP instances in policy.hpp.
+#pragma once
+
+#include <vector>
+
+#include "panagree/topology/graph.hpp"
+
+namespace panagree::bgp {
+
+using topology::AsId;
+
+/// A path is the node sequence from its owner to the origin (inclusive).
+/// The empty path means "no route".
+using Path = std::vector<AsId>;
+
+class SppInstance {
+ public:
+  /// Creates an instance over nodes [0, num_nodes) with the given origin.
+  SppInstance(std::size_t num_nodes, AsId origin);
+
+  /// Sets the ranked permitted paths of `node` (most preferred first).
+  /// Every path must start at `node`, end at the origin, and be simple.
+  void set_permitted(AsId node, std::vector<Path> ranked);
+
+  [[nodiscard]] const std::vector<Path>& permitted(AsId node) const;
+  [[nodiscard]] AsId origin() const { return origin_; }
+  [[nodiscard]] std::size_t num_nodes() const { return permitted_.size(); }
+
+  /// Rank of `path` at `node` (0 = most preferred); -1 if not permitted.
+  [[nodiscard]] int rank_of(AsId node, const Path& path) const;
+
+  /// Neighbors of `node` that appear as next hops in its permitted paths.
+  [[nodiscard]] std::vector<AsId> next_hops(AsId node) const;
+
+  /// Checks structural well-formedness; throws util::PreconditionError.
+  void validate() const;
+
+ private:
+  AsId origin_;
+  std::vector<std::vector<Path>> permitted_;
+};
+
+/// A path assignment: one selected path (possibly empty) per node.
+using Assignment = std::vector<Path>;
+
+/// The path `node` would select given the neighbors' current paths: the
+/// best-ranked permitted path of the form node . assignment[next_hop].
+/// Returns the empty path if nothing is available.
+[[nodiscard]] Path best_available_path(const SppInstance& instance, AsId node,
+                                       const Assignment& assignment);
+
+/// True iff every node's selected path is its best available path.
+[[nodiscard]] bool is_stable(const SppInstance& instance,
+                             const Assignment& assignment);
+
+/// Exhaustively enumerates all stable assignments (exponential; intended for
+/// gadget-sized instances). Stops after `limit` solutions.
+[[nodiscard]] std::vector<Assignment> find_stable_solutions(
+    const SppInstance& instance, std::size_t limit = 16);
+
+}  // namespace panagree::bgp

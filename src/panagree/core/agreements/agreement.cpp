@@ -1,0 +1,146 @@
+#include "panagree/core/agreements/agreement.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace panagree::agreements {
+
+std::vector<AsId> AccessGrant::all() const {
+  std::vector<AsId> out;
+  out.reserve(providers.size() + peers.size() + customers.size());
+  out.insert(out.end(), providers.begin(), providers.end());
+  out.insert(out.end(), peers.begin(), peers.end());
+  out.insert(out.end(), customers.begin(), customers.end());
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+bool Agreement::violates_grc() const {
+  return !grant_x.providers.empty() || !grant_x.peers.empty() ||
+         !grant_y.providers.empty() || !grant_y.peers.empty();
+}
+
+namespace {
+
+void validate_grant(const Graph& graph, const AccessGrant& grant,
+                    AsId partner) {
+  util::require(grant.grantor < graph.num_ases(),
+                "Agreement: grantor out of range");
+  const auto is_in = [](const std::vector<AsId>& set, AsId as) {
+    return std::find(set.begin(), set.end(), as) != set.end();
+  };
+  for (const AsId p : grant.providers) {
+    util::require(is_in(graph.providers(grant.grantor), p),
+                  "Agreement: granted provider is not a provider");
+    util::require(p != partner, "Agreement: cannot grant the partner itself");
+  }
+  for (const AsId p : grant.peers) {
+    util::require(is_in(graph.peers(grant.grantor), p),
+                  "Agreement: granted peer is not a peer");
+    util::require(p != partner, "Agreement: cannot grant the partner itself");
+  }
+  for (const AsId c : grant.customers) {
+    util::require(is_in(graph.customers(grant.grantor), c),
+                  "Agreement: granted customer is not a customer");
+    util::require(c != partner, "Agreement: cannot grant the partner itself");
+  }
+}
+
+void append_set(std::ostringstream& os, const char* prefix,
+                const std::vector<AsId>& set, const Graph& graph,
+                bool& first) {
+  if (set.empty()) {
+    return;
+  }
+  if (!first) {
+    os << ", ";
+  }
+  first = false;
+  os << prefix << "{";
+  for (std::size_t i = 0; i < set.size(); ++i) {
+    if (i > 0) {
+      os << ",";
+    }
+    os << graph.info(set[i]).name;
+  }
+  os << "}";
+}
+
+void append_grant(std::ostringstream& os, const AccessGrant& grant,
+                  const Graph& graph) {
+  os << graph.info(grant.grantor).name << "(";
+  bool first = true;
+  append_set(os, "^", grant.providers, graph, first);
+  append_set(os, "->", grant.peers, graph, first);
+  append_set(os, "v", grant.customers, graph, first);
+  os << ")";
+}
+
+}  // namespace
+
+void Agreement::validate(const Graph& graph) const {
+  util::require(x() != y(), "Agreement: parties must differ");
+  validate_grant(graph, grant_x, y());
+  validate_grant(graph, grant_y, x());
+}
+
+std::string Agreement::to_string(const Graph& graph) const {
+  std::ostringstream os;
+  os << "[";
+  append_grant(os, grant_x, graph);
+  os << "; ";
+  append_grant(os, grant_y, graph);
+  os << "]";
+  return os.str();
+}
+
+std::vector<std::vector<AsId>> new_segments_for(const Agreement& agreement,
+                                                AsId party) {
+  util::require(party == agreement.x() || party == agreement.y(),
+                "new_segments_for: not a party to the agreement");
+  const AccessGrant& partner_grant =
+      party == agreement.x() ? agreement.grant_y : agreement.grant_x;
+  std::vector<std::vector<AsId>> segments;
+  for (const AsId z : partner_grant.all()) {
+    if (z == party) {
+      continue;
+    }
+    segments.push_back({party, partner_grant.grantor, z});
+  }
+  return segments;
+}
+
+std::vector<pan::Crossing> to_crossings(const Agreement& agreement,
+                                        const Graph& graph) {
+  agreement.validate(graph);
+  std::vector<pan::Crossing> crossings;
+  const auto add_side = [&](const AccessGrant& grant, AsId beneficiary) {
+    const auto cone = topology::customer_cone(graph, beneficiary);
+    const std::set<AsId> sources(cone.begin(), cone.end());
+    for (const AsId z : grant.all()) {
+      if (z == beneficiary) {
+        continue;
+      }
+      pan::Crossing c;
+      c.at = grant.grantor;
+      c.from = beneficiary;
+      c.to = z;
+      c.allowed_sources = sources;
+      crossings.push_back(std::move(c));
+      // The reverse direction (traffic returning from Z toward the
+      // beneficiary's cone) is equally authorized by the grant.
+      pan::Crossing back;
+      back.at = grant.grantor;
+      back.from = z;
+      back.to = beneficiary;
+      back.allowed_sources = {};  // checked at the far end by path policy
+      crossings.push_back(std::move(back));
+    }
+  };
+  add_side(agreement.grant_x, agreement.y());
+  add_side(agreement.grant_y, agreement.x());
+  return crossings;
+}
+
+}  // namespace panagree::agreements

@@ -1,0 +1,70 @@
+// Interconnection agreements (Eq. 2 of §III-B):
+//
+//   a = [ X(^pi'_X, ->eps'_X, v gamma'_X) ; Y(^pi'_Y, ->eps'_Y, v gamma'_Y) ]
+//
+// where each side grants the *other* party access to a subset of its own
+// providers (pi'), peers (eps'), and customers (gamma'). Classic peering
+// grants customers only; mutuality-based agreements (MAs) also grant
+// providers and peers, which violates the GRC and is only viable in a PAN.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "panagree/pan/path_construction.hpp"
+#include "panagree/topology/graph.hpp"
+
+namespace panagree::agreements {
+
+using topology::AsId;
+using topology::Graph;
+
+/// One side of an agreement: the neighbors of `grantor` that the partner
+/// gains access to.
+struct AccessGrant {
+  AsId grantor = topology::kInvalidAs;
+  std::vector<AsId> providers;  ///< pi'  subset of pi(grantor)
+  std::vector<AsId> peers;      ///< eps' subset of eps(grantor)
+  std::vector<AsId> customers;  ///< gamma' subset of gamma(grantor)
+
+  /// a_X = pi' | eps' | gamma' (sorted, deduplicated).
+  [[nodiscard]] std::vector<AsId> all() const;
+
+  [[nodiscard]] bool empty() const {
+    return providers.empty() && peers.empty() && customers.empty();
+  }
+};
+
+/// A bilateral agreement between grant_x.grantor (X) and grant_y.grantor (Y).
+struct Agreement {
+  AccessGrant grant_x;  ///< what X grants to Y
+  AccessGrant grant_y;  ///< what Y grants to X
+
+  [[nodiscard]] AsId x() const { return grant_x.grantor; }
+  [[nodiscard]] AsId y() const { return grant_y.grantor; }
+
+  /// True iff any provider or peer is granted (the GRC-violating part that
+  /// needs a PAN, §III-B2).
+  [[nodiscard]] bool violates_grc() const;
+
+  /// Checks that parties differ and all granted sets are genuine subsets of
+  /// the grantor's neighbor sets; throws util::PreconditionError otherwise.
+  void validate(const Graph& graph) const;
+
+  /// Human-readable form, e.g. "[D(^{A}); E(^{B}, ->{F})]".
+  [[nodiscard]] std::string to_string(const Graph& graph) const;
+};
+
+/// New 3-AS path segments the agreement creates for `party` (one per
+/// destination granted by the partner): party - partner - Z.
+[[nodiscard]] std::vector<std::vector<AsId>> new_segments_for(
+    const Agreement& agreement, AsId party);
+
+/// Compiles the agreement into PAN forwarding-plane crossings. Each grant
+/// "X lets Y reach Z" becomes a crossing at X from Y to Z. Per §III-B3 the
+/// parties extend the new segments only to their own customers, so the
+/// allowed sources of each crossing are the beneficiary's customer cone.
+[[nodiscard]] std::vector<pan::Crossing> to_crossings(
+    const Agreement& agreement, const Graph& graph);
+
+}  // namespace panagree::agreements

@@ -1,0 +1,40 @@
+#include "panagree/core/agreements/enumeration.hpp"
+
+#include <algorithm>
+
+#include "panagree/core/agreements/mutuality.hpp"
+
+namespace panagree::agreements {
+
+std::vector<Agreement> enumerate_all_mas(const Graph& graph) {
+  std::vector<Agreement> out;
+  for (const topology::Link& link : graph.links()) {
+    if (link.type != topology::LinkType::kPeering) {
+      continue;
+    }
+    Agreement a = make_mutuality_agreement(graph, link.a, link.b);
+    if (!a.grant_x.empty() || !a.grant_y.empty()) {
+      out.push_back(std::move(a));
+    }
+  }
+  return out;
+}
+
+std::vector<RankedMa> rank_mas_for(const Graph& graph, AsId as) {
+  util::require(as < graph.num_ases(), "rank_mas_for: AS out of range");
+  std::vector<RankedMa> ranked;
+  ranked.reserve(graph.peers(as).size());
+  for (const AsId peer : graph.peers(as)) {
+    ranked.push_back(RankedMa{peer, ma_gain_for(graph, as, peer)});
+  }
+  std::sort(ranked.begin(), ranked.end(),
+            [](const RankedMa& a, const RankedMa& b) {
+              if (a.new_destinations != b.new_destinations) {
+                return a.new_destinations > b.new_destinations;
+              }
+              return a.peer < b.peer;
+            });
+  return ranked;
+}
+
+}  // namespace panagree::agreements

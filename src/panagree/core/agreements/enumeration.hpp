@@ -1,0 +1,26 @@
+// Whole-topology MA enumeration (§VI): one mutuality-based agreement per
+// peer pair. For Internet-scale graphs the diversity analysis works from
+// the implicit MA rule instead (panagree/diversity), so materialization is
+// optional; the ranked per-AS view feeds the "Top n" scenarios.
+#pragma once
+
+#include <vector>
+
+#include "panagree/core/agreements/agreement.hpp"
+
+namespace panagree::agreements {
+
+/// All MAs of the topology (one per peer pair with at least one non-empty
+/// grant). Quadratic in peer degree; intended for small/medium graphs.
+[[nodiscard]] std::vector<Agreement> enumerate_all_mas(const Graph& graph);
+
+/// A candidate MA of `as` with one of its peers, ranked by direct gain.
+struct RankedMa {
+  AsId peer = topology::kInvalidAs;
+  std::size_t new_destinations = 0;  ///< destinations `as` would gain
+};
+
+/// Candidate MAs of `as` sorted by descending gain (ties by peer id).
+[[nodiscard]] std::vector<RankedMa> rank_mas_for(const Graph& graph, AsId as);
+
+}  // namespace panagree::agreements

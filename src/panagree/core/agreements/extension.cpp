@@ -1,0 +1,78 @@
+#include "panagree/core/agreements/extension.hpp"
+
+#include <algorithm>
+
+namespace panagree::agreements {
+
+AgreementId AgreementRegistry::register_agreement(
+    Agreement agreement, std::vector<FlowAllowance> allowances) {
+  for (const FlowAllowance& allowance : allowances) {
+    util::require(allowance.total >= 0.0,
+                  "register_agreement: allowance must be non-negative");
+    util::require(allowance.segment.size() >= 2,
+                  "register_agreement: allowance segment too short");
+    util::require(allowance.used == 0.0,
+                  "register_agreement: allowance must start unused");
+  }
+  entries_.push_back(Entry{std::move(agreement), std::move(allowances)});
+  return entries_.size() - 1;
+}
+
+const Agreement& AgreementRegistry::agreement(AgreementId id) const {
+  util::require(id < entries_.size(), "AgreementRegistry: bad id");
+  return entries_[id].agreement;
+}
+
+const std::vector<FlowAllowance>& AgreementRegistry::allowances(
+    AgreementId id) const {
+  util::require(id < entries_.size(), "AgreementRegistry: bad id");
+  return entries_[id].allowances;
+}
+
+std::optional<double> AgreementRegistry::remaining(
+    AgreementId id, const std::vector<AsId>& segment) const {
+  util::require(id < entries_.size(), "AgreementRegistry: bad id");
+  for (const FlowAllowance& allowance : entries_[id].allowances) {
+    if (allowance.segment == segment) {
+      return allowance.remaining();
+    }
+  }
+  return std::nullopt;
+}
+
+bool AgreementRegistry::try_register_extension(const Graph& graph,
+                                               Extension extension) {
+  util::require(extension.parent < entries_.size(),
+                "try_register_extension: bad parent id");
+  util::require(extension.volume >= 0.0,
+                "try_register_extension: volume must be non-negative");
+  Entry& parent = entries_[extension.parent];
+  util::require(extension.party == parent.agreement.x() ||
+                    extension.party == parent.agreement.y(),
+                "try_register_extension: party not part of the parent");
+  // The extended segment must be beneficiary . parent-segment.
+  if (extension.extended_segment.size() < 3 ||
+      extension.extended_segment.front() != extension.beneficiary ||
+      extension.extended_segment[1] != extension.party) {
+    return false;
+  }
+  if (!graph.link_between(extension.beneficiary, extension.party)) {
+    return false;
+  }
+  const std::vector<AsId> parent_segment(
+      extension.extended_segment.begin() + 1,
+      extension.extended_segment.end());
+  for (FlowAllowance& allowance : parent.allowances) {
+    if (allowance.segment == parent_segment) {
+      if (allowance.remaining() + 1e-12 < extension.volume) {
+        return false;  // would violate the parent's conditions (§III-B3)
+      }
+      allowance.used += extension.volume;
+      extensions_.push_back(std::move(extension));
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace panagree::agreements

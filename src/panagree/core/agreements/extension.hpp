@@ -1,0 +1,76 @@
+// Agreement-path extension (§III-B3).
+//
+// New path segments created by an agreement can themselves become the
+// matter of further agreements (the paper's a' between E and F extending
+// E's segment EDA). Extensions are interdependent with their parent: the
+// parent's flow-volume allowances must still be respected. The registry
+// tracks concluded agreements, their per-segment allowances, and the
+// consumption charged by extensions.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "panagree/core/agreements/agreement.hpp"
+
+namespace panagree::agreements {
+
+using AgreementId = std::size_t;
+
+/// A flow-volume allowance on one agreement path segment (the f^(a)_P of
+/// Eq. 9, fixed at conclusion).
+struct FlowAllowance {
+  std::vector<AsId> segment;
+  double total = 0.0;
+  double used = 0.0;
+
+  [[nodiscard]] double remaining() const { return total - used; }
+};
+
+/// An extension: `beneficiary` (a neighbor of `party`) gains access to the
+/// parent segment, extended by its own hop.
+struct Extension {
+  AgreementId parent = 0;
+  AsId party = topology::kInvalidAs;        ///< the parent-party granting it
+  AsId beneficiary = topology::kInvalidAs;  ///< who gains the extended path
+  std::vector<AsId> extended_segment;       ///< beneficiary + parent segment
+  double volume = 0.0;
+};
+
+class AgreementRegistry {
+ public:
+  /// Registers a concluded agreement with its per-segment allowances.
+  AgreementId register_agreement(Agreement agreement,
+                                 std::vector<FlowAllowance> allowances);
+
+  [[nodiscard]] const Agreement& agreement(AgreementId id) const;
+  [[nodiscard]] const std::vector<FlowAllowance>& allowances(
+      AgreementId id) const;
+  [[nodiscard]] std::size_t size() const { return entries_.size(); }
+
+  /// Remaining allowance on `segment` of agreement `id` (nullopt if the
+  /// segment is not part of the agreement).
+  [[nodiscard]] std::optional<double> remaining(
+      AgreementId id, const std::vector<AsId>& segment) const;
+
+  /// Tries to conclude an extension: checks that the extended segment is
+  /// the beneficiary's hop prepended to a parent segment, that the
+  /// beneficiary neighbors the party, and that the parent allowance covers
+  /// the volume. On success the allowance is consumed and true returned.
+  bool try_register_extension(const Graph& graph, Extension extension);
+
+  [[nodiscard]] const std::vector<Extension>& extensions() const {
+    return extensions_;
+  }
+
+ private:
+  struct Entry {
+    Agreement agreement;
+    std::vector<FlowAllowance> allowances;
+  };
+  std::vector<Entry> entries_;
+  std::vector<Extension> extensions_;
+};
+
+}  // namespace panagree::agreements

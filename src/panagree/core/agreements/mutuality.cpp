@@ -1,0 +1,64 @@
+#include "panagree/core/agreements/mutuality.hpp"
+
+#include <algorithm>
+
+namespace panagree::agreements {
+
+namespace {
+
+/// Fills `grant` with the providers/peers of the grantor that the
+/// beneficiary may newly reach: everything that is not the beneficiary
+/// itself and not one of the beneficiary's customers.
+void fill_ma_grant(const Graph& graph, AccessGrant& grant, AsId beneficiary) {
+  const auto excluded = [&](AsId z) {
+    return z == beneficiary ||
+           graph.role_of(beneficiary, z) == topology::NeighborRole::kCustomer;
+  };
+  for (const AsId p : graph.providers(grant.grantor)) {
+    if (!excluded(p)) {
+      grant.providers.push_back(p);
+    }
+  }
+  for (const AsId p : graph.peers(grant.grantor)) {
+    if (!excluded(p)) {
+      grant.peers.push_back(p);
+    }
+  }
+  std::sort(grant.providers.begin(), grant.providers.end());
+  std::sort(grant.peers.begin(), grant.peers.end());
+}
+
+}  // namespace
+
+Agreement make_mutuality_agreement(const Graph& graph, AsId x, AsId y) {
+  util::require(graph.are_peers(x, y),
+                "make_mutuality_agreement: parties must be peers");
+  Agreement a;
+  a.grant_x.grantor = x;
+  a.grant_y.grantor = y;
+  fill_ma_grant(graph, a.grant_x, y);
+  fill_ma_grant(graph, a.grant_y, x);
+  return a;
+}
+
+std::size_t ma_gain_for(const Graph& graph, AsId x, AsId y) {
+  util::require(graph.are_peers(x, y), "ma_gain_for: parties must be peers");
+  std::size_t gain = 0;
+  const auto counted = [&](AsId z) {
+    return z != x &&
+           graph.role_of(x, z) != topology::NeighborRole::kCustomer;
+  };
+  for (const AsId p : graph.providers(y)) {
+    if (counted(p)) {
+      ++gain;
+    }
+  }
+  for (const AsId p : graph.peers(y)) {
+    if (counted(p)) {
+      ++gain;
+    }
+  }
+  return gain;
+}
+
+}  // namespace panagree::agreements

@@ -1,0 +1,23 @@
+// Mutuality-based agreements (MAs, §III-B2 and §VI).
+//
+// The paper's §VI generation rule: "For every pair (A, B) of peers, we
+// generate an MA in which A gives B access to all its providers and peers
+// which are not customers of B, and vice versa."
+#pragma once
+
+#include "panagree/core/agreements/agreement.hpp"
+
+namespace panagree::agreements {
+
+/// Builds the §VI mutuality-based agreement for a peer pair (x, y).
+/// Throws if x and y are not peers.
+[[nodiscard]] Agreement make_mutuality_agreement(const Graph& graph, AsId x,
+                                                 AsId y);
+
+/// Number of destinations x would gain from an MA with its peer y (the
+/// providers+peers of y that are neither x itself nor customers of x).
+/// Used to rank candidate MAs (the "Top n" analysis of Figures 3-4) without
+/// materializing the agreement.
+[[nodiscard]] std::size_t ma_gain_for(const Graph& graph, AsId x, AsId y);
+
+}  // namespace panagree::agreements

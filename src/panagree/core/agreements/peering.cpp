@@ -1,0 +1,29 @@
+#include "panagree/core/agreements/peering.hpp"
+
+#include <algorithm>
+
+namespace panagree::agreements {
+
+Agreement make_classic_peering(const Graph& graph, AsId x, AsId y) {
+  util::require(x < graph.num_ases() && y < graph.num_ases(),
+                "make_classic_peering: AS out of range");
+  util::require(x != y, "make_classic_peering: parties must differ");
+  Agreement a;
+  a.grant_x.grantor = x;
+  a.grant_y.grantor = y;
+  for (const AsId c : graph.customers(x)) {
+    if (c != y) {
+      a.grant_x.customers.push_back(c);
+    }
+  }
+  for (const AsId c : graph.customers(y)) {
+    if (c != x) {
+      a.grant_y.customers.push_back(c);
+    }
+  }
+  std::sort(a.grant_x.customers.begin(), a.grant_x.customers.end());
+  std::sort(a.grant_y.customers.begin(), a.grant_y.customers.end());
+  return a;
+}
+
+}  // namespace panagree::agreements

@@ -1,0 +1,16 @@
+// Classic peering agreements (§III-B1): both parties grant access to all of
+// their customers - the GRC-conforming baseline against which mutuality-
+// based agreements are compared.
+#pragma once
+
+#include "panagree/core/agreements/agreement.hpp"
+
+namespace panagree::agreements {
+
+/// Builds ap = [X(v gamma(X)); Y(v gamma(Y))]. The parties need not be
+/// peers yet (the agreement is what creates the peering link), but both
+/// must exist in the graph.
+[[nodiscard]] Agreement make_classic_peering(const Graph& graph, AsId x,
+                                             AsId y);
+
+}  // namespace panagree::agreements

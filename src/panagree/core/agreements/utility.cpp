@@ -1,0 +1,57 @@
+#include "panagree/core/agreements/utility.hpp"
+
+namespace panagree::agreements {
+
+econ::TrafficAllocation TrafficShift::as_delta() const {
+  econ::TrafficAllocation delta;
+  for (const Reroute& r : reroutes) {
+    util::require(r.volume >= 0.0, "TrafficShift: reroute volume must be >= 0");
+    util::require(!r.old_path.empty() && !r.new_path.empty(),
+                  "TrafficShift: reroute paths must be non-empty");
+    util::require(r.old_path.front() == r.new_path.front() &&
+                      r.old_path.back() == r.new_path.back(),
+                  "TrafficShift: reroute must keep the same endpoints");
+    delta.add_path_flow(r.old_path, -r.volume);
+    delta.add_path_flow(r.new_path, r.volume);
+  }
+  for (const NewDemand& d : new_demands) {
+    util::require(d.volume >= 0.0,
+                  "TrafficShift: new demand volume must be >= 0");
+    delta.add_path_flow(d.path, d.volume);
+  }
+  return delta;
+}
+
+AgreementEvaluator::AgreementEvaluator(const econ::Economy& economy,
+                                       const econ::TrafficAllocation& base)
+    : economy_(&economy), base_(&base) {}
+
+econ::TrafficAllocation AgreementEvaluator::apply(
+    const TrafficShift& shift) const {
+  econ::TrafficAllocation combined = *base_;
+  combined.merge(shift.as_delta());
+  return combined;
+}
+
+double AgreementEvaluator::utility_change(AsId party,
+                                          const TrafficShift& shift) const {
+  const econ::TrafficAllocation after = apply(shift);
+  return economy_->utility(party, after) - economy_->utility(party, *base_);
+}
+
+double AgreementEvaluator::joint_utility_change(
+    AsId x, AsId y, const TrafficShift& shift) const {
+  const econ::TrafficAllocation after = apply(shift);
+  const double ux =
+      economy_->utility(x, after) - economy_->utility(x, *base_);
+  const double uy =
+      economy_->utility(y, after) - economy_->utility(y, *base_);
+  return ux + uy;
+}
+
+double AgreementEvaluator::utility_after(AsId party,
+                                         const TrafficShift& shift) const {
+  return economy_->utility(party, apply(shift));
+}
+
+}  // namespace panagree::agreements

@@ -1,0 +1,67 @@
+// Agreement utility (Eq. 3 and Eq. 7): u_X(a) = U_X(f^(a)) - U_X(f).
+//
+// An agreement changes an AS's traffic distribution in two ways (Eq. 7c):
+// existing flows are rerouted from provider paths onto the new agreement
+// segments, and new customer traffic is attracted onto them. A TrafficShift
+// captures both; AgreementEvaluator applies it to a base allocation and
+// evaluates the utility difference under the Economy.
+#pragma once
+
+#include <vector>
+
+#include "panagree/core/agreements/agreement.hpp"
+#include "panagree/econ/business.hpp"
+
+namespace panagree::agreements {
+
+/// An existing flow moved from old_path to new_path (same endpoints).
+struct Reroute {
+  std::vector<AsId> old_path;
+  std::vector<AsId> new_path;
+  double volume = 0.0;
+};
+
+/// Newly attracted customer traffic on an agreement path.
+struct NewDemand {
+  std::vector<AsId> path;
+  double volume = 0.0;
+};
+
+/// The full traffic effect of an agreement.
+struct TrafficShift {
+  std::vector<Reroute> reroutes;
+  std::vector<NewDemand> new_demands;
+
+  /// The shift as a TrafficAllocation delta (negative on old paths).
+  [[nodiscard]] econ::TrafficAllocation as_delta() const;
+};
+
+class AgreementEvaluator {
+ public:
+  /// Both references must outlive the evaluator.
+  AgreementEvaluator(const econ::Economy& economy,
+                     const econ::TrafficAllocation& base);
+
+  /// u_party(a): utility difference induced by the shift (Eq. 3).
+  [[nodiscard]] double utility_change(AsId party,
+                                      const TrafficShift& shift) const;
+
+  /// u_X(a) + u_Y(a): the joint surplus that cash compensation splits.
+  [[nodiscard]] double joint_utility_change(AsId x, AsId y,
+                                            const TrafficShift& shift) const;
+
+  /// Absolute utility of `party` after applying the shift.
+  [[nodiscard]] double utility_after(AsId party,
+                                     const TrafficShift& shift) const;
+
+  [[nodiscard]] const econ::Economy& economy() const { return *economy_; }
+  [[nodiscard]] const econ::TrafficAllocation& base() const { return *base_; }
+
+ private:
+  [[nodiscard]] econ::TrafficAllocation apply(const TrafficShift& shift) const;
+
+  const econ::Economy* economy_;
+  const econ::TrafficAllocation* base_;
+};
+
+}  // namespace panagree::agreements

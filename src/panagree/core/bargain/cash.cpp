@@ -1,0 +1,17 @@
+#include "panagree/core/bargain/cash.hpp"
+
+namespace panagree::bargain {
+
+std::optional<CashDeal> negotiate_cash(double u_x, double u_y) {
+  const double surplus = u_x + u_y;
+  if (surplus < 0.0) {
+    return std::nullopt;
+  }
+  CashDeal deal;
+  deal.transfer_x_to_y = u_x - surplus / 2.0;  // Eq. (11)
+  deal.u_x_after = u_x - deal.transfer_x_to_y;
+  deal.u_y_after = u_y + deal.transfer_x_to_y;
+  return deal;
+}
+
+}  // namespace panagree::bargain

@@ -1,0 +1,30 @@
+// Cash-compensation agreements (§IV-B).
+//
+// Instead of limiting flow volumes, the parties agree on a cash transfer
+// Pi_{X->Y} that maximizes (u_X - Pi)(u_Y + Pi) subject to both
+// after-transfer utilities being non-negative (Eq. 10). The problem has a
+// solution iff u_X + u_Y >= 0, in which case the Nash Bargaining Solution
+// (Eq. 11) applies:
+//
+//     Pi_{X->Y} = u_X - (u_X + u_Y) / 2,
+//
+// i.e. both parties end up with half the joint surplus.
+#pragma once
+
+#include <optional>
+
+namespace panagree::bargain {
+
+struct CashDeal {
+  /// Positive: X pays Y; negative: Y pays X.
+  double transfer_x_to_y = 0.0;
+  double u_x_after = 0.0;
+  double u_y_after = 0.0;
+};
+
+/// Negotiates the optimal cash compensation for raw agreement utilities
+/// (u_x, u_y). Returns nullopt iff the agreement is not viable
+/// (u_x + u_y < 0), the case where no transfer can make both sides whole.
+[[nodiscard]] std::optional<CashDeal> negotiate_cash(double u_x, double u_y);
+
+}  // namespace panagree::bargain

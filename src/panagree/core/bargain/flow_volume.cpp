@@ -1,0 +1,137 @@
+#include "panagree/core/bargain/flow_volume.hpp"
+
+#include <algorithm>
+
+namespace panagree::bargain {
+
+namespace {
+
+std::size_t variable_count(const FlowVolumeProblem& problem) {
+  return 2 * (problem.x_segments.size() + problem.y_segments.size());
+}
+
+void validate_problem(const FlowVolumeProblem& problem) {
+  util::require(problem.party_x != problem.party_y,
+                "FlowVolumeProblem: parties must differ");
+  const auto check = [](const std::vector<SegmentOption>& segments) {
+    for (const SegmentOption& s : segments) {
+      util::require(s.new_path.size() >= 2,
+                    "FlowVolumeProblem: new path too short");
+      util::require(s.old_path.size() >= 2,
+                    "FlowVolumeProblem: old path too short");
+      util::require(s.new_path.front() == s.old_path.front() &&
+                        s.new_path.back() == s.old_path.back(),
+                    "FlowVolumeProblem: reroute must keep endpoints");
+      util::require(s.reroutable >= 0.0 && s.max_new_demand >= 0.0,
+                    "FlowVolumeProblem: volumes must be non-negative");
+    }
+  };
+  check(problem.x_segments);
+  check(problem.y_segments);
+}
+
+}  // namespace
+
+agreements::TrafficShift shift_for_variables(
+    const FlowVolumeProblem& problem, const std::vector<double>& variables) {
+  util::require(variables.size() == variable_count(problem),
+                "shift_for_variables: variable count mismatch");
+  agreements::TrafficShift shift;
+  std::size_t v = 0;
+  const auto add_segments = [&](const std::vector<SegmentOption>& segments) {
+    for (const SegmentOption& s : segments) {
+      const double reroute = std::max(0.0, variables[v++]);
+      const double attracted = std::max(0.0, variables[v++]);
+      if (reroute > 0.0) {
+        shift.reroutes.push_back(
+            agreements::Reroute{s.old_path, s.new_path, reroute});
+      }
+      if (attracted > 0.0) {
+        shift.new_demands.push_back(
+            agreements::NewDemand{s.new_path, attracted});
+      }
+    }
+  };
+  add_segments(problem.x_segments);
+  add_segments(problem.y_segments);
+  return shift;
+}
+
+FlowVolumeSolution solve_flow_volume(const FlowVolumeProblem& problem,
+                                     const AgreementEvaluator& evaluator,
+                                     const FlowVolumeSolverOptions& options) {
+  validate_problem(problem);
+  const std::size_t n = variable_count(problem);
+
+  FlowVolumeSolution solution;
+  if (n == 0) {
+    return solution;  // nothing to agree on
+  }
+
+  Box box;
+  box.lower.assign(n, 0.0);
+  box.upper.reserve(n);
+  const auto push_bounds = [&](const std::vector<SegmentOption>& segments) {
+    for (const SegmentOption& s : segments) {
+      box.upper.push_back(s.reroutable);
+      box.upper.push_back(s.max_new_demand);
+    }
+  };
+  push_bounds(problem.x_segments);
+  push_bounds(problem.y_segments);
+
+  const double eps = options.epsilon;
+  const Objective objective = [&](const std::vector<double>& vars) {
+    const agreements::TrafficShift shift = shift_for_variables(problem, vars);
+    const double u_x = evaluator.utility_change(problem.party_x, shift);
+    const double u_y = evaluator.utility_change(problem.party_y, shift);
+    if (u_x >= -eps && u_y >= -eps) {
+      return std::max(0.0, u_x) * std::max(0.0, u_y);
+    }
+    // Infeasible: steer back towards the feasible region.
+    return -(std::max(0.0, -u_x) + std::max(0.0, -u_y));
+  };
+
+  OptimizationResult best = maximize_multistart(
+      objective, box, options.random_starts, options.seed, options.nelder_mead);
+
+  // The all-zero point (no agreement) is always feasible with N = 0; it is
+  // the §IV-C fallback when the program admits only zero targets.
+  const std::vector<double> zero(n, 0.0);
+  if (best.value <= 0.0) {
+    best.x = zero;
+    best.value = 0.0;
+  }
+
+  const agreements::TrafficShift shift = shift_for_variables(problem, best.x);
+  solution.u_x = evaluator.utility_change(problem.party_x, shift);
+  solution.u_y = evaluator.utility_change(problem.party_y, shift);
+  solution.nash = best.value;
+
+  std::size_t v = 0;
+  const auto fill_targets = [&](const std::vector<SegmentOption>& segments,
+                                std::vector<FlowVolumeTarget>& targets) {
+    for (const SegmentOption& s : segments) {
+      FlowVolumeTarget t;
+      t.segment = s.new_path;
+      t.rerouted = best.x[v++];
+      t.new_demand = best.x[v++];
+      t.allowance = t.rerouted + t.new_demand;
+      targets.push_back(std::move(t));
+    }
+  };
+  fill_targets(problem.x_segments, solution.x_targets);
+  fill_targets(problem.y_segments, solution.y_targets);
+
+  double total_allowance = 0.0;
+  for (const auto& t : solution.x_targets) {
+    total_allowance += t.allowance;
+  }
+  for (const auto& t : solution.y_targets) {
+    total_allowance += t.allowance;
+  }
+  solution.concluded = solution.nash > eps && total_allowance > eps;
+  return solution;
+}
+
+}  // namespace panagree::bargain

@@ -1,0 +1,78 @@
+// Optimization via flow-volume targets (§IV-A, Eq. 9).
+//
+// Decision variables per new agreement segment P: the rerouted existing
+// traffic r_P (bounded by what actually flows toward that destination via
+// providers today) and the newly attracted customer traffic n_P (bounded by
+// the demand limit Delta-f^max_P, constraint III). The segment's total
+// allowance written into the agreement is f_P = r_P + n_P, which makes
+// constraint II hold by construction. Constraint I (non-negative utility
+// for both parties) is enforced on the Nash-product objective; utilities
+// come from the full economic model via AgreementEvaluator.
+#pragma once
+
+#include <vector>
+
+#include "panagree/core/agreements/utility.hpp"
+#include "panagree/core/bargain/optimizers.hpp"
+
+namespace panagree::bargain {
+
+using agreements::AgreementEvaluator;
+using agreements::AsId;
+
+/// One optimizable agreement segment for one party.
+struct SegmentOption {
+  /// The new path the party's traffic would take (party, partner, Z, ...).
+  std::vector<AsId> new_path;
+  /// The path this traffic uses today (same endpoints; via a provider).
+  std::vector<AsId> old_path;
+  /// Existing traffic volume on old_path that could be rerouted.
+  double reroutable = 0.0;
+  /// Delta-f^max_P: demand limit for newly attracted traffic (constr. III).
+  double max_new_demand = 0.0;
+};
+
+struct FlowVolumeProblem {
+  AsId party_x = topology::kInvalidAs;
+  AsId party_y = topology::kInvalidAs;
+  std::vector<SegmentOption> x_segments;  ///< segments used by X (via Y)
+  std::vector<SegmentOption> y_segments;  ///< segments used by Y (via X)
+};
+
+/// One concluded flow-volume target (the f^(a)_P entries of the contract).
+struct FlowVolumeTarget {
+  std::vector<AsId> segment;
+  double allowance = 0.0;   ///< f_P = rerouted + new
+  double rerouted = 0.0;    ///< r_P
+  double new_demand = 0.0;  ///< n_P (attracted customer traffic)
+};
+
+struct FlowVolumeSolution {
+  bool concluded = false;  ///< some target is positive and N > 0
+  double u_x = 0.0;
+  double u_y = 0.0;
+  double nash = 0.0;
+  std::vector<FlowVolumeTarget> x_targets;
+  std::vector<FlowVolumeTarget> y_targets;
+};
+
+struct FlowVolumeSolverOptions {
+  std::size_t random_starts = 6;
+  std::uint64_t seed = 7;
+  NelderMeadOptions nelder_mead;
+  /// Feasibility slack on the utility constraints.
+  double epsilon = 1e-9;
+};
+
+/// Solves Eq. (9) for the given problem. The evaluator supplies the base
+/// traffic and economy against which utility changes are measured.
+[[nodiscard]] FlowVolumeSolution solve_flow_volume(
+    const FlowVolumeProblem& problem, const AgreementEvaluator& evaluator,
+    const FlowVolumeSolverOptions& options = {});
+
+/// Builds the TrafficShift corresponding to a (possibly intermediate)
+/// variable vector; exposed for tests.
+[[nodiscard]] agreements::TrafficShift shift_for_variables(
+    const FlowVolumeProblem& problem, const std::vector<double>& variables);
+
+}  // namespace panagree::bargain

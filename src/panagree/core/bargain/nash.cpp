@@ -1,0 +1,11 @@
+#include "panagree/core/bargain/nash.hpp"
+
+namespace panagree::bargain {
+
+double nash_product(double u_x, double u_y) { return u_x * u_y; }
+
+bool is_feasible(double u_x, double u_y, double epsilon) {
+  return u_x >= -epsilon && u_y >= -epsilon;
+}
+
+}  // namespace panagree::bargain

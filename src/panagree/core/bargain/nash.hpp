@@ -1,0 +1,16 @@
+// The Nash bargaining objective (Eq. 8): maximize u_X(a) * u_Y(a) subject
+// to both utilities being non-negative. The Nash product is maximized only
+// at Pareto-optimal, fair utility pairs, which is why the paper adopts it
+// for structuring agreements.
+#pragma once
+
+namespace panagree::bargain {
+
+/// The Nash product u_x * u_y. Meaningful as an objective only on the
+/// feasible region u_x, u_y >= 0.
+[[nodiscard]] double nash_product(double u_x, double u_y);
+
+/// True iff the pair satisfies the feasibility constraints of Eq. (8).
+[[nodiscard]] bool is_feasible(double u_x, double u_y, double epsilon = 0.0);
+
+}  // namespace panagree::bargain

@@ -1,0 +1,143 @@
+#include "panagree/core/bargain/negotiation.hpp"
+
+#include <algorithm>
+
+namespace panagree::bargain {
+
+namespace {
+
+using agreements::AccessGrant;
+using topology::AsId;
+using topology::Graph;
+
+}  // namespace
+
+std::vector<SegmentOption> derive_segment_options(
+    const agreements::Agreement& agreement, AsId party,
+    const agreements::AgreementEvaluator& evaluator,
+    const traffic::DemandElasticity& elasticity,
+    const diversity::GeodistanceModel* geodesy,
+    const NegotiationOptions& options) {
+  util::require(party == agreement.x() || party == agreement.y(),
+                "derive_segment_options: not a party to the agreement");
+  const Graph& graph = evaluator.economy().graph();
+  const econ::TrafficAllocation& base = evaluator.base();
+  const AccessGrant& partner_grant =
+      party == agreement.x() ? agreement.grant_y : agreement.grant_x;
+  const AsId partner = partner_grant.grantor;
+
+  // The attracted traffic is *customer* traffic (§III-B: "all such newly
+  // attracted traffic is forwarded over the agreement partner"); revenue
+  // arises on the party's customer links. Anchor new/old paths at the
+  // party's busiest customer; fall back to the party's own end-hosts when
+  // it has no customer ASes.
+  AsId anchor = topology::kInvalidAs;
+  double anchor_volume = -1.0;
+  for (const AsId customer : graph.customers(party)) {
+    const double volume = base.link_flow(party, customer);
+    if (volume > anchor_volume) {
+      anchor_volume = volume;
+      anchor = customer;
+    }
+  }
+
+  std::vector<SegmentOption> segments;
+  for (const AsId dest : partner_grant.all()) {
+    if (dest == party) {
+      continue;
+    }
+    // Reroutable traffic: what the party currently ships to `dest` through
+    // any of its providers; remember the busiest provider as the
+    // representative old path.
+    double reroutable = 0.0;
+    double best_volume = -1.0;
+    AsId best_provider = topology::kInvalidAs;
+    for (const AsId provider : graph.providers(party)) {
+      // The old path must be routable: provider must reach dest directly.
+      if (!graph.link_between(provider, dest)) {
+        continue;
+      }
+      const double volume = base.segment_flow(party, provider, dest);
+      reroutable += volume;
+      if (volume > best_volume) {
+        best_volume = volume;
+        best_provider = provider;
+      }
+    }
+    if (best_provider == topology::kInvalidAs) {
+      continue;  // no provider detour exists to compare against
+    }
+
+    // Demand limit (constraint III): elasticity of the base demand, driven
+    // by the latency improvement of the new segment when geodata exists.
+    double improvement = options.default_improvement;
+    if (geodesy != nullptr) {
+      const double new_km =
+          geodesy->path_geodistance_km(party, partner, dest);
+      const double old_km =
+          geodesy->path_geodistance_km(party, best_provider, dest);
+      improvement = old_km > 0.0 ? (old_km - new_km) / old_km : 0.0;
+    }
+    const double base_demand =
+        std::max(reroutable, base.link_flow(party, dest));
+    const double max_new = elasticity.max_new_demand(base_demand, improvement);
+
+    if (reroutable <= 0.0 && max_new <= 0.0) {
+      continue;  // nothing to negotiate on this segment
+    }
+    SegmentOption option;
+    if (anchor != topology::kInvalidAs && anchor != dest &&
+        anchor != partner && anchor != best_provider) {
+      option.new_path = {anchor, party, partner, dest};
+      option.old_path = {anchor, party, best_provider, dest};
+    } else {
+      option.new_path = {party, partner, dest};
+      option.old_path = {party, best_provider, dest};
+    }
+    option.reroutable = reroutable;
+    option.max_new_demand = max_new;
+    segments.push_back(std::move(option));
+  }
+  return segments;
+}
+
+DerivedNegotiation negotiate_agreement(
+    const agreements::Agreement& agreement,
+    const agreements::AgreementEvaluator& evaluator,
+    const traffic::DemandElasticity& elasticity,
+    const diversity::GeodistanceModel* geodesy,
+    const NegotiationOptions& options) {
+  agreement.validate(evaluator.economy().graph());
+  DerivedNegotiation result;
+  result.problem.party_x = agreement.x();
+  result.problem.party_y = agreement.y();
+  result.problem.x_segments = derive_segment_options(
+      agreement, agreement.x(), evaluator, elasticity, geodesy, options);
+  result.problem.y_segments = derive_segment_options(
+      agreement, agreement.y(), evaluator, elasticity, geodesy, options);
+
+  result.volume =
+      solve_flow_volume(result.problem, evaluator, options.solver);
+
+  // Cash alternative at full expected usage (§IV-B).
+  const std::size_t n =
+      2 * (result.problem.x_segments.size() + result.problem.y_segments.size());
+  if (n > 0) {
+    std::vector<double> full;
+    full.reserve(n);
+    for (const auto* side :
+         {&result.problem.x_segments, &result.problem.y_segments}) {
+      for (const SegmentOption& s : *side) {
+        full.push_back(s.reroutable);
+        full.push_back(s.max_new_demand);
+      }
+    }
+    const auto shift = shift_for_variables(result.problem, full);
+    result.u_x_full = evaluator.utility_change(result.problem.party_x, shift);
+    result.u_y_full = evaluator.utility_change(result.problem.party_y, shift);
+    result.cash = negotiate_cash(result.u_x_full, result.u_y_full);
+  }
+  return result;
+}
+
+}  // namespace panagree::bargain

@@ -1,0 +1,77 @@
+// Automated agreement negotiation (§IV end to end).
+//
+// Everything the two structuring methods need is derivable from observable
+// state: the reroutable volumes come from the current traffic allocation
+// (what each party ships toward the granted destinations via its
+// providers), the demand limits Delta-f^max from the elasticity model fed
+// with the geodistance improvement of the new segment, and the utilities
+// from the economic model. negotiate_agreement() assembles the Eq. 9
+// flow-volume program from an Agreement, solves it, and also prices the
+// cash alternative (Eq. 11) at full expected usage - the §IV-C comparison
+// as an API call.
+#pragma once
+
+#include <optional>
+
+#include "panagree/core/agreements/agreement.hpp"
+#include "panagree/core/agreements/utility.hpp"
+#include "panagree/core/bargain/cash.hpp"
+#include "panagree/core/bargain/flow_volume.hpp"
+#include "panagree/diversity/geodistance.hpp"
+#include "panagree/traffic/elasticity.hpp"
+
+namespace panagree::bargain {
+
+struct NegotiationOptions {
+  /// Improvement ratio assumed for new segments when no geodistance model
+  /// is available.
+  double default_improvement = 0.2;
+  /// Solver configuration for the flow-volume program.
+  FlowVolumeSolverOptions solver;
+};
+
+/// Everything derived for one agreement negotiation.
+struct DerivedNegotiation {
+  FlowVolumeProblem problem;
+  FlowVolumeSolution volume;      ///< the Eq. 9 outcome
+  double u_x_full = 0.0;          ///< party X's utility at full usage
+  double u_y_full = 0.0;
+  std::optional<CashDeal> cash;   ///< the Eq. 11 outcome at full usage
+
+  /// §IV-C: true iff cash concludes where the volume program cannot.
+  [[nodiscard]] bool cash_only() const {
+    return cash.has_value() && !volume.concluded;
+  }
+};
+
+/// Derives and solves the negotiation of `agreement` against the current
+/// state. `geodesy` may be null (no latency-based demand estimation, the
+/// default improvement applies); `elasticity` governs constraint III.
+///
+/// For each destination Z granted to party X by the partner Y, the derived
+/// segment option is:
+///  * new path      X - Y - Z,
+///  * old path      X - P* - Z for the provider P* of X currently carrying
+///    the most X->Z traffic (skipped if no provider path carries traffic
+///    and no new demand is attracted),
+///  * reroutable    the total volume on segments X - P - Z over all
+///    providers P of X,
+///  * max new       elasticity(max(base demand, reroutable), improvement),
+///    where improvement compares the new segment's geodistance to the best
+///    provider segment when a geodistance model is available.
+[[nodiscard]] DerivedNegotiation negotiate_agreement(
+    const agreements::Agreement& agreement,
+    const agreements::AgreementEvaluator& evaluator,
+    const traffic::DemandElasticity& elasticity,
+    const diversity::GeodistanceModel* geodesy = nullptr,
+    const NegotiationOptions& options = {});
+
+/// Helper: the segment options one party derives (exposed for tests).
+[[nodiscard]] std::vector<SegmentOption> derive_segment_options(
+    const agreements::Agreement& agreement, topology::AsId party,
+    const agreements::AgreementEvaluator& evaluator,
+    const traffic::DemandElasticity& elasticity,
+    const diversity::GeodistanceModel* geodesy,
+    const NegotiationOptions& options);
+
+}  // namespace panagree::bargain

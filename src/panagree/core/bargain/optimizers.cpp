@@ -1,0 +1,186 @@
+#include "panagree/core/bargain/optimizers.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "panagree/util/error.hpp"
+#include "panagree/util/rng.hpp"
+
+namespace panagree::bargain {
+
+void Box::project(std::vector<double>& x) const {
+  util::require(x.size() == lower.size(), "Box::project: dimension mismatch");
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    x[i] = std::clamp(x[i], lower[i], upper[i]);
+  }
+}
+
+namespace {
+
+struct Vertex {
+  std::vector<double> x;
+  double value;
+};
+
+}  // namespace
+
+OptimizationResult maximize_nelder_mead(const Objective& f, const Box& box,
+                                        std::vector<double> start,
+                                        const NelderMeadOptions& options) {
+  const std::size_t n = box.dimensions();
+  util::require(n >= 1, "maximize_nelder_mead: need at least one dimension");
+  util::require(box.lower.size() == box.upper.size(),
+                "maximize_nelder_mead: box bounds size mismatch");
+  for (std::size_t i = 0; i < n; ++i) {
+    util::require(box.lower[i] <= box.upper[i],
+                  "maximize_nelder_mead: inverted box bounds");
+  }
+  util::require(start.size() == n, "maximize_nelder_mead: start size");
+  box.project(start);
+
+  // Work in minimization form.
+  const auto eval = [&f](const std::vector<double>& x) { return -f(x); };
+
+  std::vector<Vertex> simplex;
+  simplex.reserve(n + 1);
+  simplex.push_back({start, eval(start)});
+  for (std::size_t i = 0; i < n; ++i) {
+    std::vector<double> v = start;
+    const double width = box.upper[i] - box.lower[i];
+    double step = options.initial_step * (width > 0.0 ? width : 1.0);
+    if (v[i] + step > box.upper[i]) {
+      step = -step;
+    }
+    v[i] += step;
+    box.project(v);
+    simplex.push_back({v, eval(v)});
+  }
+
+  const auto by_value = [](const Vertex& a, const Vertex& b) {
+    return a.value < b.value;
+  };
+
+  std::size_t iterations = 0;
+  for (; iterations < options.max_iterations; ++iterations) {
+    std::sort(simplex.begin(), simplex.end(), by_value);
+    if (simplex.back().value - simplex.front().value < options.tolerance) {
+      break;
+    }
+    // Centroid of all but the worst vertex.
+    std::vector<double> centroid(n, 0.0);
+    for (std::size_t v = 0; v < n; ++v) {
+      for (std::size_t i = 0; i < n; ++i) {
+        centroid[i] += simplex[v].x[i];
+      }
+    }
+    for (double& c : centroid) {
+      c /= static_cast<double>(n);
+    }
+    Vertex& worst = simplex.back();
+
+    const auto make_point = [&](double coefficient) {
+      std::vector<double> p(n);
+      for (std::size_t i = 0; i < n; ++i) {
+        p[i] = centroid[i] + coefficient * (centroid[i] - worst.x[i]);
+      }
+      box.project(p);
+      return p;
+    };
+
+    const std::vector<double> reflected = make_point(1.0);
+    const double fr = eval(reflected);
+    if (fr < simplex.front().value) {
+      const std::vector<double> expanded = make_point(2.0);
+      const double fe = eval(expanded);
+      worst = fe < fr ? Vertex{expanded, fe} : Vertex{reflected, fr};
+      continue;
+    }
+    if (fr < simplex[n - 1].value) {
+      worst = Vertex{reflected, fr};
+      continue;
+    }
+    const std::vector<double> contracted = make_point(-0.5);
+    const double fc = eval(contracted);
+    if (fc < worst.value) {
+      worst = Vertex{contracted, fc};
+      continue;
+    }
+    // Shrink towards the best vertex.
+    for (std::size_t v = 1; v <= n; ++v) {
+      for (std::size_t i = 0; i < n; ++i) {
+        simplex[v].x[i] =
+            simplex[0].x[i] + 0.5 * (simplex[v].x[i] - simplex[0].x[i]);
+      }
+      box.project(simplex[v].x);
+      simplex[v].value = eval(simplex[v].x);
+    }
+  }
+
+  std::sort(simplex.begin(), simplex.end(), by_value);
+  return OptimizationResult{simplex.front().x, -simplex.front().value,
+                            iterations};
+}
+
+OptimizationResult maximize_multistart(const Objective& f, const Box& box,
+                                       std::size_t extra_random_starts,
+                                       std::uint64_t seed,
+                                       const NelderMeadOptions& options) {
+  const std::size_t n = box.dimensions();
+  std::vector<std::vector<double>> starts;
+  // Center, lower corner, upper corner.
+  std::vector<double> center(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    center[i] = 0.5 * (box.lower[i] + box.upper[i]);
+  }
+  starts.push_back(center);
+  starts.push_back(box.lower);
+  starts.push_back(box.upper);
+  util::Rng rng(seed);
+  for (std::size_t s = 0; s < extra_random_starts; ++s) {
+    std::vector<double> x(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      x[i] = rng.uniform(box.lower[i], box.upper[i]);
+    }
+    starts.push_back(std::move(x));
+  }
+  OptimizationResult best;
+  bool first = true;
+  for (auto& start : starts) {
+    OptimizationResult r = maximize_nelder_mead(f, box, start, options);
+    if (first || r.value > best.value) {
+      best = std::move(r);
+      first = false;
+    }
+  }
+  return best;
+}
+
+double golden_section_maximize(const std::function<double(double)>& f,
+                               double lo, double hi, double tolerance) {
+  util::require(lo <= hi, "golden_section_maximize: lo must not exceed hi");
+  const double phi = (std::sqrt(5.0) - 1.0) / 2.0;
+  double a = lo;
+  double b = hi;
+  double c = b - phi * (b - a);
+  double d = a + phi * (b - a);
+  double fc = f(c);
+  double fd = f(d);
+  while (b - a > tolerance) {
+    if (fc > fd) {
+      b = d;
+      d = c;
+      fd = fc;
+      c = b - phi * (b - a);
+      fc = f(c);
+    } else {
+      a = c;
+      c = d;
+      fc = fd;
+      d = a + phi * (b - a);
+      fd = f(d);
+    }
+  }
+  return 0.5 * (a + b);
+}
+
+}  // namespace panagree::bargain

@@ -1,0 +1,54 @@
+// Small derivative-free optimizers for the nonlinear agreement programs.
+//
+// The flow-volume program (Eq. 9) is a low-dimensional box-constrained
+// nonlinear maximization (two variables per agreement segment); Nelder-Mead
+// with box projection and multi-start is robust for it. Golden-section
+// covers the 1-D subproblems in tests and ablations.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+namespace panagree::bargain {
+
+/// A real-valued objective over R^n.
+using Objective = std::function<double(const std::vector<double>&)>;
+
+struct Box {
+  std::vector<double> lower;
+  std::vector<double> upper;
+
+  [[nodiscard]] std::size_t dimensions() const { return lower.size(); }
+  /// Clamps x into the box, component-wise.
+  void project(std::vector<double>& x) const;
+};
+
+struct NelderMeadOptions {
+  std::size_t max_iterations = 2000;
+  double tolerance = 1e-10;  ///< spread of simplex values at convergence
+  double initial_step = 0.25;  ///< relative to box width per dimension
+};
+
+struct OptimizationResult {
+  std::vector<double> x;
+  double value = 0.0;
+  std::size_t iterations = 0;
+};
+
+/// Maximizes `f` over the box with Nelder-Mead (projected simplex).
+[[nodiscard]] OptimizationResult maximize_nelder_mead(
+    const Objective& f, const Box& box, std::vector<double> start,
+    const NelderMeadOptions& options = {});
+
+/// Multi-start wrapper: corners/center/random starts, best result wins.
+[[nodiscard]] OptimizationResult maximize_multistart(
+    const Objective& f, const Box& box, std::size_t extra_random_starts,
+    std::uint64_t seed, const NelderMeadOptions& options = {});
+
+/// Maximizes a unimodal 1-D function on [lo, hi] by golden-section search.
+[[nodiscard]] double golden_section_maximize(
+    const std::function<double(double)>& f, double lo, double hi,
+    double tolerance = 1e-10);
+
+}  // namespace panagree::bargain

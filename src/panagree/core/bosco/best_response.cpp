@@ -1,0 +1,208 @@
+#include "panagree/core/bosco/best_response.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "panagree/util/error.hpp"
+
+namespace panagree::bosco {
+
+namespace {
+constexpr double kNegInf = -std::numeric_limits<double>::infinity();
+constexpr double kPosInf = std::numeric_limits<double>::infinity();
+}  // namespace
+
+Strategy::Strategy(std::vector<double> starts) : starts_(std::move(starts)) {
+  util::require(starts_.size() >= 2, "Strategy: need at least one choice");
+  util::require(starts_.front() == kNegInf,
+                "Strategy: first interval must start at -infinity");
+  util::require(starts_.back() == kPosInf,
+                "Strategy: last interval must end at +infinity");
+  for (std::size_t i = 0; i + 1 < starts_.size(); ++i) {
+    util::require(!(starts_[i] > starts_[i + 1]),
+                  "Strategy: interval starts must be non-decreasing");
+  }
+}
+
+Strategy Strategy::quantizer(const ChoiceSet& choices) {
+  // Floor quantizer: claim the largest choice <= true utility.
+  const std::size_t w = choices.size();
+  std::vector<double> starts(w + 1);
+  starts[0] = kNegInf;
+  for (std::size_t i = 1; i < w; ++i) {
+    starts[i] = choices.value(i);
+  }
+  starts[w] = kPosInf;
+  return Strategy(std::move(starts));
+}
+
+std::size_t Strategy::choice_for(double u) const {
+  const auto it = std::upper_bound(starts_.begin(), starts_.end(), u);
+  PANAGREE_ASSERT(it != starts_.begin());
+  const std::size_t index = static_cast<std::size_t>(it - starts_.begin()) - 1;
+  return std::min(index, num_choices() - 1);
+}
+
+std::size_t Strategy::active_choices() const {
+  std::size_t active = 0;
+  for (std::size_t i = 0; i + 1 < starts_.size(); ++i) {
+    if (starts_[i] < starts_[i + 1]) {
+      ++active;
+    }
+  }
+  return active;
+}
+
+double Strategy::shortest_active_interval() const {
+  double shortest = kPosInf;
+  for (std::size_t i = 0; i + 1 < starts_.size(); ++i) {
+    if (starts_[i] < starts_[i + 1] && std::isfinite(starts_[i]) &&
+        std::isfinite(starts_[i + 1])) {
+      shortest = std::min(shortest, starts_[i + 1] - starts_[i]);
+    }
+  }
+  return shortest;
+}
+
+bool Strategy::approx_equal(const Strategy& other, double eps) const {
+  if (starts_.size() != other.starts_.size()) {
+    return false;
+  }
+  for (std::size_t i = 0; i < starts_.size(); ++i) {
+    const double a = starts_[i];
+    const double b = other.starts_[i];
+    if (std::isinf(a) || std::isinf(b)) {
+      if (a != b) {
+        return false;
+      }
+      continue;
+    }
+    if (std::abs(a - b) > eps) {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::vector<double> claim_probabilities(const Strategy& strategy,
+                                        const UtilityDistribution& dist) {
+  const auto& starts = strategy.starts();
+  std::vector<double> probs(strategy.num_choices(), 0.0);
+  for (std::size_t i = 0; i < probs.size(); ++i) {
+    const double lo = std::max(starts[i], dist.support_lo());
+    const double hi = std::min(starts[i + 1], dist.support_hi());
+    if (hi > lo) {
+      probs[i] = dist.mass_in(lo, hi);
+    }
+  }
+  return probs;
+}
+
+std::vector<UtilityLine> expected_utility_lines(
+    const ChoiceSet& own, const ChoiceSet& opponent,
+    const std::vector<double>& opponent_probs) {
+  util::require(opponent_probs.size() == opponent.size(),
+                "expected_utility_lines: probability vector size mismatch");
+  std::vector<UtilityLine> lines(own.size());
+  for (std::size_t i = 0; i < own.size(); ++i) {
+    const double v = own.value(i);
+    if (std::isinf(v)) {
+      continue;  // cancellation: zero utility regardless of u
+    }
+    UtilityLine line;
+    for (std::size_t j = 0; j < opponent.size(); ++j) {
+      const double w = opponent.value(j);
+      if (std::isinf(w) || w < -v) {
+        continue;  // opponent cancels or the surplus check fails
+      }
+      line.m += opponent_probs[j];
+      line.q += opponent_probs[j] * (w - v) / 2.0;
+    }
+    lines[i] = line;
+  }
+  return lines;
+}
+
+Strategy best_response(const std::vector<UtilityLine>& lines) {
+  const std::size_t w = lines.size();
+  util::require(w >= 1, "best_response: need at least one line");
+
+  // Keep, per distinct slope, only the line with the largest intercept
+  // (lower ones are dominated for every u); remember original indices.
+  struct Entry {
+    double m, q;
+    std::size_t idx;
+  };
+  std::vector<Entry> entries;
+  entries.reserve(w);
+  for (std::size_t i = 0; i < w; ++i) {
+    entries.push_back(Entry{lines[i].m, lines[i].q, i});
+  }
+  std::sort(entries.begin(), entries.end(), [](const Entry& a, const Entry& b) {
+    if (a.m != b.m) {
+      return a.m < b.m;
+    }
+    if (a.q != b.q) {
+      return a.q > b.q;  // best intercept first within a slope group
+    }
+    return a.idx < b.idx;
+  });
+  std::vector<Entry> filtered;
+  for (const Entry& e : entries) {
+    if (filtered.empty() || filtered.back().m != e.m) {
+      filtered.push_back(e);
+    }
+  }
+
+  // Upper envelope of lines with strictly increasing slopes.
+  std::vector<Entry> hull;
+  std::vector<double> crossing;  // crossing[k]: hull[k] -> hull[k+1] switch
+  for (const Entry& line : filtered) {
+    for (;;) {
+      if (hull.empty()) {
+        hull.push_back(line);
+        break;
+      }
+      const Entry& top = hull.back();
+      const double x = (top.q - line.q) / (line.m - top.m);
+      if (!crossing.empty() && x <= crossing.back()) {
+        hull.pop_back();
+        crossing.pop_back();
+        continue;
+      }
+      crossing.push_back(x);
+      hull.push_back(line);
+      break;
+    }
+  }
+
+  // Translate the envelope into the threshold series (Algorithm 1's output
+  // shape): active choice k starts at its envelope switch point; inactive
+  // choices inherit the next active start so their interval is empty.
+  std::vector<double> starts(w + 1, kPosInf);
+  starts[w] = kPosInf;
+  for (std::size_t k = 0; k < hull.size(); ++k) {
+    starts[hull[k].idx] = k == 0 ? kNegInf : crossing[k - 1];
+  }
+  // Envelope indices ascend (slopes are CCDF values, non-decreasing in the
+  // choice index), so a simple back-fill closes the gaps.
+  for (std::size_t i = w; i-- > 0;) {
+    if (starts[i] == kPosInf && i != hull.back().idx) {
+      starts[i] = starts[i + 1];
+    }
+  }
+  // The lowest interval must still start at -infinity after back-fill.
+  PANAGREE_ASSERT(starts.front() == kNegInf);
+  return Strategy(std::move(starts));
+}
+
+Strategy best_response_to(const ChoiceSet& own, const ChoiceSet& opponent,
+                          const Strategy& opponent_strategy,
+                          const UtilityDistribution& opponent_dist) {
+  const std::vector<double> probs =
+      claim_probabilities(opponent_strategy, opponent_dist);
+  return best_response(expected_utility_lines(own, opponent, probs));
+}
+
+}  // namespace panagree::bosco

@@ -1,0 +1,84 @@
+// Bargaining strategies and best-response computation (§V-C4, Algorithm 1).
+//
+// A strategy maps the party's true utility to a claim from its choice set.
+// Because the expected after-negotiation utility of playing choice v_i is a
+// *linear* function m_i u + q_i of the true utility u (Eq. 16-17), the best
+// response is a threshold rule: choice i is played on the interval
+// [t_i, t_{i+1}) where the line i is on the upper envelope. Algorithm 1
+// computes that threshold series.
+#pragma once
+
+#include <vector>
+
+#include "panagree/core/bosco/choice_set.hpp"
+
+namespace panagree::bosco {
+
+/// A threshold strategy over a choice set of W choices: choice i is played
+/// when the true utility lies in [start(i), start(i+1)); start(0) = -inf
+/// and start(W) = +inf. Choices with empty intervals are never played.
+class Strategy {
+ public:
+  /// `starts` must have size W+1, be non-decreasing, with -inf first and
+  /// +inf last.
+  explicit Strategy(std::vector<double> starts);
+
+  /// The natural quantizer: play the choice closest to the true utility
+  /// (interval boundaries at midpoints between consecutive choices). Used
+  /// as the initial strategy of the equilibrium iteration.
+  [[nodiscard]] static Strategy quantizer(const ChoiceSet& choices);
+
+  /// Index of the choice played at true utility u.
+  [[nodiscard]] std::size_t choice_for(double u) const;
+
+  [[nodiscard]] std::size_t num_choices() const { return starts_.size() - 1; }
+  [[nodiscard]] const std::vector<double>& starts() const { return starts_; }
+
+  /// Number of choices with a non-empty interval (the paper's "equilibrium
+  /// choices" count in §V-E).
+  [[nodiscard]] std::size_t active_choices() const;
+
+  /// §V-D privacy metric: the length of the shortest non-empty *bounded*
+  /// interval. A small value means one claim pins the true utility into a
+  /// narrow range; the unbounded end intervals leak only one-sided bounds
+  /// and are excluded. Returns +infinity if every active interval is
+  /// unbounded.
+  [[nodiscard]] double shortest_active_interval() const;
+
+  /// True iff both strategies play the same choice everywhere up to
+  /// interval boundaries within `eps`.
+  [[nodiscard]] bool approx_equal(const Strategy& other, double eps) const;
+
+ private:
+  std::vector<double> starts_;
+};
+
+/// P[v_Z = i]: probability that a party with distribution `dist` playing
+/// `strategy` commits choice i (Eq. 15).
+[[nodiscard]] std::vector<double> claim_probabilities(
+    const Strategy& strategy, const UtilityDistribution& dist);
+
+/// A line m u + q: the expected after-negotiation utility of playing a
+/// fixed choice as a function of the true utility u.
+struct UtilityLine {
+  double m = 0.0;
+  double q = 0.0;
+};
+
+/// Eq. 16-17: the (m_i, q_i) lines for each of `own` given the opponent's
+/// choice values and claim probabilities.
+[[nodiscard]] std::vector<UtilityLine> expected_utility_lines(
+    const ChoiceSet& own, const ChoiceSet& opponent,
+    const std::vector<double>& opponent_probs);
+
+/// Algorithm 1: the best-response threshold strategy for the given lines.
+[[nodiscard]] Strategy best_response(const std::vector<UtilityLine>& lines);
+
+/// Convenience: best response against (opponent strategy, opponent
+/// distribution).
+[[nodiscard]] Strategy best_response_to(const ChoiceSet& own,
+                                        const ChoiceSet& opponent,
+                                        const Strategy& opponent_strategy,
+                                        const UtilityDistribution& opponent_dist);
+
+}  // namespace panagree::bosco

@@ -1,0 +1,72 @@
+#include "panagree/core/bosco/choice_set.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "panagree/util/error.hpp"
+
+namespace panagree::bosco {
+
+namespace {
+constexpr double kNegInf = -std::numeric_limits<double>::infinity();
+}
+
+ChoiceSet::ChoiceSet(std::vector<double> values) : values_(std::move(values)) {
+  if (values_.empty() || values_.front() != kNegInf) {
+    values_.push_back(kNegInf);
+  }
+  std::sort(values_.begin(), values_.end());
+  values_.erase(std::unique(values_.begin(), values_.end()), values_.end());
+  util::require(values_.size() >= 2,
+                "ChoiceSet: need at least one finite choice");
+  util::require(values_.front() == kNegInf,
+                "ChoiceSet: -infinity must be the lowest choice");
+  util::require(std::isfinite(values_.back()),
+                "ChoiceSet: +infinity is not a valid choice");
+}
+
+ChoiceSet ChoiceSet::random(const UtilityDistribution& dist,
+                            std::size_t cardinality, util::Rng& rng) {
+  util::require(cardinality >= 2, "ChoiceSet::random: cardinality >= 2");
+  std::vector<double> values{kNegInf};
+  std::size_t guard = 0;
+  while (values.size() < cardinality) {
+    const double v = dist.sample(rng);
+    if (std::find(values.begin(), values.end(), v) == values.end()) {
+      values.push_back(v);
+    }
+    util::require(++guard < cardinality * 1000,
+                  "ChoiceSet::random: could not draw distinct choices");
+  }
+  return ChoiceSet(std::move(values));
+}
+
+ChoiceSet ChoiceSet::quantile_grid(const UtilityDistribution& dist,
+                                   std::size_t cardinality) {
+  util::require(cardinality >= 2, "ChoiceSet::quantile_grid: cardinality >= 2");
+  std::vector<double> values{kNegInf};
+  const std::size_t finite = cardinality - 1;
+  const double lo = dist.support_lo();
+  const double hi = dist.support_hi();
+  for (std::size_t i = 0; i < finite; ++i) {
+    const double q =
+        (static_cast<double>(i) + 0.5) / static_cast<double>(finite);
+    // Invert the cdf by bisection over the support.
+    double a = lo;
+    double b = hi;
+    for (int it = 0; it < 60; ++it) {
+      const double mid = 0.5 * (a + b);
+      (dist.cdf(mid) < q ? a : b) = mid;
+    }
+    values.push_back(0.5 * (a + b));
+  }
+  return ChoiceSet(std::move(values));
+}
+
+double ChoiceSet::value(std::size_t i) const {
+  util::require(i < values_.size(), "ChoiceSet::value: index out of range");
+  return values_[i];
+}
+
+}  // namespace panagree::bosco

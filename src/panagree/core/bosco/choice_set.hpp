@@ -1,0 +1,41 @@
+// Choice sets V_Z (§V-C2): finite, ordered claim menus for each party,
+// always containing the cancellation option -infinity.
+//
+// §V-E found that *random* generation - sampling choices from the party's
+// utility distribution - works well in practice; an equal-quantile grid is
+// provided as the ablation alternative.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "panagree/core/bosco/distribution.hpp"
+
+namespace panagree::bosco {
+
+class ChoiceSet {
+ public:
+  /// Builds from explicit values; -infinity is prepended if missing, the
+  /// rest is sorted and deduplicated.
+  explicit ChoiceSet(std::vector<double> values);
+
+  /// Random generation (§V-E): -infinity plus (cardinality - 1) samples
+  /// from `dist`. Resamples duplicates.
+  [[nodiscard]] static ChoiceSet random(const UtilityDistribution& dist,
+                                        std::size_t cardinality,
+                                        util::Rng& rng);
+
+  /// Equal-quantile grid over the distribution's support (ablation).
+  [[nodiscard]] static ChoiceSet quantile_grid(const UtilityDistribution& dist,
+                                               std::size_t cardinality);
+
+  /// Ascending values; values()[0] is always -infinity.
+  [[nodiscard]] const std::vector<double>& values() const { return values_; }
+  [[nodiscard]] std::size_t size() const { return values_.size(); }
+  [[nodiscard]] double value(std::size_t i) const;
+
+ private:
+  std::vector<double> values_;
+};
+
+}  // namespace panagree::bosco

@@ -1,0 +1,227 @@
+#include "panagree/core/bosco/distribution.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+#include "panagree/util/error.hpp"
+
+namespace panagree::bosco {
+
+double UtilityDistribution::mass_in(double lo, double hi) const {
+  if (hi <= lo) {
+    return 0.0;
+  }
+  return std::max(0.0, cdf(hi) - cdf(lo));
+}
+
+// ---------------------------------------------------------------- uniform
+
+UniformDistribution::UniformDistribution(double lo, double hi)
+    : lo_(lo), hi_(hi) {
+  util::require(lo < hi, "UniformDistribution: need lo < hi");
+}
+
+double UniformDistribution::pdf(double u) const {
+  return (u >= lo_ && u <= hi_) ? 1.0 / (hi_ - lo_) : 0.0;
+}
+
+double UniformDistribution::cdf(double u) const {
+  if (u <= lo_) {
+    return 0.0;
+  }
+  if (u >= hi_) {
+    return 1.0;
+  }
+  return (u - lo_) / (hi_ - lo_);
+}
+
+double UniformDistribution::first_moment_in(double lo, double hi) const {
+  const double a = std::max(lo, lo_);
+  const double b = std::min(hi, hi_);
+  if (b <= a) {
+    return 0.0;
+  }
+  return (b * b - a * a) / (2.0 * (hi_ - lo_));
+}
+
+double UniformDistribution::sample(util::Rng& rng) const {
+  return rng.uniform(lo_, hi_);
+}
+
+std::unique_ptr<UtilityDistribution> UniformDistribution::clone() const {
+  return std::make_unique<UniformDistribution>(*this);
+}
+
+// -------------------------------------------------------------- triangular
+
+TriangularDistribution::TriangularDistribution(double lo, double mode,
+                                               double hi)
+    : lo_(lo), mode_(mode), hi_(hi) {
+  util::require(lo < hi, "TriangularDistribution: need lo < hi");
+  util::require(mode >= lo && mode <= hi,
+                "TriangularDistribution: mode must lie in [lo, hi]");
+}
+
+double TriangularDistribution::pdf(double u) const {
+  if (u < lo_ || u > hi_) {
+    return 0.0;
+  }
+  const double width = hi_ - lo_;
+  if (u <= mode_) {
+    return mode_ == lo_ ? 2.0 / width
+                        : 2.0 * (u - lo_) / (width * (mode_ - lo_));
+  }
+  return mode_ == hi_ ? 2.0 / width
+                      : 2.0 * (hi_ - u) / (width * (hi_ - mode_));
+}
+
+double TriangularDistribution::cdf(double u) const {
+  if (u <= lo_) {
+    return 0.0;
+  }
+  if (u >= hi_) {
+    return 1.0;
+  }
+  const double width = hi_ - lo_;
+  if (u <= mode_) {
+    if (mode_ == lo_) {
+      return (u - lo_) * 2.0 / width -
+             (u - lo_) * (u - lo_) / (width * width);  // degenerate left edge
+    }
+    return (u - lo_) * (u - lo_) / (width * (mode_ - lo_));
+  }
+  if (mode_ == hi_) {
+    return 1.0 - (hi_ - u) * 2.0 / width +
+           (hi_ - u) * (hi_ - u) / (width * width);
+  }
+  return 1.0 - (hi_ - u) * (hi_ - u) / (width * (hi_ - mode_));
+}
+
+double TriangularDistribution::first_moment_in(double lo, double hi) const {
+  // Piecewise-polynomial exact integration of u * pdf(u).
+  const auto left_part = [&](double a, double b) {
+    // pdf = 2 (u - lo_) / (W (mode_-lo_)); int u*pdf = 2/(W m) (u^3/3 - lo_ u^2/2)
+    const double scale = 2.0 / ((hi_ - lo_) * (mode_ - lo_));
+    const auto prim = [&](double u) {
+      return scale * (u * u * u / 3.0 - lo_ * u * u / 2.0);
+    };
+    return prim(b) - prim(a);
+  };
+  const auto right_part = [&](double a, double b) {
+    const double scale = 2.0 / ((hi_ - lo_) * (hi_ - mode_));
+    const auto prim = [&](double u) {
+      return scale * (hi_ * u * u / 2.0 - u * u * u / 3.0);
+    };
+    return prim(b) - prim(a);
+  };
+  double total = 0.0;
+  if (mode_ > lo_) {
+    const double a = std::clamp(lo, lo_, mode_);
+    const double b = std::clamp(hi, lo_, mode_);
+    if (b > a) {
+      total += left_part(a, b);
+    }
+  }
+  if (hi_ > mode_) {
+    const double a = std::clamp(lo, mode_, hi_);
+    const double b = std::clamp(hi, mode_, hi_);
+    if (b > a) {
+      total += right_part(a, b);
+    }
+  }
+  return total;
+}
+
+double TriangularDistribution::sample(util::Rng& rng) const {
+  const double u = rng.uniform();
+  const double fc = (mode_ - lo_) / (hi_ - lo_);
+  if (u < fc) {
+    return lo_ + std::sqrt(u * (hi_ - lo_) * (mode_ - lo_));
+  }
+  return hi_ - std::sqrt((1.0 - u) * (hi_ - lo_) * (hi_ - mode_));
+}
+
+std::unique_ptr<UtilityDistribution> TriangularDistribution::clone() const {
+  return std::make_unique<TriangularDistribution>(*this);
+}
+
+// -------------------------------------------------------- truncated normal
+
+TruncatedNormalDistribution::TruncatedNormalDistribution(double mean,
+                                                         double sigma,
+                                                         double lo, double hi)
+    : mean_(mean), sigma_(sigma), lo_(lo), hi_(hi) {
+  util::require(sigma > 0.0, "TruncatedNormalDistribution: sigma > 0");
+  util::require(lo < hi, "TruncatedNormalDistribution: need lo < hi");
+  z_ = big_phi((hi_ - mean_) / sigma_) - big_phi((lo_ - mean_) / sigma_);
+  util::require(z_ > 0.0,
+                "TruncatedNormalDistribution: empty truncation window");
+}
+
+double TruncatedNormalDistribution::phi(double u) const {
+  return std::exp(-0.5 * u * u) / std::sqrt(2.0 * std::numbers::pi);
+}
+
+double TruncatedNormalDistribution::big_phi(double u) const {
+  return 0.5 * std::erfc(-u / std::numbers::sqrt2);
+}
+
+double TruncatedNormalDistribution::pdf(double u) const {
+  if (u < lo_ || u > hi_) {
+    return 0.0;
+  }
+  return phi((u - mean_) / sigma_) / (sigma_ * z_);
+}
+
+double TruncatedNormalDistribution::cdf(double u) const {
+  if (u <= lo_) {
+    return 0.0;
+  }
+  if (u >= hi_) {
+    return 1.0;
+  }
+  return (big_phi((u - mean_) / sigma_) - big_phi((lo_ - mean_) / sigma_)) /
+         z_;
+}
+
+double TruncatedNormalDistribution::first_moment_in(double lo,
+                                                    double hi) const {
+  const double a = std::max(lo, lo_);
+  const double b = std::min(hi, hi_);
+  if (b <= a) {
+    return 0.0;
+  }
+  const double alpha = (a - mean_) / sigma_;
+  const double beta = (b - mean_) / sigma_;
+  // int_a^b u pdf = [ mean (Phi(beta)-Phi(alpha)) - sigma (phi(beta)-phi(alpha)) ] / Z
+  return (mean_ * (big_phi(beta) - big_phi(alpha)) -
+          sigma_ * (phi(beta) - phi(alpha))) /
+         z_;
+}
+
+double TruncatedNormalDistribution::sample(util::Rng& rng) const {
+  // Rejection from the parent normal; acceptance >= z_, and the windows we
+  // use keep z_ large. Falls back to inverse-cdf bisection if unlucky.
+  for (int attempt = 0; attempt < 64; ++attempt) {
+    const double draw = rng.normal(mean_, sigma_);
+    if (draw >= lo_ && draw <= hi_) {
+      return draw;
+    }
+  }
+  double target = rng.uniform();
+  double a = lo_;
+  double b = hi_;
+  for (int i = 0; i < 60; ++i) {
+    const double mid = 0.5 * (a + b);
+    (cdf(mid) < target ? a : b) = mid;
+  }
+  return 0.5 * (a + b);
+}
+
+std::unique_ptr<UtilityDistribution> TruncatedNormalDistribution::clone()
+    const {
+  return std::make_unique<TruncatedNormalDistribution>(*this);
+}
+
+}  // namespace panagree::bosco

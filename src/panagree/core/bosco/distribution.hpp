@@ -1,0 +1,101 @@
+// Utility distributions for the BOSCO mechanism (§V-C1).
+//
+// The BOSCO service does not know the true agreement utilities u_X, u_Y; it
+// estimates a distribution U_Z(u) per party (the paper envisions heuristics
+// over transit/equipment prices). The mechanism mathematics need the pdf,
+// cdf, interval masses and interval first moments (for exact expected-Nash-
+// product integration), plus sampling (for random choice-set generation).
+// Joint distributions are products of the two marginals, as in the paper's
+// U(1) = Unif[-1,1]^2 and U(2) = Unif[-1/2,1]^2.
+#pragma once
+
+#include <memory>
+
+#include "panagree/util/rng.hpp"
+
+namespace panagree::bosco {
+
+class UtilityDistribution {
+ public:
+  virtual ~UtilityDistribution() = default;
+
+  [[nodiscard]] virtual double pdf(double u) const = 0;
+  [[nodiscard]] virtual double cdf(double u) const = 0;
+
+  /// P[lo <= u < hi] (continuous distributions: endpoints immaterial).
+  [[nodiscard]] double mass_in(double lo, double hi) const;
+
+  /// First moment over an interval: integral of u * pdf(u) du over [lo,hi].
+  [[nodiscard]] virtual double first_moment_in(double lo,
+                                               double hi) const = 0;
+
+  [[nodiscard]] virtual double sample(util::Rng& rng) const = 0;
+
+  [[nodiscard]] virtual double support_lo() const = 0;
+  [[nodiscard]] virtual double support_hi() const = 0;
+
+  [[nodiscard]] virtual std::unique_ptr<UtilityDistribution> clone() const = 0;
+};
+
+/// Uniform on [lo, hi].
+class UniformDistribution final : public UtilityDistribution {
+ public:
+  UniformDistribution(double lo, double hi);
+
+  [[nodiscard]] double pdf(double u) const override;
+  [[nodiscard]] double cdf(double u) const override;
+  [[nodiscard]] double first_moment_in(double lo, double hi) const override;
+  [[nodiscard]] double sample(util::Rng& rng) const override;
+  [[nodiscard]] double support_lo() const override { return lo_; }
+  [[nodiscard]] double support_hi() const override { return hi_; }
+  [[nodiscard]] std::unique_ptr<UtilityDistribution> clone() const override;
+
+ private:
+  double lo_;
+  double hi_;
+};
+
+/// Triangular on [lo, hi] with the given mode.
+class TriangularDistribution final : public UtilityDistribution {
+ public:
+  TriangularDistribution(double lo, double mode, double hi);
+
+  [[nodiscard]] double pdf(double u) const override;
+  [[nodiscard]] double cdf(double u) const override;
+  [[nodiscard]] double first_moment_in(double lo, double hi) const override;
+  [[nodiscard]] double sample(util::Rng& rng) const override;
+  [[nodiscard]] double support_lo() const override { return lo_; }
+  [[nodiscard]] double support_hi() const override { return hi_; }
+  [[nodiscard]] std::unique_ptr<UtilityDistribution> clone() const override;
+
+ private:
+  double lo_;
+  double mode_;
+  double hi_;
+};
+
+/// Normal(mean, sigma) truncated to [lo, hi] and renormalized.
+class TruncatedNormalDistribution final : public UtilityDistribution {
+ public:
+  TruncatedNormalDistribution(double mean, double sigma, double lo, double hi);
+
+  [[nodiscard]] double pdf(double u) const override;
+  [[nodiscard]] double cdf(double u) const override;
+  [[nodiscard]] double first_moment_in(double lo, double hi) const override;
+  [[nodiscard]] double sample(util::Rng& rng) const override;
+  [[nodiscard]] double support_lo() const override { return lo_; }
+  [[nodiscard]] double support_hi() const override { return hi_; }
+  [[nodiscard]] std::unique_ptr<UtilityDistribution> clone() const override;
+
+ private:
+  [[nodiscard]] double phi(double u) const;      // standard normal pdf
+  [[nodiscard]] double big_phi(double u) const;  // standard normal cdf
+
+  double mean_;
+  double sigma_;
+  double lo_;
+  double hi_;
+  double z_;  ///< normalizing mass of the untruncated normal on [lo, hi]
+};
+
+}  // namespace panagree::bosco

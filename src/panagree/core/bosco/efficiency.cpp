@@ -1,0 +1,98 @@
+#include "panagree/core/bosco/efficiency.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "panagree/util/error.hpp"
+
+namespace panagree::bosco {
+
+double expected_nash_product(const ChoiceSet& choices_x,
+                             const ChoiceSet& choices_y, const Strategy& sx,
+                             const Strategy& sy,
+                             const UtilityDistribution& dist_x,
+                             const UtilityDistribution& dist_y) {
+  util::require(sx.num_choices() == choices_x.size() &&
+                    sy.num_choices() == choices_y.size(),
+                "expected_nash_product: strategy/choice-set size mismatch");
+  const auto& tx = sx.starts();
+  const auto& ty = sy.starts();
+
+  // Per-cell masses and first moments along each axis.
+  std::vector<double> mass_x(choices_x.size()), mom_x(choices_x.size());
+  std::vector<double> mass_y(choices_y.size()), mom_y(choices_y.size());
+  for (std::size_t i = 0; i < choices_x.size(); ++i) {
+    const double lo = std::max(tx[i], dist_x.support_lo());
+    const double hi = std::min(tx[i + 1], dist_x.support_hi());
+    mass_x[i] = hi > lo ? dist_x.mass_in(lo, hi) : 0.0;
+    mom_x[i] = hi > lo ? dist_x.first_moment_in(lo, hi) : 0.0;
+  }
+  for (std::size_t j = 0; j < choices_y.size(); ++j) {
+    const double lo = std::max(ty[j], dist_y.support_lo());
+    const double hi = std::min(ty[j + 1], dist_y.support_hi());
+    mass_y[j] = hi > lo ? dist_y.mass_in(lo, hi) : 0.0;
+    mom_y[j] = hi > lo ? dist_y.first_moment_in(lo, hi) : 0.0;
+  }
+
+  double total = 0.0;
+  for (std::size_t i = 0; i < choices_x.size(); ++i) {
+    const double vx = choices_x.value(i);
+    if (std::isinf(vx) || mass_x[i] == 0.0) {
+      continue;
+    }
+    for (std::size_t j = 0; j < choices_y.size(); ++j) {
+      const double vy = choices_y.value(j);
+      if (std::isinf(vy) || mass_y[j] == 0.0 || vx + vy < 0.0) {
+        continue;  // negotiation cancelled in this cell: N = 0
+      }
+      const double pi = (vx - vy) / 2.0;  // Pi_{X->Y}
+      // integral over the cell of (u_X - pi)(u_Y + pi) dU = product of the
+      // per-axis integrals (product-form joint).
+      const double ix = mom_x[i] - pi * mass_x[i];
+      const double iy = mom_y[j] + pi * mass_y[j];
+      total += ix * iy;
+    }
+  }
+  return total;
+}
+
+double expected_truthful_nash_product(const UtilityDistribution& dist_x,
+                                      const UtilityDistribution& dist_y,
+                                      std::size_t grid) {
+  util::require(grid >= 8, "expected_truthful_nash_product: grid too small");
+  const double ax = dist_x.support_lo();
+  const double bx = dist_x.support_hi();
+  const double ay = dist_y.support_lo();
+  const double by = dist_y.support_hi();
+  const double hx = (bx - ax) / static_cast<double>(grid);
+  const double hy = (by - ay) / static_cast<double>(grid);
+  // Midpoint rule; the integrand vanishes quadratically at the region
+  // boundary u_X + u_Y = 0, so midpoint converges at O(h^2) without
+  // boundary pathologies.
+  double total = 0.0;
+  for (std::size_t i = 0; i < grid; ++i) {
+    const double x = ax + (static_cast<double>(i) + 0.5) * hx;
+    const double px = dist_x.pdf(x);
+    if (px == 0.0) {
+      continue;
+    }
+    for (std::size_t j = 0; j < grid; ++j) {
+      const double y = ay + (static_cast<double>(j) + 0.5) * hy;
+      const double s = x + y;
+      if (s < 0.0) {
+        continue;
+      }
+      total += px * dist_y.pdf(y) * (s / 2.0) * (s / 2.0);
+    }
+  }
+  return total * hx * hy;
+}
+
+double price_of_dishonesty(double expected_equilibrium,
+                           double expected_truthful) {
+  util::require(expected_truthful > 0.0,
+                "price_of_dishonesty: truthful expectation must be positive");
+  return 1.0 - expected_equilibrium / expected_truthful;
+}
+
+}  // namespace panagree::bosco

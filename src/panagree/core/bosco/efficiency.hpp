@@ -1,0 +1,36 @@
+// Bargaining efficiency (§V-C6): expected Nash bargaining product under a
+// strategy pair (Eq. 19) and the Price of Dishonesty (Eq. 20)
+//
+//   PoD(sigma*) = 1 - E[N | sigma*] / E[N | sigma^T].
+//
+// Both parties' strategies are piecewise constant, so E[N | sigma] is an
+// exact finite sum over claim-cell rectangles: within a cell (v_i, v_j) the
+// integrand (u_X - Pi)(u_Y + Pi) factorizes into per-axis interval masses
+// and first moments. The truthful reference E[N | sigma^T] is computed by
+// 2-D composite Simpson over the joint support.
+#pragma once
+
+#include "panagree/core/bosco/best_response.hpp"
+
+namespace panagree::bosco {
+
+/// Exact E[N | (sx, sy)] for product-form joint distributions (Eq. 19).
+[[nodiscard]] double expected_nash_product(const ChoiceSet& choices_x,
+                                           const ChoiceSet& choices_y,
+                                           const Strategy& sx,
+                                           const Strategy& sy,
+                                           const UtilityDistribution& dist_x,
+                                           const UtilityDistribution& dist_y);
+
+/// E[N | truthful claims]: integral of ((u_X + u_Y)/2)^2 over the region
+/// u_X + u_Y >= 0 (numeric; `grid` intervals per axis).
+[[nodiscard]] double expected_truthful_nash_product(
+    const UtilityDistribution& dist_x, const UtilityDistribution& dist_y,
+    std::size_t grid = 600);
+
+/// Eq. 20; requires E[N | truthful] > 0 (the paper disregards agreements
+/// that are unviable even under honesty).
+[[nodiscard]] double price_of_dishonesty(double expected_equilibrium,
+                                         double expected_truthful);
+
+}  // namespace panagree::bosco

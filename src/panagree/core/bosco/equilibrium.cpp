@@ -1,0 +1,45 @@
+#include "panagree/core/bosco/equilibrium.hpp"
+
+namespace panagree::bosco {
+
+EquilibriumResult find_equilibrium(const ChoiceSet& choices_x,
+                                   const ChoiceSet& choices_y,
+                                   const UtilityDistribution& dist_x,
+                                   const UtilityDistribution& dist_y,
+                                   const EquilibriumOptions& options) {
+  Strategy sx = Strategy::quantizer(choices_x);
+  Strategy sy = Strategy::quantizer(choices_y);
+  EquilibriumResult result{sx, sy, false, 0};
+  for (std::size_t it = 0; it < options.max_iterations; ++it) {
+    Strategy nx = best_response_to(choices_x, choices_y, sy, dist_y);
+    Strategy ny = best_response_to(choices_y, choices_x, nx, dist_x);
+    const bool x_fixed = nx.approx_equal(sx, options.threshold_eps);
+    const bool y_fixed = ny.approx_equal(sy, options.threshold_eps);
+    sx = std::move(nx);
+    sy = std::move(ny);
+    result.iterations = it + 1;
+    if (x_fixed && y_fixed) {
+      // One more cross-check: sx must also be a best response to the new sy.
+      Strategy check = best_response_to(choices_x, choices_y, sy, dist_y);
+      if (check.approx_equal(sx, options.threshold_eps)) {
+        result.converged = true;
+        break;
+      }
+    }
+  }
+  result.x = sx;
+  result.y = sy;
+  return result;
+}
+
+bool is_nash_equilibrium(const ChoiceSet& choices_x,
+                         const ChoiceSet& choices_y, const Strategy& sx,
+                         const Strategy& sy,
+                         const UtilityDistribution& dist_x,
+                         const UtilityDistribution& dist_y, double eps) {
+  const Strategy bx = best_response_to(choices_x, choices_y, sy, dist_y);
+  const Strategy by = best_response_to(choices_y, choices_x, sx, dist_x);
+  return bx.approx_equal(sx, eps) && by.approx_equal(sy, eps);
+}
+
+}  // namespace panagree::bosco

@@ -1,0 +1,40 @@
+// Nash equilibria of the bargaining game (§V-C5): a pair of strategies,
+// each a best response to the other, found by alternating best-response
+// dynamics. The game is not a potential game, but the iteration converged
+// in all of the paper's simulations (and in ours; convergence is reported).
+#pragma once
+
+#include <cstddef>
+
+#include "panagree/core/bosco/best_response.hpp"
+
+namespace panagree::bosco {
+
+struct EquilibriumOptions {
+  std::size_t max_iterations = 256;
+  double threshold_eps = 1e-12;
+};
+
+struct EquilibriumResult {
+  Strategy x;
+  Strategy y;
+  bool converged = false;
+  std::size_t iterations = 0;
+};
+
+/// Alternating best-response dynamics starting from the floor quantizers.
+[[nodiscard]] EquilibriumResult find_equilibrium(
+    const ChoiceSet& choices_x, const ChoiceSet& choices_y,
+    const UtilityDistribution& dist_x, const UtilityDistribution& dist_y,
+    const EquilibriumOptions& options = {});
+
+/// Verifies the defining property: each strategy is a best response to the
+/// other (used by the parties to check the service's proposal, §V-C6).
+[[nodiscard]] bool is_nash_equilibrium(const ChoiceSet& choices_x,
+                                       const ChoiceSet& choices_y,
+                                       const Strategy& sx, const Strategy& sy,
+                                       const UtilityDistribution& dist_x,
+                                       const UtilityDistribution& dist_y,
+                                       double eps = 1e-9);
+
+}  // namespace panagree::bosco

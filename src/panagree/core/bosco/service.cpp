@@ -1,0 +1,116 @@
+#include "panagree/core/bosco/service.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "panagree/util/error.hpp"
+
+namespace panagree::bosco {
+
+BoscoService::BoscoService(std::unique_ptr<UtilityDistribution> dist_x,
+                           std::unique_ptr<UtilityDistribution> dist_y,
+                           BoscoServiceOptions options)
+    : dist_x_(std::move(dist_x)),
+      dist_y_(std::move(dist_y)),
+      options_(options) {
+  util::require(dist_x_ != nullptr && dist_y_ != nullptr,
+                "BoscoService: distributions must be non-null");
+  util::require(options_.trials >= 1, "BoscoService: need at least one trial");
+}
+
+BoscoService::Trial BoscoService::run_trial(std::size_t cardinality,
+                                            util::Rng& rng,
+                                            double expected_truthful) const {
+  const ChoiceSet vx = ChoiceSet::random(*dist_x_, cardinality, rng);
+  const ChoiceSet vy = ChoiceSet::random(*dist_y_, cardinality, rng);
+  EquilibriumResult eq =
+      find_equilibrium(vx, vy, *dist_x_, *dist_y_, options_.equilibrium);
+  Trial trial{MechanismInfoSet{vx, vy, eq.x, eq.y, 0.0, expected_truthful,
+                               1.0, 0.0, eq.converged},
+              false};
+  if (!eq.converged) {
+    return trial;
+  }
+  trial.info.expected_nash = expected_nash_product(
+      vx, vy, trial.info.strategy_x, trial.info.strategy_y, *dist_x_,
+      *dist_y_);
+  trial.info.pod =
+      price_of_dishonesty(trial.info.expected_nash, expected_truthful);
+  trial.info.privacy = std::min(eq.x.shortest_active_interval(),
+                                eq.y.shortest_active_interval());
+  trial.usable = trial.info.privacy >= options_.min_privacy_interval;
+  return trial;
+}
+
+MechanismInfoSet BoscoService::configure(std::size_t cardinality) const {
+  util::Rng rng(options_.seed);
+  const double truthful = expected_truthful_nash_product(
+      *dist_x_, *dist_y_, options_.truthful_grid);
+  util::require(truthful > 0.0,
+                "BoscoService::configure: agreement unviable even under "
+                "honesty (E[N | truthful] = 0)");
+  std::optional<MechanismInfoSet> best;
+  for (std::size_t t = 0; t < options_.trials; ++t) {
+    Trial trial = run_trial(cardinality, rng, truthful);
+    if (trial.usable && (!best || trial.info.pod < best->pod)) {
+      best = std::move(trial.info);
+    }
+  }
+  util::require(best.has_value(),
+                "BoscoService::configure: no trial converged");
+  return *best;
+}
+
+BoscoService::TrialStatistics BoscoService::trial_statistics(
+    std::size_t cardinality) const {
+  util::Rng rng(options_.seed);
+  const double truthful = expected_truthful_nash_product(
+      *dist_x_, *dist_y_, options_.truthful_grid);
+  util::require(truthful > 0.0,
+                "BoscoService::trial_statistics: truthful expectation zero");
+  TrialStatistics stats;
+  stats.trials = options_.trials;
+  double pod_sum = 0.0;
+  double active_x_sum = 0.0;
+  double active_y_sum = 0.0;
+  for (std::size_t t = 0; t < options_.trials; ++t) {
+    const Trial trial = run_trial(cardinality, rng, truthful);
+    if (!trial.usable) {
+      continue;
+    }
+    ++stats.converged_trials;
+    pod_sum += trial.info.pod;
+    stats.min_pod = std::min(stats.min_pod, trial.info.pod);
+    active_x_sum +=
+        static_cast<double>(trial.info.strategy_x.active_choices());
+    active_y_sum +=
+        static_cast<double>(trial.info.strategy_y.active_choices());
+  }
+  if (stats.converged_trials > 0) {
+    const auto n = static_cast<double>(stats.converged_trials);
+    stats.mean_pod = pod_sum / n;
+    stats.mean_active_choices_x = active_x_sum / n;
+    stats.mean_active_choices_y = active_y_sum / n;
+  }
+  return stats;
+}
+
+NegotiationOutcome BoscoService::execute(const MechanismInfoSet& info,
+                                         double true_u_x, double true_u_y) {
+  NegotiationOutcome outcome;
+  outcome.claim_x =
+      info.choices_x.value(info.strategy_x.choice_for(true_u_x));
+  outcome.claim_y =
+      info.choices_y.value(info.strategy_y.choice_for(true_u_y));
+  if (std::isinf(outcome.claim_x) || std::isinf(outcome.claim_y) ||
+      outcome.claim_x + outcome.claim_y < 0.0) {
+    return outcome;  // negotiation cancelled: both parties keep u = 0
+  }
+  outcome.concluded = true;
+  outcome.transfer_x_to_y = (outcome.claim_x - outcome.claim_y) / 2.0;
+  outcome.u_x_after = true_u_x - outcome.transfer_x_to_y;
+  outcome.u_y_after = true_u_y + outcome.transfer_x_to_y;
+  return outcome;
+}
+
+}  // namespace panagree::bosco

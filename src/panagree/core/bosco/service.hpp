@@ -1,0 +1,100 @@
+// The BOSCO service (§V-C): constructs choice sets, finds an associated
+// equilibrium with low Price of Dishonesty, publishes the mechanism-
+// information set, and adjudicates the one-shot bargaining game.
+#pragma once
+
+#include <memory>
+#include <optional>
+
+#include "panagree/core/bosco/choice_set.hpp"
+#include "panagree/core/bosco/efficiency.hpp"
+#include "panagree/core/bosco/equilibrium.hpp"
+
+namespace panagree::bosco {
+
+/// The (U_X, U_Y, V_X, V_Y, sigma*) tuple the service communicates to the
+/// parties (§V-C6), plus the efficiency metrics it was selected by.
+struct MechanismInfoSet {
+  ChoiceSet choices_x;
+  ChoiceSet choices_y;
+  Strategy strategy_x;
+  Strategy strategy_y;
+  double expected_nash = 0.0;
+  double expected_truthful = 0.0;
+  double pod = 1.0;
+  /// §V-D privacy metric: the shorter of the two strategies' shortest
+  /// bounded claim intervals (larger = harder to reconstruct utilities).
+  double privacy = 0.0;
+  bool converged = false;
+};
+
+/// Outcome of executing the bargaining game with true utilities.
+struct NegotiationOutcome {
+  bool concluded = false;
+  double claim_x = 0.0;
+  double claim_y = 0.0;
+  double transfer_x_to_y = 0.0;  ///< Pi = (v_X - v_Y)/2 when concluded
+  double u_x_after = 0.0;
+  double u_y_after = 0.0;
+};
+
+struct BoscoServiceOptions {
+  /// Random choice-set generation trials per configure() call (§V-E uses
+  /// 200 for the Fig. 2 statistics).
+  std::size_t trials = 200;
+  std::uint64_t seed = 1;
+  EquilibriumOptions equilibrium;
+  /// Grid for the truthful reference integral.
+  std::size_t truthful_grid = 600;
+  /// §V-D: configure() rejects equilibria whose shortest bounded claim
+  /// interval is below this (0 = no privacy constraint). Trades bargaining
+  /// efficiency for reconstruction resistance.
+  double min_privacy_interval = 0.0;
+};
+
+class BoscoService {
+ public:
+  /// Takes ownership of the estimated utility distributions.
+  BoscoService(std::unique_ptr<UtilityDistribution> dist_x,
+               std::unique_ptr<UtilityDistribution> dist_y,
+               BoscoServiceOptions options = {});
+
+  /// Draws `options.trials` random choice-set pairs of the given
+  /// cardinality, computes their equilibria, and returns the configuration
+  /// with the lowest PoD. Non-converging trials are skipped.
+  [[nodiscard]] MechanismInfoSet configure(std::size_t cardinality) const;
+
+  /// Per-trial PoD statistics for a cardinality (Fig. 2 rows).
+  struct TrialStatistics {
+    double min_pod = 1.0;
+    double mean_pod = 1.0;
+    double mean_active_choices_x = 0.0;
+    double mean_active_choices_y = 0.0;
+    std::size_t converged_trials = 0;
+    std::size_t trials = 0;
+  };
+  [[nodiscard]] TrialStatistics trial_statistics(std::size_t cardinality) const;
+
+  /// Plays the one-shot game: both parties apply their assigned equilibrium
+  /// strategy to their true utility and the service adjudicates (§V-C3).
+  [[nodiscard]] static NegotiationOutcome execute(const MechanismInfoSet& info,
+                                                  double true_u_x,
+                                                  double true_u_y);
+
+  [[nodiscard]] const UtilityDistribution& dist_x() const { return *dist_x_; }
+  [[nodiscard]] const UtilityDistribution& dist_y() const { return *dist_y_; }
+
+ private:
+  struct Trial {
+    MechanismInfoSet info;
+    bool usable = false;
+  };
+  [[nodiscard]] Trial run_trial(std::size_t cardinality, util::Rng& rng,
+                                double expected_truthful) const;
+
+  std::unique_ptr<UtilityDistribution> dist_x_;
+  std::unique_ptr<UtilityDistribution> dist_y_;
+  BoscoServiceOptions options_;
+};
+
+}  // namespace panagree::bosco

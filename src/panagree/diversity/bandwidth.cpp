@@ -1,0 +1,73 @@
+#include "panagree/diversity/bandwidth.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <unordered_map>
+
+namespace panagree::diversity {
+
+double length3_bandwidth(const Graph& graph, AsId s, AsId m, AsId d) {
+  const auto l1 = graph.link_between(s, m);
+  const auto l2 = graph.link_between(m, d);
+  util::require(l1.has_value() && l2.has_value(),
+                "length3_bandwidth: path hops must be linked");
+  return std::min(graph.link(*l1).capacity, graph.link(*l2).capacity);
+}
+
+BandwidthReport analyze_bandwidth(const Graph& graph,
+                                  const std::vector<AsId>& sources) {
+  BandwidthReport report;
+  const Length3Analyzer analyzer(graph);
+
+  struct PairAccumulator {
+    std::vector<float> grc;
+    std::vector<float> ma;
+  };
+
+  for (const AsId src : sources) {
+    std::unordered_map<AsId, PairAccumulator> per_dst;
+    for (const Length3Path& p : analyzer.grc_paths(src)) {
+      per_dst[p.dst].grc.push_back(
+          static_cast<float>(length3_bandwidth(graph, p.src, p.mid, p.dst)));
+    }
+    for (const Length3Path& p : analyzer.ma_paths(src)) {
+      const auto it = per_dst.find(p.dst);
+      if (it == per_dst.end()) {
+        continue;
+      }
+      it->second.ma.push_back(
+          static_cast<float>(length3_bandwidth(graph, p.src, p.mid, p.dst)));
+    }
+    for (auto& [dst, acc] : per_dst) {
+      if (acc.grc.empty()) {
+        continue;
+      }
+      std::sort(acc.grc.begin(), acc.grc.end());
+      const float grc_min = acc.grc.front();
+      const float grc_max = acc.grc.back();
+      const float grc_median = acc.grc[acc.grc.size() / 2];
+      BandwidthPairResult result;
+      float ma_max = 0.0F;
+      for (const float b : acc.ma) {
+        if (b > grc_max) {
+          ++result.ma_paths_above_grc_max;
+        }
+        if (b > grc_median) {
+          ++result.ma_paths_above_grc_median;
+        }
+        if (b > grc_min) {
+          ++result.ma_paths_above_grc_min;
+        }
+        ma_max = std::max(ma_max, b);
+      }
+      if (ma_max > grc_max && grc_max > 0.0F) {
+        result.relative_increase =
+            static_cast<double>(ma_max) / static_cast<double>(grc_max) - 1.0;
+      }
+      report.pairs.push_back(result);
+    }
+  }
+  return report;
+}
+
+}  // namespace panagree::diversity

@@ -1,0 +1,33 @@
+// Bandwidth analysis (§VI-C, Fig. 6): path bandwidth is the minimum
+// degree-gravity link capacity along the path; MA paths are compared
+// against the GRC max/median/min per AS pair.
+#pragma once
+
+#include <vector>
+
+#include "panagree/diversity/length3.hpp"
+
+namespace panagree::diversity {
+
+struct BandwidthPairResult {
+  std::size_t ma_paths_above_grc_max = 0;
+  std::size_t ma_paths_above_grc_median = 0;
+  std::size_t ma_paths_above_grc_min = 0;
+  /// Relative increase of the maximum bandwidth (0 if not improved).
+  double relative_increase = 0.0;
+};
+
+struct BandwidthReport {
+  /// One entry per analyzed AS pair connected by >= 1 GRC length-3 path.
+  std::vector<BandwidthPairResult> pairs;
+};
+
+/// Bandwidth of the length-3 path s-m-d: min of the two link capacities.
+[[nodiscard]] double length3_bandwidth(const Graph& graph, AsId s, AsId m,
+                                       AsId d);
+
+/// Runs the §VI-C comparison; requires capacities to be assigned.
+[[nodiscard]] BandwidthReport analyze_bandwidth(
+    const Graph& graph, const std::vector<AsId>& sources);
+
+}  // namespace panagree::diversity

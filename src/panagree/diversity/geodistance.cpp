@@ -1,0 +1,122 @@
+#include "panagree/diversity/geodistance.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "panagree/geo/coordinates.hpp"
+
+namespace panagree::diversity {
+
+GeodistanceModel::GeodistanceModel(const Graph& graph, const geo::World& world)
+    : graph_(&graph), world_(&world), num_cities_(world.cities().size()) {
+  city_matrix_.assign(num_cities_ * num_cities_, 0.0);
+  for (std::size_t a = 0; a < num_cities_; ++a) {
+    for (std::size_t b = a + 1; b < num_cities_; ++b) {
+      const double d = geo::great_circle_km(world.city(a).location,
+                                            world.city(b).location);
+      city_matrix_[a * num_cities_ + b] = d;
+      city_matrix_[b * num_cities_ + a] = d;
+    }
+  }
+}
+
+double GeodistanceModel::city_to_city_km(std::size_t a, std::size_t b) const {
+  PANAGREE_ASSERT(a < num_cities_ && b < num_cities_);
+  return city_matrix_[a * num_cities_ + b];
+}
+
+double GeodistanceModel::as_to_city_km(AsId as, std::size_t city) const {
+  const std::uint64_t key =
+      (static_cast<std::uint64_t>(as) << 32) | static_cast<std::uint32_t>(city);
+  const auto it = as_city_cache_.find(key);
+  if (it != as_city_cache_.end()) {
+    return it->second;
+  }
+  const double d = geo::great_circle_km(graph_->info(as).centroid,
+                                        world_->city(city).location);
+  as_city_cache_.emplace(key, d);
+  return d;
+}
+
+double GeodistanceModel::path_geodistance_km(AsId s, AsId m, AsId d) const {
+  const auto l1 = graph_->link_between(s, m);
+  const auto l2 = graph_->link_between(m, d);
+  util::require(l1.has_value() && l2.has_value(),
+                "path_geodistance_km: path hops must be linked");
+  util::require(graph_->info(s).has_geo && graph_->info(d).has_geo,
+                "path_geodistance_km: endpoints need geodata");
+  const auto& fac1 = graph_->link(*l1).facilities;
+  const auto& fac2 = graph_->link(*l2).facilities;
+  util::require(!fac1.empty() && !fac2.empty(),
+                "path_geodistance_km: links need facilities");
+  double best = std::numeric_limits<double>::infinity();
+  for (const std::size_t c1 : fac1) {
+    const double head = as_to_city_km(s, c1);
+    for (const std::size_t c2 : fac2) {
+      const double total =
+          head + city_to_city_km(c1, c2) + as_to_city_km(d, c2);
+      best = std::min(best, total);
+    }
+  }
+  return best;
+}
+
+GeodistanceReport analyze_geodistance(const Graph& graph,
+                                      const geo::World& world,
+                                      const std::vector<AsId>& sources) {
+  GeodistanceReport report;
+  const GeodistanceModel model(graph, world);
+  const Length3Analyzer analyzer(graph);
+
+  struct PairAccumulator {
+    std::vector<float> grc;
+    std::vector<float> ma;
+  };
+
+  for (const AsId src : sources) {
+    std::unordered_map<AsId, PairAccumulator> per_dst;
+    for (const Length3Path& p : analyzer.grc_paths(src)) {
+      per_dst[p.dst].grc.push_back(
+          static_cast<float>(model.path_geodistance_km(p.src, p.mid, p.dst)));
+    }
+    for (const Length3Path& p : analyzer.ma_paths(src)) {
+      const auto it = per_dst.find(p.dst);
+      if (it == per_dst.end()) {
+        continue;  // pair not GRC-connected at length 3: out of scope
+      }
+      it->second.ma.push_back(
+          static_cast<float>(model.path_geodistance_km(p.src, p.mid, p.dst)));
+    }
+    for (auto& [dst, acc] : per_dst) {
+      if (acc.grc.empty()) {
+        continue;
+      }
+      std::sort(acc.grc.begin(), acc.grc.end());
+      const float grc_min = acc.grc.front();
+      const float grc_max = acc.grc.back();
+      const float grc_median = acc.grc[acc.grc.size() / 2];
+      GeoPairResult result;
+      float ma_min = std::numeric_limits<float>::infinity();
+      for (const float g : acc.ma) {
+        if (g < grc_max) {
+          ++result.ma_paths_below_grc_max;
+        }
+        if (g < grc_median) {
+          ++result.ma_paths_below_grc_median;
+        }
+        if (g < grc_min) {
+          ++result.ma_paths_below_grc_min;
+        }
+        ma_min = std::min(ma_min, g);
+      }
+      if (ma_min < grc_min) {
+        result.relative_reduction =
+            1.0 - static_cast<double>(ma_min) / static_cast<double>(grc_min);
+      }
+      report.pairs.push_back(result);
+    }
+  }
+  return report;
+}
+
+}  // namespace panagree::diversity

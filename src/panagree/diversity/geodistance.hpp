@@ -1,0 +1,59 @@
+// Geodistance analysis (§VI-B, Fig. 5).
+//
+// The geodistance of a length-3 path A1-l12-A2-l23-A3 is
+//   d(pi) = d(A1, l12) + d(l12, l23) + d(l23, A3),
+// where AS positions are centroid artifacts and link positions range over
+// the link's candidate facilities; with multiple facilities the minimum
+// over combinations is taken, exactly as in the paper.
+#pragma once
+
+#include <unordered_map>
+#include <vector>
+
+#include "panagree/diversity/length3.hpp"
+#include "panagree/geo/region.hpp"
+
+namespace panagree::diversity {
+
+class GeodistanceModel {
+ public:
+  GeodistanceModel(const Graph& graph, const geo::World& world);
+
+  /// Geodistance of the length-3 path s-m-d in kilometres (minimized over
+  /// facility combinations). Requires links s-m and m-d to exist and all
+  /// three ASes to carry geodata.
+  [[nodiscard]] double path_geodistance_km(AsId s, AsId m, AsId d) const;
+
+ private:
+  [[nodiscard]] double as_to_city_km(AsId as, std::size_t city) const;
+  [[nodiscard]] double city_to_city_km(std::size_t a, std::size_t b) const;
+
+  const Graph* graph_;
+  const geo::World* world_;
+  /// Dense city-to-city distance matrix (city counts are small).
+  std::vector<double> city_matrix_;
+  std::size_t num_cities_;
+  mutable std::unordered_map<std::uint64_t, double> as_city_cache_;
+};
+
+/// Per-AS-pair result of the geodistance comparison (Fig. 5a/5b).
+struct GeoPairResult {
+  std::size_t ma_paths_below_grc_max = 0;
+  std::size_t ma_paths_below_grc_median = 0;
+  std::size_t ma_paths_below_grc_min = 0;
+  /// Relative reduction of the minimum geodistance (0 if not improved).
+  double relative_reduction = 0.0;
+};
+
+struct GeodistanceReport {
+  /// One entry per analyzed AS pair connected by >= 1 GRC length-3 path.
+  std::vector<GeoPairResult> pairs;
+};
+
+/// Runs the §VI-B comparison for all pairs (src in `sources`, dst with at
+/// least one GRC length-3 path from src).
+[[nodiscard]] GeodistanceReport analyze_geodistance(
+    const Graph& graph, const geo::World& world,
+    const std::vector<AsId>& sources);
+
+}  // namespace panagree::diversity

@@ -1,0 +1,208 @@
+#include "panagree/diversity/length3.hpp"
+
+#include <algorithm>
+
+namespace panagree::diversity {
+
+namespace {
+
+std::uint64_t pair_key(AsId mid, AsId dst) {
+  return (static_cast<std::uint64_t>(mid) << 32) | dst;
+}
+
+}  // namespace
+
+Length3Analyzer::Length3Analyzer(const Graph& graph) : graph_(&graph) {}
+
+bool Length3Analyzer::is_grc(AsId s, AsId m, AsId d) const {
+  if (s == m || m == d || s == d) {
+    return false;
+  }
+  const auto sm = graph_->role_of(m, s);
+  const auto md = graph_->role_of(m, d);
+  if (!sm || !md) {
+    return false;
+  }
+  // M forwards iff one side is its customer.
+  return sm == topology::NeighborRole::kCustomer ||
+         md == topology::NeighborRole::kCustomer;
+}
+
+std::vector<Length3Path> Length3Analyzer::grc_paths(AsId src) const {
+  util::require(src < graph_->num_ases(), "grc_paths: AS out of range");
+  std::vector<Length3Path> out;
+  // Via a provider M, every neighbor of M is reachable; via a peer or
+  // customer M, only M's customers are.
+  for (const AsId m : graph_->providers(src)) {
+    for (const AsId d : graph_->neighbors(m)) {
+      if (d != src) {
+        out.push_back({src, m, d});
+      }
+    }
+  }
+  for (const AsId m : graph_->peers(src)) {
+    for (const AsId d : graph_->customers(m)) {
+      if (d != src) {
+        out.push_back({src, m, d});
+      }
+    }
+  }
+  for (const AsId m : graph_->customers(src)) {
+    for (const AsId d : graph_->customers(m)) {
+      if (d != src) {
+        out.push_back({src, m, d});
+      }
+    }
+  }
+  return out;
+}
+
+void Length3Analyzer::direct_dests(AsId beneficiary, AsId mid,
+                                   std::vector<AsId>& out) const {
+  // MA rule: providers and peers of `mid` that are not the beneficiary and
+  // not customers of the beneficiary.
+  const auto excluded = [&](AsId z) {
+    return z == beneficiary ||
+           graph_->role_of(beneficiary, z) == topology::NeighborRole::kCustomer;
+  };
+  for (const AsId z : graph_->providers(mid)) {
+    if (!excluded(z)) {
+      out.push_back(z);
+    }
+  }
+  for (const AsId z : graph_->peers(mid)) {
+    if (!excluded(z)) {
+      out.push_back(z);
+    }
+  }
+}
+
+std::vector<Length3Path> Length3Analyzer::ma_direct_paths(AsId src) const {
+  util::require(src < graph_->num_ases(), "ma_direct_paths: AS out of range");
+  std::vector<Length3Path> out;
+  std::vector<AsId> dests;
+  for (const AsId p : graph_->peers(src)) {
+    dests.clear();
+    direct_dests(src, p, dests);
+    for (const AsId z : dests) {
+      out.push_back({src, p, z});
+    }
+  }
+  return out;
+}
+
+std::vector<Length3Path> Length3Analyzer::ma_paths(AsId src) const {
+  util::require(src < graph_->num_ases(), "ma_paths: AS out of range");
+  std::vector<Length3Path> out = ma_direct_paths(src);
+  std::unordered_set<std::uint64_t> seen;
+  seen.reserve(out.size() * 2);
+  for (const Length3Path& p : out) {
+    seen.insert(pair_key(p.mid, p.dst));
+  }
+  // Indirect: MAs between P and Q (peers) grant Q access to src whenever
+  // src is a provider or peer of P and not a customer of Q; the resulting
+  // path Q-P-src has src as an endpoint. P is then a customer or peer of
+  // src.
+  const auto add_indirect = [&](AsId p) {
+    for (const AsId q : graph_->peers(p)) {
+      if (q == src) {
+        continue;
+      }
+      // src must not be a customer of Q (else the MA rule excludes it).
+      if (graph_->role_of(q, src) == topology::NeighborRole::kCustomer) {
+        continue;
+      }
+      if (seen.insert(pair_key(p, q)).second) {
+        out.push_back({src, p, q});
+      }
+    }
+  };
+  for (const AsId p : graph_->customers(src)) {
+    add_indirect(p);
+  }
+  for (const AsId p : graph_->peers(src)) {
+    add_indirect(p);
+  }
+  return out;
+}
+
+SourceCounts Length3Analyzer::count(
+    AsId src, const std::vector<std::size_t>& top_ns) const {
+  util::require(src < graph_->num_ases(), "count: AS out of range");
+  SourceCounts counts;
+  const std::size_t n_as = graph_->num_ases();
+
+  // --- GRC ---
+  std::vector<bool> grc_dest(n_as, false);
+  {
+    const auto paths = grc_paths(src);
+    counts.grc_paths = paths.size();
+    for (const Length3Path& p : paths) {
+      if (!grc_dest[p.dst]) {
+        grc_dest[p.dst] = true;
+        ++counts.grc_dests;
+      }
+    }
+  }
+
+  // --- Direct MAs, ranked by gain for the Top-n scenarios ---
+  struct PeerGain {
+    AsId peer;
+    std::vector<AsId> dests;
+  };
+  std::vector<PeerGain> gains;
+  gains.reserve(graph_->peers(src).size());
+  for (const AsId p : graph_->peers(src)) {
+    PeerGain g{p, {}};
+    direct_dests(src, p, g.dests);
+    gains.push_back(std::move(g));
+  }
+  std::sort(gains.begin(), gains.end(),
+            [](const PeerGain& a, const PeerGain& b) {
+              if (a.dests.size() != b.dests.size()) {
+                return a.dests.size() > b.dests.size();
+              }
+              return a.peer < b.peer;
+            });
+
+  // Walk peers in rank order once, recording cumulative paths and new (not
+  // GRC-reachable) destinations, then read off the Top-n prefix sums.
+  std::vector<bool> ma_dest(n_as, false);
+  std::vector<std::size_t> cum_paths(gains.size() + 1, 0);
+  std::vector<std::size_t> cum_dests(gains.size() + 1, 0);
+  std::size_t new_dests = 0;
+  for (std::size_t i = 0; i < gains.size(); ++i) {
+    cum_paths[i + 1] = cum_paths[i] + gains[i].dests.size();
+    for (const AsId z : gains[i].dests) {
+      if (!ma_dest[z] && !grc_dest[z]) {
+        ma_dest[z] = true;
+        ++new_dests;
+      }
+    }
+    cum_dests[i + 1] = new_dests;
+  }
+  counts.ma_direct_paths = cum_paths[gains.size()];
+  counts.ma_direct_dests = cum_dests[gains.size()];
+  for (const std::size_t n : top_ns) {
+    const std::size_t idx = std::min(n, gains.size());
+    counts.ma_top_paths.push_back(cum_paths[idx]);
+    counts.ma_top_dests.push_back(cum_dests[idx]);
+  }
+
+  // --- All MA paths (direct + indirect) ---
+  {
+    const auto paths = ma_paths(src);
+    counts.ma_all_paths = paths.size();
+    std::size_t dests = counts.ma_direct_dests;
+    for (const Length3Path& p : paths) {
+      if (!ma_dest[p.dst] && !grc_dest[p.dst]) {
+        ma_dest[p.dst] = true;
+        ++dests;
+      }
+    }
+    counts.ma_all_dests = dests;
+  }
+  return counts;
+}
+
+}  // namespace panagree::diversity

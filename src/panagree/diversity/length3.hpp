@@ -1,0 +1,80 @@
+// Length-3 path enumeration (§VI): paths with 3 AS hops and 2 inter-AS
+// links, the unit of the paper's path-diversity analysis.
+//
+// GRC rule: a path S-M-D is available in today's Internet iff the middle AS
+// forwards it, i.e. S or D is a customer of M (equivalently: the path is
+// valley-free).
+//
+// MA rule (§VI): every peer pair (A, B) concludes an MA granting each the
+// other's providers and peers that are not its own customers. An AS gains
+// paths *directly* (from MAs it concludes: S-P-Z for peers P) and
+// *indirectly* (from MAs between P and Q where the AS is among P's granted
+// providers/peers: S-P-Q). Direct and indirect sets overlap and are
+// deduplicated by (mid, dst).
+#pragma once
+
+#include <cstdint>
+#include <unordered_set>
+#include <vector>
+
+#include "panagree/topology/graph.hpp"
+
+namespace panagree::diversity {
+
+using topology::AsId;
+using topology::Graph;
+
+struct Length3Path {
+  AsId src = topology::kInvalidAs;
+  AsId mid = topology::kInvalidAs;
+  AsId dst = topology::kInvalidAs;
+
+  friend bool operator==(const Length3Path&, const Length3Path&) = default;
+};
+
+/// Per-source diversity counters for one MA-conclusion scenario set.
+struct SourceCounts {
+  std::size_t grc_paths = 0;
+  std::size_t grc_dests = 0;
+  /// Additional MA paths when only the top-n MAs (by direct gain) are
+  /// concluded, for each requested n (same order as the query).
+  std::vector<std::size_t> ma_top_paths;
+  std::vector<std::size_t> ma_top_dests;  ///< additional destinations
+  std::size_t ma_direct_paths = 0;        ///< MA* (all own MAs)
+  std::size_t ma_direct_dests = 0;
+  std::size_t ma_all_paths = 0;  ///< MA (direct and indirect, deduplicated)
+  std::size_t ma_all_dests = 0;
+};
+
+class Length3Analyzer {
+ public:
+  explicit Length3Analyzer(const Graph& graph);
+
+  /// All GRC length-3 paths starting at src.
+  [[nodiscard]] std::vector<Length3Path> grc_paths(AsId src) const;
+
+  /// All MA-created length-3 paths with src as an endpoint (direct and
+  /// indirect, deduplicated). None of them is GRC-valid.
+  [[nodiscard]] std::vector<Length3Path> ma_paths(AsId src) const;
+
+  /// Only the directly gained MA paths of src (the MA* series).
+  [[nodiscard]] std::vector<Length3Path> ma_direct_paths(AsId src) const;
+
+  /// Full per-source counters; `top_ns` requests the "Top n" scenarios.
+  [[nodiscard]] SourceCounts count(AsId src,
+                                   const std::vector<std::size_t>& top_ns) const;
+
+  /// True iff S-M-D is a GRC-valid length-3 path.
+  [[nodiscard]] bool is_grc(AsId s, AsId m, AsId d) const;
+
+  [[nodiscard]] const Graph& graph() const { return *graph_; }
+
+ private:
+  /// Destinations granted to `beneficiary` by an MA with its peer `mid`.
+  void direct_dests(AsId beneficiary, AsId mid,
+                    std::vector<AsId>& out) const;
+
+  const Graph* graph_;
+};
+
+}  // namespace panagree::diversity

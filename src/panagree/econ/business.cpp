@@ -1,0 +1,200 @@
+#include "panagree/econ/business.hpp"
+
+#include <algorithm>
+
+namespace panagree::econ {
+
+std::uint64_t TrafficAllocation::pair_key(AsId x, AsId y) {
+  const AsId lo = std::min(x, y);
+  const AsId hi = std::max(x, y);
+  return (static_cast<std::uint64_t>(lo) << 32) | hi;
+}
+
+TrafficAllocation::TripleKey TrafficAllocation::canonical_triple(AsId x,
+                                                                 AsId y,
+                                                                 AsId z) {
+  if (x <= z) {
+    return TripleKey{x, y, z};
+  }
+  return TripleKey{z, y, x};
+}
+
+std::size_t TrafficAllocation::TripleKeyHash::operator()(
+    const TripleKey& k) const {
+  std::uint64_t h = (static_cast<std::uint64_t>(k.a) << 32) | k.b;
+  h ^= 0x9e3779b97f4a7c15ULL + static_cast<std::uint64_t>(k.c) +
+       (h << 6) + (h >> 2);
+  return std::hash<std::uint64_t>{}(h);
+}
+
+void TrafficAllocation::add_path_flow(std::span<const AsId> path,
+                                      double volume) {
+  util::require(path.size() >= 1, "add_path_flow: path must be non-empty");
+  for (std::size_t i = 0; i < path.size(); ++i) {
+    for (std::size_t j = i + 1; j < path.size(); ++j) {
+      util::require(path[i] != path[j],
+                    "add_path_flow: path must not repeat ASes");
+    }
+  }
+  for (const AsId as : path) {
+    through_flows_[as] += volume;
+  }
+  stub_flows_[path.front()] += volume;
+  if (path.size() >= 2) {
+    stub_flows_[path.back()] += volume;
+    for (std::size_t i = 0; i + 1 < path.size(); ++i) {
+      link_flows_[pair_key(path[i], path[i + 1])] += volume;
+    }
+    for (std::size_t i = 0; i + 2 < path.size(); ++i) {
+      segment_flows_[canonical_triple(path[i], path[i + 1], path[i + 2])] +=
+          volume;
+    }
+  }
+}
+
+void TrafficAllocation::add_local_flow(AsId as, double volume) {
+  through_flows_[as] += volume;
+  stub_flows_[as] += volume;
+}
+
+double TrafficAllocation::link_flow(AsId x, AsId y) const {
+  const auto it = link_flows_.find(pair_key(x, y));
+  return it == link_flows_.end() ? 0.0 : it->second;
+}
+
+double TrafficAllocation::segment_flow(AsId x, AsId y, AsId z) const {
+  const auto it = segment_flows_.find(canonical_triple(x, y, z));
+  return it == segment_flows_.end() ? 0.0 : it->second;
+}
+
+double TrafficAllocation::through_flow(AsId as) const {
+  const auto it = through_flows_.find(as);
+  return it == through_flows_.end() ? 0.0 : it->second;
+}
+
+double TrafficAllocation::stub_flow(AsId as) const {
+  const auto it = stub_flows_.find(as);
+  return it == stub_flows_.end() ? 0.0 : it->second;
+}
+
+void TrafficAllocation::merge(const TrafficAllocation& other) {
+  for (const auto& [k, v] : other.link_flows_) {
+    link_flows_[k] += v;
+  }
+  for (const auto& [k, v] : other.segment_flows_) {
+    segment_flows_[k] += v;
+  }
+  for (const auto& [k, v] : other.through_flows_) {
+    through_flows_[k] += v;
+  }
+  for (const auto& [k, v] : other.stub_flows_) {
+    stub_flows_[k] += v;
+  }
+}
+
+bool TrafficAllocation::is_non_negative(double epsilon) const {
+  const auto all_ok = [epsilon](const auto& map) {
+    return std::all_of(map.begin(), map.end(), [epsilon](const auto& kv) {
+      return kv.second >= -epsilon;
+    });
+  };
+  return all_ok(link_flows_) && all_ok(segment_flows_) &&
+         all_ok(through_flows_) && all_ok(stub_flows_);
+}
+
+Economy::Economy(const Graph& graph)
+    : graph_(&graph),
+      stub_pricing_(graph.num_ases()),
+      internal_costs_(graph.num_ases()) {}
+
+namespace {
+std::uint64_t directed_key(AsId provider, AsId customer) {
+  return (static_cast<std::uint64_t>(provider) << 32) | customer;
+}
+}  // namespace
+
+void Economy::set_link_pricing(AsId provider, AsId customer,
+                               PricingFunction p) {
+  util::require(graph_->is_provider_of(provider, customer),
+                "Economy::set_link_pricing: not a provider->customer link");
+  link_pricing_[directed_key(provider, customer)] = p;
+}
+
+void Economy::set_stub_pricing(AsId as, PricingFunction p) {
+  util::require(as < stub_pricing_.size(),
+                "Economy::set_stub_pricing: AS out of range");
+  stub_pricing_[as] = p;
+}
+
+void Economy::set_internal_cost(AsId as, InternalCostFunction c) {
+  util::require(as < internal_costs_.size(),
+                "Economy::set_internal_cost: AS out of range");
+  internal_costs_[as] = c;
+}
+
+const PricingFunction& Economy::link_pricing(AsId provider,
+                                             AsId customer) const {
+  static const PricingFunction kZero;
+  const auto it = link_pricing_.find(directed_key(provider, customer));
+  return it == link_pricing_.end() ? kZero : it->second;
+}
+
+const PricingFunction& Economy::stub_pricing(AsId as) const {
+  util::require(as < stub_pricing_.size(),
+                "Economy::stub_pricing: AS out of range");
+  return stub_pricing_[as];
+}
+
+const InternalCostFunction& Economy::internal_cost(AsId as) const {
+  util::require(as < internal_costs_.size(),
+                "Economy::internal_cost: AS out of range");
+  return internal_costs_[as];
+}
+
+double Economy::revenue(AsId as, const TrafficAllocation& flows) const {
+  double total = 0.0;
+  for (const AsId customer : graph_->customers(as)) {
+    total += link_pricing(as, customer)(
+        std::max(0.0, flows.link_flow(as, customer)));
+  }
+  total += stub_pricing(as)(std::max(0.0, flows.stub_flow(as)));
+  return total;
+}
+
+double Economy::cost(AsId as, const TrafficAllocation& flows) const {
+  double total = internal_cost(as)(std::max(0.0, flows.through_flow(as)));
+  for (const AsId provider : graph_->providers(as)) {
+    total += link_pricing(provider, as)(
+        std::max(0.0, flows.link_flow(as, provider)));
+  }
+  return total;
+}
+
+double Economy::utility(AsId as, const TrafficAllocation& flows) const {
+  return revenue(as, flows) - cost(as, flows);
+}
+
+Economy make_default_economy(const Graph& graph,
+                             const DefaultEconomyParams& params) {
+  Economy economy(graph);
+  for (const topology::Link& link : graph.links()) {
+    if (link.type != topology::LinkType::kProviderCustomer) {
+      continue;
+    }
+    int tier = graph.info(link.a).tier;
+    if (tier < 1 || tier > 3) {
+      tier = 2;  // unspecified tiers priced as mid-tier transit
+    }
+    economy.set_link_pricing(
+        link.a, link.b, PricingFunction::per_unit(params.tier_unit_price[tier]));
+  }
+  for (AsId as = 0; as < graph.num_ases(); ++as) {
+    economy.set_stub_pricing(
+        as, PricingFunction::per_unit(params.stub_unit_price));
+    economy.set_internal_cost(
+        as, InternalCostFunction::linear(params.internal_unit_cost));
+  }
+  return economy;
+}
+
+}  // namespace panagree::econ

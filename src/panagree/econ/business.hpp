@@ -1,0 +1,135 @@
+// AS business calculation (§III-A, Eq. 1).
+//
+// TrafficAllocation records a traffic distribution: per-neighbor flows f_XY,
+// path-segment flows f_XYZ (direction-independent), per-AS through-flow f_X,
+// and per-AS end-host ("virtual stub" Gamma_X) flows. Economy attaches
+// pricing functions to provider->customer links, end-host pricing and
+// internal-cost functions to ASes, and evaluates
+//
+//   r_X(f_X) = sum_{Y in gamma(X)} p_XY(f_XY) + p_{X Gamma_X}(f_{X Gamma_X})
+//   c_X(f_X) = i_X(f_X) + sum_{Y in pi(X)} p_YX(f_XY)
+//   U_X(f_X) = r_X(f_X) - c_X(f_X)
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "panagree/econ/cost.hpp"
+#include "panagree/econ/pricing.hpp"
+#include "panagree/topology/graph.hpp"
+
+namespace panagree::econ {
+
+using topology::AsId;
+using topology::Graph;
+
+/// A traffic distribution over the AS graph.
+///
+/// Flows are added path-by-path: add_path_flow({X1,...,Xk}, v) accounts
+/// volume v on every traversed link (f_{Xi,Xi+1}), every 3-AS segment
+/// (f_{Xi,Xi+1,Xi+2}), the through-flow of every on-path AS, and the virtual
+/// stub flow of the two path endpoints (the traffic enters/leaves via their
+/// customer end-hosts).
+class TrafficAllocation {
+ public:
+  /// Adds `volume` of traffic along the AS path (at least 1 hop). The path
+  /// must not repeat ASes. Negative volumes are allowed so that flow deltas
+  /// (rerouted traffic) can be expressed; aggregate flows must stay >= 0
+  /// when evaluated.
+  void add_path_flow(std::span<const AsId> path, double volume);
+
+  /// Adds only endpoint/stub traffic for a single AS (local sinks).
+  void add_local_flow(AsId as, double volume);
+
+  /// f_XY: volume on the link between x and y (0 if never touched).
+  [[nodiscard]] double link_flow(AsId x, AsId y) const;
+
+  /// f_XYZ: volume on the 3-AS segment x-y-z, independent of direction.
+  [[nodiscard]] double segment_flow(AsId x, AsId y, AsId z) const;
+
+  /// f_X: total flow through `as`.
+  [[nodiscard]] double through_flow(AsId as) const;
+
+  /// f_{X Gamma_X}: flow exchanged with the AS's own end-hosts.
+  [[nodiscard]] double stub_flow(AsId as) const;
+
+  /// Merges another allocation into this one (adding all flows).
+  void merge(const TrafficAllocation& other);
+
+  /// True if all recorded aggregates are >= -epsilon (sanity after deltas).
+  [[nodiscard]] bool is_non_negative(double epsilon = 1e-9) const;
+
+ private:
+  static std::uint64_t pair_key(AsId x, AsId y);
+  struct TripleKey {
+    AsId a, b, c;  // canonical: a <= c
+    friend bool operator==(const TripleKey&, const TripleKey&) = default;
+  };
+  struct TripleKeyHash {
+    std::size_t operator()(const TripleKey& k) const;
+  };
+  static TripleKey canonical_triple(AsId x, AsId y, AsId z);
+
+  std::unordered_map<std::uint64_t, double> link_flows_;
+  std::unordered_map<TripleKey, double, TripleKeyHash> segment_flows_;
+  std::unordered_map<AsId, double> through_flows_;
+  std::unordered_map<AsId, double> stub_flows_;
+};
+
+/// Pricing/cost configuration and the business calculation of Eq. (1).
+class Economy {
+ public:
+  explicit Economy(const Graph& graph);
+
+  /// Sets the pricing function of a provider->customer link.
+  void set_link_pricing(AsId provider, AsId customer, PricingFunction p);
+
+  /// Sets what `as` charges its own customer end-hosts (virtual stub link).
+  void set_stub_pricing(AsId as, PricingFunction p);
+
+  /// Sets the internal-cost function of `as`.
+  void set_internal_cost(AsId as, InternalCostFunction c);
+
+  [[nodiscard]] const PricingFunction& link_pricing(AsId provider,
+                                                    AsId customer) const;
+  [[nodiscard]] const PricingFunction& stub_pricing(AsId as) const;
+  [[nodiscard]] const InternalCostFunction& internal_cost(AsId as) const;
+
+  /// r_X(f_X) of Eq. (1a).
+  [[nodiscard]] double revenue(AsId as, const TrafficAllocation& flows) const;
+
+  /// c_X(f_X) of Eq. (1b).
+  [[nodiscard]] double cost(AsId as, const TrafficAllocation& flows) const;
+
+  /// U_X(f_X) = r_X - c_X.
+  [[nodiscard]] double utility(AsId as, const TrafficAllocation& flows) const;
+
+  [[nodiscard]] const Graph& graph() const { return *graph_; }
+
+ private:
+  const Graph* graph_;
+  std::unordered_map<std::uint64_t, PricingFunction> link_pricing_;
+  std::vector<PricingFunction> stub_pricing_;
+  std::vector<InternalCostFunction> internal_costs_;
+};
+
+/// Parameters for a simple tier-based default economy.
+struct DefaultEconomyParams {
+  /// Per-unit transit price charged by providers of each tier (index 1..3;
+  /// index 0 unused). Lower tiers (bigger networks) are cheaper per unit.
+  double tier_unit_price[4] = {0.0, 1.0, 1.4, 2.0};
+  /// Per-unit revenue from an AS's own end-hosts.
+  double stub_unit_price = 2.5;
+  /// Per-unit internal forwarding cost.
+  double internal_unit_cost = 0.12;
+};
+
+/// Builds an Economy where every provider->customer link uses per-unit
+/// pricing depending on the provider's tier, every AS charges its end-hosts
+/// per unit, and internal costs are linear.
+[[nodiscard]] Economy make_default_economy(
+    const Graph& graph, const DefaultEconomyParams& params = {});
+
+}  // namespace panagree::econ

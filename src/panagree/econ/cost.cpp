@@ -1,0 +1,30 @@
+#include "panagree/econ/cost.hpp"
+
+#include <cmath>
+
+#include "panagree/util/error.hpp"
+
+namespace panagree::econ {
+
+InternalCostFunction::InternalCostFunction(double base, double unit,
+                                           double gamma)
+    : base_(base), unit_(unit), gamma_(gamma) {
+  util::require(base >= 0.0, "InternalCostFunction: base must be >= 0");
+  util::require(unit >= 0.0, "InternalCostFunction: unit must be >= 0");
+  util::require(gamma >= 1.0, "InternalCostFunction: gamma must be >= 1");
+}
+
+InternalCostFunction InternalCostFunction::linear(double unit) {
+  return InternalCostFunction(0.0, unit, 1.0);
+}
+
+double InternalCostFunction::operator()(double total_flow) const {
+  util::require(total_flow >= 0.0,
+                "InternalCostFunction: flow must be non-negative");
+  if (total_flow == 0.0) {
+    return base_;
+  }
+  return base_ + unit_ * std::pow(total_flow, gamma_);
+}
+
+}  // namespace panagree::econ

@@ -1,0 +1,36 @@
+// Internal-cost functions (§III-A).
+//
+// Each AS X incurs an internal cost i_X(f_X) for carrying total flow f_X,
+// modelled as i(f) = base + unit * f^gamma with gamma >= 1: non-negative and
+// monotonically increasing, as the paper requires.
+#pragma once
+
+namespace panagree::econ {
+
+class InternalCostFunction {
+ public:
+  /// Zero-cost function.
+  InternalCostFunction() = default;
+
+  /// i(f) = base + unit * f^gamma; base, unit >= 0 and gamma >= 1.
+  InternalCostFunction(double base, double unit, double gamma = 1.0);
+
+  /// Linear internal cost: i(f) = unit * f.
+  [[nodiscard]] static InternalCostFunction linear(double unit);
+
+  [[nodiscard]] double operator()(double total_flow) const;
+
+  [[nodiscard]] double base() const { return base_; }
+  [[nodiscard]] double unit() const { return unit_; }
+  [[nodiscard]] double gamma() const { return gamma_; }
+
+  friend bool operator==(const InternalCostFunction&,
+                         const InternalCostFunction&) = default;
+
+ private:
+  double base_ = 0.0;
+  double unit_ = 0.0;
+  double gamma_ = 1.0;
+};
+
+}  // namespace panagree::econ

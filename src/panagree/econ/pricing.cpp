@@ -1,0 +1,51 @@
+#include "panagree/econ/pricing.hpp"
+
+#include <cmath>
+
+#include "panagree/util/error.hpp"
+
+namespace panagree::econ {
+
+PricingFunction::PricingFunction(double alpha, double beta)
+    : alpha_(alpha), beta_(beta) {
+  util::require(alpha >= 0.0, "PricingFunction: alpha must be non-negative");
+  util::require(beta >= 0.0, "PricingFunction: beta must be non-negative");
+}
+
+PricingFunction PricingFunction::flat(double fee) {
+  return PricingFunction(fee, 0.0);
+}
+
+PricingFunction PricingFunction::per_unit(double unit_price) {
+  return PricingFunction(unit_price, 1.0);
+}
+
+PricingFunction PricingFunction::superlinear(double alpha, double beta) {
+  util::require(beta > 1.0, "PricingFunction::superlinear: beta must be > 1");
+  return PricingFunction(alpha, beta);
+}
+
+double PricingFunction::operator()(double volume) const {
+  util::require(volume >= 0.0, "PricingFunction: volume must be non-negative");
+  if (beta_ == 0.0) {
+    return alpha_;  // flat fee, even at volume 0 (0^0 convention: 1)
+  }
+  if (volume == 0.0) {
+    return 0.0;
+  }
+  return alpha_ * std::pow(volume, beta_);
+}
+
+double PricingFunction::marginal(double volume) const {
+  util::require(volume >= 0.0,
+                "PricingFunction::marginal: volume must be non-negative");
+  if (beta_ == 0.0) {
+    return 0.0;
+  }
+  if (volume == 0.0) {
+    return beta_ == 1.0 ? alpha_ : 0.0;
+  }
+  return alpha_ * beta_ * std::pow(volume, beta_ - 1.0);
+}
+
+}  // namespace panagree::econ

@@ -1,0 +1,47 @@
+// Pricing functions on provider->customer links (§III-A).
+//
+// Each provider-customer link l carries a pricing function
+//   p_l(f) = alpha_l * f^beta_l,   alpha_l >= 0, beta_l >= 0,
+// yielding the amount the provider receives from the customer for flow
+// volume f. beta = 0 is flat-rate, beta = 1 is pay-per-usage, beta > 1 is
+// superlinear (congestion) pricing. Peering links are settlement-free and
+// simply have no pricing function attached.
+#pragma once
+
+namespace panagree::econ {
+
+class PricingFunction {
+ public:
+  /// Zero pricing (alpha = 0): charges nothing at any volume.
+  PricingFunction() = default;
+
+  /// General alpha * f^beta; requires alpha >= 0 and beta >= 0.
+  PricingFunction(double alpha, double beta);
+
+  /// Flat-rate subscription: p(f) = fee.
+  [[nodiscard]] static PricingFunction flat(double fee);
+
+  /// Pay-per-usage: p(f) = unit_price * f.
+  [[nodiscard]] static PricingFunction per_unit(double unit_price);
+
+  /// Superlinear / congestion pricing: p(f) = alpha * f^beta with beta > 1.
+  [[nodiscard]] static PricingFunction superlinear(double alpha, double beta);
+
+  /// Charge for flow volume f (f >= 0).
+  [[nodiscard]] double operator()(double volume) const;
+
+  /// Marginal price dp/df at volume f (f > 0 for beta < 1).
+  [[nodiscard]] double marginal(double volume) const;
+
+  [[nodiscard]] double alpha() const { return alpha_; }
+  [[nodiscard]] double beta() const { return beta_; }
+
+  friend bool operator==(const PricingFunction&,
+                         const PricingFunction&) = default;
+
+ private:
+  double alpha_ = 0.0;
+  double beta_ = 1.0;
+};
+
+}  // namespace panagree::econ

@@ -1,0 +1,71 @@
+#include "panagree/geo/region.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+#include "panagree/util/error.hpp"
+
+namespace panagree::geo {
+
+World World::make_default(util::Rng& rng, std::size_t cities_per_region) {
+  util::require(cities_per_region > 0,
+                "World::make_default: need at least one city per region");
+  World world;
+  world.regions_ = {
+      {"north-america", {40.0, -100.0}, 2500.0, {}},
+      {"south-america", {-15.0, -60.0}, 2200.0, {}},
+      {"europe", {50.0, 10.0}, 1600.0, {}},
+      {"asia", {30.0, 105.0}, 3000.0, {}},
+      {"oceania", {-25.0, 135.0}, 2000.0, {}},
+  };
+  for (std::size_t r = 0; r < world.regions_.size(); ++r) {
+    Region& region = world.regions_[r];
+    for (std::size_t c = 0; c < cities_per_region; ++c) {
+      // Scatter around the region center; convert the km radius to rough
+      // degree offsets (1 deg latitude ~ 111 km).
+      const double radius_deg = region.radius_km / 111.0;
+      const double lat_offset = rng.normal(0.0, radius_deg / 2.5);
+      const double cos_lat =
+          std::max(0.2, std::cos(region.center.lat_deg * std::numbers::pi / 180.0));
+      const double lng_offset = rng.normal(0.0, radius_deg / (2.5 * cos_lat));
+      LatLng where{region.center.lat_deg + lat_offset,
+                   region.center.lng_deg + lng_offset};
+      where.lat_deg = std::clamp(where.lat_deg, -85.0, 85.0);
+      if (where.lng_deg > 180.0) {
+        where.lng_deg -= 360.0;
+      } else if (where.lng_deg < -180.0) {
+        where.lng_deg += 360.0;
+      }
+      const std::size_t id = world.cities_.size();
+      world.cities_.push_back(
+          City{region.name + "-" + std::to_string(c), where, r});
+      region.city_ids.push_back(id);
+    }
+  }
+  return world;
+}
+
+const City& World::city(std::size_t id) const {
+  util::require(id < cities_.size(), "World::city: id out of range");
+  return cities_[id];
+}
+
+std::size_t World::sample_city(std::size_t region, util::Rng& rng) const {
+  util::require(region < regions_.size(), "World::sample_city: bad region");
+  const auto& pool = regions_[region].city_ids;
+  PANAGREE_ASSERT(!pool.empty());
+  return pool[rng.uniform_index(pool.size())];
+}
+
+std::size_t World::sample_region(util::Rng& rng,
+                                 const std::vector<double>& weights) const {
+  if (weights.empty()) {
+    return rng.uniform_index(regions_.size());
+  }
+  util::require(weights.size() == regions_.size(),
+                "World::sample_region: one weight per region required");
+  return rng.weighted_index(weights);
+}
+
+}  // namespace panagree::geo

@@ -1,0 +1,59 @@
+// A coarse world model: regions (continent-like clusters) with city pools.
+//
+// Substitutes the GeoLite2 + prefix-to-AS pipeline of the paper: ASes are
+// assigned points of presence (PoPs) drawn from region city pools, their
+// center of gravity is the spherical centroid of those PoPs, and link
+// interconnection facilities sit in cities shared between the endpoints.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "panagree/geo/coordinates.hpp"
+#include "panagree/util/rng.hpp"
+
+namespace panagree::geo {
+
+/// A city usable as an AS PoP or link interconnection facility.
+struct City {
+  std::string name;
+  LatLng location;
+  std::size_t region = 0;
+};
+
+/// A continent-like cluster of cities.
+struct Region {
+  std::string name;
+  LatLng center;
+  double radius_km = 0.0;
+  std::vector<std::size_t> city_ids;  // indices into World::cities()
+};
+
+/// World model with a fixed set of regions and synthetic city pools.
+class World {
+ public:
+  /// Builds the default five-region world (NA, SA, EU, AS, OC analogues)
+  /// with `cities_per_region` synthetic cities each, placed with a seeded
+  /// scatter around the region centers.
+  static World make_default(util::Rng& rng, std::size_t cities_per_region = 40);
+
+  [[nodiscard]] const std::vector<Region>& regions() const { return regions_; }
+  [[nodiscard]] const std::vector<City>& cities() const { return cities_; }
+  [[nodiscard]] const City& city(std::size_t id) const;
+
+  /// Uniformly random city of a region.
+  [[nodiscard]] std::size_t sample_city(std::size_t region,
+                                        util::Rng& rng) const;
+
+  /// Region index sampled proportionally to the given weights (one per
+  /// region); with empty weights, uniform over regions.
+  [[nodiscard]] std::size_t sample_region(
+      util::Rng& rng, const std::vector<double>& weights = {}) const;
+
+ private:
+  std::vector<Region> regions_;
+  std::vector<City> cities_;
+};
+
+}  // namespace panagree::geo

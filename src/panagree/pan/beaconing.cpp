@@ -1,0 +1,78 @@
+#include "panagree/pan/beaconing.hpp"
+
+#include <algorithm>
+#include <deque>
+
+namespace panagree::pan {
+
+BeaconService::BeaconService(const Graph& graph, BeaconingParams params)
+    : graph_(&graph), params_(params), segments_(graph.num_ases()) {
+  util::require(params_.beacons_per_as > 0,
+                "BeaconService: beacons_per_as must be positive");
+  util::require(params_.max_segment_length >= 1,
+                "BeaconService: max_segment_length must be >= 1");
+  util::require(graph.provider_hierarchy_is_acyclic(),
+                "BeaconService: provider hierarchy must be acyclic");
+  for (AsId as = 0; as < graph.num_ases(); ++as) {
+    if (graph.providers(as).empty()) {
+      core_.push_back(as);
+    }
+  }
+}
+
+void BeaconService::run() {
+  if (has_run_) {
+    return;
+  }
+  // Topological sweep over the provider DAG (Kahn), extending beacons from
+  // providers to customers.
+  const Graph& g = *graph_;
+  std::vector<std::size_t> pending(g.num_ases());
+  std::deque<AsId> ready;
+  for (AsId as = 0; as < g.num_ases(); ++as) {
+    pending[as] = g.providers(as).size();
+    if (pending[as] == 0) {
+      ready.push_back(as);
+      segments_[as].push_back(PathSegment{SegmentType::kUp, {as}});
+    }
+  }
+  const auto keep_best = [this](std::vector<PathSegment>& segs) {
+    std::sort(segs.begin(), segs.end(),
+              [](const PathSegment& a, const PathSegment& b) {
+                if (a.ases.size() != b.ases.size()) {
+                  return a.ases.size() < b.ases.size();
+                }
+                return a.ases < b.ases;
+              });
+    segs.erase(std::unique(segs.begin(), segs.end()), segs.end());
+    if (segs.size() > params_.beacons_per_as) {
+      segs.resize(params_.beacons_per_as);
+    }
+  };
+  while (!ready.empty()) {
+    const AsId as = ready.front();
+    ready.pop_front();
+    keep_best(segments_[as]);
+    for (const AsId customer : g.customers(as)) {
+      for (const PathSegment& seg : segments_[as]) {
+        if (seg.ases.size() < params_.max_segment_length) {
+          PathSegment extended = seg;
+          extended.ases.push_back(customer);
+          segments_[customer].push_back(std::move(extended));
+        }
+      }
+      if (--pending[customer] == 0) {
+        ready.push_back(customer);
+      }
+    }
+  }
+  has_run_ = true;
+}
+
+const std::vector<PathSegment>& BeaconService::up_segments(AsId as) const {
+  util::require(as < segments_.size(),
+                "BeaconService::up_segments: AS out of range");
+  return segments_[as];
+}
+
+}  // namespace panagree::pan

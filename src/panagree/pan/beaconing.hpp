@@ -1,0 +1,54 @@
+// Beacon propagation: PAN path discovery (§II: "paths in PAN architectures
+// are discovered similarly as in BGP, namely by communicating path
+// information to neighboring ASes").
+//
+// Core ASes originate beacons; every AS extends the beacons it received
+// from its providers and forwards them to its customers. Because
+// provider->customer edges form a DAG, one topological sweep computes the
+// full beacon set. Each AS retains its best `beacons_per_as` segments
+// (shortest first) - the SCION beacon-selection knob.
+#pragma once
+
+#include <vector>
+
+#include "panagree/pan/segment.hpp"
+#include "panagree/topology/graph.hpp"
+
+namespace panagree::pan {
+
+using topology::Graph;
+
+struct BeaconingParams {
+  /// Max up-segments retained per AS.
+  std::size_t beacons_per_as = 8;
+  /// Max segment length in ASes (propagation depth bound).
+  std::size_t max_segment_length = 8;
+};
+
+class BeaconService {
+ public:
+  /// Core ASes are those with no providers (in a generated topology, the
+  /// Tier-1 clique). Throws if the provider hierarchy has a cycle.
+  BeaconService(const Graph& graph, BeaconingParams params = {});
+
+  /// Runs the beaconing sweep; idempotent.
+  void run();
+
+  /// Up-segments of `as` (core-first order), best (shortest) first.
+  /// Empty until run() is called. The core ASes own their trivial segment.
+  [[nodiscard]] const std::vector<PathSegment>& up_segments(AsId as) const;
+
+  /// The core AS set.
+  [[nodiscard]] const std::vector<AsId>& core_ases() const { return core_; }
+
+  [[nodiscard]] bool has_run() const { return has_run_; }
+
+ private:
+  const Graph* graph_;
+  BeaconingParams params_;
+  std::vector<AsId> core_;
+  std::vector<std::vector<PathSegment>> segments_;
+  bool has_run_ = false;
+};
+
+}  // namespace panagree::pan

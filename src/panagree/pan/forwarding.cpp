@@ -1,0 +1,112 @@
+#include "panagree/pan/forwarding.hpp"
+
+#include <set>
+
+#include "panagree/util/rng.hpp"
+
+namespace panagree::pan {
+
+std::vector<AsId> ForwardingPath::ases() const {
+  std::vector<AsId> out;
+  out.reserve(hops.size());
+  for (const HopField& hop : hops) {
+    out.push_back(hop.as);
+  }
+  return out;
+}
+
+KeyStore::KeyStore(std::uint64_t master_seed, std::size_t num_ases) {
+  keys_.reserve(num_ases);
+  std::uint64_t sm = master_seed;
+  for (std::size_t i = 0; i < num_ases; ++i) {
+    MacKey key;
+    key.k0 = util::splitmix64(sm);
+    key.k1 = util::splitmix64(sm);
+    keys_.push_back(key);
+  }
+}
+
+const MacKey& KeyStore::key(AsId as) const {
+  util::require(as < keys_.size(), "KeyStore::key: AS out of range");
+  return keys_[as];
+}
+
+namespace {
+
+std::uint64_t hop_mac(const KeyStore& keys, const HopField& hop,
+                      std::uint64_t prev_mac) {
+  return siphash24_words(keys.key(hop.as),
+                         {hop.as, hop.ingress, hop.egress, prev_mac});
+}
+
+}  // namespace
+
+ForwardingPath issue_path(const KeyStore& keys, std::span<const AsId> path) {
+  util::require(path.size() >= 2, "issue_path: need at least two ASes");
+  std::set<AsId> seen(path.begin(), path.end());
+  util::require(seen.size() == path.size(), "issue_path: path must be simple");
+  ForwardingPath fp;
+  fp.hops.reserve(path.size());
+  std::uint64_t prev_mac = 0;
+  for (std::size_t i = 0; i < path.size(); ++i) {
+    HopField hop;
+    hop.as = path[i];
+    hop.ingress = i == 0 ? topology::kInvalidAs : path[i - 1];
+    hop.egress = i + 1 == path.size() ? topology::kInvalidAs : path[i + 1];
+    hop.mac = hop_mac(keys, hop, prev_mac);
+    prev_mac = hop.mac;
+    fp.hops.push_back(hop);
+  }
+  return fp;
+}
+
+ForwardingEngine::ForwardingEngine(const Graph& graph, const KeyStore& keys)
+    : graph_(&graph), keys_(&keys) {}
+
+ForwardResult ForwardingEngine::forward(const ForwardingPath& path) const {
+  ForwardResult result;
+  if (path.hops.size() < 2) {
+    result.reason = DropReason::kMalformed;
+    return result;
+  }
+  {
+    std::set<AsId> seen;
+    for (const HopField& hop : path.hops) {
+      if (!seen.insert(hop.as).second) {
+        result.reason = DropReason::kMalformed;
+        return result;
+      }
+    }
+  }
+  std::uint64_t prev_mac = 0;
+  for (std::size_t i = 0; i < path.hops.size(); ++i) {
+    const HopField& hop = path.hops[i];
+    // Each on-path AS verifies its own hop field (the chained MAC binds the
+    // hop to its position) before forwarding.
+    if (hop.as >= graph_->num_ases() ||
+        hop_mac(*keys_, hop, prev_mac) != hop.mac) {
+      result.reason = DropReason::kInvalidMac;
+      return result;
+    }
+    // Cross-check the header's neighbor fields against the path structure.
+    const AsId expect_ingress =
+        i == 0 ? topology::kInvalidAs : path.hops[i - 1].as;
+    const AsId expect_egress =
+        i + 1 == path.hops.size() ? topology::kInvalidAs : path.hops[i + 1].as;
+    if (hop.ingress != expect_ingress || hop.egress != expect_egress) {
+      result.reason = DropReason::kInvalidMac;
+      return result;
+    }
+    result.trace.push_back(hop.as);
+    if (hop.egress != topology::kInvalidAs &&
+        !graph_->link_between(hop.as, hop.egress)) {
+      result.reason = DropReason::kBrokenLink;
+      return result;
+    }
+    prev_mac = hop.mac;
+  }
+  result.delivered = true;
+  return result;
+}
+
+}  // namespace panagree::pan

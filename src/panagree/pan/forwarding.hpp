@@ -1,0 +1,95 @@
+// The PAN data plane: packet-carried forwarding paths with authenticated
+// hop fields, and the forwarding engine that executes them.
+//
+// §II's stability argument rests on this mechanism: "PANs forward a packet
+// along the path encoded in its header. Thus, there is no uncertainty about
+// the traversed forwarding path ... and routing loops can be prevented."
+// The engine makes that claim executable: the cursor over hop fields is
+// strictly increasing, so the traversed trace equals the embedded (simple)
+// path, and tampering with any hop is caught by its chained MAC.
+#pragma once
+
+#include <cstdint>
+#include <initializer_list>
+#include <span>
+#include <vector>
+
+#include "panagree/pan/mac.hpp"
+#include "panagree/topology/graph.hpp"
+
+namespace panagree::pan {
+
+using topology::AsId;
+using topology::Graph;
+
+/// One authenticated hop of a forwarding path.
+struct HopField {
+  AsId as = topology::kInvalidAs;
+  AsId ingress = topology::kInvalidAs;  ///< previous AS (invalid at source)
+  AsId egress = topology::kInvalidAs;   ///< next AS (invalid at destination)
+  std::uint64_t mac = 0;
+
+  friend bool operator==(const HopField&, const HopField&) = default;
+};
+
+/// A packet-carried forwarding path (source hop first).
+struct ForwardingPath {
+  std::vector<HopField> hops;
+
+  [[nodiscard]] std::vector<AsId> ases() const;
+};
+
+/// Per-AS forwarding keys, derived deterministically from a master seed
+/// (each AS would hold its own secret; derivation here stands in for key
+/// distribution).
+class KeyStore {
+ public:
+  KeyStore(std::uint64_t master_seed, std::size_t num_ases);
+
+  [[nodiscard]] const MacKey& key(AsId as) const;
+  [[nodiscard]] std::size_t size() const { return keys_.size(); }
+
+ private:
+  std::vector<MacKey> keys_;
+};
+
+/// Stamps hop fields with chained MACs for a simple AS path: each AS
+/// authorizes (as, ingress, egress) bound to the previous hop's MAC, so a
+/// hop cannot be spliced into a different path.
+[[nodiscard]] ForwardingPath issue_path(const KeyStore& keys,
+                                        std::span<const AsId> path);
+
+/// Convenience overload for brace-enclosed hop lists.
+[[nodiscard]] inline ForwardingPath issue_path(
+    const KeyStore& keys, std::initializer_list<AsId> path) {
+  return issue_path(keys, std::span<const AsId>(path.begin(), path.size()));
+}
+
+enum class DropReason : std::uint8_t {
+  kNone,
+  kMalformed,   ///< empty / non-simple path
+  kInvalidMac,  ///< hop-field authentication failed
+  kBrokenLink,  ///< consecutive hops are not adjacent in the topology
+};
+
+struct ForwardResult {
+  bool delivered = false;
+  DropReason reason = DropReason::kNone;
+  /// ASes actually traversed, in order (equals the embedded path on
+  /// success; a prefix of it on drop).
+  std::vector<AsId> trace;
+};
+
+/// Validates and executes a forwarding path hop by hop.
+class ForwardingEngine {
+ public:
+  ForwardingEngine(const Graph& graph, const KeyStore& keys);
+
+  [[nodiscard]] ForwardResult forward(const ForwardingPath& path) const;
+
+ private:
+  const Graph* graph_;
+  const KeyStore* keys_;
+};
+
+}  // namespace panagree::pan

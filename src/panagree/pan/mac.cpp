@@ -1,0 +1,92 @@
+#include "panagree/pan/mac.hpp"
+
+#include <cstring>
+#include <vector>
+
+namespace panagree::pan {
+
+namespace {
+
+constexpr std::uint64_t rotl(std::uint64_t x, int b) {
+  return (x << b) | (x >> (64 - b));
+}
+
+struct SipState {
+  std::uint64_t v0, v1, v2, v3;
+
+  explicit SipState(const MacKey& key)
+      : v0(0x736f6d6570736575ULL ^ key.k0),
+        v1(0x646f72616e646f6dULL ^ key.k1),
+        v2(0x6c7967656e657261ULL ^ key.k0),
+        v3(0x7465646279746573ULL ^ key.k1) {}
+
+  void round() {
+    v0 += v1;
+    v1 = rotl(v1, 13);
+    v1 ^= v0;
+    v0 = rotl(v0, 32);
+    v2 += v3;
+    v3 = rotl(v3, 16);
+    v3 ^= v2;
+    v0 += v3;
+    v3 = rotl(v3, 21);
+    v3 ^= v0;
+    v2 += v1;
+    v1 = rotl(v1, 17);
+    v1 ^= v2;
+    v2 = rotl(v2, 32);
+  }
+
+  void compress(std::uint64_t m) {
+    v3 ^= m;
+    round();
+    round();
+    v0 ^= m;
+  }
+
+  std::uint64_t finalize() {
+    v2 ^= 0xff;
+    round();
+    round();
+    round();
+    round();
+    return v0 ^ v1 ^ v2 ^ v3;
+  }
+};
+
+std::uint64_t load_le(const std::uint8_t* p, std::size_t n) {
+  std::uint64_t w = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    w |= static_cast<std::uint64_t>(p[i]) << (8 * i);
+  }
+  return w;
+}
+
+}  // namespace
+
+std::uint64_t siphash24(const MacKey& key, std::span<const std::uint8_t> data) {
+  SipState state(key);
+  const std::size_t full_blocks = data.size() / 8;
+  for (std::size_t b = 0; b < full_blocks; ++b) {
+    state.compress(load_le(data.data() + 8 * b, 8));
+  }
+  const std::size_t tail = data.size() % 8;
+  std::uint64_t last = load_le(data.data() + 8 * full_blocks, tail);
+  last |= static_cast<std::uint64_t>(data.size() & 0xff) << 56;
+  state.compress(last);
+  return state.finalize();
+}
+
+std::uint64_t siphash24_words(const MacKey& key,
+                              std::initializer_list<std::uint64_t> words) {
+  std::vector<std::uint8_t> bytes;
+  bytes.reserve(words.size() * 8);
+  for (const std::uint64_t w : words) {
+    for (int i = 0; i < 8; ++i) {
+      bytes.push_back(static_cast<std::uint8_t>((w >> (8 * i)) & 0xff));
+    }
+  }
+  return siphash24(key, bytes);
+}
+
+}  // namespace panagree::pan

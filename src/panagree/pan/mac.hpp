@@ -1,0 +1,31 @@
+// Keyed 64-bit MAC for hop-field authentication (SipHash-2-4).
+//
+// SCION-style PANs protect each hop of a packet-carried forwarding path
+// with a MAC computed by the AS that authorized the hop. We implement
+// SipHash-2-4 (Aumasson & Bernstein) from scratch; it is compact, fast, and
+// exactly the kind of short-input PRF used for hop fields in practice.
+#pragma once
+
+#include <cstdint>
+#include <initializer_list>
+#include <span>
+
+namespace panagree::pan {
+
+/// A 128-bit MAC key.
+struct MacKey {
+  std::uint64_t k0 = 0;
+  std::uint64_t k1 = 0;
+
+  friend bool operator==(const MacKey&, const MacKey&) = default;
+};
+
+/// SipHash-2-4 over a byte string.
+[[nodiscard]] std::uint64_t siphash24(const MacKey& key,
+                                      std::span<const std::uint8_t> data);
+
+/// Convenience: SipHash-2-4 over a sequence of 64-bit words (little-endian).
+[[nodiscard]] std::uint64_t siphash24_words(
+    const MacKey& key, std::initializer_list<std::uint64_t> words);
+
+}  // namespace panagree::pan

@@ -1,0 +1,151 @@
+#include "panagree/pan/path_construction.hpp"
+
+#include <algorithm>
+#include <set>
+
+namespace panagree::pan {
+
+void CrossingRegistry::add(Crossing crossing) {
+  util::require(crossing.at != topology::kInvalidAs &&
+                    crossing.from != topology::kInvalidAs &&
+                    crossing.to != topology::kInvalidAs,
+                "CrossingRegistry::add: incomplete crossing");
+  util::require(crossing.from != crossing.to,
+                "CrossingRegistry::add: from and to must differ");
+  crossings_.push_back(std::move(crossing));
+}
+
+bool CrossingRegistry::allows(AsId source, AsId at, AsId from, AsId to) const {
+  for (const Crossing& c : crossings_) {
+    if (c.at == at && c.from == from && c.to == to &&
+        (c.allowed_sources.empty() || c.allowed_sources.contains(source))) {
+      return true;
+    }
+  }
+  return false;
+}
+
+bool is_simple_path(const std::vector<AsId>& path) {
+  std::set<AsId> seen(path.begin(), path.end());
+  return seen.size() == path.size();
+}
+
+PathConstructor::PathConstructor(const Graph& graph,
+                                 const BeaconService& beacons,
+                                 PathConstructionOptions options)
+    : graph_(&graph), beacons_(&beacons), options_(options) {
+  util::require(beacons.has_run(),
+                "PathConstructor: beacon service must have run");
+}
+
+void PathConstructor::add_candidate(std::vector<std::vector<AsId>>& out,
+                                    std::vector<AsId> path) const {
+  if (path.size() < 2 || path.size() > options_.max_path_length ||
+      !is_simple_path(path)) {
+    return;
+  }
+  for (std::size_t i = 0; i + 1 < path.size(); ++i) {
+    if (!graph_->link_between(path[i], path[i + 1])) {
+      return;
+    }
+  }
+  out.push_back(std::move(path));
+}
+
+std::vector<std::vector<AsId>> PathConstructor::construct(
+    AsId src, AsId dst, const CrossingRegistry* crossings) const {
+  util::require(src < graph_->num_ases() && dst < graph_->num_ases(),
+                "PathConstructor::construct: AS out of range");
+  util::require(src != dst, "PathConstructor::construct: src == dst");
+
+  std::vector<std::vector<AsId>> candidates;
+
+  // src-side segments, re-oriented src-first (src ... core).
+  std::vector<std::vector<AsId>> ups;
+  for (const PathSegment& seg : beacons_->up_segments(src)) {
+    std::vector<AsId> u(seg.ases.rbegin(), seg.ases.rend());
+    ups.push_back(std::move(u));
+  }
+  // dst-side segments kept core-first (core ... dst).
+  const auto& downs_raw = beacons_->up_segments(dst);
+
+  for (const auto& u : ups) {
+    for (const PathSegment& dseg : downs_raw) {
+      const std::vector<AsId>& d = dseg.ases;
+
+      // (a) shared-AS join (includes joining at a common core AS).
+      for (std::size_t i = 0; i < u.size(); ++i) {
+        for (std::size_t j = 0; j < d.size(); ++j) {
+          if (u[i] != d[j]) {
+            continue;
+          }
+          std::vector<AsId> path(u.begin(), u.begin() + i + 1);
+          path.insert(path.end(), d.begin() + j + 1, d.end());
+          add_candidate(candidates, std::move(path));
+        }
+      }
+
+      // (b) join of two distinct core ASes over a core link.
+      const AsId core_u = u.back();
+      const AsId core_d = d.front();
+      if (core_u != core_d && graph_->link_between(core_u, core_d)) {
+        std::vector<AsId> path = u;
+        path.insert(path.end(), d.begin(), d.end());
+        add_candidate(candidates, std::move(path));
+      }
+
+      // (c) peering shortcut between the two segments.
+      for (std::size_t i = 0; i < u.size(); ++i) {
+        for (std::size_t j = 0; j < d.size(); ++j) {
+          if (u[i] == d[j] || !graph_->are_peers(u[i], d[j])) {
+            continue;
+          }
+          std::vector<AsId> path(u.begin(), u.begin() + i + 1);
+          path.insert(path.end(), d.begin() + j, d.end());
+          add_candidate(candidates, std::move(path));
+        }
+      }
+
+      // (d) agreement crossings: splice ... x, at, z ... where x lies on the
+      // src side and z on the dst side.
+      if (crossings != nullptr) {
+        for (const Crossing& c : crossings->crossings()) {
+          if (!c.allowed_sources.empty() &&
+              !c.allowed_sources.contains(src)) {
+            continue;
+          }
+          for (std::size_t i = 0; i < u.size(); ++i) {
+            if (u[i] != c.from) {
+              continue;
+            }
+            for (std::size_t j = 0; j < d.size(); ++j) {
+              if (d[j] != c.to) {
+                continue;
+              }
+              std::vector<AsId> path(u.begin(), u.begin() + i + 1);
+              path.push_back(c.at);
+              path.insert(path.end(), d.begin() + j, d.end());
+              add_candidate(candidates, std::move(path));
+            }
+          }
+        }
+      }
+    }
+  }
+
+  std::sort(candidates.begin(), candidates.end(),
+            [](const std::vector<AsId>& a, const std::vector<AsId>& b) {
+              if (a.size() != b.size()) {
+                return a.size() < b.size();
+              }
+              return a < b;
+            });
+  candidates.erase(std::unique(candidates.begin(), candidates.end()),
+                   candidates.end());
+  if (candidates.size() > options_.max_paths) {
+    candidates.resize(options_.max_paths);
+  }
+  return candidates;
+}
+
+}  // namespace panagree::pan

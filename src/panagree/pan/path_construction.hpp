@@ -1,0 +1,80 @@
+// End-host path construction: combining up-/down-segments (plus peering and
+// agreement crossings) into end-to-end AS-level paths.
+//
+// This is where PANs differ from BGP: the *source* composes the forwarding
+// path and embeds it in packet headers, so GRC-violating crossings enabled
+// by mutuality-based agreements (§III-B) are simply additional authorized
+// ways to join two segments - no convergence question arises.
+#pragma once
+
+#include <optional>
+#include <set>
+#include <vector>
+
+#include "panagree/pan/beaconing.hpp"
+#include "panagree/pan/segment.hpp"
+
+namespace panagree::pan {
+
+/// An authorized GRC-violating crossing created by an interconnection
+/// agreement: at AS `at`, traffic arriving from `from` may be forwarded to
+/// `to` even though neither is a customer of `at`. If `allowed_sources` is
+/// non-empty, only paths originating at one of those ASes may use the
+/// crossing (§III-B3: parties extend agreement paths to their customers
+/// only).
+struct Crossing {
+  AsId at = topology::kInvalidAs;
+  AsId from = topology::kInvalidAs;
+  AsId to = topology::kInvalidAs;
+  std::set<AsId> allowed_sources;
+
+  friend auto operator<=>(const Crossing&, const Crossing&) = default;
+};
+
+/// Registry of authorized crossings (populated from concluded agreements).
+class CrossingRegistry {
+ public:
+  void add(Crossing crossing);
+
+  /// True iff traffic of `source` may cross at `at` from `from` to `to`.
+  [[nodiscard]] bool allows(AsId source, AsId at, AsId from, AsId to) const;
+
+  [[nodiscard]] const std::vector<Crossing>& crossings() const {
+    return crossings_;
+  }
+
+ private:
+  std::vector<Crossing> crossings_;
+};
+
+struct PathConstructionOptions {
+  std::size_t max_paths = 32;
+  std::size_t max_path_length = 10;
+};
+
+/// Constructs end-to-end AS paths from beacon segments.
+class PathConstructor {
+ public:
+  PathConstructor(const Graph& graph, const BeaconService& beacons,
+                  PathConstructionOptions options = {});
+
+  /// Candidate simple AS paths src -> dst, shortest first:
+  ///  * up(src) joined with down(dst) at a shared AS (including core),
+  ///  * peering shortcut between an AS on up(src) and one on down(dst),
+  ///  * agreement crossings from `crossings` (GRC-violating shortcuts).
+  [[nodiscard]] std::vector<std::vector<AsId>> construct(
+      AsId src, AsId dst, const CrossingRegistry* crossings = nullptr) const;
+
+ private:
+  void add_candidate(std::vector<std::vector<AsId>>& out,
+                     std::vector<AsId> path) const;
+
+  const Graph* graph_;
+  const BeaconService* beacons_;
+  PathConstructionOptions options_;
+};
+
+/// True iff the path visits no AS twice.
+[[nodiscard]] bool is_simple_path(const std::vector<AsId>& path);
+
+}  // namespace panagree::pan

@@ -1,0 +1,43 @@
+// Path segments: the control-plane artifacts of a SCION-like PAN.
+//
+// Beacons propagate from core (Tier-1) ASes down provider->customer links;
+// the recorded AS sequences become up-segments (leaf's view) that end-hosts
+// combine into end-to-end paths. Segments are direction-agnostic data; the
+// same sequence serves as a down-segment when read core-first.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "panagree/topology/graph.hpp"
+
+namespace panagree::pan {
+
+using topology::AsId;
+
+enum class SegmentType : std::uint8_t {
+  kUp,    ///< leaf AS towards a core AS
+  kDown,  ///< core AS towards a leaf AS
+  kCore,  ///< between core ASes
+};
+
+/// A discovered path segment. `ases` is ordered core-first (the beacon's
+/// propagation order); leaf() is the last element.
+struct PathSegment {
+  SegmentType type = SegmentType::kUp;
+  std::vector<AsId> ases;
+
+  [[nodiscard]] AsId core_end() const {
+    PANAGREE_ASSERT(!ases.empty());
+    return ases.front();
+  }
+  [[nodiscard]] AsId leaf_end() const {
+    PANAGREE_ASSERT(!ases.empty());
+    return ases.back();
+  }
+  [[nodiscard]] std::size_t length() const { return ases.size(); }
+
+  friend bool operator==(const PathSegment&, const PathSegment&) = default;
+};
+
+}  // namespace panagree::pan

@@ -1,0 +1,47 @@
+#include "panagree/sim/engine.hpp"
+
+#include <utility>
+
+namespace panagree::sim {
+
+void Engine::schedule(SimTime delay, std::function<void()> action) {
+  util::require(delay >= 0.0, "Engine::schedule: delay must be >= 0");
+  schedule_at(now_ + delay, std::move(action));
+}
+
+void Engine::schedule_at(SimTime when, std::function<void()> action) {
+  util::require(when >= now_, "Engine::schedule_at: cannot schedule in the past");
+  util::require(static_cast<bool>(action), "Engine::schedule_at: null action");
+  queue_.push(Event{when, next_seq_++, std::move(action)});
+}
+
+bool Engine::step() {
+  if (queue_.empty()) {
+    return false;
+  }
+  // priority_queue::top returns const&; the event must be copied out before
+  // pop. The action is a shared-ownership-free functor, so moving via a
+  // const_cast-free copy is acceptable here (actions are small).
+  Event event = queue_.top();
+  queue_.pop();
+  now_ = event.when;
+  event.action();
+  return true;
+}
+
+std::size_t Engine::run(SimTime until) {
+  std::size_t executed = 0;
+  while (!queue_.empty()) {
+    if (until >= 0.0 && queue_.top().when > until) {
+      break;
+    }
+    step();
+    ++executed;
+  }
+  if (until >= 0.0 && now_ < until) {
+    now_ = until;
+  }
+  return executed;
+}
+
+}  // namespace panagree::sim

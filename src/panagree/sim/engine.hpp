@@ -1,0 +1,56 @@
+// Minimal ns-3-style discrete-event engine: a simulated clock and a
+// time-ordered event queue with deterministic FIFO tie-breaking.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "panagree/util/error.hpp"
+
+namespace panagree::sim {
+
+/// Simulated time in seconds.
+using SimTime = double;
+
+class Engine {
+ public:
+  /// Schedules `action` to run `delay` seconds from now (delay >= 0).
+  void schedule(SimTime delay, std::function<void()> action);
+
+  /// Schedules `action` at an absolute time (>= now).
+  void schedule_at(SimTime when, std::function<void()> action);
+
+  /// Runs events until the queue drains or `until` (default: forever).
+  /// Returns the number of events executed.
+  std::size_t run(SimTime until = -1.0);
+
+  /// Executes at most one event; returns false if the queue is empty.
+  bool step();
+
+  [[nodiscard]] SimTime now() const { return now_; }
+  [[nodiscard]] bool empty() const { return queue_.empty(); }
+  [[nodiscard]] std::size_t pending() const { return queue_.size(); }
+
+ private:
+  struct Event {
+    SimTime when;
+    std::uint64_t seq;  ///< FIFO tie-break for equal timestamps
+    std::function<void()> action;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.when != b.when) {
+        return a.when > b.when;
+      }
+      return a.seq > b.seq;
+    }
+  };
+
+  SimTime now_ = 0.0;
+  std::uint64_t next_seq_ = 0;
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+};
+
+}  // namespace panagree::sim

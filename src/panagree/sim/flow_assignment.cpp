@@ -1,0 +1,38 @@
+#include "panagree/sim/flow_assignment.hpp"
+
+#include <algorithm>
+
+namespace panagree::sim {
+
+FlowAssignmentResult assign_flows(const Graph& graph,
+                                  const std::vector<PathDemand>& demands) {
+  FlowAssignmentResult result;
+  std::vector<double> volumes(graph.num_links(), 0.0);
+  for (const PathDemand& demand : demands) {
+    util::require(demand.volume >= 0.0,
+                  "assign_flows: demand volume must be non-negative");
+    util::require(demand.path.size() >= 1, "assign_flows: empty path");
+    for (std::size_t i = 0; i + 1 < demand.path.size(); ++i) {
+      const auto link = graph.link_between(demand.path[i], demand.path[i + 1]);
+      util::require(link.has_value(),
+                    "assign_flows: demand path uses a non-existent link");
+      volumes[*link] += demand.volume;
+    }
+    result.allocation.add_path_flow(demand.path, demand.volume);
+  }
+  result.links.reserve(graph.num_links());
+  for (topology::LinkId id = 0; id < graph.num_links(); ++id) {
+    LinkUtilization u;
+    u.link = id;
+    u.volume = volumes[id];
+    u.capacity = graph.link(id).capacity;
+    result.max_utilization = std::max(result.max_utilization, u.utilization());
+    if (u.capacity > 0.0 && u.volume > u.capacity) {
+      ++result.overloaded_links;
+    }
+    result.links.push_back(u);
+  }
+  return result;
+}
+
+}  // namespace panagree::sim

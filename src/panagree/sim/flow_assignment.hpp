@@ -1,0 +1,45 @@
+// Fluid flow assignment: maps (path, rate) demands onto the topology,
+// producing the econ::TrafficAllocation that the business model of §III
+// consumes, plus a link-utilization report.
+#pragma once
+
+#include <vector>
+
+#include "panagree/econ/business.hpp"
+#include "panagree/topology/graph.hpp"
+
+namespace panagree::sim {
+
+using topology::AsId;
+using topology::Graph;
+
+/// A fluid demand: `volume` units of traffic along `path` per accounting
+/// period (the paper's f interpretation: median/average/p95 of volume).
+struct PathDemand {
+  std::vector<AsId> path;
+  double volume = 0.0;
+};
+
+struct LinkUtilization {
+  topology::LinkId link = 0;
+  double volume = 0.0;
+  double capacity = 0.0;
+
+  [[nodiscard]] double utilization() const {
+    return capacity > 0.0 ? volume / capacity : 0.0;
+  }
+};
+
+struct FlowAssignmentResult {
+  econ::TrafficAllocation allocation;
+  std::vector<LinkUtilization> links;  ///< one entry per graph link
+  double max_utilization = 0.0;
+  std::size_t overloaded_links = 0;  ///< utilization > 1
+};
+
+/// Assigns all demands. Every consecutive path pair must be linked in the
+/// graph; volumes must be non-negative.
+[[nodiscard]] FlowAssignmentResult assign_flows(
+    const Graph& graph, const std::vector<PathDemand>& demands);
+
+}  // namespace panagree::sim

@@ -1,0 +1,114 @@
+#include "panagree/sim/network.hpp"
+
+#include <algorithm>
+
+#include "panagree/geo/coordinates.hpp"
+
+namespace panagree::sim {
+
+namespace {
+constexpr double kSpeedOfLightKmPerS = 299792.458;
+}
+
+Network::Network(const Graph& graph, const pan::KeyStore& keys,
+                 const geo::World* world, NetworkParams params)
+    : graph_(&graph),
+      keys_(&keys),
+      validator_(graph, keys),
+      params_(params) {
+  util::require(params_.propagation_fraction_of_c > 0.0,
+                "Network: propagation fraction must be positive");
+  util::require(params_.bits_per_capacity_unit > 0.0,
+                "Network: bits_per_capacity_unit must be positive");
+  // Precompute per-link propagation latency.
+  for (const topology::Link& link : graph.links()) {
+    double latency = params_.default_link_latency_s;
+    const auto& ia = graph.info(link.a);
+    const auto& ib = graph.info(link.b);
+    if (world != nullptr && ia.has_geo && ib.has_geo) {
+      double km;
+      if (!link.facilities.empty()) {
+        const geo::LatLng fac = world->city(link.facilities.front()).location;
+        km = geo::great_circle_km(ia.centroid, fac) +
+             geo::great_circle_km(fac, ib.centroid);
+      } else {
+        km = geo::great_circle_km(ia.centroid, ib.centroid);
+      }
+      latency = km / (kSpeedOfLightKmPerS * params_.propagation_fraction_of_c);
+    }
+    latency_cache_[directed_key(link.a, link.b)] = latency;
+    latency_cache_[directed_key(link.b, link.a)] = latency;
+  }
+}
+
+std::uint64_t Network::directed_key(AsId from, AsId to) const {
+  return (static_cast<std::uint64_t>(from) << 32) | to;
+}
+
+double Network::link_latency_s(AsId x, AsId y, double size_bits) const {
+  const auto it = latency_cache_.find(directed_key(x, y));
+  util::require(it != latency_cache_.end(),
+                "Network::link_latency_s: no such link");
+  const auto link_id = graph_->link_between(x, y);
+  const double capacity_units =
+      std::max(1e-9, graph_->link(*link_id).capacity > 0.0
+                         ? graph_->link(*link_id).capacity
+                         : 1.0);
+  const double serialization =
+      size_bits / (capacity_units * params_.bits_per_capacity_unit);
+  return it->second + serialization + params_.per_hop_overhead_s;
+}
+
+std::size_t Network::send_packet(const pan::ForwardingPath& path,
+                                 double size_bits) {
+  util::require(size_bits > 0.0, "Network::send_packet: empty packet");
+  const std::size_t record = records_.size();
+  records_.push_back(DeliveryRecord{});
+  records_[record].sent_at = engine_.now();
+
+  // Full-path validation (per-hop MAC chain + adjacency), as the on-path
+  // ASes would perform collectively; invalid packets are dropped at once.
+  const pan::ForwardResult check = validator_.forward(path);
+  if (!check.delivered) {
+    records_[record].drop_reason = check.reason;
+    records_[record].trace = check.trace;
+    return record;
+  }
+  hop(record, path, 0, size_bits);
+  return record;
+}
+
+void Network::hop(std::size_t record, const pan::ForwardingPath& path,
+                  std::size_t index, double size_bits) {
+  DeliveryRecord& rec = records_[record];
+  rec.trace.push_back(path.hops[index].as);
+  if (index + 1 == path.hops.size()) {
+    rec.delivered = true;
+    rec.delivered_at = engine_.now();
+    return;
+  }
+  const AsId from = path.hops[index].as;
+  const AsId to = path.hops[index + 1].as;
+  const auto key = directed_key(from, to);
+  const auto link_id = graph_->link_between(from, to);
+  PANAGREE_ASSERT(link_id.has_value());
+  const double capacity_units =
+      std::max(1e-9, graph_->link(*link_id).capacity > 0.0
+                         ? graph_->link(*link_id).capacity
+                         : 1.0);
+  const double serialization =
+      size_bits / (capacity_units * params_.bits_per_capacity_unit);
+  const double propagation = latency_cache_.at(key);
+
+  DirectedLinkState& state = link_state_[key];
+  const SimTime departure = std::max(engine_.now(), state.busy_until);
+  state.busy_until = departure + serialization;
+  const SimTime arrival =
+      departure + serialization + propagation + params_.per_hop_overhead_s;
+  // Copy the path into the continuation; paths are short (<= ~10 hops).
+  engine_.schedule_at(arrival, [this, record, path, index, size_bits] {
+    hop(record, path, index + 1, size_bits);
+  });
+}
+
+}  // namespace panagree::sim

@@ -1,0 +1,125 @@
+#include "panagree/topology/caida.hpp"
+
+#include <charconv>
+#include <fstream>
+#include <sstream>
+#include <string_view>
+#include <vector>
+
+namespace panagree::topology::caida {
+
+namespace {
+
+std::uint64_t parse_asn(std::string_view field, std::size_t line_no) {
+  std::uint64_t value = 0;
+  const auto [ptr, ec] =
+      std::from_chars(field.data(), field.data() + field.size(), value);
+  if (ec != std::errc{} || ptr != field.data() + field.size()) {
+    std::ostringstream os;
+    os << "caida: invalid ASN '" << field << "' on line " << line_no;
+    throw util::ParseError(os.str());
+  }
+  return value;
+}
+
+std::vector<std::string_view> split(std::string_view line, char sep) {
+  std::vector<std::string_view> fields;
+  std::size_t start = 0;
+  while (start <= line.size()) {
+    const std::size_t end = line.find(sep, start);
+    if (end == std::string_view::npos) {
+      fields.push_back(line.substr(start));
+      break;
+    }
+    fields.push_back(line.substr(start, end - start));
+    start = end + 1;
+  }
+  return fields;
+}
+
+}  // namespace
+
+std::uint64_t Dataset::asn_of(AsId id) const {
+  for (const auto& [asn, as_id] : asn_to_id) {
+    if (as_id == id) {
+      return asn;
+    }
+  }
+  throw util::PreconditionError("caida::Dataset::asn_of: unknown AsId");
+}
+
+Dataset parse(std::istream& in) {
+  Dataset ds;
+  const auto intern = [&](std::uint64_t asn) -> AsId {
+    const auto it = ds.asn_to_id.find(asn);
+    if (it != ds.asn_to_id.end()) {
+      return it->second;
+    }
+    const AsId id = ds.graph.add_as(std::to_string(asn));
+    ds.asn_to_id.emplace(asn, id);
+    return id;
+  };
+
+  std::string line;
+  std::size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty() || line.front() == '#') {
+      continue;
+    }
+    const auto fields = split(line, '|');
+    if (fields.size() < 3) {
+      std::ostringstream os;
+      os << "caida: expected at least 3 '|'-separated fields on line "
+         << line_no;
+      throw util::ParseError(os.str());
+    }
+    const std::uint64_t asn1 = parse_asn(fields[0], line_no);
+    const std::uint64_t asn2 = parse_asn(fields[1], line_no);
+    const std::string_view rel = fields[2];
+    const AsId a = intern(asn1);
+    const AsId b = intern(asn2);
+    try {
+      if (rel == "-1") {
+        ds.graph.add_provider_customer(a, b);
+      } else if (rel == "0") {
+        ds.graph.add_peering(a, b);
+      } else {
+        std::ostringstream os;
+        os << "caida: unknown relationship '" << rel << "' on line "
+           << line_no;
+        throw util::ParseError(os.str());
+      }
+    } catch (const util::PreconditionError& e) {
+      std::ostringstream os;
+      os << "caida: line " << line_no << ": " << e.what();
+      throw util::ParseError(os.str());
+    }
+  }
+  return ds;
+}
+
+Dataset parse_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    throw util::ParseError("caida: cannot open file: " + path);
+  }
+  return parse(in);
+}
+
+void write(const Graph& graph, std::ostream& out) {
+  out << "# panagree as-rel2 export: <a>|<b>|<-1 provider / 0 peer>\n";
+  for (const Link& link : graph.links()) {
+    const auto name_or_id = [&](AsId as) -> std::string {
+      const std::string& name = graph.info(as).name;
+      const bool numeric =
+          !name.empty() &&
+          name.find_first_not_of("0123456789") == std::string::npos;
+      return numeric ? name : std::to_string(as);
+    };
+    out << name_or_id(link.a) << '|' << name_or_id(link.b) << '|'
+        << (link.type == LinkType::kProviderCustomer ? "-1" : "0") << '\n';
+  }
+}
+
+}  // namespace panagree::topology::caida

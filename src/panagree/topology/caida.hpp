@@ -1,0 +1,39 @@
+// Reader/writer for the CAIDA AS-relationship "as-rel2" serial format.
+//
+// The paper's evaluation starts from the CAIDA dataset [8]. The dataset is
+// not redistributable with this repository, so experiments default to the
+// synthetic generator, but this parser lets users drop in the real file:
+//
+//   # comment lines start with '#'
+//   <provider-asn>|<customer-asn>|-1[|source]
+//   <peer-asn>|<peer-asn>|0[|source]
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <unordered_map>
+
+#include "panagree/topology/graph.hpp"
+
+namespace panagree::topology::caida {
+
+/// Result of parsing: the graph plus the ASN <-> AsId correspondence.
+struct Dataset {
+  Graph graph;
+  std::unordered_map<std::uint64_t, AsId> asn_to_id;
+
+  [[nodiscard]] std::uint64_t asn_of(AsId id) const;
+};
+
+/// Parses an as-rel2 stream. Throws util::ParseError on malformed lines and
+/// on duplicate relationships for the same AS pair.
+[[nodiscard]] Dataset parse(std::istream& in);
+
+/// Parses an as-rel2 file from disk.
+[[nodiscard]] Dataset parse_file(const std::string& path);
+
+/// Serializes a graph back to as-rel2 (AS names must be numeric or are
+/// replaced by their dense ids).
+void write(const Graph& graph, std::ostream& out);
+
+}  // namespace panagree::topology::caida

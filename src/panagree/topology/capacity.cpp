@@ -1,0 +1,35 @@
+#include "panagree/topology/capacity.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace panagree::topology {
+
+void assign_degree_gravity_capacities(Graph& graph,
+                                      const DegreeGravityParams& params) {
+  util::require(params.scale > 0.0,
+                "assign_degree_gravity_capacities: scale must be positive");
+  util::require(params.exponent > 0.0,
+                "assign_degree_gravity_capacities: exponent must be positive");
+  for (LinkId id = 0; id < graph.num_links(); ++id) {
+    Link& link = graph.link(id);
+    const double product = static_cast<double>(graph.degree(link.a)) *
+                           static_cast<double>(graph.degree(link.b));
+    link.capacity = params.scale * std::pow(product, params.exponent);
+  }
+}
+
+double path_bandwidth(const Graph& graph, const std::vector<AsId>& path) {
+  util::require(path.size() >= 2, "path_bandwidth: need at least two hops");
+  double bandwidth = std::numeric_limits<double>::infinity();
+  for (std::size_t i = 0; i + 1 < path.size(); ++i) {
+    const auto link_id = graph.link_between(path[i], path[i + 1]);
+    util::require(link_id.has_value(),
+                  "path_bandwidth: consecutive hops must be linked");
+    bandwidth = std::min(bandwidth, graph.link(*link_id).capacity);
+  }
+  return bandwidth;
+}
+
+}  // namespace panagree::topology

@@ -1,0 +1,31 @@
+// Link-capacity assignment.
+//
+// §VI-C of the paper infers inter-AS link bandwidth with a degree-gravity
+// model [47]: the capacity of a link is proportional to the product of the
+// node degrees of its endpoints. Path bandwidth is the minimum link
+// capacity along the path.
+#pragma once
+
+#include "panagree/topology/graph.hpp"
+
+namespace panagree::topology {
+
+struct DegreeGravityParams {
+  /// Capacity of a link between two degree-1 nodes (arbitrary bandwidth
+  /// units; only ratios matter for the analysis).
+  double scale = 1.0;
+  /// Exponent applied to the degree product (1 = the paper's model).
+  double exponent = 1.0;
+};
+
+/// Assigns `capacity` to every link of the graph via the degree-gravity
+/// model: capacity = scale * (deg(a) * deg(b))^exponent.
+void assign_degree_gravity_capacities(Graph& graph,
+                                      const DegreeGravityParams& params = {});
+
+/// Bandwidth of a path given as a sequence of AS hops: the minimum capacity
+/// over the traversed links. Throws if consecutive hops are not linked.
+[[nodiscard]] double path_bandwidth(const Graph& graph,
+                                    const std::vector<AsId>& path);
+
+}  // namespace panagree::topology

@@ -1,0 +1,51 @@
+#include "panagree/topology/examples.hpp"
+
+namespace panagree::topology {
+
+Fig1 make_fig1() {
+  Fig1 t{};
+  Graph& g = t.graph;
+  t.A = g.add_as("A");
+  t.B = g.add_as("B");
+  t.C = g.add_as("C");
+  t.D = g.add_as("D");
+  t.E = g.add_as("E");
+  t.F = g.add_as("F");
+  t.G = g.add_as("G");
+  t.H = g.add_as("H");
+  t.I = g.add_as("I");
+
+  g.add_peering(t.A, t.B);
+  g.add_peering(t.C, t.D);
+  g.add_peering(t.D, t.E);
+  g.add_peering(t.E, t.F);
+  g.add_peering(t.F, t.G);
+
+  g.add_provider_customer(t.A, t.C);
+  g.add_provider_customer(t.A, t.D);
+  g.add_provider_customer(t.B, t.E);
+  g.add_provider_customer(t.B, t.F);
+  g.add_provider_customer(t.B, t.G);
+  g.add_provider_customer(t.D, t.H);
+  g.add_provider_customer(t.E, t.I);
+  return t;
+}
+
+Diamond make_diamond() {
+  Diamond t{};
+  Graph& g = t.graph;
+  t.P = g.add_as("P");
+  t.X = g.add_as("X");
+  t.Y = g.add_as("Y");
+  t.CX = g.add_as("CX");
+  t.CY = g.add_as("CY");
+
+  g.add_provider_customer(t.P, t.X);
+  g.add_provider_customer(t.P, t.Y);
+  g.add_peering(t.X, t.Y);
+  g.add_provider_customer(t.X, t.CX);
+  g.add_provider_customer(t.Y, t.CY);
+  return t;
+}
+
+}  // namespace panagree::topology

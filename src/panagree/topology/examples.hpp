@@ -1,0 +1,36 @@
+// Hand-built example topologies used across tests, examples, and benches.
+#pragma once
+
+#include "panagree/topology/graph.hpp"
+
+namespace panagree::topology {
+
+/// The paper's Figure 1 topology.
+///
+/// Peering links (dashed in the paper): A-B, C-D, D-E, E-F, F-G.
+/// Provider->customer links: A->C, A->D, B->E, B->F, B->G, D->H, E->I.
+///
+/// The text's running examples live here: agreement a = [D(^{A}); E(^{B},
+/// ->{F})], the extension agreement a' between E and F, the peering
+/// agreement ap = [D(v{H}); E(v{I})], and the GRC-violating path ADE.
+struct Fig1 {
+  Graph graph;
+  AsId A, B, C, D, E, F, G, H, I;
+};
+
+[[nodiscard]] Fig1 make_fig1();
+
+/// A minimal diamond: T1 provider P on top, two peers X, Y below it, each
+/// with one customer. Handy for closed-form economic tests.
+struct Diamond {
+  Graph graph;
+  AsId P;   ///< shared provider
+  AsId X;   ///< left mid AS
+  AsId Y;   ///< right mid AS (peer of X)
+  AsId CX;  ///< customer of X
+  AsId CY;  ///< customer of Y
+};
+
+[[nodiscard]] Diamond make_diamond();
+
+}  // namespace panagree::topology

@@ -1,0 +1,372 @@
+#include "panagree/topology/generator.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "panagree/geo/coordinates.hpp"
+
+namespace panagree::topology {
+
+namespace {
+
+/// Rough relative Internet-population weights of the five default regions.
+const std::vector<double> kRegionWeights = {0.28, 0.10, 0.27, 0.25, 0.10};
+
+/// Assigns PoP cities and the centroid to an AS.
+void assign_pops(Graph& graph, AsId as, const geo::World& world,
+                 util::Rng& rng, std::size_t own_region,
+                 std::size_t min_cities, std::size_t max_cities,
+                 bool global_footprint, double foreign_pop_prob) {
+  AsInfo& info = graph.info(as);
+  info.region = own_region;
+  if (global_footprint) {
+    // Tier-1: presence in every region.
+    for (std::size_t r = 0; r < world.regions().size(); ++r) {
+      const std::size_t n = 1 + rng.uniform_index(2);
+      for (std::size_t i = 0; i < n; ++i) {
+        info.pops.push_back(world.sample_city(r, rng));
+      }
+    }
+  } else {
+    const std::size_t span = max_cities - min_cities + 1;
+    const std::size_t n = min_cities + rng.uniform_index(span);
+    for (std::size_t i = 0; i < n; ++i) {
+      info.pops.push_back(world.sample_city(own_region, rng));
+    }
+    if (rng.bernoulli(foreign_pop_prob)) {
+      const std::size_t other = rng.uniform_index(world.regions().size());
+      info.pops.push_back(world.sample_city(other, rng));
+    }
+  }
+  std::sort(info.pops.begin(), info.pops.end());
+  info.pops.erase(std::unique(info.pops.begin(), info.pops.end()),
+                  info.pops.end());
+  std::vector<geo::LatLng> points;
+  points.reserve(info.pops.size());
+  for (const std::size_t city : info.pops) {
+    points.push_back(world.city(city).location);
+  }
+  info.centroid = geo::spherical_centroid(points);
+  info.has_geo = true;
+}
+
+/// Preferential provider selection among transit candidates.
+class ProviderSelector {
+ public:
+  ProviderSelector(const Graph& graph, double bias, double region_boost)
+      : graph_(graph), bias_(bias), region_boost_(region_boost) {}
+
+  void add_candidate(AsId as) { candidates_.push_back(as); }
+
+  /// Samples a provider for `customer` that is not already linked to it;
+  /// returns kInvalidAs if no candidate qualifies.
+  AsId sample(AsId customer, std::size_t customer_region, util::Rng& rng) {
+    weights_.clear();
+    weights_.reserve(candidates_.size());
+    for (const AsId cand : candidates_) {
+      double w = 0.0;
+      if (cand != customer && !graph_.link_between(cand, customer)) {
+        w = std::pow(1.0 + static_cast<double>(graph_.customers(cand).size()),
+                     bias_);
+        if (graph_.info(cand).region == customer_region) {
+          w *= region_boost_;
+        }
+        if (graph_.info(cand).tier == 1) {
+          w *= 1.5;  // Tier-1 transit is easy to buy anywhere
+        }
+      }
+      weights_.push_back(w);
+    }
+    double total = 0.0;
+    for (const double w : weights_) {
+      total += w;
+    }
+    if (total <= 0.0) {
+      return kInvalidAs;
+    }
+    return candidates_[rng.weighted_index(weights_)];
+  }
+
+ private:
+  const Graph& graph_;
+  double bias_;
+  double region_boost_;
+  std::vector<AsId> candidates_;
+  std::vector<double> weights_;
+};
+
+/// Computes candidate interconnection facilities for a link: cities common
+/// to both endpoints' PoP sets. Without a shared city, provider->customer
+/// links interconnect at the *provider's* PoPs (the customer backhauls to
+/// its transit provider - the realistic asymmetry that gives valley-free
+/// paths their geographic detours), while peering links use the closest
+/// PoP pair.
+std::vector<std::size_t> link_facilities(const Graph& graph,
+                                         const geo::World& world,
+                                         const Link& link,
+                                         std::size_t max_count) {
+  const AsId a = link.a;
+  const AsId b = link.b;
+  const auto& pa = graph.info(a).pops;
+  const auto& pb = graph.info(b).pops;
+  std::vector<std::size_t> common;
+  std::set_intersection(pa.begin(), pa.end(), pb.begin(), pb.end(),
+                        std::back_inserter(common));
+  if (common.size() > max_count) {
+    common.resize(max_count);
+  }
+  if (!common.empty()) {
+    return common;
+  }
+  if (pa.empty() || pb.empty()) {
+    return {};
+  }
+  if (link.type == LinkType::kProviderCustomer) {
+    // link.a is the provider: the customer hauls traffic to the provider's
+    // facilities.
+    std::vector<std::size_t> facilities(
+        pa.begin(), pa.begin() + std::min(max_count, pa.size()));
+    return facilities;
+  }
+  // Peering without a shared city: the PoP pair with the smallest
+  // great-circle separation.
+  double best = std::numeric_limits<double>::infinity();
+  std::size_t best_a = pa.front();
+  std::size_t best_b = pb.front();
+  for (const std::size_t ca : pa) {
+    for (const std::size_t cb : pb) {
+      const double d = geo::great_circle_km(world.city(ca).location,
+                                            world.city(cb).location);
+      if (d < best) {
+        best = d;
+        best_a = ca;
+        best_b = cb;
+      }
+    }
+  }
+  if (best_a == best_b) {
+    return {best_a};
+  }
+  return {best_a, best_b};
+}
+
+}  // namespace
+
+GeneratedTopology generate_internet(const GeneratorParams& params) {
+  util::require(params.tier1_count >= 2,
+                "generate_internet: need at least two Tier-1 ASes");
+  util::require(params.num_ases >= params.tier1_count + 10,
+                "generate_internet: num_ases too small for the tier split");
+  util::require(params.tier2_fraction > 0.0 && params.tier2_fraction < 1.0,
+                "generate_internet: tier2_fraction must be in (0, 1)");
+
+  util::Rng rng(params.seed);
+  GeneratedTopology out;
+  out.world = geo::World::make_default(rng, params.cities_per_region);
+  Graph& g = out.graph;
+  const std::size_t num_regions = out.world.regions().size();
+
+  const auto tier2_count = static_cast<std::size_t>(
+      std::round(params.tier2_fraction * static_cast<double>(params.num_ases)));
+  util::require(params.tier1_count + tier2_count < params.num_ases,
+                "generate_internet: tier2_fraction leaves no Tier-3 ASes");
+
+  ProviderSelector selector(g, params.preferential_bias,
+                            params.same_region_provider_boost);
+
+  // --- Tier-1 core: global footprint, full peering mesh. ---
+  for (std::size_t i = 0; i < params.tier1_count; ++i) {
+    const AsId as = g.add_as("T1-" + std::to_string(i));
+    g.info(as).tier = 1;
+    assign_pops(g, as, out.world, rng, i % num_regions, 0, 0,
+                /*global_footprint=*/true, 0.0);
+    out.tier1.push_back(as);
+    selector.add_candidate(as);
+  }
+  for (std::size_t i = 0; i < out.tier1.size(); ++i) {
+    for (std::size_t j = i + 1; j < out.tier1.size(); ++j) {
+      g.add_peering(out.tier1[i], out.tier1[j]);
+    }
+  }
+
+  // --- Tier-2 regional transits. ---
+  for (std::size_t i = 0; i < tier2_count; ++i) {
+    const AsId as = g.add_as("T2-" + std::to_string(i));
+    g.info(as).tier = 2;
+    const std::size_t region = out.world.sample_region(rng, kRegionWeights);
+    assign_pops(g, as, out.world, rng, region, 2, 5,
+                /*global_footprint=*/false, /*foreign_pop_prob=*/0.25);
+    std::size_t providers = 1;
+    while (providers < 3 && rng.bernoulli(params.tier2_extra_provider_prob)) {
+      ++providers;
+    }
+    for (std::size_t p = 0; p < providers; ++p) {
+      const AsId provider = selector.sample(as, region, rng);
+      if (provider != kInvalidAs) {
+        g.add_provider_customer(provider, as);
+      }
+    }
+    out.tier2.push_back(as);
+    selector.add_candidate(as);
+  }
+
+  // --- Tier-3 stubs / edge networks. ---
+  const std::size_t tier3_count =
+      params.num_ases - params.tier1_count - tier2_count;
+  for (std::size_t i = 0; i < tier3_count; ++i) {
+    const AsId as = g.add_as("T3-" + std::to_string(i));
+    g.info(as).tier = 3;
+    const std::size_t region = out.world.sample_region(rng, kRegionWeights);
+    assign_pops(g, as, out.world, rng, region, 1, 2,
+                /*global_footprint=*/false, /*foreign_pop_prob=*/0.05);
+    std::size_t providers = 1;
+    while (providers < 3 && rng.bernoulli(params.tier3_extra_provider_prob)) {
+      ++providers;
+    }
+    for (std::size_t p = 0; p < providers; ++p) {
+      const AsId provider = selector.sample(as, region, rng);
+      if (provider != kInvalidAs) {
+        g.add_provider_customer(provider, as);
+      }
+    }
+    out.tier3.push_back(as);
+  }
+
+  // --- IXPs: membership, then probabilistic peering meshes. ---
+  std::vector<std::vector<std::size_t>> region_ixps(num_regions);
+  for (std::size_t r = 0; r < num_regions; ++r) {
+    for (std::size_t k = 0; k < params.ixps_per_region; ++k) {
+      region_ixps[r].push_back(out.ixps.size());
+      out.ixps.push_back(
+          Ixp{out.world.sample_city(r, rng), r, {}});
+    }
+  }
+  const auto join_ixps = [&](AsId as, double join_prob, std::size_t max_join) {
+    const std::size_t region = g.info(as).region;
+    if (region_ixps[region].empty() || !rng.bernoulli(join_prob)) {
+      return;
+    }
+    const std::size_t want = 1 + rng.uniform_index(max_join);
+    const auto picks = rng.sample_without_replacement(
+        region_ixps[region].size(), std::min(want, region_ixps[region].size()));
+    for (const std::size_t p : picks) {
+      out.ixps[region_ixps[region][p]].members.push_back(as);
+    }
+  };
+  for (const AsId as : out.tier2) {
+    join_ixps(as, params.tier2_ixp_join_prob, params.ixps_per_region);
+  }
+  for (const AsId as : out.tier3) {
+    join_ixps(as, params.tier3_ixp_join_prob, 1);
+  }
+
+  // Open-peering hubs: the highest-degree Tier-2 members per region. Hubs
+  // get a global footprint (a PoP in every region and presence at every
+  // IXP) and peer openly, like the giant route-server/open-peering networks
+  // that dominate the real Internet's p2p link count. Hub footprints are
+  // graded by rank (rank 0 = an HE-like giant, later ranks progressively
+  // smaller), which reproduces the broad degree diversity of the real
+  // peering fabric.
+  std::vector<int> hub_rank(g.num_ases(), -1);
+  for (std::size_t r = 0; r < num_regions; ++r) {
+    std::vector<AsId> regional_t2;
+    for (const AsId as : out.tier2) {
+      if (g.info(as).region == r) {
+        regional_t2.push_back(as);
+      }
+    }
+    std::sort(regional_t2.begin(), regional_t2.end(),
+              [&](AsId x, AsId y) { return g.degree(x) > g.degree(y); });
+    for (std::size_t h = 0;
+         h < std::min(params.open_peering_hubs_per_region, regional_t2.size());
+         ++h) {
+      const AsId hub = regional_t2[h];
+      hub_rank[hub] = static_cast<int>(h);
+      out.hubs.push_back(hub);
+      // Global footprint: one PoP per region, everywhere.
+      AsInfo& info = g.info(hub);
+      for (std::size_t pr = 0; pr < num_regions; ++pr) {
+        info.pops.push_back(out.world.sample_city(pr, rng));
+      }
+      std::sort(info.pops.begin(), info.pops.end());
+      info.pops.erase(std::unique(info.pops.begin(), info.pops.end()),
+                      info.pops.end());
+      std::vector<geo::LatLng> points;
+      for (const std::size_t city : info.pops) {
+        points.push_back(out.world.city(city).location);
+      }
+      info.centroid = geo::spherical_centroid(points);
+      // Present at every IXP worldwide.
+      for (Ixp& ixp : out.ixps) {
+        if (std::find(ixp.members.begin(), ixp.members.end(), hub) ==
+            ixp.members.end()) {
+          ixp.members.push_back(hub);
+        }
+      }
+    }
+  }
+
+  for (const Ixp& ixp : out.ixps) {
+    for (std::size_t i = 0; i < ixp.members.size(); ++i) {
+      for (std::size_t j = i + 1; j < ixp.members.size(); ++j) {
+        const AsId x = ixp.members[i];
+        const AsId y = ixp.members[j];
+        if (g.link_between(x, y)) {
+          continue;
+        }
+        double p;
+        const int rank_x = hub_rank[x];
+        const int rank_y = hub_rank[y];
+        if (rank_x >= 0 || rank_y >= 0) {
+          // The better-ranked hub drives the peering appetite; remote
+          // presence falls off with rank (smaller hubs do less remote
+          // peering).
+          int rank = rank_x >= 0 ? rank_x : rank_y;
+          if (rank_x >= 0 && rank_y >= 0) {
+            rank = std::min(rank_x, rank_y);
+          }
+          const bool home =
+              (rank_x >= 0 && g.info(x).region == ixp.region) ||
+              (rank_y >= 0 && g.info(y).region == ixp.region);
+          const double base =
+              home ? params.hub_peer_prob : params.hub_remote_peer_prob;
+          p = base / (1.0 + (home ? 0.4 : 1.0) * static_cast<double>(rank));
+        } else {
+          const int tx = g.info(x).tier;
+          const int ty = g.info(y).tier;
+          if (tx == 2 && ty == 2) {
+            p = params.ixp_peer_prob_tier2;
+          } else if (tx == 3 && ty == 3) {
+            p = params.ixp_peer_prob_tier3;
+          } else {
+            p = params.ixp_peer_prob_mixed;
+          }
+        }
+        if (rng.bernoulli(p)) {
+          const LinkId id = g.add_peering(x, y);
+          // Peering struck at the IXP: that city is the primary facility.
+          g.link(id).facilities.push_back(ixp.city);
+        }
+      }
+    }
+  }
+
+  // --- Facilities for the remaining links + dedup for IXP links. ---
+  for (LinkId id = 0; id < g.num_links(); ++id) {
+    Link& link = g.link(id);
+    auto extra =
+        link_facilities(g, out.world, link, params.max_facilities_per_link);
+    for (const std::size_t city : extra) {
+      if (std::find(link.facilities.begin(), link.facilities.end(), city) ==
+          link.facilities.end() &&
+          link.facilities.size() < params.max_facilities_per_link) {
+        link.facilities.push_back(city);
+      }
+    }
+  }
+
+  return out;
+}
+
+}  // namespace panagree::topology

@@ -1,0 +1,98 @@
+// Synthetic Internet-like AS topology generator.
+//
+// Substitutes the CAIDA AS-relationship dataset of §VI (see DESIGN.md §1).
+// The generator reproduces the structural features the paper's analysis
+// depends on:
+//   * a small, fully-meshed Tier-1 core;
+//   * power-law provider degrees via preferential attachment (large customer
+//     cones at a few transit ASes);
+//   * dense, IXP-driven peering meshes with "open peering" hubs (the source
+//     of the enormous MA path counts in Figures 3-4);
+//   * regional locality of peering and provider choice, plus PoP/facility
+//     geolocation for the geodistance analysis of §VI-B.
+//
+// The entire construction is deterministic given `seed`.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "panagree/geo/region.hpp"
+#include "panagree/topology/graph.hpp"
+#include "panagree/util/rng.hpp"
+
+namespace panagree::topology {
+
+/// Tuning knobs of the generator; the defaults yield an Internet-like graph
+/// whose diversity CDFs reproduce the shapes of the paper's Figures 3-6.
+struct GeneratorParams {
+  std::size_t num_ases = 12000;
+  std::size_t tier1_count = 12;
+  /// Fraction of ASes that are Tier-2 regional transits.
+  double tier2_fraction = 0.08;
+  std::uint64_t seed = 1;
+
+  /// Probability of each additional provider (multihoming), up to 3 total.
+  double tier2_extra_provider_prob = 0.55;
+  double tier3_extra_provider_prob = 0.35;
+
+  /// Exponent on (1 + customer count) in preferential provider selection.
+  /// Values below 1 spread customers over mid-size transits (the real
+  /// Internet's provider market is far less concentrated than its peering
+  /// fabric) while keeping a heavy-tailed cone distribution.
+  double preferential_bias = 0.6;
+  /// Weight multiplier for same-region provider candidates.
+  double same_region_provider_boost = 4.0;
+
+  /// IXP-driven peering.
+  std::size_t ixps_per_region = 3;
+  double tier2_ixp_join_prob = 0.9;
+  /// Most edge networks are present at an IXP (CAIDA's inferred p2p set is
+  /// dominated by route-server/multilateral peerings, covering the vast
+  /// majority of ASes).
+  double tier3_ixp_join_prob = 0.9;
+  double ixp_peer_prob_tier2 = 0.35;   ///< tier2-tier2 at a shared IXP
+  double ixp_peer_prob_mixed = 0.03;   ///< tier2-tier3 at a shared IXP
+  double ixp_peer_prob_tier3 = 0.004;  ///< tier3-tier3 bilateral at an IXP
+  /// Hurricane-Electric-like open-peering hubs per region. Hubs have a
+  /// global footprint: they are present at every IXP worldwide and peer
+  /// openly - with probability hub_peer_prob with members at their home
+  /// region's IXPs and hub_remote_peer_prob elsewhere (remote peering).
+  /// These hubs are what drives the enormous MA path gains of Figures 3-4,
+  /// exactly as the highest-peer-degree ASes do on the CAIDA graph.
+  std::size_t open_peering_hubs_per_region = 3;
+  double hub_peer_prob = 0.9;
+  double hub_remote_peer_prob = 0.5;
+
+  /// Geo model.
+  std::size_t cities_per_region = 40;
+  /// Max number of candidate interconnection facilities stored per link.
+  std::size_t max_facilities_per_link = 3;
+};
+
+/// An IXP: a facility city plus its member ASes (exposed for inspection).
+struct Ixp {
+  std::size_t city = 0;
+  std::size_t region = 0;
+  std::vector<AsId> members;
+};
+
+/// Generator output: the graph, the geo world it is embedded in, and the
+/// IXP substrate used to derive the peering mesh.
+struct GeneratedTopology {
+  Graph graph;
+  geo::World world;
+  std::vector<Ixp> ixps;
+  std::vector<AsId> tier1;
+  std::vector<AsId> tier2;
+  std::vector<AsId> tier3;
+  /// Open-peering hubs (globally present Tier-2 ASes), best-ranked first
+  /// per region.
+  std::vector<AsId> hubs;
+};
+
+/// Runs the generator. Throws util::PreconditionError on nonsensical
+/// parameters (e.g. fewer ASes than Tier-1 nodes).
+[[nodiscard]] GeneratedTopology generate_internet(const GeneratorParams& params);
+
+}  // namespace panagree::topology

@@ -1,0 +1,232 @@
+#include "panagree/topology/graph.hpp"
+
+#include <algorithm>
+#include <deque>
+
+namespace panagree::topology {
+
+AsId Graph::add_as(std::string name) {
+  const auto id = static_cast<AsId>(infos_.size());
+  AsInfo info;
+  info.name = name.empty() ? "AS" + std::to_string(id) : std::move(name);
+  util::require(!name_index_.contains(info.name),
+                "Graph::add_as: duplicate AS name");
+  name_index_.emplace(info.name, id);
+  infos_.push_back(std::move(info));
+  adjacency_.emplace_back();
+  return id;
+}
+
+std::uint64_t Graph::pair_key(AsId x, AsId y) {
+  const AsId lo = std::min(x, y);
+  const AsId hi = std::max(x, y);
+  return (static_cast<std::uint64_t>(lo) << 32) | hi;
+}
+
+void Graph::check_new_link(AsId x, AsId y) const {
+  util::require(x < num_ases() && y < num_ases(),
+                "Graph: link endpoint out of range");
+  util::require(x != y, "Graph: self-loops are not allowed");
+  util::require(!link_index_.contains(pair_key(x, y)),
+                "Graph: at most one relationship per AS pair");
+}
+
+LinkId Graph::add_provider_customer(AsId provider, AsId customer) {
+  check_new_link(provider, customer);
+  const LinkId id = links_.size();
+  links_.push_back(Link{provider, customer, LinkType::kProviderCustomer, {}, 0.0});
+  link_index_.emplace(pair_key(provider, customer), id);
+  adjacency_[provider].customers.push_back(customer);
+  adjacency_[customer].providers.push_back(provider);
+  return id;
+}
+
+LinkId Graph::add_peering(AsId x, AsId y) {
+  check_new_link(x, y);
+  const LinkId id = links_.size();
+  links_.push_back(Link{x, y, LinkType::kPeering, {}, 0.0});
+  link_index_.emplace(pair_key(x, y), id);
+  adjacency_[x].peers.push_back(y);
+  adjacency_[y].peers.push_back(x);
+  return id;
+}
+
+const Link& Graph::link(LinkId id) const {
+  util::require(id < links_.size(), "Graph::link: id out of range");
+  return links_[id];
+}
+
+Link& Graph::link(LinkId id) {
+  util::require(id < links_.size(), "Graph::link: id out of range");
+  return links_[id];
+}
+
+const AsInfo& Graph::info(AsId as) const {
+  util::require(as < infos_.size(), "Graph::info: AS out of range");
+  return infos_[as];
+}
+
+AsInfo& Graph::info(AsId as) {
+  util::require(as < infos_.size(), "Graph::info: AS out of range");
+  return infos_[as];
+}
+
+const std::vector<AsId>& Graph::providers(AsId as) const {
+  util::require(as < adjacency_.size(), "Graph::providers: AS out of range");
+  return adjacency_[as].providers;
+}
+
+const std::vector<AsId>& Graph::peers(AsId as) const {
+  util::require(as < adjacency_.size(), "Graph::peers: AS out of range");
+  return adjacency_[as].peers;
+}
+
+const std::vector<AsId>& Graph::customers(AsId as) const {
+  util::require(as < adjacency_.size(), "Graph::customers: AS out of range");
+  return adjacency_[as].customers;
+}
+
+std::vector<AsId> Graph::neighbors(AsId as) const {
+  const auto& adj = adjacency_.at(as);
+  std::vector<AsId> out;
+  out.reserve(degree(as));
+  out.insert(out.end(), adj.providers.begin(), adj.providers.end());
+  out.insert(out.end(), adj.peers.begin(), adj.peers.end());
+  out.insert(out.end(), adj.customers.begin(), adj.customers.end());
+  return out;
+}
+
+std::size_t Graph::degree(AsId as) const {
+  const auto& adj = adjacency_.at(as);
+  return adj.providers.size() + adj.peers.size() + adj.customers.size();
+}
+
+std::optional<LinkId> Graph::link_between(AsId x, AsId y) const {
+  const auto it = link_index_.find(pair_key(x, y));
+  if (it == link_index_.end()) {
+    return std::nullopt;
+  }
+  return it->second;
+}
+
+std::optional<NeighborRole> Graph::role_of(AsId x, AsId y) const {
+  const auto id = link_between(x, y);
+  if (!id) {
+    return std::nullopt;
+  }
+  const Link& l = links_[*id];
+  if (l.type == LinkType::kPeering) {
+    return NeighborRole::kPeer;
+  }
+  return l.a == y ? NeighborRole::kProvider : NeighborRole::kCustomer;
+}
+
+bool Graph::are_peers(AsId x, AsId y) const {
+  return role_of(x, y) == NeighborRole::kPeer;
+}
+
+bool Graph::is_provider_of(AsId provider, AsId customer) const {
+  return role_of(customer, provider) == NeighborRole::kProvider;
+}
+
+bool Graph::is_customer_of(AsId customer, AsId provider) const {
+  return is_provider_of(provider, customer);
+}
+
+bool Graph::provider_hierarchy_is_acyclic() const {
+  // Kahn's algorithm over provider->customer edges.
+  std::vector<std::size_t> in_degree(num_ases(), 0);
+  for (AsId as = 0; as < num_ases(); ++as) {
+    in_degree[as] = adjacency_[as].providers.size();
+  }
+  std::deque<AsId> ready;
+  for (AsId as = 0; as < num_ases(); ++as) {
+    if (in_degree[as] == 0) {
+      ready.push_back(as);
+    }
+  }
+  std::size_t visited = 0;
+  while (!ready.empty()) {
+    const AsId as = ready.front();
+    ready.pop_front();
+    ++visited;
+    for (const AsId customer : adjacency_[as].customers) {
+      if (--in_degree[customer] == 0) {
+        ready.push_back(customer);
+      }
+    }
+  }
+  return visited == num_ases();
+}
+
+bool Graph::is_connected() const {
+  if (num_ases() == 0) {
+    return true;
+  }
+  std::vector<bool> seen(num_ases(), false);
+  std::deque<AsId> frontier{0};
+  seen[0] = true;
+  std::size_t visited = 0;
+  while (!frontier.empty()) {
+    const AsId as = frontier.front();
+    frontier.pop_front();
+    ++visited;
+    for (const AsId n : neighbors(as)) {
+      if (!seen[n]) {
+        seen[n] = true;
+        frontier.push_back(n);
+      }
+    }
+  }
+  return visited == num_ases();
+}
+
+AsId Graph::find_by_name(const std::string& name) const {
+  const auto it = name_index_.find(name);
+  return it == name_index_.end() ? kInvalidAs : it->second;
+}
+
+const char* to_string(NeighborRole role) {
+  switch (role) {
+    case NeighborRole::kProvider:
+      return "provider";
+    case NeighborRole::kPeer:
+      return "peer";
+    case NeighborRole::kCustomer:
+      return "customer";
+  }
+  return "?";
+}
+
+const char* to_string(LinkType type) {
+  switch (type) {
+    case LinkType::kProviderCustomer:
+      return "provider-customer";
+    case LinkType::kPeering:
+      return "peering";
+  }
+  return "?";
+}
+
+std::vector<AsId> customer_cone(const Graph& graph, AsId as) {
+  util::require(as < graph.num_ases(), "customer_cone: AS out of range");
+  std::vector<bool> seen(graph.num_ases(), false);
+  std::deque<AsId> frontier{as};
+  seen[as] = true;
+  std::vector<AsId> cone;
+  while (!frontier.empty()) {
+    const AsId cur = frontier.front();
+    frontier.pop_front();
+    cone.push_back(cur);
+    for (const AsId customer : graph.customers(cur)) {
+      if (!seen[customer]) {
+        seen[customer] = true;
+        frontier.push_back(customer);
+      }
+    }
+  }
+  std::sort(cone.begin(), cone.end());
+  return cone;
+}
+
+}  // namespace panagree::topology

@@ -1,0 +1,152 @@
+// AS-level Internet topology: the mixed graph G = (A, L<->, L^) of §III-A.
+//
+// Nodes are autonomous systems; undirected edges are (settlement-free)
+// peering links and directed edges are provider->customer links. Every AS X
+// exposes its provider set pi(X), peer set eps(X), and customer set gamma(X).
+// Geographic attributes (PoPs, centroid, per-link facilities) support the
+// geodistance analysis of §VI-B.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "panagree/geo/coordinates.hpp"
+#include "panagree/util/error.hpp"
+
+namespace panagree::topology {
+
+/// Dense AS identifier (index into the graph's node table).
+using AsId = std::uint32_t;
+/// Dense link identifier (index into the graph's link table).
+using LinkId = std::size_t;
+
+inline constexpr AsId kInvalidAs = static_cast<AsId>(-1);
+
+/// Business relationship carried by a link.
+enum class LinkType : std::uint8_t {
+  kProviderCustomer,  ///< directed: money flows customer -> provider
+  kPeering,           ///< undirected, settlement-free (§III-A)
+};
+
+/// Role of a neighbor Y as seen from X.
+enum class NeighborRole : std::uint8_t { kProvider, kPeer, kCustomer };
+
+/// An inter-AS link. For kProviderCustomer links, `a` is the provider and
+/// `b` the customer; for kPeering links the order carries no meaning.
+struct Link {
+  AsId a = kInvalidAs;
+  AsId b = kInvalidAs;
+  LinkType type = LinkType::kPeering;
+  /// Candidate interconnection facilities (city ids in a geo::World);
+  /// the geodistance of a path minimizes over these (§VI-B).
+  std::vector<std::size_t> facilities;
+  /// Link capacity (degree-gravity model, §VI-C); 0 until assigned.
+  double capacity = 0.0;
+
+  [[nodiscard]] AsId other(AsId self) const {
+    PANAGREE_ASSERT(self == a || self == b);
+    return self == a ? b : a;
+  }
+};
+
+/// Per-AS metadata.
+struct AsInfo {
+  std::string name;
+  /// 1 = Tier-1 core, 2 = regional transit, 3 = stub/edge; 0 = unspecified.
+  int tier = 0;
+  /// Region index in a geo::World (generator-assigned).
+  std::size_t region = 0;
+  /// Points of presence (city ids in a geo::World).
+  std::vector<std::size_t> pops;
+  /// Center of gravity of the AS (spherical centroid of its PoPs), the
+  /// paper's prefix-averaging artifact.
+  geo::LatLng centroid;
+  bool has_geo = false;
+};
+
+/// The AS graph. Construction is append-only: ASes and links can be added
+/// but not removed, which keeps all ids stable.
+class Graph {
+ public:
+  /// Adds an AS and returns its id. Name defaults to "AS<id>".
+  AsId add_as(std::string name = {});
+
+  /// Adds a provider->customer link; rejects self-loops and duplicate pairs.
+  LinkId add_provider_customer(AsId provider, AsId customer);
+
+  /// Adds a peering link; rejects self-loops and duplicate pairs.
+  LinkId add_peering(AsId x, AsId y);
+
+  [[nodiscard]] std::size_t num_ases() const { return infos_.size(); }
+  [[nodiscard]] std::size_t num_links() const { return links_.size(); }
+
+  [[nodiscard]] const Link& link(LinkId id) const;
+  [[nodiscard]] Link& link(LinkId id);
+  [[nodiscard]] const std::vector<Link>& links() const { return links_; }
+
+  [[nodiscard]] const AsInfo& info(AsId as) const;
+  [[nodiscard]] AsInfo& info(AsId as);
+
+  /// pi(X): providers of `as`.
+  [[nodiscard]] const std::vector<AsId>& providers(AsId as) const;
+  /// eps(X): peers of `as`.
+  [[nodiscard]] const std::vector<AsId>& peers(AsId as) const;
+  /// gamma(X): customers of `as` (excluding the virtual end-host stub).
+  [[nodiscard]] const std::vector<AsId>& customers(AsId as) const;
+
+  /// All neighbors of `as` in the order providers, peers, customers.
+  [[nodiscard]] std::vector<AsId> neighbors(AsId as) const;
+
+  /// Total neighbor count (node degree; used by the degree-gravity model).
+  [[nodiscard]] std::size_t degree(AsId as) const;
+
+  /// Link between x and y if one exists.
+  [[nodiscard]] std::optional<LinkId> link_between(AsId x, AsId y) const;
+
+  /// Role of y from x's perspective, if they are connected.
+  [[nodiscard]] std::optional<NeighborRole> role_of(AsId x, AsId y) const;
+
+  [[nodiscard]] bool are_peers(AsId x, AsId y) const;
+  [[nodiscard]] bool is_provider_of(AsId provider, AsId customer) const;
+  [[nodiscard]] bool is_customer_of(AsId customer, AsId provider) const;
+
+  /// True iff the provider->customer edges form a DAG (no provider cycles),
+  /// as expected of a sane Internet hierarchy.
+  [[nodiscard]] bool provider_hierarchy_is_acyclic() const;
+
+  /// True iff the union graph (all links, undirected) is connected.
+  [[nodiscard]] bool is_connected() const;
+
+  /// Looks up an AS by name; kInvalidAs if absent.
+  [[nodiscard]] AsId find_by_name(const std::string& name) const;
+
+ private:
+  struct Adjacency {
+    std::vector<AsId> providers;
+    std::vector<AsId> peers;
+    std::vector<AsId> customers;
+  };
+
+  static std::uint64_t pair_key(AsId x, AsId y);
+  void check_new_link(AsId x, AsId y) const;
+
+  std::vector<AsInfo> infos_;
+  std::vector<Adjacency> adjacency_;
+  std::vector<Link> links_;
+  std::unordered_map<std::uint64_t, LinkId> link_index_;
+  std::unordered_map<std::string, AsId> name_index_;
+};
+
+/// Parses "provider", "peer", or "customer" (used by gadget/test builders).
+[[nodiscard]] const char* to_string(NeighborRole role);
+[[nodiscard]] const char* to_string(LinkType type);
+
+/// The customer cone of `as`: itself plus everything reachable over
+/// provider->customer edges (the ASes whose traffic `as` carries as a
+/// transit). Sorted ascending.
+[[nodiscard]] std::vector<AsId> customer_cone(const Graph& graph, AsId as);
+
+}  // namespace panagree::topology

@@ -1,0 +1,28 @@
+#include "panagree/traffic/elasticity.hpp"
+
+#include "panagree/util/error.hpp"
+
+namespace panagree::traffic {
+
+DemandElasticity::DemandElasticity(ElasticityParams params) : params_(params) {
+  util::require(params_.max_new_fraction >= 0.0,
+                "DemandElasticity: max_new_fraction must be >= 0");
+  util::require(params_.half_point > 0.0,
+                "DemandElasticity: half_point must be positive");
+}
+
+double DemandElasticity::max_new_demand(double base_demand,
+                                        double improvement_ratio) const {
+  util::require(base_demand >= 0.0,
+                "DemandElasticity: base demand must be >= 0");
+  if (improvement_ratio <= 0.0) {
+    return 0.0;
+  }
+  // Saturating response: improvement h attracts h / (h + half_point) of the
+  // latent demand.
+  const double saturation =
+      improvement_ratio / (improvement_ratio + params_.half_point);
+  return params_.max_new_fraction * base_demand * saturation;
+}
+
+}  // namespace panagree::traffic

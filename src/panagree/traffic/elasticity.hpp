@@ -1,0 +1,38 @@
+// Customer-demand elasticity: the Delta-f^max model of §IV-A.
+//
+// Constraint (III) of the flow-volume program bounds the newly attracted
+// customer traffic on an agreement path segment P by a demand limit
+// Delta-f^max_P. We model that limit as a function of how much the new path
+// improves on the best previously available path (latency or bandwidth):
+// better paths attract more of the (finite) latent demand.
+#pragma once
+
+namespace panagree::traffic {
+
+struct ElasticityParams {
+  /// Fraction of the base demand that is latent (attracted at best).
+  double max_new_fraction = 0.5;
+  /// Improvement half-point: an improvement ratio of this size attracts
+  /// half of the latent demand (saturating response).
+  double half_point = 0.25;
+};
+
+/// Saturating demand response.
+class DemandElasticity {
+ public:
+  explicit DemandElasticity(ElasticityParams params = {});
+
+  /// Maximum newly attracted traffic given the base demand toward the
+  /// destination and the relative improvement of the new path
+  /// (e.g. 0.3 = 30% lower latency or 30% more bandwidth; <= 0 attracts
+  /// nothing).
+  [[nodiscard]] double max_new_demand(double base_demand,
+                                      double improvement_ratio) const;
+
+  [[nodiscard]] const ElasticityParams& params() const { return params_; }
+
+ private:
+  ElasticityParams params_;
+};
+
+}  // namespace panagree::traffic

@@ -1,0 +1,61 @@
+#include "panagree/traffic/matrix.hpp"
+
+#include <cmath>
+
+namespace panagree::traffic {
+
+double gravity_mass(const Graph& graph, AsId as) {
+  return 1.0 + static_cast<double>(graph.customers(as).size());
+}
+
+std::vector<Demand> generate_gravity_demands(const Graph& graph,
+                                             const GravityParams& params,
+                                             util::Rng& rng) {
+  util::require(params.total_volume > 0.0,
+                "generate_gravity_demands: total volume must be positive");
+  util::require(graph.num_ases() >= 2,
+                "generate_gravity_demands: need at least two ASes");
+  std::vector<Demand> demands;
+  if (params.sampled_pairs == 0) {
+    double weight_sum = 0.0;
+    for (AsId s = 0; s < graph.num_ases(); ++s) {
+      for (AsId d = 0; d < graph.num_ases(); ++d) {
+        if (s == d) {
+          continue;
+        }
+        weight_sum += std::pow(gravity_mass(graph, s) * gravity_mass(graph, d),
+                               params.exponent);
+      }
+    }
+    for (AsId s = 0; s < graph.num_ases(); ++s) {
+      for (AsId d = 0; d < graph.num_ases(); ++d) {
+        if (s == d) {
+          continue;
+        }
+        const double w = std::pow(
+            gravity_mass(graph, s) * gravity_mass(graph, d), params.exponent);
+        demands.push_back(Demand{s, d, params.total_volume * w / weight_sum});
+      }
+    }
+    return demands;
+  }
+  // Sampled mode: draw endpoints mass-proportionally.
+  std::vector<double> masses(graph.num_ases());
+  for (AsId as = 0; as < graph.num_ases(); ++as) {
+    masses[as] = std::pow(gravity_mass(graph, as), params.exponent);
+  }
+  const double per_pair =
+      params.total_volume / static_cast<double>(params.sampled_pairs);
+  demands.reserve(params.sampled_pairs);
+  for (std::size_t i = 0; i < params.sampled_pairs; ++i) {
+    const AsId s = static_cast<AsId>(rng.weighted_index(masses));
+    AsId d = s;
+    while (d == s) {
+      d = static_cast<AsId>(rng.weighted_index(masses));
+    }
+    demands.push_back(Demand{s, d, per_pair});
+  }
+  return demands;
+}
+
+}  // namespace panagree::traffic

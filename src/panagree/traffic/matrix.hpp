@@ -1,0 +1,45 @@
+// Gravity-model traffic matrices.
+//
+// Demands between AS pairs are proportional to the product of the
+// endpoints' "masses" (1 + customer count, a customer-cone proxy). Used to
+// seed the base traffic distribution f_X that agreement evaluation (§III-B)
+// perturbs.
+#pragma once
+
+#include <vector>
+
+#include "panagree/topology/graph.hpp"
+#include "panagree/util/rng.hpp"
+
+namespace panagree::traffic {
+
+using topology::AsId;
+using topology::Graph;
+
+struct Demand {
+  AsId src = topology::kInvalidAs;
+  AsId dst = topology::kInvalidAs;
+  double volume = 0.0;
+};
+
+struct GravityParams {
+  /// Total traffic volume distributed across all generated demands.
+  double total_volume = 1000.0;
+  /// Number of (src, dst) pairs to sample; 0 = all ordered pairs (only
+  /// sensible for small graphs).
+  std::size_t sampled_pairs = 0;
+  /// Exponent on the mass product (1 = classic gravity).
+  double exponent = 1.0;
+};
+
+/// AS mass for the gravity model: 1 + |customers|.
+[[nodiscard]] double gravity_mass(const Graph& graph, AsId as);
+
+/// Generates a gravity traffic matrix. With sampled_pairs == 0, all ordered
+/// pairs (src != dst) receive volume proportional to (m_src * m_dst)^e;
+/// otherwise `sampled_pairs` pairs are drawn mass-proportionally and the
+/// total volume is split evenly among them.
+[[nodiscard]] std::vector<Demand> generate_gravity_demands(
+    const Graph& graph, const GravityParams& params, util::Rng& rng);
+
+}  // namespace panagree::traffic

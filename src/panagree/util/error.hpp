@@ -1,0 +1,52 @@
+// Error handling primitives shared across panagree.
+//
+// The library uses exceptions for contract violations on the public API
+// (invalid arguments, malformed input data) and PANAGREE_ASSERT for internal
+// invariants that indicate a bug when violated.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+namespace panagree::util {
+
+/// Thrown when a caller violates a documented precondition of a public API.
+class PreconditionError : public std::invalid_argument {
+ public:
+  using std::invalid_argument::invalid_argument;
+};
+
+/// Thrown when external input (e.g. a CAIDA relationship file) is malformed.
+class ParseError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Throws PreconditionError with `message` unless `condition` holds.
+inline void require(bool condition, std::string_view message) {
+  if (!condition) {
+    throw PreconditionError(std::string(message));
+  }
+}
+
+namespace detail {
+[[noreturn]] inline void assert_fail(const char* expr, const char* file,
+                                     int line) {
+  std::ostringstream os;
+  os << "panagree internal invariant violated: " << expr << " at " << file
+     << ":" << line;
+  throw std::logic_error(os.str());
+}
+}  // namespace detail
+
+}  // namespace panagree::util
+
+/// Internal invariant check; failure indicates a library bug, not user error.
+#define PANAGREE_ASSERT(expr)                                          \
+  do {                                                                 \
+    if (!(expr)) {                                                     \
+      ::panagree::util::detail::assert_fail(#expr, __FILE__, __LINE__); \
+    }                                                                  \
+  } while (false)

@@ -1,0 +1,73 @@
+#include "panagree/util/rng.hpp"
+
+#include <cmath>
+#include <numbers>
+
+namespace panagree::util {
+
+double Rng::normal(double mean, double stddev) {
+  require(stddev >= 0.0, "Rng::normal: stddev must be non-negative");
+  // Box–Muller; guard against log(0).
+  double u1 = uniform();
+  while (u1 <= 0.0) {
+    u1 = uniform();
+  }
+  const double u2 = uniform();
+  const double radius = std::sqrt(-2.0 * std::log(u1));
+  return mean + stddev * radius * std::cos(2.0 * std::numbers::pi * u2);
+}
+
+double Rng::exponential(double rate) {
+  require(rate > 0.0, "Rng::exponential: rate must be positive");
+  double u = uniform();
+  while (u <= 0.0) {
+    u = uniform();
+  }
+  return -std::log(u) / rate;
+}
+
+double Rng::pareto(double alpha, double x_min) {
+  require(alpha > 0.0, "Rng::pareto: alpha must be positive");
+  require(x_min > 0.0, "Rng::pareto: x_min must be positive");
+  double u = uniform();
+  while (u <= 0.0) {
+    u = uniform();
+  }
+  return x_min / std::pow(u, 1.0 / alpha);
+}
+
+std::vector<std::size_t> Rng::sample_without_replacement(std::size_t n,
+                                                         std::size_t k) {
+  require(k <= n, "Rng::sample_without_replacement: k must not exceed n");
+  // Partial Fisher–Yates over an index vector; O(n) memory, O(n + k) time.
+  std::vector<std::size_t> indices(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    indices[i] = i;
+  }
+  for (std::size_t i = 0; i < k; ++i) {
+    const std::size_t j = i + uniform_index(n - i);
+    std::swap(indices[i], indices[j]);
+  }
+  indices.resize(k);
+  return indices;
+}
+
+std::size_t Rng::weighted_index(const std::vector<double>& weights) {
+  require(!weights.empty(), "Rng::weighted_index: weights must be non-empty");
+  double total = 0.0;
+  for (const double w : weights) {
+    require(w >= 0.0, "Rng::weighted_index: weights must be non-negative");
+    total += w;
+  }
+  require(total > 0.0, "Rng::weighted_index: at least one weight must be > 0");
+  double target = uniform() * total;
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    target -= weights[i];
+    if (target < 0.0) {
+      return i;
+    }
+  }
+  return weights.size() - 1;  // floating-point slack: last positive weight
+}
+
+}  // namespace panagree::util

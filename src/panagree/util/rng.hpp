@@ -1,0 +1,134 @@
+// Deterministic, seedable pseudo-random number generation.
+//
+// All stochastic components of panagree (topology generation, choice-set
+// sampling, activation sequences, ...) draw from Rng so that every experiment
+// is reproducible from a single 64-bit seed. The generator is xoshiro256**
+// seeded via SplitMix64, following the reference implementations by Blackman
+// and Vigna (public domain).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "panagree/util/error.hpp"
+
+namespace panagree::util {
+
+/// SplitMix64 step; used for seeding and as a cheap stateless mixer.
+[[nodiscard]] constexpr std::uint64_t splitmix64(std::uint64_t& state) {
+  state += 0x9e3779b97f4a7c15ULL;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+/// xoshiro256** PRNG with convenience distributions.
+///
+/// Satisfies UniformRandomBitGenerator so it can also be plugged into
+/// <random> distributions where needed.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed = 0x9d2c5680u) { reseed(seed); }
+
+  void reseed(std::uint64_t seed) {
+    std::uint64_t sm = seed;
+    for (auto& word : state_) {
+      word = splitmix64(sm);
+    }
+  }
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~std::uint64_t{0}; }
+
+  result_type operator()() { return next(); }
+
+  /// Next raw 64-bit value.
+  std::uint64_t next() {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform double in [0, 1).
+  double uniform() {
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi) {
+    require(lo <= hi, "Rng::uniform: lo must not exceed hi");
+    return lo + (hi - lo) * uniform();
+  }
+
+  /// Uniform integer in [0, n); n must be positive. Unbiased via rejection.
+  std::uint64_t uniform_index(std::uint64_t n) {
+    require(n > 0, "Rng::uniform_index: n must be positive");
+    const std::uint64_t threshold = (~n + 1) % n;  // == 2^64 mod n
+    for (;;) {
+      const std::uint64_t r = next();
+      if (r >= threshold) {
+        return r % n;
+      }
+    }
+  }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi) {
+    require(lo <= hi, "Rng::uniform_int: lo must not exceed hi");
+    const auto span = static_cast<std::uint64_t>(hi - lo) + 1;
+    return lo + static_cast<std::int64_t>(uniform_index(span));
+  }
+
+  /// Bernoulli draw with success probability p.
+  bool bernoulli(double p) { return uniform() < p; }
+
+  /// Standard normal via Box–Muller (one value per call; no caching so the
+  /// stream stays reproducible under reordering).
+  double normal(double mean = 0.0, double stddev = 1.0);
+
+  /// Exponential with given rate (> 0).
+  double exponential(double rate);
+
+  /// Pareto-distributed value with shape alpha > 0 and scale x_min > 0.
+  /// Used for power-law degree targets in the topology generator.
+  double pareto(double alpha, double x_min);
+
+  /// Fisher–Yates shuffle of a vector.
+  template <typename T>
+  void shuffle(std::vector<T>& values) {
+    for (std::size_t i = values.size(); i > 1; --i) {
+      const std::size_t j = uniform_index(i);
+      using std::swap;
+      swap(values[i - 1], values[j]);
+    }
+  }
+
+  /// k distinct indices sampled uniformly from [0, n) (k <= n).
+  std::vector<std::size_t> sample_without_replacement(std::size_t n,
+                                                      std::size_t k);
+
+  /// Index drawn proportionally to non-negative weights (at least one > 0).
+  std::size_t weighted_index(const std::vector<double>& weights);
+
+  /// Derive an independent child generator (for parallel substreams).
+  Rng split() { return Rng(next() ^ 0xa02bdbf7bb3c0a7ULL); }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::array<std::uint64_t, 4> state_{};
+};
+
+}  // namespace panagree::util

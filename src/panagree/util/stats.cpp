@@ -1,0 +1,121 @@
+#include "panagree/util/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "panagree/util/error.hpp"
+
+namespace panagree::util {
+
+double mean(std::span<const double> values) {
+  if (values.empty()) {
+    return 0.0;
+  }
+  double sum = 0.0;
+  for (const double v : values) {
+    sum += v;
+  }
+  return sum / static_cast<double>(values.size());
+}
+
+double stddev(std::span<const double> values) {
+  if (values.size() < 2) {
+    return 0.0;
+  }
+  const double m = mean(values);
+  double acc = 0.0;
+  for (const double v : values) {
+    acc += (v - m) * (v - m);
+  }
+  return std::sqrt(acc / static_cast<double>(values.size()));
+}
+
+double percentile(std::vector<double> values, double q) {
+  require(!values.empty(), "percentile: sample must be non-empty");
+  require(q >= 0.0 && q <= 1.0, "percentile: q must lie in [0, 1]");
+  std::sort(values.begin(), values.end());
+  if (values.size() == 1) {
+    return values.front();
+  }
+  const double position = q * static_cast<double>(values.size() - 1);
+  const auto lower = static_cast<std::size_t>(position);
+  const double frac = position - static_cast<double>(lower);
+  if (lower + 1 >= values.size()) {
+    return values.back();
+  }
+  return values[lower] + frac * (values[lower + 1] - values[lower]);
+}
+
+Summary summarize(std::span<const double> values) {
+  Summary s;
+  s.count = values.size();
+  if (values.empty()) {
+    return s;
+  }
+  s.mean = mean(values);
+  s.stddev = stddev(values);
+  s.min = *std::min_element(values.begin(), values.end());
+  s.max = *std::max_element(values.begin(), values.end());
+  s.median = percentile(std::vector<double>(values.begin(), values.end()), 0.5);
+  return s;
+}
+
+Cdf::Cdf(std::vector<double> values) : sorted_(std::move(values)) {
+  std::sort(sorted_.begin(), sorted_.end());
+}
+
+double Cdf::fraction_at_or_below(double x) const {
+  if (sorted_.empty()) {
+    return 0.0;
+  }
+  const auto it = std::upper_bound(sorted_.begin(), sorted_.end(), x);
+  return static_cast<double>(it - sorted_.begin()) /
+         static_cast<double>(sorted_.size());
+}
+
+double Cdf::fraction_above(double x) const {
+  return 1.0 - fraction_at_or_below(x);
+}
+
+double Cdf::value_at_fraction(double q) const {
+  require(!sorted_.empty(), "Cdf::value_at_fraction: empty sample");
+  require(q > 0.0 && q <= 1.0, "Cdf::value_at_fraction: q must be in (0, 1]");
+  const auto rank = static_cast<std::size_t>(
+      std::ceil(q * static_cast<double>(sorted_.size())));
+  return sorted_[std::min(rank == 0 ? 0 : rank - 1, sorted_.size() - 1)];
+}
+
+std::vector<double> Cdf::evaluate_at(std::span<const double> xs) const {
+  std::vector<double> out;
+  out.reserve(xs.size());
+  for (const double x : xs) {
+    out.push_back(fraction_at_or_below(x));
+  }
+  return out;
+}
+
+std::vector<double> log_space(double lo, double hi, std::size_t n) {
+  require(lo > 0.0 && hi >= lo, "log_space: need 0 < lo <= hi");
+  require(n >= 2, "log_space: need at least two points");
+  std::vector<double> out(n);
+  const double log_lo = std::log(lo);
+  const double log_hi = std::log(hi);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double t = static_cast<double>(i) / static_cast<double>(n - 1);
+    out[i] = std::exp(log_lo + t * (log_hi - log_lo));
+  }
+  return out;
+}
+
+std::vector<double> lin_space(double lo, double hi, std::size_t n) {
+  require(hi >= lo, "lin_space: need lo <= hi");
+  require(n >= 2, "lin_space: need at least two points");
+  std::vector<double> out(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double t = static_cast<double>(i) / static_cast<double>(n - 1);
+    out[i] = lo + t * (hi - lo);
+  }
+  return out;
+}
+
+}  // namespace panagree::util

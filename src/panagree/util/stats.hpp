@@ -1,0 +1,80 @@
+// Descriptive statistics and empirical CDFs.
+//
+// The paper's evaluation reports distributions (Figures 2-6) as CDFs over
+// per-AS or per-AS-pair metrics; Cdf and summary helpers here are the shared
+// vocabulary of the bench harnesses.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace panagree::util {
+
+/// Summary statistics of a sample.
+struct Summary {
+  std::size_t count = 0;
+  double mean = 0.0;
+  double stddev = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+  double median = 0.0;
+};
+
+/// Computes mean of a sample (0 for empty samples).
+[[nodiscard]] double mean(std::span<const double> values);
+
+/// Computes the population standard deviation (0 for fewer than 2 values).
+[[nodiscard]] double stddev(std::span<const double> values);
+
+/// Linear-interpolation percentile; q in [0, 1]. Sample must be non-empty.
+[[nodiscard]] double percentile(std::vector<double> values, double q);
+
+/// Computes all summary statistics in one pass (plus a sort for the median).
+[[nodiscard]] Summary summarize(std::span<const double> values);
+
+/// Empirical cumulative distribution function of a sample.
+///
+/// Stores the sorted sample; value_at_fraction() inverts the CDF and
+/// fraction_below() evaluates it, matching how the paper reads its figures
+/// ("20% of ASes have more than 45,000 paths").
+class Cdf {
+ public:
+  Cdf() = default;
+  explicit Cdf(std::vector<double> values);
+
+  [[nodiscard]] bool empty() const { return sorted_.empty(); }
+  [[nodiscard]] std::size_t size() const { return sorted_.size(); }
+
+  /// Fraction of the sample that is <= x.
+  [[nodiscard]] double fraction_at_or_below(double x) const;
+
+  /// Fraction of the sample that is strictly greater than x.
+  [[nodiscard]] double fraction_above(double x) const;
+
+  /// Inverse CDF: smallest sample value v such that F(v) >= q, q in (0, 1].
+  [[nodiscard]] double value_at_fraction(double q) const;
+
+  /// Sorted underlying sample.
+  [[nodiscard]] const std::vector<double>& sorted_values() const {
+    return sorted_;
+  }
+
+  /// Evaluates the CDF at each of the given x positions (for plotting rows).
+  [[nodiscard]] std::vector<double> evaluate_at(
+      std::span<const double> xs) const;
+
+ private:
+  std::vector<double> sorted_;
+};
+
+/// Builds n log-spaced positions between lo and hi inclusive (lo, hi > 0).
+[[nodiscard]] std::vector<double> log_space(double lo, double hi,
+                                            std::size_t n);
+
+/// Builds n linearly spaced positions between lo and hi inclusive.
+[[nodiscard]] std::vector<double> lin_space(double lo, double hi,
+                                            std::size_t n);
+
+}  // namespace panagree::util

@@ -1,0 +1,89 @@
+#include "panagree/util/table.hpp"
+
+#include <algorithm>
+#include <iomanip>
+#include <sstream>
+
+#include "panagree/util/error.hpp"
+
+namespace panagree::util {
+
+Table::Table(std::vector<std::string> header) : header_(std::move(header)) {
+  require(!header_.empty(), "Table: header must have at least one column");
+}
+
+void Table::add_row(std::vector<std::string> cells) {
+  require(cells.size() == header_.size(),
+          "Table::add_row: arity must match header");
+  rows_.push_back(std::move(cells));
+}
+
+void Table::add_row(std::initializer_list<double> cells, int precision) {
+  std::vector<std::string> formatted;
+  formatted.reserve(cells.size());
+  for (const double value : cells) {
+    formatted.push_back(format_double(value, precision));
+  }
+  add_row(std::move(formatted));
+}
+
+void Table::print(std::ostream& os) const {
+  std::vector<std::size_t> widths(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) {
+    widths[c] = header_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  const auto print_row = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      os << std::left << std::setw(static_cast<int>(widths[c]) + 2) << row[c];
+    }
+    os << '\n';
+  };
+  print_row(header_);
+  std::size_t total = 0;
+  for (const std::size_t w : widths) {
+    total += w + 2;
+  }
+  os << std::string(total, '-') << '\n';
+  for (const auto& row : rows_) {
+    print_row(row);
+  }
+}
+
+void Table::print_csv(std::ostream& os, const std::string& tag) const {
+  const auto emit = [&](const std::vector<std::string>& row) {
+    os << "csv," << tag;
+    for (const auto& cell : row) {
+      os << ',' << cell;
+    }
+    os << '\n';
+  };
+  emit(header_);
+  for (const auto& row : rows_) {
+    emit(row);
+  }
+}
+
+std::string format_double(double value, int precision) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(precision) << value;
+  std::string s = os.str();
+  if (s.find('.') != std::string::npos) {
+    while (s.back() == '0') {
+      s.pop_back();
+    }
+    if (s.back() == '.') {
+      s.pop_back();
+    }
+  }
+  if (s == "-0") {
+    s = "0";
+  }
+  return s;
+}
+
+}  // namespace panagree::util

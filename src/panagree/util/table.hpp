@@ -1,0 +1,43 @@
+// Aligned text tables and CSV output for bench harnesses.
+//
+// Every bench binary prints its figure/table as (a) a human-readable aligned
+// table and (b) machine-readable CSV lines prefixed with "csv," so results
+// can be grepped out and re-plotted.
+#pragma once
+
+#include <initializer_list>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace panagree::util {
+
+/// Column-aligned table with a header row.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  /// Appends a row; must match the header arity.
+  void add_row(std::vector<std::string> cells);
+
+  /// Convenience: formats doubles with the given precision.
+  void add_row(std::initializer_list<double> cells, int precision = 4);
+
+  [[nodiscard]] std::size_t num_rows() const { return rows_.size(); }
+  [[nodiscard]] std::size_t num_columns() const { return header_.size(); }
+
+  /// Renders the aligned table.
+  void print(std::ostream& os) const;
+
+  /// Renders CSV lines, each prefixed with "csv," for easy extraction.
+  void print_csv(std::ostream& os, const std::string& tag) const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a double trimmed of trailing zeros (e.g. for table cells).
+[[nodiscard]] std::string format_double(double value, int precision = 4);
+
+}  // namespace panagree::util

@@ -1,0 +1,331 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "panagree/core/agreements/agreement.hpp"
+#include "panagree/core/agreements/enumeration.hpp"
+#include "panagree/core/agreements/extension.hpp"
+#include "panagree/core/agreements/mutuality.hpp"
+#include "panagree/core/agreements/peering.hpp"
+#include "panagree/core/agreements/utility.hpp"
+#include "panagree/econ/business.hpp"
+#include "panagree/topology/examples.hpp"
+#include "panagree/topology/generator.hpp"
+
+namespace panagree::agreements {
+namespace {
+
+using topology::make_fig1;
+
+/// The paper's agreement a = [D(^{A}); E(^{B}, ->{F})] (Eq. 6).
+Agreement make_paper_agreement(const topology::Fig1& t) {
+  Agreement a;
+  a.grant_x.grantor = t.D;
+  a.grant_x.providers = {t.A};
+  a.grant_y.grantor = t.E;
+  a.grant_y.providers = {t.B};
+  a.grant_y.peers = {t.F};
+  return a;
+}
+
+TEST(Agreement, PaperAgreementValidatesAndViolatesGrc) {
+  const auto t = make_fig1();
+  const Agreement a = make_paper_agreement(t);
+  EXPECT_NO_THROW(a.validate(t.graph));
+  EXPECT_TRUE(a.violates_grc());
+}
+
+TEST(Agreement, ClassicPeeringDoesNotViolateGrc) {
+  const auto t = make_fig1();
+  const Agreement ap = make_classic_peering(t.graph, t.D, t.E);
+  EXPECT_NO_THROW(ap.validate(t.graph));
+  EXPECT_FALSE(ap.violates_grc());
+  // ap = [D(v{H}); E(v{I})] from §III-B1.
+  EXPECT_EQ(ap.grant_x.customers, std::vector<topology::AsId>{t.H});
+  EXPECT_EQ(ap.grant_y.customers, std::vector<topology::AsId>{t.I});
+}
+
+TEST(Agreement, ValidationCatchesForeignNeighbors) {
+  const auto t = make_fig1();
+  Agreement a;
+  a.grant_x.grantor = t.D;
+  a.grant_x.providers = {t.B};  // B is not D's provider
+  a.grant_y.grantor = t.E;
+  EXPECT_THROW(a.validate(t.graph), util::PreconditionError);
+}
+
+TEST(Agreement, ValidationCatchesGrantingThePartner) {
+  const auto t = make_fig1();
+  Agreement a;
+  a.grant_x.grantor = t.D;
+  a.grant_x.peers = {t.E};  // cannot grant the partner itself
+  a.grant_y.grantor = t.E;
+  EXPECT_THROW(a.validate(t.graph), util::PreconditionError);
+}
+
+TEST(Agreement, AllMergesAndDeduplicates) {
+  AccessGrant g;
+  g.grantor = 0;
+  g.providers = {3, 1};
+  g.peers = {2, 3};
+  g.customers = {4};
+  EXPECT_EQ(g.all(), (std::vector<topology::AsId>{1, 2, 3, 4}));
+}
+
+TEST(Agreement, ToStringShowsTheEq6Form) {
+  const auto t = make_fig1();
+  const std::string s = make_paper_agreement(t).to_string(t.graph);
+  EXPECT_EQ(s, "[D(^{A}); E(^{B}, ->{F})]");
+}
+
+TEST(Agreement, NewSegmentsForEachParty) {
+  const auto t = make_fig1();
+  const Agreement a = make_paper_agreement(t);
+  // D gains D-E-B and D-E-F (§III-B3); E gains E-D-A.
+  const auto d_segments = new_segments_for(a, t.D);
+  ASSERT_EQ(d_segments.size(), 2u);
+  EXPECT_NE(std::find(d_segments.begin(), d_segments.end(),
+                      std::vector<topology::AsId>({t.D, t.E, t.B})),
+            d_segments.end());
+  EXPECT_NE(std::find(d_segments.begin(), d_segments.end(),
+                      std::vector<topology::AsId>({t.D, t.E, t.F})),
+            d_segments.end());
+  const auto e_segments = new_segments_for(a, t.E);
+  ASSERT_EQ(e_segments.size(), 1u);
+  EXPECT_EQ(e_segments[0], (std::vector<topology::AsId>{t.E, t.D, t.A}));
+}
+
+TEST(Agreement, CrossingsScopeSourcesToTheCustomerCone) {
+  const auto t = make_fig1();
+  const Agreement a = make_paper_agreement(t);
+  const auto crossings = to_crossings(a, t.graph);
+  // Find the crossing at E from D to B.
+  const auto it = std::find_if(
+      crossings.begin(), crossings.end(), [&](const pan::Crossing& c) {
+        return c.at == t.E && c.from == t.D && c.to == t.B;
+      });
+  ASSERT_NE(it, crossings.end());
+  // D's customer cone is {D, H}: H may use the extended path, A may not.
+  EXPECT_TRUE(it->allowed_sources.contains(t.D));
+  EXPECT_TRUE(it->allowed_sources.contains(t.H));
+  EXPECT_FALSE(it->allowed_sources.contains(t.A));
+}
+
+// -------------------------------------------------------------- mutuality
+
+TEST(Mutuality, Fig1DEGrantsAllProvidersAndPeers) {
+  const auto t = make_fig1();
+  const Agreement ma = make_mutuality_agreement(t.graph, t.D, t.E);
+  // §VI rule: D grants providers {A} and peers {C} (E excluded as partner);
+  // E grants providers {B} and peers {F}.
+  EXPECT_EQ(ma.grant_x.providers, std::vector<topology::AsId>{t.A});
+  EXPECT_EQ(ma.grant_x.peers, std::vector<topology::AsId>{t.C});
+  EXPECT_EQ(ma.grant_y.providers, std::vector<topology::AsId>{t.B});
+  EXPECT_EQ(ma.grant_y.peers, std::vector<topology::AsId>{t.F});
+  EXPECT_TRUE(ma.violates_grc());
+  EXPECT_NO_THROW(ma.validate(t.graph));
+}
+
+TEST(Mutuality, ExcludesBeneficiaryCustomers) {
+  // Build: x peers y; y's provider p is also a customer of x -> excluded.
+  topology::Graph g;
+  const auto x = g.add_as("x");
+  const auto y = g.add_as("y");
+  const auto p = g.add_as("p");
+  g.add_peering(x, y);
+  g.add_provider_customer(p, y);  // p provides y
+  g.add_provider_customer(x, p);  // p is x's customer
+  const Agreement ma = make_mutuality_agreement(g, x, y);
+  EXPECT_TRUE(ma.grant_y.providers.empty());
+}
+
+TEST(Mutuality, RequiresPeers) {
+  const auto t = make_fig1();
+  EXPECT_THROW((void)make_mutuality_agreement(t.graph, t.A, t.D),
+               util::PreconditionError);
+}
+
+TEST(Mutuality, GainMatchesGrantSize) {
+  const auto t = make_fig1();
+  const Agreement ma = make_mutuality_agreement(t.graph, t.D, t.E);
+  EXPECT_EQ(ma_gain_for(t.graph, t.D, t.E), ma.grant_y.all().size());
+  EXPECT_EQ(ma_gain_for(t.graph, t.E, t.D), ma.grant_x.all().size());
+}
+
+// ------------------------------------------------------------ enumeration
+
+TEST(Enumeration, OneMaPerPeeringLink) {
+  const auto t = make_fig1();
+  const auto mas = enumerate_all_mas(t.graph);
+  // Peerings: A-B, C-D, D-E, E-F, F-G. The Tier-1 pair A-B has nothing to
+  // grant (no providers, no other peers), so its MA is empty and skipped.
+  EXPECT_EQ(mas.size(), 4u);
+  for (const Agreement& a : mas) {
+    EXPECT_NO_THROW(a.validate(t.graph));
+  }
+}
+
+TEST(Enumeration, RankedMasAreSortedByGain) {
+  topology::GeneratorParams params;
+  params.num_ases = 400;
+  params.tier1_count = 4;
+  params.seed = 11;
+  const auto topo = topology::generate_internet(params);
+  for (topology::AsId as = 0; as < 50; ++as) {
+    const auto ranked = rank_mas_for(topo.graph, as);
+    for (std::size_t i = 0; i + 1 < ranked.size(); ++i) {
+      EXPECT_GE(ranked[i].new_destinations, ranked[i + 1].new_destinations);
+    }
+    EXPECT_EQ(ranked.size(), topo.graph.peers(as).size());
+  }
+}
+
+// ---------------------------------------------------------------- utility
+
+TEST(Utility, RerouteSavesProviderCostForD) {
+  // §III-B2 intuition: rerouting D's traffic to B over E (agreement path
+  // DEB) avoids D's provider A, cutting provider charges.
+  const auto t = make_fig1();
+  econ::Economy economy(t.graph);
+  economy.set_link_pricing(t.A, t.D, econ::PricingFunction::per_unit(2.0));
+  economy.set_link_pricing(t.B, t.E, econ::PricingFunction::per_unit(2.0));
+
+  econ::TrafficAllocation base;
+  base.add_path_flow(std::vector<topology::AsId>{t.D, t.A, t.B}, 10.0);
+
+  TrafficShift shift;
+  shift.reroutes.push_back(Reroute{{t.D, t.A, t.B}, {t.D, t.E, t.B}, 10.0});
+
+  const AgreementEvaluator evaluator(economy, base);
+  // D stops paying A for 10 units at 2.0/unit.
+  EXPECT_DOUBLE_EQ(evaluator.utility_change(t.D, shift), 20.0);
+  // E newly carries D's traffic to its provider B and pays for it.
+  EXPECT_DOUBLE_EQ(evaluator.utility_change(t.E, shift), -20.0);
+  EXPECT_DOUBLE_EQ(evaluator.joint_utility_change(t.D, t.E, shift), 0.0);
+}
+
+TEST(Utility, InternalCostMakesPartnerTrafficExpensive) {
+  const auto t = make_fig1();
+  econ::Economy economy(t.graph);
+  economy.set_internal_cost(t.E, econ::InternalCostFunction::linear(0.5));
+  econ::TrafficAllocation base;
+  base.add_path_flow(std::vector<topology::AsId>{t.D, t.A, t.B}, 4.0);
+
+  TrafficShift shift;
+  shift.reroutes.push_back(Reroute{{t.D, t.A, t.B}, {t.D, t.E, t.B}, 4.0});
+  const AgreementEvaluator evaluator(economy, base);
+  // E gains 4 units of through-traffic at 0.5 internal cost.
+  EXPECT_DOUBLE_EQ(evaluator.utility_change(t.E, shift), -2.0);
+}
+
+TEST(Utility, NewDemandEarnsStubRevenue) {
+  const auto t = make_fig1();
+  econ::Economy economy(t.graph);
+  economy.set_stub_pricing(t.D, econ::PricingFunction::per_unit(3.0));
+  econ::TrafficAllocation base;
+
+  TrafficShift shift;
+  shift.new_demands.push_back(NewDemand{{t.D, t.E, t.B}, 2.0});
+  const AgreementEvaluator evaluator(economy, base);
+  EXPECT_DOUBLE_EQ(evaluator.utility_change(t.D, shift), 6.0);
+}
+
+TEST(Utility, RejectsEndpointChangingReroutes) {
+  TrafficShift shift;
+  shift.reroutes.push_back(Reroute{{0, 1, 2}, {0, 1, 3}, 1.0});
+  EXPECT_THROW((void)shift.as_delta(), util::PreconditionError);
+}
+
+TEST(Utility, UtilityAfterEqualsBasePlusChange) {
+  const auto t = make_fig1();
+  const econ::Economy economy = econ::make_default_economy(t.graph);
+  econ::TrafficAllocation base;
+  base.add_path_flow(std::vector<topology::AsId>{t.H, t.D, t.A}, 5.0);
+  TrafficShift shift;
+  shift.new_demands.push_back(NewDemand{{t.H, t.D, t.E}, 1.0});
+  const AgreementEvaluator evaluator(economy, base);
+  EXPECT_NEAR(evaluator.utility_after(t.D, shift),
+              economy.utility(t.D, base) + evaluator.utility_change(t.D, shift),
+              1e-9);
+}
+
+// --------------------------------------------------------------- extension
+
+TEST(Extension, RegisterAndConsumeAllowance) {
+  const auto t = make_fig1();
+  const Agreement a = make_paper_agreement(t);
+  AgreementRegistry registry;
+  const AgreementId id = registry.register_agreement(
+      a, {FlowAllowance{{t.E, t.D, t.A}, 10.0, 0.0}});
+  EXPECT_EQ(registry.remaining(id, {t.E, t.D, t.A}), 10.0);
+
+  // §III-B3: agreement a' between E and F extends EDA to F.
+  Extension ext;
+  ext.parent = id;
+  ext.party = t.E;
+  ext.beneficiary = t.F;
+  ext.extended_segment = {t.F, t.E, t.D, t.A};
+  ext.volume = 4.0;
+  EXPECT_TRUE(registry.try_register_extension(t.graph, ext));
+  EXPECT_EQ(registry.remaining(id, {t.E, t.D, t.A}), 6.0);
+  EXPECT_EQ(registry.extensions().size(), 1u);
+}
+
+TEST(Extension, RefusesOverconsumption) {
+  const auto t = make_fig1();
+  const Agreement a = make_paper_agreement(t);
+  AgreementRegistry registry;
+  const AgreementId id = registry.register_agreement(
+      a, {FlowAllowance{{t.E, t.D, t.A}, 5.0, 0.0}});
+  Extension ext;
+  ext.parent = id;
+  ext.party = t.E;
+  ext.beneficiary = t.F;
+  ext.extended_segment = {t.F, t.E, t.D, t.A};
+  ext.volume = 6.0;
+  EXPECT_FALSE(registry.try_register_extension(t.graph, ext));
+  EXPECT_EQ(registry.remaining(id, {t.E, t.D, t.A}), 5.0);
+}
+
+TEST(Extension, RefusesNonNeighborBeneficiary) {
+  const auto t = make_fig1();
+  const Agreement a = make_paper_agreement(t);
+  AgreementRegistry registry;
+  const AgreementId id = registry.register_agreement(
+      a, {FlowAllowance{{t.E, t.D, t.A}, 5.0, 0.0}});
+  Extension ext;
+  ext.parent = id;
+  ext.party = t.E;
+  ext.beneficiary = t.H;  // H does not neighbor E
+  ext.extended_segment = {t.H, t.E, t.D, t.A};
+  ext.volume = 1.0;
+  EXPECT_FALSE(registry.try_register_extension(t.graph, ext));
+}
+
+TEST(Extension, RefusesUnknownSegment) {
+  const auto t = make_fig1();
+  const Agreement a = make_paper_agreement(t);
+  AgreementRegistry registry;
+  const AgreementId id = registry.register_agreement(
+      a, {FlowAllowance{{t.E, t.D, t.A}, 5.0, 0.0}});
+  Extension ext;
+  ext.parent = id;
+  ext.party = t.E;
+  ext.beneficiary = t.F;
+  ext.extended_segment = {t.F, t.E, t.D, t.C};  // not an allowance segment
+  ext.volume = 1.0;
+  EXPECT_FALSE(registry.try_register_extension(t.graph, ext));
+}
+
+TEST(Extension, RegistryValidatesInputs) {
+  const auto t = make_fig1();
+  const Agreement a = make_paper_agreement(t);
+  AgreementRegistry registry;
+  EXPECT_THROW(registry.register_agreement(
+                   a, {FlowAllowance{{t.E, t.D, t.A}, -1.0, 0.0}}),
+               util::PreconditionError);
+  EXPECT_THROW((void)registry.agreement(5), util::PreconditionError);
+}
+
+}  // namespace
+}  // namespace panagree::agreements

@@ -1,0 +1,278 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "panagree/core/bargain/cash.hpp"
+#include "panagree/core/bargain/flow_volume.hpp"
+#include "panagree/core/bargain/nash.hpp"
+#include "panagree/core/bargain/optimizers.hpp"
+#include "panagree/econ/business.hpp"
+#include "panagree/topology/examples.hpp"
+
+namespace panagree::bargain {
+namespace {
+
+using topology::make_fig1;
+
+// ------------------------------------------------------------------- nash
+
+TEST(Nash, ProductAndFeasibility) {
+  EXPECT_DOUBLE_EQ(nash_product(3.0, 4.0), 12.0);
+  EXPECT_TRUE(is_feasible(0.0, 0.0));
+  EXPECT_FALSE(is_feasible(-0.1, 5.0));
+  EXPECT_TRUE(is_feasible(-0.1, 5.0, 0.2));
+}
+
+// ------------------------------------------------------------------- cash
+
+TEST(Cash, SplitsSurplusEqually) {
+  const auto deal = negotiate_cash(10.0, 2.0);
+  ASSERT_TRUE(deal.has_value());
+  EXPECT_DOUBLE_EQ(deal->transfer_x_to_y, 4.0);  // Eq. 11
+  EXPECT_DOUBLE_EQ(deal->u_x_after, 6.0);
+  EXPECT_DOUBLE_EQ(deal->u_y_after, 6.0);
+}
+
+TEST(Cash, CompensatesALosingParty) {
+  const auto deal = negotiate_cash(-3.0, 9.0);
+  ASSERT_TRUE(deal.has_value());
+  // Y pays X: transfer_x_to_y is negative.
+  EXPECT_DOUBLE_EQ(deal->transfer_x_to_y, -6.0);
+  EXPECT_DOUBLE_EQ(deal->u_x_after, 3.0);
+  EXPECT_DOUBLE_EQ(deal->u_y_after, 3.0);
+}
+
+TEST(Cash, FailsIffSurplusNegative) {
+  EXPECT_FALSE(negotiate_cash(-5.0, 4.0).has_value());
+  EXPECT_TRUE(negotiate_cash(-5.0, 5.0).has_value());  // boundary: zero deal
+  const auto boundary = negotiate_cash(-5.0, 5.0);
+  EXPECT_DOUBLE_EQ(boundary->u_x_after, 0.0);
+  EXPECT_DOUBLE_EQ(boundary->u_y_after, 0.0);
+}
+
+// Property sweep: the closed form must dominate any other transfer's Nash
+// product and keep both parties whole (Pareto-optimal + fair, §IV-B).
+struct CashCase {
+  double u_x;
+  double u_y;
+};
+
+class CashSweep : public ::testing::TestWithParam<CashCase> {};
+
+TEST_P(CashSweep, ClosedFormMaximizesNashProduct) {
+  const auto [u_x, u_y] = GetParam();
+  const auto deal = negotiate_cash(u_x, u_y);
+  if (u_x + u_y < 0.0) {
+    EXPECT_FALSE(deal.has_value());
+    return;
+  }
+  ASSERT_TRUE(deal.has_value());
+  EXPECT_GE(deal->u_x_after, -1e-12);
+  EXPECT_GE(deal->u_y_after, -1e-12);
+  EXPECT_NEAR(deal->u_x_after, deal->u_y_after, 1e-12);  // fairness
+  const double best = deal->u_x_after * deal->u_y_after;
+  for (double pi = -20.0; pi <= 20.0; pi += 0.1) {
+    EXPECT_LE((u_x - pi) * (u_y + pi), best + 1e-9);
+  }
+  // Budget balance: the transfer cancels out.
+  EXPECT_NEAR(deal->u_x_after + deal->u_y_after, u_x + u_y, 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    UtilityPairs, CashSweep,
+    ::testing::Values(CashCase{1.0, 1.0}, CashCase{5.0, -2.0},
+                      CashCase{-2.0, 5.0}, CashCase{0.0, 0.0},
+                      CashCase{10.0, 0.5}, CashCase{-1.0, 0.5},
+                      CashCase{-4.0, 3.0}, CashCase{7.5, 7.5}));
+
+// ------------------------------------------------------------- optimizers
+
+TEST(NelderMead, FindsQuadraticMaximum) {
+  const Objective f = [](const std::vector<double>& x) {
+    return -(x[0] - 2.0) * (x[0] - 2.0) - (x[1] + 1.0) * (x[1] + 1.0);
+  };
+  Box box{{-10.0, -10.0}, {10.0, 10.0}};
+  const auto r = maximize_nelder_mead(f, box, {0.0, 0.0});
+  EXPECT_NEAR(r.x[0], 2.0, 1e-4);
+  EXPECT_NEAR(r.x[1], -1.0, 1e-4);
+  EXPECT_NEAR(r.value, 0.0, 1e-6);
+}
+
+TEST(NelderMead, RespectsBoxConstraints) {
+  const Objective f = [](const std::vector<double>& x) { return x[0]; };
+  Box box{{0.0}, {3.0}};
+  const auto r = maximize_nelder_mead(f, box, {1.0});
+  EXPECT_NEAR(r.x[0], 3.0, 1e-6);
+}
+
+TEST(NelderMead, HandlesDegenerateZeroWidthBox) {
+  const Objective f = [](const std::vector<double>& x) { return -x[0] * x[0]; };
+  Box box{{2.0}, {2.0}};
+  const auto r = maximize_nelder_mead(f, box, {2.0});
+  EXPECT_DOUBLE_EQ(r.x[0], 2.0);
+}
+
+TEST(Multistart, EscapesLocalOptimum) {
+  // Two humps; the global one sits near the upper bound.
+  const Objective f = [](const std::vector<double>& x) {
+    const double a = std::exp(-10.0 * (x[0] - 0.15) * (x[0] - 0.15));
+    const double b = 2.0 * std::exp(-30.0 * (x[0] - 0.9) * (x[0] - 0.9));
+    return a + b;
+  };
+  Box box{{0.0}, {1.0}};
+  const auto r = maximize_multistart(f, box, 8, 3);
+  EXPECT_NEAR(r.x[0], 0.9, 0.02);
+}
+
+TEST(GoldenSection, FindsUnimodalMaximum) {
+  const auto x = golden_section_maximize(
+      [](double v) { return -(v - 1.25) * (v - 1.25); }, -5.0, 5.0);
+  EXPECT_NEAR(x, 1.25, 1e-6);
+}
+
+TEST(Box, ProjectClampsComponents) {
+  Box box{{0.0, -1.0}, {1.0, 1.0}};
+  std::vector<double> x{2.0, -5.0};
+  box.project(x);
+  EXPECT_DOUBLE_EQ(x[0], 1.0);
+  EXPECT_DOUBLE_EQ(x[1], -1.0);
+}
+
+// ------------------------------------------------------------ flow volume
+
+/// Fixture: the Fig. 1 agreement a = [D(^{A}); E(^{B})] restricted to one
+/// segment per party, with a per-unit economy that is symmetric between the
+/// parties, so the optimum is analytically transparent.
+class FlowVolumeFixture : public ::testing::Test {
+ protected:
+  FlowVolumeFixture()
+      : t_(make_fig1()), economy_(t_.graph) {
+    economy_.set_link_pricing(t_.A, t_.D, econ::PricingFunction::per_unit(2.0));
+    economy_.set_link_pricing(t_.B, t_.E, econ::PricingFunction::per_unit(2.0));
+    economy_.set_internal_cost(t_.D, econ::InternalCostFunction::linear(0.1));
+    economy_.set_internal_cost(t_.E, econ::InternalCostFunction::linear(0.1));
+    economy_.set_stub_pricing(t_.D, econ::PricingFunction::per_unit(3.0));
+    economy_.set_stub_pricing(t_.E, econ::PricingFunction::per_unit(3.0));
+    // Existing traffic: D sends 10 units to B via provider A, E sends 10
+    // units to A via provider B.
+    base_.add_path_flow(std::vector<topology::AsId>{t_.D, t_.A, t_.B}, 10.0);
+    base_.add_path_flow(std::vector<topology::AsId>{t_.E, t_.B, t_.A}, 10.0);
+
+    problem_.party_x = t_.D;
+    problem_.party_y = t_.E;
+    problem_.x_segments.push_back(SegmentOption{
+        {t_.D, t_.E, t_.B}, {t_.D, t_.A, t_.B}, 10.0, 5.0});
+    problem_.y_segments.push_back(SegmentOption{
+        {t_.E, t_.D, t_.A}, {t_.E, t_.B, t_.A}, 10.0, 5.0});
+  }
+
+  topology::Fig1 t_;
+  econ::Economy economy_;
+  econ::TrafficAllocation base_;
+  FlowVolumeProblem problem_;
+};
+
+TEST_F(FlowVolumeFixture, SymmetricProblemConcludesWithEqualUtilities) {
+  const agreements::AgreementEvaluator evaluator(economy_, base_);
+  const FlowVolumeSolution sol = solve_flow_volume(problem_, evaluator);
+  EXPECT_TRUE(sol.concluded);
+  EXPECT_GT(sol.u_x, 0.0);
+  EXPECT_GT(sol.u_y, 0.0);
+  EXPECT_NEAR(sol.u_x, sol.u_y, 0.15 * std::max(sol.u_x, sol.u_y));
+  EXPECT_NEAR(sol.nash, sol.u_x * sol.u_y, 1e-6);
+}
+
+TEST_F(FlowVolumeFixture, TargetsRespectConstraints) {
+  const agreements::AgreementEvaluator evaluator(economy_, base_);
+  const FlowVolumeSolution sol = solve_flow_volume(problem_, evaluator);
+  ASSERT_EQ(sol.x_targets.size(), 1u);
+  ASSERT_EQ(sol.y_targets.size(), 1u);
+  for (const auto& targets : {sol.x_targets, sol.y_targets}) {
+    const FlowVolumeTarget& target = targets[0];
+    EXPECT_GE(target.rerouted, 0.0);
+    EXPECT_LE(target.rerouted, 10.0 + 1e-9);  // constraint: reroutable
+    EXPECT_GE(target.new_demand, 0.0);
+    EXPECT_LE(target.new_demand, 5.0 + 1e-9);  // constraint III
+    EXPECT_NEAR(target.allowance, target.rerouted + target.new_demand, 1e-9);
+  }
+}
+
+TEST_F(FlowVolumeFixture, SolutionIsLocallyParetoOptimal) {
+  const agreements::AgreementEvaluator evaluator(economy_, base_);
+  const FlowVolumeSolution sol = solve_flow_volume(problem_, evaluator);
+  ASSERT_TRUE(sol.concluded);
+  const double best = sol.nash;
+  // Perturbing any variable must not improve the Nash product (within
+  // feasibility): the solution sits at a local maximum.
+  const std::vector<double> at{sol.x_targets[0].rerouted,
+                               sol.x_targets[0].new_demand,
+                               sol.y_targets[0].rerouted,
+                               sol.y_targets[0].new_demand};
+  const std::vector<double> upper{10.0, 5.0, 10.0, 5.0};
+  for (std::size_t i = 0; i < at.size(); ++i) {
+    for (const double delta : {-0.05, 0.05}) {
+      std::vector<double> probe = at;
+      probe[i] = std::clamp(probe[i] + delta, 0.0, upper[i]);
+      const auto shift = shift_for_variables(problem_, probe);
+      const double ux = evaluator.utility_change(problem_.party_x, shift);
+      const double uy = evaluator.utility_change(problem_.party_y, shift);
+      if (ux >= 0.0 && uy >= 0.0) {
+        EXPECT_LE(ux * uy, best + 1e-4);
+      }
+    }
+  }
+}
+
+TEST_F(FlowVolumeFixture, HopelessEconomicsYieldZeroTargets) {
+  // §IV-C: with very dissimilar cost structures the program can end up with
+  // all-zero flow targets, i.e. no agreement. Make every rerouted or new
+  // unit strictly loss-making for both parties.
+  econ::Economy harsh(t_.graph);
+  harsh.set_link_pricing(t_.A, t_.D, econ::PricingFunction::per_unit(0.01));
+  harsh.set_link_pricing(t_.B, t_.E, econ::PricingFunction::per_unit(0.01));
+  harsh.set_internal_cost(t_.D, econ::InternalCostFunction::linear(5.0));
+  harsh.set_internal_cost(t_.E, econ::InternalCostFunction::linear(5.0));
+  const agreements::AgreementEvaluator evaluator(harsh, base_);
+  const FlowVolumeSolution sol = solve_flow_volume(problem_, evaluator);
+  EXPECT_FALSE(sol.concluded);
+  EXPECT_NEAR(sol.x_targets[0].allowance, 0.0, 1e-6);
+  EXPECT_NEAR(sol.y_targets[0].allowance, 0.0, 1e-6);
+}
+
+TEST_F(FlowVolumeFixture, EmptyProblemDoesNotConclude) {
+  FlowVolumeProblem empty;
+  empty.party_x = t_.D;
+  empty.party_y = t_.E;
+  const agreements::AgreementEvaluator evaluator(economy_, base_);
+  const FlowVolumeSolution sol = solve_flow_volume(empty, evaluator);
+  EXPECT_FALSE(sol.concluded);
+}
+
+TEST_F(FlowVolumeFixture, CashAlwaysConcludesWhenVolumeDoesnt) {
+  // §IV-C comparison: whenever the flow-volume program concludes, the cash
+  // route (on the same realized utilities) must conclude as well.
+  const agreements::AgreementEvaluator evaluator(economy_, base_);
+  const FlowVolumeSolution sol = solve_flow_volume(problem_, evaluator);
+  ASSERT_TRUE(sol.concluded);
+  const auto deal = negotiate_cash(sol.u_x, sol.u_y);
+  ASSERT_TRUE(deal.has_value());
+  EXPECT_GE(deal->u_x_after, 0.0);
+  EXPECT_GE(deal->u_y_after, 0.0);
+}
+
+TEST(FlowVolume, ValidatesProblemShape) {
+  const auto t = make_fig1();
+  const econ::Economy economy = econ::make_default_economy(t.graph);
+  econ::TrafficAllocation base;
+  const agreements::AgreementEvaluator evaluator(economy, base);
+  FlowVolumeProblem bad;
+  bad.party_x = t.D;
+  bad.party_y = t.E;
+  bad.x_segments.push_back(
+      SegmentOption{{t.D, t.E, t.B}, {t.D, t.A}, 1.0, 1.0});  // endpoint break
+  EXPECT_THROW((void)solve_flow_volume(bad, evaluator),
+               util::PreconditionError);
+}
+
+}  // namespace
+}  // namespace panagree::bargain

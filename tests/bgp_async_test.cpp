@@ -1,0 +1,98 @@
+#include <gtest/gtest.h>
+
+#include "panagree/bgp/async.hpp"
+#include "panagree/bgp/gadgets.hpp"
+#include "panagree/bgp/policy.hpp"
+#include "panagree/bgp/simulator.hpp"
+#include "panagree/topology/examples.hpp"
+#include "panagree/topology/generator.hpp"
+
+namespace panagree::bgp {
+namespace {
+
+TEST(AsyncSpvp, GoodGadgetConvergesToTheStableState) {
+  const auto result = run_async(make_good_gadget());
+  EXPECT_TRUE(result.converged);
+  EXPECT_TRUE(is_stable(make_good_gadget(), result.assignment));
+  EXPECT_GT(result.messages, 0u);
+  EXPECT_GT(result.sim_time_s, 0.0);
+}
+
+TEST(AsyncSpvp, BadGadgetChurnsUntilTheBudget) {
+  AsyncSpvpParams params;
+  params.max_messages = 20000;
+  const auto result = run_async(make_bad_gadget(), params);
+  EXPECT_FALSE(result.converged);
+  EXPECT_GE(result.messages, params.max_messages - 8);  // in-flight slack
+}
+
+TEST(AsyncSpvp, DisagreeLandsInEitherStateDependingOnTiming) {
+  const auto report = check_async_safety(make_disagree(), 40, 11);
+  EXPECT_TRUE(report.always_converged);
+  EXPECT_EQ(report.distinct_outcomes, 2u);
+}
+
+TEST(AsyncSpvp, Fig1WedgieUnderMessageTiming) {
+  const auto t = topology::make_fig1();
+  const auto report = check_async_safety(make_fig1_disagree(t), 40, 21);
+  EXPECT_TRUE(report.always_converged);
+  EXPECT_EQ(report.distinct_outcomes, 2u);
+}
+
+TEST(AsyncSpvp, Fig1BadGadgetDiverges) {
+  const auto t = topology::make_fig1();
+  AsyncSpvpParams params;
+  params.max_messages = 20000;
+  const auto result = run_async(make_fig1_bad_gadget(t), params);
+  EXPECT_FALSE(result.converged);
+}
+
+TEST(AsyncSpvp, RejectsBadParameters) {
+  AsyncSpvpParams params;
+  params.min_delay_s = 0.0;
+  EXPECT_THROW((void)run_async(make_disagree(), params),
+               util::PreconditionError);
+  params.min_delay_s = 0.05;
+  params.max_delay_s = 0.01;
+  EXPECT_THROW((void)run_async(make_disagree(), params),
+               util::PreconditionError);
+}
+
+TEST(AsyncSpvp, AgreesWithSynchronousOnSafeInstances) {
+  const auto t = topology::make_fig1();
+  for (const topology::AsId dest : {t.A, t.B, t.I, t.H}) {
+    const SppInstance spp = make_gao_rexford_spp(t.graph, dest);
+    const auto sync = run_synchronous(spp);
+    const auto async = run_async(spp);
+    ASSERT_EQ(sync.outcome, Outcome::kConverged);
+    ASSERT_TRUE(async.converged) << "destination " << dest;
+    // Gao-Rexford instances have a unique stable state: both protocols must
+    // land on it.
+    EXPECT_EQ(sync.assignment, async.assignment) << "destination " << dest;
+  }
+}
+
+class AsyncGaoRexfordSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(AsyncGaoRexfordSweep, RandomTopologiesConvergeUnderMessageTiming) {
+  topology::GeneratorParams params;
+  params.num_ases = 25;
+  params.tier1_count = 3;
+  params.tier2_fraction = 0.3;
+  params.seed = GetParam();
+  const auto topo = topology::generate_internet(params);
+  const topology::AsId dest =
+      static_cast<topology::AsId>(GetParam() % topo.graph.num_ases());
+  const SppInstance spp =
+      make_gao_rexford_spp(topo.graph, dest, {.max_path_length = 5});
+  AsyncSpvpParams async_params;
+  async_params.seed = GetParam() * 3 + 1;
+  const auto result = run_async(spp, async_params);
+  EXPECT_TRUE(result.converged);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AsyncGaoRexfordSweep,
+                         ::testing::Values(1, 2, 3, 4, 5, 6));
+
+}  // namespace
+}  // namespace panagree::bgp

@@ -1,0 +1,129 @@
+#include <gtest/gtest.h>
+
+#include "panagree/bgp/gadgets.hpp"
+#include "panagree/bgp/policy.hpp"
+#include "panagree/bgp/simulator.hpp"
+#include "panagree/topology/examples.hpp"
+#include "panagree/topology/generator.hpp"
+
+namespace panagree::bgp {
+namespace {
+
+using topology::make_fig1;
+
+TEST(Synchronous, GoodGadgetConverges) {
+  const SpvpResult r = run_synchronous(make_good_gadget());
+  EXPECT_EQ(r.outcome, Outcome::kConverged);
+  EXPECT_TRUE(is_stable(make_good_gadget(), r.assignment));
+}
+
+TEST(Synchronous, BadGadgetOscillates) {
+  const SpvpResult r = run_synchronous(make_bad_gadget());
+  EXPECT_EQ(r.outcome, Outcome::kOscillated);
+}
+
+TEST(Synchronous, Fig1BadGadgetOscillates) {
+  const auto t = make_fig1();
+  const SpvpResult r = run_synchronous(make_fig1_bad_gadget(t));
+  EXPECT_EQ(r.outcome, Outcome::kOscillated);
+}
+
+TEST(RandomActivations, DisagreeAlwaysConvergesButNondeterministically) {
+  // The paper (§II): DISAGREE "does converge with BGP but
+  // non-deterministically".
+  const SafetyReport report = check_safety(make_disagree(), 60, 1234);
+  EXPECT_TRUE(report.always_converged);
+  EXPECT_EQ(report.distinct_outcomes, 2u);
+}
+
+TEST(RandomActivations, Fig1DisagreeReachesBothWedgieStates) {
+  const auto t = make_fig1();
+  const SafetyReport report = check_safety(make_fig1_disagree(t), 60, 99);
+  EXPECT_TRUE(report.always_converged);
+  EXPECT_EQ(report.distinct_outcomes, 2u);
+}
+
+TEST(RandomActivations, BadGadgetNeverConverges) {
+  util::Rng rng(7);
+  const SpvpResult r =
+      run_random_activations(make_bad_gadget(), rng, 20000);
+  EXPECT_EQ(r.outcome, Outcome::kOscillated);
+}
+
+TEST(RandomActivations, GoodGadgetUniqueOutcome) {
+  const SafetyReport report = check_safety(make_good_gadget(), 40, 5);
+  EXPECT_TRUE(report.always_converged);
+  EXPECT_EQ(report.distinct_outcomes, 1u);
+}
+
+TEST(GaoRexford, Fig1ConvergesForEveryDestination) {
+  const auto t = make_fig1();
+  for (AsId dest = 0; dest < t.graph.num_ases(); ++dest) {
+    const SppInstance spp = make_gao_rexford_spp(t.graph, dest);
+    const SpvpResult r = run_synchronous(spp);
+    EXPECT_EQ(r.outcome, Outcome::kConverged) << "destination " << dest;
+  }
+}
+
+TEST(MutualTransit, SingleAgreementYieldsWedgieNotDivergence) {
+  // D and E exchanging provider routes: converges, but to one of several
+  // stable states depending on timing (the "BGP wedgie" of §II). With
+  // destination B, D prefers the peer-learned [D,E,B] while E prefers
+  // [E,D,A,B] - the classic DISAGREE shape.
+  const auto t = make_fig1();
+  const SppInstance spp = make_mutual_transit_spp(t.graph, t.B, {{t.D, t.E}});
+  EXPECT_GE(spp.rank_of(t.D, {t.D, t.E, t.B}), 0);
+  EXPECT_GE(spp.rank_of(t.E, {t.E, t.D, t.A, t.B}), 0);
+  const SafetyReport report = check_safety(spp, 50, 77);
+  EXPECT_TRUE(report.always_converged);
+  EXPECT_GE(report.distinct_outcomes, 2u);
+}
+
+// Gao-Rexford safety on random Internet-like topologies: any destination,
+// any activation order (sampled), always converges - the paper's §II
+// premise for why today's Internet needs the GRC.
+struct SafetyParam {
+  std::uint64_t topo_seed;
+  std::uint32_t destination;
+};
+
+class GaoRexfordSafety : public ::testing::TestWithParam<SafetyParam> {};
+
+TEST_P(GaoRexfordSafety, RandomTopologyConverges) {
+  topology::GeneratorParams params;
+  params.num_ases = 30;
+  params.tier1_count = 3;
+  params.tier2_fraction = 0.3;
+  params.seed = GetParam().topo_seed;
+  const auto topo = topology::generate_internet(params);
+  const AsId dest = GetParam().destination % topo.graph.num_ases();
+  const SppInstance spp =
+      make_gao_rexford_spp(topo.graph, dest, {.max_path_length = 5});
+  const SafetyReport report = check_safety(spp, 10, GetParam().topo_seed);
+  EXPECT_TRUE(report.always_converged);
+  EXPECT_LE(report.distinct_outcomes, 1u);
+  const SpvpResult sync = run_synchronous(spp);
+  EXPECT_EQ(sync.outcome, Outcome::kConverged);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    TopologiesAndDestinations, GaoRexfordSafety,
+    ::testing::Values(SafetyParam{1, 0}, SafetyParam{1, 7}, SafetyParam{1, 23},
+                      SafetyParam{2, 3}, SafetyParam{2, 11}, SafetyParam{3, 5},
+                      SafetyParam{3, 17}, SafetyParam{4, 2}, SafetyParam{4, 29},
+                      SafetyParam{5, 13}));
+
+TEST(Convergence, StableStateIsFixedPointOfSynchronousRun) {
+  const auto t = make_fig1();
+  const SppInstance spp = make_gao_rexford_spp(t.graph, t.I);
+  const SpvpResult r = run_synchronous(spp);
+  ASSERT_EQ(r.outcome, Outcome::kConverged);
+  // Re-running one more synchronous round changes nothing.
+  for (AsId node = 0; node < spp.num_nodes(); ++node) {
+    EXPECT_EQ(best_available_path(spp, node, r.assignment),
+              r.assignment[node]);
+  }
+}
+
+}  // namespace
+}  // namespace panagree::bgp

@@ -1,0 +1,228 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "panagree/bgp/analysis.hpp"
+#include "panagree/bgp/gadgets.hpp"
+#include "panagree/bgp/policy.hpp"
+#include "panagree/bgp/spp.hpp"
+#include "panagree/topology/examples.hpp"
+
+namespace panagree::bgp {
+namespace {
+
+using topology::make_fig1;
+
+TEST(SppInstance, OriginOwnsTrivialPath) {
+  const SppInstance spp(3, 0);
+  ASSERT_EQ(spp.permitted(0).size(), 1u);
+  EXPECT_EQ(spp.permitted(0)[0], Path{0});
+}
+
+TEST(SppInstance, RejectsMalformedPermittedPaths) {
+  SppInstance spp(3, 0);
+  EXPECT_THROW(spp.set_permitted(1, {{2, 0}}), util::PreconditionError);
+  EXPECT_THROW(spp.set_permitted(1, {{1, 2}}), util::PreconditionError);
+  EXPECT_THROW(spp.set_permitted(1, {{1, 2, 1, 0}}), util::PreconditionError);
+  EXPECT_THROW(spp.set_permitted(0, {{0}}), util::PreconditionError);
+}
+
+TEST(SppInstance, RankOfFindsPaths) {
+  SppInstance spp(3, 0);
+  spp.set_permitted(1, {{1, 2, 0}, {1, 0}});
+  EXPECT_EQ(spp.rank_of(1, {1, 2, 0}), 0);
+  EXPECT_EQ(spp.rank_of(1, {1, 0}), 1);
+  EXPECT_EQ(spp.rank_of(1, {1, 2}), -1);
+}
+
+TEST(SppInstance, NextHopsAreUnique) {
+  SppInstance spp(4, 0);
+  spp.set_permitted(1, {{1, 2, 0}, {1, 2, 3, 0}, {1, 0}});
+  const auto hops = spp.next_hops(1);
+  EXPECT_EQ(hops, (std::vector<AsId>{0, 2}));
+}
+
+TEST(BestAvailable, FollowsNeighborSelections) {
+  const SppInstance spp = make_disagree();
+  Assignment assignment(3);
+  assignment[0] = {0};
+  assignment[2] = {2, 0};
+  // Node 1 prefers 1-2-0 and node 2 currently has 2-0: available.
+  EXPECT_EQ(best_available_path(spp, 1, assignment), (Path{1, 2, 0}));
+  // If 2 routes via 1, the peer path would loop, so 1 falls back to direct.
+  assignment[2] = {2, 1, 0};
+  EXPECT_EQ(best_available_path(spp, 1, assignment), (Path{1, 0}));
+}
+
+TEST(BestAvailable, EmptyWhenNothingAvailable) {
+  SppInstance spp(3, 0);
+  spp.set_permitted(1, {{1, 2, 0}});
+  Assignment assignment(3);
+  assignment[0] = {0};
+  // Node 2 has no path, so 1-2-0 is not available.
+  EXPECT_TRUE(best_available_path(spp, 1, assignment).empty());
+}
+
+TEST(StableSolutions, DisagreeHasExactlyTwo) {
+  const auto solutions = find_stable_solutions(make_disagree());
+  EXPECT_EQ(solutions.size(), 2u);
+  for (const Assignment& a : solutions) {
+    EXPECT_TRUE(is_stable(make_disagree(), a));
+  }
+}
+
+TEST(StableSolutions, BadGadgetHasNone) {
+  EXPECT_TRUE(find_stable_solutions(make_bad_gadget()).empty());
+}
+
+TEST(StableSolutions, GoodGadgetHasExactlyOne) {
+  EXPECT_EQ(find_stable_solutions(make_good_gadget()).size(), 1u);
+}
+
+TEST(StableSolutions, WedgieHasTwo) {
+  EXPECT_EQ(find_stable_solutions(make_wedgie()).size(), 2u);
+}
+
+TEST(Fig1Gadgets, DisagreeHasTwoStableStates) {
+  const auto t = make_fig1();
+  const auto solutions = find_stable_solutions(make_fig1_disagree(t));
+  EXPECT_EQ(solutions.size(), 2u);
+}
+
+TEST(Fig1Gadgets, BadGadgetHasNoStableState) {
+  const auto t = make_fig1();
+  EXPECT_TRUE(find_stable_solutions(make_fig1_bad_gadget(t)).empty());
+}
+
+// ------------------------------------------------------------ valley-free
+
+TEST(ValleyFree, ClassifiesFig1Paths) {
+  const auto t = make_fig1();
+  const auto& g = t.graph;
+  // H -> D -> A: climbing only.
+  EXPECT_TRUE(is_valley_free(g, {t.H, t.D, t.A}));
+  // H -> D -> E: up then peer.
+  EXPECT_TRUE(is_valley_free(g, {t.H, t.D, t.E}));
+  // A -> D -> H: descending only.
+  EXPECT_TRUE(is_valley_free(g, {t.A, t.D, t.H}));
+  // A -> D -> E: down then peer - a valley.
+  EXPECT_FALSE(is_valley_free(g, {t.A, t.D, t.E}));
+  // D -> E -> B: peer then up (the MA path of Eq. 6) - GRC-invalid.
+  EXPECT_FALSE(is_valley_free(g, {t.D, t.E, t.B}));
+  // C -> D -> E -> F: two peering links.
+  EXPECT_FALSE(is_valley_free(g, {t.C, t.D, t.E, t.F}));
+  // H -> D -> E -> I: up, peer, down.
+  EXPECT_TRUE(is_valley_free(g, {t.H, t.D, t.E, t.I}));
+}
+
+TEST(ValleyFree, NonLinksAreRejected) {
+  const auto t = make_fig1();
+  EXPECT_FALSE(is_valley_free(t.graph, {t.H, t.I}));
+}
+
+TEST(ValleyFree, TrivialPathsAreValleyFree) {
+  const auto t = make_fig1();
+  EXPECT_TRUE(is_valley_free(t.graph, {t.A}));
+  EXPECT_TRUE(is_valley_free(t.graph, {}));
+}
+
+TEST(GrcForwarding, MatchesValleyFreedomOnFig1) {
+  const auto t = make_fig1();
+  const auto& g = t.graph;
+  EXPECT_TRUE(grc_forwarding_allowed(g, {t.H, t.D, t.A}));
+  EXPECT_FALSE(grc_forwarding_allowed(g, {t.D, t.E, t.B}));
+  // The economically undesirable path ADE of §I: D forwards from provider
+  // A to peer E - no customer involved.
+  EXPECT_FALSE(grc_forwarding_allowed(g, {t.A, t.D, t.E}));
+}
+
+TEST(EnumerateValleyFree, FindsAllFig1PathsHtoI) {
+  const auto t = make_fig1();
+  const auto paths = enumerate_valley_free_paths(t.graph, t.H, t.I, 6);
+  // H-D-E-I (up, peer, down) and H-D-A-B-E-I (up up peer down down).
+  ASSERT_EQ(paths.size(), 2u);
+  EXPECT_NE(std::find(paths.begin(), paths.end(),
+                      Path{t.H, t.D, t.E, t.I}),
+            paths.end());
+  EXPECT_NE(std::find(paths.begin(), paths.end(),
+                      Path{t.H, t.D, t.A, t.B, t.E, t.I}),
+            paths.end());
+}
+
+TEST(EnumerateValleyFree, AllResultsAreValleyFree) {
+  const auto t = make_fig1();
+  for (AsId src = 0; src < t.graph.num_ases(); ++src) {
+    for (AsId dst = 0; dst < t.graph.num_ases(); ++dst) {
+      if (src == dst) {
+        continue;
+      }
+      for (const Path& p : enumerate_valley_free_paths(t.graph, src, dst, 6)) {
+        EXPECT_TRUE(is_valley_free(t.graph, p));
+        EXPECT_EQ(p.front(), src);
+        EXPECT_EQ(p.back(), dst);
+      }
+    }
+  }
+}
+
+TEST(RouteClass, OrdersCustomerPeerProvider) {
+  const auto t = make_fig1();
+  const auto& g = t.graph;
+  EXPECT_EQ(route_relationship_class(g, {t.D, t.H}), 0);  // via customer
+  EXPECT_EQ(route_relationship_class(g, {t.D, t.E, t.I}), 1);  // via peer
+  EXPECT_EQ(route_relationship_class(g, {t.D, t.A}), 2);  // via provider
+}
+
+// -------------------------------------------------- policy-compiled SPPs
+
+TEST(GaoRexfordSpp, PermittedPathsAreValleyFreeAndRankedByClass) {
+  const auto t = make_fig1();
+  const SppInstance spp = make_gao_rexford_spp(t.graph, t.I);
+  for (AsId node = 0; node < t.graph.num_ases(); ++node) {
+    if (node == t.I) {
+      continue;
+    }
+    int prev_class = -1;
+    for (const Path& p : spp.permitted(node)) {
+      EXPECT_TRUE(is_valley_free(t.graph, p));
+      const int cls = route_relationship_class(t.graph, p);
+      EXPECT_GE(cls, prev_class);
+      prev_class = cls;
+    }
+  }
+}
+
+TEST(GaoRexfordSpp, EveryNodeHasARouteInFig1) {
+  const auto t = make_fig1();
+  const SppInstance spp = make_gao_rexford_spp(t.graph, t.I);
+  for (AsId node = 0; node < t.graph.num_ases(); ++node) {
+    if (node != t.I) {
+      EXPECT_FALSE(spp.permitted(node).empty()) << "node " << node;
+    }
+  }
+}
+
+TEST(MutualTransitSpp, AddsGrcViolatingPaths) {
+  const auto t = make_fig1();
+  const SppInstance grc = make_gao_rexford_spp(t.graph, t.A);
+  const SppInstance mutual =
+      make_mutual_transit_spp(t.graph, t.A, {{t.D, t.E}});
+  // Under plain GRC, E cannot route to A via peer D (peer would have to
+  // forward provider traffic); with the mutual-transit agreement it can.
+  EXPECT_EQ(grc.rank_of(t.E, {t.E, t.D, t.A}), -1);
+  EXPECT_GE(mutual.rank_of(t.E, {t.E, t.D, t.A}), 0);
+  // And D gains the DEBA path of §II.
+  EXPECT_GE(mutual.rank_of(t.D, {t.D, t.E, t.B, t.A}), 0);
+}
+
+TEST(ProfileStability, DistinguishesGadgets) {
+  const auto good = profile_stability(make_good_gadget());
+  EXPECT_EQ(good.stable_solutions, 1u);
+  EXPECT_TRUE(good.safe_under_synchronous);
+  const auto bad = profile_stability(make_bad_gadget());
+  EXPECT_EQ(bad.stable_solutions, 0u);
+  EXPECT_FALSE(bad.safe_under_synchronous);
+}
+
+}  // namespace
+}  // namespace panagree::bgp

@@ -1,0 +1,161 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+
+#include "panagree/core/bosco/distribution.hpp"
+
+namespace panagree::bosco {
+namespace {
+
+std::unique_ptr<UtilityDistribution> make_dist(int kind) {
+  switch (kind) {
+    case 0:
+      return std::make_unique<UniformDistribution>(-1.0, 1.0);
+    case 1:
+      return std::make_unique<UniformDistribution>(-0.5, 1.0);
+    case 2:
+      return std::make_unique<TriangularDistribution>(-1.0, 0.25, 1.0);
+    case 3:
+      return std::make_unique<TriangularDistribution>(0.0, 0.0, 2.0);
+    case 4:
+      return std::make_unique<TruncatedNormalDistribution>(0.2, 0.5, -1.0,
+                                                           1.5);
+    default:
+      return std::make_unique<TruncatedNormalDistribution>(-0.5, 1.0, -2.0,
+                                                           0.5);
+  }
+}
+
+class DistributionSweep : public ::testing::TestWithParam<int> {
+ protected:
+  std::unique_ptr<UtilityDistribution> dist_ = make_dist(GetParam());
+};
+
+TEST_P(DistributionSweep, CdfIsMonotoneFromZeroToOne) {
+  const double lo = dist_->support_lo();
+  const double hi = dist_->support_hi();
+  EXPECT_NEAR(dist_->cdf(lo), 0.0, 1e-12);
+  EXPECT_NEAR(dist_->cdf(hi), 1.0, 1e-12);
+  double prev = -1.0;
+  for (int i = 0; i <= 100; ++i) {
+    const double u = lo + (hi - lo) * i / 100.0;
+    const double c = dist_->cdf(u);
+    EXPECT_GE(c, prev - 1e-12);
+    EXPECT_GE(c, 0.0);
+    EXPECT_LE(c, 1.0);
+    prev = c;
+  }
+}
+
+TEST_P(DistributionSweep, PdfIntegratesToCdf) {
+  const double lo = dist_->support_lo();
+  const double hi = dist_->support_hi();
+  const int n = 4000;
+  const double h = (hi - lo) / n;
+  double acc = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double mid = lo + (i + 0.5) * h;
+    acc += dist_->pdf(mid) * h;
+    if (i % 500 == 499) {
+      EXPECT_NEAR(acc, dist_->cdf(lo + (i + 1) * h), 2e-3);
+    }
+  }
+  EXPECT_NEAR(acc, 1.0, 2e-3);
+}
+
+TEST_P(DistributionSweep, MassInSubintervalsSumsToOne) {
+  const double lo = dist_->support_lo();
+  const double hi = dist_->support_hi();
+  double total = 0.0;
+  for (int i = 0; i < 10; ++i) {
+    total += dist_->mass_in(lo + (hi - lo) * i / 10.0,
+                            lo + (hi - lo) * (i + 1) / 10.0);
+  }
+  EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+TEST_P(DistributionSweep, FirstMomentMatchesNumericIntegral) {
+  const double lo = dist_->support_lo();
+  const double hi = dist_->support_hi();
+  // Three probe intervals including the full support.
+  const double probes[3][2] = {
+      {lo, hi}, {lo + (hi - lo) * 0.2, lo + (hi - lo) * 0.7}, {lo, lo + (hi - lo) * 0.5}};
+  for (const auto& probe : probes) {
+    const int n = 20000;
+    const double h = (probe[1] - probe[0]) / n;
+    double numeric = 0.0;
+    for (int i = 0; i < n; ++i) {
+      const double mid = probe[0] + (i + 0.5) * h;
+      numeric += mid * dist_->pdf(mid) * h;
+    }
+    EXPECT_NEAR(dist_->first_moment_in(probe[0], probe[1]), numeric, 5e-4);
+  }
+}
+
+TEST_P(DistributionSweep, SamplesStayInSupportAndMatchMean) {
+  util::Rng rng(GetParam() + 1);
+  const double lo = dist_->support_lo();
+  const double hi = dist_->support_hi();
+  const int n = 100000;
+  double sum = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double v = dist_->sample(rng);
+    ASSERT_GE(v, lo - 1e-12);
+    ASSERT_LE(v, hi + 1e-12);
+    sum += v;
+  }
+  const double analytic_mean = dist_->first_moment_in(lo, hi);
+  EXPECT_NEAR(sum / n, analytic_mean, 0.02 * (hi - lo));
+}
+
+TEST_P(DistributionSweep, CloneBehavesIdentically) {
+  const auto clone = dist_->clone();
+  for (int i = 0; i <= 20; ++i) {
+    const double u = dist_->support_lo() +
+                     (dist_->support_hi() - dist_->support_lo()) * i / 20.0;
+    EXPECT_DOUBLE_EQ(dist_->cdf(u), clone->cdf(u));
+    EXPECT_DOUBLE_EQ(dist_->pdf(u), clone->pdf(u));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllKinds, DistributionSweep,
+                         ::testing::Values(0, 1, 2, 3, 4, 5));
+
+TEST(Uniform, ClosedFormMoments) {
+  const UniformDistribution u(-1.0, 1.0);
+  EXPECT_NEAR(u.first_moment_in(-1.0, 1.0), 0.0, 1e-12);
+  EXPECT_NEAR(u.first_moment_in(0.0, 1.0), 0.25, 1e-12);
+  EXPECT_DOUBLE_EQ(u.pdf(0.0), 0.5);
+  EXPECT_DOUBLE_EQ(u.cdf(0.0), 0.5);
+}
+
+TEST(Uniform, RejectsEmptyInterval) {
+  EXPECT_THROW(UniformDistribution(1.0, 1.0), util::PreconditionError);
+}
+
+TEST(Triangular, ModeHasPeakDensity) {
+  const TriangularDistribution t(-1.0, 0.5, 1.0);
+  EXPECT_GT(t.pdf(0.5), t.pdf(0.0));
+  EXPECT_GT(t.pdf(0.5), t.pdf(0.9));
+  EXPECT_DOUBLE_EQ(t.pdf(-2.0), 0.0);
+}
+
+TEST(Triangular, RejectsModeOutsideSupport) {
+  EXPECT_THROW(TriangularDistribution(0.0, 3.0, 1.0), util::PreconditionError);
+}
+
+TEST(TruncatedNormal, RenormalizesMass) {
+  const TruncatedNormalDistribution t(0.0, 1.0, -1.0, 1.0);
+  EXPECT_NEAR(t.mass_in(-1.0, 1.0), 1.0, 1e-12);
+  // Symmetric window around the mean: zero first moment.
+  EXPECT_NEAR(t.first_moment_in(-1.0, 1.0), 0.0, 1e-12);
+}
+
+TEST(TruncatedNormal, RejectsNonPositiveSigma) {
+  EXPECT_THROW(TruncatedNormalDistribution(0.0, 0.0, -1.0, 1.0),
+               util::PreconditionError);
+}
+
+}  // namespace
+}  // namespace panagree::bosco

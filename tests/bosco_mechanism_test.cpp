@@ -1,0 +1,391 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <memory>
+
+#include "panagree/core/bosco/best_response.hpp"
+#include "panagree/core/bosco/choice_set.hpp"
+#include "panagree/core/bosco/efficiency.hpp"
+#include "panagree/core/bosco/equilibrium.hpp"
+#include "panagree/core/bosco/service.hpp"
+
+namespace panagree::bosco {
+namespace {
+
+constexpr double kNegInf = -std::numeric_limits<double>::infinity();
+
+// -------------------------------------------------------------- choice set
+
+TEST(ChoiceSet, AlwaysContainsCancellation) {
+  const ChoiceSet cs({0.5, -0.5});
+  ASSERT_EQ(cs.size(), 3u);
+  EXPECT_EQ(cs.value(0), kNegInf);
+  EXPECT_DOUBLE_EQ(cs.value(1), -0.5);
+  EXPECT_DOUBLE_EQ(cs.value(2), 0.5);
+}
+
+TEST(ChoiceSet, RandomDrawsFromTheDistribution) {
+  const UniformDistribution dist(-1.0, 1.0);
+  util::Rng rng(5);
+  const ChoiceSet cs = ChoiceSet::random(dist, 20, rng);
+  EXPECT_EQ(cs.size(), 20u);
+  EXPECT_EQ(cs.value(0), kNegInf);
+  for (std::size_t i = 1; i < cs.size(); ++i) {
+    EXPECT_GE(cs.value(i), -1.0);
+    EXPECT_LE(cs.value(i), 1.0);
+    if (i > 1) {
+      EXPECT_GT(cs.value(i), cs.value(i - 1));  // sorted, distinct
+    }
+  }
+}
+
+TEST(ChoiceSet, QuantileGridCoversSupportEvenly) {
+  const UniformDistribution dist(0.0, 1.0);
+  const ChoiceSet cs = ChoiceSet::quantile_grid(dist, 5);
+  ASSERT_EQ(cs.size(), 5u);
+  EXPECT_NEAR(cs.value(1), 0.125, 1e-6);
+  EXPECT_NEAR(cs.value(2), 0.375, 1e-6);
+  EXPECT_NEAR(cs.value(3), 0.625, 1e-6);
+  EXPECT_NEAR(cs.value(4), 0.875, 1e-6);
+}
+
+TEST(ChoiceSet, RejectsDegenerateCardinality) {
+  const UniformDistribution dist(0.0, 1.0);
+  util::Rng rng(1);
+  EXPECT_THROW((void)ChoiceSet::random(dist, 1, rng), util::PreconditionError);
+}
+
+// --------------------------------------------------------------- strategy
+
+TEST(Strategy, QuantizerPlaysFloorChoice) {
+  const ChoiceSet cs({-0.5, 0.0, 0.5});
+  const Strategy s = Strategy::quantizer(cs);
+  EXPECT_EQ(s.choice_for(-0.9), 0u);  // below all finite choices: cancel
+  EXPECT_EQ(s.choice_for(-0.3), 1u);
+  EXPECT_EQ(s.choice_for(0.2), 2u);
+  EXPECT_EQ(s.choice_for(3.0), 3u);
+  EXPECT_EQ(s.active_choices(), 4u);
+}
+
+TEST(Strategy, RejectsMalformedThresholds) {
+  EXPECT_THROW(Strategy({0.0, 1.0}), util::PreconditionError);  // no -inf
+  EXPECT_THROW(
+      Strategy({kNegInf, 1.0, 0.0, std::numeric_limits<double>::infinity()}),
+      util::PreconditionError);  // decreasing
+}
+
+TEST(Strategy, ApproxEqualToleratesTinyShifts) {
+  const double inf = std::numeric_limits<double>::infinity();
+  const Strategy a({kNegInf, 0.5, inf});
+  const Strategy b({kNegInf, 0.5 + 1e-13, inf});
+  const Strategy c({kNegInf, 0.7, inf});
+  EXPECT_TRUE(a.approx_equal(b, 1e-9));
+  EXPECT_FALSE(a.approx_equal(c, 1e-9));
+}
+
+TEST(ClaimProbabilities, MatchDistributionMasses) {
+  const UniformDistribution dist(0.0, 1.0);
+  const double inf = std::numeric_limits<double>::infinity();
+  // Choice 0 (cancel) on (-inf, 0.25), choice 1 on [0.25, 0.75), choice 2 on
+  // [0.75, inf).
+  const Strategy s({kNegInf, 0.25, 0.75, inf});
+  const auto probs = claim_probabilities(s, dist);
+  ASSERT_EQ(probs.size(), 3u);
+  EXPECT_NEAR(probs[0], 0.25, 1e-12);
+  EXPECT_NEAR(probs[1], 0.5, 1e-12);
+  EXPECT_NEAR(probs[2], 0.25, 1e-12);
+}
+
+// ---------------------------------------------------------- best response
+
+TEST(UtilityLines, HandComputedSmallCase) {
+  const ChoiceSet own({0.0, 0.5});
+  const ChoiceSet opp({-0.2, 0.4});
+  const std::vector<double> probs{0.1, 0.3, 0.6};
+  const auto lines = expected_utility_lines(own, opp, probs);
+  ASSERT_EQ(lines.size(), 3u);
+  EXPECT_DOUBLE_EQ(lines[0].m, 0.0);
+  EXPECT_DOUBLE_EQ(lines[0].q, 0.0);
+  // v = 0.0: qualifying opponent claims w >= 0: only w = 0.4 (p = 0.6).
+  // m = 0.6, q = 0.6 * (0.4 - 0.0)/2 = 0.12.
+  EXPECT_NEAR(lines[1].m, 0.6, 1e-12);
+  EXPECT_NEAR(lines[1].q, 0.12, 1e-12);
+  // v = 0.5: w >= -0.5: both -0.2 (p=0.3) and 0.4 (p=0.6) qualify.
+  // m = 0.9, q = 0.3*(-0.2-0.5)/2 + 0.6*(0.4-0.5)/2 = -0.105 - 0.03.
+  EXPECT_NEAR(lines[2].m, 0.9, 1e-12);
+  EXPECT_NEAR(lines[2].q, -0.135, 1e-12);
+}
+
+TEST(BestResponse, PicksUpperEnvelope) {
+  // Lines: cancel (0,0); A: 0.5u + 0.1; B: 1.0u - 0.2.
+  const std::vector<UtilityLine> lines{{0.0, 0.0}, {0.5, 0.1}, {1.0, -0.2}};
+  const Strategy s = best_response(lines);
+  // Crossings: cancel/A at u = -0.2; A/B at u = 0.6.
+  EXPECT_EQ(s.choice_for(-1.0), 0u);
+  EXPECT_EQ(s.choice_for(0.0), 1u);
+  EXPECT_EQ(s.choice_for(1.0), 2u);
+  EXPECT_EQ(s.active_choices(), 3u);
+}
+
+TEST(BestResponse, DropsDominatedLines) {
+  // Line 1 dominated by line 2 (same slope, lower intercept).
+  const std::vector<UtilityLine> lines{
+      {0.0, 0.0}, {0.5, -1.0}, {0.5, 0.2}, {1.0, -0.5}};
+  const Strategy s = best_response(lines);
+  // Choice 1 must never be played.
+  for (double u = -3.0; u <= 3.0; u += 0.05) {
+    EXPECT_NE(s.choice_for(u), 1u);
+  }
+}
+
+// Property: for random opponent strategies, the computed threshold strategy
+// must achieve the maximal line value at every true utility.
+class BestResponseSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(BestResponseSweep, AchievesMaxExpectedUtilityEverywhere) {
+  util::Rng rng(GetParam());
+  const UniformDistribution dist(-1.0, 1.0);
+  const ChoiceSet own = ChoiceSet::random(dist, 12, rng);
+  const ChoiceSet opp = ChoiceSet::random(dist, 12, rng);
+  // Random opponent strategy: the quantizer of its own choices.
+  const Strategy opp_strategy = Strategy::quantizer(opp);
+  const auto probs = claim_probabilities(opp_strategy, dist);
+  const auto lines = expected_utility_lines(own, opp, probs);
+  const Strategy response = best_response(lines);
+  for (double u = -1.0; u <= 1.0; u += 0.01) {
+    const std::size_t picked = response.choice_for(u);
+    const double picked_value = lines[picked].m * u + lines[picked].q;
+    double best = 0.0;  // cancel baseline
+    for (const auto& line : lines) {
+      best = std::max(best, line.m * u + line.q);
+    }
+    EXPECT_NEAR(picked_value, best, 1e-9) << "u = " << u;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BestResponseSweep,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8, 9, 10));
+
+// -------------------------------------------------------------- equilibria
+
+TEST(Equilibrium, ConvergesAndVerifies) {
+  const UniformDistribution dx(-1.0, 1.0);
+  const UniformDistribution dy(-1.0, 1.0);
+  util::Rng rng(11);
+  const ChoiceSet vx = ChoiceSet::random(dx, 20, rng);
+  const ChoiceSet vy = ChoiceSet::random(dy, 20, rng);
+  const EquilibriumResult eq = find_equilibrium(vx, vy, dx, dy);
+  ASSERT_TRUE(eq.converged);
+  EXPECT_TRUE(is_nash_equilibrium(vx, vy, eq.x, eq.y, dx, dy));
+}
+
+class EquilibriumSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(EquilibriumSweep, BestResponseDynamicsConverge) {
+  const UniformDistribution dx(-0.5, 1.0);
+  const UniformDistribution dy(-1.0, 1.0);
+  util::Rng rng(GetParam());
+  const ChoiceSet vx = ChoiceSet::random(dx, 15, rng);
+  const ChoiceSet vy = ChoiceSet::random(dy, 15, rng);
+  const EquilibriumResult eq = find_equilibrium(vx, vy, dx, dy);
+  EXPECT_TRUE(eq.converged) << "seed " << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EquilibriumSweep,
+                         ::testing::Values(21, 22, 23, 24, 25, 26, 27, 28, 29,
+                                           30, 31, 32));
+
+// ------------------------------------------------------------- efficiency
+
+TEST(Efficiency, TruthfulReferenceMatchesClosedFormU1) {
+  // U(1) = Unif[-1,1]^2: E[N | truthful] = 1/12.
+  const UniformDistribution d(-1.0, 1.0);
+  EXPECT_NEAR(expected_truthful_nash_product(d, d, 800), 1.0 / 12.0, 5e-4);
+}
+
+TEST(Efficiency, TruthfulReferenceMatchesClosedFormU2) {
+  // U(2) = Unif[-1/2,1]^2: E[N | truthful] = 0.1469907...
+  const UniformDistribution d(-0.5, 1.0);
+  EXPECT_NEAR(expected_truthful_nash_product(d, d, 800), 0.14699, 5e-4);
+}
+
+TEST(Efficiency, ExactIntegrationMatchesMonteCarlo) {
+  const UniformDistribution dx(-1.0, 1.0);
+  const UniformDistribution dy(-1.0, 1.0);
+  util::Rng rng(77);
+  const ChoiceSet vx = ChoiceSet::random(dx, 16, rng);
+  const ChoiceSet vy = ChoiceSet::random(dy, 16, rng);
+  const EquilibriumResult eq = find_equilibrium(vx, vy, dx, dy);
+  ASSERT_TRUE(eq.converged);
+  const double exact = expected_nash_product(vx, vy, eq.x, eq.y, dx, dy);
+
+  util::Rng mc(123);
+  double acc = 0.0;
+  const int n = 400000;
+  for (int i = 0; i < n; ++i) {
+    const double ux = dx.sample(mc);
+    const double uy = dy.sample(mc);
+    const double cx = vx.value(eq.x.choice_for(ux));
+    const double cy = vy.value(eq.y.choice_for(uy));
+    if (std::isinf(cx) || std::isinf(cy) || cx + cy < 0.0) {
+      continue;
+    }
+    const double pi = (cx - cy) / 2.0;
+    acc += (ux - pi) * (uy + pi);
+  }
+  EXPECT_NEAR(exact, acc / n, 5e-3);
+}
+
+TEST(Efficiency, PodRejectsZeroTruthful) {
+  EXPECT_THROW((void)price_of_dishonesty(0.1, 0.0), util::PreconditionError);
+}
+
+// ---------------------------------------------- BOSCO theorems (§V-D)
+
+class BoscoTheorems : public ::testing::TestWithParam<std::uint64_t> {
+ protected:
+  BoscoTheorems()
+      : service_(std::make_unique<UniformDistribution>(-1.0, 1.0),
+                 std::make_unique<UniformDistribution>(-1.0, 1.0),
+                 BoscoServiceOptions{.trials = 8,
+                                     .seed = GetParam(),
+                                     .equilibrium = {},
+                                     .truthful_grid = 200}) {}
+  BoscoService service_;
+};
+
+TEST_P(BoscoTheorems, StrongIndividualRationalityAndSoundness) {
+  const MechanismInfoSet info = service_.configure(15);
+  EXPECT_TRUE(info.converged);
+  util::Rng rng(GetParam() * 7 + 1);
+  for (int i = 0; i < 2000; ++i) {
+    const double ux = service_.dist_x().sample(rng);
+    const double uy = service_.dist_y().sample(rng);
+    const NegotiationOutcome out = BoscoService::execute(info, ux, uy);
+    if (out.concluded) {
+      // Theorem 1: strong individual rationality.
+      EXPECT_GE(out.u_x_after, -1e-9);
+      EXPECT_GE(out.u_y_after, -1e-9);
+      // Theorem 2: soundness - concluded agreements are viable.
+      EXPECT_GE(ux + uy, -1e-9);
+      // Budget balance: transfers cancel.
+      EXPECT_NEAR(out.u_x_after + out.u_y_after, ux + uy, 1e-9);
+    } else {
+      EXPECT_DOUBLE_EQ(out.u_x_after, 0.0);
+      EXPECT_DOUBLE_EQ(out.u_y_after, 0.0);
+    }
+  }
+}
+
+TEST_P(BoscoTheorems, PodLiesInUnitInterval) {
+  const auto stats = service_.trial_statistics(12);
+  EXPECT_GT(stats.converged_trials, 0u);
+  EXPECT_GE(stats.min_pod, -1e-9);   // Theorem 3
+  EXPECT_LE(stats.mean_pod, 1.0 + 1e-9);
+  EXPECT_LE(stats.min_pod, stats.mean_pod + 1e-12);
+}
+
+TEST_P(BoscoTheorems, PrivacyNoSingletonIntervals) {
+  // Theorem 4: every played interval has positive length, so exact utility
+  // reconstruction from a claim is impossible.
+  const MechanismInfoSet info = service_.configure(15);
+  for (const Strategy* s : {&info.strategy_x, &info.strategy_y}) {
+    const auto& starts = s->starts();
+    for (std::size_t i = 0; i + 1 < starts.size(); ++i) {
+      if (starts[i] < starts[i + 1]) {
+        EXPECT_GT(starts[i + 1] - starts[i], 0.0);
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BoscoTheorems, ::testing::Values(1, 2, 3, 4));
+
+TEST(Strategy, ShortestActiveIntervalExcludesUnboundedEnds) {
+  const double inf = std::numeric_limits<double>::infinity();
+  // Intervals: (-inf, 0.1), [0.1, 0.4), [0.4, 0.45), [0.45, inf).
+  const Strategy s({kNegInf, 0.1, 0.4, 0.45, inf});
+  EXPECT_NEAR(s.shortest_active_interval(), 0.05, 1e-12);
+  // Only unbounded intervals: +infinity.
+  const Strategy open({kNegInf, 0.0, inf});
+  EXPECT_TRUE(std::isinf(open.shortest_active_interval()));
+}
+
+TEST(BoscoService, PrivacyConstraintFiltersConfigurations) {
+  // §V-D: the service can require a minimum claim-interval length. The
+  // returned configuration must satisfy it, at a (weakly) higher PoD than
+  // the unconstrained pick.
+  const auto make_service = [](double min_privacy) {
+    return BoscoService(std::make_unique<UniformDistribution>(-1.0, 1.0),
+                        std::make_unique<UniformDistribution>(-1.0, 1.0),
+                        BoscoServiceOptions{.trials = 40,
+                                            .seed = 5,
+                                            .equilibrium = {},
+                                            .truthful_grid = 200,
+                                            .min_privacy_interval = min_privacy});
+  };
+  const auto unconstrained = make_service(0.0).configure(20);
+  EXPECT_GT(unconstrained.privacy, 0.0);
+  const auto constrained = make_service(0.3).configure(20);
+  EXPECT_GE(constrained.privacy, 0.3);
+  EXPECT_GE(constrained.pod, unconstrained.pod - 1e-12);
+}
+
+TEST(BoscoService, ExtremePrivacyRequirementIsHonoredOrRefused) {
+  // A huge threshold is only satisfiable by equilibria whose active
+  // intervals are all unbounded (claims then reveal one-sided bounds only,
+  // i.e. privacy is infinite). configure() must either return such a
+  // configuration or refuse.
+  BoscoService service(std::make_unique<UniformDistribution>(-1.0, 1.0),
+                       std::make_unique<UniformDistribution>(-1.0, 1.0),
+                       BoscoServiceOptions{.trials = 5,
+                                           .seed = 6,
+                                           .equilibrium = {},
+                                           .truthful_grid = 200,
+                                           .min_privacy_interval = 1e6});
+  try {
+    const auto info = service.configure(20);
+    EXPECT_GE(info.privacy, 1e6);
+  } catch (const util::PreconditionError&) {
+    SUCCEED();  // no qualifying equilibrium among the trials
+  }
+}
+
+TEST(BoscoService, MoreChoicesReduceMeanPod) {
+  // The Fig. 2 trend: PoD at W=40 is clearly below PoD at W=6.
+  BoscoService service(std::make_unique<UniformDistribution>(-1.0, 1.0),
+                       std::make_unique<UniformDistribution>(-1.0, 1.0),
+                       BoscoServiceOptions{.trials = 24,
+                                           .seed = 9,
+                                           .equilibrium = {},
+                                           .truthful_grid = 200});
+  const auto coarse = service.trial_statistics(6);
+  const auto fine = service.trial_statistics(40);
+  ASSERT_GT(coarse.converged_trials, 0u);
+  ASSERT_GT(fine.converged_trials, 0u);
+  EXPECT_LT(fine.mean_pod, coarse.mean_pod);
+  EXPECT_LT(fine.min_pod, coarse.min_pod + 1e-12);
+}
+
+TEST(BoscoService, ExecuteAdjudicatesByClaims) {
+  const double inf = std::numeric_limits<double>::infinity();
+  MechanismInfoSet info{
+      ChoiceSet({-0.4, 0.3}), ChoiceSet({-0.2, 0.5}),
+      Strategy({kNegInf, -0.4, 0.3, inf}), Strategy({kNegInf, -0.2, 0.5, inf}),
+      0.0, 1.0, 0.0, true};
+  // ux = 0.35 -> claim 0.3; uy = 0.1 -> claim -0.2; surplus 0.1 >= 0.
+  const NegotiationOutcome out = BoscoService::execute(info, 0.35, 0.1);
+  EXPECT_TRUE(out.concluded);
+  EXPECT_DOUBLE_EQ(out.claim_x, 0.3);
+  EXPECT_DOUBLE_EQ(out.claim_y, -0.2);
+  EXPECT_DOUBLE_EQ(out.transfer_x_to_y, 0.25);
+  EXPECT_NEAR(out.u_x_after, 0.1, 1e-12);
+  EXPECT_NEAR(out.u_y_after, 0.35, 1e-12);
+  // Cancellation when one party claims -inf.
+  const NegotiationOutcome cancelled = BoscoService::execute(info, -2.0, 0.1);
+  EXPECT_FALSE(cancelled.concluded);
+}
+
+}  // namespace
+}  // namespace panagree::bosco

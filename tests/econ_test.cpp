@@ -1,0 +1,261 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "panagree/econ/business.hpp"
+#include "panagree/econ/cost.hpp"
+#include "panagree/econ/pricing.hpp"
+#include "panagree/topology/examples.hpp"
+
+namespace panagree::econ {
+namespace {
+
+using topology::make_diamond;
+using topology::make_fig1;
+
+// ---------------------------------------------------------------- pricing
+
+TEST(Pricing, FlatRateIsVolumeIndependent) {
+  const auto p = PricingFunction::flat(100.0);
+  EXPECT_DOUBLE_EQ(p(0.0), 100.0);
+  EXPECT_DOUBLE_EQ(p(42.0), 100.0);
+  EXPECT_DOUBLE_EQ(p.marginal(10.0), 0.0);
+}
+
+TEST(Pricing, PerUnitIsLinear) {
+  const auto p = PricingFunction::per_unit(2.5);
+  EXPECT_DOUBLE_EQ(p(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(p(4.0), 10.0);
+  EXPECT_DOUBLE_EQ(p.marginal(4.0), 2.5);
+}
+
+TEST(Pricing, SuperlinearGrowsFasterThanLinear) {
+  const auto p = PricingFunction::superlinear(1.0, 2.0);
+  EXPECT_DOUBLE_EQ(p(3.0), 9.0);
+  EXPECT_GT(p(10.0) / p(5.0), 2.0);
+  EXPECT_DOUBLE_EQ(p.marginal(3.0), 6.0);
+}
+
+TEST(Pricing, SuperlinearRequiresBetaAboveOne) {
+  EXPECT_THROW((void)PricingFunction::superlinear(1.0, 1.0),
+               util::PreconditionError);
+}
+
+TEST(Pricing, RejectsNegativeParameters) {
+  EXPECT_THROW(PricingFunction(-1.0, 1.0), util::PreconditionError);
+  EXPECT_THROW(PricingFunction(1.0, -0.1), util::PreconditionError);
+}
+
+TEST(Pricing, RejectsNegativeVolume) {
+  const PricingFunction p(1.0, 1.0);
+  EXPECT_THROW((void)p(-1.0), util::PreconditionError);
+}
+
+TEST(Pricing, DefaultChargesNothing) {
+  const PricingFunction p;
+  EXPECT_DOUBLE_EQ(p(123.0), 0.0);
+}
+
+// Parameterized: p(f) = alpha f^beta must be monotone in f for all betas.
+class PricingMonotone : public ::testing::TestWithParam<double> {};
+
+TEST_P(PricingMonotone, MonotoneInVolume) {
+  const PricingFunction p(2.0, GetParam());
+  double prev = p(0.0);
+  for (double f = 0.5; f < 20.0; f += 0.5) {
+    const double cur = p(f);
+    EXPECT_GE(cur, prev - 1e-12);
+    prev = cur;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Betas, PricingMonotone,
+                         ::testing::Values(0.0, 0.5, 1.0, 1.5, 2.0, 3.0));
+
+// ------------------------------------------------------------------- cost
+
+TEST(Cost, LinearInternalCost) {
+  const auto c = InternalCostFunction::linear(0.5);
+  EXPECT_DOUBLE_EQ(c(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(c(10.0), 5.0);
+}
+
+TEST(Cost, BaseAndGamma) {
+  const InternalCostFunction c(3.0, 1.0, 2.0);
+  EXPECT_DOUBLE_EQ(c(0.0), 3.0);
+  EXPECT_DOUBLE_EQ(c(2.0), 7.0);
+}
+
+TEST(Cost, RejectsGammaBelowOne) {
+  EXPECT_THROW(InternalCostFunction(0.0, 1.0, 0.5), util::PreconditionError);
+}
+
+TEST(Cost, MonotoneNonNegative) {
+  const InternalCostFunction c(1.0, 2.0, 1.5);
+  double prev = 0.0;
+  for (double f = 0.0; f < 10.0; f += 0.25) {
+    const double cur = c(f);
+    EXPECT_GE(cur, 0.0);
+    EXPECT_GE(cur, prev - 1e-12);
+    prev = cur;
+  }
+}
+
+// ------------------------------------------------------ traffic allocation
+
+TEST(TrafficAllocation, PathFlowUpdatesAllAggregates) {
+  TrafficAllocation alloc;
+  alloc.add_path_flow(std::vector<topology::AsId>{0, 1, 2, 3}, 10.0);
+  EXPECT_DOUBLE_EQ(alloc.link_flow(0, 1), 10.0);
+  EXPECT_DOUBLE_EQ(alloc.link_flow(1, 2), 10.0);
+  EXPECT_DOUBLE_EQ(alloc.link_flow(2, 3), 10.0);
+  EXPECT_DOUBLE_EQ(alloc.link_flow(0, 2), 0.0);
+  EXPECT_DOUBLE_EQ(alloc.segment_flow(0, 1, 2), 10.0);
+  EXPECT_DOUBLE_EQ(alloc.segment_flow(1, 2, 3), 10.0);
+  for (topology::AsId as = 0; as < 4; ++as) {
+    EXPECT_DOUBLE_EQ(alloc.through_flow(as), 10.0);
+  }
+  EXPECT_DOUBLE_EQ(alloc.stub_flow(0), 10.0);
+  EXPECT_DOUBLE_EQ(alloc.stub_flow(3), 10.0);
+  EXPECT_DOUBLE_EQ(alloc.stub_flow(1), 0.0);
+}
+
+TEST(TrafficAllocation, SegmentFlowIsDirectionIndependent) {
+  TrafficAllocation alloc;
+  alloc.add_path_flow(std::vector<topology::AsId>{0, 1, 2}, 4.0);
+  alloc.add_path_flow(std::vector<topology::AsId>{2, 1, 0}, 6.0);
+  EXPECT_DOUBLE_EQ(alloc.segment_flow(0, 1, 2), 10.0);
+  EXPECT_DOUBLE_EQ(alloc.segment_flow(2, 1, 0), 10.0);
+}
+
+TEST(TrafficAllocation, LinkFlowIsSymmetric) {
+  TrafficAllocation alloc;
+  alloc.add_path_flow(std::vector<topology::AsId>{5, 9}, 3.0);
+  EXPECT_DOUBLE_EQ(alloc.link_flow(5, 9), 3.0);
+  EXPECT_DOUBLE_EQ(alloc.link_flow(9, 5), 3.0);
+}
+
+TEST(TrafficAllocation, NegativeDeltasExpressReroutes) {
+  TrafficAllocation alloc;
+  alloc.add_path_flow(std::vector<topology::AsId>{0, 1, 2}, 10.0);
+  alloc.add_path_flow(std::vector<topology::AsId>{0, 1, 2}, -4.0);
+  EXPECT_DOUBLE_EQ(alloc.link_flow(0, 1), 6.0);
+  EXPECT_TRUE(alloc.is_non_negative());
+  alloc.add_path_flow(std::vector<topology::AsId>{0, 1, 2}, -7.0);
+  EXPECT_FALSE(alloc.is_non_negative());
+}
+
+TEST(TrafficAllocation, RejectsRepeatedAses) {
+  TrafficAllocation alloc;
+  EXPECT_THROW(alloc.add_path_flow(std::vector<topology::AsId>{0, 1, 0}, 1.0),
+               util::PreconditionError);
+}
+
+TEST(TrafficAllocation, MergeAddsEverything) {
+  TrafficAllocation a;
+  a.add_path_flow(std::vector<topology::AsId>{0, 1}, 2.0);
+  TrafficAllocation b;
+  b.add_path_flow(std::vector<topology::AsId>{0, 1}, 3.0);
+  b.add_path_flow(std::vector<topology::AsId>{1, 2}, 5.0);
+  a.merge(b);
+  EXPECT_DOUBLE_EQ(a.link_flow(0, 1), 5.0);
+  EXPECT_DOUBLE_EQ(a.link_flow(1, 2), 5.0);
+  EXPECT_DOUBLE_EQ(a.through_flow(1), 10.0);
+}
+
+TEST(TrafficAllocation, LocalFlowOnlyTouchesOneAs) {
+  TrafficAllocation alloc;
+  alloc.add_local_flow(3, 7.0);
+  EXPECT_DOUBLE_EQ(alloc.through_flow(3), 7.0);
+  EXPECT_DOUBLE_EQ(alloc.stub_flow(3), 7.0);
+  EXPECT_DOUBLE_EQ(alloc.link_flow(3, 4), 0.0);
+}
+
+// ---------------------------------------------------------------- economy
+
+TEST(Economy, RevenueAndCostFollowEq1) {
+  // Diamond: P provider of X and Y; X-Y peers; CX customer of X.
+  const auto t = make_diamond();
+  Economy economy(t.graph);
+  economy.set_link_pricing(t.P, t.X, PricingFunction::per_unit(2.0));
+  economy.set_link_pricing(t.X, t.CX, PricingFunction::per_unit(3.0));
+  economy.set_internal_cost(t.X, InternalCostFunction::linear(0.1));
+
+  TrafficAllocation flows;
+  // CX <-> P traffic through X: 10 units.
+  flows.add_path_flow(std::vector<topology::AsId>{t.CX, t.X, t.P}, 10.0);
+
+  // Eq. 1a: revenue of X = p_{X,CX}(10) = 30.
+  EXPECT_DOUBLE_EQ(economy.revenue(t.X, flows), 30.0);
+  // Eq. 1b: cost of X = i_X(10) + p_{P,X}(10) = 1 + 20.
+  EXPECT_DOUBLE_EQ(economy.cost(t.X, flows), 21.0);
+  EXPECT_DOUBLE_EQ(economy.utility(t.X, flows), 9.0);
+}
+
+TEST(Economy, StubRevenueCountsEndHostTraffic) {
+  const auto t = make_diamond();
+  Economy economy(t.graph);
+  economy.set_stub_pricing(t.X, PricingFunction::per_unit(1.5));
+  TrafficAllocation flows;
+  flows.add_path_flow(std::vector<topology::AsId>{t.X, t.P}, 4.0);
+  // X is an endpoint, so its end-hosts exchange 4 units.
+  EXPECT_DOUBLE_EQ(economy.revenue(t.X, flows), 6.0);
+}
+
+TEST(Economy, PeeringLinksAreSettlementFree) {
+  const auto t = make_diamond();
+  Economy economy(t.graph);
+  economy.set_link_pricing(t.P, t.X, PricingFunction::per_unit(2.0));
+  TrafficAllocation flows;
+  // Traffic between X and Y over the peering link only.
+  flows.add_path_flow(std::vector<topology::AsId>{t.X, t.Y}, 8.0);
+  EXPECT_DOUBLE_EQ(economy.cost(t.X, flows), 0.0);
+  EXPECT_DOUBLE_EQ(economy.cost(t.Y, flows), 0.0);
+}
+
+TEST(Economy, SetLinkPricingRejectsNonProviderLinks) {
+  const auto t = make_diamond();
+  Economy economy(t.graph);
+  EXPECT_THROW(
+      economy.set_link_pricing(t.X, t.Y, PricingFunction::per_unit(1.0)),
+      util::PreconditionError);
+  EXPECT_THROW(
+      economy.set_link_pricing(t.X, t.P, PricingFunction::per_unit(1.0)),
+      util::PreconditionError);
+}
+
+TEST(Economy, TransitProfitRequiresCustomerRevenueAboveProviderCharges) {
+  // The paper's §III-A example: for D (A->D->H chain) to profit, revenue
+  // from H must exceed charges from A plus internal cost.
+  const auto t = make_fig1();
+  Economy economy(t.graph);
+  economy.set_link_pricing(t.A, t.D, PricingFunction::per_unit(1.0));
+  economy.set_link_pricing(t.D, t.H, PricingFunction::per_unit(2.0));
+  economy.set_internal_cost(t.D, InternalCostFunction::linear(0.2));
+  TrafficAllocation flows;
+  flows.add_path_flow(std::vector<topology::AsId>{t.H, t.D, t.A}, 5.0);
+  // r_D = 10, c_D = 5 + 1 -> profitable.
+  EXPECT_GT(economy.utility(t.D, flows), 0.0);
+
+  // Raise A's price so the same traffic is loss-making.
+  economy.set_link_pricing(t.A, t.D, PricingFunction::per_unit(3.0));
+  EXPECT_LT(economy.utility(t.D, flows), 0.0);
+}
+
+TEST(DefaultEconomy, PricesEveryProviderLinkAndAs) {
+  const auto t = make_fig1();
+  const Economy economy = make_default_economy(t.graph);
+  // Every provider->customer link must have a positive unit price.
+  for (const topology::Link& link : t.graph.links()) {
+    if (link.type == topology::LinkType::kProviderCustomer) {
+      EXPECT_GT(economy.link_pricing(link.a, link.b)(1.0), 0.0);
+    }
+  }
+  for (topology::AsId as = 0; as < t.graph.num_ases(); ++as) {
+    EXPECT_GT(economy.stub_pricing(as)(1.0), 0.0);
+    EXPECT_GT(economy.internal_cost(as)(1.0), 0.0);
+  }
+}
+
+}  // namespace
+}  // namespace panagree::econ

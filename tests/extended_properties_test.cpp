@@ -1,0 +1,272 @@
+// Extended property and failure-injection tests across module boundaries:
+// things a downstream user would hit that the per-module suites don't
+// exercise - broken links in the data plane, mixed utility-distribution
+// negotiations, CAIDA round-trips of generated topologies, and end-to-end
+// economic consistency of the fluid simulator.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+#include <sstream>
+
+#include "panagree/bgp/gadgets.hpp"
+#include "panagree/bgp/simulator.hpp"
+#include "panagree/core/bosco/service.hpp"
+#include "panagree/diversity/report.hpp"
+#include "panagree/econ/business.hpp"
+#include "panagree/pan/beaconing.hpp"
+#include "panagree/pan/forwarding.hpp"
+#include "panagree/pan/path_construction.hpp"
+#include "panagree/sim/flow_assignment.hpp"
+#include "panagree/sim/network.hpp"
+#include "panagree/topology/caida.hpp"
+#include "panagree/topology/capacity.hpp"
+#include "panagree/topology/examples.hpp"
+#include "panagree/topology/generator.hpp"
+
+namespace panagree {
+namespace {
+
+// ------------------------------------------------- data-plane failure paths
+
+TEST(FailureInjection, ForwardingAcrossNonLinkIsBrokenLink) {
+  const auto t = topology::make_fig1();
+  const pan::KeyStore keys(1, t.graph.num_ases());
+  const pan::ForwardingEngine engine(t.graph, keys);
+  // H and I are not adjacent; the header is correctly MACed but the
+  // topology cannot carry it.
+  const auto fp = pan::issue_path(keys, {t.H, t.I});
+  const auto result = engine.forward(fp);
+  EXPECT_FALSE(result.delivered);
+  EXPECT_EQ(result.reason, pan::DropReason::kBrokenLink);
+  EXPECT_EQ(result.trace, (std::vector<topology::AsId>{t.H}));
+}
+
+TEST(FailureInjection, NetworkDropsBrokenLinkPackets) {
+  auto t = topology::make_fig1();
+  const pan::KeyStore keys(2, t.graph.num_ases());
+  sim::Network net(t.graph, keys);
+  const auto id = net.send_packet(pan::issue_path(keys, {t.C, t.G}), 100.0);
+  net.engine().run();
+  EXPECT_FALSE(net.deliveries().at(id).delivered);
+  EXPECT_EQ(net.deliveries().at(id).drop_reason,
+            pan::DropReason::kBrokenLink);
+}
+
+TEST(FailureInjection, WrongKeyStoreRejectsForeignPaths) {
+  const auto t = topology::make_fig1();
+  const pan::KeyStore issuer(3, t.graph.num_ases());
+  const pan::KeyStore verifier(4, t.graph.num_ases());
+  const pan::ForwardingEngine engine(t.graph, verifier);
+  const auto result = engine.forward(pan::issue_path(issuer, {t.H, t.D, t.A}));
+  EXPECT_FALSE(result.delivered);
+  EXPECT_EQ(result.reason, pan::DropReason::kInvalidMac);
+}
+
+// ----------------------------------------- CAIDA round trip of a generated
+// topology: the exporter/parser must preserve the full relationship graph.
+
+TEST(CaidaRoundTrip, GeneratedTopologySurvives) {
+  topology::GeneratorParams params;
+  params.num_ases = 400;
+  params.tier1_count = 4;
+  params.seed = 77;
+  const auto topo = topology::generate_internet(params);
+
+  std::ostringstream out;
+  topology::caida::write(topo.graph, out);
+  std::istringstream in(out.str());
+  const auto parsed = topology::caida::parse(in);
+
+  EXPECT_EQ(parsed.graph.num_ases(), topo.graph.num_ases());
+  EXPECT_EQ(parsed.graph.num_links(), topo.graph.num_links());
+  // Every original relationship must exist with the same orientation.
+  for (const topology::Link& link : topo.graph.links()) {
+    const topology::AsId a = parsed.asn_to_id.at(link.a);
+    const topology::AsId b = parsed.asn_to_id.at(link.b);
+    if (link.type == topology::LinkType::kProviderCustomer) {
+      EXPECT_TRUE(parsed.graph.is_provider_of(a, b));
+    } else {
+      EXPECT_TRUE(parsed.graph.are_peers(a, b));
+    }
+  }
+}
+
+// -------------------------------------------------- fluid-sim consistency
+
+TEST(EndToEnd, FlowAssignmentMatchesHandComputedEconomy) {
+  const auto t = topology::make_diamond();
+  econ::Economy economy(t.graph);
+  economy.set_link_pricing(t.P, t.X, econ::PricingFunction::per_unit(1.0));
+  economy.set_link_pricing(t.P, t.Y, econ::PricingFunction::per_unit(1.0));
+  economy.set_link_pricing(t.X, t.CX, econ::PricingFunction::per_unit(2.0));
+  economy.set_link_pricing(t.Y, t.CY, econ::PricingFunction::per_unit(2.0));
+  economy.set_internal_cost(t.X, econ::InternalCostFunction::linear(0.1));
+
+  // CX <-> CY traffic: 6 units via the peering link, 4 via the provider.
+  const sim::FlowAssignmentResult flows = sim::assign_flows(
+      t.graph, {{{t.CX, t.X, t.Y, t.CY}, 6.0},
+                {{t.CX, t.X, t.P, t.Y, t.CY}, 4.0}});
+  // X: revenue 2 * 10 from CX; cost = internal 0.1 * 10 + provider 1 * 4.
+  EXPECT_DOUBLE_EQ(economy.revenue(t.X, flows.allocation), 20.0);
+  EXPECT_DOUBLE_EQ(economy.cost(t.X, flows.allocation), 5.0);
+  EXPECT_DOUBLE_EQ(economy.utility(t.X, flows.allocation), 15.0);
+  // The peering link carries 6, the X-P link 4.
+  EXPECT_DOUBLE_EQ(flows.allocation.link_flow(t.X, t.Y), 6.0);
+  EXPECT_DOUBLE_EQ(flows.allocation.link_flow(t.X, t.P), 4.0);
+}
+
+TEST(EndToEnd, GeoLatencyReflectsDistance) {
+  // Two packets over links with very different geodesic lengths.
+  topology::GeneratorParams params;
+  params.num_ases = 300;
+  params.tier1_count = 4;
+  params.seed = 31;
+  auto topo = topology::generate_internet(params);
+  topology::assign_degree_gravity_capacities(topo.graph);
+  const pan::KeyStore keys(5, topo.graph.num_ases());
+  sim::Network net(topo.graph, keys, &topo.world);
+  pan::BeaconService beacons(topo.graph);
+  beacons.run();
+  const pan::PathConstructor constructor(topo.graph, beacons);
+  // Find any constructible path and check simulated latency exceeds the
+  // lightspeed bound for its geodesic length.
+  for (topology::AsId src = 0; src < topo.graph.num_ases(); ++src) {
+    const auto paths =
+        constructor.construct(src, topo.tier3.back() == src
+                                       ? topo.tier3.front()
+                                       : topo.tier3.back());
+    if (paths.empty()) {
+      continue;
+    }
+    const auto id = net.send_packet(pan::issue_path(keys, paths.front()), 1e4);
+    net.engine().run();
+    const auto& rec = net.deliveries().at(id);
+    ASSERT_TRUE(rec.delivered);
+    EXPECT_GT(rec.latency(), 0.0);
+    EXPECT_LT(rec.latency(), 2.0);  // sanity: below 2 seconds
+    return;
+  }
+  FAIL() << "no constructible path found";
+}
+
+// ---------------------------------------- BOSCO with mixed distributions
+
+struct MixedCase {
+  int kind_x;
+  int kind_y;
+  std::uint64_t seed;
+};
+
+std::unique_ptr<bosco::UtilityDistribution> make_mixed(int kind) {
+  switch (kind) {
+    case 0:
+      return std::make_unique<bosco::UniformDistribution>(-1.0, 1.0);
+    case 1:
+      return std::make_unique<bosco::TriangularDistribution>(-0.8, 0.1, 1.2);
+    default:
+      return std::make_unique<bosco::TruncatedNormalDistribution>(0.3, 0.6,
+                                                                  -1.0, 1.5);
+  }
+}
+
+class MixedDistributionBosco : public ::testing::TestWithParam<MixedCase> {};
+
+TEST_P(MixedDistributionBosco, TheoremsHoldAcrossDistributionFamilies) {
+  const auto& param = GetParam();
+  bosco::BoscoService service(
+      make_mixed(param.kind_x), make_mixed(param.kind_y),
+      bosco::BoscoServiceOptions{.trials = 6,
+                                 .seed = param.seed,
+                                 .equilibrium = {},
+                                 .truthful_grid = 200});
+  const auto info = service.configure(14);
+  EXPECT_TRUE(info.converged);
+  EXPECT_GE(info.pod, -1e-9);
+  EXPECT_LE(info.pod, 1.0 + 1e-9);
+  util::Rng rng(param.seed * 13 + 1);
+  for (int i = 0; i < 500; ++i) {
+    const double ux = service.dist_x().sample(rng);
+    const double uy = service.dist_y().sample(rng);
+    const auto out = bosco::BoscoService::execute(info, ux, uy);
+    if (out.concluded) {
+      EXPECT_GE(out.u_x_after, -1e-9);  // Theorem 1
+      EXPECT_GE(out.u_y_after, -1e-9);
+      EXPECT_GE(ux + uy, -1e-9);  // Theorem 2
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Families, MixedDistributionBosco,
+    ::testing::Values(MixedCase{0, 1, 1}, MixedCase{1, 0, 2},
+                      MixedCase{0, 2, 3}, MixedCase{2, 0, 4},
+                      MixedCase{1, 2, 5}, MixedCase{2, 2, 6}));
+
+// ------------------------------------ path construction candidate budgets
+
+TEST(PathConstruction, MaxPathsBudgetIsRespected) {
+  topology::GeneratorParams params;
+  params.num_ases = 400;
+  params.tier1_count = 4;
+  params.seed = 41;
+  const auto topo = topology::generate_internet(params);
+  pan::BeaconService beacons(topo.graph);
+  beacons.run();
+  const pan::PathConstructor constructor(topo.graph, beacons,
+                                         {.max_paths = 3,
+                                          .max_path_length = 8});
+  std::size_t checked = 0;
+  for (topology::AsId src = 0; src < 30 && checked < 10; ++src) {
+    for (topology::AsId dst = 30; dst < 60 && checked < 10; ++dst) {
+      const auto paths = constructor.construct(src, dst);
+      EXPECT_LE(paths.size(), 3u);
+      for (const auto& p : paths) {
+        EXPECT_LE(p.size(), 8u);
+      }
+      if (!paths.empty()) {
+        ++checked;
+      }
+    }
+  }
+  EXPECT_GT(checked, 0u);
+}
+
+// --------------------------------- diversity pipeline on the Fig. 1 graph
+
+TEST(DiversityPipeline, Fig1HandCheckedRows) {
+  const auto t = topology::make_fig1();
+  diversity::DiversityParams params;
+  params.sample_sources = 100;  // > 9, so every AS is analyzed
+  params.top_ns = {1};
+  const auto report = diversity::analyze_path_diversity(t.graph, params);
+  ASSERT_EQ(report.path_rows.size(), 9u);
+  for (const auto& row : report.path_rows) {
+    if (row.as == t.D) {
+      EXPECT_DOUBLE_EQ(row.grc, 3.0);     // D-A-B, D-A-C, D-E-I
+      EXPECT_DOUBLE_EQ(row.ma_star, 6.0); // + D-C-A, D-E-B, D-E-F
+    }
+    if (row.as == t.H) {
+      EXPECT_DOUBLE_EQ(row.grc, 3.0);   // H-D-{A,C,E}
+      EXPECT_DOUBLE_EQ(row.ma_all, 3.0);  // no peers/customers: no MA paths
+    }
+  }
+}
+
+// ------------------------------------------------ wedgie link-failure story
+
+TEST(Wedgie, RecoveringFromFailureCanLandInTheOtherState) {
+  // The §II worry: "seemingly benign topologies ... may easily reduce to
+  // the BAD GADGET in case one network link fails". The wedgie's two stable
+  // states mean that after failure + recovery, the system may settle in a
+  // different state than before - we exhibit both reachable states.
+  const auto instance = bgp::make_wedgie();
+  const auto solutions = bgp::find_stable_solutions(instance);
+  ASSERT_EQ(solutions.size(), 2u);
+  const auto report = bgp::check_safety(instance, 80, 5);
+  EXPECT_TRUE(report.always_converged);
+  EXPECT_EQ(report.distinct_outcomes, 2u);  // both states actually reached
+}
+
+}  // namespace
+}  // namespace panagree

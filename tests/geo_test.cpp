@@ -1,0 +1,141 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "panagree/geo/coordinates.hpp"
+#include "panagree/geo/region.hpp"
+
+namespace panagree::geo {
+namespace {
+
+TEST(GreatCircle, ZeroForIdenticalPoints) {
+  const LatLng p{47.37, 8.54};
+  EXPECT_DOUBLE_EQ(great_circle_km(p, p), 0.0);
+}
+
+TEST(GreatCircle, IsSymmetric) {
+  const LatLng a{47.37, 8.54};   // Zurich
+  const LatLng b{40.71, -74.0};  // New York
+  EXPECT_DOUBLE_EQ(great_circle_km(a, b), great_circle_km(b, a));
+}
+
+TEST(GreatCircle, KnownDistanceZurichNewYork) {
+  const LatLng zurich{47.3769, 8.5417};
+  const LatLng new_york{40.7128, -74.0060};
+  const double d = great_circle_km(zurich, new_york);
+  EXPECT_NEAR(d, 6330.0, 60.0);  // ~6.3 Mm
+}
+
+TEST(GreatCircle, QuarterMeridian) {
+  const LatLng equator{0.0, 0.0};
+  const LatLng pole{90.0, 0.0};
+  EXPECT_NEAR(great_circle_km(equator, pole),
+              kEarthRadiusKm * std::numbers::pi / 2.0, 1.0);
+}
+
+TEST(GreatCircle, AntipodalIsHalfCircumference) {
+  const LatLng a{0.0, 0.0};
+  const LatLng b{0.0, 180.0};
+  EXPECT_NEAR(great_circle_km(a, b), kEarthRadiusKm * std::numbers::pi, 1.0);
+}
+
+TEST(GreatCircle, TriangleInequalityHolds) {
+  const LatLng a{10.0, 20.0};
+  const LatLng b{-30.0, 60.0};
+  const LatLng c{50.0, -120.0};
+  EXPECT_LE(great_circle_km(a, c),
+            great_circle_km(a, b) + great_circle_km(b, c) + 1e-9);
+}
+
+TEST(Centroid, SinglePointIsItself) {
+  const LatLng p{12.0, 34.0};
+  const std::vector<LatLng> points{p};
+  const LatLng c = spherical_centroid(points);
+  EXPECT_NEAR(c.lat_deg, 12.0, 1e-9);
+  EXPECT_NEAR(c.lng_deg, 34.0, 1e-9);
+}
+
+TEST(Centroid, MidpointOnEquator) {
+  const std::vector<LatLng> points{{0.0, 10.0}, {0.0, 20.0}};
+  const LatLng c = spherical_centroid(points);
+  EXPECT_NEAR(c.lat_deg, 0.0, 1e-9);
+  EXPECT_NEAR(c.lng_deg, 15.0, 1e-9);
+}
+
+TEST(Centroid, HandlesDatelineCorrectly) {
+  // Averaging +179 and -179 longitude must land near the dateline, not 0.
+  const std::vector<LatLng> points{{0.0, 179.0}, {0.0, -179.0}};
+  const LatLng c = spherical_centroid(points);
+  EXPECT_NEAR(std::abs(c.lng_deg), 180.0, 0.5);
+}
+
+TEST(Centroid, EmptyReturnsOrigin) {
+  const LatLng c = spherical_centroid({});
+  EXPECT_DOUBLE_EQ(c.lat_deg, 0.0);
+  EXPECT_DOUBLE_EQ(c.lng_deg, 0.0);
+}
+
+TEST(Validity, AcceptsPhysicalCoordinates) {
+  EXPECT_TRUE(is_valid({0.0, 0.0}));
+  EXPECT_TRUE(is_valid({-90.0, 180.0}));
+  EXPECT_FALSE(is_valid({91.0, 0.0}));
+  EXPECT_FALSE(is_valid({0.0, -181.0}));
+  EXPECT_FALSE(is_valid({std::nan(""), 0.0}));
+}
+
+TEST(World, DefaultHasFiveRegionsWithCities) {
+  util::Rng rng(1);
+  const World world = World::make_default(rng, 10);
+  EXPECT_EQ(world.regions().size(), 5u);
+  EXPECT_EQ(world.cities().size(), 50u);
+  for (const Region& region : world.regions()) {
+    EXPECT_EQ(region.city_ids.size(), 10u);
+  }
+}
+
+TEST(World, CitiesHaveValidCoordinatesNearTheirRegion) {
+  util::Rng rng(2);
+  const World world = World::make_default(rng, 20);
+  for (const City& city : world.cities()) {
+    EXPECT_TRUE(is_valid(city.location)) << city.name;
+    const Region& region = world.regions()[city.region];
+    // Cities scatter around the center; allow a generous radius.
+    EXPECT_LT(great_circle_km(city.location, region.center),
+              region.radius_km * 4.0)
+        << city.name;
+  }
+}
+
+TEST(World, SampleCityStaysInRegion) {
+  util::Rng rng(3);
+  const World world = World::make_default(rng, 10);
+  for (std::size_t r = 0; r < world.regions().size(); ++r) {
+    for (int i = 0; i < 20; ++i) {
+      const std::size_t city = world.sample_city(r, rng);
+      EXPECT_EQ(world.city(city).region, r);
+    }
+  }
+}
+
+TEST(World, SampleRegionRespectsWeights) {
+  util::Rng rng(4);
+  const World world = World::make_default(rng, 5);
+  const std::vector<double> weights{1.0, 0.0, 0.0, 0.0, 0.0};
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_EQ(world.sample_region(rng, weights), 0u);
+  }
+}
+
+TEST(World, IsDeterministicForEqualSeeds) {
+  util::Rng a(9);
+  util::Rng b(9);
+  const World wa = World::make_default(a, 15);
+  const World wb = World::make_default(b, 15);
+  ASSERT_EQ(wa.cities().size(), wb.cities().size());
+  for (std::size_t i = 0; i < wa.cities().size(); ++i) {
+    EXPECT_EQ(wa.cities()[i].location, wb.cities()[i].location);
+  }
+}
+
+}  // namespace
+}  // namespace panagree::geo

@@ -1,0 +1,215 @@
+// End-to-end integration: the paper's full story on the Fig. 1 topology.
+//
+// 1. §II  - BGP needs the GRC (DISAGREE / BAD GADGET), the PAN does not
+//           (loop-free source-selected forwarding on GRC-violating paths).
+// 2. §III - the agreement a = [D(^{A}); E(^{B}, ->{F})] changes both
+//           parties' traffic and utility in the modelled economy.
+// 3. §IV  - flow-volume targets and cash compensation structure the
+//           agreement so that it is Pareto-optimal and fair.
+// 4. §V   - BOSCO negotiates the cash variant under private information.
+// 5. data plane: the negotiated paths are constructible from beacons plus
+//           agreement crossings, forward loop-free, and the realized flows
+//           reproduce the negotiated utility in simulation.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+
+#include "panagree/bgp/gadgets.hpp"
+#include "panagree/bgp/simulator.hpp"
+#include "panagree/core/agreements/agreement.hpp"
+#include "panagree/core/agreements/utility.hpp"
+#include "panagree/core/bargain/cash.hpp"
+#include "panagree/core/bargain/flow_volume.hpp"
+#include "panagree/core/bosco/service.hpp"
+#include "panagree/pan/beaconing.hpp"
+#include "panagree/pan/forwarding.hpp"
+#include "panagree/pan/path_construction.hpp"
+#include "panagree/sim/flow_assignment.hpp"
+#include "panagree/sim/network.hpp"
+#include "panagree/topology/capacity.hpp"
+#include "panagree/topology/examples.hpp"
+
+namespace panagree {
+namespace {
+
+using topology::AsId;
+using topology::make_fig1;
+
+class PaperStory : public ::testing::Test {
+ protected:
+  PaperStory() : t_(make_fig1()), economy_(t_.graph) {
+    topology::assign_degree_gravity_capacities(t_.graph);
+    economy_.set_link_pricing(t_.A, t_.D, econ::PricingFunction::per_unit(2.0));
+    economy_.set_link_pricing(t_.B, t_.E, econ::PricingFunction::per_unit(2.0));
+    economy_.set_link_pricing(t_.A, t_.C, econ::PricingFunction::per_unit(2.0));
+    economy_.set_link_pricing(t_.B, t_.G, econ::PricingFunction::per_unit(2.0));
+    economy_.set_link_pricing(t_.D, t_.H, econ::PricingFunction::per_unit(2.6));
+    economy_.set_link_pricing(t_.E, t_.I, econ::PricingFunction::per_unit(2.6));
+    for (AsId as = 0; as < t_.graph.num_ases(); ++as) {
+      economy_.set_internal_cost(as, econ::InternalCostFunction::linear(0.05));
+      economy_.set_stub_pricing(as, econ::PricingFunction::per_unit(1.0));
+    }
+    // Base traffic: the customers H and I reach the remote tier over their
+    // transit's provider (H -> B via A, I -> A via B), plus local flows.
+    base_.add_path_flow(std::vector<AsId>{t_.H, t_.D, t_.A, t_.B}, 4.0);
+    base_.add_path_flow(std::vector<AsId>{t_.I, t_.E, t_.B, t_.A}, 4.0);
+    base_.add_path_flow(std::vector<AsId>{t_.H, t_.D, t_.A}, 4.0);
+    base_.add_path_flow(std::vector<AsId>{t_.I, t_.E, t_.B}, 4.0);
+  }
+
+  agreements::Agreement paper_agreement() const {
+    agreements::Agreement a;
+    a.grant_x.grantor = t_.D;
+    a.grant_x.providers = {t_.A};
+    a.grant_y.grantor = t_.E;
+    a.grant_y.providers = {t_.B};
+    a.grant_y.peers = {t_.F};
+    return a;
+  }
+
+  topology::Fig1 t_;
+  econ::Economy economy_;
+  econ::TrafficAllocation base_;
+};
+
+TEST_F(PaperStory, Section2BgpNeedsGrcButPanDoesNot) {
+  // BGP side: the GRC-violating agreement creates a wedgie, and with a
+  // second agreement partner a persistent oscillation.
+  const auto disagree = bgp::make_fig1_disagree(t_);
+  const auto report = bgp::check_safety(disagree, 40, 4);
+  EXPECT_TRUE(report.always_converged);
+  EXPECT_EQ(report.distinct_outcomes, 2u);
+  const auto bad = bgp::make_fig1_bad_gadget(t_);
+  EXPECT_EQ(bgp::run_synchronous(bad).outcome, bgp::Outcome::kOscillated);
+
+  // PAN side: the very same GRC-violating path D-E-B-A is simply forwarded
+  // along its header, loop-free.
+  const pan::KeyStore keys(1, t_.graph.num_ases());
+  const pan::ForwardingEngine engine(t_.graph, keys);
+  const auto result =
+      engine.forward(pan::issue_path(keys, {t_.D, t_.E, t_.B, t_.A}));
+  EXPECT_TRUE(result.delivered);
+  EXPECT_EQ(result.trace, (std::vector<AsId>{t_.D, t_.E, t_.B, t_.A}));
+}
+
+TEST_F(PaperStory, Section3AgreementUtilityHasBothSigns) {
+  const agreements::AgreementEvaluator evaluator(economy_, base_);
+  // D reroutes its customer traffic for B over E (segment DEB): good for D
+  // (provider A avoided), costly for E (Eq. 7 mechanics).
+  agreements::TrafficShift shift;
+  shift.reroutes.push_back(agreements::Reroute{
+      {t_.H, t_.D, t_.A, t_.B}, {t_.H, t_.D, t_.E, t_.B}, 4.0});
+  EXPECT_GT(evaluator.utility_change(t_.D, shift), 0.0);
+  EXPECT_LT(evaluator.utility_change(t_.E, shift), 0.0);
+}
+
+TEST_F(PaperStory, Section4FlowVolumeAndCashBothConclude) {
+  bargain::FlowVolumeProblem problem;
+  problem.party_x = t_.D;
+  problem.party_y = t_.E;
+  problem.x_segments.push_back(bargain::SegmentOption{
+      {t_.H, t_.D, t_.E, t_.B}, {t_.H, t_.D, t_.A, t_.B}, 4.0, 6.0});
+  problem.y_segments.push_back(bargain::SegmentOption{
+      {t_.I, t_.E, t_.D, t_.A}, {t_.I, t_.E, t_.B, t_.A}, 4.0, 6.0});
+  const agreements::AgreementEvaluator evaluator(economy_, base_);
+  const auto volume = bargain::solve_flow_volume(problem, evaluator);
+  ASSERT_TRUE(volume.concluded);
+  EXPECT_GE(volume.u_x, 0.0);
+  EXPECT_GE(volume.u_y, 0.0);
+
+  const auto cash = bargain::negotiate_cash(volume.u_x, volume.u_y);
+  ASSERT_TRUE(cash.has_value());
+  EXPECT_NEAR(cash->u_x_after, cash->u_y_after, 1e-9);
+}
+
+TEST_F(PaperStory, Section5BoscoNegotiatesUnderPrivateInformation) {
+  bosco::BoscoService service(
+      std::make_unique<bosco::UniformDistribution>(-1.0, 4.0),
+      std::make_unique<bosco::UniformDistribution>(-1.0, 4.0),
+      bosco::BoscoServiceOptions{
+          .trials = 10, .seed = 3, .equilibrium = {}, .truthful_grid = 200});
+  const auto info = service.configure(20);
+  EXPECT_TRUE(info.converged);
+  EXPECT_LT(info.pod, 0.5);
+  // Execute with "true" utilities derived from the economic model.
+  const auto outcome = bosco::BoscoService::execute(info, 2.4, 1.1);
+  if (outcome.concluded) {
+    EXPECT_GE(outcome.u_x_after, 0.0);
+    EXPECT_GE(outcome.u_y_after, 0.0);
+    EXPECT_NEAR(outcome.u_x_after + outcome.u_y_after, 3.5, 1e-9);
+  }
+}
+
+TEST_F(PaperStory, DataPlaneRealizesTheAgreement) {
+  // Control plane: beacons + the agreement's crossings.
+  pan::BeaconService beacons(t_.graph);
+  beacons.run();
+  pan::CrossingRegistry crossings;
+  for (const auto& crossing :
+       agreements::to_crossings(paper_agreement(), t_.graph)) {
+    crossings.add(crossing);
+  }
+  const pan::PathConstructor constructor(t_.graph, beacons);
+
+  // H (customer of D) can now reach B via the agreement path H-D-E-B.
+  const auto paths = constructor.construct(t_.H, t_.B, &crossings);
+  const std::vector<AsId> hdeb{t_.H, t_.D, t_.E, t_.B};
+  ASSERT_NE(std::find(paths.begin(), paths.end(), hdeb), paths.end());
+
+  // Data plane: the path forwards and delivers in simulated time.
+  const pan::KeyStore keys(7, t_.graph.num_ases());
+  sim::Network net(t_.graph, keys);
+  const auto id = net.send_packet(pan::issue_path(keys, hdeb), 12000.0);
+  net.engine().run();
+  EXPECT_TRUE(net.deliveries().at(id).delivered);
+  EXPECT_EQ(net.deliveries().at(id).trace, hdeb);
+
+  // Fluid accounting: moving 5 units of H->B traffic onto the agreement
+  // path is visible in the allocation the economy consumes.
+  const sim::FlowAssignmentResult flows = sim::assign_flows(
+      t_.graph, {{hdeb, 5.0}, {{t_.I, t_.E, t_.D, t_.A}, 5.0}});
+  EXPECT_DOUBLE_EQ(flows.allocation.segment_flow(t_.D, t_.E, t_.B), 5.0);
+  EXPECT_DOUBLE_EQ(flows.allocation.segment_flow(t_.E, t_.D, t_.A), 5.0);
+  EXPECT_DOUBLE_EQ(flows.allocation.through_flow(t_.E), 10.0);
+}
+
+TEST_F(PaperStory, NegotiatedUtilitiesMatchRealizedFlows) {
+  // Solve the flow-volume program, then *realize* the targets as flows and
+  // re-measure the utility change from scratch: they must agree.
+  bargain::FlowVolumeProblem problem;
+  problem.party_x = t_.D;
+  problem.party_y = t_.E;
+  problem.x_segments.push_back(bargain::SegmentOption{
+      {t_.H, t_.D, t_.E, t_.B}, {t_.H, t_.D, t_.A, t_.B}, 4.0, 6.0});
+  problem.y_segments.push_back(bargain::SegmentOption{
+      {t_.I, t_.E, t_.D, t_.A}, {t_.I, t_.E, t_.B, t_.A}, 4.0, 6.0});
+  const agreements::AgreementEvaluator evaluator(economy_, base_);
+  const auto sol = bargain::solve_flow_volume(problem, evaluator);
+  ASSERT_TRUE(sol.concluded);
+
+  agreements::TrafficShift shift;
+  if (sol.x_targets[0].rerouted > 0.0) {
+    shift.reroutes.push_back(agreements::Reroute{{t_.H, t_.D, t_.A, t_.B},
+                                                 {t_.H, t_.D, t_.E, t_.B},
+                                                 sol.x_targets[0].rerouted});
+  }
+  if (sol.x_targets[0].new_demand > 0.0) {
+    shift.new_demands.push_back(agreements::NewDemand{
+        {t_.H, t_.D, t_.E, t_.B}, sol.x_targets[0].new_demand});
+  }
+  if (sol.y_targets[0].rerouted > 0.0) {
+    shift.reroutes.push_back(agreements::Reroute{{t_.I, t_.E, t_.B, t_.A},
+                                                 {t_.I, t_.E, t_.D, t_.A},
+                                                 sol.y_targets[0].rerouted});
+  }
+  if (sol.y_targets[0].new_demand > 0.0) {
+    shift.new_demands.push_back(agreements::NewDemand{
+        {t_.I, t_.E, t_.D, t_.A}, sol.y_targets[0].new_demand});
+  }
+  EXPECT_NEAR(evaluator.utility_change(t_.D, shift), sol.u_x, 1e-6);
+  EXPECT_NEAR(evaluator.utility_change(t_.E, shift), sol.u_y, 1e-6);
+}
+
+}  // namespace
+}  // namespace panagree

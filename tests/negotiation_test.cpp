@@ -1,0 +1,186 @@
+#include <gtest/gtest.h>
+
+#include "panagree/core/agreements/mutuality.hpp"
+#include "panagree/core/bargain/negotiation.hpp"
+#include "panagree/econ/business.hpp"
+#include "panagree/topology/examples.hpp"
+#include "panagree/topology/generator.hpp"
+
+namespace panagree::bargain {
+namespace {
+
+using topology::make_fig1;
+
+/// Fixture: Fig. 1 with customer traffic flowing via providers, the state
+/// from which the D-E negotiation should be derivable automatically.
+class NegotiationFixture : public ::testing::Test {
+ protected:
+  NegotiationFixture() : t_(make_fig1()), economy_(t_.graph) {
+    economy_.set_link_pricing(t_.A, t_.D, econ::PricingFunction::per_unit(2.0));
+    economy_.set_link_pricing(t_.B, t_.E, econ::PricingFunction::per_unit(2.0));
+    economy_.set_link_pricing(t_.D, t_.H, econ::PricingFunction::per_unit(2.6));
+    economy_.set_link_pricing(t_.E, t_.I, econ::PricingFunction::per_unit(2.6));
+    economy_.set_internal_cost(t_.D, econ::InternalCostFunction::linear(0.05));
+    economy_.set_internal_cost(t_.E, econ::InternalCostFunction::linear(0.05));
+    // D ships 4 units to B via provider A; E ships 4 to A via provider B.
+    base_.add_path_flow(std::vector<topology::AsId>{t_.H, t_.D, t_.A, t_.B},
+                        4.0);
+    base_.add_path_flow(std::vector<topology::AsId>{t_.I, t_.E, t_.B, t_.A},
+                        4.0);
+  }
+
+  topology::Fig1 t_;
+  econ::Economy economy_;
+  econ::TrafficAllocation base_;
+  traffic::DemandElasticity elasticity_{
+      {.max_new_fraction = 1.0, .half_point = 0.1}};
+};
+
+TEST_F(NegotiationFixture, DerivesSegmentsFromObservedTraffic) {
+  const agreements::Agreement ma =
+      agreements::make_mutuality_agreement(t_.graph, t_.D, t_.E);
+  const agreements::AgreementEvaluator evaluator(economy_, base_);
+  const auto x_segments = derive_segment_options(
+      ma, t_.D, evaluator, elasticity_, nullptr, NegotiationOptions{});
+  // D is granted {B, F} by E (and {A, C} exist on its own side). Only B has
+  // a provider detour (D-A-B) carrying traffic; F is not reachable via any
+  // provider of D, so no segment option is derived for it. The paths anchor
+  // at D's customer H - the attracted traffic is customer traffic.
+  ASSERT_EQ(x_segments.size(), 1u);
+  EXPECT_EQ(x_segments[0].new_path,
+            (std::vector<topology::AsId>{t_.H, t_.D, t_.E, t_.B}));
+  EXPECT_EQ(x_segments[0].old_path,
+            (std::vector<topology::AsId>{t_.H, t_.D, t_.A, t_.B}));
+  EXPECT_DOUBLE_EQ(x_segments[0].reroutable, 4.0);
+  EXPECT_GT(x_segments[0].max_new_demand, 0.0);
+}
+
+TEST_F(NegotiationFixture, EndToEndNegotiationConcludes) {
+  const agreements::Agreement ma =
+      agreements::make_mutuality_agreement(t_.graph, t_.D, t_.E);
+  const agreements::AgreementEvaluator evaluator(economy_, base_);
+  const auto negotiation =
+      negotiate_agreement(ma, evaluator, elasticity_, nullptr);
+  ASSERT_EQ(negotiation.problem.x_segments.size(), 1u);
+  ASSERT_EQ(negotiation.problem.y_segments.size(), 1u);
+  // Both structuring methods succeed on the symmetric setup.
+  EXPECT_TRUE(negotiation.volume.concluded);
+  EXPECT_GE(negotiation.volume.u_x, 0.0);
+  EXPECT_GE(negotiation.volume.u_y, 0.0);
+  ASSERT_TRUE(negotiation.cash.has_value());
+  EXPECT_NEAR(negotiation.cash->u_x_after, negotiation.cash->u_y_after,
+              1e-9);
+  EXPECT_FALSE(negotiation.cash_only());
+}
+
+TEST_F(NegotiationFixture, CashOnlySeparationIsDetected) {
+  // Make E's carrying cost high enough that no volume split helps E, while
+  // the joint utility at full usage stays positive: the §IV-C case.
+  economy_.set_internal_cost(t_.E, econ::InternalCostFunction::linear(0.2));
+  // E gains nothing itself: strip its base traffic so its side derives no
+  // segments.
+  econ::TrafficAllocation one_sided;
+  one_sided.add_path_flow(std::vector<topology::AsId>{t_.H, t_.D, t_.A, t_.B},
+                          4.0);
+  const agreements::Agreement ma =
+      agreements::make_mutuality_agreement(t_.graph, t_.D, t_.E);
+  const agreements::AgreementEvaluator evaluator(economy_, one_sided);
+  traffic::DemandElasticity eager{{.max_new_fraction = 2.0, .half_point = 0.05}};
+  const auto negotiation = negotiate_agreement(ma, evaluator, eager, nullptr);
+  ASSERT_FALSE(negotiation.problem.x_segments.empty());
+  EXPECT_TRUE(negotiation.problem.y_segments.empty());
+  EXPECT_FALSE(negotiation.volume.concluded);
+  ASSERT_TRUE(negotiation.cash.has_value());
+  EXPECT_TRUE(negotiation.cash_only());
+  // The compensated party ends whole.
+  EXPECT_GE(negotiation.cash->u_y_after, 0.0);
+}
+
+TEST_F(NegotiationFixture, HopelessAgreementRefusedByBothMethods) {
+  economy_.set_internal_cost(t_.D, econ::InternalCostFunction::linear(5.0));
+  economy_.set_internal_cost(t_.E, econ::InternalCostFunction::linear(5.0));
+  const agreements::Agreement ma =
+      agreements::make_mutuality_agreement(t_.graph, t_.D, t_.E);
+  const agreements::AgreementEvaluator evaluator(economy_, base_);
+  const auto negotiation =
+      negotiate_agreement(ma, evaluator, elasticity_, nullptr);
+  EXPECT_FALSE(negotiation.volume.concluded);
+  EXPECT_FALSE(negotiation.cash.has_value());
+}
+
+TEST_F(NegotiationFixture, EmptyTrafficDerivesNothing) {
+  econ::TrafficAllocation empty;
+  const agreements::Agreement ma =
+      agreements::make_mutuality_agreement(t_.graph, t_.D, t_.E);
+  const agreements::AgreementEvaluator evaluator(economy_, empty);
+  const auto negotiation =
+      negotiate_agreement(ma, evaluator, elasticity_, nullptr);
+  EXPECT_TRUE(negotiation.problem.x_segments.empty());
+  EXPECT_TRUE(negotiation.problem.y_segments.empty());
+  EXPECT_FALSE(negotiation.volume.concluded);
+  EXPECT_FALSE(negotiation.cash.has_value());
+}
+
+TEST(NegotiationGeo, GeodistanceDrivesDemandEstimates) {
+  // On a generated topology with geodata, a geodesy-aware negotiation must
+  // produce (weakly) different demand limits than the default-improvement
+  // one, and all derived limits must respect the elasticity cap.
+  topology::GeneratorParams params;
+  params.num_ases = 500;
+  params.tier1_count = 4;
+  params.seed = 3;
+  auto topo = topology::generate_internet(params);
+  const econ::Economy economy = econ::make_default_economy(topo.graph);
+
+  // Find a peer pair and give them provider traffic to reroute.
+  const diversity::GeodistanceModel geodesy(topo.graph, topo.world);
+  const traffic::DemandElasticity elasticity;
+  for (const auto& link : topo.graph.links()) {
+    if (link.type != topology::LinkType::kPeering) {
+      continue;
+    }
+    const auto x = link.a;
+    const auto y = link.b;
+    const agreements::Agreement ma =
+        agreements::make_mutuality_agreement(topo.graph, x, y);
+    econ::TrafficAllocation base;
+    bool seeded = false;
+    for (const auto provider : topo.graph.providers(x)) {
+      for (const auto dest : ma.grant_y.all()) {
+        if (topo.graph.link_between(provider, dest) && dest != provider &&
+            dest != x && provider != x) {
+          base.add_path_flow(std::vector<topology::AsId>{x, provider, dest},
+                             5.0);
+          seeded = true;
+          break;
+        }
+      }
+      if (seeded) {
+        break;
+      }
+    }
+    if (!seeded) {
+      continue;
+    }
+    const agreements::AgreementEvaluator evaluator(economy, base);
+    const auto with_geo = derive_segment_options(
+        ma, x, evaluator, elasticity, &geodesy, NegotiationOptions{});
+    const auto without_geo = derive_segment_options(
+        ma, x, evaluator, elasticity, nullptr, NegotiationOptions{});
+    ASSERT_FALSE(with_geo.empty());
+    ASSERT_EQ(with_geo.size(), without_geo.size());
+    for (const auto& option : with_geo) {
+      EXPECT_GE(option.max_new_demand, 0.0);
+      // The elasticity cap bounds every estimate.
+      EXPECT_LE(option.max_new_demand,
+                elasticity.params().max_new_fraction *
+                        std::max(option.reroutable, 5.0) +
+                    1e-9);
+    }
+    return;  // one pair suffices
+  }
+  GTEST_SKIP() << "no suitable peer pair found";
+}
+
+}  // namespace
+}  // namespace panagree::bargain

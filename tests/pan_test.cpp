@@ -1,0 +1,339 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "panagree/pan/beaconing.hpp"
+#include "panagree/pan/forwarding.hpp"
+#include "panagree/pan/mac.hpp"
+#include "panagree/pan/path_construction.hpp"
+#include "panagree/topology/examples.hpp"
+#include "panagree/topology/generator.hpp"
+#include "panagree/util/rng.hpp"
+
+namespace panagree::pan {
+namespace {
+
+using topology::make_fig1;
+
+// -------------------------------------------------------------------- MAC
+
+TEST(SipHash, MatchesReferenceVectors) {
+  // Official SipHash-2-4 test vectors: key = 00 01 ... 0f, input = first n
+  // bytes of 00 01 02 ...
+  const MacKey key{0x0706050403020100ULL, 0x0f0e0d0c0b0a0908ULL};
+  std::vector<std::uint8_t> data;
+  const std::vector<std::uint64_t> expected{
+      0x726fdb47dd0e0e31ULL,  // n = 0
+      0x74f839c593dc67fdULL,  // n = 1
+      0x0d6c8009d9a94f5aULL,  // n = 2
+      0x85676696d7fb7e2dULL,  // n = 3
+  };
+  for (std::size_t n = 0; n < expected.size(); ++n) {
+    EXPECT_EQ(siphash24(key, data), expected[n]) << "length " << n;
+    data.push_back(static_cast<std::uint8_t>(n));
+  }
+}
+
+TEST(SipHash, KeySensitivity) {
+  const MacKey k1{1, 2};
+  const MacKey k2{1, 3};
+  const std::vector<std::uint8_t> data{1, 2, 3, 4};
+  EXPECT_NE(siphash24(k1, data), siphash24(k2, data));
+}
+
+TEST(SipHash, WordHelperMatchesByteEncoding) {
+  const MacKey key{42, 43};
+  const std::vector<std::uint8_t> bytes{1, 0, 0, 0, 0, 0, 0, 0,
+                                        2, 0, 0, 0, 0, 0, 0, 0};
+  EXPECT_EQ(siphash24_words(key, {1, 2}), siphash24(key, bytes));
+}
+
+// --------------------------------------------------------------- KeyStore
+
+TEST(KeyStore, DeterministicAndPerAsDistinct) {
+  const KeyStore a(99, 10);
+  const KeyStore b(99, 10);
+  std::set<std::uint64_t> k0s;
+  for (topology::AsId as = 0; as < 10; ++as) {
+    EXPECT_EQ(a.key(as), b.key(as));
+    k0s.insert(a.key(as).k0);
+  }
+  EXPECT_EQ(k0s.size(), 10u);
+  EXPECT_THROW((void)a.key(10), util::PreconditionError);
+}
+
+// -------------------------------------------------------------- beaconing
+
+TEST(Beaconing, CoreIsTheProviderFreeSet) {
+  const auto t = make_fig1();
+  const BeaconService beacons(t.graph);
+  EXPECT_EQ(beacons.core_ases(), (std::vector<topology::AsId>{t.A, t.B}));
+}
+
+TEST(Beaconing, SegmentsEndAtOwnerAndStartAtCore) {
+  auto t = make_fig1();
+  BeaconService beacons(t.graph);
+  beacons.run();
+  for (topology::AsId as = 0; as < t.graph.num_ases(); ++as) {
+    for (const PathSegment& seg : beacons.up_segments(as)) {
+      EXPECT_EQ(seg.leaf_end(), as);
+      EXPECT_TRUE(t.graph.providers(seg.core_end()).empty());
+      // Consecutive segment hops are provider->customer links.
+      for (std::size_t i = 0; i + 1 < seg.ases.size(); ++i) {
+        EXPECT_TRUE(t.graph.is_provider_of(seg.ases[i], seg.ases[i + 1]));
+      }
+    }
+  }
+}
+
+TEST(Beaconing, HReceivesItsUpSegment) {
+  auto t = make_fig1();
+  BeaconService beacons(t.graph);
+  beacons.run();
+  const auto& segs = beacons.up_segments(t.H);
+  ASSERT_FALSE(segs.empty());
+  EXPECT_EQ(segs.front().ases, (std::vector<topology::AsId>{t.A, t.D, t.H}));
+}
+
+TEST(Beaconing, RespectsBeaconBudget) {
+  topology::GeneratorParams params;
+  params.num_ases = 300;
+  params.tier1_count = 4;
+  params.seed = 5;
+  const auto topo = topology::generate_internet(params);
+  BeaconService beacons(topo.graph, {.beacons_per_as = 3});
+  beacons.run();
+  for (topology::AsId as = 0; as < topo.graph.num_ases(); ++as) {
+    EXPECT_LE(beacons.up_segments(as).size(), 3u);
+  }
+}
+
+TEST(Beaconing, EveryAsIsReachedInGeneratedTopology) {
+  topology::GeneratorParams params;
+  params.num_ases = 300;
+  params.tier1_count = 4;
+  params.seed = 6;
+  const auto topo = topology::generate_internet(params);
+  BeaconService beacons(topo.graph);
+  beacons.run();
+  for (topology::AsId as = 0; as < topo.graph.num_ases(); ++as) {
+    EXPECT_FALSE(beacons.up_segments(as).empty()) << as;
+  }
+}
+
+TEST(Beaconing, RejectsProviderCycles) {
+  topology::Graph g;
+  const auto a = g.add_as();
+  const auto b = g.add_as();
+  const auto c = g.add_as();
+  g.add_provider_customer(a, b);
+  g.add_provider_customer(b, c);
+  g.add_provider_customer(c, a);
+  EXPECT_THROW(BeaconService{g}, util::PreconditionError);
+}
+
+// ------------------------------------------------------------- forwarding
+
+TEST(Forwarding, IssueAndForwardFollowsExactPath) {
+  const auto t = make_fig1();
+  const KeyStore keys(1, t.graph.num_ases());
+  const ForwardingEngine engine(t.graph, keys);
+  const std::vector<topology::AsId> path{t.H, t.D, t.E, t.I};
+  const ForwardingPath fp = issue_path(keys, path);
+  const ForwardResult r = engine.forward(fp);
+  EXPECT_TRUE(r.delivered);
+  EXPECT_EQ(r.trace, path);
+}
+
+TEST(Forwarding, GrcViolatingPathForwardsLoopFree) {
+  // The §II example: packets from D to A via path D-E-B-A would never be
+  // sent back to D - the embedded path is followed exactly.
+  const auto t = make_fig1();
+  const KeyStore keys(2, t.graph.num_ases());
+  const ForwardingEngine engine(t.graph, keys);
+  const std::vector<topology::AsId> deba{t.D, t.E, t.B, t.A};
+  const ForwardResult r = engine.forward(issue_path(keys, deba));
+  EXPECT_TRUE(r.delivered);
+  EXPECT_EQ(r.trace, deba);
+  std::set<topology::AsId> unique(r.trace.begin(), r.trace.end());
+  EXPECT_EQ(unique.size(), r.trace.size());  // no AS visited twice
+}
+
+TEST(Forwarding, TamperedHopIsRejected) {
+  const auto t = make_fig1();
+  const KeyStore keys(3, t.graph.num_ases());
+  const ForwardingEngine engine(t.graph, keys);
+  ForwardingPath fp = issue_path(keys, {t.H, t.D, t.A});
+  fp.hops[1].egress = t.E;  // divert mid-path
+  const ForwardResult r = engine.forward(fp);
+  EXPECT_FALSE(r.delivered);
+  EXPECT_EQ(r.reason, DropReason::kInvalidMac);
+}
+
+TEST(Forwarding, ForgedMacIsRejected) {
+  const auto t = make_fig1();
+  const KeyStore keys(4, t.graph.num_ases());
+  const ForwardingEngine engine(t.graph, keys);
+  ForwardingPath fp = issue_path(keys, {t.H, t.D, t.A});
+  fp.hops[2].mac ^= 1;
+  EXPECT_EQ(engine.forward(fp).reason, DropReason::kInvalidMac);
+}
+
+TEST(Forwarding, SplicedHopsFromAnotherPathAreRejected) {
+  const auto t = make_fig1();
+  const KeyStore keys(5, t.graph.num_ases());
+  const ForwardingEngine engine(t.graph, keys);
+  const ForwardingPath p1 = issue_path(keys, {t.H, t.D, t.A});
+  const ForwardingPath p2 = issue_path(keys, {t.I, t.E, t.B});
+  ForwardingPath spliced;
+  spliced.hops = {p1.hops[0], p1.hops[1], p2.hops[2]};
+  EXPECT_FALSE(engine.forward(spliced).delivered);
+}
+
+TEST(Forwarding, NonSimplePathIsMalformed) {
+  const auto t = make_fig1();
+  const KeyStore keys(6, t.graph.num_ases());
+  EXPECT_THROW((void)issue_path(keys, std::vector<topology::AsId>{t.H, t.D, t.H}),
+               util::PreconditionError);
+  // A hand-crafted repeated-AS header is rejected by the engine too.
+  ForwardingPath fp = issue_path(keys, {t.H, t.D, t.A});
+  ForwardingPath looped;
+  looped.hops = {fp.hops[0], fp.hops[1], fp.hops[2], fp.hops[1]};
+  const ForwardingEngine engine(t.graph, keys);
+  EXPECT_EQ(engine.forward(looped).reason, DropReason::kMalformed);
+}
+
+// Loop-freedom as a property: any simple authorized path through a random
+// topology is traversed exactly once per AS, whatever its shape.
+class ForwardingSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ForwardingSweep, TraceEqualsEmbeddedSimplePath) {
+  topology::GeneratorParams params;
+  params.num_ases = 200;
+  params.tier1_count = 4;
+  params.seed = GetParam();
+  const auto topo = topology::generate_internet(params);
+  const KeyStore keys(GetParam(), topo.graph.num_ases());
+  const ForwardingEngine engine(topo.graph, keys);
+  util::Rng rng(GetParam() * 31 + 1);
+  for (int trial = 0; trial < 50; ++trial) {
+    // Random walk without revisits = a random simple path.
+    std::vector<topology::AsId> path;
+    std::set<topology::AsId> seen;
+    topology::AsId cur =
+        static_cast<topology::AsId>(rng.uniform_index(topo.graph.num_ases()));
+    path.push_back(cur);
+    seen.insert(cur);
+    for (int hop = 0; hop < 6; ++hop) {
+      const auto neighbors = topo.graph.neighbors(cur);
+      std::vector<topology::AsId> fresh;
+      for (const auto n : neighbors) {
+        if (!seen.contains(n)) {
+          fresh.push_back(n);
+        }
+      }
+      if (fresh.empty()) {
+        break;
+      }
+      cur = fresh[rng.uniform_index(fresh.size())];
+      path.push_back(cur);
+      seen.insert(cur);
+    }
+    if (path.size() < 2) {
+      continue;
+    }
+    const ForwardResult r = engine.forward(issue_path(keys, path));
+    EXPECT_TRUE(r.delivered);
+    EXPECT_EQ(r.trace, path);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ForwardingSweep,
+                         ::testing::Values(1, 2, 3, 4, 5));
+
+// ------------------------------------------------------ path construction
+
+TEST(PathConstruction, FindsGrcPathsFromSegments) {
+  auto t = make_fig1();
+  BeaconService beacons(t.graph);
+  beacons.run();
+  const PathConstructor constructor(t.graph, beacons);
+  const auto paths = constructor.construct(t.H, t.I);
+  // H-D-E-I via the D-E peering shortcut must be among the candidates.
+  EXPECT_NE(std::find(paths.begin(), paths.end(),
+                      std::vector<topology::AsId>({t.H, t.D, t.E, t.I})),
+            paths.end());
+  // The core route H-D-A-B-E-I as well.
+  EXPECT_NE(std::find(paths.begin(), paths.end(),
+                      std::vector<topology::AsId>({t.H, t.D, t.A, t.B, t.E, t.I})),
+            paths.end());
+  for (const auto& p : paths) {
+    EXPECT_TRUE(is_simple_path(p));
+    EXPECT_EQ(p.front(), t.H);
+    EXPECT_EQ(p.back(), t.I);
+  }
+}
+
+TEST(PathConstruction, AgreementCrossingUnlocksNewPath) {
+  auto t = make_fig1();
+  BeaconService beacons(t.graph);
+  beacons.run();
+  const PathConstructor constructor(t.graph, beacons);
+
+  // Without the agreement, H cannot route to B via D-E (GRC violation).
+  const std::vector<topology::AsId> hdeb{t.H, t.D, t.E, t.B};
+  const auto before = constructor.construct(t.H, t.B);
+  EXPECT_EQ(std::find(before.begin(), before.end(), hdeb), before.end());
+
+  // Agreement a = [D(^{A}); E(^{B}, ->{F})]: E lets D reach B. H is in D's
+  // customer cone, so the extended path H-D-E-B becomes constructible.
+  CrossingRegistry crossings;
+  crossings.add(Crossing{t.E, t.D, t.B, {t.D, t.H}});
+  const auto after = constructor.construct(t.H, t.B, &crossings);
+  EXPECT_NE(std::find(after.begin(), after.end(), hdeb), after.end());
+}
+
+TEST(PathConstruction, CrossingSourceRestrictionIsEnforced) {
+  auto t = make_fig1();
+  BeaconService beacons(t.graph);
+  beacons.run();
+  const PathConstructor constructor(t.graph, beacons);
+  CrossingRegistry crossings;
+  crossings.add(Crossing{t.E, t.D, t.B, {t.D}});  // D only, not its cone
+  const auto paths = constructor.construct(t.H, t.B, &crossings);
+  EXPECT_EQ(std::find(paths.begin(), paths.end(),
+                      std::vector<topology::AsId>({t.H, t.D, t.E, t.B})),
+            paths.end());
+}
+
+TEST(PathConstruction, CandidatesAreSortedShortestFirst) {
+  auto t = make_fig1();
+  BeaconService beacons(t.graph);
+  beacons.run();
+  const PathConstructor constructor(t.graph, beacons);
+  const auto paths = constructor.construct(t.H, t.I);
+  for (std::size_t i = 0; i + 1 < paths.size(); ++i) {
+    EXPECT_LE(paths[i].size(), paths[i + 1].size());
+  }
+}
+
+TEST(CrossingRegistry, AllowsAndRestricts) {
+  CrossingRegistry registry;
+  registry.add(Crossing{5, 3, 7, {3, 9}});
+  EXPECT_TRUE(registry.allows(3, 5, 3, 7));
+  EXPECT_TRUE(registry.allows(9, 5, 3, 7));
+  EXPECT_FALSE(registry.allows(4, 5, 3, 7));
+  EXPECT_FALSE(registry.allows(3, 5, 3, 8));
+  registry.add(Crossing{5, 4, 7, {}});
+  EXPECT_TRUE(registry.allows(1234, 5, 4, 7));  // unrestricted crossing
+}
+
+TEST(CrossingRegistry, RejectsIncompleteCrossings) {
+  CrossingRegistry registry;
+  EXPECT_THROW(registry.add(Crossing{}), util::PreconditionError);
+  EXPECT_THROW(registry.add(Crossing{1, 2, 2, {}}), util::PreconditionError);
+}
+
+}  // namespace
+}  // namespace panagree::pan

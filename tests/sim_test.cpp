@@ -1,0 +1,209 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "panagree/pan/forwarding.hpp"
+#include "panagree/sim/engine.hpp"
+#include "panagree/sim/flow_assignment.hpp"
+#include "panagree/sim/network.hpp"
+#include "panagree/topology/capacity.hpp"
+#include "panagree/topology/examples.hpp"
+
+namespace panagree::sim {
+namespace {
+
+using topology::make_fig1;
+
+// ----------------------------------------------------------------- engine
+
+TEST(Engine, ExecutesInTimeOrder) {
+  Engine engine;
+  std::vector<int> order;
+  engine.schedule(3.0, [&] { order.push_back(3); });
+  engine.schedule(1.0, [&] { order.push_back(1); });
+  engine.schedule(2.0, [&] { order.push_back(2); });
+  engine.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_DOUBLE_EQ(engine.now(), 3.0);
+}
+
+TEST(Engine, FifoTieBreakAtEqualTimes) {
+  Engine engine;
+  std::vector<int> order;
+  engine.schedule(1.0, [&] { order.push_back(1); });
+  engine.schedule(1.0, [&] { order.push_back(2); });
+  engine.schedule(1.0, [&] { order.push_back(3); });
+  engine.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(Engine, NestedSchedulingWorks) {
+  Engine engine;
+  std::vector<double> times;
+  engine.schedule(1.0, [&] {
+    times.push_back(engine.now());
+    engine.schedule(0.5, [&] { times.push_back(engine.now()); });
+  });
+  engine.run();
+  ASSERT_EQ(times.size(), 2u);
+  EXPECT_DOUBLE_EQ(times[0], 1.0);
+  EXPECT_DOUBLE_EQ(times[1], 1.5);
+}
+
+TEST(Engine, RunUntilStopsEarly) {
+  Engine engine;
+  int fired = 0;
+  engine.schedule(1.0, [&] { ++fired; });
+  engine.schedule(5.0, [&] { ++fired; });
+  engine.run(2.0);
+  EXPECT_EQ(fired, 1);
+  EXPECT_DOUBLE_EQ(engine.now(), 2.0);
+  EXPECT_EQ(engine.pending(), 1u);
+  engine.run();
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(Engine, RejectsPastScheduling) {
+  Engine engine;
+  engine.schedule(1.0, [] {});
+  engine.run();
+  EXPECT_THROW(engine.schedule_at(0.5, [] {}), util::PreconditionError);
+  EXPECT_THROW(engine.schedule(-1.0, [] {}), util::PreconditionError);
+}
+
+TEST(Engine, StepExecutesSingleEvent) {
+  Engine engine;
+  int fired = 0;
+  engine.schedule(1.0, [&] { ++fired; });
+  engine.schedule(2.0, [&] { ++fired; });
+  EXPECT_TRUE(engine.step());
+  EXPECT_EQ(fired, 1);
+  EXPECT_TRUE(engine.step());
+  EXPECT_FALSE(engine.step());
+}
+
+// ---------------------------------------------------------------- network
+
+TEST(Network, DeliversPacketAlongPath) {
+  auto t = make_fig1();
+  topology::assign_degree_gravity_capacities(t.graph);
+  const pan::KeyStore keys(1, t.graph.num_ases());
+  Network net(t.graph, keys);
+  const auto fp = pan::issue_path(keys, {t.H, t.D, t.E, t.I});
+  const std::size_t id = net.send_packet(fp, 12000.0);
+  net.engine().run();
+  const DeliveryRecord& rec = net.deliveries().at(id);
+  EXPECT_TRUE(rec.delivered);
+  EXPECT_EQ(rec.trace, (std::vector<topology::AsId>{t.H, t.D, t.E, t.I}));
+  EXPECT_GT(rec.latency(), 0.0);
+}
+
+TEST(Network, InvalidPacketIsDroppedImmediately) {
+  auto t = make_fig1();
+  const pan::KeyStore keys(2, t.graph.num_ases());
+  Network net(t.graph, keys);
+  auto fp = pan::issue_path(keys, {t.H, t.D, t.A});
+  fp.hops[1].mac ^= 0xff;
+  const std::size_t id = net.send_packet(fp, 8000.0);
+  net.engine().run();
+  EXPECT_FALSE(net.deliveries().at(id).delivered);
+  EXPECT_EQ(net.deliveries().at(id).drop_reason, pan::DropReason::kInvalidMac);
+}
+
+TEST(Network, LongerPathsTakeLonger) {
+  auto t = make_fig1();
+  topology::assign_degree_gravity_capacities(t.graph);
+  const pan::KeyStore keys(3, t.graph.num_ases());
+  Network net(t.graph, keys);
+  const auto short_path = pan::issue_path(keys, {t.H, t.D, t.E, t.I});
+  const auto long_path =
+      pan::issue_path(keys, {t.H, t.D, t.A, t.B, t.E, t.I});
+  const auto id1 = net.send_packet(short_path, 8000.0);
+  const auto id2 = net.send_packet(long_path, 8000.0);
+  net.engine().run();
+  EXPECT_LT(net.deliveries().at(id1).latency(),
+            net.deliveries().at(id2).latency());
+}
+
+TEST(Network, SerializationDelayGrowsWithPacketSize) {
+  auto t = make_fig1();
+  topology::assign_degree_gravity_capacities(t.graph);
+  const pan::KeyStore keys(4, t.graph.num_ases());
+  Network net(t.graph, keys);
+  const auto fp = pan::issue_path(keys, {t.H, t.D, t.A});
+  const auto small = net.send_packet(fp, 1000.0);
+  net.engine().run();
+  Network net2(t.graph, keys);
+  const auto big = net2.send_packet(pan::issue_path(keys, {t.H, t.D, t.A}),
+                                    10000000.0);
+  net2.engine().run();
+  EXPECT_LT(net.deliveries().at(small).latency(),
+            net2.deliveries().at(big).latency());
+}
+
+TEST(Network, QueueingDelaysBackToBackPackets) {
+  auto t = make_fig1();
+  // Tiny capacity so serialization dominates.
+  for (topology::LinkId id = 0; id < t.graph.num_links(); ++id) {
+    t.graph.link(id).capacity = 1e-3;  // 1 Mbit/s at 1e9 bits per unit
+  }
+  const pan::KeyStore keys(5, t.graph.num_ases());
+  Network net(t.graph, keys);
+  const auto fp1 = pan::issue_path(keys, {t.H, t.D, t.A});
+  const auto fp2 = pan::issue_path(keys, {t.H, t.D, t.A});
+  const auto id1 = net.send_packet(fp1, 1e6);
+  const auto id2 = net.send_packet(fp2, 1e6);
+  net.engine().run();
+  // Second packet waits for the first one's serialization on H->D.
+  EXPECT_GT(net.deliveries().at(id2).delivered_at,
+            net.deliveries().at(id1).delivered_at);
+}
+
+// --------------------------------------------------------- flow assignment
+
+TEST(FlowAssignment, AccountsVolumesOnLinks) {
+  auto t = make_fig1();
+  topology::assign_degree_gravity_capacities(t.graph);
+  const std::vector<PathDemand> demands{
+      {{t.H, t.D, t.A}, 5.0},
+      {{t.H, t.D, t.E}, 3.0},
+  };
+  const FlowAssignmentResult r = assign_flows(t.graph, demands);
+  EXPECT_DOUBLE_EQ(r.allocation.link_flow(t.H, t.D), 8.0);
+  EXPECT_DOUBLE_EQ(r.allocation.link_flow(t.D, t.A), 5.0);
+  EXPECT_DOUBLE_EQ(r.allocation.link_flow(t.D, t.E), 3.0);
+  EXPECT_DOUBLE_EQ(r.allocation.through_flow(t.D), 8.0);
+}
+
+TEST(FlowAssignment, ReportsUtilizationAndOverloads) {
+  auto t = make_fig1();
+  for (topology::LinkId id = 0; id < t.graph.num_links(); ++id) {
+    t.graph.link(id).capacity = 4.0;
+  }
+  const std::vector<PathDemand> demands{{{t.H, t.D, t.A}, 6.0}};
+  const FlowAssignmentResult r = assign_flows(t.graph, demands);
+  EXPECT_EQ(r.overloaded_links, 2u);
+  EXPECT_DOUBLE_EQ(r.max_utilization, 1.5);
+}
+
+TEST(FlowAssignment, RejectsBrokenPaths) {
+  auto t = make_fig1();
+  const std::vector<PathDemand> demands{{{t.H, t.I}, 1.0}};
+  EXPECT_THROW((void)assign_flows(t.graph, demands), util::PreconditionError);
+}
+
+TEST(FlowAssignment, RejectsNegativeVolume) {
+  auto t = make_fig1();
+  const std::vector<PathDemand> demands{{{t.H, t.D}, -1.0}};
+  EXPECT_THROW((void)assign_flows(t.graph, demands), util::PreconditionError);
+}
+
+TEST(FlowAssignment, EmptyDemandsYieldZeroUtilization) {
+  auto t = make_fig1();
+  const FlowAssignmentResult r = assign_flows(t.graph, {});
+  EXPECT_DOUBLE_EQ(r.max_utilization, 0.0);
+  EXPECT_EQ(r.links.size(), t.graph.num_links());
+}
+
+}  // namespace
+}  // namespace panagree::sim

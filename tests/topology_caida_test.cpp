@@ -1,0 +1,91 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "panagree/topology/caida.hpp"
+
+namespace panagree::topology::caida {
+namespace {
+
+TEST(CaidaParse, ReadsProviderAndPeerLines) {
+  std::istringstream in(
+      "# comment\n"
+      "1|2|-1\n"
+      "2|3|0|bgp\n");
+  const Dataset ds = parse(in);
+  EXPECT_EQ(ds.graph.num_ases(), 3u);
+  const AsId as1 = ds.asn_to_id.at(1);
+  const AsId as2 = ds.asn_to_id.at(2);
+  const AsId as3 = ds.asn_to_id.at(3);
+  EXPECT_TRUE(ds.graph.is_provider_of(as1, as2));
+  EXPECT_TRUE(ds.graph.are_peers(as2, as3));
+}
+
+TEST(CaidaParse, SkipsEmptyLines) {
+  std::istringstream in("\n\n10|20|0\n\n");
+  const Dataset ds = parse(in);
+  EXPECT_EQ(ds.graph.num_links(), 1u);
+}
+
+TEST(CaidaParse, PreservesAsnNames) {
+  std::istringstream in("64512|65001|-1\n");
+  const Dataset ds = parse(in);
+  const AsId provider = ds.asn_to_id.at(64512);
+  EXPECT_EQ(ds.graph.info(provider).name, "64512");
+  EXPECT_EQ(ds.asn_of(provider), 64512u);
+}
+
+TEST(CaidaParse, RejectsMalformedAsn) {
+  std::istringstream in("abc|2|0\n");
+  EXPECT_THROW((void)parse(in), util::ParseError);
+}
+
+TEST(CaidaParse, RejectsUnknownRelationship) {
+  std::istringstream in("1|2|7\n");
+  EXPECT_THROW((void)parse(in), util::ParseError);
+}
+
+TEST(CaidaParse, RejectsTooFewFields) {
+  std::istringstream in("1|2\n");
+  EXPECT_THROW((void)parse(in), util::ParseError);
+}
+
+TEST(CaidaParse, RejectsDuplicateRelationship) {
+  std::istringstream in(
+      "1|2|-1\n"
+      "2|1|0\n");
+  EXPECT_THROW((void)parse(in), util::ParseError);
+}
+
+TEST(CaidaParse, MissingFileThrows) {
+  EXPECT_THROW((void)parse_file("/nonexistent/file.txt"), util::ParseError);
+}
+
+TEST(CaidaRoundTrip, WriteThenParseRecoversGraph) {
+  std::istringstream in(
+      "100|200|-1\n"
+      "100|300|-1\n"
+      "200|300|0\n");
+  const Dataset ds = parse(in);
+  std::ostringstream out;
+  write(ds.graph, out);
+  std::istringstream again(out.str());
+  const Dataset ds2 = parse(again);
+  EXPECT_EQ(ds2.graph.num_ases(), 3u);
+  EXPECT_EQ(ds2.graph.num_links(), 3u);
+  const AsId a100 = ds2.asn_to_id.at(100);
+  const AsId a200 = ds2.asn_to_id.at(200);
+  const AsId a300 = ds2.asn_to_id.at(300);
+  EXPECT_TRUE(ds2.graph.is_provider_of(a100, a200));
+  EXPECT_TRUE(ds2.graph.is_provider_of(a100, a300));
+  EXPECT_TRUE(ds2.graph.are_peers(a200, a300));
+}
+
+TEST(CaidaParse, AsnOfUnknownIdThrows) {
+  std::istringstream in("1|2|0\n");
+  const Dataset ds = parse(in);
+  EXPECT_THROW((void)ds.asn_of(99), util::PreconditionError);
+}
+
+}  // namespace
+}  // namespace panagree::topology::caida

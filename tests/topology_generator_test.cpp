@@ -1,0 +1,245 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "panagree/topology/capacity.hpp"
+#include "panagree/topology/generator.hpp"
+
+namespace panagree::topology {
+namespace {
+
+GeneratorParams small_params(std::uint64_t seed, std::size_t n = 600) {
+  GeneratorParams p;
+  p.num_ases = n;
+  p.tier1_count = 6;
+  p.seed = seed;
+  return p;
+}
+
+TEST(Generator, ProducesRequestedAsCount) {
+  const auto topo = generate_internet(small_params(1));
+  EXPECT_EQ(topo.graph.num_ases(), 600u);
+  EXPECT_EQ(topo.tier1.size(), 6u);
+  EXPECT_EQ(topo.tier1.size() + topo.tier2.size() + topo.tier3.size(),
+            topo.graph.num_ases());
+}
+
+TEST(Generator, Tier1FormsFullPeeringMesh) {
+  const auto topo = generate_internet(small_params(2));
+  for (std::size_t i = 0; i < topo.tier1.size(); ++i) {
+    for (std::size_t j = i + 1; j < topo.tier1.size(); ++j) {
+      EXPECT_TRUE(topo.graph.are_peers(topo.tier1[i], topo.tier1[j]));
+    }
+  }
+}
+
+TEST(Generator, Tier1HasNoProviders) {
+  const auto topo = generate_internet(small_params(3));
+  for (const AsId as : topo.tier1) {
+    EXPECT_TRUE(topo.graph.providers(as).empty());
+  }
+}
+
+TEST(Generator, EveryNonCoreAsHasAProvider) {
+  const auto topo = generate_internet(small_params(4));
+  for (const AsId as : topo.tier2) {
+    EXPECT_FALSE(topo.graph.providers(as).empty()) << "tier2 " << as;
+  }
+  for (const AsId as : topo.tier3) {
+    EXPECT_FALSE(topo.graph.providers(as).empty()) << "tier3 " << as;
+  }
+}
+
+TEST(Generator, IsDeterministicPerSeed) {
+  const auto a = generate_internet(small_params(7));
+  const auto b = generate_internet(small_params(7));
+  ASSERT_EQ(a.graph.num_links(), b.graph.num_links());
+  for (LinkId id = 0; id < a.graph.num_links(); ++id) {
+    EXPECT_EQ(a.graph.link(id).a, b.graph.link(id).a);
+    EXPECT_EQ(a.graph.link(id).b, b.graph.link(id).b);
+    EXPECT_EQ(a.graph.link(id).type, b.graph.link(id).type);
+  }
+}
+
+TEST(Generator, DiffersAcrossSeeds) {
+  const auto a = generate_internet(small_params(8));
+  const auto b = generate_internet(small_params(9));
+  EXPECT_NE(a.graph.num_links(), b.graph.num_links());
+}
+
+TEST(Generator, RejectsBadParameters) {
+  GeneratorParams p;
+  p.num_ases = 5;
+  p.tier1_count = 10;
+  EXPECT_THROW((void)generate_internet(p), util::PreconditionError);
+  GeneratorParams q;
+  q.tier2_fraction = 0.0;
+  EXPECT_THROW((void)generate_internet(q), util::PreconditionError);
+}
+
+TEST(Generator, AssignsGeoToEveryAs) {
+  const auto topo = generate_internet(small_params(10));
+  for (AsId as = 0; as < topo.graph.num_ases(); ++as) {
+    const AsInfo& info = topo.graph.info(as);
+    EXPECT_TRUE(info.has_geo) << as;
+    EXPECT_FALSE(info.pops.empty()) << as;
+  }
+}
+
+TEST(Generator, EveryLinkHasFacilities) {
+  const auto topo = generate_internet(small_params(11));
+  for (const Link& link : topo.graph.links()) {
+    EXPECT_FALSE(link.facilities.empty());
+    EXPECT_LE(link.facilities.size(), 3u);
+  }
+}
+
+TEST(Generator, PeeringExistsBeyondTier1) {
+  const auto topo = generate_internet(small_params(12));
+  std::size_t non_core_peerings = 0;
+  for (const Link& link : topo.graph.links()) {
+    if (link.type == LinkType::kPeering &&
+        (topo.graph.info(link.a).tier != 1 ||
+         topo.graph.info(link.b).tier != 1)) {
+      ++non_core_peerings;
+    }
+  }
+  EXPECT_GT(non_core_peerings, 20u);
+}
+
+TEST(Generator, IxpMembersAreRegionalOrGlobalHubs) {
+  const auto topo = generate_internet(small_params(13));
+  std::size_t populated = 0;
+  for (const Ixp& ixp : topo.ixps) {
+    if (!ixp.members.empty()) {
+      ++populated;
+    }
+    for (const AsId as : ixp.members) {
+      const bool is_hub = std::find(topo.hubs.begin(), topo.hubs.end(), as) !=
+                          topo.hubs.end();
+      EXPECT_TRUE(topo.graph.info(as).region == ixp.region || is_hub)
+          << "AS " << as << " at foreign IXP without hub status";
+    }
+  }
+  EXPECT_GT(populated, 0u);
+}
+
+TEST(Generator, HubsAreGloballyPresentAndPeeringRich) {
+  const auto topo = generate_internet(small_params(16, 2000));
+  ASSERT_FALSE(topo.hubs.empty());
+  for (const AsId hub : topo.hubs) {
+    // Hubs hold PoPs in several regions and peer far above the median AS.
+    std::set<std::size_t> regions;
+    for (const std::size_t city : topo.graph.info(hub).pops) {
+      regions.insert(topo.world.city(city).region);
+    }
+    EXPECT_GE(regions.size(), 4u);
+  }
+  // The best-ranked hub out-peers later ranks (graded footprint).
+  const AsId first = topo.hubs.front();
+  std::size_t max_peers = 0;
+  for (const AsId hub : topo.hubs) {
+    max_peers = std::max(max_peers, topo.graph.peers(hub).size());
+  }
+  EXPECT_GE(topo.graph.peers(first).size(), max_peers / 3);
+}
+
+TEST(Generator, DegreeDistributionIsHeavyTailed) {
+  const auto topo = generate_internet(small_params(14, 2000));
+  std::vector<std::size_t> degrees;
+  for (AsId as = 0; as < topo.graph.num_ases(); ++as) {
+    degrees.push_back(topo.graph.degree(as));
+  }
+  std::sort(degrees.begin(), degrees.end());
+  const std::size_t median = degrees[degrees.size() / 2];
+  const std::size_t max = degrees.back();
+  // An Internet-like graph has hubs orders of magnitude above the median.
+  EXPECT_LE(median, 12u);
+  EXPECT_GE(max, 20u * std::max<std::size_t>(median, 1));
+}
+
+// Parameterized structural sweep: across sizes and seeds the generator must
+// always produce a connected graph with an acyclic provider hierarchy.
+struct SweepParam {
+  std::size_t num_ases;
+  std::uint64_t seed;
+};
+
+class GeneratorSweep : public ::testing::TestWithParam<SweepParam> {};
+
+TEST_P(GeneratorSweep, ConnectedAndAcyclic) {
+  GeneratorParams p;
+  p.num_ases = GetParam().num_ases;
+  p.tier1_count = 5;
+  p.seed = GetParam().seed;
+  const auto topo = generate_internet(p);
+  EXPECT_TRUE(topo.graph.provider_hierarchy_is_acyclic());
+  EXPECT_TRUE(topo.graph.is_connected());
+  EXPECT_EQ(topo.graph.num_ases(), p.num_ases);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SizesAndSeeds, GeneratorSweep,
+    ::testing::Values(SweepParam{200, 1}, SweepParam{200, 2},
+                      SweepParam{500, 3}, SweepParam{500, 4},
+                      SweepParam{1200, 5}, SweepParam{1200, 6},
+                      SweepParam{3000, 7}, SweepParam{3000, 8}));
+
+// ------------------------------------------------------------- capacity
+
+TEST(Capacity, DegreeGravityMatchesFormula) {
+  Graph g;
+  const AsId a = g.add_as();
+  const AsId b = g.add_as();
+  const AsId c = g.add_as();
+  g.add_peering(a, b);       // deg(a)=2 after both links
+  g.add_provider_customer(a, c);
+  assign_degree_gravity_capacities(g);
+  // deg(a) = 2, deg(b) = 1, deg(c) = 1.
+  EXPECT_DOUBLE_EQ(g.link(*g.link_between(a, b)).capacity, 2.0);
+  EXPECT_DOUBLE_EQ(g.link(*g.link_between(a, c)).capacity, 2.0);
+}
+
+TEST(Capacity, ExponentAndScaleApply) {
+  Graph g;
+  const AsId a = g.add_as();
+  const AsId b = g.add_as();
+  g.add_peering(a, b);
+  assign_degree_gravity_capacities(g, {10.0, 2.0});
+  EXPECT_DOUBLE_EQ(g.link(0).capacity, 10.0);  // (1*1)^2 * 10
+}
+
+TEST(Capacity, PathBandwidthIsMinOverLinks) {
+  Graph g;
+  const AsId a = g.add_as();
+  const AsId b = g.add_as();
+  const AsId c = g.add_as();
+  g.add_peering(a, b);
+  g.add_peering(b, c);
+  g.link(0).capacity = 5.0;
+  g.link(1).capacity = 2.0;
+  EXPECT_DOUBLE_EQ(path_bandwidth(g, {a, b, c}), 2.0);
+}
+
+TEST(Capacity, PathBandwidthRejectsBrokenPath) {
+  Graph g;
+  const AsId a = g.add_as();
+  const AsId b = g.add_as();
+  const AsId c = g.add_as();
+  g.add_peering(a, b);
+  EXPECT_THROW((void)path_bandwidth(g, {a, c}), util::PreconditionError);
+  EXPECT_THROW((void)path_bandwidth(g, {a}), util::PreconditionError);
+}
+
+TEST(Capacity, RejectsNonPositiveParams) {
+  Graph g;
+  g.add_as();
+  EXPECT_THROW(assign_degree_gravity_capacities(g, {0.0, 1.0}),
+               util::PreconditionError);
+  EXPECT_THROW(assign_degree_gravity_capacities(g, {1.0, 0.0}),
+               util::PreconditionError);
+}
+
+}  // namespace
+}  // namespace panagree::topology

@@ -1,0 +1,219 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "panagree/topology/examples.hpp"
+#include "panagree/topology/graph.hpp"
+
+namespace panagree::topology {
+namespace {
+
+TEST(Graph, AddAsAssignsSequentialIds) {
+  Graph g;
+  EXPECT_EQ(g.add_as(), 0u);
+  EXPECT_EQ(g.add_as(), 1u);
+  EXPECT_EQ(g.num_ases(), 2u);
+}
+
+TEST(Graph, DefaultNamesAreStable) {
+  Graph g;
+  const AsId a = g.add_as();
+  EXPECT_EQ(g.info(a).name, "AS0");
+  EXPECT_EQ(g.find_by_name("AS0"), a);
+}
+
+TEST(Graph, RejectsDuplicateNames) {
+  Graph g;
+  g.add_as("x");
+  EXPECT_THROW(g.add_as("x"), util::PreconditionError);
+}
+
+TEST(Graph, ProviderCustomerPopulatesNeighborSets) {
+  Graph g;
+  const AsId p = g.add_as("p");
+  const AsId c = g.add_as("c");
+  g.add_provider_customer(p, c);
+  ASSERT_EQ(g.customers(p).size(), 1u);
+  EXPECT_EQ(g.customers(p)[0], c);
+  ASSERT_EQ(g.providers(c).size(), 1u);
+  EXPECT_EQ(g.providers(c)[0], p);
+  EXPECT_TRUE(g.peers(p).empty());
+}
+
+TEST(Graph, PeeringIsSymmetric) {
+  Graph g;
+  const AsId a = g.add_as();
+  const AsId b = g.add_as();
+  g.add_peering(a, b);
+  EXPECT_TRUE(g.are_peers(a, b));
+  EXPECT_TRUE(g.are_peers(b, a));
+}
+
+TEST(Graph, RejectsSelfLoops) {
+  Graph g;
+  const AsId a = g.add_as();
+  EXPECT_THROW(g.add_peering(a, a), util::PreconditionError);
+  EXPECT_THROW(g.add_provider_customer(a, a), util::PreconditionError);
+}
+
+TEST(Graph, RejectsSecondRelationshipPerPair) {
+  Graph g;
+  const AsId a = g.add_as();
+  const AsId b = g.add_as();
+  g.add_provider_customer(a, b);
+  EXPECT_THROW(g.add_peering(a, b), util::PreconditionError);
+  EXPECT_THROW(g.add_provider_customer(b, a), util::PreconditionError);
+}
+
+TEST(Graph, RoleOfReportsBothPerspectives) {
+  Graph g;
+  const AsId p = g.add_as();
+  const AsId c = g.add_as();
+  g.add_provider_customer(p, c);
+  EXPECT_EQ(g.role_of(c, p), NeighborRole::kProvider);
+  EXPECT_EQ(g.role_of(p, c), NeighborRole::kCustomer);
+  EXPECT_FALSE(g.role_of(p, p).has_value());
+}
+
+TEST(Graph, LinkBetweenFindsEitherDirection) {
+  Graph g;
+  const AsId a = g.add_as();
+  const AsId b = g.add_as();
+  const LinkId id = g.add_provider_customer(a, b);
+  EXPECT_EQ(g.link_between(a, b), id);
+  EXPECT_EQ(g.link_between(b, a), id);
+  EXPECT_FALSE(g.link_between(a, a).has_value());
+}
+
+TEST(Graph, LinkOtherEndpoint) {
+  Graph g;
+  const AsId a = g.add_as();
+  const AsId b = g.add_as();
+  const LinkId id = g.add_peering(a, b);
+  EXPECT_EQ(g.link(id).other(a), b);
+  EXPECT_EQ(g.link(id).other(b), a);
+}
+
+TEST(Graph, DegreeCountsAllRoles) {
+  Graph g;
+  const AsId x = g.add_as();
+  const AsId p = g.add_as();
+  const AsId q = g.add_as();
+  const AsId c = g.add_as();
+  g.add_provider_customer(p, x);
+  g.add_peering(x, q);
+  g.add_provider_customer(x, c);
+  EXPECT_EQ(g.degree(x), 3u);
+  const auto n = g.neighbors(x);
+  EXPECT_EQ(n.size(), 3u);
+  EXPECT_NE(std::find(n.begin(), n.end(), p), n.end());
+  EXPECT_NE(std::find(n.begin(), n.end(), q), n.end());
+  EXPECT_NE(std::find(n.begin(), n.end(), c), n.end());
+}
+
+TEST(Graph, ProviderHierarchyAcyclicOnChains) {
+  Graph g;
+  const AsId a = g.add_as();
+  const AsId b = g.add_as();
+  const AsId c = g.add_as();
+  g.add_provider_customer(a, b);
+  g.add_provider_customer(b, c);
+  EXPECT_TRUE(g.provider_hierarchy_is_acyclic());
+}
+
+TEST(Graph, ProviderHierarchyDetectsCycle) {
+  Graph g;
+  const AsId a = g.add_as();
+  const AsId b = g.add_as();
+  const AsId c = g.add_as();
+  g.add_provider_customer(a, b);
+  g.add_provider_customer(b, c);
+  g.add_provider_customer(c, a);
+  EXPECT_FALSE(g.provider_hierarchy_is_acyclic());
+}
+
+TEST(Graph, ConnectivityDetection) {
+  Graph g;
+  const AsId a = g.add_as();
+  const AsId b = g.add_as();
+  const AsId c = g.add_as();
+  g.add_peering(a, b);
+  EXPECT_FALSE(g.is_connected());
+  g.add_peering(b, c);
+  EXPECT_TRUE(g.is_connected());
+}
+
+TEST(Graph, EmptyGraphIsConnected) {
+  const Graph g;
+  EXPECT_TRUE(g.is_connected());
+}
+
+TEST(Graph, CustomerConeIncludesSelfAndTransitives) {
+  Graph g;
+  const AsId a = g.add_as();
+  const AsId b = g.add_as();
+  const AsId c = g.add_as();
+  const AsId d = g.add_as();
+  g.add_provider_customer(a, b);
+  g.add_provider_customer(b, c);
+  g.add_peering(a, d);
+  const auto cone = customer_cone(g, a);
+  EXPECT_EQ(cone, (std::vector<AsId>{a, b, c}));
+}
+
+TEST(Graph, CustomerConeOfStubIsItself) {
+  Graph g;
+  const AsId a = g.add_as();
+  const AsId b = g.add_as();
+  g.add_provider_customer(a, b);
+  EXPECT_EQ(customer_cone(g, b), std::vector<AsId>{b});
+}
+
+// ------------------------------------------------------ example topologies
+
+TEST(Fig1, MatchesThePaperStructure) {
+  const Fig1 t = make_fig1();
+  const Graph& g = t.graph;
+  EXPECT_EQ(g.num_ases(), 9u);
+  // Peerings of the figure.
+  EXPECT_TRUE(g.are_peers(t.A, t.B));
+  EXPECT_TRUE(g.are_peers(t.C, t.D));
+  EXPECT_TRUE(g.are_peers(t.D, t.E));
+  EXPECT_TRUE(g.are_peers(t.E, t.F));
+  EXPECT_TRUE(g.are_peers(t.F, t.G));
+  // Provider->customer links referenced in the text.
+  EXPECT_TRUE(g.is_provider_of(t.A, t.D));
+  EXPECT_TRUE(g.is_provider_of(t.B, t.E));
+  EXPECT_TRUE(g.is_provider_of(t.D, t.H));
+  EXPECT_TRUE(g.is_provider_of(t.E, t.I));
+  EXPECT_TRUE(g.provider_hierarchy_is_acyclic());
+  EXPECT_TRUE(g.is_connected());
+}
+
+TEST(Fig1, DAndEArePureTransitASesForTheExample) {
+  const Fig1 t = make_fig1();
+  // D's customers: H. E's customers: I (the peering example of §III-B1).
+  EXPECT_EQ(t.graph.customers(t.D), std::vector<AsId>{t.H});
+  EXPECT_EQ(t.graph.customers(t.E), std::vector<AsId>{t.I});
+}
+
+TEST(Diamond, HasExpectedShape) {
+  const Diamond t = make_diamond();
+  EXPECT_TRUE(t.graph.is_provider_of(t.P, t.X));
+  EXPECT_TRUE(t.graph.is_provider_of(t.P, t.Y));
+  EXPECT_TRUE(t.graph.are_peers(t.X, t.Y));
+  EXPECT_TRUE(t.graph.is_provider_of(t.X, t.CX));
+  EXPECT_TRUE(t.graph.is_provider_of(t.Y, t.CY));
+  EXPECT_TRUE(t.graph.provider_hierarchy_is_acyclic());
+}
+
+TEST(ToString, RolesAndLinkTypes) {
+  EXPECT_STREQ(to_string(NeighborRole::kProvider), "provider");
+  EXPECT_STREQ(to_string(NeighborRole::kPeer), "peer");
+  EXPECT_STREQ(to_string(NeighborRole::kCustomer), "customer");
+  EXPECT_STREQ(to_string(LinkType::kPeering), "peering");
+  EXPECT_STREQ(to_string(LinkType::kProviderCustomer), "provider-customer");
+}
+
+}  // namespace
+}  // namespace panagree::topology

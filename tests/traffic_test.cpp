@@ -1,0 +1,123 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "panagree/topology/examples.hpp"
+#include "panagree/traffic/elasticity.hpp"
+#include "panagree/traffic/matrix.hpp"
+
+namespace panagree::traffic {
+namespace {
+
+using topology::make_fig1;
+
+TEST(Gravity, MassIsOnePlusCustomers) {
+  const auto t = make_fig1();
+  EXPECT_DOUBLE_EQ(gravity_mass(t.graph, t.H), 1.0);
+  EXPECT_DOUBLE_EQ(gravity_mass(t.graph, t.D), 2.0);  // customer H
+  EXPECT_DOUBLE_EQ(gravity_mass(t.graph, t.A), 3.0);  // customers C, D
+}
+
+TEST(Gravity, AllPairsVolumesSumToTotal) {
+  const auto t = make_fig1();
+  util::Rng rng(1);
+  GravityParams params;
+  params.total_volume = 500.0;
+  const auto demands = generate_gravity_demands(t.graph, params, rng);
+  EXPECT_EQ(demands.size(), 9u * 8u);
+  double total = 0.0;
+  for (const Demand& d : demands) {
+    EXPECT_NE(d.src, d.dst);
+    EXPECT_GT(d.volume, 0.0);
+    total += d.volume;
+  }
+  EXPECT_NEAR(total, 500.0, 1e-9);
+}
+
+TEST(Gravity, HeavierPairsGetMoreTraffic) {
+  const auto t = make_fig1();
+  util::Rng rng(2);
+  const auto demands = generate_gravity_demands(t.graph, {}, rng);
+  double ab = 0.0;
+  double hi = 0.0;
+  for (const Demand& d : demands) {
+    if (d.src == t.A && d.dst == t.B) {
+      ab = d.volume;
+    }
+    if (d.src == t.H && d.dst == t.I) {
+      hi = d.volume;
+    }
+  }
+  // Masses: A has customers {C, D} -> 3; B has {E, F, G} -> 4; H, I -> 1.
+  EXPECT_GT(ab, hi);
+  EXPECT_NEAR(ab / hi, 12.0, 1e-9);
+}
+
+TEST(Gravity, SampledModeRespectsPairBudget) {
+  const auto t = make_fig1();
+  util::Rng rng(3);
+  GravityParams params;
+  params.total_volume = 100.0;
+  params.sampled_pairs = 10;
+  const auto demands = generate_gravity_demands(t.graph, params, rng);
+  EXPECT_EQ(demands.size(), 10u);
+  for (const Demand& d : demands) {
+    EXPECT_NE(d.src, d.dst);
+    EXPECT_DOUBLE_EQ(d.volume, 10.0);
+  }
+}
+
+TEST(Gravity, ExponentZeroMakesUniformDemands) {
+  const auto t = make_fig1();
+  util::Rng rng(4);
+  GravityParams params;
+  params.exponent = 0.0;
+  const auto demands = generate_gravity_demands(t.graph, params, rng);
+  for (const Demand& d : demands) {
+    EXPECT_NEAR(d.volume, demands.front().volume, 1e-12);
+  }
+}
+
+TEST(Elasticity, NoImprovementAttractsNothing) {
+  const DemandElasticity e;
+  EXPECT_DOUBLE_EQ(e.max_new_demand(100.0, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(e.max_new_demand(100.0, -0.5), 0.0);
+}
+
+TEST(Elasticity, MonotoneInImprovement) {
+  const DemandElasticity e;
+  double prev = 0.0;
+  for (double h = 0.05; h <= 2.0; h += 0.05) {
+    const double cur = e.max_new_demand(100.0, h);
+    EXPECT_GE(cur, prev);
+    prev = cur;
+  }
+}
+
+TEST(Elasticity, SaturatesAtLatentDemand) {
+  const DemandElasticity e({.max_new_fraction = 0.5, .half_point = 0.25});
+  EXPECT_LT(e.max_new_demand(100.0, 100.0), 50.0);
+  EXPECT_NEAR(e.max_new_demand(100.0, 100.0), 50.0, 1.0);
+}
+
+TEST(Elasticity, HalfPointAttractsHalfTheLatentDemand) {
+  const DemandElasticity e({.max_new_fraction = 0.4, .half_point = 0.2});
+  EXPECT_NEAR(e.max_new_demand(100.0, 0.2), 20.0, 1e-9);
+}
+
+TEST(Elasticity, ScalesLinearlyWithBaseDemand) {
+  const DemandElasticity e;
+  const double small = e.max_new_demand(10.0, 0.3);
+  const double large = e.max_new_demand(100.0, 0.3);
+  EXPECT_NEAR(large, 10.0 * small, 1e-9);
+}
+
+TEST(Elasticity, RejectsBadParams) {
+  EXPECT_THROW(DemandElasticity({.max_new_fraction = -0.1, .half_point = 0.2}),
+               util::PreconditionError);
+  EXPECT_THROW(DemandElasticity({.max_new_fraction = 0.5, .half_point = 0.0}),
+               util::PreconditionError);
+}
+
+}  // namespace
+}  // namespace panagree::traffic

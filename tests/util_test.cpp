@@ -1,0 +1,335 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <sstream>
+
+#include "panagree/util/error.hpp"
+#include "panagree/util/rng.hpp"
+#include "panagree/util/stats.hpp"
+#include "panagree/util/table.hpp"
+
+namespace panagree::util {
+namespace {
+
+// ------------------------------------------------------------------- Rng
+
+TEST(Rng, IsDeterministicForEqualSeeds) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.next(), b.next());
+  }
+}
+
+TEST(Rng, DiffersAcrossSeeds) {
+  Rng a(1);
+  Rng b(2);
+  bool any_diff = false;
+  for (int i = 0; i < 16; ++i) {
+    any_diff |= a.next() != b.next();
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(Rng, UniformStaysInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformRangeRespectsBounds) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform(-3.5, 2.0);
+    EXPECT_GE(u, -3.5);
+    EXPECT_LT(u, 2.0);
+  }
+}
+
+TEST(Rng, UniformMeanIsCentered) {
+  Rng rng(11);
+  double sum = 0.0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) {
+    sum += rng.uniform();
+  }
+  EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(Rng, UniformIndexCoversAllValues) {
+  Rng rng(3);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    seen.insert(rng.uniform_index(7));
+  }
+  EXPECT_EQ(seen.size(), 7u);
+  EXPECT_EQ(*seen.begin(), 0u);
+  EXPECT_EQ(*seen.rbegin(), 6u);
+}
+
+TEST(Rng, UniformIndexRejectsZero) {
+  Rng rng(3);
+  EXPECT_THROW((void)rng.uniform_index(0), PreconditionError);
+}
+
+TEST(Rng, UniformIntInclusiveBounds) {
+  Rng rng(5);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 2000; ++i) {
+    const auto v = rng.uniform_int(-2, 2);
+    EXPECT_GE(v, -2);
+    EXPECT_LE(v, 2);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 5u);
+}
+
+TEST(Rng, NormalMatchesMoments) {
+  Rng rng(13);
+  const int n = 200000;
+  double sum = 0.0;
+  double sq = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double v = rng.normal(2.0, 3.0);
+    sum += v;
+    sq += v * v;
+  }
+  const double mean = sum / n;
+  const double var = sq / n - mean * mean;
+  EXPECT_NEAR(mean, 2.0, 0.05);
+  EXPECT_NEAR(std::sqrt(var), 3.0, 0.05);
+}
+
+TEST(Rng, ExponentialMeanMatchesRate) {
+  Rng rng(17);
+  const int n = 100000;
+  double sum = 0.0;
+  for (int i = 0; i < n; ++i) {
+    sum += rng.exponential(4.0);
+  }
+  EXPECT_NEAR(sum / n, 0.25, 0.01);
+}
+
+TEST(Rng, ParetoRespectsMinimum) {
+  Rng rng(19);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_GE(rng.pareto(2.0, 1.5), 1.5);
+  }
+}
+
+TEST(Rng, ShufflePreservesElements) {
+  Rng rng(23);
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7};
+  auto shuffled = v;
+  rng.shuffle(shuffled);
+  std::sort(shuffled.begin(), shuffled.end());
+  EXPECT_EQ(shuffled, v);
+}
+
+TEST(Rng, SampleWithoutReplacementIsDistinct) {
+  Rng rng(29);
+  const auto sample = rng.sample_without_replacement(100, 30);
+  std::set<std::size_t> unique(sample.begin(), sample.end());
+  EXPECT_EQ(unique.size(), 30u);
+  for (const auto i : sample) {
+    EXPECT_LT(i, 100u);
+  }
+}
+
+TEST(Rng, SampleWithoutReplacementFullRange) {
+  Rng rng(31);
+  const auto sample = rng.sample_without_replacement(5, 5);
+  std::set<std::size_t> unique(sample.begin(), sample.end());
+  EXPECT_EQ(unique.size(), 5u);
+}
+
+TEST(Rng, SampleWithoutReplacementRejectsOverdraw) {
+  Rng rng(31);
+  EXPECT_THROW((void)rng.sample_without_replacement(3, 4), PreconditionError);
+}
+
+TEST(Rng, WeightedIndexFollowsWeights) {
+  Rng rng(37);
+  const std::vector<double> weights{1.0, 0.0, 3.0};
+  std::array<int, 3> counts{};
+  for (int i = 0; i < 40000; ++i) {
+    ++counts[rng.weighted_index(weights)];
+  }
+  EXPECT_EQ(counts[1], 0);
+  EXPECT_NEAR(static_cast<double>(counts[2]) / counts[0], 3.0, 0.2);
+}
+
+TEST(Rng, WeightedIndexRejectsAllZero) {
+  Rng rng(37);
+  EXPECT_THROW((void)rng.weighted_index({0.0, 0.0}), PreconditionError);
+}
+
+TEST(Rng, SplitProducesIndependentStream) {
+  Rng a(41);
+  Rng b = a.split();
+  bool differs = false;
+  for (int i = 0; i < 8; ++i) {
+    differs |= a.next() != b.next();
+  }
+  EXPECT_TRUE(differs);
+}
+
+// ----------------------------------------------------------------- stats
+
+TEST(Stats, MeanOfEmptyIsZero) {
+  EXPECT_EQ(mean({}), 0.0);
+}
+
+TEST(Stats, MeanAndStddevBasics) {
+  const std::vector<double> v{2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+  EXPECT_DOUBLE_EQ(mean(v), 5.0);
+  EXPECT_DOUBLE_EQ(stddev(v), 2.0);
+}
+
+TEST(Stats, PercentileEndpoints) {
+  const std::vector<double> v{5.0, 1.0, 3.0};
+  EXPECT_DOUBLE_EQ(percentile(v, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 1.0), 5.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 0.5), 3.0);
+}
+
+TEST(Stats, PercentileInterpolates) {
+  const std::vector<double> v{0.0, 10.0};
+  EXPECT_DOUBLE_EQ(percentile(v, 0.25), 2.5);
+}
+
+TEST(Stats, PercentileRejectsEmpty) {
+  EXPECT_THROW((void)percentile({}, 0.5), PreconditionError);
+}
+
+TEST(Stats, SummarizeReportsAllFields) {
+  const std::vector<double> v{1.0, 2.0, 3.0, 4.0};
+  const Summary s = summarize(v);
+  EXPECT_EQ(s.count, 4u);
+  EXPECT_DOUBLE_EQ(s.mean, 2.5);
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 4.0);
+  EXPECT_DOUBLE_EQ(s.median, 2.5);
+}
+
+TEST(Cdf, FractionAtOrBelow) {
+  const Cdf cdf({1.0, 2.0, 2.0, 3.0});
+  EXPECT_DOUBLE_EQ(cdf.fraction_at_or_below(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(cdf.fraction_at_or_below(1.0), 0.25);
+  EXPECT_DOUBLE_EQ(cdf.fraction_at_or_below(2.0), 0.75);
+  EXPECT_DOUBLE_EQ(cdf.fraction_at_or_below(10.0), 1.0);
+}
+
+TEST(Cdf, FractionAboveComplements) {
+  const Cdf cdf({1.0, 2.0, 3.0, 4.0});
+  EXPECT_DOUBLE_EQ(cdf.fraction_above(2.0), 0.5);
+}
+
+TEST(Cdf, ValueAtFractionInvertsCdf) {
+  const Cdf cdf({10.0, 20.0, 30.0, 40.0});
+  EXPECT_DOUBLE_EQ(cdf.value_at_fraction(0.25), 10.0);
+  EXPECT_DOUBLE_EQ(cdf.value_at_fraction(0.5), 20.0);
+  EXPECT_DOUBLE_EQ(cdf.value_at_fraction(1.0), 40.0);
+}
+
+TEST(Cdf, EvaluateAtMultiplePositions) {
+  const Cdf cdf({1.0, 2.0, 3.0});
+  const std::vector<double> xs{0.0, 1.5, 5.0};
+  const auto ys = cdf.evaluate_at(xs);
+  ASSERT_EQ(ys.size(), 3u);
+  EXPECT_DOUBLE_EQ(ys[0], 0.0);
+  EXPECT_NEAR(ys[1], 1.0 / 3.0, 1e-12);
+  EXPECT_DOUBLE_EQ(ys[2], 1.0);
+}
+
+TEST(Stats, LogSpaceEndpointsAndMonotonicity) {
+  const auto xs = log_space(1.0, 1000.0, 4);
+  ASSERT_EQ(xs.size(), 4u);
+  EXPECT_NEAR(xs.front(), 1.0, 1e-9);
+  EXPECT_NEAR(xs.back(), 1000.0, 1e-6);
+  EXPECT_NEAR(xs[1], 10.0, 1e-6);
+  EXPECT_TRUE(std::is_sorted(xs.begin(), xs.end()));
+}
+
+TEST(Stats, LinSpaceEndpoints) {
+  const auto xs = lin_space(0.0, 1.0, 5);
+  ASSERT_EQ(xs.size(), 5u);
+  EXPECT_DOUBLE_EQ(xs[0], 0.0);
+  EXPECT_DOUBLE_EQ(xs[2], 0.5);
+  EXPECT_DOUBLE_EQ(xs[4], 1.0);
+}
+
+// ----------------------------------------------------------------- table
+
+TEST(Table, RendersAlignedRows) {
+  Table t({"a", "long-header"});
+  t.add_row({"1", "2"});
+  std::ostringstream os;
+  t.print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("long-header"), std::string::npos);
+  EXPECT_NE(out.find("1"), std::string::npos);
+}
+
+TEST(Table, RejectsArityMismatch) {
+  Table t({"a", "b"});
+  EXPECT_THROW(t.add_row({std::string("only-one")}), PreconditionError);
+}
+
+TEST(Table, CsvOutputIsTagged) {
+  Table t({"x", "y"});
+  t.add_row({1.5, 2.0});
+  std::ostringstream os;
+  t.print_csv(os, "fig");
+  EXPECT_NE(os.str().find("csv,fig,x,y"), std::string::npos);
+  EXPECT_NE(os.str().find("csv,fig,1.5,2"), std::string::npos);
+}
+
+TEST(Table, FormatDoubleTrimsZeros) {
+  EXPECT_EQ(format_double(1.5000, 4), "1.5");
+  EXPECT_EQ(format_double(2.0, 4), "2");
+  EXPECT_EQ(format_double(-0.00001, 2), "0");
+}
+
+// ----------------------------------------------------------------- error
+
+TEST(Error, RequireThrowsWithMessage) {
+  try {
+    require(false, "broken precondition");
+    FAIL() << "expected throw";
+  } catch (const PreconditionError& e) {
+    EXPECT_STREQ(e.what(), "broken precondition");
+  }
+}
+
+TEST(Error, AssertMacroThrowsLogicError) {
+  EXPECT_THROW(PANAGREE_ASSERT(1 == 2), std::logic_error);
+}
+
+// Parameterized sweep: percentile must be monotone in q for any sample.
+class PercentileSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(PercentileSweep, MonotoneInQ) {
+  Rng rng(GetParam());
+  std::vector<double> sample;
+  for (int i = 0; i < 50; ++i) {
+    sample.push_back(rng.uniform(-10.0, 10.0));
+  }
+  double prev = percentile(sample, 0.0);
+  for (double q = 0.1; q <= 1.0; q += 0.1) {
+    const double cur = percentile(sample, q);
+    EXPECT_GE(cur, prev - 1e-12);
+    prev = cur;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PercentileSweep,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+}  // namespace
+}  // namespace panagree::util

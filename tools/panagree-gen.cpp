@@ -1,0 +1,68 @@
+// panagree-gen: generate a synthetic Internet-like AS topology and export
+// it in the CAIDA as-rel2 format.
+//
+//   panagree-gen [num_ases] [seed] [output-file]
+//
+// Defaults: 12000 ASes, seed 424242, stdout. The exported file round-trips
+// through topology::caida::parse (geolocation and capacities are derived
+// attributes and not part of the as-rel2 format).
+#include <fstream>
+#include <iostream>
+#include <string>
+
+#include "panagree/topology/caida.hpp"
+#include "panagree/topology/generator.hpp"
+
+using namespace panagree;
+
+int main(int argc, char** argv) {
+  topology::GeneratorParams params;
+  params.num_ases = 12000;
+  params.tier1_count = 12;
+  params.seed = 424242;
+  std::string output;
+  try {
+    if (argc > 1) {
+      params.num_ases = std::stoul(argv[1]);
+    }
+    if (argc > 2) {
+      params.seed = std::stoull(argv[2]);
+    }
+    if (argc > 3) {
+      output = argv[3];
+    }
+  } catch (const std::exception&) {
+    std::cerr << "usage: panagree-gen [num_ases] [seed] [output-file]\n";
+    return 2;
+  }
+
+  try {
+    const auto topo = topology::generate_internet(params);
+    std::size_t peerings = 0;
+    for (const auto& link : topo.graph.links()) {
+      if (link.type == topology::LinkType::kPeering) {
+        ++peerings;
+      }
+    }
+    std::cerr << "generated " << topo.graph.num_ases() << " ASes, "
+              << topo.graph.num_links() << " links (" << peerings
+              << " peering / " << topo.graph.num_links() - peerings
+              << " provider-customer), " << topo.ixps.size() << " IXPs, "
+              << topo.hubs.size() << " open-peering hubs\n";
+    if (output.empty()) {
+      topology::caida::write(topo.graph, std::cout);
+    } else {
+      std::ofstream out(output);
+      if (!out) {
+        std::cerr << "cannot open " << output << " for writing\n";
+        return 1;
+      }
+      topology::caida::write(topo.graph, out);
+      std::cerr << "wrote " << output << "\n";
+    }
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+  return 0;
+}
