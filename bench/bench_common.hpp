@@ -29,6 +29,15 @@ inline std::size_t num_sources() {
   return 500;
 }
 
+/// Worker threads for per-source fan-outs (0 = one per hardware core);
+/// override with PANAGREE_THREADS. Results are thread-count independent.
+inline std::size_t num_threads() {
+  if (const char* env = std::getenv("PANAGREE_THREADS")) {
+    return static_cast<std::size_t>(std::stoul(env));
+  }
+  return 0;
+}
+
 inline constexpr std::uint64_t kTopologySeed = 424242;
 inline constexpr std::uint64_t kSampleSeed = 7;
 

@@ -9,6 +9,7 @@
 // (latency proxy), the volume share carried by peering vs. provider links
 // (the revenue-relevant utilization shift), link utilization against
 // degree-gravity capacities, and the aggregate transit fees saved.
+#include <algorithm>
 #include <iostream>
 #include <unordered_map>
 
@@ -16,6 +17,7 @@
 #include "panagree/diversity/geodistance.hpp"
 #include "panagree/diversity/length3.hpp"
 #include "panagree/econ/business.hpp"
+#include "panagree/paths/parallel.hpp"
 #include "panagree/sim/flow_assignment.hpp"
 #include "panagree/traffic/matrix.hpp"
 #include "panagree/util/table.hpp"
@@ -58,38 +60,51 @@ int main() {
 
   const diversity::Length3Analyzer analyzer(g);
   const diversity::GeodistanceModel geodesy(g, topo.world);
-  std::unordered_map<AsId, SourceRoutes> routes;
 
-  const auto routes_for = [&](AsId src) -> SourceRoutes& {
-    auto it = routes.find(src);
-    if (it != routes.end()) {
-      return it->second;
-    }
-    SourceRoutes table;
-    for (const auto& p : analyzer.grc_paths(src)) {
-      const double km = geodesy.path_geodistance_km(p.src, p.mid, p.dst);
-      auto& slot = table.grc[p.dst];
-      if (slot.path.empty() || km < slot.geodistance_km) {
-        slot = BestPath{{p.src, p.mid, p.dst}, km};
-      }
-    }
-    table.ma = table.grc;  // GRC paths remain available under MAs
-    for (const auto& p : analyzer.ma_paths(src)) {
-      const double km = geodesy.path_geodistance_km(p.src, p.mid, p.dst);
-      auto& slot = table.ma[p.dst];
-      if (slot.path.empty() || km < slot.geodistance_km) {
-        slot = BestPath{{p.src, p.mid, p.dst}, km};
-      }
-    }
-    return routes.emplace(src, std::move(table)).first->second;
-  };
+  // Per-source routing tables are independent: precompute them for every
+  // distinct demand source over the parallel driver (deterministic merge).
+  std::vector<AsId> demand_sources;
+  demand_sources.reserve(demands.size());
+  for (const auto& demand : demands) {
+    demand_sources.push_back(demand.src);
+  }
+  std::sort(demand_sources.begin(), demand_sources.end());
+  demand_sources.erase(
+      std::unique(demand_sources.begin(), demand_sources.end()),
+      demand_sources.end());
+
+  auto tables = paths::map_sources(
+      demand_sources, benchcfg::num_threads(), [&](AsId src) {
+        SourceRoutes table;
+        for (const auto& p : analyzer.grc_paths(src)) {
+          const double km = geodesy.path_geodistance_km(p.src, p.mid, p.dst);
+          auto& slot = table.grc[p.dst];
+          if (slot.path.empty() || km < slot.geodistance_km) {
+            slot = BestPath{{p.src, p.mid, p.dst}, km};
+          }
+        }
+        table.ma = table.grc;  // GRC paths remain available under MAs
+        for (const auto& p : analyzer.ma_paths(src)) {
+          const double km = geodesy.path_geodistance_km(p.src, p.mid, p.dst);
+          auto& slot = table.ma[p.dst];
+          if (slot.path.empty() || km < slot.geodistance_km) {
+            slot = BestPath{{p.src, p.mid, p.dst}, km};
+          }
+        }
+        return table;
+      });
+  std::unordered_map<AsId, SourceRoutes> routes;
+  routes.reserve(demand_sources.size());
+  for (std::size_t i = 0; i < demand_sources.size(); ++i) {
+    routes.emplace(demand_sources[i], std::move(tables[i]));
+  }
 
   // Route every demand under both regimes.
   std::vector<sim::PathDemand> grc_flows, ma_flows;
   double grc_km_sum = 0.0, ma_km_sum = 0.0, routed_volume = 0.0;
   std::size_t routed = 0, switched = 0;
   for (const auto& demand : demands) {
-    SourceRoutes& table = routes_for(demand.src);
+    const SourceRoutes& table = routes.at(demand.src);
     const auto grc_it = table.grc.find(demand.dst);
     if (grc_it == table.grc.end()) {
       continue;  // not length-3-reachable under GRC: out of scope

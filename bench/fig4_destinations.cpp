@@ -26,6 +26,7 @@ int main() {
   diversity::DiversityParams params;
   params.sample_sources = benchcfg::num_sources();
   params.seed = benchcfg::kSampleSeed;
+  params.threads = benchcfg::num_threads();
   const auto report = diversity::analyze_path_diversity(topo.graph, params);
   std::cout << "analyzed sources: " << report.sources.size() << "\n\n";
 

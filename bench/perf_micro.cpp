@@ -1,19 +1,31 @@
 // Micro-benchmarks (google-benchmark) for the hot paths of the library:
 // topology generation, beaconing, diversity counting, PAN forwarding, and
 // the BOSCO mechanism pipeline.
+//
+// The *_GraphBaseline benchmarks preserve the pre-CSR implementations
+// (per-hop Graph::neighbors() allocation + unordered_map role lookups)
+// so the CompiledTopology speedup is measured, not asserted: compare
+// BM_RoleLookup_GraphBaseline vs BM_RoleLookup_Compiled and
+// BM_Length3*_GraphBaseline vs BM_Length3*_Csr.
 #include <benchmark/benchmark.h>
 
 #include <memory>
+#include <unordered_set>
+#include <utility>
+#include <vector>
 
 #include "panagree/bgp/analysis.hpp"
 #include "panagree/core/bosco/efficiency.hpp"
 #include "panagree/core/bosco/equilibrium.hpp"
 #include "panagree/diversity/length3.hpp"
+#include "panagree/diversity/report.hpp"
 #include "panagree/pan/beaconing.hpp"
 #include "panagree/pan/forwarding.hpp"
 #include "panagree/sim/engine.hpp"
+#include "panagree/topology/compiled.hpp"
 #include "panagree/topology/examples.hpp"
 #include "panagree/topology/generator.hpp"
+#include "panagree/util/rng.hpp"
 
 namespace {
 
@@ -28,6 +40,11 @@ const topology::GeneratedTopology& cached_topology() {
     return topology::generate_internet(params);
   }();
   return topo;
+}
+
+const topology::CompiledTopology& cached_compiled() {
+  static const topology::CompiledTopology compiled(cached_topology().graph);
+  return compiled;
 }
 
 void BM_GenerateInternet(benchmark::State& state) {
@@ -62,6 +79,163 @@ void BM_Length3Count(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_Length3Count);
+
+// ------------------------------------------------- CSR before/after pairs
+
+/// Mixed linked/unlinked AS pairs for the role-lookup benchmarks.
+std::vector<std::pair<topology::AsId, topology::AsId>> lookup_pairs() {
+  const auto& g = cached_topology().graph;
+  util::Rng rng(4242);
+  std::vector<std::pair<topology::AsId, topology::AsId>> pairs;
+  pairs.reserve(2048);
+  for (int i = 0; i < 1024; ++i) {
+    const auto& link = g.link(rng.uniform_index(g.num_links()));
+    pairs.emplace_back(link.a, link.b);
+    pairs.emplace_back(
+        static_cast<topology::AsId>(rng.uniform_index(g.num_ases())),
+        static_cast<topology::AsId>(rng.uniform_index(g.num_ases())));
+  }
+  return pairs;
+}
+
+void BM_RoleLookup_GraphBaseline(benchmark::State& state) {
+  const auto& g = cached_topology().graph;
+  const auto pairs = lookup_pairs();
+  for (auto _ : state) {
+    for (const auto& [x, y] : pairs) {
+      benchmark::DoNotOptimize(g.role_of(x, y));
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * pairs.size());
+}
+BENCHMARK(BM_RoleLookup_GraphBaseline);
+
+void BM_RoleLookup_Compiled(benchmark::State& state) {
+  const auto& c = cached_compiled();
+  const auto pairs = lookup_pairs();
+  for (auto _ : state) {
+    for (const auto& [x, y] : pairs) {
+      benchmark::DoNotOptimize(c.role_of(x, y));
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * pairs.size());
+}
+BENCHMARK(BM_RoleLookup_Compiled);
+
+/// The pre-CSR length-3 GRC enumeration (Graph::neighbors() allocates per
+/// mid AS), preserved as the speedup baseline.
+std::size_t legacy_grc_paths(const topology::Graph& g, topology::AsId src) {
+  std::size_t count = 0;
+  for (const topology::AsId m : g.providers(src)) {
+    for (const topology::AsId d : g.neighbors(m)) {
+      count += d != src;
+    }
+  }
+  for (const topology::AsId m : g.peers(src)) {
+    for (const topology::AsId d : g.customers(m)) {
+      count += d != src;
+    }
+  }
+  for (const topology::AsId m : g.customers(src)) {
+    for (const topology::AsId d : g.customers(m)) {
+      count += d != src;
+    }
+  }
+  return count;
+}
+
+/// The pre-CSR MA enumeration (unordered_map role lookup per candidate),
+/// preserved as the speedup baseline.
+std::size_t legacy_ma_paths(const topology::Graph& g, topology::AsId src) {
+  std::vector<std::pair<topology::AsId, topology::AsId>> out;
+  const auto excluded = [&](topology::AsId z) {
+    return z == src ||
+           g.role_of(src, z) == topology::NeighborRole::kCustomer;
+  };
+  for (const topology::AsId p : g.peers(src)) {
+    for (const topology::AsId z : g.providers(p)) {
+      if (!excluded(z)) {
+        out.emplace_back(p, z);
+      }
+    }
+    for (const topology::AsId z : g.peers(p)) {
+      if (!excluded(z)) {
+        out.emplace_back(p, z);
+      }
+    }
+  }
+  std::unordered_set<std::uint64_t> seen;
+  seen.reserve(out.size() * 2);
+  for (const auto& [m, d] : out) {
+    seen.insert((static_cast<std::uint64_t>(m) << 32) | d);
+  }
+  const auto add_indirect = [&](topology::AsId p) {
+    for (const topology::AsId q : g.peers(p)) {
+      if (q == src ||
+          g.role_of(q, src) == topology::NeighborRole::kCustomer) {
+        continue;
+      }
+      if (seen.insert((static_cast<std::uint64_t>(p) << 32) | q).second) {
+        out.emplace_back(p, q);
+      }
+    }
+  };
+  for (const topology::AsId p : g.customers(src)) {
+    add_indirect(p);
+  }
+  for (const topology::AsId p : g.peers(src)) {
+    add_indirect(p);
+  }
+  return out.size();
+}
+
+void BM_Length3Enumeration_GraphBaseline(benchmark::State& state) {
+  const auto& g = cached_topology().graph;
+  topology::AsId src = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(legacy_grc_paths(g, src) +
+                             legacy_ma_paths(g, src));
+    src = (src + 17) % static_cast<topology::AsId>(g.num_ases());
+  }
+}
+BENCHMARK(BM_Length3Enumeration_GraphBaseline);
+
+void BM_Length3Enumeration_Csr(benchmark::State& state) {
+  const diversity::Length3Analyzer analyzer(cached_topology().graph);
+  const auto& g = cached_topology().graph;
+  topology::AsId src = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(analyzer.grc_paths(src).size() +
+                             analyzer.ma_paths(src).size());
+    src = (src + 17) % static_cast<topology::AsId>(g.num_ases());
+  }
+}
+BENCHMARK(BM_Length3Enumeration_Csr);
+
+void BM_CompileTopology(benchmark::State& state) {
+  const auto& g = cached_topology().graph;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(topology::CompiledTopology(g));
+  }
+  state.SetItemsProcessed(state.iterations() * g.num_links());
+}
+BENCHMARK(BM_CompileTopology)->Unit(benchmark::kMillisecond);
+
+void BM_DiversityReport_Threads(benchmark::State& state) {
+  const auto& topo = cached_topology();
+  diversity::DiversityParams params;
+  params.sample_sources = 200;
+  params.threads = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        diversity::analyze_path_diversity(topo.graph, params));
+  }
+}
+BENCHMARK(BM_DiversityReport_Threads)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Unit(benchmark::kMillisecond);
 
 void BM_SipHash(benchmark::State& state) {
   const pan::MacKey key{1, 2};
@@ -101,9 +275,12 @@ BENCHMARK(BM_EventEngine)->Unit(benchmark::kMillisecond);
 
 void BM_ValleyFreeEnumeration(benchmark::State& state) {
   const auto t = topology::make_fig1();
+  // Compile once outside the loop: the Graph overload is a convenience
+  // adapter that would rebuild the snapshot per call.
+  const topology::CompiledTopology compiled(t.graph);
   for (auto _ : state) {
     benchmark::DoNotOptimize(
-        bgp::enumerate_valley_free_paths(t.graph, t.H, t.I, 6));
+        bgp::enumerate_valley_free_paths(compiled, t.H, t.I, 6));
   }
 }
 BENCHMARK(BM_ValleyFreeEnumeration);

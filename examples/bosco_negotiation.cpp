@@ -48,10 +48,15 @@ int main() {
   const auto& starts = info.strategy_x.starts();
   for (std::size_t i = 0; i < info.strategy_x.num_choices(); ++i) {
     if (starts[i] < starts[i + 1]) {
+      // Built via += to dodge a gcc 12 -Wrestrict false positive on
+      // chained std::string operator+ (GCC bug 105651).
+      std::string interval = "[";
+      interval += util::format_double(starts[i], 3);
+      interval += ", ";
+      interval += util::format_double(starts[i + 1], 3);
+      interval += ")";
       strategy.add_row(
-          {"[" + util::format_double(starts[i], 3) + ", " +
-               util::format_double(starts[i + 1], 3) + ")",
-           util::format_double(info.choices_x.value(i), 3)});
+          {std::move(interval), util::format_double(info.choices_x.value(i), 3)});
     }
   }
   std::cout << "Equilibrium strategy of X (threshold rule):\n";

@@ -1,9 +1,8 @@
 #include "panagree/bgp/analysis.hpp"
 
-#include <functional>
-
 #include "panagree/bgp/policy.hpp"
 #include "panagree/bgp/simulator.hpp"
+#include "panagree/paths/enumerator.hpp"
 
 namespace panagree::bgp {
 
@@ -11,37 +10,18 @@ std::vector<Path> enumerate_valley_free_paths(const Graph& graph, AsId src,
                                               AsId dst, std::size_t max_len) {
   util::require(src < graph.num_ases() && dst < graph.num_ases(),
                 "enumerate_valley_free_paths: AS out of range");
-  std::vector<Path> out;
-  if (src == dst) {
-    out.push_back({src});
-    return out;
-  }
-  std::vector<bool> on_path(graph.num_ases(), false);
-  Path path{src};
-  on_path[src] = true;
-  const std::function<void(AsId)> dfs = [&](AsId cur) {
-    if (path.size() >= max_len) {
-      return;
-    }
-    for (const AsId next : graph.neighbors(cur)) {
-      if (on_path[next]) {
-        continue;
-      }
-      path.push_back(next);
-      if (is_valley_free(graph, path)) {
-        if (next == dst) {
-          out.push_back(path);
-        } else {
-          on_path[next] = true;
-          dfs(next);
-          on_path[next] = false;
-        }
-      }
-      path.pop_back();
-    }
-  };
-  dfs(src);
-  return out;
+  return enumerate_valley_free_paths(topology::CompiledTopology(graph), src,
+                                     dst, max_len);
+}
+
+std::vector<Path> enumerate_valley_free_paths(
+    const topology::CompiledTopology& topo, AsId src, AsId dst,
+    std::size_t max_len) {
+  util::require(src < topo.num_ases() && dst < topo.num_ases(),
+                "enumerate_valley_free_paths: AS out of range");
+  const paths::PathEnumerator enumerator(topo);
+  return enumerator.paths_between(src, dst, max_len,
+                                  paths::ValleyFreeStep{});
 }
 
 int route_relationship_class(const Graph& graph, const Path& path) {

@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "panagree/bgp/spp.hpp"
+#include "panagree/topology/compiled.hpp"
 #include "panagree/topology/graph.hpp"
 
 namespace panagree::bgp {
@@ -11,8 +12,15 @@ namespace panagree::bgp {
 using topology::Graph;
 
 /// All simple valley-free paths from src to dst with at most `max_len` ASes.
+/// Convenience adapter: compiles a snapshot per call. Repeated callers
+/// should compile once and use the CompiledTopology overload.
 [[nodiscard]] std::vector<Path> enumerate_valley_free_paths(
     const Graph& graph, AsId src, AsId dst, std::size_t max_len = 6);
+
+/// Same, over an existing snapshot (no per-call compilation).
+[[nodiscard]] std::vector<Path> enumerate_valley_free_paths(
+    const topology::CompiledTopology& topo, AsId src, AsId dst,
+    std::size_t max_len = 6);
 
 /// Relationship class of a route as seen by its first AS (how the route was
 /// learned): 0 = from a customer, 1 = from a peer, 2 = from a provider.

@@ -1,21 +1,24 @@
 #include "panagree/bgp/policy.hpp"
 
 #include <algorithm>
-#include <functional>
+
+#include "panagree/paths/enumerator.hpp"
+#include "panagree/paths/parallel.hpp"
+#include "panagree/topology/compiled.hpp"
 
 namespace panagree::bgp {
 
 namespace {
 
-enum class Phase { kClimbing, kDescending };
+using topology::CompiledTopology;
 
 /// Relationship class used for GRC ranking: routes learned from customers
 /// beat peer routes beat provider routes.
-int route_class(const Graph& graph, const Path& path) {
+int route_class(const CompiledTopology& topo, const Path& path) {
   if (path.size() < 2) {
     return 0;
   }
-  switch (*graph.role_of(path[0], path[1])) {
+  switch (*topo.role_of(path[0], path[1])) {
     case NeighborRole::kCustomer:
       return 0;
     case NeighborRole::kPeer:
@@ -26,84 +29,11 @@ int route_class(const Graph& graph, const Path& path) {
   return 3;
 }
 
-struct StepRule {
-  /// Returns true if the DFS may extend `path` (ending at `cur`, in `phase`)
-  /// with the step cur -> next, and yields the next phase.
-  std::function<bool(AsId cur, AsId next, Phase phase, Phase& next_phase)>
-      allowed;
-};
-
-/// Enumerates simple paths src -> dst whose steps satisfy `rule`, up to
-/// `max_len` ASes.
-std::vector<Path> enumerate_paths(const Graph& graph, AsId src, AsId dst,
-                                  std::size_t max_len, const StepRule& rule) {
-  std::vector<Path> out;
-  if (src == dst) {
-    out.push_back({src});
-    return out;
-  }
-  std::vector<bool> on_path(graph.num_ases(), false);
-  Path path{src};
-  on_path[src] = true;
-
-  const std::function<void(AsId, Phase)> dfs = [&](AsId cur, Phase phase) {
-    if (path.size() >= max_len) {
-      return;
-    }
-    for (const AsId next : graph.neighbors(cur)) {
-      if (on_path[next]) {
-        continue;
-      }
-      Phase next_phase = phase;
-      if (!rule.allowed(cur, next, phase, next_phase)) {
-        continue;
-      }
-      path.push_back(next);
-      if (next == dst) {
-        out.push_back(path);
-      } else {
-        on_path[next] = true;
-        dfs(next, next_phase);
-        on_path[next] = false;
-      }
-      path.pop_back();
-    }
-  };
-  dfs(src, Phase::kClimbing);
-  return out;
-}
-
-/// The valley-free step rule: climb via providers, cross at most one peering
-/// link, then only descend via customers.
-bool valley_free_step(const Graph& graph, AsId cur, AsId next, Phase phase,
-                      Phase& next_phase) {
-  const auto role = graph.role_of(cur, next);
-  PANAGREE_ASSERT(role.has_value());
-  switch (*role) {
-    case NeighborRole::kProvider:  // climbing
-      if (phase != Phase::kClimbing) {
-        return false;
-      }
-      next_phase = Phase::kClimbing;
-      return true;
-    case NeighborRole::kPeer:  // the single allowed plateau step
-      if (phase != Phase::kClimbing) {
-        return false;
-      }
-      next_phase = Phase::kDescending;
-      return true;
-    case NeighborRole::kCustomer:  // descending
-      next_phase = Phase::kDescending;
-      return true;
-  }
-  return false;
-}
-
-void rank_paths(const Graph& graph, std::vector<Path>& paths,
+void rank_paths(const CompiledTopology& topo, std::vector<Path>& paths,
                 bool shorter_is_better) {
   std::sort(paths.begin(), paths.end(), [&](const Path& a, const Path& b) {
-    const int ca = route_class(graph, a);
-    const int cb = route_class(graph, b);
+    const int ca = route_class(topo, a);
+    const int cb = route_class(topo, b);
     if (ca != cb) {
       return ca < cb;
     }
@@ -114,24 +44,41 @@ void rank_paths(const Graph& graph, std::vector<Path>& paths,
   });
 }
 
+/// Enumerates, ranks, and installs the permitted paths of every node via
+/// the shared engine; one parallel fan-out over source nodes.
+template <typename Policy>
+SppInstance compile_spp(const CompiledTopology& topo, AsId destination,
+                        const GaoRexfordOptions& options,
+                        const Policy& policy) {
+  const paths::PathEnumerator enumerator(topo);
+
+  std::vector<AsId> nodes;
+  nodes.reserve(topo.num_ases());
+  for (AsId node = 0; node < topo.num_ases(); ++node) {
+    if (node != destination) {
+      nodes.push_back(node);
+    }
+  }
+  auto per_node = paths::map_sources(
+      nodes, options.threads, [&](AsId node) {
+        auto permitted = enumerator.paths_between(
+            node, destination, options.max_path_length, policy);
+        rank_paths(topo, permitted, options.shorter_is_better);
+        return permitted;
+      });
+
+  SppInstance instance(topo.num_ases(), destination);
+  for (std::size_t i = 0; i < nodes.size(); ++i) {
+    instance.set_permitted(nodes[i], std::move(per_node[i]));
+  }
+  return instance;
+}
+
 }  // namespace
 
 bool is_valley_free(const Graph& graph, const std::vector<AsId>& path) {
-  if (path.size() <= 1) {
-    return true;
-  }
-  Phase phase = Phase::kClimbing;
-  for (std::size_t i = 0; i + 1 < path.size(); ++i) {
-    if (!graph.role_of(path[i], path[i + 1]).has_value()) {
-      return false;  // not even a link
-    }
-    Phase next_phase = phase;
-    if (!valley_free_step(graph, path[i], path[i + 1], phase, next_phase)) {
-      return false;
-    }
-    phase = next_phase;
-  }
-  return true;
+  return paths::is_valley_free_walk(
+      path, [&](AsId x, AsId y) { return graph.role_of(x, y); });
 }
 
 bool grc_forwarding_allowed(const Graph& graph,
@@ -153,67 +100,33 @@ bool grc_forwarding_allowed(const Graph& graph,
 
 SppInstance make_gao_rexford_spp(const Graph& graph, AsId destination,
                                  const GaoRexfordOptions& options) {
-  util::require(destination < graph.num_ases(),
+  return make_gao_rexford_spp(CompiledTopology(graph), destination, options);
+}
+
+SppInstance make_gao_rexford_spp(const CompiledTopology& topo,
+                                 AsId destination,
+                                 const GaoRexfordOptions& options) {
+  util::require(destination < topo.num_ases(),
                 "make_gao_rexford_spp: destination out of range");
-  SppInstance instance(graph.num_ases(), destination);
-  const StepRule rule{[&graph](AsId cur, AsId next, Phase phase,
-                               Phase& next_phase) {
-    return valley_free_step(graph, cur, next, phase, next_phase);
-  }};
-  for (AsId node = 0; node < graph.num_ases(); ++node) {
-    if (node == destination) {
-      continue;
-    }
-    auto paths = enumerate_paths(graph, node, destination,
-                                 options.max_path_length, rule);
-    rank_paths(graph, paths, options.shorter_is_better);
-    instance.set_permitted(node, std::move(paths));
-  }
-  return instance;
+  return compile_spp(topo, destination, options, paths::ValleyFreeStep{});
 }
 
 SppInstance make_mutual_transit_spp(
     const Graph& graph, AsId destination,
     const std::vector<std::pair<AsId, AsId>>& mutual_transit,
     const GaoRexfordOptions& options) {
-  util::require(destination < graph.num_ases(),
+  return make_mutual_transit_spp(CompiledTopology(graph), destination,
+                                 mutual_transit, options);
+}
+
+SppInstance make_mutual_transit_spp(
+    const CompiledTopology& topo, AsId destination,
+    const std::vector<std::pair<AsId, AsId>>& mutual_transit,
+    const GaoRexfordOptions& options) {
+  util::require(destination < topo.num_ases(),
                 "make_mutual_transit_spp: destination out of range");
-  const auto is_mutual = [&mutual_transit](AsId x, AsId y) {
-    for (const auto& [a, b] : mutual_transit) {
-      if ((a == x && b == y) || (a == y && b == x)) {
-        return true;
-      }
-    }
-    return false;
-  };
-  // The mutual-transit agreement lets a party re-climb to its providers
-  // right after crossing the agreement peering link: the partner's traffic
-  // is forwarded into the party's providers (GRC violation of §II).
-  const StepRule rule{[&graph, &is_mutual](AsId cur, AsId next, Phase phase,
-                                           Phase& next_phase) {
-    const auto role = graph.role_of(cur, next);
-    PANAGREE_ASSERT(role.has_value());
-    if (*role == NeighborRole::kPeer && phase == Phase::kClimbing &&
-        is_mutual(cur, next)) {
-      // Crossing the agreement link keeps the "climbing" right: the partner
-      // may hand the traffic to its own provider next (a strict superset of
-      // the plain valley-free peer step, which would force a descent).
-      next_phase = Phase::kClimbing;
-      return true;
-    }
-    return valley_free_step(graph, cur, next, phase, next_phase);
-  }};
-  SppInstance instance(graph.num_ases(), destination);
-  for (AsId node = 0; node < graph.num_ases(); ++node) {
-    if (node == destination) {
-      continue;
-    }
-    auto paths = enumerate_paths(graph, node, destination,
-                                 options.max_path_length, rule);
-    rank_paths(graph, paths, options.shorter_is_better);
-    instance.set_permitted(node, std::move(paths));
-  }
-  return instance;
+  return compile_spp(topo, destination, options,
+                     paths::MutualTransitStep(mutual_transit));
 }
 
 }  // namespace panagree::bgp

@@ -10,11 +10,18 @@
 // GRC-violating "mutual provider access" policies (the paper's §II sibling
 // example) are compiled by make_mutual_transit_spp and feed the DISAGREE /
 // BAD GADGET demonstrations.
+//
+// Both compilers run on the shared paths::PathEnumerator engine: the graph
+// is compiled to a CSR snapshot once, per-node permitted paths are
+// enumerated under a valley-free (or mutual-transit-extended) step policy,
+// and nodes are fanned out over the parallel source driver. Results are
+// deterministic for every thread count.
 #pragma once
 
 #include <vector>
 
 #include "panagree/bgp/spp.hpp"
+#include "panagree/topology/compiled.hpp"
 #include "panagree/topology/graph.hpp"
 
 namespace panagree::bgp {
@@ -39,6 +46,9 @@ struct GaoRexfordOptions {
   std::size_t max_path_length = 6;
   /// Prefer shorter paths within the same relationship class.
   bool shorter_is_better = true;
+  /// Worker threads for the per-source enumeration fan-out; 0 = one per
+  /// hardware core. Results are identical for every value.
+  std::size_t threads = 0;
 };
 
 /// Compiles a Gao-Rexford SPP instance for `destination`: permitted paths
@@ -48,12 +58,24 @@ struct GaoRexfordOptions {
 [[nodiscard]] SppInstance make_gao_rexford_spp(
     const Graph& graph, AsId destination, const GaoRexfordOptions& options = {});
 
+/// Same, over an existing snapshot: callers compiling SPP instances for
+/// many destinations of one graph should compile once and use this.
+[[nodiscard]] SppInstance make_gao_rexford_spp(
+    const topology::CompiledTopology& topo, AsId destination,
+    const GaoRexfordOptions& options = {});
+
 /// A GRC-violating "mutual provider access" arrangement: each AS pair listed
 /// in `mutual_transit` additionally exchanges routes learned from providers
 /// (and prefers routes learned from those peers over its own provider
 /// routes, as in the paper's §II DISAGREE construction).
 [[nodiscard]] SppInstance make_mutual_transit_spp(
     const Graph& graph, AsId destination,
+    const std::vector<std::pair<AsId, AsId>>& mutual_transit,
+    const GaoRexfordOptions& options = {});
+
+/// Same, over an existing snapshot (no per-call compilation).
+[[nodiscard]] SppInstance make_mutual_transit_spp(
+    const topology::CompiledTopology& topo, AsId destination,
     const std::vector<std::pair<AsId, AsId>>& mutual_transit,
     const GaoRexfordOptions& options = {});
 

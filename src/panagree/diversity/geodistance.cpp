@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <limits>
+#include <mutex>
 
 #include "panagree/geo/coordinates.hpp"
 
@@ -28,12 +29,16 @@ double GeodistanceModel::city_to_city_km(std::size_t a, std::size_t b) const {
 double GeodistanceModel::as_to_city_km(AsId as, std::size_t city) const {
   const std::uint64_t key =
       (static_cast<std::uint64_t>(as) << 32) | static_cast<std::uint32_t>(city);
-  const auto it = as_city_cache_.find(key);
-  if (it != as_city_cache_.end()) {
-    return it->second;
+  {
+    std::shared_lock<std::shared_mutex> read_lock(cache_mutex_);
+    const auto it = as_city_cache_.find(key);
+    if (it != as_city_cache_.end()) {
+      return it->second;
+    }
   }
   const double d = geo::great_circle_km(graph_->info(as).centroid,
                                         world_->city(city).location);
+  std::unique_lock<std::shared_mutex> write_lock(cache_mutex_);
   as_city_cache_.emplace(key, d);
   return d;
 }

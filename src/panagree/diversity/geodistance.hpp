@@ -7,6 +7,7 @@
 // over combinations is taken, exactly as in the paper.
 #pragma once
 
+#include <shared_mutex>
 #include <unordered_map>
 #include <vector>
 
@@ -21,7 +22,9 @@ class GeodistanceModel {
 
   /// Geodistance of the length-3 path s-m-d in kilometres (minimized over
   /// facility combinations). Requires links s-m and m-d to exist and all
-  /// three ASes to carry geodata.
+  /// three ASes to carry geodata. Safe to call concurrently (the internal
+  /// AS-to-city memo is guarded by a shared mutex), so one model can serve
+  /// a parallel per-source fan-out.
   [[nodiscard]] double path_geodistance_km(AsId s, AsId m, AsId d) const;
 
  private:
@@ -33,6 +36,7 @@ class GeodistanceModel {
   /// Dense city-to-city distance matrix (city counts are small).
   std::vector<double> city_matrix_;
   std::size_t num_cities_;
+  mutable std::shared_mutex cache_mutex_;
   mutable std::unordered_map<std::uint64_t, double> as_city_cache_;
 };
 

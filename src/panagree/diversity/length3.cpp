@@ -2,24 +2,37 @@
 
 #include <algorithm>
 
+#include "panagree/paths/enumerator.hpp"
+
 namespace panagree::diversity {
 
 namespace {
 
-std::uint64_t pair_key(AsId mid, AsId dst) {
-  return (static_cast<std::uint64_t>(mid) << 32) | dst;
+/// Collects the exactly-length-3 paths of a bounded engine walk.
+template <typename Policy>
+std::vector<Length3Path> collect_length3(
+    const topology::CompiledTopology& topo, AsId src, const Policy& policy) {
+  const paths::PathEnumerator enumerator(topo);
+  std::vector<Length3Path> out;
+  enumerator.visit_paths(src, 3, policy, [&](const paths::Path& path) {
+    if (path.size() == 3) {
+      out.push_back({path[0], path[1], path[2]});
+    }
+    return true;
+  });
+  return out;
 }
 
 }  // namespace
 
-Length3Analyzer::Length3Analyzer(const Graph& graph) : graph_(&graph) {}
+Length3Analyzer::Length3Analyzer(const Graph& graph) : compiled_(graph) {}
 
 bool Length3Analyzer::is_grc(AsId s, AsId m, AsId d) const {
   if (s == m || m == d || s == d) {
     return false;
   }
-  const auto sm = graph_->role_of(m, s);
-  const auto md = graph_->role_of(m, d);
+  const auto sm = compiled_.role_of(m, s);
+  const auto md = compiled_.role_of(m, d);
   if (!sm || !md) {
     return false;
   }
@@ -29,32 +42,10 @@ bool Length3Analyzer::is_grc(AsId s, AsId m, AsId d) const {
 }
 
 std::vector<Length3Path> Length3Analyzer::grc_paths(AsId src) const {
-  util::require(src < graph_->num_ases(), "grc_paths: AS out of range");
-  std::vector<Length3Path> out;
-  // Via a provider M, every neighbor of M is reachable; via a peer or
-  // customer M, only M's customers are.
-  for (const AsId m : graph_->providers(src)) {
-    for (const AsId d : graph_->neighbors(m)) {
-      if (d != src) {
-        out.push_back({src, m, d});
-      }
-    }
-  }
-  for (const AsId m : graph_->peers(src)) {
-    for (const AsId d : graph_->customers(m)) {
-      if (d != src) {
-        out.push_back({src, m, d});
-      }
-    }
-  }
-  for (const AsId m : graph_->customers(src)) {
-    for (const AsId d : graph_->customers(m)) {
-      if (d != src) {
-        out.push_back({src, m, d});
-      }
-    }
-  }
-  return out;
+  util::require(src < compiled_.num_ases(), "grc_paths: AS out of range");
+  // A length-3 path is GRC-forwardable iff it is valley-free, so the GRC
+  // set is the valley-free walk truncated to 3 ASes.
+  return collect_length3(compiled_, src, paths::ValleyFreeStep{});
 }
 
 void Length3Analyzer::direct_dests(AsId beneficiary, AsId mid,
@@ -63,74 +54,41 @@ void Length3Analyzer::direct_dests(AsId beneficiary, AsId mid,
   // not customers of the beneficiary.
   const auto excluded = [&](AsId z) {
     return z == beneficiary ||
-           graph_->role_of(beneficiary, z) == topology::NeighborRole::kCustomer;
+           compiled_.role_of(beneficiary, z) ==
+               topology::NeighborRole::kCustomer;
   };
-  for (const AsId z : graph_->providers(mid)) {
-    if (!excluded(z)) {
-      out.push_back(z);
+  for (const auto& entry : compiled_.providers(mid)) {
+    if (!excluded(entry.neighbor)) {
+      out.push_back(entry.neighbor);
     }
   }
-  for (const AsId z : graph_->peers(mid)) {
-    if (!excluded(z)) {
-      out.push_back(z);
+  for (const auto& entry : compiled_.peers(mid)) {
+    if (!excluded(entry.neighbor)) {
+      out.push_back(entry.neighbor);
     }
   }
 }
 
 std::vector<Length3Path> Length3Analyzer::ma_direct_paths(AsId src) const {
-  util::require(src < graph_->num_ases(), "ma_direct_paths: AS out of range");
-  std::vector<Length3Path> out;
-  std::vector<AsId> dests;
-  for (const AsId p : graph_->peers(src)) {
-    dests.clear();
-    direct_dests(src, p, dests);
-    for (const AsId z : dests) {
-      out.push_back({src, p, z});
-    }
-  }
-  return out;
+  util::require(src < compiled_.num_ases(),
+                "ma_direct_paths: AS out of range");
+  return collect_length3(compiled_, src,
+                         paths::MaLength3Step(compiled_, false));
 }
 
 std::vector<Length3Path> Length3Analyzer::ma_paths(AsId src) const {
-  util::require(src < graph_->num_ases(), "ma_paths: AS out of range");
-  std::vector<Length3Path> out = ma_direct_paths(src);
-  std::unordered_set<std::uint64_t> seen;
-  seen.reserve(out.size() * 2);
-  for (const Length3Path& p : out) {
-    seen.insert(pair_key(p.mid, p.dst));
-  }
-  // Indirect: MAs between P and Q (peers) grant Q access to src whenever
-  // src is a provider or peer of P and not a customer of Q; the resulting
-  // path Q-P-src has src as an endpoint. P is then a customer or peer of
-  // src.
-  const auto add_indirect = [&](AsId p) {
-    for (const AsId q : graph_->peers(p)) {
-      if (q == src) {
-        continue;
-      }
-      // src must not be a customer of Q (else the MA rule excludes it).
-      if (graph_->role_of(q, src) == topology::NeighborRole::kCustomer) {
-        continue;
-      }
-      if (seen.insert(pair_key(p, q)).second) {
-        out.push_back({src, p, q});
-      }
-    }
-  };
-  for (const AsId p : graph_->customers(src)) {
-    add_indirect(p);
-  }
-  for (const AsId p : graph_->peers(src)) {
-    add_indirect(p);
-  }
-  return out;
+  util::require(src < compiled_.num_ases(), "ma_paths: AS out of range");
+  // The engine visits each (mid, dst) pair at most once, so the direct /
+  // indirect overlap is deduplicated by construction.
+  return collect_length3(compiled_, src,
+                         paths::MaLength3Step(compiled_, true));
 }
 
 SourceCounts Length3Analyzer::count(
     AsId src, const std::vector<std::size_t>& top_ns) const {
-  util::require(src < graph_->num_ases(), "count: AS out of range");
+  util::require(src < compiled_.num_ases(), "count: AS out of range");
   SourceCounts counts;
-  const std::size_t n_as = graph_->num_ases();
+  const std::size_t n_as = compiled_.num_ases();
 
   // --- GRC ---
   std::vector<bool> grc_dest(n_as, false);
@@ -151,10 +109,10 @@ SourceCounts Length3Analyzer::count(
     std::vector<AsId> dests;
   };
   std::vector<PeerGain> gains;
-  gains.reserve(graph_->peers(src).size());
-  for (const AsId p : graph_->peers(src)) {
-    PeerGain g{p, {}};
-    direct_dests(src, p, g.dests);
+  gains.reserve(compiled_.peers(src).size());
+  for (const auto& entry : compiled_.peers(src)) {
+    PeerGain g{entry.neighbor, {}};
+    direct_dests(src, entry.neighbor, g.dests);
     gains.push_back(std::move(g));
   }
   std::sort(gains.begin(), gains.end(),

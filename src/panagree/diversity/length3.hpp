@@ -11,12 +11,16 @@
 // *indirectly* (from MAs between P and Q where the AS is among P's granted
 // providers/peers: S-P-Q). Direct and indirect sets overlap and are
 // deduplicated by (mid, dst).
+//
+// The analyzer compiles the graph to a CSR snapshot once and runs both
+// rules as step policies on the shared paths::PathEnumerator engine
+// (paths::ValleyFreeStep and paths::MaLength3Step respectively).
 #pragma once
 
 #include <cstdint>
-#include <unordered_set>
 #include <vector>
 
+#include "panagree/topology/compiled.hpp"
 #include "panagree/topology/graph.hpp"
 
 namespace panagree::diversity {
@@ -48,6 +52,7 @@ struct SourceCounts {
 
 class Length3Analyzer {
  public:
+  /// Compiles a CSR snapshot of `graph` (which must outlive the analyzer).
   explicit Length3Analyzer(const Graph& graph);
 
   /// All GRC length-3 paths starting at src.
@@ -67,14 +72,19 @@ class Length3Analyzer {
   /// True iff S-M-D is a GRC-valid length-3 path.
   [[nodiscard]] bool is_grc(AsId s, AsId m, AsId d) const;
 
-  [[nodiscard]] const Graph& graph() const { return *graph_; }
+  [[nodiscard]] const Graph& graph() const { return compiled_.graph(); }
+
+  /// The shared CSR snapshot (reusable by callers needing fast lookups).
+  [[nodiscard]] const topology::CompiledTopology& compiled() const {
+    return compiled_;
+  }
 
  private:
   /// Destinations granted to `beneficiary` by an MA with its peer `mid`.
   void direct_dests(AsId beneficiary, AsId mid,
                     std::vector<AsId>& out) const;
 
-  const Graph* graph_;
+  topology::CompiledTopology compiled_;
 };
 
 }  // namespace panagree::diversity

@@ -1,5 +1,7 @@
 #include "panagree/diversity/report.hpp"
 
+#include "panagree/paths/parallel.hpp"
+
 namespace panagree::diversity {
 
 std::vector<AsId> sample_sources(const Graph& graph, std::size_t count,
@@ -34,8 +36,16 @@ DiversityReport analyze_path_diversity(const Graph& graph,
   additional_paths.reserve(report.sources.size());
   additional_dests.reserve(report.sources.size());
 
-  for (const AsId src : report.sources) {
-    const SourceCounts c = analyzer.count(src, params.top_ns);
+  // Per-source counting is independent: fan out over the parallel driver
+  // (results come back in source order, so the rows below are identical
+  // for every thread count), then assemble rows serially.
+  const std::vector<SourceCounts> per_source = paths::map_sources(
+      report.sources, params.threads,
+      [&](AsId src) { return analyzer.count(src, params.top_ns); });
+
+  for (std::size_t i = 0; i < report.sources.size(); ++i) {
+    const AsId src = report.sources[i];
+    const SourceCounts& c = per_source[i];
 
     ScenarioRow paths;
     paths.as = src;

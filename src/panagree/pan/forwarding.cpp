@@ -61,7 +61,7 @@ ForwardingPath issue_path(const KeyStore& keys, std::span<const AsId> path) {
 }
 
 ForwardingEngine::ForwardingEngine(const Graph& graph, const KeyStore& keys)
-    : graph_(&graph), keys_(&keys) {}
+    : compiled_(graph), keys_(&keys) {}
 
 ForwardResult ForwardingEngine::forward(const ForwardingPath& path) const {
   ForwardResult result;
@@ -83,7 +83,7 @@ ForwardResult ForwardingEngine::forward(const ForwardingPath& path) const {
     const HopField& hop = path.hops[i];
     // Each on-path AS verifies its own hop field (the chained MAC binds the
     // hop to its position) before forwarding.
-    if (hop.as >= graph_->num_ases() ||
+    if (hop.as >= compiled_.num_ases() ||
         hop_mac(*keys_, hop, prev_mac) != hop.mac) {
       result.reason = DropReason::kInvalidMac;
       return result;
@@ -99,7 +99,7 @@ ForwardResult ForwardingEngine::forward(const ForwardingPath& path) const {
     }
     result.trace.push_back(hop.as);
     if (hop.egress != topology::kInvalidAs &&
-        !graph_->link_between(hop.as, hop.egress)) {
+        compiled_.find(hop.as, hop.egress) == nullptr) {
       result.reason = DropReason::kBrokenLink;
       return result;
     }

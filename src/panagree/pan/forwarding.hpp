@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "panagree/pan/mac.hpp"
+#include "panagree/topology/compiled.hpp"
 #include "panagree/topology/graph.hpp"
 
 namespace panagree::pan {
@@ -80,15 +81,23 @@ struct ForwardResult {
   std::vector<AsId> trace;
 };
 
-/// Validates and executes a forwarding path hop by hop.
+/// Validates and executes a forwarding path hop by hop. Adjacency checks
+/// run on a CSR snapshot compiled at construction (the engine is built
+/// once and forwards many packets).
 class ForwardingEngine {
  public:
   ForwardingEngine(const Graph& graph, const KeyStore& keys);
 
   [[nodiscard]] ForwardResult forward(const ForwardingPath& path) const;
 
+  /// The snapshot backing the per-hop adjacency checks (shared by the
+  /// packet-level simulator).
+  [[nodiscard]] const topology::CompiledTopology& compiled() const {
+    return compiled_;
+  }
+
  private:
-  const Graph* graph_;
+  topology::CompiledTopology compiled_;
   const KeyStore* keys_;
 };
 

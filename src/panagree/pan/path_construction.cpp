@@ -33,7 +33,7 @@ bool is_simple_path(const std::vector<AsId>& path) {
 PathConstructor::PathConstructor(const Graph& graph,
                                  const BeaconService& beacons,
                                  PathConstructionOptions options)
-    : graph_(&graph), beacons_(&beacons), options_(options) {
+    : compiled_(graph), beacons_(&beacons), options_(options) {
   util::require(beacons.has_run(),
                 "PathConstructor: beacon service must have run");
 }
@@ -44,17 +44,15 @@ void PathConstructor::add_candidate(std::vector<std::vector<AsId>>& out,
       !is_simple_path(path)) {
     return;
   }
-  for (std::size_t i = 0; i + 1 < path.size(); ++i) {
-    if (!graph_->link_between(path[i], path[i + 1])) {
-      return;
-    }
+  if (!paths::PathEnumerator(compiled_).links_exist(path)) {
+    return;
   }
   out.push_back(std::move(path));
 }
 
 std::vector<std::vector<AsId>> PathConstructor::construct(
     AsId src, AsId dst, const CrossingRegistry* crossings) const {
-  util::require(src < graph_->num_ases() && dst < graph_->num_ases(),
+  util::require(src < compiled_.num_ases() && dst < compiled_.num_ases(),
                 "PathConstructor::construct: AS out of range");
   util::require(src != dst, "PathConstructor::construct: src == dst");
 
@@ -88,7 +86,7 @@ std::vector<std::vector<AsId>> PathConstructor::construct(
       // (b) join of two distinct core ASes over a core link.
       const AsId core_u = u.back();
       const AsId core_d = d.front();
-      if (core_u != core_d && graph_->link_between(core_u, core_d)) {
+      if (core_u != core_d && compiled_.find(core_u, core_d) != nullptr) {
         std::vector<AsId> path = u;
         path.insert(path.end(), d.begin(), d.end());
         add_candidate(candidates, std::move(path));
@@ -97,7 +95,7 @@ std::vector<std::vector<AsId>> PathConstructor::construct(
       // (c) peering shortcut between the two segments.
       for (std::size_t i = 0; i < u.size(); ++i) {
         for (std::size_t j = 0; j < d.size(); ++j) {
-          if (u[i] == d[j] || !graph_->are_peers(u[i], d[j])) {
+          if (u[i] == d[j] || !compiled_.are_peers(u[i], d[j])) {
             continue;
           }
           std::vector<AsId> path(u.begin(), u.begin() + i + 1);
@@ -146,6 +144,28 @@ std::vector<std::vector<AsId>> PathConstructor::construct(
     candidates.resize(options_.max_paths);
   }
   return candidates;
+}
+
+std::vector<std::vector<AsId>> PathConstructor::enumerate_authorized(
+    AsId src, AsId dst, const CrossingRegistry* crossings,
+    std::size_t max_len) const {
+  util::require(src < compiled_.num_ases() && dst < compiled_.num_ases(),
+                "PathConstructor::enumerate_authorized: AS out of range");
+  util::require(src != dst,
+                "PathConstructor::enumerate_authorized: src == dst");
+  if (max_len == 0) {
+    max_len = options_.max_path_length;
+  }
+  auto found = paths::PathEnumerator(compiled_).paths_between(
+      src, dst, max_len, CrossingStep(crossings));
+  std::sort(found.begin(), found.end(),
+            [](const std::vector<AsId>& a, const std::vector<AsId>& b) {
+              if (a.size() != b.size()) {
+                return a.size() < b.size();
+              }
+              return a < b;
+            });
+  return found;
 }
 
 }  // namespace panagree::pan

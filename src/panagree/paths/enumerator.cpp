@@ -1,0 +1,10 @@
+#include "panagree/paths/enumerator.hpp"
+
+namespace panagree::paths {
+
+bool is_valley_free(const CompiledTopology& topo, const Path& path) {
+  return is_valley_free_walk(
+      path, [&](AsId x, AsId y) { return topo.role_of(x, y); });
+}
+
+}  // namespace panagree::paths

@@ -1,0 +1,13 @@
+#include "panagree/paths/parallel.hpp"
+
+namespace panagree::paths {
+
+std::size_t resolve_thread_count(std::size_t requested) {
+  if (requested != 0) {
+    return requested;
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<std::size_t>(hw);
+}
+
+}  // namespace panagree::paths

@@ -1,0 +1,105 @@
+// Per-source sharded parallel driver for path enumeration.
+//
+// Every large-scale analysis in this repo fans out over independent source
+// ASes (SPP compilation per node, diversity counts per sampled AS). The
+// driver runs a per-source function over a std::thread pool and collects
+// results *in source order*: workers claim source indices from an atomic
+// cursor (dynamic load balancing - per-source costs are heavy-tailed), and
+// each result lands in its source's preallocated slot. The merged output is
+// therefore byte-identical for every thread count, including 1; parallelism
+// never changes results, only wall-clock time.
+#pragma once
+
+#include <algorithm>
+#include <atomic>
+#include <cstddef>
+#include <exception>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <vector>
+
+#include "panagree/topology/graph.hpp"
+
+namespace panagree::paths {
+
+/// Resolves a requested worker count: 0 means "use the hardware", anything
+/// else is taken literally. Always >= 1.
+[[nodiscard]] std::size_t resolve_thread_count(std::size_t requested);
+
+/// Below this many sources the driver runs serially regardless of the
+/// requested worker count: thread spawn/join overhead dwarfs tiny
+/// workloads, and results are identical either way.
+inline constexpr std::size_t kMinParallelSources = 32;
+
+/// Runs `fn(sources[i])` for every i and returns the results in source
+/// order. `fn` must be callable concurrently from multiple threads; its
+/// result type must be default-constructible and movable. The first
+/// exception thrown by any invocation is rethrown on the calling thread
+/// after all workers have drained.
+template <typename Fn>
+[[nodiscard]] auto map_sources(const std::vector<topology::AsId>& sources,
+                               std::size_t threads, Fn&& fn)
+    -> std::vector<std::invoke_result_t<Fn&, topology::AsId>> {
+  using Result = std::invoke_result_t<Fn&, topology::AsId>;
+  // std::vector<bool> packs bits: concurrent writes to distinct indices
+  // would race on shared bytes. Return char/int instead.
+  static_assert(!std::is_same_v<Result, bool>,
+                "map_sources: bool results are not thread-safe "
+                "(vector<bool> packs bits)");
+  std::vector<Result> results(sources.size());
+  const std::size_t workers =
+      std::min(resolve_thread_count(threads), sources.size());
+  if (workers <= 1 || sources.size() < kMinParallelSources) {
+    for (std::size_t i = 0; i < sources.size(); ++i) {
+      results[i] = fn(sources[i]);
+    }
+    return results;
+  }
+
+  std::atomic<std::size_t> cursor{0};
+  std::atomic<bool> failed{false};
+  std::mutex error_mutex;
+  std::exception_ptr error;
+  const auto worker = [&] {
+    while (!failed.load(std::memory_order_relaxed)) {
+      const std::size_t i = cursor.fetch_add(1, std::memory_order_relaxed);
+      if (i >= sources.size()) {
+        return;
+      }
+      try {
+        results[i] = fn(sources[i]);
+      } catch (...) {
+        failed.store(true, std::memory_order_relaxed);
+        const std::lock_guard<std::mutex> lock(error_mutex);
+        if (!error) {
+          error = std::current_exception();
+        }
+      }
+    }
+  };
+  std::vector<std::thread> pool;
+  pool.reserve(workers);
+  try {
+    for (std::size_t t = 0; t < workers; ++t) {
+      pool.emplace_back(worker);
+    }
+  } catch (...) {
+    // Thread creation failed (resource pressure): drain the workers that
+    // did start, then let the error propagate - never terminate().
+    failed.store(true, std::memory_order_relaxed);
+    for (std::thread& t : pool) {
+      t.join();
+    }
+    throw;
+  }
+  for (std::thread& t : pool) {
+    t.join();
+  }
+  if (error) {
+    std::rethrow_exception(error);
+  }
+  return results;
+}
+
+}  // namespace panagree::paths

@@ -49,7 +49,7 @@ double Network::link_latency_s(AsId x, AsId y, double size_bits) const {
   const auto it = latency_cache_.find(directed_key(x, y));
   util::require(it != latency_cache_.end(),
                 "Network::link_latency_s: no such link");
-  const auto link_id = graph_->link_between(x, y);
+  const auto link_id = validator_.compiled().link_between(x, y);
   const double capacity_units =
       std::max(1e-9, graph_->link(*link_id).capacity > 0.0
                          ? graph_->link(*link_id).capacity
@@ -90,7 +90,7 @@ void Network::hop(std::size_t record, const pan::ForwardingPath& path,
   const AsId from = path.hops[index].as;
   const AsId to = path.hops[index + 1].as;
   const auto key = directed_key(from, to);
-  const auto link_id = graph_->link_between(from, to);
+  const auto link_id = validator_.compiled().link_between(from, to);
   PANAGREE_ASSERT(link_id.has_value());
   const double capacity_units =
       std::max(1e-9, graph_->link(*link_id).capacity > 0.0

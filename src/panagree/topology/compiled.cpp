@@ -1,0 +1,90 @@
+#include "panagree/topology/compiled.hpp"
+
+#include <algorithm>
+#include <limits>
+
+namespace panagree::topology {
+
+CompiledTopology::CompiledTopology(const Graph& graph) : graph_(&graph) {
+  const std::size_t n = graph.num_ases();
+  util::require(2 * graph.num_links() <
+                    std::numeric_limits<std::uint32_t>::max(),
+                "CompiledTopology: too many links for 32-bit offsets");
+
+  row_start_.assign(n + 1, 0);
+  providers_end_.assign(n, 0);
+  peers_end_.assign(n, 0);
+  for (AsId as = 0; as < n; ++as) {
+    const auto base = row_start_[as];
+    const auto np = static_cast<std::uint32_t>(graph.providers(as).size());
+    const auto ne = static_cast<std::uint32_t>(graph.peers(as).size());
+    const auto nc = static_cast<std::uint32_t>(graph.customers(as).size());
+    providers_end_[as] = base + np;
+    peers_end_[as] = base + np + ne;
+    row_start_[as + 1] = base + np + ne + nc;
+  }
+  entries_.resize(row_start_[n]);
+
+  // Fill each role group from the link table (one pass; group-relative
+  // cursors), then sort every group by neighbor id for binary lookup.
+  std::vector<std::uint32_t> cursor(3 * n, 0);
+  const auto emplace = [&](AsId at, std::size_t group, std::uint32_t begin,
+                           AsId neighbor, NeighborRole role, LinkId link) {
+    const std::uint32_t slot = begin + cursor[3 * at + group]++;
+    entries_[slot] = Entry{neighbor, static_cast<std::uint32_t>(link), role};
+  };
+  const auto& links = graph.links();
+  for (LinkId id = 0; id < links.size(); ++id) {
+    const Link& l = links[id];
+    if (l.type == LinkType::kProviderCustomer) {
+      // a is the provider, b the customer.
+      emplace(l.a, 2, peers_end_[l.a], l.b, NeighborRole::kCustomer, id);
+      emplace(l.b, 0, row_start_[l.b], l.a, NeighborRole::kProvider, id);
+    } else {
+      emplace(l.a, 1, providers_end_[l.a], l.b, NeighborRole::kPeer, id);
+      emplace(l.b, 1, providers_end_[l.b], l.a, NeighborRole::kPeer, id);
+    }
+  }
+
+  const auto by_neighbor = [](const Entry& x, const Entry& y) {
+    return x.neighbor < y.neighbor;
+  };
+  for (AsId as = 0; as < n; ++as) {
+    std::sort(entries_.begin() + row_start_[as],
+              entries_.begin() + providers_end_[as], by_neighbor);
+    std::sort(entries_.begin() + providers_end_[as],
+              entries_.begin() + peers_end_[as], by_neighbor);
+    std::sort(entries_.begin() + peers_end_[as],
+              entries_.begin() + row_start_[as + 1], by_neighbor);
+  }
+}
+
+const CompiledTopology::Entry* CompiledTopology::find(AsId x, AsId y) const {
+  check(x);
+  // Short rows are scanned linearly (branch-predictable, one cache line);
+  // long rows use a binary search per role group.
+  constexpr std::size_t kLinearThreshold = 16;
+  if (degree(x) <= kLinearThreshold) {
+    for (const Entry& e : entries(x)) {
+      if (e.neighbor == y) {
+        return &e;
+      }
+    }
+    return nullptr;
+  }
+  const auto search = [&](std::span<const Entry> group) -> const Entry* {
+    const auto it = std::lower_bound(
+        group.begin(), group.end(), y,
+        [](const Entry& e, AsId id) { return e.neighbor < id; });
+    return (it != group.end() && it->neighbor == y) ? &*it : nullptr;
+  };
+  if (const Entry* e = search(providers(x))) {
+    return e;
+  }
+  if (const Entry* e = search(peers(x))) {
+    return e;
+  }
+  return search(customers(x));
+}
+
+}  // namespace panagree::topology

@@ -1,0 +1,164 @@
+// Compiled, immutable snapshot of a Graph in CSR (compressed sparse row)
+// form, the shared substrate of every large-scale path enumeration.
+//
+// Graph is optimized for incremental construction: per-AS adjacency is three
+// std::vectors and pair lookups go through an unordered_map. That layout is
+// hostile to the hot loops of the paper's §VI analyses (valley-free walks,
+// MA enumeration, SPP compilation), which perform millions of
+// neighbor-iteration and role-lookup operations: every Graph::neighbors()
+// call allocates, and every role_of() hashes.
+//
+// CompiledTopology flattens the adjacency into one contiguous entry array
+// with per-AS row offsets. Each row stores the neighbors grouped by role
+// (providers, then peers, then customers), each group sorted ascending by
+// AS id, and every entry carries the precomputed NeighborRole and LinkId.
+// Neighbor iteration is a span over contiguous memory; role_of/link_between
+// are branchless binary searches over a sorted row group (O(log degree), no
+// hashing, no allocation).
+//
+// The snapshot holds a pointer to the source Graph (for link/AS metadata)
+// and must not outlive it. Links or ASes added to the Graph after
+// compilation are not visible in the snapshot - recompile to pick them up.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "panagree/topology/graph.hpp"
+
+namespace panagree::topology {
+
+class CompiledTopology {
+ public:
+  /// One adjacency slot: the neighbor, its role as seen from the row AS,
+  /// and the connecting link.
+  struct Entry {
+    AsId neighbor = kInvalidAs;
+    std::uint32_t link = 0;  ///< index into graph().links()
+    NeighborRole role = NeighborRole::kPeer;
+  };
+
+  /// Compiles a snapshot of `graph`. O(A + L log L) time, O(A + L) space.
+  explicit CompiledTopology(const Graph& graph);
+
+  [[nodiscard]] std::size_t num_ases() const { return row_start_.size() - 1; }
+  [[nodiscard]] std::size_t num_links() const { return entries_.size() / 2; }
+  [[nodiscard]] const Graph& graph() const { return *graph_; }
+
+  /// All neighbors of `as`: providers, then peers, then customers (each
+  /// group sorted ascending by id). Zero-copy.
+  [[nodiscard]] std::span<const Entry> entries(AsId as) const {
+    check(as);
+    return {entries_.data() + row_start_[as],
+            entries_.data() + row_start_[as + 1]};
+  }
+
+  /// pi(X) as a span of entries.
+  [[nodiscard]] std::span<const Entry> providers(AsId as) const {
+    check(as);
+    return {entries_.data() + row_start_[as],
+            entries_.data() + providers_end_[as]};
+  }
+
+  /// eps(X) as a span of entries.
+  [[nodiscard]] std::span<const Entry> peers(AsId as) const {
+    check(as);
+    return {entries_.data() + providers_end_[as],
+            entries_.data() + peers_end_[as]};
+  }
+
+  /// gamma(X) as a span of entries.
+  [[nodiscard]] std::span<const Entry> customers(AsId as) const {
+    check(as);
+    return {entries_.data() + peers_end_[as],
+            entries_.data() + row_start_[as + 1]};
+  }
+
+  [[nodiscard]] std::size_t degree(AsId as) const {
+    check(as);
+    return row_start_[as + 1] - row_start_[as];
+  }
+
+  /// The adjacency entry for neighbor `y` in `x`'s row; nullptr if not
+  /// connected. O(log degree(x)) with a linear fast path for short groups.
+  [[nodiscard]] const Entry* find(AsId x, AsId y) const;
+
+  /// Role of y from x's perspective, if they are connected. Total like
+  /// Graph::role_of: out-of-range ids yield nullopt, not an error.
+  /// Searches the lower-degree endpoint's row (inverting the role when
+  /// searching from y's side), so lookups involving a hub AS cost
+  /// O(log degree(stub)).
+  [[nodiscard]] std::optional<NeighborRole> role_of(AsId x, AsId y) const {
+    if (!in_range(x) || !in_range(y)) {
+      return std::nullopt;
+    }
+    if (degree(x) <= degree(y)) {
+      const Entry* e = find(x, y);
+      return e == nullptr ? std::nullopt
+                          : std::optional<NeighborRole>(e->role);
+    }
+    const Entry* e = find(y, x);
+    return e == nullptr ? std::nullopt
+                        : std::optional<NeighborRole>(invert(e->role));
+  }
+
+  /// Link between x and y if one exists (total and degree-aware like
+  /// role_of).
+  [[nodiscard]] std::optional<LinkId> link_between(AsId x, AsId y) const {
+    if (!in_range(x) || !in_range(y)) {
+      return std::nullopt;
+    }
+    const Entry* e = degree(x) <= degree(y) ? find(x, y) : find(y, x);
+    return e == nullptr ? std::nullopt
+                        : std::optional<LinkId>(static_cast<LinkId>(e->link));
+  }
+
+  [[nodiscard]] bool are_peers(AsId x, AsId y) const {
+    return role_of(x, y) == NeighborRole::kPeer;
+  }
+
+  [[nodiscard]] bool is_provider_of(AsId provider, AsId customer) const {
+    // Via role_of: total on garbage ids (like Graph's) and degree-aware.
+    return role_of(customer, provider) == NeighborRole::kProvider;
+  }
+
+  [[nodiscard]] bool is_customer_of(AsId customer, AsId provider) const {
+    return is_provider_of(provider, customer);
+  }
+
+ private:
+  [[nodiscard]] bool in_range(AsId as) const {
+    return static_cast<std::size_t>(as) < num_ases();
+  }
+
+  void check(AsId as) const {
+    // size_t comparison: as + 1 would wrap for the kInvalidAs sentinel.
+    util::require(in_range(as), "CompiledTopology: AS out of range");
+  }
+
+  /// Role of x as seen from the other endpoint, given the role of the
+  /// other endpoint as seen from x.
+  [[nodiscard]] static NeighborRole invert(NeighborRole role) {
+    switch (role) {
+      case NeighborRole::kProvider:
+        return NeighborRole::kCustomer;
+      case NeighborRole::kCustomer:
+        return NeighborRole::kProvider;
+      case NeighborRole::kPeer:
+        break;
+    }
+    return NeighborRole::kPeer;
+  }
+
+  const Graph* graph_;
+  /// Row offsets into entries_, size num_ases() + 1.
+  std::vector<std::uint32_t> row_start_;
+  /// Absolute end offset of the provider (resp. peer) group per row.
+  std::vector<std::uint32_t> providers_end_;
+  std::vector<std::uint32_t> peers_end_;
+  std::vector<Entry> entries_;
+};
+
+}  // namespace panagree::topology

@@ -171,12 +171,12 @@ bool Graph::is_connected() const {
     const AsId as = frontier.front();
     frontier.pop_front();
     ++visited;
-    for (const AsId n : neighbors(as)) {
+    for_each_neighbor(as, [&](const AsId n) {
       if (!seen[n]) {
         seen[n] = true;
         frontier.push_back(n);
       }
-    }
+    });
   }
   return visited == num_ases();
 }

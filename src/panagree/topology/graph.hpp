@@ -98,7 +98,28 @@ class Graph {
   [[nodiscard]] const std::vector<AsId>& customers(AsId as) const;
 
   /// All neighbors of `as` in the order providers, peers, customers.
+  /// Allocates a fresh vector per call - do NOT use in hot loops; iterate
+  /// with for_each_neighbor, or compile a CompiledTopology snapshot and
+  /// use its zero-copy entry spans instead.
   [[nodiscard]] std::vector<AsId> neighbors(AsId as) const;
+
+  /// Zero-allocation neighbor visitation in the order providers, peers,
+  /// customers: invokes `fn(neighbor)` for every neighbor of `as`.
+  template <typename Fn>
+  void for_each_neighbor(AsId as, Fn&& fn) const {
+    util::require(as < adjacency_.size(),
+                  "Graph::for_each_neighbor: AS out of range");
+    const Adjacency& adj = adjacency_[as];
+    for (const AsId n : adj.providers) {
+      fn(n);
+    }
+    for (const AsId n : adj.peers) {
+      fn(n);
+    }
+    for (const AsId n : adj.customers) {
+      fn(n);
+    }
+  }
 
   /// Total neighbor count (node degree; used by the degree-gravity model).
   [[nodiscard]] std::size_t degree(AsId as) const;

@@ -1,0 +1,149 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "panagree/topology/compiled.hpp"
+#include "panagree/topology/examples.hpp"
+#include "panagree/topology/generator.hpp"
+#include "panagree/util/rng.hpp"
+
+namespace panagree::topology {
+namespace {
+
+std::set<AsId> ids(std::span<const CompiledTopology::Entry> entries) {
+  std::set<AsId> out;
+  for (const auto& e : entries) {
+    out.insert(e.neighbor);
+  }
+  return out;
+}
+
+std::set<AsId> ids(const std::vector<AsId>& v) {
+  return {v.begin(), v.end()};
+}
+
+TEST(CompiledTopology, Fig1RowsMatchHandStructure) {
+  const auto t = make_fig1();
+  const CompiledTopology c(t.graph);
+  ASSERT_EQ(c.num_ases(), t.graph.num_ases());
+  EXPECT_EQ(c.num_links(), t.graph.num_links());
+  // D: provider A, peers C and E, customer H.
+  EXPECT_EQ(ids(c.providers(t.D)), (std::set<AsId>{t.A}));
+  EXPECT_EQ(ids(c.peers(t.D)), (std::set<AsId>{t.C, t.E}));
+  EXPECT_EQ(ids(c.customers(t.D)), (std::set<AsId>{t.H}));
+  EXPECT_EQ(c.degree(t.D), 4u);
+  EXPECT_EQ(c.entries(t.D).size(), 4u);
+}
+
+TEST(CompiledTopology, RoleAndLinkLookupsMatchFig1) {
+  const auto t = make_fig1();
+  const CompiledTopology c(t.graph);
+  EXPECT_EQ(c.role_of(t.H, t.D), NeighborRole::kProvider);
+  EXPECT_EQ(c.role_of(t.D, t.H), NeighborRole::kCustomer);
+  EXPECT_EQ(c.role_of(t.D, t.E), NeighborRole::kPeer);
+  EXPECT_FALSE(c.role_of(t.H, t.I).has_value());
+  EXPECT_TRUE(c.are_peers(t.A, t.B));
+  EXPECT_TRUE(c.is_provider_of(t.A, t.D));
+  EXPECT_TRUE(c.is_customer_of(t.D, t.A));
+  EXPECT_EQ(c.link_between(t.H, t.D), t.graph.link_between(t.H, t.D));
+  EXPECT_FALSE(c.link_between(t.H, t.H).has_value());
+}
+
+// Property test: on generator-produced random topologies, every adjacency,
+// role, and link answer of the snapshot equals the Graph's.
+class CompiledEquivalence : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(CompiledEquivalence, MatchesGraphOnRandomTopology) {
+  GeneratorParams params;
+  params.num_ases = 400;
+  params.tier1_count = 5;
+  params.seed = GetParam();
+  const auto topo = generate_internet(params);
+  const Graph& g = topo.graph;
+  const CompiledTopology c(g);
+
+  ASSERT_EQ(c.num_ases(), g.num_ases());
+  ASSERT_EQ(c.num_links(), g.num_links());
+
+  for (AsId as = 0; as < g.num_ases(); ++as) {
+    EXPECT_EQ(c.degree(as), g.degree(as));
+    EXPECT_EQ(ids(c.providers(as)), ids(g.providers(as)));
+    EXPECT_EQ(ids(c.peers(as)), ids(g.peers(as)));
+    EXPECT_EQ(ids(c.customers(as)), ids(g.customers(as)));
+    // Role groups are internally sorted and every entry is self-consistent.
+    for (const auto group : {c.providers(as), c.peers(as), c.customers(as)}) {
+      EXPECT_TRUE(std::is_sorted(
+          group.begin(), group.end(),
+          [](const auto& x, const auto& y) { return x.neighbor < y.neighbor; }));
+    }
+    for (const auto& e : c.entries(as)) {
+      EXPECT_EQ(e.role, g.role_of(as, e.neighbor));
+      EXPECT_EQ(static_cast<LinkId>(e.link), g.link_between(as, e.neighbor));
+    }
+  }
+
+  // Every link answers identically from both endpoints.
+  for (LinkId id = 0; id < g.num_links(); ++id) {
+    const Link& l = g.link(id);
+    EXPECT_EQ(c.link_between(l.a, l.b), id);
+    EXPECT_EQ(c.link_between(l.b, l.a), id);
+    EXPECT_EQ(c.role_of(l.a, l.b), g.role_of(l.a, l.b));
+    EXPECT_EQ(c.role_of(l.b, l.a), g.role_of(l.b, l.a));
+  }
+
+  // Random pairs (mostly unlinked) agree as well.
+  util::Rng rng(GetParam() * 7 + 1);
+  for (int trial = 0; trial < 2000; ++trial) {
+    const auto x = static_cast<AsId>(rng.uniform_index(g.num_ases()));
+    const auto y = static_cast<AsId>(rng.uniform_index(g.num_ases()));
+    EXPECT_EQ(c.role_of(x, y), g.role_of(x, y));
+    EXPECT_EQ(c.link_between(x, y), g.link_between(x, y));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CompiledEquivalence,
+                         ::testing::Values(1, 7, 42));
+
+TEST(CompiledTopology, EntriesFollowProviderPeerCustomerOrder) {
+  GeneratorParams params;
+  params.num_ases = 200;
+  params.tier1_count = 4;
+  params.seed = 3;
+  const auto topo = generate_internet(params);
+  const CompiledTopology c(topo.graph);
+  for (AsId as = 0; as < c.num_ases(); ++as) {
+    const auto all = c.entries(as);
+    const std::size_t np = c.providers(as).size();
+    const std::size_t ne = c.peers(as).size();
+    ASSERT_EQ(all.size(), np + ne + c.customers(as).size());
+    for (std::size_t i = 0; i < all.size(); ++i) {
+      const NeighborRole expected =
+          i < np ? NeighborRole::kProvider
+                 : (i < np + ne ? NeighborRole::kPeer
+                                : NeighborRole::kCustomer);
+      EXPECT_EQ(all[i].role, expected);
+    }
+  }
+}
+
+TEST(CompiledTopology, RejectsOutOfRangeAs) {
+  Graph g;
+  g.add_as();
+  const CompiledTopology c(g);
+  EXPECT_THROW((void)c.entries(1), util::PreconditionError);
+  EXPECT_THROW((void)c.find(1, 0), util::PreconditionError);
+  // The kInvalidAs sentinel must hit the range guard, not wrap around it
+  // (as + 1 in 32-bit would overflow to 0).
+  EXPECT_THROW((void)c.entries(kInvalidAs), util::PreconditionError);
+  EXPECT_THROW((void)c.degree(kInvalidAs), util::PreconditionError);
+  // role_of/link_between stay total like Graph's: garbage ids answer
+  // "not connected" instead of throwing.
+  EXPECT_FALSE(c.role_of(0, kInvalidAs).has_value());
+  EXPECT_FALSE(c.role_of(kInvalidAs, 0).has_value());
+  EXPECT_FALSE(c.link_between(kInvalidAs, kInvalidAs).has_value());
+  EXPECT_FALSE(c.are_peers(0, 17));
+}
+
+}  // namespace
+}  // namespace panagree::topology
