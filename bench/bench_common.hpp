@@ -1,41 +1,65 @@
 // Shared configuration of the §VI reproduction benches: all figures run on
 // the same synthetic Internet topology and the same 500-AS sample, mirroring
 // the paper's single CAIDA snapshot + single AS sample.
+//
+// Environment overrides:
+//   PANAGREE_ASES=<n>      topology size (synthetic only)
+//   PANAGREE_SOURCES=<n>   analyzed-source sample size
+//   PANAGREE_THREADS=<n>   worker threads (0 = hardware concurrency)
+//   PANAGREE_CAIDA=<path>  run on a real CAIDA as-rel2 relationship file
+//                          instead of the generator; the graph is embedded
+//                          in a synthetic world (tiers, PoPs, facilities)
+//                          so the geodistance/econ analyses still apply.
 #pragma once
 
+#include <charconv>
 #include <cstdlib>
+#include <cstring>
 #include <iostream>
 #include <string>
 
+#include "panagree/topology/caida.hpp"
 #include "panagree/topology/capacity.hpp"
 #include "panagree/topology/generator.hpp"
 
 namespace panagree::benchcfg {
 
-/// Topology size; override with PANAGREE_ASES for quick runs.
-inline std::size_t num_ases() {
-  if (const char* env = std::getenv("PANAGREE_ASES")) {
-    return static_cast<std::size_t>(std::stoul(env));
+/// Parses a non-negative integer environment override. Malformed values
+/// terminate with a clear message instead of an unhandled std::stoul
+/// exception (PANAGREE_ASES=12k should not print "terminate called...").
+inline std::size_t env_size(const char* name, std::size_t fallback) {
+  const char* env = std::getenv(name);
+  if (env == nullptr || *env == '\0') {
+    return fallback;
   }
-  return 12000;
+  std::size_t value = 0;
+  const char* end = env + std::strlen(env);
+  const auto [ptr, ec] = std::from_chars(env, end, value);
+  if (ec != std::errc() || ptr != end) {
+    std::cerr << "[bench] invalid " << name << "='" << env
+              << "': expected a non-negative integer\n";
+    std::exit(2);
+  }
+  return value;
 }
+
+/// Topology size; override with PANAGREE_ASES for quick runs.
+inline std::size_t num_ases() { return env_size("PANAGREE_ASES", 12000); }
 
 /// Analyzed-source sample size (the paper samples 500 ASes); override with
 /// PANAGREE_SOURCES.
 inline std::size_t num_sources() {
-  if (const char* env = std::getenv("PANAGREE_SOURCES")) {
-    return static_cast<std::size_t>(std::stoul(env));
-  }
-  return 500;
+  return env_size("PANAGREE_SOURCES", 500);
 }
 
 /// Worker threads for per-source fan-outs (0 = one per hardware core);
 /// override with PANAGREE_THREADS. Results are thread-count independent.
-inline std::size_t num_threads() {
-  if (const char* env = std::getenv("PANAGREE_THREADS")) {
-    return static_cast<std::size_t>(std::stoul(env));
-  }
-  return 0;
+inline std::size_t num_threads() { return env_size("PANAGREE_THREADS", 0); }
+
+/// Path to a CAIDA as-rel2 file, or nullptr for the synthetic generator.
+inline const char* caida_path() {
+  const char* env = std::getenv("PANAGREE_CAIDA");
+  return (env != nullptr && *env != '\0') ? env : nullptr;
 }
 
 inline constexpr std::uint64_t kTopologySeed = 424242;
@@ -49,13 +73,30 @@ inline topology::GeneratorParams internet_params() {
   return params;
 }
 
-/// Generates the shared topology with degree-gravity capacities assigned.
-inline topology::GeneratedTopology make_internet() {
-  auto topo = topology::generate_internet(internet_params());
+/// Generates (or, under PANAGREE_CAIDA, loads) the shared topology with
+/// degree-gravity capacities assigned. `synthetic_cap` bounds the synthetic
+/// size for the heavier benches; a loaded CAIDA graph is used as-is.
+inline topology::GeneratedTopology make_internet(
+    std::size_t synthetic_cap = 0) {
+  topology::GeneratedTopology topo;
+  if (const char* path = caida_path()) {
+    auto dataset = topology::caida::parse_file(path);
+    topo = topology::embed_relationship_graph(std::move(dataset.graph),
+                                              kTopologySeed);
+    std::cerr << "[bench] topology: CAIDA " << path << ": "
+              << topo.graph.num_ases() << " ASes, "
+              << topo.graph.num_links() << " links\n";
+  } else {
+    topology::GeneratorParams params = internet_params();
+    if (synthetic_cap > 0 && params.num_ases > synthetic_cap) {
+      params.num_ases = synthetic_cap;
+    }
+    topo = topology::generate_internet(params);
+    std::cerr << "[bench] topology: " << topo.graph.num_ases() << " ASes, "
+              << topo.graph.num_links() << " links (seed " << kTopologySeed
+              << ")\n";
+  }
   topology::assign_degree_gravity_capacities(topo.graph);
-  std::cerr << "[bench] topology: " << topo.graph.num_ases() << " ASes, "
-            << topo.graph.num_links() << " links (seed " << kTopologySeed
-            << ")\n";
   return topo;
 }
 

@@ -2,23 +2,31 @@
 // evaluating interconnection agreements that can achieve desirable goals of
 // network operators, such as network utilization"):
 //
-// What happens when MAs are adopted *network-wide*? Every demand of a
-// gravity traffic matrix is routed over its geodistance-best length-3 path,
-// once with GRC paths only and once with all MA paths additionally
-// available. We measure the system-level shifts: mean path geodistance
-// (latency proxy), the volume share carried by peering vs. provider links
-// (the revenue-relevant utilization shift), link utilization against
-// degree-gravity capacities, and the aggregate transit fees saved.
+// Part 1 - network-wide MA adoption. Every demand of a gravity traffic
+// matrix is routed over its geodistance-best length-3 path, once with GRC
+// paths only and once with all MA paths additionally available. We measure
+// the system-level shifts: mean path geodistance (latency proxy), the
+// volume share carried by peering vs. provider links (the revenue-relevant
+// utilization shift), link utilization against degree-gravity capacities,
+// and the aggregate transit fees saved.
+//
+// Part 2 - incremental what-if sweep. On top of the full-MA regime, we
+// evaluate PANAGREE_SCENARIOS (default 64) candidate *new* peering
+// deployments, each a single-link Delta over the same base snapshot,
+// through scenario::SweepRunner: per-source routing tables are cached from
+// part 1 and only sources inside a candidate's invalidation ball are
+// recomputed. The table ranks the deployments by transit fees saved.
 #include <algorithm>
 #include <iostream>
 #include <unordered_map>
 
 #include "bench_common.hpp"
-#include "panagree/diversity/geodistance.hpp"
-#include "panagree/diversity/length3.hpp"
+#include "bench_json.hpp"
 #include "panagree/econ/business.hpp"
-#include "panagree/paths/parallel.hpp"
+#include "panagree/scenario/metrics.hpp"
+#include "panagree/scenario/sweep.hpp"
 #include "panagree/sim/flow_assignment.hpp"
+#include "panagree/topology/compiled.hpp"
 #include "panagree/traffic/matrix.hpp"
 #include "panagree/util/table.hpp"
 
@@ -43,13 +51,10 @@ struct SourceRoutes {
 
 int main() {
   std::cout << "== Extension: network-wide MA adoption (§VIII outlook) ==\n";
-  topology::GeneratorParams params = benchcfg::internet_params();
-  params.num_ases = std::min<std::size_t>(params.num_ases, 4000);
-  auto topo = topology::generate_internet(params);
-  topology::assign_degree_gravity_capacities(topo.graph);
+  auto topo = benchcfg::make_internet(/*synthetic_cap=*/4000);
   const auto& g = topo.graph;
-  std::cerr << "[bench] topology: " << g.num_ases() << " ASes, "
-            << g.num_links() << " links\n";
+  const topology::CompiledTopology compiled(g);
+  benchjson::ResultWriter json("ext_networkwide_adoption", g);
 
   // Gravity demands (volume units per accounting period).
   util::Rng rng(99);
@@ -58,11 +63,13 @@ int main() {
   gravity.sampled_pairs = 4000;
   const auto demands = traffic::generate_gravity_demands(g, gravity, rng);
 
-  const diversity::Length3Analyzer analyzer(g);
-  const diversity::GeodistanceModel geodesy(g, topo.world);
+  const econ::Economy economy = econ::make_default_economy(g);
+  const scenario::MetricsAggregator aggregator(compiled, &topo.world,
+                                               &economy);
 
-  // Per-source routing tables are independent: precompute them for every
-  // distinct demand source over the parallel driver (deterministic merge).
+  // Per-source routing tables are independent: the sweep runner computes
+  // them for every distinct demand source over the parallel driver
+  // (deterministic merge) and keeps them as the reusable scenario cache.
   std::vector<AsId> demand_sources;
   demand_sources.reserve(demands.size());
   for (const auto& demand : demands) {
@@ -73,30 +80,42 @@ int main() {
       std::unique(demand_sources.begin(), demand_sources.end()),
       demand_sources.end());
 
-  auto tables = paths::map_sources(
-      demand_sources, benchcfg::num_threads(), [&](AsId src) {
-        SourceRoutes table;
-        for (const auto& p : analyzer.grc_paths(src)) {
-          const double km = geodesy.path_geodistance_km(p.src, p.mid, p.dst);
-          auto& slot = table.grc[p.dst];
-          if (slot.path.empty() || km < slot.geodistance_km) {
-            slot = BestPath{{p.src, p.mid, p.dst}, km};
-          }
-        }
-        table.ma = table.grc;  // GRC paths remain available under MAs
-        for (const auto& p : analyzer.ma_paths(src)) {
-          const double km = geodesy.path_geodistance_km(p.src, p.mid, p.dst);
-          auto& slot = table.ma[p.dst];
-          if (slot.path.empty() || km < slot.geodistance_km) {
-            slot = BestPath{{p.src, p.mid, p.dst}, km};
-          }
-        }
-        return table;
-      });
-  std::unordered_map<AsId, SourceRoutes> routes;
+  scenario::SweepConfig sweep_config;
+  sweep_config.threads = benchcfg::num_threads();
+  sweep_config.dirty_radius = scenario::kLength3DirtyRadius;
+  scenario::SweepRunner<SourceRoutes> runner(compiled, demand_sources,
+                                             sweep_config);
+  const auto routes_of = [&](const scenario::Overlay& overlay, AsId src) {
+    const scenario::SourcePathSet sets =
+        scenario::enumerate_length3(overlay, src);
+    SourceRoutes table;
+    for (const auto& p : sets.grc) {
+      const double km =
+          aggregator.path_geodistance_km(overlay, p.src, p.mid, p.dst);
+      auto& slot = table.grc[p.dst];
+      if (slot.path.empty() || km < slot.geodistance_km) {
+        slot = BestPath{{p.src, p.mid, p.dst}, km};
+      }
+    }
+    table.ma = table.grc;  // GRC paths remain available under MAs
+    for (const auto& p : sets.ma) {
+      const double km =
+          aggregator.path_geodistance_km(overlay, p.src, p.mid, p.dst);
+      auto& slot = table.ma[p.dst];
+      if (slot.path.empty() || km < slot.geodistance_km) {
+        slot = BestPath{{p.src, p.mid, p.dst}, km};
+      }
+    }
+    return table;
+  };
+  const benchjson::Stopwatch prime_watch;
+  runner.prime(routes_of);
+  json.add("prime_routing_tables", prime_watch.elapsed_ms(),
+           {{"sources", static_cast<double>(demand_sources.size())}});
+  std::unordered_map<AsId, const SourceRoutes*> routes;
   routes.reserve(demand_sources.size());
   for (std::size_t i = 0; i < demand_sources.size(); ++i) {
-    routes.emplace(demand_sources[i], std::move(tables[i]));
+    routes.emplace(demand_sources[i], &runner.baseline()[i]);
   }
 
   // Route every demand under both regimes.
@@ -104,7 +123,7 @@ int main() {
   double grc_km_sum = 0.0, ma_km_sum = 0.0, routed_volume = 0.0;
   std::size_t routed = 0, switched = 0;
   for (const auto& demand : demands) {
-    const SourceRoutes& table = routes.at(demand.src);
+    const SourceRoutes& table = *routes.at(demand.src);
     const auto grc_it = table.grc.find(demand.dst);
     if (grc_it == table.grc.end()) {
       continue;  // not length-3-reachable under GRC: out of scope
@@ -125,7 +144,6 @@ int main() {
 
   const auto grc_result = sim::assign_flows(g, grc_flows);
   const auto ma_result = sim::assign_flows(g, ma_flows);
-  const econ::Economy economy = econ::make_default_economy(g);
 
   const auto scenario_stats = [&](const sim::FlowAssignmentResult& r) {
     struct Stats {
@@ -187,5 +205,115 @@ int main() {
                "the economic pressure behind the paper's adoption thesis. "
                "The fees forgone by providers are exactly what the "
                "mutuality/compensation structures of §IV redistribute.\n";
+
+  // ---- Part 2: incremental sweep over candidate peering deployments ----
+  const std::size_t num_scenarios =
+      benchcfg::env_size("PANAGREE_SCENARIOS", 64);
+  const auto deltas =
+      scenario::candidate_peering_deltas(compiled, num_scenarios, 4242);
+
+  // Demands grouped by source index, so each scenario is scored inside the
+  // runner's visit (results for clean sources are cache references - no
+  // per-scenario routing-table copies).
+  std::vector<std::vector<const traffic::Demand*>> demands_by_source(
+      demand_sources.size());
+  for (const auto& demand : demands) {
+    const auto it = std::lower_bound(demand_sources.begin(),
+                                     demand_sources.end(), demand.src);
+    demands_by_source[static_cast<std::size_t>(
+                          it - demand_sources.begin())]
+        .push_back(&demand);
+  }
+
+  struct ScenarioScore {
+    std::size_t scenario = 0;
+    double fee_delta = 0.0;   // vs the all-MA baseline (negative = saved)
+    double km_delta = 0.0;    // volume-weighted mean geodistance shift
+    long long new_demands = 0;  // demands newly length-3 routable
+    scenario::SweepStats stats;
+  };
+  // Per-hop accounting under the all-MA regime (per-unit pricing, exact
+  // for the linear default economy; added links are settlement-free).
+  const auto score_scenario = [&](const scenario::Delta& delta,
+                                  std::size_t index) {
+    scenario::Overlay overlay(compiled);  // for the per-hop role lookups
+    overlay.apply(delta);
+    ScenarioScore score;
+    score.scenario = index;
+    double fees = 0.0, km_sum = 0.0, volume = 0.0;
+    long long reachable = 0;
+    runner.evaluate_visit(
+        delta, routes_of,
+        [&](std::size_t i, const SourceRoutes& routes_i) {
+          for (const traffic::Demand* demand : demands_by_source[i]) {
+            const auto it = routes_i.ma.find(demand->dst);
+            if (it == routes_i.ma.end()) {
+              continue;
+            }
+            ++reachable;
+            const BestPath& best = it->second;
+            km_sum += best.geodistance_km * demand->volume;
+            volume += demand->volume;
+            fees += aggregator.path_fee(overlay, best.path, demand->volume);
+          }
+        },
+        &score.stats);
+    score.fee_delta = fees;
+    score.km_delta = volume > 0.0 ? km_sum / volume : 0.0;
+    score.new_demands = reachable;
+    return score;
+  };
+
+  const benchjson::Stopwatch sweep_watch;
+  std::vector<ScenarioScore> scores;
+  scores.reserve(deltas.size());
+  std::size_t recomputed_total = 0, cached_total = 0;
+  for (std::size_t index = 0; index < deltas.size(); ++index) {
+    scores.push_back(score_scenario(deltas[index], index));
+    recomputed_total += scores.back().stats.recomputed_sources;
+    cached_total += scores.back().stats.cached_sources;
+  }
+  // Reference = the empty delta, scored through the exact same per-hop
+  // accounting (so deltas isolate the deployment, not the fee model).
+  const ScenarioScore reference = score_scenario(scenario::Delta{}, 0);
+  const double sweep_ms = sweep_watch.elapsed_ms();
+
+  for (ScenarioScore& s : scores) {
+    s.fee_delta -= reference.fee_delta;
+    s.km_delta -= reference.km_delta;
+    s.new_demands -= reference.new_demands;
+  }
+  std::sort(scores.begin(), scores.end(),
+            [](const ScenarioScore& a, const ScenarioScore& b) {
+              if (a.fee_delta != b.fee_delta) {
+                return a.fee_delta < b.fee_delta;
+              }
+              return a.scenario < b.scenario;
+            });
+
+  std::cout << "\n== What-if sweep: " << deltas.size()
+            << " candidate peering deployments ==\n"
+            << "per-source recomputes: " << recomputed_total << " ("
+            << cached_total << " served from cache)\n\n";
+  util::Table sweep_table({"deployment", "fees saved", "mean km shift",
+                           "newly routable demands", "recomputed sources"});
+  for (std::size_t i = 0; i < std::min<std::size_t>(5, scores.size()); ++i) {
+    const ScenarioScore& s = scores[i];
+    const scenario::LinkChange& link = deltas[s.scenario].add.front();
+    sweep_table.add_row(
+        {"peer AS" + std::to_string(link.a) + " - AS" +
+             std::to_string(link.b),
+         util::format_double(-s.fee_delta, 1),
+         util::format_double(s.km_delta, 1),
+         std::to_string(s.new_demands),
+         std::to_string(s.stats.recomputed_sources)});
+  }
+  sweep_table.print(std::cout);
+
+  json.add("incremental_sweep", sweep_ms,
+           {{"scenarios", static_cast<double>(deltas.size())},
+            {"recomputed_sources", static_cast<double>(recomputed_total)},
+            {"cached_sources", static_cast<double>(cached_total)}});
+  json.write();
   return 0;
 }

@@ -1,15 +1,22 @@
 // Micro-benchmarks (google-benchmark) for the hot paths of the library:
-// topology generation, beaconing, diversity counting, PAN forwarding, and
-// the BOSCO mechanism pipeline.
+// topology generation, beaconing, diversity counting, PAN forwarding, the
+// BOSCO mechanism pipeline, and the scenario sweep engine.
 //
 // The *_GraphBaseline benchmarks preserve the pre-CSR implementations
 // (per-hop Graph::neighbors() allocation + unordered_map role lookups)
 // so the CompiledTopology speedup is measured, not asserted: compare
 // BM_RoleLookup_GraphBaseline vs BM_RoleLookup_Compiled and
-// BM_Length3*_GraphBaseline vs BM_Length3*_Csr.
+// BM_Length3*_GraphBaseline vs BM_Length3*_Csr. Likewise
+// BM_ScenarioSweep_FullRecompute (copy graph + recompile + recompute per
+// scenario) is the preserved baseline for BM_ScenarioSweep_Incremental.
+//
+// Results are also written to BENCH_perf_micro.json (see main below).
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <cstring>
 #include <memory>
+#include <string>
 #include <unordered_set>
 #include <utility>
 #include <vector>
@@ -21,6 +28,9 @@
 #include "panagree/diversity/report.hpp"
 #include "panagree/pan/beaconing.hpp"
 #include "panagree/pan/forwarding.hpp"
+#include "panagree/paths/parallel.hpp"
+#include "panagree/scenario/metrics.hpp"
+#include "panagree/scenario/sweep.hpp"
 #include "panagree/sim/engine.hpp"
 #include "panagree/topology/compiled.hpp"
 #include "panagree/topology/examples.hpp"
@@ -310,6 +320,109 @@ void BM_BoscoEquilibrium(benchmark::State& state) {
 }
 BENCHMARK(BM_BoscoEquilibrium)->Arg(20)->Arg(60);
 
+// ---------------------------------------- scenario sweep before/after pair
+//
+// The acceptance workload of the scenario engine: 100 single-MA-deployment
+// deltas on the 3000-AS topology, 500 sampled sources, identical per-source
+// work (materialized §VI length-3 path sets) on both sides. The baseline
+// recompiles and recomputes everything per scenario; the incremental side
+// pays one prime, then per scenario only the sources inside the
+// deployment's invalidation ball. Results are byte-identical (asserted by
+// scenario_test, summed into the same checksum here).
+
+const std::vector<topology::AsId>& sweep_sources() {
+  static const std::vector<topology::AsId> sources =
+      diversity::sample_sources(cached_topology().graph, 500, 7);
+  return sources;
+}
+
+const std::vector<scenario::Delta>& sweep_deltas() {
+  static const std::vector<scenario::Delta> deltas =
+      scenario::candidate_peering_deltas(cached_compiled(), 100, 4242);
+  return deltas;
+}
+
+std::size_t path_set_checksum(const scenario::SourcePathSet& sets) {
+  return sets.grc.size() + 3 * sets.ma.size();
+}
+
+void BM_ScenarioSweep_FullRecompute(benchmark::State& state) {
+  const topology::Graph& base = cached_topology().graph;
+  const auto& sources = sweep_sources();
+  const auto threads = static_cast<std::size_t>(state.range(0));
+  std::size_t checksum = 0;
+  for (auto _ : state) {
+    checksum = 0;
+    for (const scenario::Delta& delta : sweep_deltas()) {
+      topology::Graph mutated = base;
+      for (const scenario::LinkChange& change : delta.add) {
+        if (change.type == topology::LinkType::kPeering) {
+          mutated.add_peering(change.a, change.b);
+        } else {
+          mutated.add_provider_customer(change.a, change.b);
+        }
+      }
+      const topology::CompiledTopology recompiled(mutated);
+      const scenario::Overlay none(recompiled);
+      const auto results = paths::map_sources(
+          sources, threads, [&](topology::AsId src) {
+            return scenario::enumerate_length3(none, src);
+          });
+      for (const scenario::SourcePathSet& sets : results) {
+        checksum += path_set_checksum(sets);
+      }
+    }
+    benchmark::DoNotOptimize(checksum);
+  }
+  state.SetItemsProcessed(state.iterations() * sweep_deltas().size());
+  state.counters["checksum"] = static_cast<double>(checksum);
+}
+BENCHMARK(BM_ScenarioSweep_FullRecompute)
+    ->Arg(1)
+    ->Arg(4)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_ScenarioSweep_Incremental(benchmark::State& state) {
+  const auto& sources = sweep_sources();
+  scenario::SweepConfig config;
+  config.threads = static_cast<std::size_t>(state.range(0));
+  config.dirty_radius = scenario::kLength3DirtyRadius;
+  const auto enumerate = [](const scenario::Overlay& overlay,
+                            topology::AsId src) {
+    return scenario::enumerate_length3(overlay, src);
+  };
+  std::size_t checksum = 0;
+  double recomputed = 0.0;
+  for (auto _ : state) {
+    checksum = 0;
+    recomputed = 0.0;
+    // Prime is *inside* the timing: the comparison is end-to-end cost of
+    // answering 100 what-ifs, not just the marginal scenario.
+    scenario::SweepRunner<scenario::SourcePathSet> runner(cached_compiled(),
+                                                          sources, config);
+    runner.prime(enumerate);
+    for (const scenario::Delta& delta : sweep_deltas()) {
+      scenario::SweepStats stats;
+      runner.evaluate_visit(
+          delta, enumerate,
+          [&](std::size_t, const scenario::SourcePathSet& sets) {
+            checksum += path_set_checksum(sets);
+          },
+          &stats);
+      recomputed += static_cast<double>(stats.recomputed_sources);
+    }
+    benchmark::DoNotOptimize(checksum);
+  }
+  state.SetItemsProcessed(state.iterations() * sweep_deltas().size());
+  state.counters["checksum"] = static_cast<double>(checksum);
+  state.counters["recomputed_sources_per_scenario"] =
+      recomputed / static_cast<double>(sweep_deltas().size());
+}
+BENCHMARK(BM_ScenarioSweep_Incremental)
+    ->Arg(1)
+    ->Arg(4)
+    ->Unit(benchmark::kMillisecond);
+
 void BM_BoscoExpectedNash(benchmark::State& state) {
   const bosco::UniformDistribution dist(-1.0, 1.0);
   util::Rng rng(3);
@@ -324,3 +437,62 @@ void BM_BoscoExpectedNash(benchmark::State& state) {
 BENCHMARK(BM_BoscoExpectedNash);
 
 }  // namespace
+
+// google-benchmark's main plus a default machine-readable results file:
+// unless the caller passes --benchmark_out themselves, results land in
+// BENCH_perf_micro.json (json format) alongside the console table, so the
+// perf trajectory is diffable across PRs.
+int main(int argc, char** argv) {
+  std::vector<char*> args(argv, argv + argc);
+  // Same default output directory override the plain-main benches honor
+  // (bench_json.hpp), so one env var collects every BENCH_*.json.
+  std::string out_dir = ".";
+  if (const char* env = std::getenv("PANAGREE_BENCH_JSON_DIR")) {
+    if (*env != '\0') {
+      out_dir = env;
+    }
+  }
+  std::string out_flag =
+      "--benchmark_out=" + out_dir + "/BENCH_perf_micro.json";
+  std::string format_flag = "--benchmark_out_format=json";
+  // Match the out flag itself, not --benchmark_out_format (a lone format
+  // flag must not suppress the default results file - nor be overridden
+  // by the appended default, since last flag wins).
+  const bool has_out =
+      std::any_of(args.begin(), args.end(), [](const char* arg) {
+        return std::strncmp(arg, "--benchmark_out=", 16) == 0 ||
+               std::strcmp(arg, "--benchmark_out") == 0;
+      });
+  const bool has_format =
+      std::any_of(args.begin(), args.end(), [](const char* arg) {
+        return std::strncmp(arg, "--benchmark_out_format", 22) == 0;
+      });
+  if (!has_out) {
+    args.push_back(out_flag.data());
+  }
+  if (!has_out && !has_format) {
+    args.push_back(format_flag.data());
+  }
+  int effective_argc = static_cast<int>(args.size());
+  benchmark::Initialize(&effective_argc, args.data());
+  if (benchmark::ReportUnrecognizedArguments(effective_argc, args.data())) {
+    return 1;
+  }
+  // After flag handling (--help exits inside Initialize) and only for
+  // real runs: a --benchmark_list_tests listing must not pay the 3000-AS
+  // fixture generation just to annotate the context.
+  const bool list_only =
+      std::any_of(args.begin(), args.end(), [](const char* arg) {
+        return std::strncmp(arg, "--benchmark_list_tests", 22) == 0;
+      });
+  if (!list_only) {
+    benchmark::AddCustomContext(
+        "topology_ases", std::to_string(cached_topology().graph.num_ases()));
+    benchmark::AddCustomContext(
+        "topology_links",
+        std::to_string(cached_topology().graph.num_links()));
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -140,14 +140,20 @@ class MutualTransitStep {
 /// access to S unless S is a customer of Z, making S-P-Z usable from S's
 /// end as well). Emitted (P, Z) pairs are unique by construction, matching
 /// the (mid, dst) deduplication of the legacy analyzer.
-class MaLength3Step {
+///
+/// Parameterized over the topology view (CompiledTopology or
+/// scenario::Overlay) because the rule consults roles of AS pairs that are
+/// not on the walked path - those lookups must see the same view the walk
+/// runs on.
+template <typename Topo>
+class BasicMaLength3Step {
  public:
   enum class Via : std::uint8_t { kStart, kPeer, kCustomer };
   using State = Via;
 
   /// `include_indirect` = false restricts to the directly gained paths
   /// (the paper's MA* series).
-  MaLength3Step(const CompiledTopology& topo, bool include_indirect)
+  BasicMaLength3Step(const Topo& topo, bool include_indirect)
       : topo_(&topo), include_indirect_(include_indirect) {}
 
   [[nodiscard]] State initial_state() const { return Via::kStart; }
@@ -189,17 +195,24 @@ class MaLength3Step {
   }
 
  private:
-  const CompiledTopology* topo_;
+  const Topo* topo_;
   bool include_indirect_;
 };
 
-/// The shared walk engine. Stateless apart from the snapshot pointer; one
-/// instance can serve concurrent walks from multiple threads.
-class PathEnumerator {
- public:
-  explicit PathEnumerator(const CompiledTopology& topo) : topo_(&topo) {}
+using MaLength3Step = BasicMaLength3Step<CompiledTopology>;
 
-  [[nodiscard]] const CompiledTopology& topology() const { return *topo_; }
+/// The shared walk engine, parameterized over the topology view: any type
+/// exposing num_ases(), for_each_entry(as, fn) yielding
+/// CompiledTopology::Entry-shaped values in CSR row order, and role_of
+/// (the snapshot itself, or a scenario::Overlay splicing link deltas into
+/// that order). Stateless apart from the view pointer; one instance can
+/// serve concurrent walks from multiple threads.
+template <typename Topo>
+class BasicPathEnumerator {
+ public:
+  explicit BasicPathEnumerator(const Topo& topo) : topo_(&topo) {}
+
+  [[nodiscard]] const Topo& topology() const { return *topo_; }
 
   /// Visits every simple policy-admitted path of >= 2 ASes starting at
   /// `src`, bounded by `max_len` ASes. `sink(path)` is invoked for each
@@ -264,9 +277,11 @@ class PathEnumerator {
 
   /// True iff consecutive path elements are linked in the topology (role
   /// oblivious; the adjacency test PAN candidate validation needs).
+  /// Phrased via role_of so it stays within the topology-view protocol
+  /// (CompiledTopology and scenario::Overlay both implement it).
   [[nodiscard]] bool links_exist(const Path& path) const {
     for (std::size_t i = 0; i + 1 < path.size(); ++i) {
-      if (topo_->find(path[i], path[i + 1]) == nullptr) {
+      if (!topo_->role_of(path[i], path[i + 1]).has_value()) {
         return false;
       }
     }
@@ -280,15 +295,15 @@ class PathEnumerator {
            AsId prev, typename Policy::State state,
            std::size_t max_len) const {
     const AsId cur = path.back();
-    for (const auto& entry : topo_->entries(cur)) {
+    topo_->for_each_entry(cur, [&](const auto& entry) {
       if (visited[entry.neighbor] == walk) {
-        continue;
+        return;
       }
       typename Policy::State next_state = state;
       const Step step{path.front(), prev,        cur,
                       entry.neighbor, entry.role, path.size()};
       if (!policy.allowed(step, state, next_state)) {
-        continue;
+        return;
       }
       path.push_back(entry.neighbor);
       const bool extend = sink(static_cast<const Path&>(path));
@@ -299,11 +314,13 @@ class PathEnumerator {
         visited[entry.neighbor] = saved;
       }
       path.pop_back();
-    }
+    });
   }
 
-  const CompiledTopology* topo_;
+  const Topo* topo_;
 };
+
+using PathEnumerator = BasicPathEnumerator<CompiledTopology>;
 
 /// Validates a whole path against the valley-free rule using any role
 /// lookup shaped like `role_of(x, y) -> std::optional<NeighborRole>`

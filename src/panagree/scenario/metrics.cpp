@@ -1,0 +1,197 @@
+#include "panagree/scenario/metrics.hpp"
+
+#include <limits>
+#include <optional>
+#include <unordered_map>
+
+#include "panagree/geo/coordinates.hpp"
+#include "panagree/paths/enumerator.hpp"
+
+namespace panagree::scenario {
+
+SourcePathSet enumerate_length3(const Overlay& overlay, AsId src) {
+  const paths::BasicPathEnumerator<Overlay> enumerator(overlay);
+  SourcePathSet out;
+  enumerator.visit_paths(src, 3, paths::ValleyFreeStep{},
+                         [&](const paths::Path& path) {
+                           if (path.size() == 3) {
+                             out.grc.push_back({path[0], path[1], path[2]});
+                           }
+                           return true;
+                         });
+  enumerator.visit_paths(src, 3,
+                         paths::BasicMaLength3Step<Overlay>(overlay, true),
+                         [&](const paths::Path& path) {
+                           if (path.size() == 3) {
+                             out.ma.push_back({path[0], path[1], path[2]});
+                           }
+                           return true;
+                         });
+  return out;
+}
+
+MetricsDelta subtract(const ScenarioMetrics& scenario,
+                      const ScenarioMetrics& baseline) {
+  MetricsDelta delta;
+  delta.paths =
+      static_cast<double>(scenario.grc_paths + scenario.ma_paths) -
+      static_cast<double>(baseline.grc_paths + baseline.ma_paths);
+  delta.pairs =
+      static_cast<double>(scenario.grc_pairs + scenario.ma_extra_pairs) -
+      static_cast<double>(baseline.grc_pairs + baseline.ma_extra_pairs);
+  delta.mean_best_geodistance_km = scenario.mean_best_geodistance_km -
+                                   baseline.mean_best_geodistance_km;
+  delta.transit_fees = scenario.transit_fees - baseline.transit_fees;
+  return delta;
+}
+
+double operator_utility(const MetricsDelta& delta,
+                        const UtilityWeights& weights) {
+  return -delta.transit_fees + weights.per_new_pair * delta.pairs -
+         weights.per_km_regression * delta.mean_best_geodistance_km;
+}
+
+MetricsAggregator::MetricsAggregator(const CompiledTopology& base,
+                                     const geo::World* world,
+                                     const econ::Economy* economy)
+    : base_(&base), world_(world), economy_(economy) {
+  if (world_ != nullptr) {
+    geodesy_.emplace(base.graph(), *world_);
+  }
+}
+
+double MetricsAggregator::path_geodistance_km(const Overlay& overlay,
+                                              AsId s, AsId m, AsId d) const {
+  util::require(geodesy_.has_value(),
+                "MetricsAggregator: constructed without a geo::World");
+  const auto l1 = overlay.link_between(s, m);
+  const auto l2 = overlay.link_between(m, d);
+  util::require(l1.has_value() && l2.has_value(),
+                "path_geodistance_km: path hops must be linked");
+  if (*l1 < overlay.first_added_link_id() &&
+      *l2 < overlay.first_added_link_id()) {
+    return geodesy_->path_geodistance_km(s, m, d);
+  }
+  // An added link has no interconnection facilities yet: approximate the
+  // whole path by its endpoint-centroid great-circle legs.
+  const topology::Graph& graph = base_->graph();
+  return geo::great_circle_km(graph.info(s).centroid,
+                              graph.info(m).centroid) +
+         geo::great_circle_km(graph.info(m).centroid,
+                              graph.info(d).centroid);
+}
+
+double MetricsAggregator::path_fee(const Overlay& overlay,
+                                   std::span<const AsId> path,
+                                   double volume) const {
+  double fee = 0.0;
+  for (std::size_t i = 0; i + 1 < path.size(); ++i) {
+    const std::optional<NeighborRole> role =
+        overlay.role_of(path[i], path[i + 1]);
+    PANAGREE_ASSERT(role.has_value());
+    switch (*role) {
+      case NeighborRole::kProvider:
+        fee += economy_->link_pricing(path[i + 1], path[i])(volume);
+        break;
+      case NeighborRole::kCustomer:
+        fee += economy_->link_pricing(path[i], path[i + 1])(volume);
+        break;
+      case NeighborRole::kPeer:
+        break;
+    }
+  }
+  return fee;
+}
+
+ScenarioMetrics MetricsAggregator::aggregate(
+    const Overlay& overlay, const std::vector<AsId>& sources,
+    const std::vector<const SourcePathSet*>& results) const {
+  util::require(sources.size() == results.size(),
+                "MetricsAggregator::aggregate: sources/results mismatch");
+  ScenarioMetrics metrics;
+
+  const topology::Graph& graph = base_->graph();
+  const auto km_of =
+      [&](const diversity::Length3Path& p) -> std::optional<double> {
+    if (!geodesy_.has_value() || !graph.info(p.src).has_geo ||
+        !graph.info(p.mid).has_geo || !graph.info(p.dst).has_geo) {
+      return std::nullopt;
+    }
+    return path_geodistance_km(overlay, p.src, p.mid, p.dst);
+  };
+
+  struct Best {
+    diversity::Length3Path path;
+    double km = std::numeric_limits<double>::infinity();
+    bool has_km = false;
+    bool grc_reachable = false;
+  };
+  double km_sum = 0.0;
+  std::size_t km_pairs = 0;
+  std::unordered_map<AsId, Best> best;
+  for (std::size_t i = 0; i < sources.size(); ++i) {
+    const SourcePathSet& result = *results[i];
+    metrics.grc_paths += result.grc.size();
+    metrics.ma_paths += result.ma.size();
+
+    best.clear();
+    const auto consider = [&](const diversity::Length3Path& p, bool grc) {
+      auto [it, inserted] = best.try_emplace(p.dst);
+      Best& slot = it->second;
+      slot.grc_reachable = slot.grc_reachable || grc;
+      const std::optional<double> km = km_of(p);
+      // Without geodata the first-enumerated path wins (deterministic);
+      // with it, the strictly shortest one.
+      if (inserted) {
+        slot.path = p;
+        if (km.has_value()) {
+          slot.km = *km;
+          slot.has_km = true;
+        }
+        return;
+      }
+      if (km.has_value() && *km < slot.km) {
+        slot.path = p;
+        slot.km = *km;
+        slot.has_km = true;
+      }
+    };
+    for (const diversity::Length3Path& p : result.grc) {
+      consider(p, /*grc=*/true);
+    }
+    for (const diversity::Length3Path& p : result.ma) {
+      consider(p, /*grc=*/false);
+    }
+
+    for (const auto& [dst, slot] : best) {
+      if (slot.grc_reachable) {
+        ++metrics.grc_pairs;
+      } else {
+        ++metrics.ma_extra_pairs;
+      }
+      if (slot.has_km) {
+        km_sum += slot.km;
+        ++km_pairs;
+      }
+      const AsId hops[3] = {slot.path.src, slot.path.mid, slot.path.dst};
+      metrics.transit_fees += path_fee(overlay, hops, 1.0);
+    }
+  }
+  if (km_pairs > 0) {
+    metrics.mean_best_geodistance_km = km_sum / static_cast<double>(km_pairs);
+  }
+  return metrics;
+}
+
+ScenarioMetrics MetricsAggregator::aggregate(
+    const Overlay& overlay, const std::vector<AsId>& sources,
+    const std::vector<SourcePathSet>& results) const {
+  std::vector<const SourcePathSet*> refs;
+  refs.reserve(results.size());
+  for (const SourcePathSet& result : results) {
+    refs.push_back(&result);
+  }
+  return aggregate(overlay, sources, refs);
+}
+
+}  // namespace panagree::scenario

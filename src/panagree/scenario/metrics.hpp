@@ -1,0 +1,143 @@
+// Per-scenario aggregation: what does one agreement deployment buy?
+//
+// The sweep's canonical per-source result is the pair of §VI length-3 path
+// sets (GRC and MA) enumerated over the overlaid topology - the same
+// policies diversity::Length3Analyzer runs on the base snapshot, consulted
+// through the Overlay. MetricsAggregator folds a scenario's per-source
+// results into operator-facing aggregates:
+//
+//   * path diversity - total GRC/MA path counts and reachable (src, dst)
+//     pairs (diversity/ semantics);
+//   * geodistance - the mean best length-3 geodistance over reachable
+//     pairs (§VI-B). Hops over base links use the facility-minimizing
+//     GeodistanceModel; hops over *added* links (which have no facilities
+//     yet) fall back to the endpoint-centroid great-circle legs;
+//   * transit fees - unit demand per reachable pair routed over its best
+//     path, each provider-customer hop charged by econ::Economy. Per-unit
+//     evaluation is exact for the linear default economy; added links the
+//     economy does not know are settlement-free.
+//
+// Scenario ranking is the difference against the baseline aggregate
+// (subtract()), turned into a scalar by operator_utility().
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "panagree/diversity/geodistance.hpp"
+#include "panagree/diversity/length3.hpp"
+#include "panagree/econ/business.hpp"
+#include "panagree/scenario/overlay.hpp"
+
+namespace panagree::scenario {
+
+/// The per-source unit of the canonical sweep: every GRC length-3 path of
+/// the source plus every MA-only path, in engine enumeration order (so
+/// equality is byte-equality of a full recompute).
+struct SourcePathSet {
+  std::vector<diversity::Length3Path> grc;
+  std::vector<diversity::Length3Path> ma;
+
+  friend bool operator==(const SourcePathSet&,
+                         const SourcePathSet&) = default;
+};
+
+/// Enumerates the §VI length-3 path sets of `src` over the overlaid
+/// topology. On an empty overlay this reproduces
+/// diversity::Length3Analyzer::{grc_paths, ma_paths} exactly.
+[[nodiscard]] SourcePathSet enumerate_length3(const Overlay& overlay,
+                                              AsId src);
+
+/// The sweep invalidation radius that is *exact* for enumerate_length3:
+/// a length-3 path S-M-D only uses links whose nearer endpoint is S
+/// (distance 0) or M (distance 1), and the MA policy's off-path role
+/// checks only ever involve the (S, D) pair - endpoint S, distance 0. So
+/// a source farther than 1 hop from every changed-link endpoint keeps its
+/// baseline result verbatim (scenario_test proves byte-identity at this
+/// radius across randomized deltas). The generic bound for a max_len-AS
+/// walk is max_len - 2 for on-path links, +1 if a policy consults role
+/// pairs not anchored at the source.
+inline constexpr std::size_t kLength3DirtyRadius = 1;
+
+/// Aggregates of one scenario over the analyzed sources.
+struct ScenarioMetrics {
+  std::size_t grc_paths = 0;
+  std::size_t ma_paths = 0;
+  /// (src, dst) pairs with at least one GRC path.
+  std::size_t grc_pairs = 0;
+  /// Additional (src, dst) pairs reachable only via MA paths.
+  std::size_t ma_extra_pairs = 0;
+  /// Mean best-path geodistance over reachable pairs (0 without geodata).
+  double mean_best_geodistance_km = 0.0;
+  /// Aggregate transit fees of unit demand per reachable pair.
+  double transit_fees = 0.0;
+};
+
+/// Elementwise scenario - baseline (size_t fields as signed deltas via
+/// doubles would lose exactness; kept as a dedicated type instead).
+struct MetricsDelta {
+  double paths = 0.0;
+  double pairs = 0.0;
+  double mean_best_geodistance_km = 0.0;
+  double transit_fees = 0.0;
+};
+
+[[nodiscard]] MetricsDelta subtract(const ScenarioMetrics& scenario,
+                                    const ScenarioMetrics& baseline);
+
+/// A scalar "is this deployment worth it" score: fees saved plus a reward
+/// per newly reachable pair minus a penalty per km of mean-geodistance
+/// regression. The weights are knobs, not doctrine.
+struct UtilityWeights {
+  double per_new_pair = 0.5;
+  double per_km_regression = 0.02;
+};
+
+[[nodiscard]] double operator_utility(const MetricsDelta& delta,
+                                      const UtilityWeights& weights = {});
+
+class MetricsAggregator {
+ public:
+  /// `world` == nullptr disables the geodistance aggregate (and best paths
+  /// fall back to first-enumerated). All referenced objects must outlive
+  /// the aggregator.
+  MetricsAggregator(const CompiledTopology& base, const geo::World* world,
+                    const econ::Economy* economy);
+
+  /// Folds the per-source results of one scenario (results[i] belongs to
+  /// sources[i], the shape SweepRunner produces). Thread-safe per call.
+  [[nodiscard]] ScenarioMetrics aggregate(
+      const Overlay& overlay, const std::vector<AsId>& sources,
+      const std::vector<SourcePathSet>& results) const;
+
+  /// Pointer variant for zero-copy sweeps: SweepRunner::evaluate_visit
+  /// hands out references into its cache, so a scenario can be aggregated
+  /// without duplicating any cache-served path set.
+  [[nodiscard]] ScenarioMetrics aggregate(
+      const Overlay& overlay, const std::vector<AsId>& sources,
+      const std::vector<const SourcePathSet*>& results) const;
+
+  /// Geodistance of s-m-d over the overlay, with the added-link centroid
+  /// fallback described above. Requires geodata (world != nullptr).
+  [[nodiscard]] double path_geodistance_km(const Overlay& overlay, AsId s,
+                                           AsId m, AsId d) const;
+
+  /// Transit fees of routing `volume` over `path` (>= 2 linked ASes)
+  /// under the overlay: every provider-customer hop is charged by the
+  /// economy's pricing for that link, whichever direction the walk
+  /// crosses it; peering and unknown (overlay-added) links are
+  /// settlement-free. The single fee convention shared by aggregate()
+  /// and the sweep benches.
+  [[nodiscard]] double path_fee(const Overlay& overlay,
+                                std::span<const AsId> path,
+                                double volume) const;
+
+ private:
+  const CompiledTopology* base_;
+  const geo::World* world_;
+  const econ::Economy* economy_;
+  std::optional<diversity::GeodistanceModel> geodesy_;
+};
+
+}  // namespace panagree::scenario

@@ -1,0 +1,113 @@
+#include "panagree/scenario/overlay.hpp"
+
+#include <limits>
+
+namespace panagree::scenario {
+
+void Overlay::clear() {
+  added_.clear();
+  added_links_.clear();
+  removed_.clear();
+  touched_.clear();
+  first_added_link_ =
+      static_cast<std::uint32_t>(base_->graph().links().size());
+}
+
+const LinkChange& Overlay::added_link(std::uint32_t link_id) const {
+  util::require(link_id >= first_added_link_ &&
+                    link_id - first_added_link_ < added_links_.size(),
+                "Overlay::added_link: not an added-link id");
+  return added_links_[link_id - first_added_link_];
+}
+
+void Overlay::apply(const Delta& delta) {
+  clear();
+  const std::size_t n = base_->num_ases();
+  const std::size_t base_links = base_->graph().links().size();
+  util::require(base_links + delta.add.size() <
+                    std::numeric_limits<std::uint32_t>::max(),
+                "Overlay::apply: too many links for 32-bit link ids");
+
+  // --- Removed links: must exist in the base, no duplicates. ---
+  removed_.reserve(delta.remove.size());
+  for (const auto& [x, y] : delta.remove) {
+    const bool linked =
+        x < n && y < n && base_->role_of(x, y).has_value();
+    if (!linked) {
+      clear();
+      util::require(false, "Overlay::apply: removed pair is not a base link");
+    }
+    removed_.push_back(pair_key(x, y));
+  }
+  std::sort(removed_.begin(), removed_.end());
+  if (std::adjacent_find(removed_.begin(), removed_.end()) !=
+      removed_.end()) {
+    clear();
+    util::require(false, "Overlay::apply: duplicate removed pair");
+  }
+
+  // --- Added links: distinct in-range endpoints, pair free after removal,
+  // no duplicates. Each contributes one slot to both endpoints' rows. ---
+  added_.reserve(2 * delta.add.size());
+  added_links_ = delta.add;
+  std::vector<std::uint64_t> added_pairs;
+  added_pairs.reserve(delta.add.size());
+  for (std::size_t i = 0; i < delta.add.size(); ++i) {
+    const LinkChange& change = delta.add[i];
+    const bool ok = change.a < n && change.b < n && change.a != change.b &&
+                    (!base_->role_of(change.a, change.b).has_value() ||
+                     is_removed(change.a, change.b));
+    if (!ok) {
+      clear();
+      util::require(false,
+                    "Overlay::apply: added link must connect two distinct "
+                    "in-range ASes that are unlinked in the overlaid base");
+    }
+    added_pairs.push_back(pair_key(change.a, change.b));
+    const auto link = static_cast<std::uint32_t>(base_links + i);
+    if (change.type == LinkType::kProviderCustomer) {
+      added_.push_back(
+          {change.a, Entry{change.b, link, NeighborRole::kCustomer}});
+      added_.push_back(
+          {change.b, Entry{change.a, link, NeighborRole::kProvider}});
+    } else {
+      added_.push_back({change.a, Entry{change.b, link, NeighborRole::kPeer}});
+      added_.push_back({change.b, Entry{change.a, link, NeighborRole::kPeer}});
+    }
+  }
+  std::sort(added_pairs.begin(), added_pairs.end());
+  if (std::adjacent_find(added_pairs.begin(), added_pairs.end()) !=
+      added_pairs.end()) {
+    clear();
+    util::require(false, "Overlay::apply: duplicate added pair");
+  }
+
+  // Row order of a recompiled topology: (as, role group, neighbor id).
+  std::sort(added_.begin(), added_.end(),
+            [](const AddedEntry& x, const AddedEntry& y) {
+              if (x.as != y.as) {
+                return x.as < y.as;
+              }
+              const std::size_t gx = group_of(x.entry.role);
+              const std::size_t gy = group_of(y.entry.role);
+              if (gx != gy) {
+                return gx < gy;
+              }
+              return x.entry.neighbor < y.entry.neighbor;
+            });
+
+  touched_.reserve(2 * (delta.add.size() + delta.remove.size()));
+  for (const LinkChange& change : delta.add) {
+    touched_.push_back(change.a);
+    touched_.push_back(change.b);
+  }
+  for (const auto& [x, y] : delta.remove) {
+    touched_.push_back(x);
+    touched_.push_back(y);
+  }
+  std::sort(touched_.begin(), touched_.end());
+  touched_.erase(std::unique(touched_.begin(), touched_.end()),
+                 touched_.end());
+}
+
+}  // namespace panagree::scenario

@@ -1,0 +1,71 @@
+#include "panagree/scenario/sweep.hpp"
+
+#include <unordered_set>
+
+#include "panagree/util/rng.hpp"
+
+namespace panagree::scenario {
+
+std::vector<AsId> invalidation_ball(const Overlay& overlay,
+                                    std::size_t radius) {
+  std::vector<AsId> ball = overlay.touched();
+  if (ball.empty()) {
+    return ball;
+  }
+  std::vector<char> seen(overlay.num_ases(), 0);
+  for (const AsId as : ball) {
+    seen[as] = 1;
+  }
+  std::vector<AsId> frontier = ball;
+  std::vector<AsId> next;
+  for (std::size_t depth = 0; depth < radius && !frontier.empty(); ++depth) {
+    next.clear();
+    for (const AsId as : frontier) {
+      overlay.for_each_entry(as, [&](const Overlay::Entry& entry) {
+        if (seen[entry.neighbor] == 0) {
+          seen[entry.neighbor] = 1;
+          next.push_back(entry.neighbor);
+        }
+      });
+    }
+    ball.insert(ball.end(), next.begin(), next.end());
+    frontier.swap(next);
+  }
+  std::sort(ball.begin(), ball.end());
+  return ball;
+}
+
+std::vector<Delta> candidate_peering_deltas(const CompiledTopology& base,
+                                            std::size_t count,
+                                            std::uint64_t seed) {
+  util::Rng rng(seed);
+  std::vector<Delta> deltas;
+  std::unordered_set<std::uint64_t> used;
+  // The rejection loop can run dry on tiny or near-complete graphs; the
+  // attempt bound turns that into a short result instead of a hang.
+  for (std::size_t attempts = 0;
+       deltas.size() < count && attempts < 100 * count + 1000; ++attempts) {
+    const auto a = static_cast<AsId>(rng.uniform_index(base.num_ases()));
+    if (base.degree(a) == 0) {
+      continue;
+    }
+    const auto via = base.entries(a);
+    const AsId mid = via[rng.uniform_index(via.size())].neighbor;
+    const auto onward = base.entries(mid);
+    const AsId b = onward[rng.uniform_index(onward.size())].neighbor;
+    if (b == a || base.role_of(a, b).has_value()) {
+      continue;
+    }
+    const std::uint64_t key =
+        (static_cast<std::uint64_t>(std::min(a, b)) << 32) | std::max(a, b);
+    if (!used.insert(key).second) {
+      continue;
+    }
+    Delta delta;
+    delta.add.push_back({a, b, topology::LinkType::kPeering});
+    deltas.push_back(std::move(delta));
+  }
+  return deltas;
+}
+
+}  // namespace panagree::scenario

@@ -1,0 +1,210 @@
+// Incremental what-if sweeps over agreement-deployment deltas.
+//
+// A sweep evaluates one per-source analysis (path enumeration, routing
+// tables, diversity counters, ...) across many scenarios, each a small
+// link Delta over the same base snapshot. Two facts make this incremental:
+//
+//   1. *Locality.* A bounded-depth walk from source S can only be affected
+//      by a changed link if one of the link's endpoints lies within the
+//      walk's reach of S. SweepRunner computes the "invalidation ball" -
+//      every AS within `dirty_radius` undirected hops of a changed-link
+//      endpoint - and recomputes only the sources inside it. For a
+//      max_len-AS enumeration, dirty_radius = max_len - 1 is sufficient:
+//      on-path links have an endpoint within max_len - 2 hops, and the
+//      only off-path lookups of the shipped policies (BasicMaLength3Step's
+//      (source, dst) role checks) involve the source itself, at distance
+//      zero. The ball is computed over base + added links, which contains
+//      every link either the cached or the overlaid walk can traverse, so
+//      the dirty set is conservative in both directions of the delta.
+//
+//   2. *Determinism.* Clean sources reuse the cached baseline result;
+//      dirty sources are recomputed over paths::map_sources, whose output
+//      is in source order at any thread count. Spliced results are
+//      therefore byte-identical to a full recompute of the mutated graph,
+//      serial or parallel (scenario_test locks this in).
+//
+// The per-source function must be pure, thread-safe, and local: its result
+// may depend only on topology within dirty_radius hops of the source.
+// Results of sources outside the ball are assumed (and asserted by tests,
+// not at runtime) to equal their baseline values.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "panagree/paths/parallel.hpp"
+#include "panagree/scenario/overlay.hpp"
+
+namespace panagree::scenario {
+
+struct SweepConfig {
+  /// Worker threads for per-source fan-outs (0 = hardware concurrency).
+  std::size_t threads = 0;
+  /// Invalidation radius in undirected hops around changed-link endpoints.
+  /// For a max_len-AS enumeration, max_len - 2 covers every on-path link
+  /// (hop i's nearer endpoint is at distance i from the source) and every
+  /// policy lookup anchored at the source; add 1 if a policy consults
+  /// role pairs *not* involving the source. The default is the safe bound
+  /// for the length-3 analyses; pass metrics' kLength3DirtyRadius (= 1,
+  /// with proof) for the canonical sweep - on small-world AS graphs the
+  /// radius-2 ball of a hub covers most sources and forfeits the caching.
+  std::size_t dirty_radius = 2;
+};
+
+/// Per-scenario accounting of the cache's effectiveness.
+struct SweepStats {
+  std::size_t recomputed_sources = 0;  ///< inside the invalidation ball
+  std::size_t cached_sources = 0;      ///< baseline result reused
+  std::size_t ball_size = 0;           ///< ASes in the invalidation ball
+};
+
+/// All ASes within `radius` undirected hops of a changed-link endpoint of
+/// `overlay` (the endpoints themselves included), sorted ascending. BFS
+/// over the overlaid adjacency; since both endpoints of every changed link
+/// are seeds, traversing base-removed links could not reach anything new.
+[[nodiscard]] std::vector<AsId> invalidation_ball(const Overlay& overlay,
+                                                  std::size_t radius);
+
+/// `count` single-link candidate deployments: new peering links between
+/// distinct ASes two hops apart today (the "we already meet at a common
+/// facility" pairs that dominate real peering candidacies), no pair twice.
+/// Deterministic given `seed`; returns fewer if the graph runs out of
+/// distinct candidates.
+[[nodiscard]] std::vector<Delta> candidate_peering_deltas(
+    const CompiledTopology& base, std::size_t count, std::uint64_t seed);
+
+template <typename Result>
+class SweepRunner {
+ public:
+  /// `base` must outlive the runner; `sources` is the analyzed sample (any
+  /// order, kept verbatim - results are returned in this order).
+  SweepRunner(const CompiledTopology& base, std::vector<AsId> sources,
+              SweepConfig config = {})
+      : base_(&base), sources_(std::move(sources)), config_(config) {
+    for (const AsId src : sources_) {
+      util::require(src < base.num_ases(),
+                    "SweepRunner: source out of range");
+    }
+  }
+
+  [[nodiscard]] const std::vector<AsId>& sources() const { return sources_; }
+  [[nodiscard]] const CompiledTopology& base() const { return *base_; }
+  [[nodiscard]] bool primed() const { return primed_; }
+
+  /// Computes and caches the baseline result of every source over the
+  /// empty overlay (= the base snapshot). `fn(overlay, source) -> Result`
+  /// must be callable concurrently. Idempotent per fn; re-priming with a
+  /// different fn replaces the cache.
+  template <typename Fn>
+  void prime(const Fn& fn) {
+    const Overlay empty(*base_);
+    cache_ = paths::map_sources(
+        sources_, config_.threads,
+        [&](AsId src) { return fn(empty, src); });
+    primed_ = true;
+  }
+
+  /// The cached per-source baseline, in sources() order.
+  [[nodiscard]] const std::vector<Result>& baseline() const {
+    util::require(primed_, "SweepRunner::baseline: prime() first");
+    return cache_;
+  }
+
+  /// Evaluates one scenario: recomputes the sources whose invalidation
+  /// ball membership makes them dirty, reuses the cache for the rest, and
+  /// invokes `visit(source_index, result)` for every source in order.
+  /// The Result references stay valid until the next evaluate*/prime call
+  /// on this runner (cached slots point into the baseline cache, fresh
+  /// ones into runner-owned scratch).
+  template <typename Fn, typename Visit>
+  void evaluate_visit(const Delta& delta, const Fn& fn, Visit&& visit,
+                      SweepStats* stats = nullptr) {
+    const std::size_t dirty = recompute_dirty(delta, fn, stats);
+    std::size_t next_dirty = 0;
+    for (std::size_t i = 0; i < sources_.size(); ++i) {
+      if (next_dirty < dirty && dirty_positions_[next_dirty] == i) {
+        visit(i, fresh_[next_dirty]);
+        ++next_dirty;
+      } else {
+        visit(i, cache_[i]);
+      }
+    }
+  }
+
+  /// The scenario's per-source results as pointers, in sources() order -
+  /// the zero-copy shape for aggregation (cache-served sources are not
+  /// duplicated). Pointers are invalidated by the next evaluate*/prime
+  /// call on this runner.
+  template <typename Fn>
+  [[nodiscard]] std::vector<const Result*> evaluate_refs(
+      const Delta& delta, const Fn& fn, SweepStats* stats = nullptr) {
+    std::vector<const Result*> out;
+    out.reserve(sources_.size());
+    evaluate_visit(
+        delta, fn,
+        [&](std::size_t, const Result& result) { out.push_back(&result); },
+        stats);
+    return out;
+  }
+
+  /// evaluate_visit materialized: the full per-source result vector of the
+  /// scenario, in sources() order (cached slots copied).
+  template <typename Fn>
+  [[nodiscard]] std::vector<Result> evaluate(const Delta& delta,
+                                             const Fn& fn,
+                                             SweepStats* stats = nullptr) {
+    std::vector<Result> out;
+    out.reserve(sources_.size());
+    evaluate_visit(
+        delta, fn,
+        [&](std::size_t, const Result& result) { out.push_back(result); },
+        stats);
+    return out;
+  }
+
+ private:
+  /// Shared front half of every evaluate flavor: applies the delta,
+  /// computes the dirty source positions, and recomputes them into
+  /// fresh_. Returns the dirty count.
+  template <typename Fn>
+  std::size_t recompute_dirty(const Delta& delta, const Fn& fn,
+                              SweepStats* stats) {
+    util::require(primed_, "SweepRunner::evaluate_visit: prime() first");
+    Overlay overlay(*base_);
+    overlay.apply(delta);
+    const std::vector<AsId> ball =
+        invalidation_ball(overlay, config_.dirty_radius);
+
+    dirty_positions_.clear();
+    dirty_sources_.clear();
+    for (std::size_t i = 0; i < sources_.size(); ++i) {
+      if (std::binary_search(ball.begin(), ball.end(), sources_[i])) {
+        dirty_positions_.push_back(i);
+        dirty_sources_.push_back(sources_[i]);
+      }
+    }
+    fresh_ = paths::map_sources(dirty_sources_, config_.threads,
+                                [&](AsId src) { return fn(overlay, src); });
+
+    if (stats != nullptr) {
+      stats->recomputed_sources = dirty_sources_.size();
+      stats->cached_sources = sources_.size() - dirty_sources_.size();
+      stats->ball_size = ball.size();
+    }
+    return dirty_sources_.size();
+  }
+
+  const CompiledTopology* base_;
+  std::vector<AsId> sources_;
+  SweepConfig config_;
+  std::vector<Result> cache_;
+  bool primed_ = false;
+  /// Scratch reused across evaluate calls (a runner is single-sweep;
+  /// parallelism lives inside map_sources). fresh_ backs the references
+  /// evaluate_visit/evaluate_refs hand out for dirty sources.
+  std::vector<std::size_t> dirty_positions_;
+  std::vector<AsId> dirty_sources_;
+  std::vector<Result> fresh_;
+};
+
+}  // namespace panagree::scenario

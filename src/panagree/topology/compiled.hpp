@@ -55,6 +55,18 @@ class CompiledTopology {
             entries_.data() + row_start_[as + 1]};
   }
 
+  /// Invokes `fn(entry)` for every adjacency entry of `as` in row order.
+  /// The iteration protocol shared with scenario::Overlay, which merges
+  /// link deltas into the same order - generic walkers (paths::
+  /// BasicPathEnumerator) iterate through this instead of entries() so
+  /// they run unchanged on either topology view.
+  template <typename Fn>
+  void for_each_entry(AsId as, Fn&& fn) const {
+    for (const Entry& entry : entries(as)) {
+      fn(entry);
+    }
+  }
+
   /// pi(X) as a span of entries.
   [[nodiscard]] std::span<const Entry> providers(AsId as) const {
     check(as);

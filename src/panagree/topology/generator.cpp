@@ -369,4 +369,49 @@ GeneratedTopology generate_internet(const GeneratorParams& params) {
   return out;
 }
 
+GeneratedTopology embed_relationship_graph(Graph graph, std::uint64_t seed,
+                                           std::size_t cities_per_region) {
+  util::require(graph.num_ases() > 0,
+                "embed_relationship_graph: graph has no ASes");
+  util::Rng rng(seed);
+  GeneratedTopology out;
+  out.world = geo::World::make_default(rng, cities_per_region);
+  out.graph = std::move(graph);
+  Graph& g = out.graph;
+  constexpr std::size_t kMaxFacilities = 3;
+
+  for (AsId as = 0; as < g.num_ases(); ++as) {
+    const bool has_providers = !g.providers(as).empty();
+    const bool has_customers = !g.customers(as).empty();
+    const bool has_peers = !g.peers(as).empty();
+    // Transit-free with customers: Tier-1 core. Transit-free peer-only
+    // (real files contain such content/CDN networks) and any other
+    // customer-owning AS: regional-transit footprint. The rest are stubs.
+    int tier = 3;
+    if (!has_providers && has_customers) {
+      tier = 1;
+    } else if (has_customers || (!has_providers && has_peers)) {
+      tier = 2;
+    }
+    g.info(as).tier = tier;
+    (tier == 1   ? out.tier1
+     : tier == 2 ? out.tier2
+                 : out.tier3)
+        .push_back(as);
+
+    const std::size_t region = out.world.sample_region(rng, kRegionWeights);
+    assign_pops(g, as, out.world, rng, region,
+                /*min_cities=*/tier == 3 ? 1 : 2,
+                /*max_cities=*/tier == 3 ? 2 : 5,
+                /*global_footprint=*/tier == 1,
+                /*foreign_pop_prob=*/tier == 3 ? 0.05 : 0.25);
+  }
+
+  for (LinkId id = 0; id < g.num_links(); ++id) {
+    Link& link = g.link(id);
+    link.facilities = link_facilities(g, out.world, link, kMaxFacilities);
+  }
+  return out;
+}
+
 }  // namespace panagree::topology

@@ -95,4 +95,18 @@ struct GeneratedTopology {
 /// parameters (e.g. fewer ASes than Tier-1 nodes).
 [[nodiscard]] GeneratedTopology generate_internet(const GeneratorParams& params);
 
+/// Embeds a bare relationship graph (e.g. a parsed CAIDA as-rel2 dataset,
+/// which carries no tiers, geodata, or facilities) into a synthetic world
+/// so the geodistance and econ analyses can run on real topologies:
+///   * tiers from the provider hierarchy (transit-free with customers ->
+///     1; other transits and transit-free peer-only networks -> 2;
+///     stubs -> 3);
+///   * region, PoPs, centroid per AS and facility cities per link, drawn
+///     like the generator's (deterministic given `seed`);
+///   * tier1/tier2/tier3 membership lists.
+/// The ixps/hubs lists stay empty - they are generator scaffolding, not
+/// derivable from relationships alone.
+[[nodiscard]] GeneratedTopology embed_relationship_graph(
+    Graph graph, std::uint64_t seed, std::size_t cities_per_region = 40);
+
 }  // namespace panagree::topology

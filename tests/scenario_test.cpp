@@ -1,0 +1,417 @@
+// Tests for the scenario engine: overlay semantics (a Delta over the CSR
+// snapshot behaves exactly like recompiling the mutated graph) and the
+// incremental sweep guarantees (byte-identical results at every thread
+// count, cache accounting, validation).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <optional>
+#include <vector>
+
+#include "panagree/diversity/length3.hpp"
+#include "panagree/scenario/metrics.hpp"
+#include "panagree/scenario/overlay.hpp"
+#include "panagree/scenario/sweep.hpp"
+#include "panagree/topology/examples.hpp"
+#include "panagree/topology/generator.hpp"
+#include "panagree/util/rng.hpp"
+
+namespace panagree::scenario {
+namespace {
+
+using topology::CompiledTopology;
+using topology::Graph;
+using topology::LinkType;
+using topology::NeighborRole;
+
+/// Applies a Delta the expensive way: rebuild the Graph from scratch with
+/// removed links dropped and added links appended.
+Graph mutate(const Graph& base, const Delta& delta) {
+  Graph out;
+  for (AsId as = 0; as < base.num_ases(); ++as) {
+    const AsId id = out.add_as();
+    out.info(id) = base.info(as);
+  }
+  const auto removed = [&](AsId x, AsId y) {
+    for (const auto& [a, b] : delta.remove) {
+      if ((a == x && b == y) || (a == y && b == x)) {
+        return true;
+      }
+    }
+    return false;
+  };
+  for (const auto& link : base.links()) {
+    if (removed(link.a, link.b)) {
+      continue;
+    }
+    if (link.type == LinkType::kProviderCustomer) {
+      out.add_provider_customer(link.a, link.b);
+    } else {
+      out.add_peering(link.a, link.b);
+    }
+  }
+  for (const LinkChange& change : delta.add) {
+    if (change.type == LinkType::kProviderCustomer) {
+      out.add_provider_customer(change.a, change.b);
+    } else {
+      out.add_peering(change.a, change.b);
+    }
+  }
+  return out;
+}
+
+/// The overlaid adjacency row of `as` (neighbor/role pairs, in order).
+std::vector<std::pair<AsId, NeighborRole>> overlay_row(const Overlay& o,
+                                                       AsId as) {
+  std::vector<std::pair<AsId, NeighborRole>> row;
+  o.for_each_entry(as, [&](const Overlay::Entry& e) {
+    row.emplace_back(e.neighbor, e.role);
+  });
+  return row;
+}
+
+std::vector<std::pair<AsId, NeighborRole>> compiled_row(
+    const CompiledTopology& c, AsId as) {
+  std::vector<std::pair<AsId, NeighborRole>> row;
+  for (const auto& e : c.entries(as)) {
+    row.emplace_back(e.neighbor, e.role);
+  }
+  return row;
+}
+
+Graph star_graph() {
+  // 0 provides to 1, 2, 3; 4 peers with 1.
+  Graph g;
+  for (int i = 0; i < 5; ++i) {
+    g.add_as();
+  }
+  g.add_provider_customer(0, 1);
+  g.add_provider_customer(0, 2);
+  g.add_provider_customer(0, 3);
+  g.add_peering(1, 4);
+  return g;
+}
+
+TEST(Overlay, EmptyOverlayIsTheBase) {
+  const Graph g = star_graph();
+  const CompiledTopology c(g);
+  const Overlay o(c);
+  EXPECT_TRUE(o.empty());
+  EXPECT_EQ(o.num_ases(), c.num_ases());
+  for (AsId as = 0; as < c.num_ases(); ++as) {
+    EXPECT_EQ(overlay_row(o, as), compiled_row(c, as));
+  }
+  EXPECT_EQ(o.role_of(1, 0), NeighborRole::kProvider);
+  EXPECT_EQ(o.link_between(1, 4), c.link_between(1, 4));
+  // Base link ids classify as base even before any apply() (regression:
+  // a threshold of 0 made the metrics layer treat every baseline link as
+  // overlay-added and silently fall back to centroid geodistances).
+  EXPECT_EQ(o.first_added_link_id(), g.num_links());
+  EXPECT_LT(*o.link_between(1, 4), o.first_added_link_id());
+}
+
+TEST(Overlay, AddRemoveAndRewireMatchRecompiledGraph) {
+  const Graph g = star_graph();
+  const CompiledTopology c(g);
+  Delta delta;
+  delta.add.push_back({2, 3, LinkType::kPeering});
+  delta.add.push_back({4, 2, LinkType::kProviderCustomer});
+  delta.remove.emplace_back(0, 3);
+  // Rewire: peering 1-4 becomes provider 1 -> customer 4.
+  delta.remove.emplace_back(1, 4);
+  delta.add.push_back({1, 4, LinkType::kProviderCustomer});
+
+  Overlay o(c);
+  o.apply(delta);
+  EXPECT_FALSE(o.empty());
+  EXPECT_EQ(o.touched(), (std::vector<AsId>{0, 1, 2, 3, 4}));
+
+  const Graph mutated = mutate(g, delta);
+  const CompiledTopology expected(mutated);
+  for (AsId as = 0; as < c.num_ases(); ++as) {
+    EXPECT_EQ(overlay_row(o, as), compiled_row(expected, as)) << "as " << as;
+    for (AsId other = 0; other < c.num_ases(); ++other) {
+      EXPECT_EQ(o.role_of(as, other), expected.role_of(as, other))
+          << as << " vs " << other;
+    }
+  }
+  EXPECT_EQ(o.role_of(4, 1), NeighborRole::kProvider);
+  EXPECT_FALSE(o.role_of(3, 0).has_value());
+
+  // Added links resolve through synthetic ids.
+  const auto id = o.link_between(2, 3);
+  ASSERT_TRUE(id.has_value());
+  ASSERT_GE(*id, o.first_added_link_id());
+  EXPECT_EQ(o.added_link(*id), (LinkChange{2, 3, LinkType::kPeering}));
+
+  o.clear();
+  EXPECT_TRUE(o.empty());
+  EXPECT_EQ(overlay_row(o, 3), compiled_row(c, 3));
+}
+
+TEST(Overlay, RejectsInvalidDeltas) {
+  const Graph g = star_graph();
+  const CompiledTopology c(g);
+  Overlay o(c);
+  Delta dup_add;
+  dup_add.add.push_back({2, 3, LinkType::kPeering});
+  dup_add.add.push_back({3, 2, LinkType::kPeering});
+  EXPECT_THROW(o.apply(dup_add), util::PreconditionError);
+  EXPECT_TRUE(o.empty());
+
+  Delta existing;
+  existing.add.push_back({0, 1, LinkType::kPeering});
+  EXPECT_THROW(o.apply(existing), util::PreconditionError);
+
+  Delta self_loop;
+  self_loop.add.push_back({2, 2, LinkType::kPeering});
+  EXPECT_THROW(o.apply(self_loop), util::PreconditionError);
+
+  Delta not_a_link;
+  not_a_link.remove.emplace_back(2, 3);
+  EXPECT_THROW(o.apply(not_a_link), util::PreconditionError);
+
+  Delta out_of_range;
+  out_of_range.add.push_back({2, 99, LinkType::kPeering});
+  EXPECT_THROW(o.apply(out_of_range), util::PreconditionError);
+}
+
+TEST(Overlay, EnumerationMatchesRecompiledAnalyzer) {
+  const auto topo = topology::generate_internet([] {
+    topology::GeneratorParams params;
+    params.num_ases = 150;
+    params.tier1_count = 4;
+    params.seed = 11;
+    return params;
+  }());
+  const CompiledTopology compiled(topo.graph);
+  Delta delta;
+  delta.add.push_back({20, 120, LinkType::kPeering});
+  delta.remove.emplace_back(topo.graph.links().front().a,
+                            topo.graph.links().front().b);
+  Overlay overlay(compiled);
+  overlay.apply(delta);
+
+  const Graph mutated = mutate(topo.graph, delta);
+  const diversity::Length3Analyzer analyzer(mutated);
+  for (AsId src = 0; src < compiled.num_ases(); src += 7) {
+    const SourcePathSet sets = enumerate_length3(overlay, src);
+    EXPECT_EQ(sets.grc, analyzer.grc_paths(src)) << "src " << src;
+    EXPECT_EQ(sets.ma, analyzer.ma_paths(src)) << "src " << src;
+  }
+}
+
+/// Random single- and multi-link deltas over a generated topology.
+std::vector<Delta> random_deltas(const Graph& g, std::size_t count,
+                                 util::Rng& rng) {
+  std::vector<Delta> deltas;
+  while (deltas.size() < count) {
+    Delta delta;
+    const std::size_t adds = 1 + rng.uniform_index(3);
+    for (std::size_t i = 0; i < adds; ++i) {
+      const auto a = static_cast<AsId>(rng.uniform_index(g.num_ases()));
+      const auto b = static_cast<AsId>(rng.uniform_index(g.num_ases()));
+      if (a == b || g.link_between(a, b).has_value()) {
+        continue;
+      }
+      const bool dup = std::any_of(
+          delta.add.begin(), delta.add.end(), [&](const LinkChange& c) {
+            return (c.a == a && c.b == b) || (c.a == b && c.b == a);
+          });
+      if (!dup) {
+        delta.add.push_back({a, b, rng.bernoulli(0.7)
+                                       ? LinkType::kPeering
+                                       : LinkType::kProviderCustomer});
+      }
+    }
+    if (rng.bernoulli(0.5)) {
+      const auto& link = g.link(rng.uniform_index(g.num_links()));
+      const bool dup = std::any_of(
+          delta.add.begin(), delta.add.end(), [&](const LinkChange& c) {
+            return (c.a == link.a && c.b == link.b) ||
+                   (c.a == link.b && c.b == link.a);
+          });
+      if (!dup) {
+        delta.remove.emplace_back(link.a, link.b);
+      }
+    }
+    if (!delta.empty()) {
+      deltas.push_back(std::move(delta));
+    }
+  }
+  return deltas;
+}
+
+/// The tentpole property: for randomized delta batches, the incremental
+/// sweep result of every scenario is byte-identical to a full
+/// recompile-and-recompute of the mutated graph, at 1, 2, and 8 threads.
+class SweepEquivalence : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SweepEquivalence, IncrementalMatchesFullRecomputeAtAnyThreadCount) {
+  const auto topo = topology::generate_internet([] {
+    topology::GeneratorParams params;
+    params.num_ases = 200;
+    params.tier1_count = 4;
+    params.seed = 77;
+    return params;
+  }());
+  const Graph& g = topo.graph;
+  const CompiledTopology compiled(g);
+  util::Rng rng(GetParam());
+  const auto deltas = random_deltas(g, 6, rng);
+
+  std::vector<AsId> sources;
+  for (AsId as = 0; as < g.num_ases(); as += 3) {
+    sources.push_back(as);
+  }
+
+  const auto enumerate = [](const Overlay& overlay, AsId src) {
+    return enumerate_length3(overlay, src);
+  };
+  // Both the proven-exact length-3 radius (1) and the generic bound (2)
+  // must match the ground truth; the tighter radius must actually cache.
+  std::vector<std::vector<std::vector<SourcePathSet>>> by_config;
+  for (const auto& [threads, radius] :
+       {std::pair<std::size_t, std::size_t>{1, kLength3DirtyRadius},
+        {2, kLength3DirtyRadius},
+        {8, kLength3DirtyRadius},
+        {2, 2}}) {
+    SweepConfig config;
+    config.threads = threads;
+    config.dirty_radius = radius;
+    SweepRunner<SourcePathSet> runner(compiled, sources, config);
+    runner.prime(enumerate);
+    std::vector<std::vector<SourcePathSet>> per_delta;
+    for (const Delta& delta : deltas) {
+      SweepStats stats;
+      per_delta.push_back(runner.evaluate(delta, enumerate, &stats));
+      EXPECT_EQ(stats.recomputed_sources + stats.cached_sources,
+                sources.size());
+      EXPECT_GT(stats.recomputed_sources, 0u);
+      if (radius == kLength3DirtyRadius) {
+        EXPECT_GT(stats.cached_sources, 0u);
+      }
+    }
+    by_config.push_back(std::move(per_delta));
+  }
+
+  // Thread-count (and radius) invariance: byte-identical across all
+  // configurations.
+  EXPECT_EQ(by_config[0], by_config[1]);
+  EXPECT_EQ(by_config[0], by_config[2]);
+  EXPECT_EQ(by_config[0], by_config[3]);
+
+  // Ground truth: recompile the mutated graph and recompute everything.
+  for (std::size_t d = 0; d < deltas.size(); ++d) {
+    const Graph mutated = mutate(g, deltas[d]);
+    const CompiledTopology recompiled(mutated);
+    const Overlay none(recompiled);
+    for (std::size_t i = 0; i < sources.size(); ++i) {
+      EXPECT_EQ(by_config[0][d][i], enumerate_length3(none, sources[i]))
+          << "delta " << d << " source " << sources[i];
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SweepEquivalence,
+                         ::testing::Values(1u, 2u, 3u, 4u));
+
+TEST(SweepRunner, EmptyDeltaServesEverythingFromCache) {
+  const Graph g = star_graph();
+  const CompiledTopology compiled(g);
+  SweepRunner<SourcePathSet> runner(compiled, {0, 1, 2, 3, 4});
+  runner.prime([](const Overlay& overlay, AsId src) {
+    return enumerate_length3(overlay, src);
+  });
+  SweepStats stats;
+  const auto results = runner.evaluate(
+      Delta{},
+      [](const Overlay& overlay, AsId src) {
+        return enumerate_length3(overlay, src);
+      },
+      &stats);
+  EXPECT_EQ(stats.recomputed_sources, 0u);
+  EXPECT_EQ(stats.cached_sources, 5u);
+  EXPECT_EQ(results, runner.baseline());
+}
+
+TEST(SweepRunner, RequiresPriming) {
+  const Graph g = star_graph();
+  const CompiledTopology compiled(g);
+  SweepRunner<SourcePathSet> runner(compiled, {0, 1});
+  EXPECT_THROW(static_cast<void>(runner.baseline()),
+               util::PreconditionError);
+  EXPECT_THROW(runner.evaluate(Delta{},
+                               [](const Overlay& overlay, AsId src) {
+                                 return enumerate_length3(overlay, src);
+                               }),
+               util::PreconditionError);
+}
+
+TEST(InvalidationBall, GrowsWithRadiusAndCoversEndpoints) {
+  // Path graph 0-1-2-3-4 (all peering).
+  Graph g;
+  for (int i = 0; i < 5; ++i) {
+    g.add_as();
+  }
+  for (AsId i = 0; i + 1 < 5; ++i) {
+    g.add_peering(i, i + 1);
+  }
+  const CompiledTopology compiled(g);
+  Overlay overlay(compiled);
+  Delta delta;
+  delta.remove.emplace_back(1, 2);
+  overlay.apply(delta);
+
+  EXPECT_EQ(invalidation_ball(overlay, 0), (std::vector<AsId>{1, 2}));
+  // Radius 1 over the overlaid adjacency: 0-1 and 2-3 survive, 1-2 does
+  // not (both its endpoints are already seeds).
+  EXPECT_EQ(invalidation_ball(overlay, 1), (std::vector<AsId>{0, 1, 2, 3}));
+  EXPECT_EQ(invalidation_ball(overlay, 2),
+            (std::vector<AsId>{0, 1, 2, 3, 4}));
+}
+
+TEST(Metrics, AggregatesTinyTopologyDeterministically) {
+  const Graph g = star_graph();
+  const CompiledTopology compiled(g);
+  const econ::Economy economy = econ::make_default_economy(g);
+  const MetricsAggregator aggregator(compiled, /*world=*/nullptr, &economy);
+
+  const std::vector<AsId> sources{1, 2};
+  Overlay overlay(compiled);
+  std::vector<SourcePathSet> results;
+  for (const AsId src : sources) {
+    results.push_back(enumerate_length3(overlay, src));
+  }
+  const ScenarioMetrics base = aggregator.aggregate(overlay, sources, results);
+
+  // Peering 2-3 unlocks new paths; fees can only drop or hold (the new
+  // link is settlement-free) and pairs can only grow.
+  Delta delta;
+  delta.add.push_back({2, 3, LinkType::kPeering});
+  Overlay changed(compiled);
+  changed.apply(delta);
+  std::vector<SourcePathSet> changed_results;
+  for (const AsId src : sources) {
+    changed_results.push_back(enumerate_length3(changed, src));
+  }
+  const ScenarioMetrics after =
+      aggregator.aggregate(changed, sources, changed_results);
+  EXPECT_GE(after.grc_paths + after.ma_paths, base.grc_paths + base.ma_paths);
+  EXPECT_GE(after.grc_pairs + after.ma_extra_pairs,
+            base.grc_pairs + base.ma_extra_pairs);
+
+  const MetricsDelta delta_metrics = subtract(after, base);
+  // The MA 2-3-0 path makes AS0 newly reachable from AS2 at length 3; its
+  // provider hop 3-0 bills one unit of mid-tier transit (AS0 has no
+  // assigned tier and defaults to 1.4/unit).
+  EXPECT_DOUBLE_EQ(delta_metrics.pairs, 1.0);
+  EXPECT_NEAR(delta_metrics.transit_fees, 1.4, 1e-9);
+  // At a pair reward outweighing the transit bill the deployment scores
+  // positive; at the default weights it does not.
+  EXPECT_LT(operator_utility(delta_metrics), 0.0);
+  EXPECT_GT(operator_utility(delta_metrics, {.per_new_pair = 2.0}), 0.0);
+}
+
+}  // namespace
+}  // namespace panagree::scenario

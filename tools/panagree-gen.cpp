@@ -6,10 +6,17 @@
 // Defaults: 12000 ASes, seed 424242, stdout. The exported file round-trips
 // through topology::caida::parse (geolocation and capacities are derived
 // attributes and not part of the as-rel2 format).
+//
+// With PANAGREE_CAIDA=<path> set (the shared bench/tool override from
+// bench_common.hpp), the tool loads that as-rel2 file instead of
+// generating: a parse -> re-serialize normalization pass that validates
+// the dataset and renumbers ASNs into the dense ids every other panagree
+// tool uses. num_ases/seed arguments are ignored in that mode.
 #include <fstream>
 #include <iostream>
 #include <string>
 
+#include "bench_common.hpp"
 #include "panagree/topology/caida.hpp"
 #include "panagree/topology/generator.hpp"
 
@@ -37,27 +44,36 @@ int main(int argc, char** argv) {
   }
 
   try {
-    const auto topo = topology::generate_internet(params);
+    topology::Graph graph;
+    if (const char* path = benchcfg::caida_path()) {
+      graph = topology::caida::parse_file(path).graph;
+      std::cerr << "loaded CAIDA " << path << " (normalization pass; "
+                << "num_ases/seed arguments ignored)\n";
+    } else {
+      const auto topo = topology::generate_internet(params);
+      std::cerr << "generated " << topo.graph.num_ases() << " ASes with "
+                << topo.ixps.size() << " IXPs, " << topo.hubs.size()
+                << " open-peering hubs\n";
+      graph = topo.graph;
+    }
     std::size_t peerings = 0;
-    for (const auto& link : topo.graph.links()) {
+    for (const auto& link : graph.links()) {
       if (link.type == topology::LinkType::kPeering) {
         ++peerings;
       }
     }
-    std::cerr << "generated " << topo.graph.num_ases() << " ASes, "
-              << topo.graph.num_links() << " links (" << peerings
-              << " peering / " << topo.graph.num_links() - peerings
-              << " provider-customer), " << topo.ixps.size() << " IXPs, "
-              << topo.hubs.size() << " open-peering hubs\n";
+    std::cerr << graph.num_ases() << " ASes, " << graph.num_links()
+              << " links (" << peerings << " peering / "
+              << graph.num_links() - peerings << " provider-customer)\n";
     if (output.empty()) {
-      topology::caida::write(topo.graph, std::cout);
+      topology::caida::write(graph, std::cout);
     } else {
       std::ofstream out(output);
       if (!out) {
         std::cerr << "cannot open " << output << " for writing\n";
         return 1;
       }
-      topology::caida::write(topo.graph, out);
+      topology::caida::write(graph, out);
       std::cerr << "wrote " << output << "\n";
     }
   } catch (const std::exception& e) {

@@ -1,0 +1,163 @@
+// panagree-sweep: rank candidate interconnection-agreement deployments by
+// operator utility over an incremental what-if sweep (the §VIII outlook
+// turned into a tool).
+//
+//   panagree-sweep [scenarios] [top-k] [seed]
+//
+// Defaults: 200 candidate deployments, top 10 shown, seed 4242. Every
+// candidate is a single new peering link between two ASes that share a
+// neighbor today (the "we already meet somewhere" pairs that dominate real
+// peering candidacies). Each scenario is evaluated as a Delta over one
+// shared CSR snapshot through scenario::SweepRunner - per-source §VI
+// length-3 path sets are cached across scenarios and only sources inside
+// a candidate's invalidation ball are recomputed - then aggregated into
+// path-diversity / geodistance / transit-fee deltas and a scalar utility.
+//
+// Environment (see bench_common.hpp): PANAGREE_ASES, PANAGREE_SOURCES,
+// PANAGREE_THREADS, and PANAGREE_CAIDA to sweep a real CAIDA as-rel2
+// topology instead of the synthetic one.
+#include <algorithm>
+#include <iostream>
+#include <string>
+
+#include "bench_common.hpp"
+#include "panagree/diversity/report.hpp"
+#include "panagree/econ/business.hpp"
+#include "panagree/scenario/metrics.hpp"
+#include "panagree/scenario/sweep.hpp"
+#include "panagree/util/table.hpp"
+
+using namespace panagree;
+using topology::AsId;
+
+int main(int argc, char** argv) {
+  std::size_t num_scenarios = 200;
+  std::size_t top_k = 10;
+  std::uint64_t seed = 4242;
+  try {
+    if (argc > 1) {
+      num_scenarios = std::stoul(argv[1]);
+    }
+    if (argc > 2) {
+      top_k = std::stoul(argv[2]);
+    }
+    if (argc > 3) {
+      seed = std::stoull(argv[3]);
+    }
+  } catch (const std::exception&) {
+    std::cerr << "usage: panagree-sweep [scenarios] [top-k] [seed]\n";
+    return 2;
+  }
+
+  try {
+    const auto topo = benchcfg::make_internet();
+    const topology::CompiledTopology compiled(topo.graph);
+    const econ::Economy economy = econ::make_default_economy(topo.graph);
+    // A CAIDA graph is embedded with synthetic geodata, so the world is
+    // always usable here.
+    const scenario::MetricsAggregator aggregator(compiled, &topo.world,
+                                                 &economy);
+
+    const std::vector<AsId> sources = diversity::sample_sources(
+        topo.graph, benchcfg::num_sources(), benchcfg::kSampleSeed);
+    scenario::SweepConfig config;
+    config.threads = benchcfg::num_threads();
+    config.dirty_radius = scenario::kLength3DirtyRadius;
+    scenario::SweepRunner<scenario::SourcePathSet> runner(compiled, sources,
+                                                          config);
+    const auto enumerate = [](const scenario::Overlay& overlay, AsId src) {
+      return scenario::enumerate_length3(overlay, src);
+    };
+    runner.prime(enumerate);
+    const scenario::Overlay base_view(compiled);
+    const scenario::ScenarioMetrics baseline =
+        aggregator.aggregate(base_view, sources, runner.baseline());
+    std::cerr << "[sweep] baseline over " << sources.size()
+              << " sources: " << baseline.grc_paths << " GRC + "
+              << baseline.ma_paths << " MA paths, "
+              << baseline.grc_pairs + baseline.ma_extra_pairs
+              << " reachable pairs, fees "
+              << util::format_double(baseline.transit_fees, 1) << "\n";
+
+    const auto deltas =
+        scenario::candidate_peering_deltas(compiled, num_scenarios, seed);
+    if (deltas.size() < num_scenarios) {
+      std::cerr << "[sweep] only " << deltas.size()
+                << " distinct candidates available\n";
+    }
+
+    struct Ranked {
+      std::size_t scenario = 0;
+      scenario::MetricsDelta delta;
+      double utility = 0.0;
+      scenario::SweepStats stats;
+    };
+    std::vector<Ranked> ranked;
+    ranked.reserve(deltas.size());
+    std::size_t recomputed_total = 0;
+    for (std::size_t i = 0; i < deltas.size(); ++i) {
+      scenario::Overlay overlay(compiled);
+      overlay.apply(deltas[i]);
+      Ranked entry;
+      entry.scenario = i;
+      // Zero-copy: cache-served sources are aggregated straight out of
+      // the runner's baseline cache, dirty ones out of its scratch.
+      const std::vector<const scenario::SourcePathSet*> results =
+          runner.evaluate_refs(deltas[i], enumerate, &entry.stats);
+      const scenario::ScenarioMetrics metrics =
+          aggregator.aggregate(overlay, sources, results);
+      entry.delta = scenario::subtract(metrics, baseline);
+      entry.utility = scenario::operator_utility(entry.delta);
+      recomputed_total += entry.stats.recomputed_sources;
+      ranked.push_back(entry);
+    }
+    std::sort(ranked.begin(), ranked.end(),
+              [](const Ranked& a, const Ranked& b) {
+                if (a.utility != b.utility) {
+                  return a.utility > b.utility;
+                }
+                return a.scenario < b.scenario;
+              });
+
+    const std::size_t source_scenarios = deltas.size() * sources.size();
+    std::cout << "== panagree-sweep: " << deltas.size()
+              << " candidate peering deployments over "
+              << topo.graph.num_ases() << " ASes ==\n"
+              << "per-source recomputes: " << recomputed_total << " of "
+              << source_scenarios << " source-scenarios";
+    if (source_scenarios > 0) {
+      std::cout << " (cache hit "
+                << util::format_double(
+                       100.0 * (1.0 - static_cast<double>(recomputed_total) /
+                                          static_cast<double>(
+                                              source_scenarios)),
+                       1)
+                << "%)";
+    }
+    std::cout << "\n\n";
+    util::Table table({"rank", "deployment", "utility", "new paths",
+                       "new pairs", "fee delta", "mean km delta"});
+    for (std::size_t i = 0; i < std::min(top_k, ranked.size()); ++i) {
+      const Ranked& r = ranked[i];
+      const scenario::LinkChange& link = deltas[r.scenario].add.front();
+      table.add_row({std::to_string(i + 1),
+                     "peer AS" + std::to_string(link.a) + " - AS" +
+                         std::to_string(link.b),
+                     util::format_double(r.utility, 2),
+                     util::format_double(r.delta.paths, 0),
+                     util::format_double(r.delta.pairs, 0),
+                     util::format_double(r.delta.transit_fees, 2),
+                     util::format_double(r.delta.mean_best_geodistance_km, 2)});
+    }
+    table.print(std::cout);
+    std::cout << "\nutility = fees saved + "
+              << scenario::UtilityWeights{}.per_new_pair
+              << " * new reachable pairs - "
+              << scenario::UtilityWeights{}.per_km_regression
+              << " * mean-geodistance regression (km), per unit demand.\n";
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+  return 0;
+}
