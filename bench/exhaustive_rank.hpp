@@ -1,0 +1,56 @@
+// The pre-optimizer way to rank candidate deployments, kept as the shared
+// speedup/correctness reference of BM_Optimizer_Exhaustive and
+// tab_agreement_optimization's ablation (c): every candidate pays a full
+// per-source enumeration over its overlay (no invalidation-ball caching),
+// and the winner is the highest positive operator utility against the
+// enumerated baseline. One definition, so the two benches can never
+// diverge on what "exhaustive" means or which candidate is top.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "panagree/paths/parallel.hpp"
+#include "panagree/scenario/metrics.hpp"
+#include "panagree/scenario/sweep.hpp"
+
+namespace panagree::benchcfg {
+
+struct ExhaustiveRank {
+  scenario::ScenarioMetrics baseline;
+  /// candidates.size() when no candidate scores a positive utility.
+  std::size_t best_candidate = 0;
+  double best_utility = 0.0;
+};
+
+inline ExhaustiveRank exhaustive_rank(
+    const topology::CompiledTopology& compiled,
+    const std::vector<topology::AsId>& sources,
+    const std::vector<scenario::Delta>& candidates,
+    const scenario::MetricsAggregator& aggregator, std::size_t threads) {
+  ExhaustiveRank out;
+  const scenario::Overlay base_view(compiled);
+  const auto baseline_results =
+      paths::map_sources(sources, threads, [&](topology::AsId src) {
+        return scenario::enumerate_length3(base_view, src);
+      });
+  out.baseline = aggregator.aggregate(base_view, sources, baseline_results);
+  out.best_candidate = candidates.size();
+  for (std::size_t c = 0; c < candidates.size(); ++c) {
+    scenario::Overlay overlay(compiled);
+    overlay.apply(candidates[c]);
+    const auto results =
+        paths::map_sources(sources, threads, [&](topology::AsId src) {
+          return scenario::enumerate_length3(overlay, src);
+        });
+    const double utility = scenario::operator_utility(scenario::subtract(
+        aggregator.aggregate(overlay, sources, results), out.baseline));
+    if (utility > out.best_utility) {
+      out.best_utility = utility;
+      out.best_candidate = c;
+    }
+  }
+  return out;
+}
+
+}  // namespace panagree::benchcfg

@@ -25,6 +25,9 @@
 #include "panagree/core/bosco/efficiency.hpp"
 #include "panagree/core/bosco/equilibrium.hpp"
 #include "panagree/diversity/length3.hpp"
+#include "exhaustive_rank.hpp"
+#include "panagree/econ/business.hpp"
+#include "panagree/scenario/optimizer.hpp"
 #include "panagree/diversity/report.hpp"
 #include "panagree/pan/beaconing.hpp"
 #include "panagree/pan/forwarding.hpp"
@@ -422,6 +425,80 @@ BENCHMARK(BM_ScenarioSweep_Incremental)
     ->Arg(1)
     ->Arg(4)
     ->Unit(benchmark::kMillisecond);
+
+// ------------------------------------------ deployment optimizer pair
+//
+// The acceptance workload of the optimizer: pick a 4-step deployment
+// program out of 64 candidate peerings on the 3000-AS topology, 500
+// sampled sources. The exhaustive baseline is the pre-optimizer way to
+// rank one round: every candidate pays a full per-source enumeration
+// (no invalidation-ball caching). The greedy side runs scenario::Optimizer
+// with the shared dirty-set cache: one prime, then per candidate per
+// round only the sources inside its invalidation ball - and cached
+// candidate slices survive rounds whose committed step lands elsewhere.
+// Both report the round-1 winner as a counter; the tentpole property
+// (optimizer output byte-identical to full recompute) makes them agree.
+
+const std::vector<scenario::Delta>& optimizer_candidates() {
+  static const std::vector<scenario::Delta> candidates =
+      scenario::candidate_peering_deltas(cached_compiled(), 64, 333);
+  return candidates;
+}
+
+const econ::Economy& cached_economy() {
+  static const econ::Economy economy =
+      econ::make_default_economy(cached_topology().graph);
+  return economy;
+}
+
+void BM_Optimizer_Exhaustive(benchmark::State& state) {
+  const auto& compiled = cached_compiled();
+  const auto& sources = sweep_sources();
+  const auto& candidates = optimizer_candidates();
+  const scenario::MetricsAggregator aggregator(
+      compiled, &cached_topology().world, &cached_economy());
+  const auto threads = static_cast<std::size_t>(state.range(0));
+  std::size_t top_candidate = 0;
+  for (auto _ : state) {
+    const benchcfg::ExhaustiveRank ranked = benchcfg::exhaustive_rank(
+        compiled, sources, candidates, aggregator, threads);
+    top_candidate = ranked.best_candidate;
+    benchmark::DoNotOptimize(top_candidate);
+  }
+  state.SetItemsProcessed(state.iterations() * candidates.size());
+  state.counters["top_candidate"] = static_cast<double>(top_candidate);
+}
+BENCHMARK(BM_Optimizer_Exhaustive)->Arg(4)->Unit(benchmark::kMillisecond);
+
+void BM_Optimizer_Greedy(benchmark::State& state) {
+  const auto& compiled = cached_compiled();
+  const auto& candidates = optimizer_candidates();
+  const scenario::MetricsAggregator aggregator(
+      compiled, &cached_topology().world, &cached_economy());
+  scenario::OptimizerConfig config;
+  config.max_steps = 4;
+  config.sweep.threads = static_cast<std::size_t>(state.range(0));
+  config.sweep.dirty_radius = scenario::kLength3DirtyRadius;
+  const scenario::Optimizer optimizer(compiled, sweep_sources(), aggregator,
+                                      config);
+  scenario::OptimizerResult result;
+  for (auto _ : state) {
+    result = optimizer.run(candidates);
+    benchmark::DoNotOptimize(result.steps.size());
+  }
+  state.SetItemsProcessed(state.iterations() * candidates.size());
+  if (!result.steps.empty()) {
+    state.counters["top_candidate"] =
+        static_cast<double>(result.steps.front().candidate);
+  }
+  state.counters["program_steps"] =
+      static_cast<double>(result.steps.size());
+  state.counters["reused_evaluations"] =
+      static_cast<double>(result.stats.reused_evaluations);
+  state.counters["recomputed_sources"] =
+      static_cast<double>(result.stats.recomputed_sources);
+}
+BENCHMARK(BM_Optimizer_Greedy)->Arg(4)->Unit(benchmark::kMillisecond);
 
 void BM_BoscoExpectedNash(benchmark::State& state) {
   const bosco::UniformDistribution dist(-1.0, 1.0);

@@ -2,8 +2,6 @@
 
 #include <algorithm>
 #include <limits>
-#include <mutex>
-
 #include "panagree/geo/coordinates.hpp"
 
 namespace panagree::diversity {
@@ -27,20 +25,11 @@ double GeodistanceModel::city_to_city_km(std::size_t a, std::size_t b) const {
 }
 
 double GeodistanceModel::as_to_city_km(AsId as, std::size_t city) const {
-  const std::uint64_t key =
-      (static_cast<std::uint64_t>(as) << 32) | static_cast<std::uint32_t>(city);
-  {
-    std::shared_lock<std::shared_mutex> read_lock(cache_mutex_);
-    const auto it = as_city_cache_.find(key);
-    if (it != as_city_cache_.end()) {
-      return it->second;
-    }
-  }
-  const double d = geo::great_circle_km(graph_->info(as).centroid,
-                                        world_->city(city).location);
-  std::unique_lock<std::shared_mutex> write_lock(cache_mutex_);
-  as_city_cache_.emplace(key, d);
-  return d;
+  // Deliberately uncached: one great-circle evaluation is cheaper than a
+  // synchronized memo lookup, and keeping this pure lets parallel
+  // aggregation fan-outs scale instead of serializing on a mutex.
+  return geo::great_circle_km(graph_->info(as).centroid,
+                              world_->city(city).location);
 }
 
 double GeodistanceModel::path_geodistance_km(AsId s, AsId m, AsId d) const {
@@ -48,19 +37,38 @@ double GeodistanceModel::path_geodistance_km(AsId s, AsId m, AsId d) const {
   const auto l2 = graph_->link_between(m, d);
   util::require(l1.has_value() && l2.has_value(),
                 "path_geodistance_km: path hops must be linked");
+  return path_geodistance_km(s, m, d, graph_->link(*l1).facilities,
+                             graph_->link(*l2).facilities);
+}
+
+double GeodistanceModel::path_geodistance_km(
+    AsId s, AsId /*m*/, AsId d, std::span<const std::size_t> facilities_sm,
+    std::span<const std::size_t> facilities_md) const {
   util::require(graph_->info(s).has_geo && graph_->info(d).has_geo,
                 "path_geodistance_km: endpoints need geodata");
-  const auto& fac1 = graph_->link(*l1).facilities;
-  const auto& fac2 = graph_->link(*l2).facilities;
-  util::require(!fac1.empty() && !fac2.empty(),
+  util::require(!facilities_sm.empty() && !facilities_md.empty(),
                 "path_geodistance_km: links need facilities");
+  // This is the innermost loop of scenario aggregation (one call per
+  // enumerated path): hoist both great-circle legs out of the facility
+  // product, so the trig cost is |sm| + |md| instead of |sm| * |md|.
+  // Facility lists are tiny (max_facilities_per_link defaults to 3); the
+  // stack buffer covers any realistic size, with a recompute fallback.
+  constexpr std::size_t kMaxHoisted = 16;
+  double tail_legs[kMaxHoisted];
+  const bool hoist_tail = facilities_md.size() <= kMaxHoisted;
+  if (hoist_tail) {
+    for (std::size_t j = 0; j < facilities_md.size(); ++j) {
+      tail_legs[j] = as_to_city_km(d, facilities_md[j]);
+    }
+  }
   double best = std::numeric_limits<double>::infinity();
-  for (const std::size_t c1 : fac1) {
+  for (const std::size_t c1 : facilities_sm) {
     const double head = as_to_city_km(s, c1);
-    for (const std::size_t c2 : fac2) {
-      const double total =
-          head + city_to_city_km(c1, c2) + as_to_city_km(d, c2);
-      best = std::min(best, total);
+    for (std::size_t j = 0; j < facilities_md.size(); ++j) {
+      const std::size_t c2 = facilities_md[j];
+      const double tail =
+          hoist_tail ? tail_legs[j] : as_to_city_km(d, c2);
+      best = std::min(best, head + city_to_city_km(c1, c2) + tail);
     }
   }
   return best;

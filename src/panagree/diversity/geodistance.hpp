@@ -7,8 +7,7 @@
 // over combinations is taken, exactly as in the paper.
 #pragma once
 
-#include <shared_mutex>
-#include <unordered_map>
+#include <span>
 #include <vector>
 
 #include "panagree/diversity/length3.hpp"
@@ -22,10 +21,25 @@ class GeodistanceModel {
 
   /// Geodistance of the length-3 path s-m-d in kilometres (minimized over
   /// facility combinations). Requires links s-m and m-d to exist and all
-  /// three ASes to carry geodata. Safe to call concurrently (the internal
-  /// AS-to-city memo is guarded by a shared mutex), so one model can serve
-  /// a parallel per-source fan-out.
+  /// three ASes to carry geodata. Safe to call concurrently and
+  /// lock-free: city-to-city legs come from a precomputed matrix and
+  /// AS-to-city legs are recomputed on the fly - a great-circle evaluation
+  /// is cheaper than a contended cache lookup, and scales linearly with
+  /// worker threads (the deployment optimizer aggregates from a parallel
+  /// candidate fan-out).
   [[nodiscard]] double path_geodistance_km(AsId s, AsId m, AsId d) const;
+
+  /// The same facility-minimizing geodistance with explicit candidate
+  /// facility sets for the two hops (city ids in the model's world),
+  /// instead of the graph's stored link facilities. This is how what-if
+  /// layers price paths over links that do not exist in the base graph:
+  /// estimate facilities for the hypothetical link (e.g. with
+  /// topology::estimate_link_facilities) and evaluate here. Requires both
+  /// sets non-empty and s/d to carry geodata; hops need not be base
+  /// links.
+  [[nodiscard]] double path_geodistance_km(
+      AsId s, AsId m, AsId d, std::span<const std::size_t> facilities_sm,
+      std::span<const std::size_t> facilities_md) const;
 
  private:
   [[nodiscard]] double as_to_city_km(AsId as, std::size_t city) const;
@@ -36,8 +50,6 @@ class GeodistanceModel {
   /// Dense city-to-city distance matrix (city counts are small).
   std::vector<double> city_matrix_;
   std::size_t num_cities_;
-  mutable std::shared_mutex cache_mutex_;
-  mutable std::unordered_map<std::uint64_t, double> as_city_cache_;
 };
 
 /// Per-AS-pair result of the geodistance comparison (Fig. 5a/5b).

@@ -32,27 +32,32 @@ namespace panagree::paths {
 /// workloads, and results are identical either way.
 inline constexpr std::size_t kMinParallelSources = 32;
 
-/// Runs `fn(sources[i])` for every i and returns the results in source
-/// order. `fn` must be callable concurrently from multiple threads; its
-/// result type must be default-constructible and movable. The first
-/// exception thrown by any invocation is rethrown on the calling thread
-/// after all workers have drained.
+/// Runs `fn(i)` for every index in [0, count) and returns the results in
+/// index order. The generic core of the per-source driver - also the
+/// fan-out for any other independent unit of work (the deployment
+/// optimizer maps over *candidate scenarios* with it). `fn` must be
+/// callable concurrently from multiple threads; its result type must be
+/// default-constructible and movable. The first exception thrown by any
+/// invocation is rethrown on the calling thread after all workers have
+/// drained. `min_parallel` is the workload size below which the driver
+/// stays serial - keep the default for cheap per-source units, lower it
+/// when each unit is itself a heavy batch.
 template <typename Fn>
-[[nodiscard]] auto map_sources(const std::vector<topology::AsId>& sources,
-                               std::size_t threads, Fn&& fn)
-    -> std::vector<std::invoke_result_t<Fn&, topology::AsId>> {
-  using Result = std::invoke_result_t<Fn&, topology::AsId>;
+[[nodiscard]] auto map_indices(std::size_t count, std::size_t threads,
+                               Fn&& fn,
+                               std::size_t min_parallel = kMinParallelSources)
+    -> std::vector<std::invoke_result_t<Fn&, std::size_t>> {
+  using Result = std::invoke_result_t<Fn&, std::size_t>;
   // std::vector<bool> packs bits: concurrent writes to distinct indices
   // would race on shared bytes. Return char/int instead.
   static_assert(!std::is_same_v<Result, bool>,
-                "map_sources: bool results are not thread-safe "
+                "map_indices: bool results are not thread-safe "
                 "(vector<bool> packs bits)");
-  std::vector<Result> results(sources.size());
-  const std::size_t workers =
-      std::min(resolve_thread_count(threads), sources.size());
-  if (workers <= 1 || sources.size() < kMinParallelSources) {
-    for (std::size_t i = 0; i < sources.size(); ++i) {
-      results[i] = fn(sources[i]);
+  std::vector<Result> results(count);
+  const std::size_t workers = std::min(resolve_thread_count(threads), count);
+  if (workers <= 1 || count < min_parallel) {
+    for (std::size_t i = 0; i < count; ++i) {
+      results[i] = fn(i);
     }
     return results;
   }
@@ -64,11 +69,11 @@ template <typename Fn>
   const auto worker = [&] {
     while (!failed.load(std::memory_order_relaxed)) {
       const std::size_t i = cursor.fetch_add(1, std::memory_order_relaxed);
-      if (i >= sources.size()) {
+      if (i >= count) {
         return;
       }
       try {
-        results[i] = fn(sources[i]);
+        results[i] = fn(i);
       } catch (...) {
         failed.store(true, std::memory_order_relaxed);
         const std::lock_guard<std::mutex> lock(error_mutex);
@@ -100,6 +105,16 @@ template <typename Fn>
     std::rethrow_exception(error);
   }
   return results;
+}
+
+/// Runs `fn(sources[i])` for every i and returns the results in source
+/// order (see map_indices for the concurrency contract).
+template <typename Fn>
+[[nodiscard]] auto map_sources(const std::vector<topology::AsId>& sources,
+                               std::size_t threads, Fn&& fn)
+    -> std::vector<std::invoke_result_t<Fn&, topology::AsId>> {
+  return map_indices(sources.size(), threads,
+                     [&](std::size_t i) { return fn(sources[i]); });
 }
 
 }  // namespace panagree::paths

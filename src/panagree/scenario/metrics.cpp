@@ -6,6 +6,7 @@
 
 #include "panagree/geo/coordinates.hpp"
 #include "panagree/paths/enumerator.hpp"
+#include "panagree/topology/generator.hpp"
 
 namespace panagree::scenario {
 
@@ -51,6 +52,20 @@ double operator_utility(const MetricsDelta& delta,
          weights.per_km_regression * delta.mean_best_geodistance_km;
 }
 
+ScenarioMetrics finalize(const SourceContribution& total) {
+  ScenarioMetrics metrics;
+  metrics.grc_paths = total.grc_paths;
+  metrics.ma_paths = total.ma_paths;
+  metrics.grc_pairs = total.grc_pairs;
+  metrics.ma_extra_pairs = total.ma_extra_pairs;
+  metrics.transit_fees = total.transit_fees;
+  if (total.km_pairs > 0) {
+    metrics.mean_best_geodistance_km =
+        total.km_sum / static_cast<double>(total.km_pairs);
+  }
+  return metrics;
+}
+
 MetricsAggregator::MetricsAggregator(const CompiledTopology& base,
                                      const geo::World* world,
                                      const econ::Economy* economy)
@@ -58,10 +73,27 @@ MetricsAggregator::MetricsAggregator(const CompiledTopology& base,
   if (world_ != nullptr) {
     geodesy_.emplace(base.graph(), *world_);
   }
+  // Estimated facilities of added links must not out-minimize real ones:
+  // cap at the densest base link (falling back to the generator default
+  // when the base graph stores no facilities at all).
+  std::size_t max_stored = 0;
+  for (const topology::Link& link : base.graph().links()) {
+    max_stored = std::max(max_stored, link.facilities.size());
+  }
+  if (max_stored > 0) {
+    max_estimated_facilities_ = max_stored;
+  }
 }
 
 double MetricsAggregator::path_geodistance_km(const Overlay& overlay,
                                               AsId s, AsId m, AsId d) const {
+  return path_geodistance_km(overlay, s, m, d, /*memo=*/nullptr);
+}
+
+double MetricsAggregator::path_geodistance_km(
+    const Overlay& overlay, AsId s, AsId m, AsId d,
+    std::unordered_map<std::uint32_t, std::vector<std::size_t>>* memo)
+    const {
   util::require(geodesy_.has_value(),
                 "MetricsAggregator: constructed without a geo::World");
   const auto l1 = overlay.link_between(s, m);
@@ -72,9 +104,46 @@ double MetricsAggregator::path_geodistance_km(const Overlay& overlay,
       *l2 < overlay.first_added_link_id()) {
     return geodesy_->path_geodistance_km(s, m, d);
   }
-  // An added link has no interconnection facilities yet: approximate the
-  // whole path by its endpoint-centroid great-circle legs.
+  // An added link stores no facilities yet: estimate candidates from the
+  // endpoint PoP sets, the same rule the generator assigns real links
+  // with, so the what-if hop is priced like its recompiled version. The
+  // estimate depends only on the link, so Scratch callers memoize it per
+  // synthetic link id instead of redoing the PoP search per path.
   const topology::Graph& graph = base_->graph();
+  const auto estimate = [&](std::uint32_t link_id) {
+    const LinkChange& change = overlay.added_link(link_id);
+    topology::Link link;
+    link.a = change.a;
+    link.b = change.b;
+    link.type = change.type;
+    return topology::estimate_link_facilities(graph, *world_, link,
+                                              max_estimated_facilities_);
+  };
+  // Stable storage for a non-memoized estimate of each hop.
+  std::vector<std::size_t> local[2];
+  const auto facilities_of =
+      [&](std::uint32_t link_id,
+          std::size_t hop) -> const std::vector<std::size_t>& {
+    if (link_id < overlay.first_added_link_id()) {
+      return graph.link(link_id).facilities;
+    }
+    if (memo != nullptr) {
+      const auto [it, inserted] = memo->try_emplace(link_id);
+      if (inserted) {
+        it->second = estimate(link_id);
+      }
+      return it->second;
+    }
+    local[hop] = estimate(link_id);
+    return local[hop];
+  };
+  const std::vector<std::size_t>& facilities_sm = facilities_of(*l1, 0);
+  const std::vector<std::size_t>& facilities_md = facilities_of(*l2, 1);
+  if (!facilities_sm.empty() && !facilities_md.empty()) {
+    return geodesy_->path_geodistance_km(s, m, d, facilities_sm,
+                                         facilities_md);
+  }
+  // Last resort - an endpoint without PoPs: endpoint-centroid legs.
   return geo::great_circle_km(graph.info(s).centroid,
                               graph.info(m).centroid) +
          geo::great_circle_km(graph.info(m).centroid,
@@ -103,12 +172,18 @@ double MetricsAggregator::path_fee(const Overlay& overlay,
   return fee;
 }
 
-ScenarioMetrics MetricsAggregator::aggregate(
-    const Overlay& overlay, const std::vector<AsId>& sources,
-    const std::vector<const SourcePathSet*>& results) const {
-  util::require(sources.size() == results.size(),
-                "MetricsAggregator::aggregate: sources/results mismatch");
-  ScenarioMetrics metrics;
+SourceContribution MetricsAggregator::contribution(
+    const Overlay& overlay, const SourcePathSet& result,
+    Scratch& scratch) const {
+  if (scratch.overlay_ != &overlay) {
+    // Working memory follows the scenario: the added-facility memo keys
+    // synthetic link ids of this overlay only.
+    scratch.overlay_ = &overlay;
+    scratch.added_facilities_.clear();
+  }
+  SourceContribution out;
+  out.grc_paths = result.grc.size();
+  out.ma_paths = result.ma.size();
 
   const topology::Graph& graph = base_->graph();
   const auto km_of =
@@ -117,70 +192,68 @@ ScenarioMetrics MetricsAggregator::aggregate(
         !graph.info(p.mid).has_geo || !graph.info(p.dst).has_geo) {
       return std::nullopt;
     }
-    return path_geodistance_km(overlay, p.src, p.mid, p.dst);
+    return path_geodistance_km(overlay, p.src, p.mid, p.dst,
+                               &scratch.added_facilities_);
   };
 
-  struct Best {
-    diversity::Length3Path path;
-    double km = std::numeric_limits<double>::infinity();
-    bool has_km = false;
-    bool grc_reachable = false;
-  };
-  double km_sum = 0.0;
-  std::size_t km_pairs = 0;
-  std::unordered_map<AsId, Best> best;
-  for (std::size_t i = 0; i < sources.size(); ++i) {
-    const SourcePathSet& result = *results[i];
-    metrics.grc_paths += result.grc.size();
-    metrics.ma_paths += result.ma.size();
-
-    best.clear();
-    const auto consider = [&](const diversity::Length3Path& p, bool grc) {
-      auto [it, inserted] = best.try_emplace(p.dst);
-      Best& slot = it->second;
-      slot.grc_reachable = slot.grc_reachable || grc;
-      const std::optional<double> km = km_of(p);
-      // Without geodata the first-enumerated path wins (deterministic);
-      // with it, the strictly shortest one.
-      if (inserted) {
-        slot.path = p;
-        if (km.has_value()) {
-          slot.km = *km;
-          slot.has_km = true;
-        }
-        return;
-      }
-      if (km.has_value() && *km < slot.km) {
-        slot.path = p;
+  using Best = Scratch::Best;
+  std::unordered_map<AsId, Best>& best = scratch.best_;
+  best.clear();
+  const auto consider = [&](const diversity::Length3Path& p, bool grc) {
+    auto [it, inserted] = best.try_emplace(p.dst);
+    Best& slot = it->second;
+    slot.grc_reachable = slot.grc_reachable || grc;
+    const std::optional<double> km = km_of(p);
+    // Without geodata the first-enumerated path wins (deterministic);
+    // with it, the strictly shortest one.
+    if (inserted) {
+      slot.path = p;
+      if (km.has_value()) {
         slot.km = *km;
         slot.has_km = true;
       }
-    };
-    for (const diversity::Length3Path& p : result.grc) {
-      consider(p, /*grc=*/true);
+      return;
     }
-    for (const diversity::Length3Path& p : result.ma) {
-      consider(p, /*grc=*/false);
+    if (km.has_value() && *km < slot.km) {
+      slot.path = p;
+      slot.km = *km;
+      slot.has_km = true;
     }
+  };
+  for (const diversity::Length3Path& p : result.grc) {
+    consider(p, /*grc=*/true);
+  }
+  for (const diversity::Length3Path& p : result.ma) {
+    consider(p, /*grc=*/false);
+  }
 
-    for (const auto& [dst, slot] : best) {
-      if (slot.grc_reachable) {
-        ++metrics.grc_pairs;
-      } else {
-        ++metrics.ma_extra_pairs;
-      }
-      if (slot.has_km) {
-        km_sum += slot.km;
-        ++km_pairs;
-      }
-      const AsId hops[3] = {slot.path.src, slot.path.mid, slot.path.dst};
-      metrics.transit_fees += path_fee(overlay, hops, 1.0);
+  for (const auto& [dst, slot] : best) {
+    if (slot.grc_reachable) {
+      ++out.grc_pairs;
+    } else {
+      ++out.ma_extra_pairs;
     }
+    if (slot.has_km) {
+      out.km_sum += slot.km;
+      ++out.km_pairs;
+    }
+    const AsId hops[3] = {slot.path.src, slot.path.mid, slot.path.dst};
+    out.transit_fees += path_fee(overlay, hops, 1.0);
   }
-  if (km_pairs > 0) {
-    metrics.mean_best_geodistance_km = km_sum / static_cast<double>(km_pairs);
+  return out;
+}
+
+ScenarioMetrics MetricsAggregator::aggregate(
+    const Overlay& overlay, const std::vector<AsId>& sources,
+    const std::vector<const SourcePathSet*>& results) const {
+  util::require(sources.size() == results.size(),
+                "MetricsAggregator::aggregate: sources/results mismatch");
+  Scratch scratch;
+  SourceContribution total;
+  for (const SourcePathSet* result : results) {
+    total += contribution(overlay, *result, scratch);
   }
-  return metrics;
+  return finalize(total);
 }
 
 ScenarioMetrics MetricsAggregator::aggregate(

@@ -10,8 +10,13 @@
 //     pairs (diversity/ semantics);
 //   * geodistance - the mean best length-3 geodistance over reachable
 //     pairs (§VI-B). Hops over base links use the facility-minimizing
-//     GeodistanceModel; hops over *added* links (which have no facilities
-//     yet) fall back to the endpoint-centroid great-circle legs;
+//     GeodistanceModel; hops over *added* links (which carry no stored
+//     facilities yet) estimate candidate facilities from the endpoint AS
+//     PoP sets with the same rule the generator assigns real links
+//     (topology::estimate_link_facilities), so a what-if deployment is
+//     priced like the recompiled link would be - the endpoint-centroid
+//     great-circle legs remain only as a last resort for ASes without
+//     PoPs;
 //   * transit fees - unit demand per reachable pair routed over its best
 //     path, each provider-customer hop charged by econ::Economy. Per-unit
 //     evaluation is exact for the linear default economy; added links the
@@ -22,7 +27,9 @@
 #pragma once
 
 #include <cstddef>
+#include <limits>
 #include <span>
+#include <unordered_map>
 #include <vector>
 
 #include "panagree/diversity/geodistance.hpp"
@@ -60,6 +67,38 @@ struct SourcePathSet {
 /// pairs not anchored at the source.
 inline constexpr std::size_t kLength3DirtyRadius = 1;
 
+/// The additive per-source slice of a scenario aggregate: ScenarioMetrics
+/// minus the final mean division, so contributions of individual sources
+/// can be cached, swapped, and re-summed without touching the others.
+/// This is what lets a deployment optimizer keep one evaluated candidate's
+/// dirty-source slices and re-score the candidate in O(sources) additions
+/// after the surrounding program grew elsewhere.
+struct SourceContribution {
+  std::size_t grc_paths = 0;
+  std::size_t ma_paths = 0;
+  std::size_t grc_pairs = 0;
+  std::size_t ma_extra_pairs = 0;
+  /// Sum of best-path geodistances of this source's reachable pairs with
+  /// geodata, and how many pairs contributed.
+  double km_sum = 0.0;
+  std::size_t km_pairs = 0;
+  double transit_fees = 0.0;
+
+  SourceContribution& operator+=(const SourceContribution& other) {
+    grc_paths += other.grc_paths;
+    ma_paths += other.ma_paths;
+    grc_pairs += other.grc_pairs;
+    ma_extra_pairs += other.ma_extra_pairs;
+    km_sum += other.km_sum;
+    km_pairs += other.km_pairs;
+    transit_fees += other.transit_fees;
+    return *this;
+  }
+
+  friend bool operator==(const SourceContribution&,
+                         const SourceContribution&) = default;
+};
+
 /// Aggregates of one scenario over the analyzed sources.
 struct ScenarioMetrics {
   std::size_t grc_paths = 0;
@@ -73,6 +112,10 @@ struct ScenarioMetrics {
   /// Aggregate transit fees of unit demand per reachable pair.
   double transit_fees = 0.0;
 };
+
+/// Folds a summed SourceContribution into the operator-facing aggregate
+/// (the mean-geodistance division happens here, once).
+[[nodiscard]] ScenarioMetrics finalize(const SourceContribution& total);
 
 /// Elementwise scenario - baseline (size_t fields as signed deltas via
 /// doubles would lose exactness; kept as a dedicated type instead).
@@ -118,8 +161,52 @@ class MetricsAggregator {
       const Overlay& overlay, const std::vector<AsId>& sources,
       const std::vector<const SourcePathSet*>& results) const;
 
-  /// Geodistance of s-m-d over the overlay, with the added-link centroid
-  /// fallback described above. Requires geodata (world != nullptr).
+  /// Reusable per-call working memory of contribution(): the
+  /// best-path-per-destination map keeps its bucket array across sources
+  /// and the estimated facilities of overlay-added links are memoized per
+  /// synthetic link id. One Scratch serves any number of contribution()
+  /// calls (it resets itself when the overlay changes); give each
+  /// concurrent caller its own.
+  class Scratch {
+   public:
+    Scratch() = default;
+
+   private:
+    friend class MetricsAggregator;
+    struct Best {
+      diversity::Length3Path path;
+      double km = std::numeric_limits<double>::infinity();
+      bool has_km = false;
+      bool grc_reachable = false;
+    };
+    const Overlay* overlay_ = nullptr;
+    std::unordered_map<AsId, Best> best_;
+    /// Estimated facilities keyed by overlay-added link id (valid for
+    /// overlay_ only).
+    std::unordered_map<std::uint32_t, std::vector<std::size_t>>
+        added_facilities_;
+  };
+
+  /// The additive slice one source's path sets contribute to the
+  /// scenario aggregate; aggregate() is exactly finalize() of the sum of
+  /// these in source order. Thread-safe per call with distinct Scratch
+  /// objects, like aggregate().
+  [[nodiscard]] SourceContribution contribution(const Overlay& overlay,
+                                                const SourcePathSet& result,
+                                                Scratch& scratch) const;
+
+  /// Convenience overload with throwaway working memory; use the Scratch
+  /// overload when folding many sources of the same scenario.
+  [[nodiscard]] SourceContribution contribution(
+      const Overlay& overlay, const SourcePathSet& result) const {
+    Scratch scratch;
+    return contribution(overlay, result, scratch);
+  }
+
+  /// Geodistance of s-m-d over the overlay. Hops over overlay-added links
+  /// use facilities estimated from the endpoint PoP sets (see the header
+  /// comment); only ASes without PoPs fall back to endpoint-centroid
+  /// legs. Requires geodata (world != nullptr).
   [[nodiscard]] double path_geodistance_km(const Overlay& overlay, AsId s,
                                            AsId m, AsId d) const;
 
@@ -134,10 +221,23 @@ class MetricsAggregator {
                                 double volume) const;
 
  private:
+  /// path_geodistance_km with the Scratch's added-facility memo (nullptr
+  /// = no memoization, the public overload's behavior).
+  [[nodiscard]] double path_geodistance_km(
+      const Overlay& overlay, AsId s, AsId m, AsId d,
+      std::unordered_map<std::uint32_t, std::vector<std::size_t>>* memo)
+      const;
+
   const CompiledTopology* base_;
   const geo::World* world_;
   const econ::Economy* economy_;
   std::optional<diversity::GeodistanceModel> geodesy_;
+  /// Facility-count cap for estimating overlay-added links: the maximum
+  /// stored on any base link (so a what-if hop minimizes over no more
+  /// facilities than its recompiled version would, whatever
+  /// max_facilities_per_link the topology was built with); the generator
+  /// default when the base graph stores none.
+  std::size_t max_estimated_facilities_ = 3;
 };
 
 }  // namespace panagree::scenario

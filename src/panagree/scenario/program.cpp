@@ -1,0 +1,79 @@
+#include "panagree/scenario/program.hpp"
+
+#include <algorithm>
+
+#include "panagree/util/error.hpp"
+
+namespace panagree::scenario {
+
+namespace {
+
+[[nodiscard]] bool same_pair(AsId ax, AsId ay, AsId bx, AsId by) {
+  return (ax == bx && ay == by) || (ax == by && ay == bx);
+}
+
+}  // namespace
+
+Delta compose(const Delta& base, const Delta& step) {
+  Delta out = base;
+  // Removals first, so a step may retire-and-redeploy the same pair.
+  for (const auto& [x, y] : step.remove) {
+    const auto it = std::find_if(
+        out.add.begin(), out.add.end(), [&, x = x, y = y](const LinkChange& c) {
+          return same_pair(c.a, c.b, x, y);
+        });
+    if (it != out.add.end()) {
+      // Cancels a link an earlier step added. If the base delta also
+      // removed the pair (rewire), that removal stays in effect; either
+      // way the step's removal itself is absorbed.
+      out.add.erase(it);
+      continue;
+    }
+    out.remove.emplace_back(x, y);
+  }
+  for (const LinkChange& change : step.add) {
+    const bool already_added = std::any_of(
+        out.add.begin(), out.add.end(), [&](const LinkChange& c) {
+          return same_pair(c.a, c.b, change.a, change.b);
+        });
+    util::require(!already_added,
+                  "scenario::compose: step re-adds a pair an earlier step "
+                  "already deploys");
+    out.add.push_back(change);
+  }
+  return out;
+}
+
+std::vector<AsId> touched_ases(const Delta& delta) {
+  std::vector<AsId> touched;
+  touched.reserve(2 * (delta.add.size() + delta.remove.size()));
+  for (const LinkChange& change : delta.add) {
+    touched.push_back(change.a);
+    touched.push_back(change.b);
+  }
+  for (const auto& [x, y] : delta.remove) {
+    touched.push_back(x);
+    touched.push_back(y);
+  }
+  std::sort(touched.begin(), touched.end());
+  touched.erase(std::unique(touched.begin(), touched.end()), touched.end());
+  return touched;
+}
+
+void Program::push(Delta step) {
+  prefixes_.push_back(compose(prefixes_.back(), step));
+  steps_.push_back(std::move(step));
+}
+
+const Delta& Program::step(std::size_t i) const {
+  util::require(i < steps_.size(), "Program::step: index out of range");
+  return steps_[i];
+}
+
+const Delta& Program::composed(std::size_t prefix) const {
+  util::require(prefix < prefixes_.size(),
+                "Program::composed: prefix longer than the program");
+  return prefixes_[prefix];
+}
+
+}  // namespace panagree::scenario

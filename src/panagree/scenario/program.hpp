@@ -1,0 +1,68 @@
+// Agreement programs: ordered sequences of link-delta batches.
+//
+// A single Delta answers "what if we deployed these links tomorrow"; an
+// operator planning a build-out wants the *sequenced* version - deploy a
+// hub peering first, then the regional links it unlocks, each step
+// evaluated against the cumulative state of everything before it. Program
+// models exactly that: an ordered list of steps (each a Delta) whose
+// prefixes compose into cumulative deltas over the same base snapshot.
+//
+// Composition is defined by compose(base, step): the step's removals are
+// folded first (cancelling links the base delta added - a later step can
+// retire an earlier step's deployment), then its additions are appended.
+// The composed delta is an ordinary Delta, so applying it through
+// scenario::Overlay keeps the engine's central guarantee at every prefix:
+// the overlaid view is row-order-identical to recompiling the graph with
+// the first k steps applied (scenario_program_test locks this in).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "panagree/scenario/overlay.hpp"
+
+namespace panagree::scenario {
+
+/// Merges `step` onto `base`, both deltas relative to the same snapshot.
+/// Removals in `step` of a pair added by `base` cancel that addition
+/// (leaving the pair in its base-graph state, or removed if `base` also
+/// removed it - the rewire case); other removals and all additions are
+/// appended. Throws util::PreconditionError when `step` re-adds a pair
+/// `base` already adds (retire it first) - full validation against the
+/// snapshot still happens in Overlay::apply.
+[[nodiscard]] Delta compose(const Delta& base, const Delta& step);
+
+/// Endpoints of every link `delta` adds or removes, sorted and deduplicated
+/// - the seed set of the delta's invalidation ball.
+[[nodiscard]] std::vector<AsId> touched_ases(const Delta& delta);
+
+/// An ordered deployment program. Steps are pushed one at a time; every
+/// prefix's cumulative delta is precomputed, so composed(k) is O(1).
+class Program {
+ public:
+  Program() = default;
+
+  /// Appends a step. Throws util::PreconditionError if the step does not
+  /// compose onto the current cumulative delta (see compose()); the
+  /// program is unchanged on failure.
+  void push(Delta step);
+
+  [[nodiscard]] std::size_t size() const { return steps_.size(); }
+  [[nodiscard]] bool empty() const { return steps_.empty(); }
+  [[nodiscard]] const std::vector<Delta>& steps() const { return steps_; }
+  [[nodiscard]] const Delta& step(std::size_t i) const;
+
+  /// Cumulative delta of the first `prefix` steps; composed(0) is the
+  /// empty delta, composed(size()) the whole program.
+  [[nodiscard]] const Delta& composed(std::size_t prefix) const;
+
+  /// The whole program as one delta.
+  [[nodiscard]] const Delta& composed() const { return composed(size()); }
+
+ private:
+  std::vector<Delta> steps_;
+  /// prefixes_[k] = compose of steps [0, k); prefixes_[0] is empty.
+  std::vector<Delta> prefixes_{Delta{}};
+};
+
+}  // namespace panagree::scenario

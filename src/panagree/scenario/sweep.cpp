@@ -8,9 +8,19 @@ namespace panagree::scenario {
 
 std::vector<AsId> invalidation_ball(const Overlay& overlay,
                                     std::size_t radius) {
-  std::vector<AsId> ball = overlay.touched();
+  return invalidation_ball(overlay, overlay.touched(), radius);
+}
+
+std::vector<AsId> invalidation_ball(const Overlay& overlay,
+                                    std::vector<AsId> seeds,
+                                    std::size_t radius) {
+  std::vector<AsId> ball = std::move(seeds);
   if (ball.empty()) {
     return ball;
+  }
+  for (const AsId as : ball) {
+    util::require(as < overlay.num_ases(),
+                  "invalidation_ball: seed out of range");
   }
   std::vector<char> seen(overlay.num_ases(), 0);
   for (const AsId as : ball) {

@@ -27,13 +27,23 @@
 // may depend only on topology within dirty_radius hops of the source.
 // Results of sources outside the ball are assumed (and asserted by tests,
 // not at runtime) to equal their baseline values.
+//
+// Deployment *programs* (ordered step sequences, scenario::Program) ride
+// on the same machinery: rebase() folds a committed step into the cached
+// state, so the cache is always keyed by the current program prefix, and
+// every evaluate flavor measures its delta on top of state(). The ball of
+// a step seeds only at the step's own endpoints while walking the full
+// composed adjacency - locality holds because any link present in one of
+// the compared topologies but not the other is a step link, whose
+// endpoints are both seeds.
 #pragma once
 
 #include <cstddef>
+#include <span>
 #include <vector>
 
 #include "panagree/paths/parallel.hpp"
-#include "panagree/scenario/overlay.hpp"
+#include "panagree/scenario/program.hpp"
 
 namespace panagree::scenario {
 
@@ -65,6 +75,19 @@ struct SweepStats {
 [[nodiscard]] std::vector<AsId> invalidation_ball(const Overlay& overlay,
                                                   std::size_t radius);
 
+/// The ball grown from an explicit seed set instead of every AS the
+/// overlay touches - the program-aware variant: when a step delta lands on
+/// top of an already-composed overlay, only the *step's* endpoints dirty
+/// anything, while the BFS still walks the full composed adjacency.
+/// `seeds` must be sorted, deduplicated, in-range AS ids; the result is
+/// sorted ascending and contains the seeds. Sound for a step onto a
+/// cached state: every link present in either the cached or the stepped
+/// topology but not both is a step link, and both its endpoints are
+/// seeds, so walking only the stepped adjacency misses no distances.
+[[nodiscard]] std::vector<AsId> invalidation_ball(const Overlay& overlay,
+                                                  std::vector<AsId> seeds,
+                                                  std::size_t radius);
+
 /// `count` single-link candidate deployments: new peering links between
 /// distinct ASes two hops apart today (the "we already meet at a common
 /// facility" pairs that dominate real peering candidacies), no pair twice.
@@ -91,31 +114,83 @@ class SweepRunner {
   [[nodiscard]] const CompiledTopology& base() const { return *base_; }
   [[nodiscard]] bool primed() const { return primed_; }
 
+  /// The composed delta the cache currently represents: empty after
+  /// prime(), the cumulative program after rebase() calls. Every evaluate
+  /// flavor measures its scenario delta *on top of* this state.
+  [[nodiscard]] const Delta& state() const { return state_; }
+
   /// Computes and caches the baseline result of every source over the
-  /// empty overlay (= the base snapshot). `fn(overlay, source) -> Result`
-  /// must be callable concurrently. Idempotent per fn; re-priming with a
-  /// different fn replaces the cache.
+  /// empty overlay (= the base snapshot) and resets state() to empty.
+  /// `fn(overlay, source) -> Result` must be callable concurrently.
+  /// Idempotent per fn; re-priming with a different fn replaces the cache.
   template <typename Fn>
   void prime(const Fn& fn) {
     const Overlay empty(*base_);
     cache_ = paths::map_sources(
         sources_, config_.threads,
         [&](AsId src) { return fn(empty, src); });
+    state_ = Delta{};
     primed_ = true;
   }
 
-  /// The cached per-source baseline, in sources() order.
+  /// The cached per-source results of state(), in sources() order (the
+  /// base-snapshot baseline until the first rebase).
   [[nodiscard]] const std::vector<Result>& baseline() const {
     util::require(primed_, "SweepRunner::baseline: prime() first");
     return cache_;
   }
 
-  /// Evaluates one scenario: recomputes the sources whose invalidation
-  /// ball membership makes them dirty, reuses the cache for the rest, and
-  /// invokes `visit(source_index, result)` for every source in order.
-  /// The Result references stay valid until the next evaluate*/prime call
-  /// on this runner (cached slots point into the baseline cache, fresh
-  /// ones into runner-owned scratch).
+  /// Folds `step` into the cached state: state() becomes
+  /// compose(state(), step) and the cache becomes that composed
+  /// scenario's per-source results - recomputing only the sources inside
+  /// the step's invalidation ball. This is the program-prefix cache: a
+  /// deployment optimizer commits its chosen step per round and keeps
+  /// evaluating candidates incrementally against the grown state.
+  template <typename Fn>
+  void rebase(const Delta& step, const Fn& fn, SweepStats* stats = nullptr) {
+    const std::size_t dirty = recompute_dirty(step, fn, stats);
+    state_ = compose(state_, step);
+    for (std::size_t i = 0; i < dirty; ++i) {
+      cache_[dirty_positions_[i]] = std::move(fresh_[i]);
+    }
+    fresh_.clear();
+    dirty_positions_.clear();
+    dirty_sources_.clear();
+  }
+
+  /// rebase() for a caller that already evaluated `step` as a candidate
+  /// against the current state: adopts the candidate's recomputed slice
+  /// instead of re-enumerating the ball. `positions` must be exactly the
+  /// ascending dirty positions evaluate_dirty_visit reported for `step`,
+  /// and results[i] the result of sources()[positions[i]] - the slices
+  /// are trusted verbatim (this is how a deployment optimizer commits
+  /// its winning candidate without paying its enumeration twice).
+  void rebase_adopted(const Delta& step,
+                      std::span<const std::size_t> positions,
+                      std::vector<Result>&& results) {
+    util::require(primed_, "SweepRunner::rebase_adopted: prime() first");
+    util::require(positions.size() == results.size(),
+                  "SweepRunner::rebase_adopted: positions/results mismatch");
+    // Validate the step against the snapshot exactly like rebase() would
+    // before touching the cache.
+    const Delta composed = compose(state_, step);
+    Overlay overlay(*base_);
+    overlay.apply(composed);
+    for (std::size_t i = 0; i < positions.size(); ++i) {
+      util::require(positions[i] < sources_.size() &&
+                        (i == 0 || positions[i - 1] < positions[i]),
+                    "SweepRunner::rebase_adopted: bad position list");
+      cache_[positions[i]] = std::move(results[i]);
+    }
+    state_ = composed;
+  }
+
+  /// Evaluates one scenario delta on top of state(): recomputes the
+  /// sources whose invalidation ball membership makes them dirty, reuses
+  /// the cache for the rest, and invokes `visit(source_index, result)`
+  /// for every source in order. The Result references stay valid until
+  /// the next evaluate*/rebase/prime call on this runner (cached slots
+  /// point into the state cache, fresh ones into runner-owned scratch).
   template <typename Fn, typename Visit>
   void evaluate_visit(const Delta& delta, const Fn& fn, Visit&& visit,
                       SweepStats* stats = nullptr) {
@@ -128,6 +203,36 @@ class SweepRunner {
       } else {
         visit(i, cache_[i]);
       }
+    }
+  }
+
+  /// Dirty-slice evaluation for *concurrent candidate scoring*: invokes
+  /// `visit(source_index, overlay, result)` only for the dirty sources
+  /// (in order), computing each result serially on the calling thread and
+  /// leaving the runner untouched - so many candidate deltas can be
+  /// evaluated against the same state from a parallel fan-out (e.g.
+  /// paths::map_indices over candidates), each worker paying only its own
+  /// candidate's invalidation ball. The overlay handed to the visitor is
+  /// the composed (state + delta) view the results were enumerated over.
+  template <typename Fn, typename Visit>
+  void evaluate_dirty_visit(const Delta& delta, const Fn& fn, Visit&& visit,
+                            SweepStats* stats = nullptr) const {
+    util::require(primed_, "SweepRunner::evaluate_dirty_visit: prime() first");
+    Overlay overlay(*base_);
+    overlay.apply(state_.empty() ? delta : compose(state_, delta));
+    const std::vector<AsId> ball = invalidation_ball(
+        overlay, touched_ases(delta), config_.dirty_radius);
+    std::size_t recomputed = 0;
+    for (std::size_t i = 0; i < sources_.size(); ++i) {
+      if (std::binary_search(ball.begin(), ball.end(), sources_[i])) {
+        visit(i, overlay, fn(overlay, sources_[i]));
+        ++recomputed;
+      }
+    }
+    if (stats != nullptr) {
+      stats->recomputed_sources = recomputed;
+      stats->cached_sources = sources_.size() - recomputed;
+      stats->ball_size = ball.size();
     }
   }
 
@@ -163,17 +268,19 @@ class SweepRunner {
   }
 
  private:
-  /// Shared front half of every evaluate flavor: applies the delta,
-  /// computes the dirty source positions, and recomputes them into
-  /// fresh_. Returns the dirty count.
+  /// Shared front half of every evaluate flavor: applies the delta on top
+  /// of the current state, computes the dirty source positions (the ball
+  /// is seeded by the *step* delta's endpoints only, walked over the full
+  /// composed adjacency), and recomputes them into fresh_. Returns the
+  /// dirty count.
   template <typename Fn>
   std::size_t recompute_dirty(const Delta& delta, const Fn& fn,
                               SweepStats* stats) {
     util::require(primed_, "SweepRunner::evaluate_visit: prime() first");
     Overlay overlay(*base_);
-    overlay.apply(delta);
-    const std::vector<AsId> ball =
-        invalidation_ball(overlay, config_.dirty_radius);
+    overlay.apply(state_.empty() ? delta : compose(state_, delta));
+    const std::vector<AsId> ball = invalidation_ball(
+        overlay, touched_ases(delta), config_.dirty_radius);
 
     dirty_positions_.clear();
     dirty_sources_.clear();
@@ -198,6 +305,8 @@ class SweepRunner {
   std::vector<AsId> sources_;
   SweepConfig config_;
   std::vector<Result> cache_;
+  /// The composed delta cache_ holds results for (empty until rebase).
+  Delta state_;
   bool primed_ = false;
   /// Scratch reused across evaluate calls (a runner is single-sweep;
   /// parallelism lives inside map_sources). fresh_ backs the references

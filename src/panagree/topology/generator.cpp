@@ -96,16 +96,12 @@ class ProviderSelector {
   std::vector<double> weights_;
 };
 
-/// Computes candidate interconnection facilities for a link: cities common
-/// to both endpoints' PoP sets. Without a shared city, provider->customer
-/// links interconnect at the *provider's* PoPs (the customer backhauls to
-/// its transit provider - the realistic asymmetry that gives valley-free
-/// paths their geographic detours), while peering links use the closest
-/// PoP pair.
-std::vector<std::size_t> link_facilities(const Graph& graph,
-                                         const geo::World& world,
-                                         const Link& link,
-                                         std::size_t max_count) {
+}  // namespace
+
+std::vector<std::size_t> estimate_link_facilities(const Graph& graph,
+                                                  const geo::World& world,
+                                                  const Link& link,
+                                                  std::size_t max_count) {
   const AsId a = link.a;
   const AsId b = link.b;
   const auto& pa = graph.info(a).pops;
@@ -150,8 +146,6 @@ std::vector<std::size_t> link_facilities(const Graph& graph,
   }
   return {best_a, best_b};
 }
-
-}  // namespace
 
 GeneratedTopology generate_internet(const GeneratorParams& params) {
   util::require(params.tier1_count >= 2,
@@ -356,7 +350,8 @@ GeneratedTopology generate_internet(const GeneratorParams& params) {
   for (LinkId id = 0; id < g.num_links(); ++id) {
     Link& link = g.link(id);
     auto extra =
-        link_facilities(g, out.world, link, params.max_facilities_per_link);
+        estimate_link_facilities(g, out.world, link,
+                                 params.max_facilities_per_link);
     for (const std::size_t city : extra) {
       if (std::find(link.facilities.begin(), link.facilities.end(), city) ==
           link.facilities.end() &&
@@ -409,7 +404,8 @@ GeneratedTopology embed_relationship_graph(Graph graph, std::uint64_t seed,
 
   for (LinkId id = 0; id < g.num_links(); ++id) {
     Link& link = g.link(id);
-    link.facilities = link_facilities(g, out.world, link, kMaxFacilities);
+    link.facilities =
+        estimate_link_facilities(g, out.world, link, kMaxFacilities);
   }
   return out;
 }

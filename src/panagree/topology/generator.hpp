@@ -109,4 +109,18 @@ struct GeneratedTopology {
 [[nodiscard]] GeneratedTopology embed_relationship_graph(
     Graph graph, std::uint64_t seed, std::size_t cities_per_region = 40);
 
+/// Candidate interconnection facilities for a link, estimated from the
+/// endpoints' PoP sets: cities common to both endpoints first; without a
+/// shared city, provider->customer links interconnect at the *provider's*
+/// PoPs (the customer backhauls to its transit provider - the realistic
+/// asymmetry that gives valley-free paths their geographic detours), and
+/// peering links use the closest PoP pair. This is the rule the generator
+/// and embed_relationship_graph assign existing links with, exposed so
+/// what-if layers can derive facilities for links that do not exist yet
+/// (`link` only needs endpoints and type; empty if an endpoint has no
+/// PoPs).
+[[nodiscard]] std::vector<std::size_t> estimate_link_facilities(
+    const Graph& graph, const geo::World& world, const Link& link,
+    std::size_t max_count = 3);
+
 }  // namespace panagree::topology

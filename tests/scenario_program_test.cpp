@@ -1,0 +1,413 @@
+// Tests for agreement programs and the deployment optimizer: delta
+// composition semantics, the program-prefix cache of SweepRunner
+// (rebase), and the tentpole property - the optimizer's composed program
+// is byte-identical, at every prefix and every thread count, to a full
+// recompile-and-recompute of the mutated graph, with candidate-cache
+// sharing on or off.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "panagree/diversity/length3.hpp"
+#include "panagree/econ/business.hpp"
+#include "panagree/scenario/metrics.hpp"
+#include "panagree/scenario/optimizer.hpp"
+#include "panagree/scenario/program.hpp"
+#include "panagree/scenario/sweep.hpp"
+#include "panagree/topology/generator.hpp"
+#include "panagree/util/rng.hpp"
+
+namespace panagree::scenario {
+namespace {
+
+using topology::CompiledTopology;
+using topology::Graph;
+using topology::LinkType;
+
+/// Applies a Delta the expensive way: rebuild the Graph from scratch with
+/// removed links dropped and added links appended.
+Graph mutate(const Graph& base, const Delta& delta) {
+  Graph out;
+  for (AsId as = 0; as < base.num_ases(); ++as) {
+    const AsId id = out.add_as();
+    out.info(id) = base.info(as);
+  }
+  const auto removed = [&](AsId x, AsId y) {
+    for (const auto& [a, b] : delta.remove) {
+      if ((a == x && b == y) || (a == y && b == x)) {
+        return true;
+      }
+    }
+    return false;
+  };
+  for (const auto& link : base.links()) {
+    if (removed(link.a, link.b)) {
+      continue;
+    }
+    if (link.type == LinkType::kProviderCustomer) {
+      out.add_provider_customer(link.a, link.b);
+    } else {
+      out.add_peering(link.a, link.b);
+    }
+  }
+  for (const LinkChange& change : delta.add) {
+    if (change.type == LinkType::kProviderCustomer) {
+      out.add_provider_customer(change.a, change.b);
+    } else {
+      out.add_peering(change.a, change.b);
+    }
+  }
+  return out;
+}
+
+Delta add_peering(AsId a, AsId b) {
+  Delta delta;
+  delta.add.push_back({a, b, LinkType::kPeering});
+  return delta;
+}
+
+TEST(Compose, AppendsAddsAndRemoves) {
+  Delta base = add_peering(1, 2);
+  base.remove.emplace_back(3, 4);
+  Delta step = add_peering(5, 6);
+  step.remove.emplace_back(7, 8);
+  const Delta merged = compose(base, step);
+  ASSERT_EQ(merged.add.size(), 2u);
+  EXPECT_EQ(merged.add[0], (LinkChange{1, 2, LinkType::kPeering}));
+  EXPECT_EQ(merged.add[1], (LinkChange{5, 6, LinkType::kPeering}));
+  ASSERT_EQ(merged.remove.size(), 2u);
+  EXPECT_EQ(merged.remove[1], (std::pair<AsId, AsId>{7, 8}));
+}
+
+TEST(Compose, RemovalCancelsEarlierAdd) {
+  const Delta base = add_peering(1, 2);
+  Delta step;
+  step.remove.emplace_back(2, 1);  // either endpoint order cancels
+  const Delta merged = compose(base, step);
+  EXPECT_TRUE(merged.add.empty());
+  EXPECT_TRUE(merged.remove.empty());
+}
+
+TEST(Compose, RetiringARewireKeepsTheBaseRemoval) {
+  // Base: rewire 1-2 (remove the base link, add it back as peering).
+  Delta base;
+  base.remove.emplace_back(1, 2);
+  base.add.push_back({1, 2, LinkType::kPeering});
+  Delta step;
+  step.remove.emplace_back(1, 2);
+  const Delta merged = compose(base, step);
+  EXPECT_TRUE(merged.add.empty());
+  ASSERT_EQ(merged.remove.size(), 1u);  // the base link stays retired
+}
+
+TEST(Compose, RetireAndRedeployInOneStep) {
+  const Delta base = add_peering(1, 2);
+  Delta step;
+  step.remove.emplace_back(1, 2);
+  step.add.push_back({1, 2, LinkType::kProviderCustomer});
+  const Delta merged = compose(base, step);
+  ASSERT_EQ(merged.add.size(), 1u);
+  EXPECT_EQ(merged.add[0].type, LinkType::kProviderCustomer);
+  EXPECT_TRUE(merged.remove.empty());
+}
+
+TEST(Compose, RejectsDuplicateAdd) {
+  const Delta base = add_peering(1, 2);
+  EXPECT_THROW((void)compose(base, add_peering(2, 1)),
+               util::PreconditionError);
+}
+
+TEST(TouchedAses, SortedUniqueEndpoints) {
+  Delta delta = add_peering(9, 3);
+  delta.add.push_back({3, 5, LinkType::kProviderCustomer});
+  delta.remove.emplace_back(9, 1);
+  EXPECT_EQ(touched_ases(delta), (std::vector<AsId>{1, 3, 5, 9}));
+}
+
+TEST(Program, PrefixesCompose) {
+  Program program;
+  EXPECT_TRUE(program.empty());
+  EXPECT_TRUE(program.composed().empty());
+  program.push(add_peering(1, 2));
+  program.push(add_peering(3, 4));
+  Delta retire;
+  retire.remove.emplace_back(1, 2);
+  program.push(retire);
+  ASSERT_EQ(program.size(), 3u);
+  EXPECT_TRUE(program.composed(0).empty());
+  EXPECT_EQ(program.composed(1).add.size(), 1u);
+  EXPECT_EQ(program.composed(2).add.size(), 2u);
+  EXPECT_EQ(program.composed(3).add.size(), 1u);
+  EXPECT_EQ(program.composed().add[0], (LinkChange{3, 4, LinkType::kPeering}));
+  EXPECT_THROW((void)program.composed(4), util::PreconditionError);
+  EXPECT_EQ(program.step(1).add[0], (LinkChange{3, 4, LinkType::kPeering}));
+}
+
+TEST(Program, PushRejectsConflictAndLeavesProgramUnchanged) {
+  Program program;
+  program.push(add_peering(1, 2));
+  EXPECT_THROW(program.push(add_peering(1, 2)), util::PreconditionError);
+  EXPECT_EQ(program.size(), 1u);
+  EXPECT_EQ(program.composed().add.size(), 1u);
+}
+
+topology::GeneratedTopology small_internet() {
+  topology::GeneratorParams params;
+  params.num_ases = 200;
+  params.tier1_count = 4;
+  params.seed = 77;
+  return topology::generate_internet(params);
+}
+
+std::vector<AsId> every_third_source(const Graph& g) {
+  std::vector<AsId> sources;
+  for (AsId as = 0; as < g.num_ases(); as += 3) {
+    sources.push_back(as);
+  }
+  return sources;
+}
+
+const auto kEnumerate = [](const Overlay& overlay, AsId src) {
+  return enumerate_length3(overlay, src);
+};
+
+/// The program-prefix cache: a runner rebased step by step serves, at
+/// every prefix, results byte-identical to a full recompile of the
+/// cumulative graph - and candidate evaluations on top of the rebased
+/// state stay exact too.
+class RebaseEquivalence : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(RebaseEquivalence, RebasedEvaluationsMatchFullRecompute) {
+  const auto topo = small_internet();
+  const Graph& g = topo.graph;
+  const CompiledTopology compiled(g);
+  const std::vector<AsId> sources = every_third_source(g);
+
+  SweepConfig config;
+  config.threads = GetParam();
+  config.dirty_radius = kLength3DirtyRadius;
+  SweepRunner<SourcePathSet> runner(compiled, sources, config);
+  runner.prime(kEnumerate);
+
+  const auto deltas = candidate_peering_deltas(compiled, 6, 99);
+  ASSERT_GE(deltas.size(), 4u);
+  Program program;
+  for (std::size_t i = 0; i < 3; ++i) {
+    // Before committing, evaluate the step as a candidate on the current
+    // state and keep the results for cross-checking.
+    SweepStats stats;
+    const std::vector<SourcePathSet> results =
+        runner.evaluate(deltas[i], kEnumerate, &stats);
+    EXPECT_EQ(stats.recomputed_sources + stats.cached_sources,
+              sources.size());
+
+    runner.rebase(deltas[i], kEnumerate);
+    program.push(deltas[i]);
+    EXPECT_EQ(runner.state().add.size(), program.composed().add.size());
+
+    // The rebased cache, the pre-commit evaluation, and a full recompile
+    // of the cumulative graph all agree byte-for-byte.
+    const Graph mutated = mutate(g, program.composed());
+    const CompiledTopology recompiled(mutated);
+    const Overlay none(recompiled);
+    for (std::size_t s = 0; s < sources.size(); ++s) {
+      const SourcePathSet truth = enumerate_length3(none, sources[s]);
+      EXPECT_EQ(runner.baseline()[s], truth)
+          << "prefix " << program.size() << " source " << sources[s];
+      EXPECT_EQ(results[s], truth)
+          << "pre-commit eval, prefix " << program.size() << " source "
+          << sources[s];
+    }
+  }
+
+  // A fourth candidate evaluated (not committed) on the 3-step state.
+  const std::vector<SourcePathSet> results =
+      runner.evaluate(deltas[3], kEnumerate);
+  const Graph mutated = mutate(g, compose(program.composed(), deltas[3]));
+  const CompiledTopology recompiled(mutated);
+  const Overlay none(recompiled);
+  for (std::size_t s = 0; s < sources.size(); ++s) {
+    EXPECT_EQ(results[s], enumerate_length3(none, sources[s]))
+        << "source " << sources[s];
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Threads, RebaseEquivalence,
+                         ::testing::Values(1u, 2u, 8u));
+
+struct OptimizerRun {
+  OptimizerResult result;
+  std::vector<Delta> candidates;
+};
+
+OptimizerRun run_optimizer(const topology::GeneratedTopology& topo,
+                           const CompiledTopology& compiled,
+                           const econ::Economy& economy, std::size_t threads,
+                           bool share, std::size_t beam_width = 1) {
+  const MetricsAggregator aggregator(compiled, &topo.world, &economy);
+  OptimizerConfig config;
+  config.max_steps = 3;
+  config.beam_width = beam_width;
+  config.sweep.threads = threads;
+  config.sweep.dirty_radius = kLength3DirtyRadius;
+  config.share_recomputes = share;
+  const Optimizer optimizer(compiled, every_third_source(topo.graph),
+                            aggregator, config);
+  OptimizerRun run;
+  run.candidates = candidate_peering_deltas(compiled, 24, 4242);
+  run.result = optimizer.run(run.candidates);
+  return run;
+}
+
+void expect_same_plan(const OptimizerResult& a, const OptimizerResult& b) {
+  ASSERT_EQ(a.steps.size(), b.steps.size());
+  for (std::size_t i = 0; i < a.steps.size(); ++i) {
+    EXPECT_EQ(a.steps[i].candidate, b.steps[i].candidate);
+    EXPECT_EQ(a.steps[i].delta.add, b.steps[i].delta.add);
+    // Utilities are computed in a fixed association order, so they must
+    // be bit-identical, not just close.
+    EXPECT_EQ(a.steps[i].marginal_utility, b.steps[i].marginal_utility);
+    EXPECT_EQ(a.steps[i].cumulative_utility, b.steps[i].cumulative_utility);
+  }
+  EXPECT_EQ(a.final_metrics.grc_paths, b.final_metrics.grc_paths);
+  EXPECT_EQ(a.final_metrics.transit_fees, b.final_metrics.transit_fees);
+}
+
+/// The tentpole property: the greedy program is identical at every thread
+/// count and with sharing on or off, and every program prefix is
+/// byte-identical to a full recompile of the cumulative graph.
+TEST(Optimizer, GreedyProgramMatchesFullRecompileAtEveryPrefix) {
+  const auto topo = small_internet();
+  const CompiledTopology compiled(topo.graph);
+  const econ::Economy economy = econ::make_default_economy(topo.graph);
+
+  const OptimizerRun shared =
+      run_optimizer(topo, compiled, economy, /*threads=*/2, /*share=*/true);
+  const OptimizerResult& result = shared.result;
+  ASSERT_GT(result.steps.size(), 0u);
+  ASSERT_EQ(result.steps.size(), result.program.size());
+
+  // Thread-count invariance, sharing on.
+  for (const std::size_t threads : {std::size_t{1}, std::size_t{8}}) {
+    const OptimizerRun other =
+        run_optimizer(topo, compiled, economy, threads, /*share=*/true);
+    expect_same_plan(result, other.result);
+  }
+  // Sharing must be a pure optimization: byte-identical plan without it.
+  const OptimizerRun unshared =
+      run_optimizer(topo, compiled, economy, /*threads=*/2, /*share=*/false);
+  expect_same_plan(result, unshared.result);
+  // And the shared run must actually have shared something.
+  EXPECT_GT(result.stats.reused_evaluations,
+            unshared.result.stats.reused_evaluations);
+  EXPECT_LT(result.stats.recomputed_sources,
+            unshared.result.stats.recomputed_sources);
+
+  // Every prefix of the emitted program is byte-identical to a full
+  // recompile-and-recompute of the cumulative graph.
+  const std::vector<AsId> sources = every_third_source(topo.graph);
+  for (std::size_t prefix = 0; prefix <= result.program.size(); ++prefix) {
+    const Delta& composed = result.program.composed(prefix);
+    Overlay overlay(compiled);
+    overlay.apply(composed);
+    const Graph mutated = mutate(topo.graph, composed);
+    const CompiledTopology recompiled(mutated);
+    const Overlay none(recompiled);
+    for (const AsId src : sources) {
+      EXPECT_EQ(enumerate_length3(overlay, src),
+                enumerate_length3(none, src))
+          << "prefix " << prefix << " source " << src;
+    }
+  }
+
+  // Internal consistency: final metrics equal a from-scratch aggregation
+  // of the full program, and cumulative utility telescopes to it.
+  const MetricsAggregator aggregator(compiled, &topo.world, &economy);
+  Overlay full(compiled);
+  full.apply(result.program.composed());
+  std::vector<SourcePathSet> full_results;
+  full_results.reserve(sources.size());
+  for (const AsId src : sources) {
+    full_results.push_back(enumerate_length3(full, src));
+  }
+  const ScenarioMetrics direct =
+      aggregator.aggregate(full, sources, full_results);
+  EXPECT_EQ(result.final_metrics.grc_paths, direct.grc_paths);
+  EXPECT_EQ(result.final_metrics.ma_paths, direct.ma_paths);
+  EXPECT_EQ(result.final_metrics.grc_pairs, direct.grc_pairs);
+  EXPECT_EQ(result.final_metrics.ma_extra_pairs, direct.ma_extra_pairs);
+  EXPECT_NEAR(result.final_metrics.transit_fees, direct.transit_fees, 1e-9);
+  EXPECT_NEAR(result.final_metrics.mean_best_geodistance_km,
+              direct.mean_best_geodistance_km, 1e-9);
+  EXPECT_NEAR(result.steps.back().cumulative_utility,
+              operator_utility(subtract(direct, result.baseline)), 1e-9);
+
+  // Steps must be distinct candidates with positive marginal utility.
+  for (std::size_t i = 0; i < result.steps.size(); ++i) {
+    EXPECT_GT(result.steps[i].marginal_utility, 0.0);
+    for (std::size_t j = i + 1; j < result.steps.size(); ++j) {
+      EXPECT_NE(result.steps[i].candidate, result.steps[j].candidate);
+    }
+  }
+}
+
+TEST(Optimizer, BeamSearchIsDeterministicAndValid) {
+  const auto topo = small_internet();
+  const CompiledTopology compiled(topo.graph);
+  const econ::Economy economy = econ::make_default_economy(topo.graph);
+
+  const OptimizerRun beam2 = run_optimizer(topo, compiled, economy,
+                                           /*threads=*/2, /*share=*/true,
+                                           /*beam_width=*/2);
+  const OptimizerRun beam2_again = run_optimizer(topo, compiled, economy,
+                                                 /*threads=*/8,
+                                                 /*share=*/true,
+                                                 /*beam_width=*/2);
+  expect_same_plan(beam2.result, beam2_again.result);
+  EXPECT_LE(beam2.result.program.size(), 3u);
+
+  // A beam state's program must still compose and apply cleanly.
+  Overlay overlay(compiled);
+  overlay.apply(beam2.result.program.composed());
+  // Cumulative utility is reported against the same baseline.
+  const OptimizerRun greedy =
+      run_optimizer(topo, compiled, economy, /*threads=*/2, /*share=*/true);
+  EXPECT_EQ(beam2.result.baseline.grc_paths,
+            greedy.result.baseline.grc_paths);
+}
+
+TEST(Optimizer, EmptyCandidatesYieldEmptyProgram) {
+  const auto topo = small_internet();
+  const CompiledTopology compiled(topo.graph);
+  const econ::Economy economy = econ::make_default_economy(topo.graph);
+  const MetricsAggregator aggregator(compiled, &topo.world, &economy);
+  const Optimizer optimizer(compiled, every_third_source(topo.graph),
+                            aggregator, {});
+  const OptimizerResult result = optimizer.run({});
+  EXPECT_TRUE(result.program.empty());
+  EXPECT_TRUE(result.steps.empty());
+  EXPECT_EQ(result.stats.scored_candidates, 0u);
+}
+
+TEST(Optimizer, InfeasibleCandidatesAreDropped) {
+  const auto topo = small_internet();
+  const CompiledTopology compiled(topo.graph);
+  const econ::Economy economy = econ::make_default_economy(topo.graph);
+  const MetricsAggregator aggregator(compiled, &topo.world, &economy);
+  OptimizerConfig config;
+  config.max_steps = 2;
+  config.sweep.threads = 1;
+  config.sweep.dirty_radius = kLength3DirtyRadius;
+  const Optimizer optimizer(compiled, every_third_source(topo.graph),
+                            aggregator, config);
+  // A candidate that re-adds an existing base link never composes.
+  const auto& link = topo.graph.links().front();
+  std::vector<Delta> candidates;
+  candidates.push_back(add_peering(link.a, link.b));
+  const OptimizerResult result = optimizer.run(candidates);
+  EXPECT_TRUE(result.program.empty());
+}
+
+}  // namespace
+}  // namespace panagree::scenario

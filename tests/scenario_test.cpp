@@ -8,7 +8,9 @@
 #include <optional>
 #include <vector>
 
+#include "panagree/diversity/geodistance.hpp"
 #include "panagree/diversity/length3.hpp"
+#include "panagree/geo/coordinates.hpp"
 #include "panagree/scenario/metrics.hpp"
 #include "panagree/scenario/overlay.hpp"
 #include "panagree/scenario/sweep.hpp"
@@ -411,6 +413,66 @@ TEST(Metrics, AggregatesTinyTopologyDeterministically) {
   // positive; at the default weights it does not.
   EXPECT_LT(operator_utility(delta_metrics), 0.0);
   EXPECT_GT(operator_utility(delta_metrics, {.per_new_pair = 2.0}), 0.0);
+}
+
+TEST(Metrics, AddedLinksUseEstimatedFacilitiesNotCentroids) {
+  // Regression (ROADMAP known gap): paths crossing an overlay-added link
+  // used to fall back to endpoint-centroid great-circle legs. They must
+  // instead minimize over facilities estimated from the endpoint PoP
+  // sets - the same rule the generator assigns real links with - so a
+  // what-if deployment prices like its recompiled version.
+  const auto topo = topology::generate_internet([] {
+    topology::GeneratorParams params;
+    params.num_ases = 80;
+    params.tier1_count = 4;
+    params.seed = 5;
+    return params;
+  }());
+  const Graph& g = topo.graph;
+  const CompiledTopology compiled(g);
+  const econ::Economy economy = econ::make_default_economy(g);
+  const MetricsAggregator aggregator(compiled, &topo.world, &economy);
+
+  const auto deltas = candidate_peering_deltas(compiled, 1, 11);
+  ASSERT_EQ(deltas.size(), 1u);
+  const LinkChange& added = deltas[0].add.front();
+  Overlay overlay(compiled);
+  overlay.apply(deltas[0]);
+
+  // A length-3 path whose first hop is the added link and whose second is
+  // a base link: added.a - added.b - d.
+  AsId d = topology::kInvalidAs;
+  for (const auto& entry : compiled.entries(added.b)) {
+    if (entry.neighbor != added.a) {
+      d = entry.neighbor;
+      break;
+    }
+  }
+  ASSERT_NE(d, topology::kInvalidAs);
+
+  topology::Link hypothetical;
+  hypothetical.a = added.a;
+  hypothetical.b = added.b;
+  hypothetical.type = added.type;
+  const std::vector<std::size_t> estimated =
+      topology::estimate_link_facilities(g, topo.world, hypothetical);
+  ASSERT_FALSE(estimated.empty());
+  const auto base_link = g.link_between(added.b, d);
+  ASSERT_TRUE(base_link.has_value());
+
+  const diversity::GeodistanceModel geodesy(g, topo.world);
+  const double expected = geodesy.path_geodistance_km(
+      added.a, added.b, d, estimated, g.link(*base_link).facilities);
+  const double actual =
+      aggregator.path_geodistance_km(overlay, added.a, added.b, d);
+  EXPECT_DOUBLE_EQ(actual, expected);
+
+  // The pre-fix behavior (centroid legs) must no longer be what we get.
+  const double centroid_legs =
+      geo::great_circle_km(g.info(added.a).centroid,
+                           g.info(added.b).centroid) +
+      geo::great_circle_km(g.info(added.b).centroid, g.info(d).centroid);
+  EXPECT_NE(actual, centroid_legs);
 }
 
 }  // namespace

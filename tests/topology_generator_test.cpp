@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <set>
 
+#include "panagree/topology/caida.hpp"
 #include "panagree/topology/capacity.hpp"
 #include "panagree/topology/generator.hpp"
 
@@ -238,6 +239,106 @@ TEST(Capacity, RejectsNonPositiveParams) {
   EXPECT_THROW(assign_degree_gravity_capacities(g, {0.0, 1.0}),
                util::PreconditionError);
   EXPECT_THROW(assign_degree_gravity_capacities(g, {1.0, 0.0}),
+               util::PreconditionError);
+}
+
+// ------------------------------- embedding a parsed relationship graph
+
+/// The committed as-rel2 fixture (also the CI smoke topology for
+/// PANAGREE_CAIDA runs): two transit-free cores, three regional transits,
+/// one transit-free peer-only CDN, eight stubs.
+caida::Dataset load_fixture() {
+  return caida::parse_file(std::string(PANAGREE_TEST_DATA_DIR) +
+                           "/as-rel2-small.txt");
+}
+
+TEST(EmbedRelationshipGraph, FixtureParsesToExpectedShape) {
+  const caida::Dataset ds = load_fixture();
+  EXPECT_EQ(ds.graph.num_ases(), 14u);
+  EXPECT_EQ(ds.graph.num_links(), 20u);
+  EXPECT_TRUE(ds.graph.provider_hierarchy_is_acyclic());
+  EXPECT_TRUE(ds.graph.is_connected());
+}
+
+TEST(EmbedRelationshipGraph, AssignsTiersFromTheHierarchy) {
+  caida::Dataset ds = load_fixture();
+  const auto id = [&](std::uint64_t asn) { return ds.asn_to_id.at(asn); };
+  // Resolve ids before the graph moves into the embedding.
+  const AsId core100 = id(100);
+  const AsId core200 = id(200);
+  const AsId transit300 = id(300);
+  const AsId cdn900 = id(900);
+  const AsId stub1001 = id(1001);
+  const GeneratedTopology topo =
+      embed_relationship_graph(std::move(ds.graph), /*seed=*/7);
+
+  // Transit-free with customers -> Tier-1.
+  EXPECT_EQ(topo.graph.info(core100).tier, 1);
+  EXPECT_EQ(topo.graph.info(core200).tier, 1);
+  // Customer-owning mid-tier and the transit-free peer-only CDN -> Tier-2.
+  EXPECT_EQ(topo.graph.info(transit300).tier, 2);
+  EXPECT_EQ(topo.graph.info(cdn900).tier, 2);
+  // Pure customer -> Tier-3.
+  EXPECT_EQ(topo.graph.info(stub1001).tier, 3);
+  EXPECT_EQ(topo.tier1.size(), 2u);
+  EXPECT_EQ(topo.tier2.size(), 4u);
+  EXPECT_EQ(topo.tier3.size(), 8u);
+  // Generator-only scaffolding stays empty for embedded graphs.
+  EXPECT_TRUE(topo.ixps.empty());
+  EXPECT_TRUE(topo.hubs.empty());
+}
+
+TEST(EmbedRelationshipGraph, AssignsGeodataAndFacilitiesEverywhere) {
+  caida::Dataset ds = load_fixture();
+  const GeneratedTopology topo =
+      embed_relationship_graph(std::move(ds.graph), /*seed=*/7);
+  for (AsId as = 0; as < topo.graph.num_ases(); ++as) {
+    const AsInfo& info = topo.graph.info(as);
+    EXPECT_TRUE(info.has_geo) << "as " << as;
+    EXPECT_FALSE(info.pops.empty()) << "as " << as;
+    for (const std::size_t city : info.pops) {
+      EXPECT_LT(city, topo.world.cities().size());
+    }
+  }
+  for (const auto& link : topo.graph.links()) {
+    EXPECT_FALSE(link.facilities.empty())
+        << "link AS" << link.a << "-AS" << link.b;
+    // The stored facilities are exactly what the public estimation rule
+    // derives from the endpoint PoP sets.
+    EXPECT_EQ(link.facilities,
+              estimate_link_facilities(topo.graph, topo.world, link));
+  }
+}
+
+TEST(EmbedRelationshipGraph, DeterministicPerSeed) {
+  caida::Dataset first = load_fixture();
+  caida::Dataset second = load_fixture();
+  const GeneratedTopology a =
+      embed_relationship_graph(std::move(first.graph), /*seed=*/21);
+  const GeneratedTopology b =
+      embed_relationship_graph(std::move(second.graph), /*seed=*/21);
+  ASSERT_EQ(a.graph.num_ases(), b.graph.num_ases());
+  for (AsId as = 0; as < a.graph.num_ases(); ++as) {
+    EXPECT_EQ(a.graph.info(as).pops, b.graph.info(as).pops) << "as " << as;
+    EXPECT_EQ(a.graph.info(as).region, b.graph.info(as).region);
+    EXPECT_EQ(a.graph.info(as).tier, b.graph.info(as).tier);
+  }
+  for (LinkId id = 0; id < a.graph.num_links(); ++id) {
+    EXPECT_EQ(a.graph.link(id).facilities, b.graph.link(id).facilities);
+  }
+
+  caida::Dataset third = load_fixture();
+  const GeneratedTopology other =
+      embed_relationship_graph(std::move(third.graph), /*seed=*/22);
+  bool any_difference = false;
+  for (AsId as = 0; as < a.graph.num_ases() && !any_difference; ++as) {
+    any_difference = a.graph.info(as).pops != other.graph.info(as).pops;
+  }
+  EXPECT_TRUE(any_difference) << "different seeds should embed differently";
+}
+
+TEST(EmbedRelationshipGraph, RejectsEmptyGraph) {
+  EXPECT_THROW((void)embed_relationship_graph(Graph{}, 1),
                util::PreconditionError);
 }
 

@@ -1,0 +1,36 @@
+#!/usr/bin/env bash
+# Pinned bench invocation shared by CI's bench-regression job and by
+# developers refreshing the committed baselines under bench/baselines/:
+#
+#   ./tools/bench_suite.sh [build-dir] [out-dir]
+#
+# Every BENCH_*.json the suite emits lands in out-dir;
+# tools/check_bench_regression.py compares them against the baselines.
+# Sizes are pinned small: the suite tracks the *relative* perf trajectory
+# of the repo, not production scale (perf_micro carries its own fixed
+# 3000-AS fixture).
+set -euo pipefail
+
+BUILD="${1:-build}"
+OUT="${2:-bench-out}"
+mkdir -p "$OUT"
+export PANAGREE_BENCH_JSON_DIR="$OUT"
+export PANAGREE_ASES=800
+export PANAGREE_SOURCES=60
+export PANAGREE_THREADS=2
+export PANAGREE_SCENARIOS=24
+
+"$BUILD/bench_ext_networkwide_adoption"
+"$BUILD/bench_tab_agreement_optimization"
+# perf_micro: the CSR / sweep / optimizer trajectory benches. The
+# heavyweight *_FullRecompute and *_Exhaustive ablation baselines are
+# excluded on purpose - they exist to measure one-off speedup factors,
+# not to be tracked per commit. Default --benchmark_min_time stays: the
+# rotating-source micro benches need enough iterations to average the
+# heavy-tailed per-source costs, or run-to-run noise defeats the 30%
+# regression gate.
+"$BUILD/bench_perf_micro" \
+  --benchmark_filter='BM_(RoleLookup|Length3Enumeration|CompileTopology|ScenarioSweep_Incremental|Optimizer_Greedy)'
+
+echo "bench suite results in $OUT:"
+ls -l "$OUT"

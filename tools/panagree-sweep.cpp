@@ -3,6 +3,7 @@
 // turned into a tool).
 //
 //   panagree-sweep [scenarios] [top-k] [seed]
+//       [--optimize greedy|beam] [--steps N] [--beam W] [--no-share]
 //
 // Defaults: 200 candidate deployments, top 10 shown, seed 4242. Every
 // candidate is a single new peering link between two ASes that share a
@@ -12,6 +13,13 @@
 // length-3 path sets are cached across scenarios and only sources inside
 // a candidate's invalidation ball are recomputed - then aggregated into
 // path-diversity / geodistance / transit-fee deltas and a scalar utility.
+//
+// With --optimize the tool emits a ranked deployment *program* instead of
+// a one-shot ranking: scenario::Optimizer greedily (or with a beam of
+// --beam partial programs) extends the program each round with the
+// highest-marginal-utility candidate, rebases the sweep cache onto the
+// grown prefix, and shares candidate recomputes across rounds unless
+// --no-share. --steps bounds the program length.
 //
 // Environment (see bench_common.hpp): PANAGREE_ASES, PANAGREE_SOURCES,
 // PANAGREE_THREADS, and PANAGREE_CAIDA to sweep a real CAIDA as-rel2
@@ -24,30 +32,121 @@
 #include "panagree/diversity/report.hpp"
 #include "panagree/econ/business.hpp"
 #include "panagree/scenario/metrics.hpp"
+#include "panagree/scenario/optimizer.hpp"
 #include "panagree/scenario/sweep.hpp"
 #include "panagree/util/table.hpp"
 
 using namespace panagree;
 using topology::AsId;
 
-int main(int argc, char** argv) {
+namespace {
+
+struct Options {
   std::size_t num_scenarios = 200;
   std::size_t top_k = 10;
   std::uint64_t seed = 4242;
+  bool optimize = false;
+  bool beam_mode = false;       // --optimize beam
+  std::size_t beam_width = 0;   // explicit --beam W, 0 = unset
+  std::size_t max_steps = 4;
+  bool share = true;
+
+  /// Flags are order-insensitive: an explicit --beam always wins, and
+  /// --optimize beam without one defaults to width 2 (greedy = 1).
+  [[nodiscard]] std::size_t resolved_beam_width() const {
+    if (beam_width > 0) {
+      return beam_width;
+    }
+    return beam_mode ? 2 : 1;
+  }
+};
+
+void usage() {
+  std::cerr << "usage: panagree-sweep [scenarios] [top-k] [seed]\n"
+            << "           [--optimize greedy|beam] [--steps N] [--beam W]"
+               " [--no-share]\n";
+}
+
+bool parse_args(int argc, char** argv, Options& options) {
+  std::size_t positional = 0;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--optimize") {
+      if (i + 1 >= argc) {
+        return false;
+      }
+      const std::string mode = argv[++i];
+      if (mode == "greedy") {
+        options.optimize = true;
+        options.beam_mode = false;
+      } else if (mode == "beam") {
+        options.optimize = true;
+        options.beam_mode = true;
+      } else {
+        return false;
+      }
+    } else if (arg == "--steps") {
+      if (i + 1 >= argc) {
+        return false;
+      }
+      options.max_steps = std::stoul(argv[++i]);
+    } else if (arg == "--beam") {
+      if (i + 1 >= argc) {
+        return false;
+      }
+      options.beam_width = std::stoul(argv[++i]);
+    } else if (arg == "--no-share") {
+      options.share = false;
+    } else if (positional == 0) {
+      options.num_scenarios = std::stoul(arg);
+      ++positional;
+    } else if (positional == 1) {
+      options.top_k = std::stoul(arg);
+      ++positional;
+    } else if (positional == 2) {
+      options.seed = std::stoull(arg);
+      ++positional;
+    } else {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::string describe(const scenario::Delta& delta) {
+  std::string out;
+  for (const scenario::LinkChange& link : delta.add) {
+    if (!out.empty()) {
+      out += ", ";
+    }
+    out += (link.type == topology::LinkType::kPeering ? "peer AS" : "transit AS");
+    out += std::to_string(link.a) + " - AS" + std::to_string(link.b);
+  }
+  for (const auto& [x, y] : delta.remove) {
+    if (!out.empty()) {
+      out += ", ";
+    }
+    out += "retire AS" + std::to_string(x) + " - AS" + std::to_string(y);
+  }
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options options;
   try {
-    if (argc > 1) {
-      num_scenarios = std::stoul(argv[1]);
-    }
-    if (argc > 2) {
-      top_k = std::stoul(argv[2]);
-    }
-    if (argc > 3) {
-      seed = std::stoull(argv[3]);
+    if (!parse_args(argc, argv, options)) {
+      usage();
+      return 2;
     }
   } catch (const std::exception&) {
-    std::cerr << "usage: panagree-sweep [scenarios] [top-k] [seed]\n";
+    usage();
     return 2;
   }
+  const std::size_t num_scenarios = options.num_scenarios;
+  const std::size_t top_k = options.top_k;
+  const std::uint64_t seed = options.seed;
 
   try {
     const auto topo = benchcfg::make_internet();
@@ -60,6 +159,75 @@ int main(int argc, char** argv) {
 
     const std::vector<AsId> sources = diversity::sample_sources(
         topo.graph, benchcfg::num_sources(), benchcfg::kSampleSeed);
+
+    if (options.optimize) {
+      const auto candidates =
+          scenario::candidate_peering_deltas(compiled, num_scenarios, seed);
+      if (candidates.size() < num_scenarios) {
+        std::cerr << "[sweep] only " << candidates.size()
+                  << " distinct candidates available\n";
+      }
+      const std::size_t beam_width = options.resolved_beam_width();
+      scenario::OptimizerConfig config;
+      config.max_steps = options.max_steps;
+      config.beam_width = beam_width;
+      config.sweep.threads = benchcfg::num_threads();
+      config.sweep.dirty_radius = scenario::kLength3DirtyRadius;
+      config.share_recomputes = options.share;
+      const scenario::Optimizer optimizer(compiled, sources, aggregator,
+                                          config);
+      const scenario::OptimizerResult result = optimizer.run(candidates);
+
+      std::cout << "== panagree-sweep --optimize "
+                << (beam_width > 1 ? "beam" : "greedy") << ": "
+                << candidates.size() << " candidates, "
+                << topo.graph.num_ases() << " ASes, beam "
+                << beam_width << ", max " << options.max_steps
+                << " steps ==\n"
+                << "baseline over " << sources.size()
+                << " sources: " << result.baseline.grc_paths << " GRC + "
+                << result.baseline.ma_paths << " MA paths, "
+                << result.baseline.grc_pairs + result.baseline.ma_extra_pairs
+                << " reachable pairs, fees "
+                << util::format_double(result.baseline.transit_fees, 1)
+                << "\n\n";
+      util::Table table({"step", "deployment", "marginal utility",
+                         "cumulative utility", "new paths", "new pairs",
+                         "fee delta", "mean km delta"});
+      for (std::size_t i = 0; i < result.steps.size(); ++i) {
+        const scenario::PlannedStep& step = result.steps[i];
+        table.add_row(
+            {std::to_string(i + 1), describe(step.delta),
+             util::format_double(step.marginal_utility, 2),
+             util::format_double(step.cumulative_utility, 2),
+             util::format_double(step.marginal.paths, 0),
+             util::format_double(step.marginal.pairs, 0),
+             util::format_double(step.marginal.transit_fees, 2),
+             util::format_double(step.marginal.mean_best_geodistance_km,
+                                 2)});
+      }
+      table.print(std::cout);
+      const scenario::OptimizerStats& stats = result.stats;
+      std::cout << "\nwork: " << stats.primed_sources
+                << " sources primed once, " << stats.recomputed_sources
+                << " per-source recomputes across " << stats.scored_candidates
+                << " candidate scorings (" << stats.reused_evaluations
+                << " served from the shared dirty-set cache"
+                << (options.share ? "" : ", sharing disabled") << ")\n"
+                << "program utility "
+                << util::format_double(
+                       result.steps.empty()
+                           ? 0.0
+                           : result.steps.back().cumulative_utility,
+                       2)
+                << " vs baseline; utility = fees saved + "
+                << scenario::UtilityWeights{}.per_new_pair
+                << " * new reachable pairs - "
+                << scenario::UtilityWeights{}.per_km_regression
+                << " * mean-geodistance regression (km), per unit demand.\n";
+      return 0;
+    }
+
     scenario::SweepConfig config;
     config.threads = benchcfg::num_threads();
     config.dirty_radius = scenario::kLength3DirtyRadius;
