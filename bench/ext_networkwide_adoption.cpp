@@ -51,10 +51,14 @@ struct SourceRoutes {
 
 int main() {
   std::cout << "== Extension: network-wide MA adoption (§VIII outlook) ==\n";
-  auto topo = benchcfg::make_internet(/*synthetic_cap=*/4000);
-  const auto& g = topo.graph;
-  const topology::CompiledTopology compiled(g);
+  const auto net = benchcfg::load_internet(/*synthetic_cap=*/4000);
+  const auto& g = net.graph();
+  const topology::CompiledTopology& compiled = net.compiled();
   benchjson::ResultWriter json("ext_networkwide_adoption", g);
+  json.add("topology_load", 0.0,
+           {{"load_ms", net.load_ms()},
+            {"peak_rss_kb", static_cast<double>(benchcfg::peak_rss_kb())},
+            {"from_snapshot", net.from_snapshot() ? 1.0 : 0.0}});
 
   // Gravity demands (volume units per accounting period).
   util::Rng rng(99);
@@ -64,7 +68,7 @@ int main() {
   const auto demands = traffic::generate_gravity_demands(g, gravity, rng);
 
   const econ::Economy economy = econ::make_default_economy(g);
-  const scenario::MetricsAggregator aggregator(compiled, &topo.world,
+  const scenario::MetricsAggregator aggregator(compiled, &net.world(),
                                                &economy);
 
   // Per-source routing tables are independent: the sweep runner computes
@@ -89,7 +93,7 @@ int main() {
     const scenario::SourcePathSet sets =
         scenario::enumerate_length3(overlay, src);
     SourceRoutes table;
-    for (const auto& p : sets.grc) {
+    for (const auto& p : sets.grc()) {
       const double km =
           aggregator.path_geodistance_km(overlay, p.src, p.mid, p.dst);
       auto& slot = table.grc[p.dst];
@@ -98,7 +102,7 @@ int main() {
       }
     }
     table.ma = table.grc;  // GRC paths remain available under MAs
-    for (const auto& p : sets.ma) {
+    for (const auto& p : sets.ma()) {
       const double km =
           aggregator.path_geodistance_km(overlay, p.src, p.mid, p.dst);
       auto& slot = table.ma[p.dst];

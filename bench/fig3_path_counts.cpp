@@ -74,12 +74,12 @@ void print_cdf_table(const std::vector<diversity::ScenarioRow>& rows,
 int main() {
   std::cout << "== Figure 3: length-3 paths per AS under MA conclusion "
                "degrees ==\n";
-  const auto topo = benchcfg::make_internet();
+  const auto net = benchcfg::load_internet();
   diversity::DiversityParams params;
   params.sample_sources = benchcfg::num_sources();
   params.seed = benchcfg::kSampleSeed;
   params.threads = benchcfg::num_threads();
-  const auto report = diversity::analyze_path_diversity(topo.graph, params);
+  const auto report = diversity::analyze_path_diversity(net.graph(), params);
 
   std::cout << "analyzed sources: " << report.sources.size() << "\n\n";
   print_cdf_table(report.path_rows, "fig3");

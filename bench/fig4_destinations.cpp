@@ -22,12 +22,12 @@ using namespace panagree;
 
 int main() {
   std::cout << "== Figure 4: destinations reachable over length-3 paths ==\n";
-  const auto topo = benchcfg::make_internet();
+  const auto net = benchcfg::load_internet();
   diversity::DiversityParams params;
   params.sample_sources = benchcfg::num_sources();
   params.seed = benchcfg::kSampleSeed;
   params.threads = benchcfg::num_threads();
-  const auto report = diversity::analyze_path_diversity(topo.graph, params);
+  const auto report = diversity::analyze_path_diversity(net.graph(), params);
   std::cout << "analyzed sources: " << report.sources.size() << "\n\n";
 
   std::vector<double> grc, top1, top5, top50, star, all;
@@ -62,7 +62,7 @@ int main() {
   // threshold number of destinations, GRC vs full MA. On the CAIDA graph
   // the threshold is 5,000 of ~70k ASes; we scale it to graph size.
   const double threshold =
-      5000.0 * static_cast<double>(topo.graph.num_ases()) / 70000.0;
+      5000.0 * static_cast<double>(net.graph().num_ases()) / 70000.0;
   util::Table readout({"metric", "GRC", "MA", "paper GRC", "paper MA"});
   readout.add_row(
       {"share of ASes with > " + util::format_double(threshold, 0) +

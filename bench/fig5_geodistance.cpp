@@ -25,11 +25,11 @@ using namespace panagree;
 
 int main() {
   std::cout << "== Figure 5: geodistance of MA paths vs. GRC baselines ==\n";
-  auto topo = benchcfg::make_internet();
+  const auto net = benchcfg::load_internet();
   const auto sources = diversity::sample_sources(
-      topo.graph, benchcfg::num_sources(), benchcfg::kSampleSeed);
+      net.graph(), benchcfg::num_sources(), benchcfg::kSampleSeed);
   const auto report =
-      diversity::analyze_geodistance(topo.graph, topo.world, sources);
+      diversity::analyze_geodistance(net.graph(), net.world(), sources);
   std::cout << "analyzed AS pairs: " << report.pairs.size() << "\n\n";
 
   // ---- Fig. 5a ----

@@ -23,10 +23,10 @@ using namespace panagree;
 
 int main() {
   std::cout << "== Figure 6: bandwidth of MA paths vs. GRC baselines ==\n";
-  auto topo = benchcfg::make_internet();
+  const auto net = benchcfg::load_internet();
   const auto sources = diversity::sample_sources(
-      topo.graph, benchcfg::num_sources(), benchcfg::kSampleSeed);
-  const auto report = diversity::analyze_bandwidth(topo.graph, sources);
+      net.graph(), benchcfg::num_sources(), benchcfg::kSampleSeed);
+  const auto report = diversity::analyze_bandwidth(net.graph(), sources);
   std::cout << "analyzed AS pairs: " << report.pairs.size() << "\n\n";
 
   std::vector<double> above_max, above_median, above_min, increases;

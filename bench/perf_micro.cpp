@@ -15,6 +15,7 @@
 
 #include <algorithm>
 #include <cstring>
+#include <filesystem>
 #include <memory>
 #include <string>
 #include <unordered_set>
@@ -35,6 +36,8 @@
 #include "panagree/scenario/metrics.hpp"
 #include "panagree/scenario/sweep.hpp"
 #include "panagree/sim/engine.hpp"
+#include "panagree/storage/snapshot.hpp"
+#include "panagree/topology/capacity.hpp"
 #include "panagree/topology/compiled.hpp"
 #include "panagree/topology/examples.hpp"
 #include "panagree/topology/generator.hpp"
@@ -346,7 +349,7 @@ const std::vector<scenario::Delta>& sweep_deltas() {
 }
 
 std::size_t path_set_checksum(const scenario::SourcePathSet& sets) {
-  return sets.grc.size() + 3 * sets.ma.size();
+  return sets.grc().size() + 3 * sets.ma().size();
 }
 
 void BM_ScenarioSweep_FullRecompute(benchmark::State& state) {
@@ -499,6 +502,68 @@ void BM_Optimizer_Greedy(benchmark::State& state) {
       static_cast<double>(result.stats.recomputed_sources);
 }
 BENCHMARK(BM_Optimizer_Greedy)->Arg(4)->Unit(benchmark::kMillisecond);
+
+// ---------------------------------------------- snapshot storage pair
+//
+// Startup-cost pair of the storage layer (ISSUE: >= 10x at the 3000-AS
+// fixture). BM_SnapshotLoad_EmbedRecompile is the status-quo startup every
+// tool paid per invocation before .pansnap files: embed the bare
+// relationship graph into a synthetic world (RNG-driven PoP/centroid/
+// facility assignment - the expensive part) and compile the CSR snapshot.
+// BM_SnapshotLoad_Mmap maps the compiled snapshot instead: header/section
+// validation, Graph/World materialization, and a zero-copy borrow of the
+// CSR arrays. Only the Mmap side runs in the pinned bench suite; the
+// baseline exists to keep the speedup measured, not asserted.
+
+const std::string& snapshot_fixture() {
+  static const std::string path = [] {
+    const std::string file = (std::filesystem::temp_directory_path() /
+                              "panagree_perf_micro.pansnap")
+                                 .string();
+    storage::write_snapshot(file, cached_topology(), cached_compiled());
+    return file;
+  }();
+  return path;
+}
+
+void BM_SnapshotLoad_Mmap(benchmark::State& state) {
+  const std::string& path = snapshot_fixture();
+  std::size_t checksum = 0;
+  for (auto _ : state) {
+    const storage::MappedSnapshot snapshot =
+        storage::MappedSnapshot::open(path);
+    checksum = snapshot.topology().num_links() +
+               snapshot.graph().num_ases() +
+               snapshot.world().cities().size();
+    benchmark::DoNotOptimize(checksum);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          cached_topology().graph.num_links());
+  state.counters["checksum"] = static_cast<double>(checksum);
+}
+BENCHMARK(BM_SnapshotLoad_Mmap)->Unit(benchmark::kMillisecond);
+
+void BM_SnapshotLoad_EmbedRecompile(benchmark::State& state) {
+  const topology::Graph& base = cached_topology().graph;
+  std::size_t checksum = 0;
+  for (auto _ : state) {
+    // embed consumes its graph, so the copy is part of the startup cost
+    // being measured (a real run would pay the caida::parse instead);
+    // capacity assignment is included because the pre-snapshot startup
+    // (benchcfg::make_internet) always ran it and the snapshot stores
+    // capacities instead.
+    topology::GeneratedTopology embedded =
+        topology::embed_relationship_graph(topology::Graph(base), 99);
+    topology::assign_degree_gravity_capacities(embedded.graph);
+    const topology::CompiledTopology compiled(embedded.graph);
+    checksum = compiled.num_links() + embedded.graph.num_ases() +
+               embedded.world.cities().size();
+    benchmark::DoNotOptimize(checksum);
+  }
+  state.SetItemsProcessed(state.iterations() * base.num_links());
+  state.counters["checksum"] = static_cast<double>(checksum);
+}
+BENCHMARK(BM_SnapshotLoad_EmbedRecompile)->Unit(benchmark::kMillisecond);
 
 void BM_BoscoExpectedNash(benchmark::State& state) {
   const bosco::UniformDistribution dist(-1.0, 1.0);

@@ -184,17 +184,21 @@ int main() {
   std::cout << "\n== Ablation (c): exhaustive single-round ranking vs. "
                "greedy deployment program ==\n";
   try {
-    const auto topo = benchcfg::make_internet(/*synthetic_cap=*/1500);
-    const topology::CompiledTopology compiled(topo.graph);
-    const econ::Economy economy = econ::make_default_economy(topo.graph);
-    const scenario::MetricsAggregator aggregator(compiled, &topo.world,
+    const auto net = benchcfg::load_internet(/*synthetic_cap=*/1500);
+    const topology::CompiledTopology& compiled = net.compiled();
+    const econ::Economy economy = econ::make_default_economy(net.graph());
+    const scenario::MetricsAggregator aggregator(compiled, &net.world(),
                                                  &economy);
     const std::vector<topology::AsId> sources = diversity::sample_sources(
-        topo.graph, benchcfg::num_sources(), benchcfg::kSampleSeed);
+        net.graph(), benchcfg::num_sources(), benchcfg::kSampleSeed);
     const std::size_t threads = benchcfg::num_threads();
     const auto candidates = scenario::candidate_peering_deltas(
         compiled, benchcfg::env_size("PANAGREE_SCENARIOS", 48), 4242);
-    benchjson::ResultWriter writer("tab_agreement_optimization", topo.graph);
+    benchjson::ResultWriter writer("tab_agreement_optimization", net.graph());
+    writer.add("topology_load", 0.0,
+               {{"load_ms", net.load_ms()},
+                {"peak_rss_kb", static_cast<double>(benchcfg::peak_rss_kb())},
+                {"from_snapshot", net.from_snapshot() ? 1.0 : 0.0}});
 
     // Exhaustive: one round, every candidate pays a full per-source
     // enumeration (the shared pre-optimizer reference ranking).

@@ -93,7 +93,7 @@ class AsyncState {
     }
     // Best permitted path consistent with rib-in knowledge.
     Path best;
-    for (const Path& candidate : instance_->permitted(node)) {
+    for (const paths::PathView candidate : instance_->permitted(node)) {
       if (candidate.size() < 2) {
         continue;
       }
@@ -105,7 +105,7 @@ class AsyncState {
       if (neighbor_path.size() + 1 == candidate.size() &&
           std::equal(neighbor_path.begin(), neighbor_path.end(),
                      candidate.begin() + 1)) {
-        best = candidate;
+        best = candidate.to_path();
         break;  // permitted paths are ranked best-first
       }
     }

@@ -1,18 +1,22 @@
 #include "panagree/bgp/spp.hpp"
 
 #include <algorithm>
+#include <limits>
 #include <set>
 
 namespace panagree::bgp {
 
 SppInstance::SppInstance(std::size_t num_nodes, AsId origin)
-    : origin_(origin), permitted_(num_nodes) {
+    : origin_(origin), runs_(num_nodes) {
   util::require(origin < num_nodes, "SppInstance: origin out of range");
-  permitted_[origin] = {Path{origin}};
+  // The origin owns exactly its trivial path.
+  pool_.push_back(origin);
+  slices_.push_back(pool_.slice_of(0));
+  runs_[origin] = Run{0, 1};
 }
 
 void SppInstance::set_permitted(AsId node, std::vector<Path> ranked) {
-  util::require(node < permitted_.size(), "set_permitted: node out of range");
+  util::require(node < runs_.size(), "set_permitted: node out of range");
   util::require(node != origin_,
                 "set_permitted: the origin's path is fixed to itself");
   for (const Path& p : ranked) {
@@ -24,16 +28,29 @@ void SppInstance::set_permitted(AsId node, std::vector<Path> ranked) {
     util::require(seen.size() == p.size(),
                   "set_permitted: path must be simple");
   }
-  permitted_[node] = std::move(ranked);
+  util::require(slices_.size() + ranked.size() <
+                    std::numeric_limits<std::uint32_t>::max(),
+                "set_permitted: too many permitted paths");
+  const auto first = static_cast<std::uint32_t>(slices_.size());
+  for (const Path& p : ranked) {
+    slices_.push_back(pool_.intern(p));
+  }
+  runs_[node] = Run{first, static_cast<std::uint32_t>(ranked.size())};
 }
 
-const std::vector<Path>& SppInstance::permitted(AsId node) const {
-  util::require(node < permitted_.size(), "permitted: node out of range");
-  return permitted_[node];
+paths::PathListView SppInstance::permitted(AsId node) const {
+  util::require(node < runs_.size(), "permitted: node out of range");
+  const Run& run = runs_[node];
+  return {pool_, std::span<const paths::PathPool::Slice>(
+                     slices_.data() + run.first, run.count)};
+}
+
+std::vector<Path> SppInstance::permitted_paths(AsId node) const {
+  return permitted(node).materialize();
 }
 
 int SppInstance::rank_of(AsId node, const Path& path) const {
-  const auto& paths = permitted(node);
+  const paths::PathListView paths = permitted(node);
   for (std::size_t i = 0; i < paths.size(); ++i) {
     if (paths[i] == path) {
       return static_cast<int>(i);
@@ -44,7 +61,7 @@ int SppInstance::rank_of(AsId node, const Path& path) const {
 
 std::vector<AsId> SppInstance::next_hops(AsId node) const {
   std::set<AsId> hops;
-  for (const Path& p : permitted(node)) {
+  for (const paths::PathView p : permitted(node)) {
     if (p.size() >= 2) {
       hops.insert(p[1]);
     }
@@ -53,12 +70,16 @@ std::vector<AsId> SppInstance::next_hops(AsId node) const {
 }
 
 void SppInstance::validate() const {
-  for (AsId node = 0; node < permitted_.size(); ++node) {
-    std::set<Path> unique(permitted_[node].begin(), permitted_[node].end());
-    util::require(unique.size() == permitted_[node].size(),
+  for (AsId node = 0; node < runs_.size(); ++node) {
+    const paths::PathListView paths = permitted(node);
+    std::set<Path> unique;
+    for (const paths::PathView p : paths) {
+      unique.insert(p.to_path());
+    }
+    util::require(unique.size() == paths.size(),
                   "SppInstance: duplicate permitted path");
     if (node == origin_) {
-      util::require(permitted_[node] == std::vector<Path>{Path{origin_}},
+      util::require(paths.size() == 1 && paths[0] == Path{origin_},
                     "SppInstance: origin must hold exactly its trivial path");
     }
   }
@@ -70,8 +91,7 @@ Path best_available_path(const SppInstance& instance, AsId node,
     return Path{node};
   }
   // A permitted path u.v.rest is available iff v currently selects v.rest.
-  const auto& ranked = instance.permitted(node);
-  for (const Path& candidate : ranked) {
+  for (const paths::PathView candidate : instance.permitted(node)) {
     if (candidate.size() < 2) {
       continue;  // only the origin owns a length-1 path
     }
@@ -80,7 +100,7 @@ Path best_available_path(const SppInstance& instance, AsId node,
     if (next_path.size() + 1 == candidate.size() &&
         std::equal(next_path.begin(), next_path.end(),
                    candidate.begin() + 1)) {
-      return candidate;
+      return candidate.to_path();
     }
   }
   return {};
@@ -118,8 +138,8 @@ void enumerate(const SppInstance& instance, AsId node, Assignment& current,
   // Try the empty path and every permitted path.
   current[node] = {};
   enumerate(instance, node + 1, current, found, limit);
-  for (const Path& p : instance.permitted(node)) {
-    current[node] = p;
+  for (const paths::PathView p : instance.permitted(node)) {
+    current[node] = p.to_path();
     enumerate(instance, node + 1, current, found, limit);
   }
   current[node] = {};

@@ -7,10 +7,19 @@
 // (SPVP) over this structure; see simulator.hpp. DISAGREE, BAD GADGET and
 // the BGP-wedgie instances of §II are built in gadgets.hpp, and Gao-Rexford
 // policies are compiled into SPP instances in policy.hpp.
+//
+// Storage: permitted paths are interned into one paths::PathPool arena
+// (offset-based slices over a single contiguous AS-id buffer) instead of a
+// vector of vector of vectors - at CAIDA scale an instance holds millions
+// of short paths, and one heap block per path does not survive that.
+// permitted() hands out a PathListView window; callers that need owning
+// std::vector paths materialize them per path (PathView::to_path) or per
+// node (permitted_paths).
 #pragma once
 
 #include <vector>
 
+#include "panagree/paths/path_pool.hpp"
 #include "panagree/topology/graph.hpp"
 
 namespace panagree::bgp {
@@ -28,11 +37,21 @@ class SppInstance {
 
   /// Sets the ranked permitted paths of `node` (most preferred first).
   /// Every path must start at `node`, end at the origin, and be simple.
+  /// Re-setting a node replaces its list (the retired paths stay interned
+  /// in the arena until the instance is destroyed; lists are expected to
+  /// be set once per node, as policy compilation does).
   void set_permitted(AsId node, std::vector<Path> ranked);
 
-  [[nodiscard]] const std::vector<Path>& permitted(AsId node) const;
+  /// The ranked permitted paths of `node` as a zero-copy window into the
+  /// path arena. Valid until the next set_permitted call.
+  [[nodiscard]] paths::PathListView permitted(AsId node) const;
+
+  /// permitted() materialized into owning paths (adapter for callers that
+  /// need std::vector semantics; allocates per path).
+  [[nodiscard]] std::vector<Path> permitted_paths(AsId node) const;
+
   [[nodiscard]] AsId origin() const { return origin_; }
-  [[nodiscard]] std::size_t num_nodes() const { return permitted_.size(); }
+  [[nodiscard]] std::size_t num_nodes() const { return runs_.size(); }
 
   /// Rank of `path` at `node` (0 = most preferred); -1 if not permitted.
   [[nodiscard]] int rank_of(AsId node, const Path& path) const;
@@ -44,8 +63,17 @@ class SppInstance {
   void validate() const;
 
  private:
+  /// One node's permitted list: a run of slices in slices_.
+  struct Run {
+    std::uint32_t first = 0;
+    std::uint32_t count = 0;
+  };
+
   AsId origin_;
-  std::vector<std::vector<Path>> permitted_;
+  paths::PathPool pool_;
+  /// Slice table; each node's Run indexes a contiguous range of it.
+  std::vector<paths::PathPool::Slice> slices_;
+  std::vector<Run> runs_;
 };
 
 /// A path assignment: one selected path (possibly empty) per node.

@@ -46,6 +46,23 @@ World World::make_default(util::Rng& rng, std::size_t cities_per_region) {
   return world;
 }
 
+World World::restore(std::vector<Region> regions, std::vector<City> cities) {
+  for (const City& city : cities) {
+    util::require(city.region < regions.size(),
+                  "World::restore: city region out of range");
+  }
+  for (const Region& region : regions) {
+    for (const std::size_t id : region.city_ids) {
+      util::require(id < cities.size(),
+                    "World::restore: region city id out of range");
+    }
+  }
+  World world;
+  world.regions_ = std::move(regions);
+  world.cities_ = std::move(cities);
+  return world;
+}
+
 const City& World::city(std::size_t id) const {
   util::require(id < cities_.size(), "World::city: id out of range");
   return cities_[id];

@@ -38,6 +38,13 @@ class World {
   /// scatter around the region centers.
   static World make_default(util::Rng& rng, std::size_t cities_per_region = 40);
 
+  /// Rebuilds a world from its region and city tables (the storage layer's
+  /// snapshot reader). Validates the cross-references: every city's region
+  /// index and every region's city ids must be in range. Throws
+  /// util::PreconditionError on violation.
+  [[nodiscard]] static World restore(std::vector<Region> regions,
+                                     std::vector<City> cities);
+
   [[nodiscard]] const std::vector<Region>& regions() const { return regions_; }
   [[nodiscard]] const std::vector<City>& cities() const { return cities_; }
   [[nodiscard]] const City& city(std::size_t id) const;

@@ -16,7 +16,7 @@ SourcePathSet enumerate_length3(const Overlay& overlay, AsId src) {
   enumerator.visit_paths(src, 3, paths::ValleyFreeStep{},
                          [&](const paths::Path& path) {
                            if (path.size() == 3) {
-                             out.grc.push_back({path[0], path[1], path[2]});
+                             out.add_grc({path[0], path[1], path[2]});
                            }
                            return true;
                          });
@@ -24,7 +24,7 @@ SourcePathSet enumerate_length3(const Overlay& overlay, AsId src) {
                          paths::BasicMaLength3Step<Overlay>(overlay, true),
                          [&](const paths::Path& path) {
                            if (path.size() == 3) {
-                             out.ma.push_back({path[0], path[1], path[2]});
+                             out.add_ma({path[0], path[1], path[2]});
                            }
                            return true;
                          });
@@ -182,8 +182,8 @@ SourceContribution MetricsAggregator::contribution(
     scratch.added_facilities_.clear();
   }
   SourceContribution out;
-  out.grc_paths = result.grc.size();
-  out.ma_paths = result.ma.size();
+  out.grc_paths = result.grc().size();
+  out.ma_paths = result.ma().size();
 
   const topology::Graph& graph = base_->graph();
   const auto km_of =
@@ -220,10 +220,10 @@ SourceContribution MetricsAggregator::contribution(
       slot.has_km = true;
     }
   };
-  for (const diversity::Length3Path& p : result.grc) {
+  for (const diversity::Length3Path& p : result.grc()) {
     consider(p, /*grc=*/true);
   }
-  for (const diversity::Length3Path& p : result.ma) {
+  for (const diversity::Length3Path& p : result.ma()) {
     consider(p, /*grc=*/false);
   }
 

@@ -35,6 +35,7 @@
 #include "panagree/diversity/geodistance.hpp"
 #include "panagree/diversity/length3.hpp"
 #include "panagree/econ/business.hpp"
+#include "panagree/paths/path_pool.hpp"
 #include "panagree/scenario/overlay.hpp"
 
 namespace panagree::scenario {
@@ -42,12 +43,38 @@ namespace panagree::scenario {
 /// The per-source unit of the canonical sweep: every GRC length-3 path of
 /// the source plus every MA-only path, in engine enumeration order (so
 /// equality is byte-equality of a full recompute).
-struct SourcePathSet {
-  std::vector<diversity::Length3Path> grc;
-  std::vector<diversity::Length3Path> ma;
+///
+/// Storage is interned: both sets live in one paths::BasicPathPool arena
+/// (GRC paths first, then MA), and grc()/ma() are offset-based slices of
+/// that single contiguous buffer. SweepRunner caches one of these per
+/// source, so the hot incremental-sweep path holds exactly one heap block
+/// per cached source instead of the old vector-of-vector pair.
+class SourcePathSet {
+ public:
+  /// Appends a GRC path. All GRC paths must be added before any MA path.
+  void add_grc(const diversity::Length3Path& path) {
+    PANAGREE_ASSERT(grc_count_ == pool_.size());
+    pool_.push_back(path);
+    ++grc_count_;
+  }
+
+  /// Appends an MA-only path.
+  void add_ma(const diversity::Length3Path& path) { pool_.push_back(path); }
+
+  [[nodiscard]] std::span<const diversity::Length3Path> grc() const {
+    return pool_.view({0, static_cast<std::uint32_t>(grc_count_)});
+  }
+  [[nodiscard]] std::span<const diversity::Length3Path> ma() const {
+    return pool_.view({grc_count_,
+                       static_cast<std::uint32_t>(pool_.size() - grc_count_)});
+  }
 
   friend bool operator==(const SourcePathSet&,
                          const SourcePathSet&) = default;
+
+ private:
+  paths::BasicPathPool<diversity::Length3Path> pool_;
+  std::size_t grc_count_ = 0;
 };
 
 /// Enumerates the §VI length-3 path sets of `src` over the overlaid

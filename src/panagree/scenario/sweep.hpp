@@ -28,6 +28,12 @@
 // Results of sources outside the ball are assumed (and asserted by tests,
 // not at runtime) to equal their baseline values.
 //
+// The canonical Result (scenario::SourcePathSet) interns its path sets
+// into one paths::BasicPathPool arena per source, so the runner's cache
+// holds one contiguous slice pair per source rather than a vector of
+// vectors - at CAIDA-scale source counts the difference is the cache
+// fitting in memory at all.
+//
 // Deployment *programs* (ordered step sequences, scenario::Program) ride
 // on the same machinery: rebase() folds a committed step into the cached
 // state, so the cache is always keyed by the current program prefix, and

@@ -19,6 +19,13 @@
 // The snapshot holds a pointer to the source Graph (for link/AS metadata)
 // and must not outlive it. Links or ASes added to the Graph after
 // compilation are not visible in the snapshot - recompile to pick them up.
+//
+// The CSR arrays live either in snapshot-owned vectors (the compile()
+// constructor) or in externally owned memory (borrow(), used by
+// storage::MappedSnapshot to serve the arrays zero-copy out of a
+// memory-mapped .pansnap file). Accessors read through spans, so both modes
+// share every code path; the raw-array accessors expose the arrays to the
+// storage writer.
 #pragma once
 
 #include <cstdint>
@@ -38,21 +45,40 @@ class CompiledTopology {
     AsId neighbor = kInvalidAs;
     std::uint32_t link = 0;  ///< index into graph().links()
     NeighborRole role = NeighborRole::kPeer;
+
+    friend bool operator==(const Entry&, const Entry&) = default;
   };
 
   /// Compiles a snapshot of `graph`. O(A + L log L) time, O(A + L) space.
   explicit CompiledTopology(const Graph& graph);
 
-  [[nodiscard]] std::size_t num_ases() const { return row_start_.size() - 1; }
-  [[nodiscard]] std::size_t num_links() const { return entries_.size() / 2; }
+  /// A zero-copy view over externally owned CSR arrays that must be exactly
+  /// what compiling `graph` would produce (storage::MappedSnapshot
+  /// validates and serves them out of a mapped .pansnap file). The arrays
+  /// and `graph` must outlive the snapshot; only structural sizes are
+  /// checked here.
+  [[nodiscard]] static CompiledTopology borrow(
+      const Graph& graph, std::span<const std::uint32_t> row_start,
+      std::span<const std::uint32_t> providers_end,
+      std::span<const std::uint32_t> peers_end, std::span<const Entry> entries);
+
+  // Spans must re-point at the destination's owned vectors on copy/move,
+  // so the special members are spelled out.
+  CompiledTopology(const CompiledTopology& other);
+  CompiledTopology& operator=(const CompiledTopology& other);
+  CompiledTopology(CompiledTopology&& other) noexcept;
+  CompiledTopology& operator=(CompiledTopology&& other) noexcept;
+  ~CompiledTopology() = default;
+
+  [[nodiscard]] std::size_t num_ases() const { return num_ases_; }
+  [[nodiscard]] std::size_t num_links() const { return num_entries_ / 2; }
   [[nodiscard]] const Graph& graph() const { return *graph_; }
 
   /// All neighbors of `as`: providers, then peers, then customers (each
   /// group sorted ascending by id). Zero-copy.
   [[nodiscard]] std::span<const Entry> entries(AsId as) const {
     check(as);
-    return {entries_.data() + row_start_[as],
-            entries_.data() + row_start_[as + 1]};
+    return {entries_ + row_start_[as], entries_ + row_start_[as + 1]};
   }
 
   /// Invokes `fn(entry)` for every adjacency entry of `as` in row order.
@@ -70,22 +96,19 @@ class CompiledTopology {
   /// pi(X) as a span of entries.
   [[nodiscard]] std::span<const Entry> providers(AsId as) const {
     check(as);
-    return {entries_.data() + row_start_[as],
-            entries_.data() + providers_end_[as]};
+    return {entries_ + row_start_[as], entries_ + providers_end_[as]};
   }
 
   /// eps(X) as a span of entries.
   [[nodiscard]] std::span<const Entry> peers(AsId as) const {
     check(as);
-    return {entries_.data() + providers_end_[as],
-            entries_.data() + peers_end_[as]};
+    return {entries_ + providers_end_[as], entries_ + peers_end_[as]};
   }
 
   /// gamma(X) as a span of entries.
   [[nodiscard]] std::span<const Entry> customers(AsId as) const {
     check(as);
-    return {entries_.data() + peers_end_[as],
-            entries_.data() + row_start_[as + 1]};
+    return {entries_ + peers_end_[as], entries_ + row_start_[as + 1]};
   }
 
   [[nodiscard]] std::size_t degree(AsId as) const {
@@ -140,9 +163,34 @@ class CompiledTopology {
     return is_provider_of(provider, customer);
   }
 
+  /// The raw CSR arrays (the storage layer serializes these verbatim).
+  [[nodiscard]] std::span<const std::uint32_t> row_start_array() const {
+    return {row_start_, num_ases_ + 1};
+  }
+  [[nodiscard]] std::span<const std::uint32_t> providers_end_array() const {
+    return {providers_end_, num_ases_};
+  }
+  [[nodiscard]] std::span<const std::uint32_t> peers_end_array() const {
+    return {peers_end_, num_ases_};
+  }
+  [[nodiscard]] std::span<const Entry> entry_array() const {
+    return {entries_, num_entries_};
+  }
+
+  /// True when the CSR arrays live in snapshot-owned vectors (false for
+  /// borrow()ed views, e.g. over a memory-mapped file).
+  [[nodiscard]] bool owns_storage() const { return owns_; }
+
  private:
+  CompiledTopology() = default;  // borrow() assembles the members itself
+
+  /// Points the access pointers at the owned vectors.
+  void point_at_owned() noexcept;
+  /// Copy/move helper: re-point at own storage (owning) or copy the
+  /// borrowed views.
+  void adopt_views_from(const CompiledTopology& other);
   [[nodiscard]] bool in_range(AsId as) const {
-    return static_cast<std::size_t>(as) < num_ases();
+    return static_cast<std::size_t>(as) < num_ases_;
   }
 
   void check(AsId as) const {
@@ -164,13 +212,24 @@ class CompiledTopology {
     return NeighborRole::kPeer;
   }
 
-  const Graph* graph_;
-  /// Row offsets into entries_, size num_ases() + 1.
-  std::vector<std::uint32_t> row_start_;
-  /// Absolute end offset of the provider (resp. peer) group per row.
-  std::vector<std::uint32_t> providers_end_;
-  std::vector<std::uint32_t> peers_end_;
-  std::vector<Entry> entries_;
+  /// Hot lookup state first (raw pointers into the owned vectors or into
+  /// borrowed memory - one load per access, measured faster than spans on
+  /// the role-lookup microbench). row_start_ holds row offsets into
+  /// entries_, num_ases_ + 1 values; providers_end_/peers_end_ the
+  /// absolute end offset of the provider (resp. peer) group per row.
+  const std::uint32_t* row_start_ = nullptr;
+  const std::uint32_t* providers_end_ = nullptr;
+  const std::uint32_t* peers_end_ = nullptr;
+  const Entry* entries_ = nullptr;
+  std::size_t num_ases_ = 0;
+  std::size_t num_entries_ = 0;
+  const Graph* graph_ = nullptr;
+  bool owns_ = true;
+  /// Backing storage in owning mode; empty when borrowed.
+  std::vector<std::uint32_t> owned_row_start_;
+  std::vector<std::uint32_t> owned_providers_end_;
+  std::vector<std::uint32_t> owned_peers_end_;
+  std::vector<Entry> owned_entries_;
 };
 
 }  // namespace panagree::topology

@@ -17,6 +17,55 @@ AsId Graph::add_as(std::string name) {
   return id;
 }
 
+Graph Graph::restore(std::vector<AsInfo> infos, std::vector<Link> links) {
+  Graph g;
+  g.infos_ = std::move(infos);
+  g.links_ = std::move(links);
+  const std::size_t n = g.infos_.size();
+  g.adjacency_.resize(n);
+  g.name_index_.reserve(n);
+  for (AsId as = 0; as < n; ++as) {
+    const std::string& name = g.infos_[as].name;
+    util::require(!name.empty(), "Graph::restore: empty AS name");
+    util::require(g.name_index_.emplace(name, as).second,
+                  "Graph::restore: duplicate AS name");
+  }
+  g.link_index_.reserve(g.links_.size());
+  // Two passes: size the adjacency vectors exactly, then fill them in
+  // link-id order (the order sequential add_* calls would have produced).
+  std::vector<std::uint32_t> providers(n, 0), peers(n, 0), customers(n, 0);
+  for (const Link& l : g.links_) {
+    util::require(l.a < n && l.b < n,
+                  "Graph::restore: link endpoint out of range");
+    util::require(l.a != l.b, "Graph::restore: self-loop");
+    if (l.type == LinkType::kProviderCustomer) {
+      ++customers[l.a];
+      ++providers[l.b];
+    } else {
+      ++peers[l.a];
+      ++peers[l.b];
+    }
+  }
+  for (AsId as = 0; as < n; ++as) {
+    g.adjacency_[as].providers.reserve(providers[as]);
+    g.adjacency_[as].peers.reserve(peers[as]);
+    g.adjacency_[as].customers.reserve(customers[as]);
+  }
+  for (LinkId id = 0; id < g.links_.size(); ++id) {
+    const Link& l = g.links_[id];
+    util::require(g.link_index_.emplace(pair_key(l.a, l.b), id),
+                  "Graph::restore: duplicate link pair");
+    if (l.type == LinkType::kProviderCustomer) {
+      g.adjacency_[l.a].customers.push_back(l.b);
+      g.adjacency_[l.b].providers.push_back(l.a);
+    } else {
+      g.adjacency_[l.a].peers.push_back(l.b);
+      g.adjacency_[l.b].peers.push_back(l.a);
+    }
+  }
+  return g;
+}
+
 std::uint64_t Graph::pair_key(AsId x, AsId y) {
   const AsId lo = std::min(x, y);
   const AsId hi = std::max(x, y);
@@ -102,11 +151,11 @@ std::size_t Graph::degree(AsId as) const {
 }
 
 std::optional<LinkId> Graph::link_between(AsId x, AsId y) const {
-  const auto it = link_index_.find(pair_key(x, y));
-  if (it == link_index_.end()) {
+  const auto id = link_index_.find(pair_key(x, y));
+  if (!id.has_value()) {
     return std::nullopt;
   }
-  return it->second;
+  return static_cast<LinkId>(*id);
 }
 
 std::optional<NeighborRole> Graph::role_of(AsId x, AsId y) const {

@@ -15,6 +15,7 @@
 
 #include "panagree/geo/coordinates.hpp"
 #include "panagree/util/error.hpp"
+#include "panagree/util/pair_index.hpp"
 
 namespace panagree::topology {
 
@@ -73,6 +74,17 @@ class Graph {
  public:
   /// Adds an AS and returns its id. Name defaults to "AS<id>".
   AsId add_as(std::string name = {});
+
+  /// Rebuilds a graph from its node and link tables - the bulk-load path
+  /// of the storage layer's snapshot reader. Equivalent to replaying
+  /// add_as/add_peering/add_provider_customer in id order (so adjacency
+  /// rows come out in link-id order, exactly like the original
+  /// construction) and then restoring the stored per-AS and per-link
+  /// metadata. Validates names (unique, non-empty), link endpoints
+  /// (in-range, no self-loops), and pair uniqueness; throws
+  /// util::PreconditionError on violation.
+  [[nodiscard]] static Graph restore(std::vector<AsInfo> infos,
+                                     std::vector<Link> links);
 
   /// Adds a provider->customer link; rejects self-loops and duplicate pairs.
   LinkId add_provider_customer(AsId provider, AsId customer);
@@ -157,7 +169,9 @@ class Graph {
   std::vector<AsInfo> infos_;
   std::vector<Adjacency> adjacency_;
   std::vector<Link> links_;
-  std::unordered_map<std::uint64_t, LinkId> link_index_;
+  /// Flat (lo, hi) pair -> link id index (see util/pair_index.hpp; the
+  /// unordered_map it replaced dominated snapshot-restore time).
+  util::PairIndex link_index_;
   std::unordered_map<std::string, AsId> name_index_;
 };
 

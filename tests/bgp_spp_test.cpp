@@ -183,7 +183,8 @@ TEST(GaoRexfordSpp, PermittedPathsAreValleyFreeAndRankedByClass) {
       continue;
     }
     int prev_class = -1;
-    for (const Path& p : spp.permitted(node)) {
+    for (const paths::PathView view : spp.permitted(node)) {
+      const Path p = view.to_path();
       EXPECT_TRUE(is_valley_free(t.graph, p));
       const int cls = route_relationship_class(t.graph, p);
       EXPECT_GE(cls, prev_class);

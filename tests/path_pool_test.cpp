@@ -1,0 +1,164 @@
+// Tests of the interned path storage (paths::PathPool and friends) and of
+// bgp::SppInstance's migration onto it.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "panagree/bgp/policy.hpp"
+#include "panagree/bgp/simulator.hpp"
+#include "panagree/bgp/spp.hpp"
+#include "panagree/paths/path_pool.hpp"
+#include "panagree/topology/examples.hpp"
+#include "panagree/topology/generator.hpp"
+
+namespace panagree::paths {
+namespace {
+
+using topology::AsId;
+
+TEST(PathPool, InternAndViewRoundTrip) {
+  PathPool pool;
+  const std::vector<AsId> a{1, 2, 3};
+  const std::vector<AsId> b{7};
+  const PathPool::Slice sa = pool.intern(a);
+  const PathPool::Slice sb = pool.intern(b);
+  EXPECT_EQ(pool.size(), 4u);
+  EXPECT_EQ(PathView(pool.view(sa)), a);
+  EXPECT_EQ(PathView(pool.view(sb)), b);
+  EXPECT_EQ(sa.offset, 0u);
+  EXPECT_EQ(sb.offset, 3u);
+}
+
+TEST(PathPool, SlicesSurviveArenaGrowth) {
+  PathPool pool;
+  const std::vector<AsId> first{42, 43};
+  const PathPool::Slice slice = pool.intern(first);
+  // Force reallocation: offsets (not pointers) must stay valid.
+  for (AsId i = 0; i < 100000; ++i) {
+    pool.push_back(i);
+  }
+  EXPECT_EQ(PathView(pool.view(slice)), first);
+}
+
+TEST(PathPool, IncrementalBuildViaSliceOf) {
+  PathPool pool;
+  const std::size_t begin = pool.size();
+  pool.push_back(5);
+  pool.push_back(6);
+  const PathPool::Slice slice = pool.slice_of(begin);
+  EXPECT_EQ(PathView(pool.view(slice)), (std::vector<AsId>{5, 6}));
+}
+
+TEST(PathView, ComparesAgainstVectorsAndViews) {
+  const std::vector<AsId> path{1, 2, 3};
+  const std::vector<AsId> other{1, 2, 4};
+  const PathView view(path);
+  EXPECT_EQ(view, path);
+  EXPECT_TRUE(view == path);
+  EXPECT_FALSE(view == other);
+  EXPECT_EQ(view.to_path(), path);
+  EXPECT_EQ(view.front(), 1u);
+  EXPECT_EQ(view.back(), 3u);
+  EXPECT_TRUE(PathView().empty());
+}
+
+TEST(PathListView, ElementwiseEquality) {
+  PathPool pool;
+  std::vector<PathPool::Slice> slices;
+  slices.push_back(pool.intern(std::vector<AsId>{1, 2}));
+  slices.push_back(pool.intern(std::vector<AsId>{3}));
+  const PathListView list(pool, slices);
+  ASSERT_EQ(list.size(), 2u);
+  EXPECT_EQ(list[0], (std::vector<AsId>{1, 2}));
+  EXPECT_EQ(list[1], (std::vector<AsId>{3}));
+  const auto materialized = list.materialize();
+  EXPECT_EQ(materialized,
+            (std::vector<std::vector<AsId>>{{1, 2}, {3}}));
+  EXPECT_EQ(list, list);
+  const PathListView shorter(
+      pool, std::span<const PathPool::Slice>(slices.data(), 1));
+  EXPECT_FALSE(list == shorter);
+}
+
+}  // namespace
+}  // namespace panagree::paths
+
+namespace panagree::bgp {
+namespace {
+
+using topology::AsId;
+
+TEST(SppPooledStorage, PermittedMatchesMaterializedAdapter) {
+  SppInstance spp(4, 0);
+  spp.set_permitted(1, {{1, 2, 0}, {1, 0}});
+  spp.set_permitted(2, {{2, 0}});
+  EXPECT_EQ(spp.permitted_paths(1),
+            (std::vector<Path>{{1, 2, 0}, {1, 0}}));
+  EXPECT_EQ(spp.permitted_paths(2), (std::vector<Path>{{2, 0}}));
+  EXPECT_TRUE(spp.permitted(3).empty());
+  EXPECT_EQ(spp.permitted(1).size(), 2u);
+  EXPECT_EQ(spp.permitted(1)[1], Path({1, 0}));
+}
+
+TEST(SppPooledStorage, ResettingANodeReplacesItsList) {
+  SppInstance spp(3, 0);
+  spp.set_permitted(1, {{1, 2, 0}, {1, 0}});
+  spp.set_permitted(1, {{1, 0}});
+  EXPECT_EQ(spp.permitted_paths(1), (std::vector<Path>{{1, 0}}));
+  EXPECT_EQ(spp.rank_of(1, {1, 2, 0}), -1);
+  EXPECT_EQ(spp.rank_of(1, {1, 0}), 0);
+  spp.validate();
+}
+
+TEST(SppPooledStorage, ValidateStillCatchesDuplicates) {
+  SppInstance spp(3, 0);
+  spp.set_permitted(1, {{1, 0}, {1, 2, 0}});
+  spp.validate();
+  // Duplicates are rejected at validate() time, as before the migration.
+  SppInstance dup(3, 0);
+  dup.set_permitted(1, {{1, 0}, {1, 0}});
+  EXPECT_THROW(dup.validate(), util::PreconditionError);
+}
+
+TEST(SppPooledStorage, PolicyCompiledInstanceBehavesAsBefore) {
+  const auto t = topology::make_fig1();
+  const SppInstance spp = make_gao_rexford_spp(t.graph, t.I);
+  spp.validate();
+  // The pooled instance must drive the simulator exactly like the old
+  // vector-of-vector one: Gao-Rexford policies converge.
+  const SpvpResult result = run_synchronous(spp);
+  EXPECT_EQ(result.outcome, Outcome::kConverged);
+  for (AsId node = 0; node < spp.num_nodes(); ++node) {
+    // permitted() and the materializing adapter agree path-for-path.
+    const paths::PathListView view = spp.permitted(node);
+    const std::vector<Path> paths = spp.permitted_paths(node);
+    ASSERT_EQ(view.size(), paths.size());
+    for (std::size_t i = 0; i < paths.size(); ++i) {
+      EXPECT_EQ(view[i], paths[i]);
+    }
+  }
+}
+
+TEST(SppPooledStorage, LargeInstanceHoldsOneArena) {
+  // A policy compile over a generated topology: thousands of paths, all
+  // interned; spot-check ranks and next hops against the materialized
+  // adapter.
+  topology::GeneratorParams params;
+  params.num_ases = 200;
+  params.tier1_count = 4;
+  params.seed = 12;
+  const auto topo = topology::generate_internet(params);
+  const SppInstance spp = make_gao_rexford_spp(topo.graph, 0);
+  for (AsId node = 1; node < spp.num_nodes(); node += 17) {
+    const std::vector<Path> paths = spp.permitted_paths(node);
+    for (std::size_t i = 0; i < paths.size(); ++i) {
+      EXPECT_EQ(spp.rank_of(node, paths[i]), static_cast<int>(i));
+    }
+    for (const AsId hop : spp.next_hops(node)) {
+      EXPECT_LT(hop, spp.num_nodes());
+    }
+  }
+}
+
+}  // namespace
+}  // namespace panagree::bgp

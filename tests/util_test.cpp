@@ -4,14 +4,67 @@
 #include <cmath>
 #include <set>
 #include <sstream>
+#include <unordered_map>
 
 #include "panagree/util/error.hpp"
+#include "panagree/util/pair_index.hpp"
 #include "panagree/util/rng.hpp"
 #include "panagree/util/stats.hpp"
 #include "panagree/util/table.hpp"
 
 namespace panagree::util {
 namespace {
+
+// ------------------------------------------------------------ PairIndex
+
+TEST(PairIndex, EmplaceFindContains) {
+  PairIndex index;
+  EXPECT_TRUE(index.empty());
+  EXPECT_FALSE(index.contains(42));
+  EXPECT_EQ(index.find(42), std::nullopt);
+  EXPECT_TRUE(index.emplace(42, 7));
+  EXPECT_FALSE(index.emplace(42, 8));  // duplicate key rejected
+  EXPECT_EQ(index.size(), 1u);
+  EXPECT_TRUE(index.contains(42));
+  EXPECT_EQ(index.find(42), std::optional<std::uint64_t>(7));
+}
+
+TEST(PairIndex, ZeroKeyIsAbsentNotEmptySlot) {
+  PairIndex index;
+  index.emplace(1, 1);
+  // Key 0 is the empty sentinel (a (0, 0) self-loop pair, which Graph
+  // rejects); lookups must report it absent, never match an empty slot.
+  EXPECT_FALSE(index.contains(0));
+  EXPECT_EQ(index.find(0), std::nullopt);
+}
+
+TEST(PairIndex, SurvivesGrowthAndMatchesReference) {
+  PairIndex index;
+  std::unordered_map<std::uint64_t, std::uint64_t> reference;
+  Rng rng(99);
+  for (int i = 0; i < 20000; ++i) {
+    const auto key =
+        static_cast<std::uint64_t>(rng.next() % 30000) + 1;  // collisions
+    const auto value = static_cast<std::uint64_t>(i);
+    EXPECT_EQ(index.emplace(key, value),
+              reference.emplace(key, value).second)
+        << "key " << key;
+  }
+  EXPECT_EQ(index.size(), reference.size());
+  for (const auto& [key, value] : reference) {
+    EXPECT_EQ(index.find(key), std::optional<std::uint64_t>(value));
+  }
+  EXPECT_FALSE(index.contains(30001));
+}
+
+TEST(PairIndex, ReserveDoesNotDisturbContents) {
+  PairIndex index;
+  index.emplace(5, 50);
+  index.reserve(100000);
+  EXPECT_EQ(index.find(5), std::optional<std::uint64_t>(50));
+  index.emplace(6, 60);
+  EXPECT_EQ(index.size(), 2u);
+}
 
 // ------------------------------------------------------------------- Rng
 

@@ -1,0 +1,136 @@
+// panagree-compile: turn a topology into a memory-mappable .pansnap
+// snapshot - the one-time startup cost every later tool and bench skips.
+//
+//   panagree-compile <out.pansnap> [--caida FILE | --synthetic N]
+//       [--seed S]
+//
+// Input selection mirrors bench_common: an explicit --caida/--synthetic
+// flag wins; otherwise PANAGREE_CAIDA (or the synthetic generator at
+// PANAGREE_ASES) decides, so `panagree-compile out.pansnap` freezes
+// exactly the topology the benches would build themselves. The graph is
+// embedded in the synthetic world (tiers, PoPs, facilities), degree-gravity
+// capacities are assigned, the CSR snapshot is compiled, and everything is
+// written as one versioned binary file. Consumers mmap it back with
+// --snapshot FILE or PANAGREE_SNAPSHOT=FILE.
+#include <algorithm>
+#include <chrono>
+#include <iostream>
+#include <string>
+
+#include "bench_common.hpp"
+#include "panagree/storage/snapshot.hpp"
+
+using namespace panagree;
+
+namespace {
+
+void usage() {
+  std::cerr << "usage: panagree-compile <out.pansnap>"
+               " [--caida FILE | --synthetic N] [--seed S]\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string output;
+  std::string caida;
+  std::size_t synthetic = 0;
+  std::uint64_t seed = benchcfg::kTopologySeed;
+  try {
+    for (int i = 1; i < argc; ++i) {
+      const std::string arg = argv[i];
+      if (arg == "--caida") {
+        if (i + 1 >= argc) {
+          usage();
+          return 2;
+        }
+        caida = argv[++i];
+      } else if (arg == "--synthetic") {
+        if (i + 1 >= argc) {
+          usage();
+          return 2;
+        }
+        synthetic = std::stoul(argv[++i]);
+      } else if (arg == "--seed") {
+        if (i + 1 >= argc) {
+          usage();
+          return 2;
+        }
+        seed = std::stoull(argv[++i]);
+      } else if (output.empty() && !arg.starts_with("--")) {
+        output = arg;
+      } else {
+        usage();
+        return 2;
+      }
+    }
+  } catch (const std::exception&) {
+    usage();
+    return 2;
+  }
+  if (output.empty()) {
+    usage();
+    return 2;
+  }
+
+  try {
+    const auto start = std::chrono::steady_clock::now();
+    topology::GeneratedTopology topo;
+    if (!caida.empty()) {
+      auto dataset = topology::caida::parse_file(caida);
+      topo = topology::embed_relationship_graph(std::move(dataset.graph),
+                                                seed);
+      std::cerr << "[compile] CAIDA " << caida << ": "
+                << topo.graph.num_ases() << " ASes, "
+                << topo.graph.num_links() << " links\n";
+    } else if (synthetic > 0) {
+      topology::GeneratorParams params = benchcfg::internet_params();
+      params.num_ases = synthetic;
+      params.seed = seed;
+      topo = topology::generate_internet(params);
+      std::cerr << "[compile] synthetic: " << topo.graph.num_ases()
+                << " ASes, " << topo.graph.num_links() << " links (seed "
+                << seed << ")\n";
+    } else if (const char* env = benchcfg::caida_path()) {
+      auto dataset = topology::caida::parse_file(env);
+      topo = topology::embed_relationship_graph(std::move(dataset.graph),
+                                                seed);
+      std::cerr << "[compile] CAIDA " << env << " (PANAGREE_CAIDA): "
+                << topo.graph.num_ases() << " ASes, "
+                << topo.graph.num_links() << " links\n";
+    } else {
+      topology::GeneratorParams params = benchcfg::internet_params();
+      params.seed = seed;
+      topo = topology::generate_internet(params);
+      std::cerr << "[compile] synthetic: " << topo.graph.num_ases()
+                << " ASes, " << topo.graph.num_links() << " links (seed "
+                << seed << ")\n";
+    }
+    topology::assign_degree_gravity_capacities(topo.graph);
+    const topology::CompiledTopology compiled(topo.graph);
+    storage::write_snapshot(output, topo, compiled);
+    const double total_ms = std::chrono::duration<double, std::milli>(
+                                std::chrono::steady_clock::now() - start)
+                                .count();
+
+    // Verify the round trip before declaring success: the mmap'd view
+    // must be byte-identical to the in-process compile.
+    const auto snapshot = storage::MappedSnapshot::open(output);
+    const bool identical =
+        std::ranges::equal(snapshot.topology().row_start_array(),
+                           compiled.row_start_array()) &&
+        std::ranges::equal(snapshot.topology().entry_array(),
+                           compiled.entry_array());
+    if (!identical) {
+      std::cerr << "[compile] round-trip verification FAILED\n";
+      return 1;
+    }
+    std::cerr << "[compile] wrote " << output << ": "
+              << snapshot.file_bytes() << " bytes in " << total_ms
+              << " ms (round-trip verified)\n";
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+  return 0;
+}

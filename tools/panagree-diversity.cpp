@@ -4,12 +4,19 @@
 //
 //   panagree-diversity <as-rel2-file> [sources] [seed]
 //   panagree-diversity --synthetic <num_ases> [sources] [seed]
+//   panagree-diversity --snapshot <file.pansnap> [sources] [seed]
+//
+// --snapshot mmaps a compiled topology snapshot (see panagree-compile)
+// instead of re-parsing an as-rel2 file - the startup path for repeated
+// analyses of CAIDA-scale graphs.
 //
 // Prints the Figure 3/4 scenario statistics and the §VI-A aggregates.
 #include <iostream>
+#include <optional>
 #include <string>
 
 #include "panagree/diversity/report.hpp"
+#include "panagree/storage/snapshot.hpp"
 #include "panagree/topology/caida.hpp"
 #include "panagree/topology/generator.hpp"
 #include "panagree/util/table.hpp"
@@ -20,11 +27,14 @@ int main(int argc, char** argv) {
   if (argc < 2) {
     std::cerr << "usage: panagree-diversity <as-rel2-file> [sources] [seed]\n"
               << "       panagree-diversity --synthetic <num_ases> [sources] "
-                 "[seed]\n";
+                 "[seed]\n"
+              << "       panagree-diversity --snapshot <file.pansnap> "
+                 "[sources] [seed]\n";
     return 2;
   }
   try {
-    topology::Graph graph;
+    topology::Graph owned;
+    std::optional<storage::MappedSnapshot> snapshot;
     int arg = 2;
     if (std::string(argv[1]) == "--synthetic") {
       if (argc < 3) {
@@ -34,11 +44,19 @@ int main(int argc, char** argv) {
       topology::GeneratorParams params;
       params.num_ases = std::stoul(argv[2]);
       params.seed = 424242;
-      graph = topology::generate_internet(params).graph;
+      owned = topology::generate_internet(params).graph;
+      arg = 3;
+    } else if (std::string(argv[1]) == "--snapshot") {
+      if (argc < 3) {
+        std::cerr << "--snapshot requires a file argument\n";
+        return 2;
+      }
+      snapshot.emplace(storage::MappedSnapshot::open(argv[2]));
       arg = 3;
     } else {
-      graph = topology::caida::parse_file(argv[1]).graph;
+      owned = topology::caida::parse_file(argv[1]).graph;
     }
+    const topology::Graph& graph = snapshot ? snapshot->graph() : owned;
     diversity::DiversityParams params;
     params.sample_sources = argc > arg ? std::stoul(argv[arg]) : 500;
     params.seed = argc > arg + 1 ? std::stoull(argv[arg + 1]) : 7;

@@ -4,6 +4,7 @@
 //
 //   panagree-sweep [scenarios] [top-k] [seed]
 //       [--optimize greedy|beam] [--steps N] [--beam W] [--no-share]
+//       [--snapshot FILE]
 //
 // Defaults: 200 candidate deployments, top 10 shown, seed 4242. Every
 // candidate is a single new peering link between two ASes that share a
@@ -23,7 +24,10 @@
 //
 // Environment (see bench_common.hpp): PANAGREE_ASES, PANAGREE_SOURCES,
 // PANAGREE_THREADS, and PANAGREE_CAIDA to sweep a real CAIDA as-rel2
-// topology instead of the synthetic one.
+// topology instead of the synthetic one. --snapshot FILE (or
+// PANAGREE_SNAPSHOT) mmaps a compiled .pansnap instead of re-embedding -
+// the CSR arrays are served zero-copy out of the file, so repeated sweeps
+// of a CAIDA-scale graph skip the entire startup pipeline.
 #include <algorithm>
 #include <iostream>
 #include <string>
@@ -50,6 +54,7 @@ struct Options {
   std::size_t beam_width = 0;   // explicit --beam W, 0 = unset
   std::size_t max_steps = 4;
   bool share = true;
+  std::string snapshot;  // --snapshot FILE (empty = PANAGREE_SNAPSHOT/env)
 
   /// Flags are order-insensitive: an explicit --beam always wins, and
   /// --optimize beam without one defaults to width 2 (greedy = 1).
@@ -64,7 +69,8 @@ struct Options {
 void usage() {
   std::cerr << "usage: panagree-sweep [scenarios] [top-k] [seed]\n"
             << "           [--optimize greedy|beam] [--steps N] [--beam W]"
-               " [--no-share]\n";
+               " [--no-share]\n"
+            << "           [--snapshot FILE]\n";
 }
 
 bool parse_args(int argc, char** argv, Options& options) {
@@ -95,6 +101,11 @@ bool parse_args(int argc, char** argv, Options& options) {
         return false;
       }
       options.beam_width = std::stoul(argv[++i]);
+    } else if (arg == "--snapshot") {
+      if (i + 1 >= argc) {
+        return false;
+      }
+      options.snapshot = argv[++i];
     } else if (arg == "--no-share") {
       options.share = false;
     } else if (positional == 0) {
@@ -149,16 +160,18 @@ int main(int argc, char** argv) {
   const std::uint64_t seed = options.seed;
 
   try {
-    const auto topo = benchcfg::make_internet();
-    const topology::CompiledTopology compiled(topo.graph);
-    const econ::Economy economy = econ::make_default_economy(topo.graph);
-    // A CAIDA graph is embedded with synthetic geodata, so the world is
-    // always usable here.
-    const scenario::MetricsAggregator aggregator(compiled, &topo.world,
+    const auto net = benchcfg::load_internet(
+        /*synthetic_cap=*/0,
+        options.snapshot.empty() ? nullptr : options.snapshot.c_str());
+    const topology::CompiledTopology& compiled = net.compiled();
+    const econ::Economy economy = econ::make_default_economy(net.graph());
+    // A CAIDA graph is embedded with synthetic geodata (and a snapshot
+    // stores the world tables), so the world is always usable here.
+    const scenario::MetricsAggregator aggregator(compiled, &net.world(),
                                                  &economy);
 
     const std::vector<AsId> sources = diversity::sample_sources(
-        topo.graph, benchcfg::num_sources(), benchcfg::kSampleSeed);
+        net.graph(), benchcfg::num_sources(), benchcfg::kSampleSeed);
 
     if (options.optimize) {
       const auto candidates =
@@ -181,7 +194,7 @@ int main(int argc, char** argv) {
       std::cout << "== panagree-sweep --optimize "
                 << (beam_width > 1 ? "beam" : "greedy") << ": "
                 << candidates.size() << " candidates, "
-                << topo.graph.num_ases() << " ASes, beam "
+                << net.graph().num_ases() << " ASes, beam "
                 << beam_width << ", max " << options.max_steps
                 << " steps ==\n"
                 << "baseline over " << sources.size()
@@ -290,7 +303,7 @@ int main(int argc, char** argv) {
     const std::size_t source_scenarios = deltas.size() * sources.size();
     std::cout << "== panagree-sweep: " << deltas.size()
               << " candidate peering deployments over "
-              << topo.graph.num_ases() << " ASes ==\n"
+              << net.graph().num_ases() << " ASes ==\n"
               << "per-source recomputes: " << recomputed_total << " of "
               << source_scenarios << " source-scenarios";
     if (source_scenarios > 0) {
