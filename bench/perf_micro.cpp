@@ -35,6 +35,7 @@
 #include "panagree/paths/parallel.hpp"
 #include "panagree/scenario/metrics.hpp"
 #include "panagree/scenario/sweep.hpp"
+#include "panagree/serve/query_engine.hpp"
 #include "panagree/sim/engine.hpp"
 #include "panagree/storage/snapshot.hpp"
 #include "panagree/topology/capacity.hpp"
@@ -564,6 +565,163 @@ void BM_SnapshotLoad_EmbedRecompile(benchmark::State& state) {
   state.counters["checksum"] = static_cast<double>(checksum);
 }
 BENCHMARK(BM_SnapshotLoad_EmbedRecompile)->Unit(benchmark::kMillisecond);
+
+// ------------------------------------------------- serving engine trio
+//
+// The acceptance workload of the serving layer: a primed
+// serve::QueryEngine over the 3000-AS fixture and the shared 500-source
+// sample. CachedSource measures the request fast path (sampled source
+// served zero-copy out of the PathPool-backed cache - this is what the
+// pinned bench suite gates); ColdSource the on-the-fly enumeration of an
+// unsampled source; WhatIfBatched the incremental what-if scoring of 100
+// candidate deployments (memo flushed per batch, so the
+// invalidation-ball evaluation is measured, not the memo hit).
+// WhatIfFullRecompute is the preserved per-request baseline - every
+// request re-enumerates all 500 sources over its overlay - that the
+// serving layer's >= 5x acceptance ratio is measured against; like the
+// other *_FullRecompute ablations it stays out of the pinned suite.
+
+serve::QueryEngine& cached_engine() {
+  // Leaked on purpose: the engine is not movable (shared mutex) and
+  // static-destruction order vs the other cached fixtures is moot for a
+  // bench binary.
+  static serve::QueryEngine* engine = [] {
+    auto* built =
+        new serve::QueryEngine(cached_compiled(), &cached_topology().world,
+                               &cached_economy(), sweep_sources(), {});
+    built->prime();
+    return built;
+  }();
+  return *engine;
+}
+
+void BM_QueryEngine_CachedSource(benchmark::State& state) {
+  const serve::QueryEngine& engine = cached_engine();
+  const auto& sources = sweep_sources();
+  // 1024 requests per iteration: a single cache-served request is tens
+  // of nanoseconds, below the regression checker's noise floor - the
+  // batch keeps this entry comparable in the pinned suite.
+  constexpr std::size_t kBatch = 1024;
+  std::size_t checksum = 0;
+  for (auto _ : state) {
+    // Reset per iteration like the other checksum benches: the counter
+    // is a cross-run correctness fingerprint, so it must not depend on
+    // how many iterations the runner picks.
+    checksum = 0;
+    for (std::size_t r = 0; r < kBatch; ++r) {
+      engine.paths(sources[r % sources.size()],
+                   [&](std::span<const diversity::Length3Path> grc,
+                       std::span<const diversity::Length3Path> ma) {
+                     checksum += grc.size() + 3 * ma.size();
+                   });
+    }
+    benchmark::DoNotOptimize(checksum);
+  }
+  state.SetItemsProcessed(state.iterations() * kBatch);
+  state.counters["checksum"] = static_cast<double>(checksum);
+}
+BENCHMARK(BM_QueryEngine_CachedSource);
+
+void BM_QueryEngine_ColdSource(benchmark::State& state) {
+  const serve::QueryEngine& engine = cached_engine();
+  // The unsampled sources - every query pays a fresh enumeration.
+  std::vector<topology::AsId> cold;
+  {
+    const auto& sources = sweep_sources();
+    const std::unordered_set<topology::AsId> sampled(sources.begin(),
+                                                     sources.end());
+    const auto n =
+        static_cast<topology::AsId>(cached_topology().graph.num_ases());
+    for (topology::AsId as = 0; as < n; ++as) {
+      if (!sampled.contains(as)) {
+        cold.push_back(as);
+      }
+    }
+  }
+  std::size_t i = 0;
+  std::size_t checksum = 0;
+  for (auto _ : state) {
+    // Rotating fixture: reset so the counter reports the last source's
+    // fingerprint, independent of iteration count.
+    checksum = 0;
+    engine.paths(cold[i % cold.size()],
+                 [&](std::span<const diversity::Length3Path> grc,
+                     std::span<const diversity::Length3Path> ma) {
+                   checksum += grc.size() + 3 * ma.size();
+                 });
+    ++i;
+    benchmark::DoNotOptimize(checksum);
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.counters["checksum"] = static_cast<double>(checksum);
+}
+BENCHMARK(BM_QueryEngine_ColdSource);
+
+void BM_QueryEngine_WhatIfBatched(benchmark::State& state) {
+  const serve::QueryEngine& engine = cached_engine();
+  const auto& deltas = sweep_deltas();
+  double utility_sum = 0.0;
+  double recomputed = 0.0;
+  for (auto _ : state) {
+    engine.flush_whatif_memo();
+    utility_sum = 0.0;
+    recomputed = 0.0;
+    for (const scenario::Delta& delta : deltas) {
+      const serve::WhatIfResult result = engine.whatif(delta);
+      utility_sum += result.utility;
+      recomputed += static_cast<double>(result.recomputed_sources);
+    }
+    benchmark::DoNotOptimize(utility_sum);
+  }
+  state.SetItemsProcessed(state.iterations() * deltas.size());
+  state.counters["utility_sum"] = utility_sum;
+  state.counters["recomputed_sources_per_request"] =
+      recomputed / static_cast<double>(deltas.size());
+}
+BENCHMARK(BM_QueryEngine_WhatIfBatched)->Unit(benchmark::kMillisecond);
+
+void BM_QueryEngine_WhatIfFullRecompute(benchmark::State& state) {
+  // The pre-serving way to answer one what-if request: enumerate every
+  // sampled source over the request's overlay and aggregate from
+  // scratch, serially like a request handler would. 8 requests per
+  // iteration keep the ablation affordable; items normalize the rate.
+  const auto& compiled = cached_compiled();
+  const auto& sources = sweep_sources();
+  const scenario::MetricsAggregator aggregator(
+      compiled, &cached_topology().world, &cached_economy());
+  const scenario::Overlay base(compiled);
+  const scenario::ScenarioMetrics baseline = [&] {
+    std::vector<scenario::SourcePathSet> results;
+    results.reserve(sources.size());
+    for (const topology::AsId src : sources) {
+      results.push_back(scenario::enumerate_length3(base, src));
+    }
+    return aggregator.aggregate(base, sources, results);
+  }();
+  const auto& deltas = sweep_deltas();
+  const std::size_t requests = std::min<std::size_t>(8, deltas.size());
+  double utility_sum = 0.0;
+  for (auto _ : state) {
+    utility_sum = 0.0;
+    for (std::size_t i = 0; i < requests; ++i) {
+      scenario::Overlay overlay(compiled);
+      overlay.apply(deltas[i]);
+      std::vector<scenario::SourcePathSet> results;
+      results.reserve(sources.size());
+      for (const topology::AsId src : sources) {
+        results.push_back(scenario::enumerate_length3(overlay, src));
+      }
+      const scenario::MetricsDelta marginal = scenario::subtract(
+          aggregator.aggregate(overlay, sources, results), baseline);
+      utility_sum += scenario::operator_utility(marginal);
+    }
+    benchmark::DoNotOptimize(utility_sum);
+  }
+  state.SetItemsProcessed(state.iterations() * requests);
+  state.counters["utility_sum"] = utility_sum;
+}
+BENCHMARK(BM_QueryEngine_WhatIfFullRecompute)
+    ->Unit(benchmark::kMillisecond);
 
 void BM_BoscoExpectedNash(benchmark::State& state) {
   const bosco::UniformDistribution dist(-1.0, 1.0);

@@ -1,5 +1,6 @@
 #include "panagree/scenario/metrics.hpp"
 
+#include <algorithm>
 #include <limits>
 #include <optional>
 #include <unordered_map>
@@ -227,7 +228,22 @@ SourceContribution MetricsAggregator::contribution(
     consider(p, /*grc=*/false);
   }
 
+  // Fold in ascending destination order, not hash-bucket order: the
+  // float sums must be a pure function of (overlay, result), or a
+  // contribution computed with a fresh Scratch would differ at ULP level
+  // from one computed mid-sequence with a grown bucket array - and the
+  // serving layer splices independently computed contributions into
+  // cached ones (byte-identity contract).
+  auto& dsts = scratch.dst_order_;
+  dsts.clear();
+  dsts.reserve(best.size());
   for (const auto& [dst, slot] : best) {
+    dsts.emplace_back(dst, &slot);
+  }
+  std::sort(dsts.begin(), dsts.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  for (const auto& [dst, slot_ptr] : dsts) {
+    const Best& slot = *slot_ptr;
     if (slot.grc_reachable) {
       ++out.grc_pairs;
     } else {

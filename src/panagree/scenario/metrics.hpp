@@ -208,6 +208,10 @@ class MetricsAggregator {
     };
     const Overlay* overlay_ = nullptr;
     std::unordered_map<AsId, Best> best_;
+    /// Reused sort buffer: contribution() folds destinations in sorted
+    /// order so its float sums are history-independent (see the .cpp).
+    /// Pointers stay valid during the fold (best_ is not mutated).
+    std::vector<std::pair<AsId, const Best*>> dst_order_;
     /// Estimated facilities keyed by overlay-added link id (valid for
     /// overlay_ only).
     std::unordered_map<std::uint32_t, std::vector<std::size_t>>

@@ -1,0 +1,76 @@
+#include "panagree/serve/client.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace panagree::serve {
+
+ClientConnection::ClientConnection(std::uint16_t port) {
+  fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd_ < 0) {
+    throw ClientError(std::string("socket: ") + std::strerror(errno));
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::connect(fd_, reinterpret_cast<const sockaddr*>(&addr),
+                sizeof(addr)) != 0) {
+    const std::string message = "cannot connect to 127.0.0.1:" +
+                                std::to_string(port) + ": " +
+                                std::strerror(errno);
+    ::close(fd_);
+    fd_ = -1;
+    throw ClientError(message);
+  }
+}
+
+ClientConnection::~ClientConnection() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+  }
+}
+
+void ClientConnection::send_line(std::string_view line) {
+  std::string framed(line);
+  framed.push_back('\n');
+  std::size_t sent = 0;
+  while (sent < framed.size()) {
+    const ssize_t n = ::send(fd_, framed.data() + sent,
+                             framed.size() - sent, MSG_NOSIGNAL);
+    if (n < 0 && errno == EINTR) {
+      continue;
+    }
+    if (n <= 0) {
+      throw ClientError("connection lost while sending");
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+}
+
+std::string ClientConnection::read_line() {
+  for (;;) {
+    const std::size_t newline = buffer_.find('\n');
+    if (newline != std::string::npos) {
+      std::string line = buffer_.substr(0, newline + 1);
+      buffer_.erase(0, newline + 1);
+      return line;
+    }
+    char chunk[4096];
+    const ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+    if (n < 0 && errno == EINTR) {
+      continue;
+    }
+    if (n <= 0) {
+      return {};
+    }
+    buffer_.append(chunk, static_cast<std::size_t>(n));
+  }
+}
+
+}  // namespace panagree::serve

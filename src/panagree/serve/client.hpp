@@ -1,0 +1,43 @@
+// Blocking line-oriented client connection to a panagree-serve daemon -
+// the one implementation of connect / send-line / read-line shared by
+// panagree-query and the serve tests, so the real client and the test
+// client cannot drift from the wire framing.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+namespace panagree::serve {
+
+/// Client-side socket failure (connect refused, connection lost while
+/// sending).
+class ClientError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+class ClientConnection {
+ public:
+  /// Connects to 127.0.0.1:`port`; throws ClientError on failure.
+  explicit ClientConnection(std::uint16_t port);
+  ~ClientConnection();
+
+  ClientConnection(const ClientConnection&) = delete;
+  ClientConnection& operator=(const ClientConnection&) = delete;
+
+  /// Sends one request line (the '\n' frame is appended here). Throws
+  /// ClientError if the connection is lost mid-send.
+  void send_line(std::string_view line);
+
+  /// The next newline-terminated response line (terminator included),
+  /// or the empty string once the server closed the connection.
+  [[nodiscard]] std::string read_line();
+
+ private:
+  int fd_ = -1;
+  std::string buffer_;
+};
+
+}  // namespace panagree::serve

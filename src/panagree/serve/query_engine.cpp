@@ -1,0 +1,313 @@
+#include "panagree/serve/query_engine.hpp"
+
+#include <algorithm>
+#include <string>
+#include <tuple>
+#include <utility>
+
+namespace panagree::serve {
+
+namespace {
+
+scenario::SourcePathSet enumerate(const scenario::Overlay& overlay,
+                                  AsId src) {
+  return scenario::enumerate_length3(overlay, src);
+}
+
+/// Order-insensitive key of a delta: the memo must batch "the same dirty
+/// ball" however the client listed the links. Pair direction is kept for
+/// added links (provider/customer roles) and normalized for removals
+/// (undirected, like Overlay).
+std::string canonical_delta_key(const scenario::Delta& delta) {
+  std::vector<scenario::LinkChange> add = delta.add;
+  std::sort(add.begin(), add.end(),
+            [](const scenario::LinkChange& x, const scenario::LinkChange& y) {
+              return std::tie(x.a, x.b, x.type) < std::tie(y.a, y.b, y.type);
+            });
+  std::vector<std::pair<AsId, AsId>> remove;
+  remove.reserve(delta.remove.size());
+  for (const auto& [x, y] : delta.remove) {
+    remove.emplace_back(std::min(x, y), std::max(x, y));
+  }
+  std::sort(remove.begin(), remove.end());
+  std::string key;
+  for (const scenario::LinkChange& change : add) {
+    key += '+';
+    key += std::to_string(change.a);
+    key += ',';
+    key += std::to_string(change.b);
+    key += change.type == topology::LinkType::kPeering ? 'p' : 't';
+  }
+  for (const auto& [x, y] : remove) {
+    key += '-';
+    key += std::to_string(x);
+    key += ',';
+    key += std::to_string(y);
+  }
+  return key;
+}
+
+[[nodiscard]] DiversityResult to_diversity_result(
+    const scenario::SourceContribution& contribution) {
+  DiversityResult result;
+  result.grc_paths = contribution.grc_paths;
+  result.ma_paths = contribution.ma_paths;
+  result.grc_pairs = contribution.grc_pairs;
+  result.ma_extra_pairs = contribution.ma_extra_pairs;
+  result.mean_best_geodistance_km =
+      contribution.km_pairs > 0
+          ? contribution.km_sum /
+                static_cast<double>(contribution.km_pairs)
+          : 0.0;
+  result.transit_fees = contribution.transit_fees;
+  return result;
+}
+
+}  // namespace
+
+/// The immutable unit the shared_mutex guards: one primed runner cache,
+/// the overlay of its composed state, and the additive per-source
+/// contributions that make whatif scoring an O(sources) fold. rebase()
+/// copies, mutates the copy, and swaps - readers keep old snapshots
+/// alive through the shared_ptr.
+struct QueryEngine::State {
+  State(const topology::CompiledTopology& base, std::vector<AsId> sources,
+        scenario::SweepConfig config)
+      : runner(base, std::move(sources), config), overlay(base) {}
+
+  scenario::SweepRunner<scenario::SourcePathSet> runner;
+  scenario::Overlay overlay;
+  std::vector<scenario::SourceContribution> contribs;
+  scenario::SourceContribution total;
+  scenario::ScenarioMetrics metrics;
+
+  /// Recomputes contribs/total/metrics from the runner's cache (after
+  /// prime or rebase). Pure folds over already-enumerated path sets.
+  void refresh_contributions(const scenario::MetricsAggregator& aggregator) {
+    const std::vector<scenario::SourcePathSet>& cache = runner.baseline();
+    contribs.clear();
+    contribs.reserve(cache.size());
+    total = scenario::SourceContribution{};
+    scenario::MetricsAggregator::Scratch scratch;
+    for (const scenario::SourcePathSet& sets : cache) {
+      contribs.push_back(aggregator.contribution(overlay, sets, scratch));
+      total += contribs.back();
+    }
+    metrics = scenario::finalize(total);
+  }
+};
+
+QueryEngine::QueryEngine(const topology::CompiledTopology& base,
+                         const geo::World* world,
+                         const econ::Economy* economy,
+                         std::vector<AsId> sources, EngineConfig config)
+    : base_(&base),
+      aggregator_(base, world, economy),
+      sources_(std::move(sources)),
+      config_(config) {
+  source_index_.reserve(sources_.size());
+  for (std::size_t i = 0; i < sources_.size(); ++i) {
+    util::require(sources_[i] < base.num_ases(),
+                  "QueryEngine: source out of range");
+    source_index_.emplace(sources_[i], i);
+  }
+}
+
+QueryEngine::~QueryEngine() = default;
+
+void QueryEngine::prime() {
+  const std::lock_guard<std::mutex> writer(rebase_mutex_);
+  {
+    const std::shared_lock<std::shared_mutex> lock(state_mutex_);
+    if (state_ != nullptr) {
+      return;
+    }
+  }
+  scenario::SweepConfig sweep;
+  sweep.threads = config_.threads;
+  sweep.dirty_radius = scenario::kLength3DirtyRadius;
+  auto state = std::make_shared<State>(*base_, sources_, sweep);
+  state->runner.prime(enumerate);
+  state->refresh_contributions(aggregator_);
+  const std::unique_lock<std::shared_mutex> lock(state_mutex_);
+  state_ = std::move(state);
+}
+
+std::shared_ptr<const QueryEngine::State> QueryEngine::snapshot() const {
+  const std::shared_lock<std::shared_mutex> lock(state_mutex_);
+  util::require(state_ != nullptr, "QueryEngine: prime() first");
+  return state_;
+}
+
+std::uint64_t QueryEngine::epoch() const {
+  const std::shared_lock<std::shared_mutex> lock(state_mutex_);
+  return epoch_;
+}
+
+scenario::ScenarioMetrics QueryEngine::state_metrics() const {
+  return snapshot()->metrics;
+}
+
+void QueryEngine::paths(AsId src, const PathsSink& sink) const {
+  const std::shared_ptr<const State> state = snapshot();
+  const auto it = source_index_.find(src);
+  if (it != source_index_.end()) {
+    const scenario::SourcePathSet& sets = state->runner.baseline()[it->second];
+    sink(sets.grc(), sets.ma());
+    return;
+  }
+  util::require(src < base_->num_ases(), "QueryEngine: source out of range");
+  const scenario::SourcePathSet sets = enumerate(state->overlay, src);
+  sink(sets.grc(), sets.ma());
+}
+
+DiversityResult QueryEngine::diversity(AsId src) const {
+  const std::shared_ptr<const State> state = snapshot();
+  const auto it = source_index_.find(src);
+  if (it != source_index_.end()) {
+    return to_diversity_result(state->contribs[it->second]);
+  }
+  util::require(src < base_->num_ases(), "QueryEngine: source out of range");
+  const scenario::SourcePathSet sets = enumerate(state->overlay, src);
+  return to_diversity_result(aggregator_.contribution(state->overlay, sets));
+}
+
+WhatIfResult QueryEngine::compute_whatif(const State& state,
+                                         const scenario::Delta& delta) const {
+  scenario::SweepStats stats;
+  std::vector<std::size_t> dirty_positions;
+  std::vector<scenario::SourceContribution> fresh;
+  scenario::MetricsAggregator::Scratch scratch;
+  state.runner.evaluate_dirty_visit(
+      delta, enumerate,
+      [&](std::size_t i, const scenario::Overlay& overlay,
+          const scenario::SourcePathSet& result) {
+        dirty_positions.push_back(i);
+        fresh.push_back(aggregator_.contribution(overlay, result, scratch));
+      },
+      &stats);
+
+  // Splice the dirty slices into the state's per-source contributions
+  // (fixed source-order association, exactly like the optimizer's fold).
+  scenario::SourceContribution total;
+  std::size_t next = 0;
+  for (std::size_t i = 0; i < state.contribs.size(); ++i) {
+    if (next < dirty_positions.size() && dirty_positions[next] == i) {
+      total += fresh[next];
+      ++next;
+    } else {
+      total += state.contribs[i];
+    }
+  }
+  const scenario::ScenarioMetrics metrics = scenario::finalize(total);
+  const scenario::MetricsDelta marginal =
+      scenario::subtract(metrics, state.metrics);
+
+  WhatIfResult result;
+  result.paths_delta = marginal.paths;
+  result.pairs_delta = marginal.pairs;
+  result.mean_km_delta = marginal.mean_best_geodistance_km;
+  result.fees_delta = marginal.transit_fees;
+  result.utility = scenario::operator_utility(marginal, config_.weights);
+  result.recomputed_sources = stats.recomputed_sources;
+  result.cached_sources = stats.cached_sources;
+  result.ball_size = stats.ball_size;
+  return result;
+}
+
+WhatIfResult QueryEngine::whatif(const scenario::Delta& delta) const {
+  std::shared_ptr<const State> state;
+  std::uint64_t epoch = 0;
+  {
+    const std::shared_lock<std::shared_mutex> lock(state_mutex_);
+    util::require(state_ != nullptr, "QueryEngine: prime() first");
+    state = state_;
+    epoch = epoch_;
+  }
+  if (config_.max_batch == 0) {
+    return compute_whatif(*state, delta);
+  }
+
+  const std::string key = canonical_delta_key(delta);
+  std::shared_future<WhatIfResult> shared;
+  std::promise<WhatIfResult> promise;
+  bool owner = false;
+  {
+    const std::lock_guard<std::mutex> lock(memo_mutex_);
+    const auto it = memo_.find(key);
+    if (it != memo_.end() && it->second.epoch == epoch) {
+      shared = it->second.future;
+    } else if (it != memo_.end() || memo_.size() < config_.max_batch) {
+      shared = promise.get_future().share();
+      memo_[key] = MemoEntry{epoch, shared};
+      owner = true;
+    }
+    // else: batch full - compute unshared below.
+  }
+  if (!owner && shared.valid()) {
+    return shared.get();
+  }
+  if (!owner) {
+    return compute_whatif(*state, delta);
+  }
+  try {
+    WhatIfResult result = compute_whatif(*state, delta);
+    promise.set_value(result);
+    return result;
+  } catch (...) {
+    promise.set_exception(std::current_exception());
+    throw;
+  }
+}
+
+void QueryEngine::rebase(const scenario::Delta& step) {
+  const std::lock_guard<std::mutex> writer(rebase_mutex_);
+  const std::shared_ptr<const State> current = snapshot();
+  // Copy-on-rebase: the expensive work happens on a private clone while
+  // readers keep serving the old snapshot.
+  auto next = std::make_shared<State>(*current);
+  next->runner.rebase(step, enumerate);
+  next->overlay.clear();
+  next->overlay.apply(next->runner.state());
+  next->refresh_contributions(aggregator_);
+  {
+    const std::unique_lock<std::shared_mutex> lock(state_mutex_);
+    state_ = std::move(next);
+    ++epoch_;
+  }
+  flush_whatif_memo();
+}
+
+void QueryEngine::flush_whatif_memo() const {
+  const std::lock_guard<std::mutex> lock(memo_mutex_);
+  memo_.clear();
+}
+
+void QueryEngine::handle_line(std::string_view line, std::string& out) const {
+  std::uint64_t id = 0;
+  try {
+    const Request request = parse_request(line, &id);
+    switch (request.kind) {
+      case RequestKind::kPaths:
+        paths(request.source,
+              [&](std::span<const diversity::Length3Path> grc,
+                  std::span<const diversity::Length3Path> ma) {
+                append_paths_response(out, request.id, request.source, grc,
+                                      ma);
+              });
+        return;
+      case RequestKind::kDiversity:
+        append_diversity_response(out, request.id, request.source,
+                                  diversity(request.source));
+        return;
+      case RequestKind::kWhatIf:
+        append_whatif_response(out, request.id, whatif(request.delta));
+        return;
+    }
+    append_error_response(out, id, "unhandled request kind");
+  } catch (const std::exception& e) {
+    append_error_response(out, id, e.what());
+  }
+}
+
+}  // namespace panagree::serve

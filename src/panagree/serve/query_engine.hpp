@@ -1,0 +1,159 @@
+// The serving layer's query engine: a long-running, thread-safe front end
+// over one topology snapshot and one primed scenario::SweepRunner.
+//
+// Every batch tool in this repo loads, enumerates, prints, and exits; the
+// engine keeps the expensive state resident and answers three request
+// kinds out of it:
+//
+//   * paths      - the §VI GRC + MA length-3 path sets of a source.
+//                  Sampled sources are served zero-copy out of the
+//                  runner's PathPool-backed per-source cache; other
+//                  sources are enumerated on the fly (cold).
+//   * diversity  - the per-source diversity / geodistance / fee
+//                  aggregate (scenario::SourceContribution, finalized).
+//   * whatif     - score a candidate link delta against the current
+//                  state: only the sources inside the delta's
+//                  invalidation ball are re-enumerated (the SweepRunner
+//                  machinery), never a full recompute, and the scenario
+//                  is re-scored in O(sources) additive folds.
+//
+// Concurrency model: read-mostly. The engine state (runner cache,
+// per-source contributions, baseline metrics) lives behind a
+// std::shared_mutex as an immutable shared_ptr snapshot; readers take the
+// shared lock only long enough to copy the pointer and then work lock-free
+// on their snapshot. rebase() (committing a deployment program step) is
+// copy-on-rebase: it clones the state, folds the step into the clone's
+// cache (recomputing only the step's invalidation ball), and swaps the
+// pointer under the exclusive lock - in-flight readers keep their old
+// snapshot alive, so readers never block on a rebase.
+//
+// Epoch batching: concurrent whatif requests for the same delta share one
+// enumeration. The first requester installs a shared future keyed by the
+// canonical delta; later requesters (same epoch) wait on it instead of
+// re-walking the dirty ball. rebase() bumps the epoch and drops the memo
+// - cached scores are only ever served against the state they were
+// computed on. The memo is bounded (max_batch): past the cap requests
+// compute unshared rather than grow memory.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <shared_mutex>
+#include <span>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "panagree/econ/business.hpp"
+#include "panagree/scenario/metrics.hpp"
+#include "panagree/scenario/sweep.hpp"
+#include "panagree/serve/wire.hpp"
+
+namespace panagree::serve {
+
+struct EngineConfig {
+  /// Worker threads of prime()/rebase() per-source fan-outs
+  /// (0 = hardware concurrency). Request handling itself runs on the
+  /// caller's thread.
+  std::size_t threads = 0;
+  /// Bound on memoized what-if evaluations per epoch (the epoch batch):
+  /// concurrent identical requests share one enumeration up to this many
+  /// distinct deltas; past the cap, requests compute unshared.
+  std::size_t max_batch = 256;
+  /// Scoring weights of whatif utilities.
+  scenario::UtilityWeights weights;
+};
+
+class QueryEngine {
+ public:
+  /// `base` is the served snapshot; `world`/`economy` feed the
+  /// geodistance/fee aggregates (nullptr disables them, like
+  /// MetricsAggregator). `sources` is the cached sample - every other
+  /// source is served cold. All referenced objects must outlive the
+  /// engine. Call prime() before serving.
+  QueryEngine(const topology::CompiledTopology& base,
+              const geo::World* world, const econ::Economy* economy,
+              std::vector<AsId> sources, EngineConfig config = {});
+  ~QueryEngine();
+
+  QueryEngine(const QueryEngine&) = delete;
+  QueryEngine& operator=(const QueryEngine&) = delete;
+
+  /// Enumerates and caches the baseline of every sampled source and its
+  /// per-source contribution (the expensive one-time cost). Idempotent.
+  void prime();
+
+  [[nodiscard]] const std::vector<AsId>& sources() const { return sources_; }
+  /// Bumped by every rebase(); whatif memo entries never cross epochs.
+  [[nodiscard]] std::uint64_t epoch() const;
+  /// Aggregate metrics of the current state over the sampled sources.
+  [[nodiscard]] scenario::ScenarioMetrics state_metrics() const;
+
+  /// Serves the GRC + MA path sets of `src` to `sink`. The spans are
+  /// valid only during the call (they point into the engine's cache for
+  /// sampled sources, into a local enumeration otherwise). Throws
+  /// util::PreconditionError for out-of-range sources.
+  using PathsSink =
+      std::function<void(std::span<const diversity::Length3Path> grc,
+                         std::span<const diversity::Length3Path> ma)>;
+  void paths(AsId src, const PathsSink& sink) const;
+
+  /// Per-source diversity / geodistance / fee aggregate of `src` under
+  /// the current state.
+  [[nodiscard]] DiversityResult diversity(AsId src) const;
+
+  /// Scores `delta` against the current state (see the header comment).
+  /// Throws util::PreconditionError for deltas the state overlay rejects.
+  [[nodiscard]] WhatIfResult whatif(const scenario::Delta& delta) const;
+
+  /// Folds a committed deployment step into the served state
+  /// (copy-on-rebase; see the header comment). Readers are never blocked
+  /// for the duration of the recompute, only for the pointer swap.
+  void rebase(const scenario::Delta& step);
+
+  /// Drops the what-if memo without changing state - lets benches and
+  /// tests measure the unshared evaluation cost.
+  void flush_whatif_memo() const;
+
+  /// Parses one request line, dispatches it, and appends the
+  /// newline-terminated response to `out`: the single entry point shared
+  /// by the server workers and the client's --direct mode, which is what
+  /// makes their bytes identical. Never throws: malformed requests and
+  /// engine rejections become error responses (id 0 when the line was too
+  /// broken to carry one).
+  void handle_line(std::string_view line, std::string& out) const;
+
+ private:
+  struct State;
+
+  [[nodiscard]] std::shared_ptr<const State> snapshot() const;
+  [[nodiscard]] WhatIfResult compute_whatif(
+      const State& state, const scenario::Delta& delta) const;
+
+  const topology::CompiledTopology* base_;
+  scenario::MetricsAggregator aggregator_;
+  std::vector<AsId> sources_;
+  /// sources_[source_index_[src]] == src, for the cache fast path.
+  std::unordered_map<AsId, std::size_t> source_index_;
+  EngineConfig config_;
+
+  mutable std::shared_mutex state_mutex_;
+  std::shared_ptr<const State> state_;
+  /// Updated together with state_ under the exclusive lock.
+  std::uint64_t epoch_ = 0;
+  /// Serializes writers (rebase/prime); never held while readers wait.
+  std::mutex rebase_mutex_;
+
+  struct MemoEntry {
+    std::uint64_t epoch = 0;
+    std::shared_future<WhatIfResult> future;
+  };
+  mutable std::mutex memo_mutex_;
+  mutable std::unordered_map<std::string, MemoEntry> memo_;
+};
+
+}  // namespace panagree::serve

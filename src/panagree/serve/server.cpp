@@ -1,0 +1,345 @@
+#include "panagree/serve/server.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <sys/time.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <iostream>
+#include <utility>
+
+namespace panagree::serve {
+
+namespace {
+
+/// A request line longer than this is rejected and its connection
+/// dropped: the protocol's objects are small, so an unbounded line is a
+/// broken or hostile client, not a big request.
+constexpr std::size_t kMaxLineBytes = 1 << 20;
+
+/// Per-send() blocking bound (SO_SNDTIMEO): a client that stops reading
+/// its responses costs a worker at most this long per write attempt
+/// before the connection is dropped, so a wedged client can delay the
+/// graceful drain but never hang it.
+constexpr time_t kSendTimeoutSeconds = 30;
+
+[[noreturn]] void fail(const char* what) {
+  throw ServeError(std::string("serve: ") + what + ": " +
+                   std::strerror(errno));
+}
+
+/// False when the peer is gone or stopped reading (send timeout): the
+/// caller drops the connection and the drain continues for the others.
+/// EINTR retries: panagree-serve's signal handlers run without
+/// SA_RESTART, and a SIGTERM landing on a worker mid-send must not
+/// truncate the in-flight response (the drain guarantee).
+[[nodiscard]] bool send_all(int fd, const std::string& bytes) {
+  std::size_t sent = 0;
+  while (sent < bytes.size()) {
+    // MSG_NOSIGNAL: a client that hung up must not SIGPIPE the server.
+    const ssize_t n = ::send(fd, bytes.data() + sent, bytes.size() - sent,
+                             MSG_NOSIGNAL);
+    if (n < 0 && errno == EINTR) {
+      continue;
+    }
+    if (n <= 0) {
+      return false;
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+}  // namespace
+
+struct Server::Connection {
+  explicit Connection(int descriptor) : fd(descriptor) {}
+  ~Connection() {
+    if (fd >= 0) {
+      ::close(fd);
+    }
+  }
+  Connection(const Connection&) = delete;
+  Connection& operator=(const Connection&) = delete;
+
+  int fd = -1;
+  /// Serializes response writes from concurrent workers.
+  std::mutex write_mutex;
+};
+
+struct Server::ReaderSlot {
+  std::shared_ptr<Connection> conn;
+  std::thread thread;
+  /// Set by the reader as its last action; the accept loop joins and
+  /// erases done slots, so disconnected clients do not accumulate fds
+  /// and unjoined threads for the daemon's lifetime.
+  std::atomic<bool> done{false};
+};
+
+Server::Server(const QueryEngine& engine, ServerConfig config)
+    : engine_(&engine), config_(config) {
+  util::require(config_.worker_threads > 0,
+                "Server: need at least one worker thread");
+  util::require(config_.max_queue > 0, "Server: need a non-empty queue");
+}
+
+Server::~Server() { stop(); }
+
+void Server::start() {
+  util::require(!running_, "Server: already started");
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (listen_fd_ < 0) {
+    fail("socket");
+  }
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(config_.port);
+  if (::bind(listen_fd_, reinterpret_cast<const sockaddr*>(&addr),
+             sizeof(addr)) != 0) {
+    const int saved = errno;
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    errno = saved;
+    fail("bind");
+  }
+  if (::listen(listen_fd_, 128) != 0) {
+    const int saved = errno;
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    errno = saved;
+    fail("listen");
+  }
+  sockaddr_in bound{};
+  socklen_t bound_len = sizeof(bound);
+  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound),
+                    &bound_len) != 0) {
+    const int saved = errno;
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    errno = saved;
+    fail("getsockname");
+  }
+  port_ = ntohs(bound.sin_port);
+
+  stopping_ = false;
+  draining_ = false;
+  workers_.reserve(config_.worker_threads);
+  try {
+    for (std::size_t i = 0; i < config_.worker_threads; ++i) {
+      workers_.emplace_back([this] { worker_loop(); });
+    }
+    // Spawned last: on a throw above there is no accept thread to stop.
+    accept_thread_ = std::thread([this] { accept_loop(); });
+  } catch (...) {
+    // Thread spawn failed (resource pressure): release the workers that
+    // did start and surface the error instead of terminating on a
+    // joinable-thread destructor.
+    {
+      const std::lock_guard<std::mutex> lock(queue_mutex_);
+      draining_ = true;
+    }
+    queue_cv_.notify_all();
+    for (std::thread& worker : workers_) {
+      worker.join();
+    }
+    workers_.clear();
+    draining_ = false;
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    throw;
+  }
+  running_ = true;
+}
+
+void Server::stop() {
+  if (!running_) {
+    return;
+  }
+  stopping_ = true;
+  // Unblock accept(); the loop exits on the resulting error. After this
+  // join no new reader slots can appear.
+  ::shutdown(listen_fd_, SHUT_RDWR);
+  accept_thread_.join();
+  // Shut only the read half: pending responses must still flush.
+  {
+    const std::lock_guard<std::mutex> lock(conns_mutex_);
+    for (const std::unique_ptr<ReaderSlot>& slot : slots_) {
+      ::shutdown(slot->conn->fd, SHUT_RD);
+    }
+  }
+  // Readers blocked on a full queue release on stopping_ (the queue may
+  // overshoot its bound by at most one line per reader during the drain).
+  space_cv_.notify_all();
+  for (const std::unique_ptr<ReaderSlot>& slot : slots_) {
+    slot->thread.join();
+  }
+  // Every request line is enqueued; let the workers drain the queue.
+  {
+    const std::lock_guard<std::mutex> lock(queue_mutex_);
+    draining_ = true;
+  }
+  queue_cv_.notify_all();
+  space_cv_.notify_all();
+  for (std::thread& worker : workers_) {
+    worker.join();
+  }
+  workers_.clear();
+  slots_.clear();  // closes the remaining descriptors
+  ::close(listen_fd_);
+  listen_fd_ = -1;
+  running_ = false;
+}
+
+void Server::reap_finished_readers() {
+  std::vector<std::unique_ptr<ReaderSlot>> finished;
+  {
+    const std::lock_guard<std::mutex> lock(conns_mutex_);
+    const auto live = std::partition(
+        slots_.begin(), slots_.end(),
+        [](const std::unique_ptr<ReaderSlot>& slot) {
+          return !slot->done.load(std::memory_order_acquire);
+        });
+    for (auto it = live; it != slots_.end(); ++it) {
+      finished.push_back(std::move(*it));
+    }
+    slots_.erase(live, slots_.end());
+  }
+  for (const std::unique_ptr<ReaderSlot>& slot : finished) {
+    slot->thread.join();  // done is the reader's last store: no wait
+  }
+}
+
+void Server::accept_loop() {
+  for (;;) {
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (stopping_) {
+        return;
+      }
+      if (errno == EINTR || errno == ECONNABORTED) {
+        continue;
+      }
+      if (errno == EBADF || errno == EINVAL) {
+        return;  // listening socket gone; drain what we have
+      }
+      // Everything else (EMFILE/ENFILE fd pressure, ENOBUFS/ENOMEM,
+      // network errnos accept(2) says to retry) must not kill the
+      // accept loop silently: say so, shed load briefly, keep going.
+      std::cerr << "[serve] accept: " << std::strerror(errno)
+                << "; retrying\n";
+      reap_finished_readers();
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+      continue;
+    }
+    if (stopping_) {
+      ::close(fd);
+      return;
+    }
+    // Bound how long a worker can block writing to a client that
+    // stopped reading (see kSendTimeoutSeconds).
+    const timeval timeout{.tv_sec = kSendTimeoutSeconds, .tv_usec = 0};
+    ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &timeout, sizeof(timeout));
+
+    reap_finished_readers();
+    auto slot = std::make_unique<ReaderSlot>();
+    slot->conn = std::make_shared<Connection>(fd);
+    ReaderSlot* raw = slot.get();
+    const std::lock_guard<std::mutex> lock(conns_mutex_);
+    slots_.push_back(std::move(slot));
+    raw->thread = std::thread([this, raw] { reader_loop(raw); });
+  }
+}
+
+void Server::reader_loop(ReaderSlot* slot) {
+  std::shared_ptr<Connection> conn = slot->conn;
+  std::string buffer;
+  char chunk[4096];
+  bool dropped = false;
+  for (;;) {
+    const ssize_t n = ::recv(conn->fd, chunk, sizeof(chunk), 0);
+    if (n < 0 && errno == EINTR) {
+      continue;  // a signal mid-read is not a disconnect
+    }
+    if (n <= 0) {
+      break;
+    }
+    buffer.append(chunk, static_cast<std::size_t>(n));
+    std::size_t begin = 0;
+    for (;;) {
+      const std::size_t newline = buffer.find('\n', begin);
+      if (newline == std::string::npos) {
+        break;
+      }
+      std::string line = buffer.substr(begin, newline - begin);
+      begin = newline + 1;
+      if (!line.empty() && line != "\r") {
+        enqueue(WorkItem{conn, std::move(line)});
+      }
+    }
+    buffer.erase(0, begin);
+    if (buffer.size() > kMaxLineBytes) {
+      std::string out;
+      append_error_response(out, 0, "request line too long");
+      const std::lock_guard<std::mutex> lock(conn->write_mutex);
+      (void)send_all(conn->fd, out);
+      ::shutdown(conn->fd, SHUT_RD);
+      dropped = true;
+      break;
+    }
+  }
+  // NDJSON convenience: serve a trailing request the client forgot to
+  // newline-terminate before closing its write half.
+  if (!dropped && !buffer.empty() && buffer != "\r") {
+    enqueue(WorkItem{std::move(conn), std::move(buffer)});
+  }
+  // Last store: the accept loop joins and frees done slots.
+  slot->done.store(true, std::memory_order_release);
+}
+
+void Server::enqueue(WorkItem item) {
+  std::unique_lock<std::mutex> lock(queue_mutex_);
+  space_cv_.wait(lock, [this] {
+    return queue_.size() < config_.max_queue ||
+           stopping_.load(std::memory_order_relaxed);
+  });
+  queue_.push_back(std::move(item));
+  lock.unlock();
+  queue_cv_.notify_one();
+}
+
+void Server::worker_loop() {
+  for (;;) {
+    std::unique_lock<std::mutex> lock(queue_mutex_);
+    queue_cv_.wait(lock, [this] { return !queue_.empty() || draining_; });
+    if (queue_.empty()) {
+      return;  // draining and nothing left
+    }
+    WorkItem item = std::move(queue_.front());
+    queue_.pop_front();
+    lock.unlock();
+    space_cv_.notify_one();
+
+    std::string out;
+    engine_->handle_line(item.line, out);
+    {
+      const std::lock_guard<std::mutex> write(item.conn->write_mutex);
+      if (!send_all(item.conn->fd, out)) {
+        // Peer gone or not reading (send timeout): drop the connection
+        // so its reader exits and later responses fail fast instead of
+        // blocking more workers.
+        ::shutdown(item.conn->fd, SHUT_RDWR);
+      }
+    }
+    handled_.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+}  // namespace panagree::serve

@@ -1,0 +1,114 @@
+// serve::Server - the network front end of the query engine.
+//
+// One accept loop on a loopback TCP socket, one reader thread per
+// connection, and a pool of worker threads draining a bounded request
+// queue. Readers split the byte stream into newline-delimited request
+// lines and enqueue them; when the queue is full they block (back-
+// pressure on the socket, never unbounded memory). Workers hand each
+// line to QueryEngine::handle_line and write the response back under the
+// connection's write lock - responses carry the request id, so clients
+// that pipeline match them by id rather than by stream order.
+//
+// stop() is a graceful drain: stop accepting, shut the read half of
+// every connection, finish every request already queued, flush the
+// responses, then join. The panagree-serve tool wires SIGTERM/SIGINT to
+// exactly this, so an orchestrator's TERM never drops an accepted
+// request.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "panagree/serve/query_engine.hpp"
+
+namespace panagree::serve {
+
+/// Socket-layer failure (bind, listen, accept loop setup).
+class ServeError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+struct ServerConfig {
+  /// TCP port on 127.0.0.1; 0 binds an ephemeral port (see port()).
+  std::uint16_t port = 0;
+  /// Worker threads draining the request queue.
+  std::size_t worker_threads = 2;
+  /// Bounded request queue; readers block when it is full.
+  std::size_t max_queue = 1024;
+};
+
+class Server {
+ public:
+  /// `engine` must be primed and outlive the server.
+  Server(const QueryEngine& engine, ServerConfig config = {});
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Binds, listens, and spawns the accept loop + workers. Throws
+  /// ServeError if the socket cannot be set up.
+  void start();
+
+  /// The bound port (after start(); resolves port 0 requests).
+  [[nodiscard]] std::uint16_t port() const { return port_; }
+
+  /// Graceful drain (see the header comment). Idempotent.
+  void stop();
+
+  [[nodiscard]] bool running() const { return running_; }
+  /// Requests answered so far (including error responses).
+  [[nodiscard]] std::size_t handled_requests() const {
+    return handled_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  struct Connection;
+  /// One live connection's reader thread; reaped by the accept loop once
+  /// the client disconnects (done), joined latest at stop().
+  struct ReaderSlot;
+  struct WorkItem {
+    std::shared_ptr<Connection> conn;
+    std::string line;
+  };
+
+  void accept_loop();
+  void reader_loop(ReaderSlot* slot);
+  void worker_loop();
+  void enqueue(WorkItem item);
+  void reap_finished_readers();
+
+  const QueryEngine* engine_;
+  ServerConfig config_;
+  int listen_fd_ = -1;
+  std::uint16_t port_ = 0;
+  bool running_ = false;
+
+  std::atomic<bool> stopping_{false};
+  std::thread accept_thread_;
+  std::vector<std::thread> workers_;
+
+  /// Mutated only by the accept thread (under the mutex); stop() reads
+  /// it after joining the accept thread.
+  std::mutex conns_mutex_;
+  std::vector<std::unique_ptr<ReaderSlot>> slots_;
+
+  std::mutex queue_mutex_;
+  std::condition_variable queue_cv_;
+  std::condition_variable space_cv_;
+  std::deque<WorkItem> queue_;
+  bool draining_ = false;
+
+  std::atomic<std::size_t> handled_{0};
+};
+
+}  // namespace panagree::serve

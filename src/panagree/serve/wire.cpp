@@ -1,0 +1,519 @@
+#include "panagree/serve/wire.hpp"
+
+#include <cctype>
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+#include <map>
+#include <memory>
+#include <variant>
+#include <vector>
+
+namespace panagree::serve {
+
+namespace {
+
+[[noreturn]] void reject(const std::string& what) {
+  throw ProtocolError("protocol: " + what);
+}
+
+// ------------------------------------------------------------ JSON reader
+//
+// A deliberately small model: numbers keep both an integer and a double
+// view (JSON does not distinguish, but ids and AS numbers must not round
+// through doubles), objects are key-ordered maps (requests are tiny).
+
+struct Value;
+using Object = std::map<std::string, Value, std::less<>>;
+using Array = std::vector<Value>;
+
+struct Value {
+  std::variant<std::nullptr_t, bool, std::uint64_t, double, std::string,
+               std::unique_ptr<Array>, std::unique_ptr<Object>>
+      data = nullptr;
+};
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  [[nodiscard]] Value parse() {
+    Value value = parse_value(0);
+    skip_ws();
+    if (pos_ != text_.size()) {
+      reject("trailing bytes after JSON value");
+    }
+    return value;
+  }
+
+ private:
+  static constexpr std::size_t kMaxDepth = 16;
+
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' ||
+            text_[pos_] == '\r' || text_[pos_] == '\n')) {
+      ++pos_;
+    }
+  }
+
+  [[nodiscard]] char peek() {
+    if (pos_ >= text_.size()) {
+      reject("unexpected end of input");
+    }
+    return text_[pos_];
+  }
+
+  void expect(char c) {
+    if (pos_ >= text_.size() || text_[pos_] != c) {
+      reject(std::string("expected '") + c + "'");
+    }
+    ++pos_;
+  }
+
+  bool consume_literal(std::string_view literal) {
+    if (text_.substr(pos_, literal.size()) != literal) {
+      return false;
+    }
+    pos_ += literal.size();
+    return true;
+  }
+
+  [[nodiscard]] Value parse_value(std::size_t depth) {
+    if (depth > kMaxDepth) {
+      reject("nesting too deep");
+    }
+    skip_ws();
+    const char c = peek();
+    Value value;
+    if (c == '{') {
+      value.data = parse_object(depth);
+    } else if (c == '[') {
+      value.data = parse_array(depth);
+    } else if (c == '"') {
+      value.data = parse_string();
+    } else if (c == 't') {
+      if (!consume_literal("true")) {
+        reject("bad literal");
+      }
+      value.data = true;
+    } else if (c == 'f') {
+      if (!consume_literal("false")) {
+        reject("bad literal");
+      }
+      value.data = false;
+    } else if (c == 'n') {
+      if (!consume_literal("null")) {
+        reject("bad literal");
+      }
+      value.data = nullptr;
+    } else {
+      parse_number(value);
+    }
+    return value;
+  }
+
+  [[nodiscard]] std::unique_ptr<Object> parse_object(std::size_t depth) {
+    expect('{');
+    auto object = std::make_unique<Object>();
+    skip_ws();
+    if (peek() == '}') {
+      ++pos_;
+      return object;
+    }
+    for (;;) {
+      skip_ws();
+      std::string key = parse_string();
+      skip_ws();
+      expect(':');
+      if (!object->emplace(std::move(key), parse_value(depth + 1)).second) {
+        reject("duplicate object key");
+      }
+      skip_ws();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect('}');
+      return object;
+    }
+  }
+
+  [[nodiscard]] std::unique_ptr<Array> parse_array(std::size_t depth) {
+    expect('[');
+    auto array = std::make_unique<Array>();
+    skip_ws();
+    if (peek() == ']') {
+      ++pos_;
+      return array;
+    }
+    for (;;) {
+      array->push_back(parse_value(depth + 1));
+      skip_ws();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect(']');
+      return array;
+    }
+  }
+
+  [[nodiscard]] std::string parse_string() {
+    expect('"');
+    std::string out;
+    for (;;) {
+      if (pos_ >= text_.size()) {
+        reject("unterminated string");
+      }
+      const char c = text_[pos_++];
+      if (c == '"') {
+        return out;
+      }
+      if (static_cast<unsigned char>(c) < 0x20) {
+        reject("raw control character in string");
+      }
+      if (c != '\\') {
+        out.push_back(c);
+        continue;
+      }
+      if (pos_ >= text_.size()) {
+        reject("unterminated escape");
+      }
+      const char e = text_[pos_++];
+      switch (e) {
+        case '"': out.push_back('"'); break;
+        case '\\': out.push_back('\\'); break;
+        case '/': out.push_back('/'); break;
+        case 'b': out.push_back('\b'); break;
+        case 'f': out.push_back('\f'); break;
+        case 'n': out.push_back('\n'); break;
+        case 'r': out.push_back('\r'); break;
+        case 't': out.push_back('\t'); break;
+        case 'u': {
+          // Requests are ASCII-shaped; accept \uXXXX for the BMP's ASCII
+          // range only - nothing in the protocol needs more.
+          if (pos_ + 4 > text_.size()) {
+            reject("truncated \\u escape");
+          }
+          unsigned code = 0;
+          const auto [ptr, ec] = std::from_chars(
+              text_.data() + pos_, text_.data() + pos_ + 4, code, 16);
+          if (ec != std::errc() || ptr != text_.data() + pos_ + 4 ||
+              code > 0x7f) {
+            reject("unsupported \\u escape");
+          }
+          pos_ += 4;
+          out.push_back(static_cast<char>(code));
+          break;
+        }
+        default:
+          reject("unknown escape");
+      }
+    }
+  }
+
+  void parse_number(Value& value) {
+    const std::size_t start = pos_;
+    if (pos_ < text_.size() && text_[pos_] == '-') {
+      ++pos_;
+    }
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) != 0 ||
+            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            text_[pos_] == '+' || text_[pos_] == '-')) {
+      ++pos_;
+    }
+    const std::string_view token = text_.substr(start, pos_ - start);
+    if (token.empty()) {
+      reject("expected a value");
+    }
+    // Integer first (exact); fall back to double.
+    if (token.find_first_of(".eE") == std::string_view::npos &&
+        token.front() != '-') {
+      std::uint64_t integer = 0;
+      const auto [ptr, ec] = std::from_chars(
+          token.data(), token.data() + token.size(), integer);
+      if (ec == std::errc() && ptr == token.data() + token.size()) {
+        value.data = integer;
+        return;
+      }
+    }
+    double number = 0.0;
+    const auto [ptr, ec] =
+        std::from_chars(token.data(), token.data() + token.size(), number);
+    if (ec != std::errc() || ptr != token.data() + token.size()) {
+      reject("malformed number");
+    }
+    value.data = number;
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+[[nodiscard]] const Object& as_object(const Value& value, const char* what) {
+  const auto* object =
+      std::get_if<std::unique_ptr<Object>>(&value.data);
+  if (object == nullptr) {
+    reject(std::string(what) + " must be an object");
+  }
+  return **object;
+}
+
+[[nodiscard]] const Array& as_array(const Value& value, const char* what) {
+  const auto* array = std::get_if<std::unique_ptr<Array>>(&value.data);
+  if (array == nullptr) {
+    reject(std::string(what) + " must be an array");
+  }
+  return **array;
+}
+
+[[nodiscard]] const std::string& as_string(const Value& value,
+                                           const char* what) {
+  const auto* text = std::get_if<std::string>(&value.data);
+  if (text == nullptr) {
+    reject(std::string(what) + " must be a string");
+  }
+  return *text;
+}
+
+[[nodiscard]] std::uint64_t as_uint(const Value& value, const char* what) {
+  const auto* integer = std::get_if<std::uint64_t>(&value.data);
+  if (integer == nullptr) {
+    reject(std::string(what) + " must be a non-negative integer");
+  }
+  return *integer;
+}
+
+[[nodiscard]] const Value* find(const Object& object, std::string_view key) {
+  const auto it = object.find(key);
+  return it == object.end() ? nullptr : &it->second;
+}
+
+[[nodiscard]] const Value& require_field(const Object& object,
+                                         const char* key) {
+  const Value* value = find(object, key);
+  if (value == nullptr) {
+    reject(std::string("missing field \"") + key + "\"");
+  }
+  return *value;
+}
+
+[[nodiscard]] AsId as_as_id(const Value& value, const char* what) {
+  const std::uint64_t raw = as_uint(value, what);
+  if (raw >= topology::kInvalidAs) {
+    reject(std::string(what) + " out of range");
+  }
+  return static_cast<AsId>(raw);
+}
+
+[[nodiscard]] scenario::Delta parse_delta(const Object& object) {
+  scenario::Delta delta;
+  if (const Value* add = find(object, "add")) {
+    for (const Value& entry : as_array(*add, "\"add\"")) {
+      const Object& link = as_object(entry, "\"add\" entry");
+      scenario::LinkChange change;
+      change.a = as_as_id(require_field(link, "a"), "\"a\"");
+      change.b = as_as_id(require_field(link, "b"), "\"b\"");
+      const std::string& type =
+          as_string(require_field(link, "type"), "\"type\"");
+      if (type == "peering") {
+        change.type = topology::LinkType::kPeering;
+      } else if (type == "transit") {
+        change.type = topology::LinkType::kProviderCustomer;
+      } else {
+        reject("unknown link type \"" + type + "\"");
+      }
+      delta.add.push_back(change);
+    }
+  }
+  if (const Value* remove = find(object, "remove")) {
+    for (const Value& entry : as_array(*remove, "\"remove\"")) {
+      const Array& pair = as_array(entry, "\"remove\" entry");
+      if (pair.size() != 2) {
+        reject("\"remove\" entries must be [a, b] pairs");
+      }
+      delta.remove.emplace_back(as_as_id(pair[0], "\"remove\" id"),
+                                as_as_id(pair[1], "\"remove\" id"));
+    }
+  }
+  return delta;
+}
+
+void append_uint(std::string& out, std::uint64_t value) {
+  char buffer[24];
+  const auto [ptr, ec] =
+      std::to_chars(buffer, buffer + sizeof(buffer), value);
+  (void)ec;
+  out.append(buffer, ptr);
+}
+
+void append_path_array(std::string& out,
+                       std::span<const diversity::Length3Path> paths) {
+  out.push_back('[');
+  bool first = true;
+  for (const diversity::Length3Path& path : paths) {
+    if (!first) {
+      out.push_back(',');
+    }
+    first = false;
+    out.push_back('[');
+    append_uint(out, path.src);
+    out.push_back(',');
+    append_uint(out, path.mid);
+    out.push_back(',');
+    append_uint(out, path.dst);
+    out.push_back(']');
+  }
+  out.push_back(']');
+}
+
+void append_response_head(std::string& out, std::uint64_t id, bool ok) {
+  out += "{\"v\":";
+  append_uint(out, kProtocolVersion);
+  out += ",\"id\":";
+  append_uint(out, id);
+  out += ok ? ",\"ok\":true" : ",\"ok\":false";
+}
+
+}  // namespace
+
+Request parse_request(std::string_view line, std::uint64_t* id_out) {
+  while (!line.empty() && (line.back() == '\n' || line.back() == '\r')) {
+    line.remove_suffix(1);
+  }
+  Parser parser(line);
+  const Value root = parser.parse();
+  const Object& object = as_object(root, "request");
+  Request request;
+  request.id = as_uint(require_field(object, "id"), "\"id\"");
+  if (id_out != nullptr) {
+    *id_out = request.id;
+  }
+  const std::uint64_t version =
+      as_uint(require_field(object, "v"), "\"v\"");
+  if (version != kProtocolVersion) {
+    reject("unsupported protocol version " + std::to_string(version) +
+           " (server speaks " + std::to_string(kProtocolVersion) + ")");
+  }
+  const std::string& kind =
+      as_string(require_field(object, "kind"), "\"kind\"");
+  if (kind == "paths" || kind == "diversity") {
+    request.kind = kind == "paths" ? RequestKind::kPaths
+                                   : RequestKind::kDiversity;
+    request.source =
+        as_as_id(require_field(object, "source"), "\"source\"");
+  } else if (kind == "whatif") {
+    request.kind = RequestKind::kWhatIf;
+    request.delta = parse_delta(object);
+    if (request.delta.empty()) {
+      reject("whatif request with an empty delta");
+    }
+  } else {
+    reject("unknown kind \"" + kind + "\"");
+  }
+  return request;
+}
+
+void append_json_double(std::string& out, double value) {
+  if (!std::isfinite(value)) {
+    // JSON has no Infinity/NaN; the engine never produces them, but the
+    // writer must not emit unparsable bytes if a weight ever does.
+    out += value > 0 ? "1e999" : (value < 0 ? "-1e999" : "0");
+    return;
+  }
+  char buffer[32];
+  const auto [ptr, ec] =
+      std::to_chars(buffer, buffer + sizeof(buffer), value);
+  (void)ec;
+  out.append(buffer, ptr);
+}
+
+void append_json_string(std::string& out, std::string_view value) {
+  out.push_back('"');
+  for (const char c : value) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buffer[8];
+          std::snprintf(buffer, sizeof(buffer), "\\u%04x",
+                        static_cast<unsigned>(c));
+          out += buffer;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  out.push_back('"');
+}
+
+void append_paths_response(std::string& out, std::uint64_t id, AsId source,
+                           std::span<const diversity::Length3Path> grc,
+                           std::span<const diversity::Length3Path> ma) {
+  append_response_head(out, id, true);
+  out += ",\"kind\":\"paths\",\"source\":";
+  append_uint(out, source);
+  out += ",\"grc\":";
+  append_path_array(out, grc);
+  out += ",\"ma\":";
+  append_path_array(out, ma);
+  out += "}\n";
+}
+
+void append_diversity_response(std::string& out, std::uint64_t id,
+                               AsId source, const DiversityResult& result) {
+  append_response_head(out, id, true);
+  out += ",\"kind\":\"diversity\",\"source\":";
+  append_uint(out, source);
+  out += ",\"grc_paths\":";
+  append_uint(out, result.grc_paths);
+  out += ",\"ma_paths\":";
+  append_uint(out, result.ma_paths);
+  out += ",\"grc_pairs\":";
+  append_uint(out, result.grc_pairs);
+  out += ",\"ma_extra_pairs\":";
+  append_uint(out, result.ma_extra_pairs);
+  out += ",\"mean_best_geodistance_km\":";
+  append_json_double(out, result.mean_best_geodistance_km);
+  out += ",\"transit_fees\":";
+  append_json_double(out, result.transit_fees);
+  out += "}\n";
+}
+
+void append_whatif_response(std::string& out, std::uint64_t id,
+                            const WhatIfResult& result) {
+  append_response_head(out, id, true);
+  out += ",\"kind\":\"whatif\",\"paths\":";
+  append_json_double(out, result.paths_delta);
+  out += ",\"pairs\":";
+  append_json_double(out, result.pairs_delta);
+  out += ",\"mean_km\":";
+  append_json_double(out, result.mean_km_delta);
+  out += ",\"fees\":";
+  append_json_double(out, result.fees_delta);
+  out += ",\"utility\":";
+  append_json_double(out, result.utility);
+  out += ",\"recomputed_sources\":";
+  append_uint(out, result.recomputed_sources);
+  out += ",\"cached_sources\":";
+  append_uint(out, result.cached_sources);
+  out += ",\"ball_size\":";
+  append_uint(out, result.ball_size);
+  out += "}\n";
+}
+
+void append_error_response(std::string& out, std::uint64_t id,
+                           std::string_view message) {
+  append_response_head(out, id, false);
+  out += ",\"error\":";
+  append_json_string(out, message);
+  out += "}\n";
+}
+
+}  // namespace panagree::serve

@@ -1,0 +1,123 @@
+// The wire protocol of the serving layer: versioned, newline-delimited
+// JSON over a byte stream, no third-party dependencies.
+//
+// Every request and every response is one JSON object on one line. The
+// protocol is versioned by the "v" field; a server rejects versions other
+// than kProtocolVersion with an error response instead of guessing. Three
+// request kinds mirror the query engine's operations:
+//
+//   {"v":1,"id":7,"kind":"paths","source":42}
+//   {"v":1,"id":8,"kind":"diversity","source":42}
+//   {"v":1,"id":9,"kind":"whatif","add":[{"a":1,"b":2,"type":"peering"}],
+//    "remove":[[3,4]]}
+//
+// ("transit" links follow Graph's convention: "a" is the provider, "b"
+// the customer. "add"/"remove" both default to empty.)
+//
+// Responses echo the request id, carry "ok", and serialize with a *fixed
+// field order and number format* (std::to_chars, shortest round-trip for
+// doubles): a response's bytes are a pure function of its contents, which
+// is what lets the CI smoke job and serve_test diff server output against
+// direct library calls byte-for-byte.
+//
+// Parsing is a small recursive-descent JSON reader (objects, arrays,
+// strings with escapes, integers, doubles, bools, null; depth-limited).
+// Malformed input throws ProtocolError - the server turns that into an
+// error response and keeps the connection alive.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+
+#include "panagree/diversity/length3.hpp"
+#include "panagree/scenario/overlay.hpp"
+#include "panagree/util/error.hpp"
+
+namespace panagree::serve {
+
+using topology::AsId;
+
+/// Malformed or unsupported request line (bad JSON, wrong version,
+/// unknown kind, missing fields). A ParseError: requests are external
+/// input, not caller bugs.
+class ProtocolError : public util::ParseError {
+ public:
+  using util::ParseError::ParseError;
+};
+
+inline constexpr std::uint32_t kProtocolVersion = 1;
+
+enum class RequestKind : std::uint8_t { kPaths, kDiversity, kWhatIf };
+
+/// One parsed request line.
+struct Request {
+  std::uint64_t id = 0;
+  RequestKind kind = RequestKind::kPaths;
+  /// The queried source (paths / diversity).
+  AsId source = 0;
+  /// The candidate deployment (whatif).
+  scenario::Delta delta;
+};
+
+/// Parses one request line (the newline itself may be present or already
+/// stripped). Throws ProtocolError on anything it cannot serve; when
+/// `id_out` is non-null it receives the request id as soon as it is
+/// known, so error responses can echo it even for requests that fail
+/// later checks (unknown kind, bad delta, ...).
+[[nodiscard]] Request parse_request(std::string_view line,
+                                    std::uint64_t* id_out = nullptr);
+
+/// Per-source diversity/geodistance aggregate of a diversity response -
+/// the serving shape of scenario::SourceContribution with the mean
+/// division applied.
+struct DiversityResult {
+  std::size_t grc_paths = 0;
+  std::size_t ma_paths = 0;
+  std::size_t grc_pairs = 0;
+  std::size_t ma_extra_pairs = 0;
+  double mean_best_geodistance_km = 0.0;
+  double transit_fees = 0.0;
+
+  friend bool operator==(const DiversityResult&,
+                         const DiversityResult&) = default;
+};
+
+/// Scored what-if deployment: the metrics delta against the engine's
+/// current state plus the sweep accounting (which is deterministic per
+/// (state, delta) - epoch batching never changes it).
+struct WhatIfResult {
+  double paths_delta = 0.0;
+  double pairs_delta = 0.0;
+  double mean_km_delta = 0.0;
+  double fees_delta = 0.0;
+  double utility = 0.0;
+  std::size_t recomputed_sources = 0;
+  std::size_t cached_sources = 0;
+  std::size_t ball_size = 0;
+
+  friend bool operator==(const WhatIfResult&, const WhatIfResult&) = default;
+};
+
+// Response writers: each appends exactly one newline-terminated JSON
+// object to `out`. Field order and number formatting are part of the
+// protocol (byte-identity contract, see the header comment).
+void append_paths_response(std::string& out, std::uint64_t id, AsId source,
+                           std::span<const diversity::Length3Path> grc,
+                           std::span<const diversity::Length3Path> ma);
+void append_diversity_response(std::string& out, std::uint64_t id,
+                               AsId source, const DiversityResult& result);
+void append_whatif_response(std::string& out, std::uint64_t id,
+                            const WhatIfResult& result);
+void append_error_response(std::string& out, std::uint64_t id,
+                           std::string_view message);
+
+/// Shortest-round-trip double formatting (std::to_chars) - the single
+/// number format of the protocol, exposed for tests and clients.
+void append_json_double(std::string& out, double value);
+
+/// JSON string escaping ("\\", "\"", control characters).
+void append_json_string(std::string& out, std::string_view value);
+
+}  // namespace panagree::serve

@@ -5,6 +5,7 @@
 #include <sys/stat.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <cstring>
 #include <utility>
@@ -39,6 +40,32 @@ MmapFile::~MmapFile() {
   if (data_ != nullptr) {
     ::munmap(const_cast<std::byte*>(data_), size_);
   }
+}
+
+bool MmapFile::advise(std::size_t offset, std::size_t length,
+                      Advice advice) const {
+  if (data_ == nullptr || length == 0 || offset >= size_) {
+    return false;
+  }
+  length = std::min(length, size_ - offset);
+  const auto page = static_cast<std::size_t>(::sysconf(_SC_PAGESIZE));
+  const std::size_t start = offset & ~(page - 1);
+  const std::size_t end = offset + length;
+  int request = 0;
+  switch (advice) {
+    case Advice::kWillNeed:
+      request = MADV_WILLNEED;
+      break;
+    case Advice::kHugePage:
+#ifdef MADV_HUGEPAGE
+      request = MADV_HUGEPAGE;
+      break;
+#else
+      return false;
+#endif
+  }
+  return ::madvise(const_cast<std::byte*>(data_) + start, end - start,
+                   request) == 0;
 }
 
 MmapFile MmapFile::open(const std::string& path) {

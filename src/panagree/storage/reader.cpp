@@ -1,5 +1,6 @@
 // .pansnap reader: validates the mapped file, materializes Graph/World,
 // and borrows the CSR arrays zero-copy out of the mapping.
+#include <cstdlib>
 #include <cstring>
 #include <unordered_map>
 
@@ -88,6 +89,15 @@ class SectionIndex {
     return array<T>(kind, begins.back());
   }
 
+  /// Absolute file range of a section's payload (for access-pattern
+  /// advice on the mapping).
+  [[nodiscard]] std::pair<std::size_t, std::size_t> payload_range(
+      SectionKind kind) const {
+    const SectionRecord& record = find(kind);
+    return {static_cast<std::size_t>(record.offset),
+            static_cast<std::size_t>(record.bytes)};
+  }
+
   /// A section holding a plain id list whose length is implied by its byte
   /// count (the tier membership lists).
   [[nodiscard]] std::span<const std::uint32_t> id_list(
@@ -130,7 +140,43 @@ void check_begins(std::span<const std::uint32_t> begins, const char* what) {
   }
 }
 
+/// WILLNEED prefetch on the CSR sections (the first arrays any analysis
+/// walks) + whole-mapping THP behind PANAGREE_MMAP_THP=1.
+MmapAdviceReport apply_advice(const MmapFile& file,
+                              const SectionIndex& sections) {
+  MmapAdviceReport report;
+  report.willneed_applied = true;
+  for (const SectionKind kind :
+       {SectionKind::kRowStart, SectionKind::kProvidersEnd,
+        SectionKind::kPeersEnd, SectionKind::kEntries}) {
+    const auto [offset, bytes] = sections.payload_range(kind);
+    if (bytes > 0 &&
+        !file.advise(offset, bytes, MmapFile::Advice::kWillNeed)) {
+      report.willneed_applied = false;
+    }
+  }
+  const char* thp = std::getenv("PANAGREE_MMAP_THP");
+  if (thp != nullptr && std::strcmp(thp, "1") == 0) {
+    report.hugepage_requested = true;
+    report.hugepage_applied =
+        file.advise(0, file.size(), MmapFile::Advice::kHugePage);
+  }
+  return report;
+}
+
 }  // namespace
+
+std::string MmapAdviceReport::describe() const {
+  std::string out = "willneed(csr)=";
+  out += willneed_applied ? "applied" : "refused";
+  out += " thp=";
+  if (!hugepage_requested) {
+    out += "off";
+  } else {
+    out += hugepage_applied ? "applied" : "refused";
+  }
+  return out;
+}
 
 MappedSnapshot MappedSnapshot::open(const std::string& path) {
   MmapFile file = MmapFile::open(path);
@@ -304,7 +350,8 @@ MappedSnapshot MappedSnapshot::open(const std::string& path) {
   state->compiled = topology::CompiledTopology::borrow(
       state->graph, row_start, providers_end, peers_end, entries);
 
-  return MappedSnapshot(std::move(file), std::move(state));
+  const MmapAdviceReport advice = apply_advice(file, sections);
+  return MappedSnapshot(std::move(file), std::move(state), advice);
 }
 
 }  // namespace panagree::storage

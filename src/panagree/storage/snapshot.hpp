@@ -46,6 +46,22 @@ void write_snapshot(const std::string& path,
                     const topology::GeneratedTopology& topo,
                     const topology::CompiledTopology& compiled);
 
+/// What open() asked the kernel about the mapping's access pattern, and
+/// what the kernel accepted. WILLNEED prefetch covers the CSR sections
+/// (the arrays every analysis walks immediately); transparent huge pages
+/// are requested for the whole mapping only behind PANAGREE_MMAP_THP=1
+/// (file-backed THP support is kernel-dependent, so the request may be
+/// refused - the report says so instead of guessing).
+struct MmapAdviceReport {
+  bool willneed_applied = false;
+  bool hugepage_requested = false;
+  bool hugepage_applied = false;
+
+  /// One-line human summary, e.g. "willneed(csr)=applied thp=off";
+  /// printed by panagree-compile's verify output.
+  [[nodiscard]] std::string describe() const;
+};
+
 /// A loaded .pansnap: owns the mapping plus the materialized Graph/World
 /// and exposes the CompiledTopology as a zero-copy view over the mapped
 /// CSR arrays. Movable; all references remain valid across moves (the
@@ -75,6 +91,8 @@ class MappedSnapshot {
     return state_->tier3;
   }
   [[nodiscard]] std::size_t file_bytes() const { return file_.size(); }
+  /// The access-pattern advice open() applied to the mapping.
+  [[nodiscard]] const MmapAdviceReport& advice() const { return advice_; }
 
  private:
   struct State {
@@ -86,11 +104,13 @@ class MappedSnapshot {
     std::optional<topology::CompiledTopology> compiled;
   };
 
-  MappedSnapshot(MmapFile file, std::unique_ptr<State> state)
-      : file_(std::move(file)), state_(std::move(state)) {}
+  MappedSnapshot(MmapFile file, std::unique_ptr<State> state,
+                 MmapAdviceReport advice)
+      : file_(std::move(file)), state_(std::move(state)), advice_(advice) {}
 
   MmapFile file_;
   std::unique_ptr<State> state_;
+  MmapAdviceReport advice_;
 };
 
 }  // namespace panagree::storage

@@ -1,0 +1,457 @@
+// Serving layer tests: wire protocol parsing/serialization, QueryEngine
+// semantics (cache-served == freshly enumerated, whatif == full
+// recompute, rebase == recompiled state), and the tentpole property -
+// server responses byte-identical to direct library calls across request
+// interleavings at 1, 2, and 8 worker threads.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <chrono>
+#include <memory>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "panagree/diversity/report.hpp"
+#include "panagree/econ/business.hpp"
+#include "panagree/serve/client.hpp"
+#include "panagree/serve/server.hpp"
+#include "panagree/topology/generator.hpp"
+#include "panagree/util/rng.hpp"
+
+namespace panagree::serve {
+namespace {
+
+using topology::AsId;
+
+// ------------------------------------------------------------------ wire
+
+TEST(Wire, ParsesPathsRequest) {
+  const Request request =
+      parse_request(R"({"v":1,"id":7,"kind":"paths","source":42})");
+  EXPECT_EQ(request.id, 7u);
+  EXPECT_EQ(request.kind, RequestKind::kPaths);
+  EXPECT_EQ(request.source, 42u);
+}
+
+TEST(Wire, ParsesWhatIfRequest) {
+  const Request request = parse_request(
+      R"({"v":1,"id":9,"kind":"whatif",)"
+      R"("add":[{"a":1,"b":2,"type":"peering"},)"
+      R"({"a":3,"b":4,"type":"transit"}],"remove":[[5,6]]})");
+  EXPECT_EQ(request.kind, RequestKind::kWhatIf);
+  ASSERT_EQ(request.delta.add.size(), 2u);
+  EXPECT_EQ(request.delta.add[0].a, 1u);
+  EXPECT_EQ(request.delta.add[0].type, topology::LinkType::kPeering);
+  EXPECT_EQ(request.delta.add[1].type,
+            topology::LinkType::kProviderCustomer);
+  ASSERT_EQ(request.delta.remove.size(), 1u);
+  EXPECT_EQ(request.delta.remove[0], (std::pair<AsId, AsId>{5, 6}));
+}
+
+TEST(Wire, TolerantOfWhitespaceAndTrailingNewline) {
+  const Request request = parse_request(
+      "  {\"v\": 1, \"id\": 3, \"kind\": \"diversity\", \"source\": 0}\r\n");
+  EXPECT_EQ(request.kind, RequestKind::kDiversity);
+}
+
+TEST(Wire, RejectsMalformedRequests) {
+  EXPECT_THROW(parse_request("not json"), ProtocolError);
+  EXPECT_THROW(parse_request("{}"), ProtocolError);
+  EXPECT_THROW(parse_request(R"({"v":2,"id":1,"kind":"paths","source":0})"),
+               ProtocolError);
+  EXPECT_THROW(parse_request(R"({"v":1,"id":1,"kind":"nope"})"),
+               ProtocolError);
+  EXPECT_THROW(parse_request(R"({"v":1,"id":1,"kind":"paths"})"),
+               ProtocolError);
+  EXPECT_THROW(parse_request(R"({"v":1,"id":1,"kind":"whatif"})"),
+               ProtocolError);
+  EXPECT_THROW(
+      parse_request(R"({"v":1,"id":1,"kind":"paths","source":-3})"),
+      ProtocolError);
+}
+
+TEST(Wire, ErrorIdRecoveredFromFailedRequests) {
+  std::uint64_t id = 0;
+  EXPECT_THROW(parse_request(R"({"v":1,"id":77,"kind":"nope"})", &id),
+               ProtocolError);
+  EXPECT_EQ(id, 77u);
+}
+
+TEST(Wire, ResponsesAreSingleTerminatedLines) {
+  std::string out;
+  append_error_response(out, 5, "bad \"quote\"\n");
+  EXPECT_EQ(out,
+            "{\"v\":1,\"id\":5,\"ok\":false,"
+            "\"error\":\"bad \\\"quote\\\"\\n\"}\n");
+}
+
+// ----------------------------------------------------------- query engine
+
+/// Shared fixture: a small synthetic Internet, its economy, and a primed
+/// engine over a 40-source sample. Expensive, so built once.
+class ServeFixture {
+ public:
+  ServeFixture() {
+    topology::GeneratorParams params;
+    params.num_ases = 250;
+    params.tier1_count = 5;
+    params.seed = 20260801;
+    topo_ = topology::generate_internet(params);
+    compiled_.emplace(topo_.graph);
+    economy_.emplace(econ::make_default_economy(topo_.graph));
+    sources_ = diversity::sample_sources(topo_.graph, 40, 7);
+    aggregator_.emplace(*compiled_, &topo_.world, &*economy_);
+  }
+
+  [[nodiscard]] std::unique_ptr<QueryEngine> make_engine(
+      EngineConfig config = {}) const {
+    auto engine = std::make_unique<QueryEngine>(
+        *compiled_, &topo_.world, &*economy_, sources_, config);
+    engine->prime();
+    return engine;
+  }
+
+  [[nodiscard]] std::vector<scenario::Delta> candidates(
+      std::size_t count) const {
+    return scenario::candidate_peering_deltas(*compiled_, count, 4242);
+  }
+
+  topology::GeneratedTopology topo_;
+  std::optional<topology::CompiledTopology> compiled_;
+  std::optional<econ::Economy> economy_;
+  std::vector<AsId> sources_;
+  std::optional<scenario::MetricsAggregator> aggregator_;
+};
+
+const ServeFixture& fixture() {
+  static const ServeFixture fixture;
+  return fixture;
+}
+
+scenario::SourcePathSet direct_enumeration(const ServeFixture& f, AsId src) {
+  const scenario::Overlay base(*f.compiled_);
+  return scenario::enumerate_length3(base, src);
+}
+
+TEST(QueryEngine, CachedAndColdPathsMatchDirectEnumeration) {
+  const ServeFixture& f = fixture();
+  const auto engine = f.make_engine();
+  // One sampled (cache-served) and one unsampled (cold) source.
+  std::vector<AsId> probes{f.sources_.front()};
+  for (AsId as = 0; as < f.topo_.graph.num_ases(); ++as) {
+    if (std::find(f.sources_.begin(), f.sources_.end(), as) ==
+        f.sources_.end()) {
+      probes.push_back(as);
+      break;
+    }
+  }
+  for (const AsId src : probes) {
+    const scenario::SourcePathSet expected = direct_enumeration(f, src);
+    bool visited = false;
+    engine->paths(src, [&](std::span<const diversity::Length3Path> grc,
+                           std::span<const diversity::Length3Path> ma) {
+      visited = true;
+      ASSERT_TRUE(std::ranges::equal(grc, expected.grc()));
+      ASSERT_TRUE(std::ranges::equal(ma, expected.ma()));
+    });
+    EXPECT_TRUE(visited);
+  }
+  EXPECT_THROW(
+      engine->paths(static_cast<AsId>(f.topo_.graph.num_ases()),
+                    [](auto, auto) {}),
+      util::PreconditionError);
+}
+
+TEST(QueryEngine, DiversityMatchesAggregatorContribution) {
+  const ServeFixture& f = fixture();
+  const auto engine = f.make_engine();
+  const AsId src = f.sources_[3];
+  const scenario::Overlay base(*f.compiled_);
+  const scenario::SourceContribution expected =
+      f.aggregator_->contribution(base, direct_enumeration(f, src));
+  const DiversityResult result = engine->diversity(src);
+  EXPECT_EQ(result.grc_paths, expected.grc_paths);
+  EXPECT_EQ(result.ma_paths, expected.ma_paths);
+  EXPECT_EQ(result.grc_pairs, expected.grc_pairs);
+  EXPECT_EQ(result.ma_extra_pairs, expected.ma_extra_pairs);
+  EXPECT_DOUBLE_EQ(
+      result.mean_best_geodistance_km,
+      expected.km_pairs > 0
+          ? expected.km_sum / static_cast<double>(expected.km_pairs)
+          : 0.0);
+  EXPECT_DOUBLE_EQ(result.transit_fees, expected.transit_fees);
+}
+
+/// The whatif score recomputed the slow way: a fresh runner primed from
+/// scratch, full evaluate over the delta, aggregate, subtract.
+WhatIfResult full_recompute_whatif(const ServeFixture& f,
+                                   const scenario::Delta& delta) {
+  scenario::SweepConfig config;
+  config.dirty_radius = scenario::kLength3DirtyRadius;
+  scenario::SweepRunner<scenario::SourcePathSet> runner(*f.compiled_,
+                                                        f.sources_, config);
+  const auto enumerate = [](const scenario::Overlay& overlay, AsId src) {
+    return scenario::enumerate_length3(overlay, src);
+  };
+  runner.prime(enumerate);
+  const scenario::Overlay base(*f.compiled_);
+  const scenario::ScenarioMetrics baseline =
+      f.aggregator_->aggregate(base, f.sources_, runner.baseline());
+  scenario::Overlay overlay(*f.compiled_);
+  overlay.apply(delta);
+  scenario::SweepStats stats;
+  const std::vector<const scenario::SourcePathSet*> results =
+      runner.evaluate_refs(delta, enumerate, &stats);
+  const scenario::ScenarioMetrics metrics =
+      f.aggregator_->aggregate(overlay, f.sources_, results);
+  const scenario::MetricsDelta marginal =
+      scenario::subtract(metrics, baseline);
+  WhatIfResult expected;
+  expected.paths_delta = marginal.paths;
+  expected.pairs_delta = marginal.pairs;
+  expected.mean_km_delta = marginal.mean_best_geodistance_km;
+  expected.fees_delta = marginal.transit_fees;
+  expected.utility = scenario::operator_utility(marginal);
+  expected.recomputed_sources = stats.recomputed_sources;
+  expected.cached_sources = stats.cached_sources;
+  expected.ball_size = stats.ball_size;
+  return expected;
+}
+
+TEST(QueryEngine, WhatIfMatchesFullRecompute) {
+  const ServeFixture& f = fixture();
+  const auto engine = f.make_engine();
+  for (const scenario::Delta& delta : f.candidates(8)) {
+    const WhatIfResult expected = full_recompute_whatif(f, delta);
+    EXPECT_EQ(engine->whatif(delta), expected);
+    // Memoized repeat must serve identical bytes.
+    EXPECT_EQ(engine->whatif(delta), expected);
+    engine->flush_whatif_memo();
+    EXPECT_EQ(engine->whatif(delta), expected);
+  }
+}
+
+TEST(QueryEngine, WhatIfRejectsInvalidDeltas) {
+  const ServeFixture& f = fixture();
+  const auto engine = f.make_engine();
+  scenario::Delta bogus;
+  bogus.remove.emplace_back(
+      static_cast<AsId>(f.topo_.graph.num_ases() + 1),
+      static_cast<AsId>(f.topo_.graph.num_ases() + 2));
+  EXPECT_THROW((void)engine->whatif(bogus), util::PreconditionError);
+  // And again through the memo (the stored exception is shared).
+  EXPECT_THROW((void)engine->whatif(bogus), util::PreconditionError);
+}
+
+TEST(QueryEngine, RebaseFoldsStepAndBumpsEpoch) {
+  const ServeFixture& f = fixture();
+  const auto engine = f.make_engine();
+  const std::vector<scenario::Delta> candidates = f.candidates(3);
+  ASSERT_GE(candidates.size(), 2u);
+  const scenario::Delta step = candidates[0];
+  const scenario::Delta probe = candidates[1];
+
+  // Expected post-rebase state: a fresh runner rebased the library way.
+  scenario::SweepConfig config;
+  config.dirty_radius = scenario::kLength3DirtyRadius;
+  scenario::SweepRunner<scenario::SourcePathSet> runner(*f.compiled_,
+                                                        f.sources_, config);
+  const auto enumerate = [](const scenario::Overlay& overlay, AsId src) {
+    return scenario::enumerate_length3(overlay, src);
+  };
+  runner.prime(enumerate);
+  runner.rebase(step, enumerate);
+
+  const std::uint64_t epoch_before = engine->epoch();
+  engine->rebase(step);
+  EXPECT_EQ(engine->epoch(), epoch_before + 1);
+
+  // Cached paths now reflect the rebased state for every source.
+  for (std::size_t i = 0; i < f.sources_.size(); ++i) {
+    engine->paths(f.sources_[i],
+                  [&](std::span<const diversity::Length3Path> grc,
+                      std::span<const diversity::Length3Path> ma) {
+                    ASSERT_TRUE(std::ranges::equal(
+                        grc, runner.baseline()[i].grc()));
+                    ASSERT_TRUE(
+                        std::ranges::equal(ma, runner.baseline()[i].ma()));
+                  });
+  }
+
+  // And whatif scores measure against the rebased state.
+  scenario::Overlay state_overlay(*f.compiled_);
+  state_overlay.apply(runner.state());
+  const scenario::ScenarioMetrics state_metrics = f.aggregator_->aggregate(
+      state_overlay, f.sources_, runner.baseline());
+  scenario::SweepStats stats;
+  scenario::Overlay probe_overlay(*f.compiled_);
+  probe_overlay.apply(scenario::compose(runner.state(), probe));
+  const std::vector<const scenario::SourcePathSet*> results =
+      runner.evaluate_refs(probe, enumerate, &stats);
+  const scenario::MetricsDelta marginal = scenario::subtract(
+      f.aggregator_->aggregate(probe_overlay, f.sources_, results),
+      state_metrics);
+  const WhatIfResult served = engine->whatif(probe);
+  EXPECT_DOUBLE_EQ(served.utility, scenario::operator_utility(marginal));
+  EXPECT_EQ(served.recomputed_sources, stats.recomputed_sources);
+}
+
+// ------------------------------------------------- server byte-identity
+
+/// A deterministic mixed request script: all three kinds, cold and
+/// cached sources, plus malformed lines the server must answer as
+/// errors without dropping the connection.
+std::vector<std::string> request_script(const ServeFixture& f,
+                                        std::size_t count) {
+  const std::vector<scenario::Delta> deltas = f.candidates(6);
+  util::Rng rng(99);
+  std::vector<std::string> lines;
+  lines.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    const std::string id = std::to_string(i + 1);
+    switch (rng.uniform_index(5)) {
+      case 0:
+        lines.push_back(
+            R"({"v":1,"id":)" + id + R"(,"kind":"paths","source":)" +
+            std::to_string(
+                f.sources_[rng.uniform_index(f.sources_.size())]) +
+            "}");
+        break;
+      case 1:
+        lines.push_back(
+            R"({"v":1,"id":)" + id + R"(,"kind":"diversity","source":)" +
+            std::to_string(rng.uniform_index(f.topo_.graph.num_ases())) +
+            "}");
+        break;
+      case 2: {
+        const scenario::LinkChange& link =
+            deltas[rng.uniform_index(deltas.size())].add.front();
+        lines.push_back(R"({"v":1,"id":)" + id +
+                        R"(,"kind":"whatif","add":[{"a":)" +
+                        std::to_string(link.a) + R"(,"b":)" +
+                        std::to_string(link.b) +
+                        R"(,"type":"peering"}]})");
+        break;
+      }
+      case 3:
+        // Out-of-range source: a well-formed request the engine rejects.
+        lines.push_back(R"({"v":1,"id":)" + id +
+                        R"(,"kind":"paths","source":999999})");
+        break;
+      default:
+        lines.push_back(R"({"v":1,"id":)" + id + R"(,"kind":"garbage"})");
+    }
+  }
+  return lines;
+}
+
+/// The tentpole acceptance property: responses collected over the wire
+/// are byte-identical to direct QueryEngine::handle_line calls, for
+/// every worker-thread count and whatever interleaving concurrent client
+/// connections produce.
+TEST(Server, ResponsesByteIdenticalToDirectCallsAcrossThreadCounts) {
+  const ServeFixture& f = fixture();
+  const auto engine = f.make_engine();
+  const std::vector<std::string> script = request_script(f, 60);
+
+  std::vector<std::string> expected;
+  expected.reserve(script.size());
+  for (const std::string& line : script) {
+    std::string out;
+    engine->handle_line(line, out);
+    expected.push_back(out);
+  }
+  std::vector<std::string> expected_sorted = expected;
+  std::sort(expected_sorted.begin(), expected_sorted.end());
+
+  for (const std::size_t workers : {1u, 2u, 8u}) {
+    ServerConfig config;
+    config.worker_threads = workers;
+    Server server(*engine, config);
+    server.start();
+
+    // Three concurrent closed-loop clients interleaving disjoint slices.
+    constexpr std::size_t kClients = 3;
+    std::vector<std::vector<std::string>> collected(kClients);
+    std::vector<std::thread> clients;
+    for (std::size_t c = 0; c < kClients; ++c) {
+      clients.emplace_back([&, c] {
+        serve::ClientConnection client(server.port());
+        for (std::size_t i = c; i < script.size(); i += kClients) {
+          client.send_line(script[i]);
+          collected[c].push_back(client.read_line());
+        }
+      });
+    }
+    for (std::thread& t : clients) {
+      t.join();
+    }
+    // Closed-loop responses match their requests positionally.
+    for (std::size_t c = 0; c < kClients; ++c) {
+      std::size_t slot = 0;
+      for (std::size_t i = c; i < script.size(); i += kClients) {
+        EXPECT_EQ(collected[c][slot], expected[i])
+            << "workers=" << workers << " request=" << script[i];
+        ++slot;
+      }
+    }
+
+    // One pipelined client: fire everything, then read; responses may
+    // reorder across workers, so compare as sorted multisets.
+    {
+      serve::ClientConnection client(server.port());
+      for (const std::string& line : script) {
+        client.send_line(line);
+      }
+      std::vector<std::string> responses;
+      for (std::size_t i = 0; i < script.size(); ++i) {
+        responses.push_back(client.read_line());
+      }
+      std::sort(responses.begin(), responses.end());
+      EXPECT_EQ(responses, expected_sorted) << "workers=" << workers;
+    }
+
+    server.stop();
+    EXPECT_FALSE(server.running());
+  }
+}
+
+TEST(Server, StopDrainsOutstandingRequests) {
+  const ServeFixture& f = fixture();
+  const auto engine = f.make_engine();
+  Server server(*engine, {});
+  server.start();
+
+  serve::ClientConnection client(server.port());
+  constexpr std::size_t kOutstanding = 16;
+  for (std::size_t i = 0; i < kOutstanding; ++i) {
+    client.send_line(R"({"v":1,"id":)" + std::to_string(i + 1) +
+                     R"(,"kind":"paths","source":)" +
+                     std::to_string(f.sources_[i % f.sources_.size()]) +
+                     "}");
+  }
+  // Wait until every request has reached the server (loopback delivery
+  // is asynchronous), then stop: the drain must flush all responses.
+  for (int spins = 0; spins < 5000; ++spins) {
+    if (server.handled_requests() >= kOutstanding) {
+      break;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  server.stop();
+  std::size_t answered = 0;
+  for (std::size_t i = 0; i < kOutstanding; ++i) {
+    const std::string response = client.read_line();
+    if (response.empty()) {
+      break;
+    }
+    EXPECT_NE(response.find("\"ok\":true"), std::string::npos);
+    ++answered;
+  }
+  EXPECT_EQ(answered, kOutstanding);
+}
+
+}  // namespace
+}  // namespace panagree::serve

@@ -1,0 +1,65 @@
+// Shared command-line parsing helpers of the panagree tools.
+//
+// Every tool accepts a handful of numeric options (--threads, --port,
+// --sources, ...). Before this header each tool rolled its own std::stoul
+// calls with tool-specific failure behavior (unhandled exceptions, bare
+// usage dumps); these helpers give all of them one contract:
+//
+//   * malformed or missing option values print
+//       "<tool>: invalid <flag> '<value>': expected a non-negative integer"
+//       "<tool>: <flag> requires a value"
+//     to stderr and exit with kUsageExit (2) - the same exit code every
+//     tool already uses for usage errors, and the same message shape
+//     bench_common uses for malformed PANAGREE_* environment overrides;
+//   * --threads means the same thing everywhere: worker threads for
+//     per-source fan-outs, 0 = one per hardware core, overriding the
+//     PANAGREE_THREADS environment default.
+#pragma once
+
+#include <charconv>
+#include <cstdlib>
+#include <iostream>
+#include <string_view>
+
+namespace panagree::cli {
+
+/// Exit status of malformed command lines, shared by every tool.
+inline constexpr int kUsageExit = 2;
+
+/// The value of the option currently at argv[i]; prints a consistent
+/// error and exits kUsageExit when it is missing. Advances i past the
+/// consumed value.
+inline const char* require_value(const char* tool, std::string_view flag,
+                                 int argc, char** argv, int& i) {
+  if (i + 1 >= argc) {
+    std::cerr << tool << ": " << flag << " requires a value\n";
+    std::exit(kUsageExit);
+  }
+  return argv[++i];
+}
+
+/// Parses a non-negative integer option value; prints a consistent error
+/// and exits kUsageExit on anything else.
+inline std::size_t parse_size(const char* tool, std::string_view flag,
+                              std::string_view value) {
+  std::size_t out = 0;
+  const auto [ptr, ec] =
+      std::from_chars(value.data(), value.data() + value.size(), out);
+  if (value.empty() || ec != std::errc() ||
+      ptr != value.data() + value.size()) {
+    std::cerr << tool << ": invalid " << flag << " '" << value
+              << "': expected a non-negative integer\n";
+    std::exit(kUsageExit);
+  }
+  return out;
+}
+
+/// The shared --threads option (call with argv[i] == "--threads"):
+/// consumes the value and returns the worker count, 0 = one per core.
+inline std::size_t parse_threads(const char* tool, int argc, char** argv,
+                                 int& i) {
+  return parse_size(tool, "--threads",
+                    require_value(tool, "--threads", argc, argv, i));
+}
+
+}  // namespace panagree::cli

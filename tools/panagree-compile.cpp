@@ -26,7 +26,21 @@ namespace {
 
 void usage() {
   std::cerr << "usage: panagree-compile <out.pansnap>"
-               " [--caida FILE | --synthetic N] [--seed S]\n";
+               " [--caida FILE | --synthetic N] [--seed S]\n"
+               "       panagree-compile --verify <file.pansnap>\n";
+}
+
+/// --verify: open an existing snapshot, validate it, and report what the
+/// reader did - including the effective mmap access-pattern advice
+/// (WILLNEED on the CSR sections; THP when PANAGREE_MMAP_THP=1).
+int verify_snapshot(const std::string& path) {
+  const auto snapshot = storage::MappedSnapshot::open(path);
+  std::cout << "[verify] " << path << ": " << snapshot.graph().num_ases()
+            << " ASes, " << snapshot.graph().num_links() << " links, "
+            << snapshot.world().cities().size() << " cities, "
+            << snapshot.file_bytes() << " bytes\n"
+            << "[verify] madvise: " << snapshot.advice().describe() << "\n";
+  return 0;
 }
 
 }  // namespace
@@ -34,12 +48,19 @@ void usage() {
 int main(int argc, char** argv) {
   std::string output;
   std::string caida;
+  std::string verify;
   std::size_t synthetic = 0;
   std::uint64_t seed = benchcfg::kTopologySeed;
   try {
     for (int i = 1; i < argc; ++i) {
       const std::string arg = argv[i];
-      if (arg == "--caida") {
+      if (arg == "--verify") {
+        if (i + 1 >= argc) {
+          usage();
+          return 2;
+        }
+        verify = argv[++i];
+      } else if (arg == "--caida") {
         if (i + 1 >= argc) {
           usage();
           return 2;
@@ -67,6 +88,18 @@ int main(int argc, char** argv) {
   } catch (const std::exception&) {
     usage();
     return 2;
+  }
+  if (!verify.empty()) {
+    if (!output.empty() || !caida.empty() || synthetic > 0) {
+      usage();
+      return 2;
+    }
+    try {
+      return verify_snapshot(verify);
+    } catch (const std::exception& e) {
+      std::cerr << "error: " << e.what() << "\n";
+      return 1;
+    }
   }
   if (output.empty()) {
     usage();
@@ -127,7 +160,8 @@ int main(int argc, char** argv) {
     }
     std::cerr << "[compile] wrote " << output << ": "
               << snapshot.file_bytes() << " bytes in " << total_ms
-              << " ms (round-trip verified)\n";
+              << " ms (round-trip verified; madvise: "
+              << snapshot.advice().describe() << ")\n";
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << "\n";
     return 1;

@@ -2,9 +2,13 @@
 // as-rel2 relationship file (e.g. the real CAIDA dataset) or a freshly
 // generated synthetic topology.
 //
-//   panagree-diversity <as-rel2-file> [sources] [seed]
+//   panagree-diversity <as-rel2-file> [sources] [seed] [--threads N]
 //   panagree-diversity --synthetic <num_ases> [sources] [seed]
 //   panagree-diversity --snapshot <file.pansnap> [sources] [seed]
+//
+// --threads (anywhere on the line) sets the per-source fan-out worker
+// count, 0 = one per hardware core; results are thread-count
+// independent.
 //
 // --snapshot mmaps a compiled topology snapshot (see panagree-compile)
 // instead of re-parsing an as-rel2 file - the startup path for repeated
@@ -14,7 +18,9 @@
 #include <iostream>
 #include <optional>
 #include <string>
+#include <vector>
 
+#include "cli_common.hpp"
 #include "panagree/diversity/report.hpp"
 #include "panagree/storage/snapshot.hpp"
 #include "panagree/topology/caida.hpp"
@@ -23,9 +29,24 @@
 
 using namespace panagree;
 
-int main(int argc, char** argv) {
+int main(int raw_argc, char** raw_argv) {
+  // --threads may appear anywhere; strip it before the positional logic.
+  std::size_t threads = 0;
+  std::vector<char*> args;
+  args.push_back(raw_argv[0]);
+  for (int i = 1; i < raw_argc; ++i) {
+    if (std::string(raw_argv[i]) == "--threads") {
+      threads = panagree::cli::parse_threads("panagree-diversity", raw_argc,
+                                             raw_argv, i);
+    } else {
+      args.push_back(raw_argv[i]);
+    }
+  }
+  const int argc = static_cast<int>(args.size());
+  char** argv = args.data();
   if (argc < 2) {
-    std::cerr << "usage: panagree-diversity <as-rel2-file> [sources] [seed]\n"
+    std::cerr << "usage: panagree-diversity <as-rel2-file> [sources] [seed]"
+                 " [--threads N]\n"
               << "       panagree-diversity --synthetic <num_ases> [sources] "
                  "[seed]\n"
               << "       panagree-diversity --snapshot <file.pansnap> "
@@ -60,6 +81,7 @@ int main(int argc, char** argv) {
     diversity::DiversityParams params;
     params.sample_sources = argc > arg ? std::stoul(argv[arg]) : 500;
     params.seed = argc > arg + 1 ? std::stoull(argv[arg + 1]) : 7;
+    params.threads = threads;
 
     std::cerr << "topology: " << graph.num_ases() << " ASes, "
               << graph.num_links() << " links; analyzing "

@@ -1,0 +1,140 @@
+// panagree-serve: the long-running path/what-if query daemon.
+//
+//   panagree-serve [--snapshot FILE] [--port P] [--threads N]
+//       [--max-batch B] [--sources N] [--max-queue Q]
+//
+// Opens the topology (a mmap'd .pansnap via --snapshot or
+// PANAGREE_SNAPSHOT wins; PANAGREE_CAIDA / the synthetic generator
+// otherwise), primes the query engine's per-source baseline once, and
+// answers newline-delimited JSON requests (see serve/wire.hpp) on
+// 127.0.0.1:--port until SIGTERM/SIGINT, which drains gracefully: every
+// accepted request is answered before exit.
+//
+// --port 0 binds an ephemeral port; the chosen port is in the
+// "listening" line. That line goes to *stdout* (everything else to
+// stderr) as the machine-readable readiness signal scripts wait for.
+//
+// --threads drives both the prime/rebase fan-out and the worker pool
+// (0 = one per core); --max-batch bounds the per-epoch what-if memo
+// (concurrent identical what-ifs share one enumeration); --sources is
+// the cached sample size (the paper's 500 by default, PANAGREE_SOURCES
+// honored).
+#include <cerrno>
+#include <chrono>
+#include <csignal>
+#include <iostream>
+#include <string>
+
+#include <unistd.h>
+
+#include "cli_common.hpp"
+#include "panagree/paths/parallel.hpp"
+#include "panagree/serve/server.hpp"
+#include "serve_common.hpp"
+
+using namespace panagree;
+
+namespace {
+
+constexpr const char* kTool = "panagree-serve";
+
+void usage() {
+  std::cerr << "usage: panagree-serve [--snapshot FILE] [--port P]"
+               " [--threads N]\n"
+               "           [--max-batch B] [--sources N] [--max-queue Q]\n";
+}
+
+/// Self-pipe the signal handlers write one byte into; main blocks on the
+/// read end, so the drain runs on the main thread, not in handler
+/// context.
+int g_signal_pipe[2] = {-1, -1};
+
+extern "C" void on_shutdown_signal(int) {
+  const char byte = 1;
+  // Best-effort: a full pipe just means a signal is already pending.
+  [[maybe_unused]] const ssize_t n = ::write(g_signal_pipe[1], &byte, 1);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string snapshot;
+  std::size_t port = 7517;
+  std::size_t threads = benchcfg::num_threads();
+  std::size_t max_batch = 256;
+  std::size_t sources_n = benchcfg::num_sources();
+  std::size_t max_queue = 1024;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--snapshot") {
+      snapshot = cli::require_value(kTool, arg, argc, argv, i);
+    } else if (arg == "--port") {
+      port = cli::parse_size(kTool, arg,
+                             cli::require_value(kTool, arg, argc, argv, i));
+      if (port > 65535) {
+        std::cerr << kTool << ": invalid --port " << port << "\n";
+        return cli::kUsageExit;
+      }
+    } else if (arg == "--threads") {
+      threads = cli::parse_threads(kTool, argc, argv, i);
+    } else if (arg == "--max-batch") {
+      max_batch = cli::parse_size(
+          kTool, arg, cli::require_value(kTool, arg, argc, argv, i));
+    } else if (arg == "--sources") {
+      sources_n = cli::parse_size(
+          kTool, arg, cli::require_value(kTool, arg, argc, argv, i));
+    } else if (arg == "--max-queue") {
+      max_queue = cli::parse_size(
+          kTool, arg, cli::require_value(kTool, arg, argc, argv, i));
+    } else {
+      usage();
+      return cli::kUsageExit;
+    }
+  }
+
+  try {
+    servecfg::ServeContext context(
+        snapshot.empty() ? nullptr : snapshot.c_str(), sources_n, threads,
+        max_batch);
+    const auto prime_start = std::chrono::steady_clock::now();
+    context.engine.prime();
+    const double prime_ms = std::chrono::duration<double, std::milli>(
+                                std::chrono::steady_clock::now() -
+                                prime_start)
+                                .count();
+    std::cerr << "[serve] primed " << context.sources.size()
+              << " sources in " << prime_ms << " ms ("
+              << context.net.graph().num_ases() << " ASes)\n";
+
+    serve::ServerConfig server_config;
+    server_config.port = static_cast<std::uint16_t>(port);
+    server_config.worker_threads = paths::resolve_thread_count(threads);
+    server_config.max_queue = max_queue;
+    serve::Server server(context.engine, server_config);
+    server.start();
+
+    if (::pipe(g_signal_pipe) != 0) {
+      std::cerr << kTool << ": cannot create signal pipe\n";
+      return 1;
+    }
+    struct sigaction action{};
+    action.sa_handler = on_shutdown_signal;
+    ::sigaction(SIGTERM, &action, nullptr);
+    ::sigaction(SIGINT, &action, nullptr);
+
+    // The readiness line scripts and clients wait for - stdout, flushed.
+    std::cout << "listening on 127.0.0.1:" << server.port() << std::endl;
+
+    char byte = 0;
+    while (::read(g_signal_pipe[0], &byte, 1) < 0 && errno == EINTR) {
+    }
+    std::cerr << "[serve] shutdown signal; draining\n";
+    server.stop();
+    std::cerr << "[serve] drained after " << server.handled_requests()
+              << " requests\n";
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+  return 0;
+}

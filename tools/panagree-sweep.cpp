@@ -4,7 +4,7 @@
 //
 //   panagree-sweep [scenarios] [top-k] [seed]
 //       [--optimize greedy|beam] [--steps N] [--beam W] [--no-share]
-//       [--snapshot FILE]
+//       [--snapshot FILE] [--threads N]
 //
 // Defaults: 200 candidate deployments, top 10 shown, seed 4242. Every
 // candidate is a single new peering link between two ASes that share a
@@ -33,6 +33,7 @@
 #include <string>
 
 #include "bench_common.hpp"
+#include "cli_common.hpp"
 #include "panagree/diversity/report.hpp"
 #include "panagree/econ/business.hpp"
 #include "panagree/scenario/metrics.hpp"
@@ -55,6 +56,8 @@ struct Options {
   std::size_t max_steps = 4;
   bool share = true;
   std::string snapshot;  // --snapshot FILE (empty = PANAGREE_SNAPSHOT/env)
+  /// --threads N (default: the PANAGREE_THREADS env, 0 = hardware).
+  std::size_t threads = benchcfg::num_threads();
 
   /// Flags are order-insensitive: an explicit --beam always wins, and
   /// --optimize beam without one defaults to width 2 (greedy = 1).
@@ -70,7 +73,7 @@ void usage() {
   std::cerr << "usage: panagree-sweep [scenarios] [top-k] [seed]\n"
             << "           [--optimize greedy|beam] [--steps N] [--beam W]"
                " [--no-share]\n"
-            << "           [--snapshot FILE]\n";
+            << "           [--snapshot FILE] [--threads N]\n";
 }
 
 bool parse_args(int argc, char** argv, Options& options) {
@@ -106,6 +109,8 @@ bool parse_args(int argc, char** argv, Options& options) {
         return false;
       }
       options.snapshot = argv[++i];
+    } else if (arg == "--threads") {
+      options.threads = cli::parse_threads("panagree-sweep", argc, argv, i);
     } else if (arg == "--no-share") {
       options.share = false;
     } else if (positional == 0) {
@@ -184,7 +189,7 @@ int main(int argc, char** argv) {
       scenario::OptimizerConfig config;
       config.max_steps = options.max_steps;
       config.beam_width = beam_width;
-      config.sweep.threads = benchcfg::num_threads();
+      config.sweep.threads = options.threads;
       config.sweep.dirty_radius = scenario::kLength3DirtyRadius;
       config.share_recomputes = options.share;
       const scenario::Optimizer optimizer(compiled, sources, aggregator,
@@ -242,7 +247,7 @@ int main(int argc, char** argv) {
     }
 
     scenario::SweepConfig config;
-    config.threads = benchcfg::num_threads();
+    config.threads = options.threads;
     config.dirty_radius = scenario::kLength3DirtyRadius;
     scenario::SweepRunner<scenario::SourcePathSet> runner(compiled, sources,
                                                           config);

@@ -1,0 +1,54 @@
+// The one way panagree-serve and panagree-query (--direct / --bench)
+// build a QueryEngine, factored out so the two sides cannot drift: the
+// byte-identity contract of the serving layer ("server responses ==
+// direct library calls") only holds if both construct the engine from
+// the same topology, the same source sample (sample seed included), the
+// same economy, and the same scoring weights.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "panagree/diversity/report.hpp"
+#include "panagree/econ/business.hpp"
+#include "panagree/serve/query_engine.hpp"
+
+namespace panagree::servecfg {
+
+/// Everything a serving process keeps resident, in construction order
+/// (the engine borrows from every earlier member). Not movable: the
+/// engine holds pointers into the bundle.
+struct ServeContext {
+  /// `snapshot_override` follows benchcfg::load_internet semantics (a
+  /// --snapshot flag wins over PANAGREE_SNAPSHOT / PANAGREE_CAIDA /
+  /// the synthetic generator); `sources_n` is the cached sample size,
+  /// sampled with the benches' shared seed.
+  ServeContext(const char* snapshot_override, std::size_t sources_n,
+               std::size_t threads, std::size_t max_batch)
+      : net(benchcfg::load_internet(0, snapshot_override)),
+        economy(econ::make_default_economy(net.graph())),
+        sources(diversity::sample_sources(net.graph(), sources_n,
+                                          benchcfg::kSampleSeed)),
+        engine(net.compiled(), &net.world(), &economy, sources,
+               engine_config(threads, max_batch)) {}
+
+  ServeContext(const ServeContext&) = delete;
+  ServeContext& operator=(const ServeContext&) = delete;
+
+  benchcfg::Internet net;
+  econ::Economy economy;
+  std::vector<topology::AsId> sources;
+  serve::QueryEngine engine;
+
+ private:
+  static serve::EngineConfig engine_config(std::size_t threads,
+                                           std::size_t max_batch) {
+    serve::EngineConfig config;
+    config.threads = threads;
+    config.max_batch = max_batch;
+    return config;
+  }
+};
+
+}  // namespace panagree::servecfg
