@@ -33,6 +33,7 @@
 #include "panagree/pan/beaconing.hpp"
 #include "panagree/pan/forwarding.hpp"
 #include "panagree/paths/parallel.hpp"
+#include "panagree/paths/role_filter.hpp"
 #include "panagree/scenario/metrics.hpp"
 #include "panagree/scenario/sweep.hpp"
 #include "panagree/serve/query_engine.hpp"
@@ -722,6 +723,137 @@ void BM_QueryEngine_WhatIfFullRecompute(benchmark::State& state) {
 }
 BENCHMARK(BM_QueryEngine_WhatIfFullRecompute)
     ->Unit(benchmark::kMillisecond);
+
+// ------------------------------------------- parallel driver trio
+//
+// The scheduling-overhead workload of the work-stealing driver (ISSUE:
+// BM_MapSources_Skewed >= 2x over the atomic-cursor baseline). All three
+// benches run the *same* heavy-tailed item set - every 512th item spins
+// ~128x longer, the shape of per-source costs on a real AS topology - so
+// the measured difference is pure claim overhead: the atomic baseline
+// pays one shared fetch_add per item, the work-stealing driver one CAS
+// per chunk on a per-worker cache line. Skewed additionally seeds the
+// partition from the known costs (what SweepRunner does with
+// two_hop_cost_estimates). The checksum counter is the byte-identity
+// fingerprint - all three must report the same value.
+
+constexpr std::size_t kDriverItems = 1 << 18;
+
+std::uint64_t driver_item_work(std::size_t i) {
+  const std::size_t spins = (i % 512) == 0 ? 256 : 1;
+  std::uint64_t acc = i;
+  for (std::size_t s = 0; s < spins; ++s) {
+    acc = acc * 6364136223846793005ULL + 1442695040888963407ULL;
+  }
+  return acc;
+}
+
+const std::vector<std::uint64_t>& driver_item_costs() {
+  static const std::vector<std::uint64_t> costs = [] {
+    std::vector<std::uint64_t> c(kDriverItems, 1);
+    for (std::size_t i = 0; i < kDriverItems; i += 512) {
+      c[i] = 128;
+    }
+    return c;
+  }();
+  return costs;
+}
+
+std::uint64_t sum_results(const std::vector<std::uint64_t>& results) {
+  std::uint64_t sum = 0;
+  for (const std::uint64_t r : results) {
+    sum += r;
+  }
+  return sum;
+}
+
+void BM_MapSources_AtomicCursor(benchmark::State& state) {
+  const auto threads = static_cast<std::size_t>(state.range(0));
+  std::uint64_t checksum = 0;
+  for (auto _ : state) {
+    checksum =
+        sum_results(paths::map_indices_atomic(kDriverItems, threads,
+                                              driver_item_work));
+    benchmark::DoNotOptimize(checksum);
+  }
+  state.SetItemsProcessed(state.iterations() * kDriverItems);
+  state.counters["checksum"] = static_cast<double>(checksum);
+}
+BENCHMARK(BM_MapSources_AtomicCursor)->Arg(4)->Unit(benchmark::kMillisecond);
+
+void BM_MapSources_WorkStealing(benchmark::State& state) {
+  const auto threads = static_cast<std::size_t>(state.range(0));
+  std::uint64_t checksum = 0;
+  for (auto _ : state) {
+    checksum = sum_results(
+        paths::map_indices(kDriverItems, threads, driver_item_work));
+    benchmark::DoNotOptimize(checksum);
+  }
+  state.SetItemsProcessed(state.iterations() * kDriverItems);
+  state.counters["checksum"] = static_cast<double>(checksum);
+}
+BENCHMARK(BM_MapSources_WorkStealing)->Arg(4)->Unit(benchmark::kMillisecond);
+
+void BM_MapSources_Skewed(benchmark::State& state) {
+  const auto threads = static_cast<std::size_t>(state.range(0));
+  paths::MapOptions options;
+  options.costs = driver_item_costs();
+  std::uint64_t checksum = 0;
+  for (auto _ : state) {
+    checksum = sum_results(
+        paths::map_indices(kDriverItems, threads, driver_item_work, options));
+    benchmark::DoNotOptimize(checksum);
+  }
+  state.SetItemsProcessed(state.iterations() * kDriverItems);
+  state.counters["checksum"] = static_cast<double>(checksum);
+}
+BENCHMARK(BM_MapSources_Skewed)->Arg(4)->Unit(benchmark::kMillisecond);
+
+// ------------------------------------------- role-filter kernel pair
+//
+// The admissible-role scan over the whole role lane of the 3000-AS
+// fixture with the descending-phase mask (customers only - the hottest
+// mask of a valley-free walk), one contiguous pass so the pair measures
+// *kernel throughput* (ISSUE: >= 2x on this fixture). Per-row dispatch
+// overhead on short rows is the DFS's concern and already shows up in
+// the enumeration benches. Scalar is the golden reference the vector
+// kernels are property-tested against (role_filter_test); Simd is
+// whatever filter_roles() dispatches to on this host (the "simd"
+// counter names it: 0 = scalar, 1 = sse2, 2 = avx2). The admitted
+// counter is the shared correctness fingerprint.
+
+void BM_RoleFilter_Scalar(benchmark::State& state) {
+  const auto lane = cached_compiled().role_lane_array();
+  std::vector<std::uint32_t> out(lane.size());
+  std::size_t admitted = 0;
+  for (auto _ : state) {
+    admitted = paths::filter_roles_scalar(lane.data(), lane.size(),
+                                          paths::kCustomerBit, out.data());
+    benchmark::DoNotOptimize(admitted);
+    benchmark::ClobberMemory();
+  }
+  state.SetItemsProcessed(state.iterations() * lane.size());
+  state.counters["admitted"] = static_cast<double>(admitted);
+}
+BENCHMARK(BM_RoleFilter_Scalar);
+
+void BM_RoleFilter_Simd(benchmark::State& state) {
+  const auto lane = cached_compiled().role_lane_array();
+  std::vector<std::uint32_t> out(lane.size());
+  std::size_t admitted = 0;
+  for (auto _ : state) {
+    admitted = paths::filter_roles(lane.data(), lane.size(),
+                                   paths::kCustomerBit, out.data());
+    benchmark::DoNotOptimize(admitted);
+    benchmark::ClobberMemory();
+  }
+  state.SetItemsProcessed(state.iterations() * lane.size());
+  state.counters["admitted"] = static_cast<double>(admitted);
+  const std::string kernel = paths::role_filter_dispatch();
+  state.counters["simd"] = kernel == "avx2" ? 2.0 : kernel == "sse2" ? 1.0
+                                                                     : 0.0;
+}
+BENCHMARK(BM_RoleFilter_Simd);
 
 void BM_BoscoExpectedNash(benchmark::State& state) {
   const bosco::UniformDistribution dist(-1.0, 1.0);

@@ -22,16 +22,30 @@
 //   State initial_state() const;
 //   bool allowed(const Step& step, State state, State& next_state) const;
 //
+// A policy may additionally provide
+//   RoleMask admissible_roles(State state) const;
+// returning a *superset* of the roles allowed() can ever admit in that
+// state (allowed() stays the authority - the mask may not consult depth
+// or off-path lookups). When the policy has the hook and the topology
+// view exposes a contiguous role lane (CompiledTopology::role_lane), the
+// DFS pre-filters each CSR row with the SIMD role scan
+// (paths::filter_roles) and only offers the surviving entries to
+// allowed(); otherwise it scans the full row. Both paths enumerate the
+// same paths in the same order.
+//
 // The sink invoked for every emitted path returns bool: `true` to keep
 // extending the path, `false` to treat it as terminal (e.g. the
 // destination was reached).
 #pragma once
 
 #include <algorithm>
+#include <concepts>
 #include <cstdint>
+#include <span>
 #include <utility>
 #include <vector>
 
+#include "panagree/paths/role_filter.hpp"
 #include "panagree/topology/compiled.hpp"
 
 namespace panagree::paths {
@@ -88,6 +102,12 @@ struct ValleyFreeStep {
     }
     return false;
   }
+
+  /// Descending walks can only ever take customer steps; climbing admits
+  /// everything.
+  [[nodiscard]] RoleMask admissible_roles(State state) const {
+    return state == WalkPhase::kClimbing ? kAllRoles : kCustomerBit;
+  }
 };
 
 /// Valley-free extended by "mutual provider access" agreements (§II): a
@@ -116,6 +136,13 @@ class MutualTransitStep {
       return true;
     }
     return ValleyFreeStep{}.allowed(step, state, next_state);
+  }
+
+  /// Mutual-transit agreements only widen *peer* admission while
+  /// climbing - a phase where peers are admissible anyway - so the mask
+  /// is the valley-free one.
+  [[nodiscard]] RoleMask admissible_roles(State state) const {
+    return ValleyFreeStep{}.admissible_roles(state);
   }
 
  private:
@@ -192,6 +219,25 @@ class BasicMaLength3Step {
     // of Z.
     return include_indirect_ && step.role == NeighborRole::kPeer &&
            topo_->role_of(z, s) != NeighborRole::kCustomer;
+  }
+
+  /// Superset of what allowed() admits per state (the role tests above,
+  /// without the depth/role_of refinements): first hops leave S via a
+  /// peer (or a customer when indirect grants count); from a peer mid AS
+  /// the grant targets providers and peers; from a customer mid AS only
+  /// its peers.
+  [[nodiscard]] RoleMask admissible_roles(State state) const {
+    switch (state) {
+      case Via::kStart:
+        return include_indirect_
+                   ? static_cast<RoleMask>(kPeerBit | kCustomerBit)
+                   : kPeerBit;
+      case Via::kPeer:
+        return static_cast<RoleMask>(kProviderBit | kPeerBit);
+      case Via::kCustomer:
+        return kPeerBit;
+    }
+    return kAllRoles;
   }
 
  private:
@@ -289,13 +335,25 @@ class BasicPathEnumerator {
   }
 
  private:
+  /// True when dfs() can pre-filter rows: the view exposes a contiguous
+  /// role lane and the policy declares its admissible roles per state.
+  template <typename Policy>
+  static constexpr bool kCanRoleFilter =
+      requires(const Topo& t, const Policy& p, typename Policy::State s) {
+        { t.role_lane(AsId{0}) } -> std::convertible_to<const std::uint8_t*>;
+        { t.entries(AsId{0}) }
+            -> std::convertible_to<
+                std::span<const topology::CompiledTopology::Entry>>;
+        { p.admissible_roles(s) } -> std::convertible_to<RoleMask>;
+      };
+
   template <typename Policy, typename Sink>
   void dfs(const Policy& policy, Sink& sink, Path& path,
            std::vector<std::uint64_t>& visited, std::uint64_t walk,
            AsId prev, typename Policy::State state,
            std::size_t max_len) const {
     const AsId cur = path.back();
-    topo_->for_each_entry(cur, [&](const auto& entry) {
+    const auto try_step = [&](const auto& entry) {
       if (visited[entry.neighbor] == walk) {
         return;
       }
@@ -314,7 +372,30 @@ class BasicPathEnumerator {
         visited[entry.neighbor] = saved;
       }
       path.pop_back();
-    });
+    };
+    if constexpr (kCanRoleFilter<Policy>) {
+      const RoleMask mask = policy.admissible_roles(state);
+      if (mask != kAllRoles) {
+        const auto row = topo_->entries(cur);
+        // One scratch vector per thread, used as a stack of per-frame
+        // index lists: this frame appends its admitted indices, deeper
+        // frames append after them, and each frame truncates back on
+        // exit. Indexed (not iterator) access - recursion may reallocate.
+        thread_local std::vector<std::uint32_t> scratch;
+        const std::size_t frame = scratch.size();
+        scratch.resize(frame + row.size());
+        const std::size_t admitted = filter_roles(
+            topo_->role_lane(cur), row.size(), mask, scratch.data() + frame);
+        scratch.resize(frame + admitted);
+        const std::size_t end = frame + admitted;
+        for (std::size_t k = frame; k < end; ++k) {
+          try_step(row[scratch[k]]);
+        }
+        scratch.resize(frame);
+        return;
+      }
+    }
+    topo_->for_each_entry(cur, try_step);
   }
 
   const Topo* topo_;

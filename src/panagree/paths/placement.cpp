@@ -1,0 +1,242 @@
+#include "panagree/paths/placement.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+#include <thread>
+
+#if defined(__linux__)
+#include <sched.h>
+#include <sys/syscall.h>
+#include <unistd.h>
+#endif
+
+namespace panagree::paths {
+
+namespace {
+
+/// First line of a sysfs file, empty on any failure.
+std::string read_sys_line(const std::string& path) {
+  std::ifstream in(path);
+  std::string line;
+  if (!in || !std::getline(in, line)) {
+    return {};
+  }
+  return line;
+}
+
+std::size_t online_cpu_count() {
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<std::size_t>(hw);
+}
+
+#if defined(__linux__)
+bool set_affinity(const std::vector<int>& cpus) {
+  if (cpus.empty()) {
+    return false;
+  }
+  cpu_set_t set;
+  CPU_ZERO(&set);
+  for (const int cpu : cpus) {
+    if (cpu >= 0 && cpu < CPU_SETSIZE) {
+      CPU_SET(cpu, &set);
+    }
+  }
+  return sched_setaffinity(0, sizeof(set), &set) == 0;
+}
+#endif
+
+}  // namespace
+
+std::vector<int> parse_cpu_list(const std::string& list) {
+  std::vector<int> cpus;
+  std::size_t i = 0;
+  const auto parse_int = [&](int& out) {
+    std::size_t digits = 0;
+    long value = 0;
+    while (i < list.size() && list[i] >= '0' && list[i] <= '9') {
+      value = value * 10 + (list[i] - '0');
+      ++i;
+      ++digits;
+      if (value > 1 << 20) {  // no machine has a million cpus
+        return false;
+      }
+    }
+    out = static_cast<int>(value);
+    return digits > 0;
+  };
+  while (i < list.size()) {
+    int lo = 0;
+    if (!parse_int(lo)) {
+      break;
+    }
+    int hi = lo;
+    if (i < list.size() && list[i] == '-') {
+      ++i;
+      if (!parse_int(hi) || hi < lo) {
+        break;
+      }
+    }
+    for (int cpu = lo; cpu <= hi; ++cpu) {
+      cpus.push_back(cpu);
+    }
+    if (i < list.size()) {
+      if (list[i] != ',') {
+        break;
+      }
+      ++i;
+    }
+  }
+  std::sort(cpus.begin(), cpus.end());
+  cpus.erase(std::unique(cpus.begin(), cpus.end()), cpus.end());
+  return cpus;
+}
+
+TopologyPlacement TopologyPlacement::single_node(std::size_t cpu_count) {
+  TopologyPlacement placement;
+  Node node;
+  node.id = 0;
+  node.cpus.reserve(std::max<std::size_t>(cpu_count, 1));
+  for (std::size_t cpu = 0; cpu < std::max<std::size_t>(cpu_count, 1);
+       ++cpu) {
+    node.cpus.push_back(static_cast<int>(cpu));
+  }
+  placement.nodes_.push_back(std::move(node));
+  return placement;
+}
+
+TopologyPlacement TopologyPlacement::detect() {
+  const std::string online =
+      read_sys_line("/sys/devices/system/node/online");
+  const std::vector<int> node_ids = parse_cpu_list(online);
+  TopologyPlacement placement;
+  for (const int id : node_ids) {
+    const std::string cpulist =
+        read_sys_line("/sys/devices/system/node/node" + std::to_string(id) +
+                      "/cpulist");
+    Node node;
+    node.id = id;
+    node.cpus = parse_cpu_list(cpulist);
+    // Memory-only nodes (CXL expanders, ...) carry no cpus; they cannot
+    // host workers, so they are not placement targets.
+    if (!node.cpus.empty()) {
+      placement.nodes_.push_back(std::move(node));
+    }
+  }
+  if (placement.nodes_.empty()) {
+    return single_node(online_cpu_count());
+  }
+  return placement;
+}
+
+const TopologyPlacement& TopologyPlacement::system() {
+  static const TopologyPlacement placement = detect();
+  return placement;
+}
+
+std::size_t TopologyPlacement::num_cpus() const {
+  std::size_t total = 0;
+  for (const Node& node : nodes_) {
+    total += node.cpus.size();
+  }
+  return total;
+}
+
+std::size_t TopologyPlacement::node_of_worker(std::size_t worker,
+                                              std::size_t workers) const {
+  if (nodes_.size() <= 1 || workers == 0) {
+    return 0;
+  }
+  const std::size_t block =
+      (workers + nodes_.size() - 1) / nodes_.size();  // ceil(W / N)
+  return std::min(worker / block, nodes_.size() - 1);
+}
+
+bool TopologyPlacement::bind_worker(std::size_t worker,
+                                    std::size_t workers) const {
+#if defined(__linux__)
+  const std::size_t node_index = node_of_worker(worker, workers);
+  const Node& node = nodes_[node_index];
+  if (node.cpus.empty()) {
+    return false;
+  }
+  const std::size_t block =
+      nodes_.size() <= 1
+          ? workers
+          : (workers + nodes_.size() - 1) / nodes_.size();
+  const std::size_t slot = block == 0 ? 0 : worker % std::max(block, std::size_t{1});
+  const int cpu = node.cpus[slot % node.cpus.size()];
+  if (set_affinity({cpu})) {
+    return true;
+  }
+  return bind_current_thread(node_index);
+#else
+  (void)worker;
+  (void)workers;
+  return false;
+#endif
+}
+
+bool TopologyPlacement::bind_current_thread(std::size_t node_index) const {
+#if defined(__linux__)
+  if (node_index >= nodes_.size()) {
+    return false;
+  }
+  return set_affinity(nodes_[node_index].cpus);
+#else
+  (void)node_index;
+  return false;
+#endif
+}
+
+bool TopologyPlacement::bind_memory(const void* addr, std::size_t length,
+                                    std::size_t node_index) const {
+#if defined(__linux__) && defined(SYS_mbind)
+  if (node_index >= nodes_.size() || addr == nullptr || length == 0) {
+    return false;
+  }
+  const int node_id = nodes_[node_index].id;
+  if (node_id < 0 || node_id >= 64) {
+    return false;  // single-word nodemask covers every real machine
+  }
+  const long page = sysconf(_SC_PAGESIZE);
+  if (page <= 0) {
+    return false;
+  }
+  const auto base = reinterpret_cast<std::uintptr_t>(addr);
+  const std::uintptr_t start = base & ~static_cast<std::uintptr_t>(page - 1);
+  const std::uintptr_t stop = base + length;
+  const unsigned long nodemask = 1UL << node_id;
+  constexpr int kMpolBind = 2;  // MPOL_BIND, numaif.h not required
+  // maxnode counts bits and the kernel wants one past the highest set bit.
+  return syscall(SYS_mbind, reinterpret_cast<void*>(start), stop - start,
+                 kMpolBind, &nodemask, 64UL + 1, 0UL) == 0;
+#else
+  (void)addr;
+  (void)length;
+  (void)node_index;
+  return false;
+#endif
+}
+
+std::string TopologyPlacement::describe() const {
+  std::ostringstream out;
+  out << nodes_.size() << (nodes_.size() == 1 ? " node, " : " nodes, ")
+      << num_cpus() << " cpus";
+  return out.str();
+}
+
+std::string affinity_summary() {
+  const std::size_t online = online_cpu_count();
+#if defined(__linux__)
+  cpu_set_t set;
+  CPU_ZERO(&set);
+  if (sched_getaffinity(0, sizeof(set), &set) == 0) {
+    const int allowed = CPU_COUNT(&set);
+    return "cpus=" + std::to_string(allowed) + "/" + std::to_string(online);
+  }
+#endif
+  return "cpus=" + std::to_string(online) + "/" + std::to_string(online);
+}
+
+}  // namespace panagree::paths

@@ -1,0 +1,99 @@
+// NUMA-aware worker and memory placement for the parallel path engine.
+//
+// At CAIDA scale the enumeration core is memory-bound: every walk streams
+// CSR rows out of DRAM, and on a multi-socket host a worker whose rows
+// live on the other socket pays the interconnect on every row. The fix is
+// the classic one: shard the sources across nodes, run each shard's
+// workers on the cpus of its node, and put the pages they read on the
+// same node.
+//
+// TopologyPlacement is the machine model behind that: the NUMA nodes and
+// their cpus as read from /sys/devices/system/node, with a single-node
+// fallback when sysfs is unavailable (non-Linux, containers without the
+// hierarchy). It binds threads via sched_setaffinity and pages via the
+// raw mbind syscall - no libnuma dependency - and everything is
+// best-effort: a refused bind degrades to the unbound behavior, never an
+// error, because placement is an optimization, not a correctness
+// property. Results are byte-identical with placement on or off (the
+// driver's source-order result commit does not care where a worker ran).
+//
+// The work-stealing driver (paths::map_indices) consumes this through
+// ExecPolicy: workers are dealt to nodes in contiguous blocks, matching
+// the driver's contiguous cost-balanced seed ranges, so a shard's sources
+// and its workers land on the same node and steals stay node-local until
+// a node runs dry.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace panagree::paths {
+
+class TopologyPlacement {
+ public:
+  /// One NUMA node: its kernel id and the online cpus it owns.
+  struct Node {
+    int id = 0;
+    std::vector<int> cpus;
+  };
+
+  /// The machine as described by /sys/devices/system/node: one Node per
+  /// online NUMA node with its cpulist. Falls back to single_node() over
+  /// every online cpu when the hierarchy is unreadable.
+  [[nodiscard]] static TopologyPlacement detect();
+
+  /// The process-wide detected placement (detect() run once).
+  [[nodiscard]] static const TopologyPlacement& system();
+
+  /// A trivial one-node placement over cpus 0..cpu_count-1 (tests, and
+  /// the detect() fallback).
+  [[nodiscard]] static TopologyPlacement single_node(std::size_t cpu_count);
+
+  [[nodiscard]] std::size_t num_nodes() const { return nodes_.size(); }
+  [[nodiscard]] std::size_t num_cpus() const;
+  [[nodiscard]] const std::vector<Node>& nodes() const { return nodes_; }
+
+  /// Node that worker `worker` of `workers` total belongs to: workers are
+  /// dealt out in contiguous blocks (first ceil(W/N) workers on node 0,
+  /// ...), mirroring the driver's contiguous seed ranges so a node's
+  /// workers share their shard of the source space.
+  [[nodiscard]] std::size_t node_of_worker(std::size_t worker,
+                                           std::size_t workers) const;
+
+  /// Pins the calling thread to one cpu of its node: worker `worker` of
+  /// `workers` gets cpu (index within its node's block) % node cpus.
+  /// Falls back to the whole node's cpu set if the single-cpu bind is
+  /// refused; returns whether any bind took effect.
+  bool bind_worker(std::size_t worker, std::size_t workers) const;
+
+  /// Pins the calling thread to every cpu of node `node_index`.
+  bool bind_current_thread(std::size_t node_index) const;
+
+  /// Binds the page range containing [addr, addr + length) to node
+  /// `node_index` (MPOL_BIND via the raw mbind syscall; the range is
+  /// rounded out to page boundaries). Best-effort: false when the kernel
+  /// refuses or the syscall is unavailable. Already-touched private
+  /// pages stay where first-touch put them - call before the first read
+  /// (e.g. right after mmap) for the bind to matter.
+  bool bind_memory(const void* addr, std::size_t length,
+                   std::size_t node_index) const;
+
+  /// "N node(s), M cpus" - the readiness-line summary.
+  [[nodiscard]] std::string describe() const;
+
+ private:
+  std::vector<Node> nodes_;
+};
+
+/// Parses a kernel cpulist ("0-3,8,10-11") into cpu numbers, ascending.
+/// Malformed input yields the longest valid prefix (kernel files are
+/// trusted; this keeps the parser total for the detect() fallback path).
+[[nodiscard]] std::vector<int> parse_cpu_list(const std::string& list);
+
+/// The calling thread's current affinity as "cpus=K/N" (K allowed of N
+/// online) - what panagree-serve reports in its readiness line so scripts
+/// can verify --pin-threads took effect.
+[[nodiscard]] std::string affinity_summary();
+
+}  // namespace panagree::paths

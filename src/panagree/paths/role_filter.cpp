@@ -1,0 +1,150 @@
+#include "panagree/paths/role_filter.hpp"
+
+#include <cstdlib>
+
+#if defined(__x86_64__) || defined(__i386__)
+#include <immintrin.h>
+#endif
+
+namespace panagree::paths {
+
+namespace {
+
+using FilterFn = std::size_t (*)(const std::uint8_t*, std::size_t, RoleMask,
+                                 std::uint32_t*);
+
+std::size_t filter_scalar_impl(const std::uint8_t* roles, std::size_t count,
+                               RoleMask mask, std::uint32_t* out) {
+  std::size_t n = 0;
+  for (std::size_t i = 0; i < count; ++i) {
+    if ((static_cast<unsigned>(mask) >> roles[i]) & 1U) {
+      out[n++] = static_cast<std::uint32_t>(i);
+    }
+  }
+  return n;
+}
+
+#if defined(__x86_64__) || defined(__i386__)
+
+/// Drains a movemask word: each set bit is one admitted lane.
+inline std::size_t emit_bits(std::uint32_t bits, std::size_t base,
+                             std::uint32_t* out, std::size_t n) {
+  while (bits != 0) {
+    const unsigned lane = static_cast<unsigned>(__builtin_ctz(bits));
+    out[n++] = static_cast<std::uint32_t>(base + lane);
+    bits &= bits - 1;
+  }
+  return n;
+}
+
+/// SSE2 (the x86-64 baseline, no runtime check needed): compare the 16
+/// roles of a block against each role value the mask admits (<= 3
+/// compares) and OR the verdicts.
+std::size_t filter_sse2_impl(const std::uint8_t* roles, std::size_t count,
+                             RoleMask mask, std::uint32_t* out) {
+  __m128i wanted[3];
+  int num_wanted = 0;
+  for (int role = 0; role < 3; ++role) {
+    if ((mask >> role) & 1U) {
+      wanted[num_wanted++] = _mm_set1_epi8(static_cast<char>(role));
+    }
+  }
+  std::size_t n = 0;
+  std::size_t i = 0;
+  for (; i + 16 <= count; i += 16) {
+    const __m128i v =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(roles + i));
+    __m128i admit = _mm_setzero_si128();
+    for (int w = 0; w < num_wanted; ++w) {
+      admit = _mm_or_si128(admit, _mm_cmpeq_epi8(v, wanted[w]));
+    }
+    n = emit_bits(static_cast<std::uint32_t>(_mm_movemask_epi8(admit)), i,
+                  out, n);
+  }
+  for (; i < count; ++i) {
+    if ((static_cast<unsigned>(mask) >> roles[i]) & 1U) {
+      out[n++] = static_cast<std::uint32_t>(i);
+    }
+  }
+  return n;
+}
+
+/// AVX2: one pshufb against a 16-entry admit table classifies 32 roles
+/// per iteration regardless of how many roles the mask admits.
+__attribute__((target("avx2"))) std::size_t filter_avx2_impl(
+    const std::uint8_t* roles, std::size_t count, RoleMask mask,
+    std::uint32_t* out) {
+  alignas(32) std::uint8_t table[32];
+  for (int value = 0; value < 16; ++value) {
+    const std::uint8_t admit =
+        value < 8 && ((mask >> value) & 1U) ? 0xFF : 0x00;
+    table[value] = admit;
+    table[16 + value] = admit;  // both 128-bit lanes of the shuffle
+  }
+  const __m256i lut =
+      _mm256_load_si256(reinterpret_cast<const __m256i*>(table));
+  std::size_t n = 0;
+  std::size_t i = 0;
+  for (; i + 32 <= count; i += 32) {
+    const __m256i v =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(roles + i));
+    const __m256i admit = _mm256_shuffle_epi8(lut, v);
+    n = emit_bits(static_cast<std::uint32_t>(_mm256_movemask_epi8(admit)), i,
+                  out, n);
+  }
+  for (; i < count; ++i) {
+    if ((static_cast<unsigned>(mask) >> roles[i]) & 1U) {
+      out[n++] = static_cast<std::uint32_t>(i);
+    }
+  }
+  return n;
+}
+
+#endif  // x86
+
+struct Dispatch {
+  FilterFn fn;
+  const char* name;
+};
+
+Dispatch select_dispatch() {
+  const char* no_simd = std::getenv("PANAGREE_NO_SIMD");
+  const bool forced_scalar =
+      no_simd != nullptr && no_simd[0] != '\0' && no_simd[0] != '0';
+#if defined(__x86_64__) || defined(__i386__)
+  if (!forced_scalar) {
+    if (__builtin_cpu_supports("avx2")) {
+      return {&filter_avx2_impl, "avx2"};
+    }
+#if defined(__SSE2__)
+    return {&filter_sse2_impl, "sse2"};
+#endif
+  }
+#else
+  (void)forced_scalar;
+#endif
+  return {&filter_scalar_impl, "scalar"};
+}
+
+const Dispatch& dispatch() {
+  // Selected once per process: the environment override is read at first
+  // use, like the rest of the PANAGREE_* env knobs.
+  static const Dispatch selected = select_dispatch();
+  return selected;
+}
+
+}  // namespace
+
+std::size_t filter_roles_scalar(const std::uint8_t* roles, std::size_t count,
+                                RoleMask mask, std::uint32_t* out) {
+  return filter_scalar_impl(roles, count, mask, out);
+}
+
+std::size_t filter_roles(const std::uint8_t* roles, std::size_t count,
+                         RoleMask mask, std::uint32_t* out) {
+  return dispatch().fn(roles, count, mask, out);
+}
+
+const char* role_filter_dispatch() { return dispatch().name; }
+
+}  // namespace panagree::paths

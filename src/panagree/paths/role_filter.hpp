@@ -1,0 +1,62 @@
+// SIMD role filtering over CSR neighbor rows.
+//
+// A policy DFS spends most of its time scanning a row and rejecting
+// neighbors whose *role* the current policy state cannot admit at all -
+// e.g. the descending phase of a valley-free walk admits customers only,
+// so scanning a hub's thousands of providers and peers through the
+// policy's allowed() is pure waste. CompiledTopology keeps the roles of a
+// row as a separate contiguous uint8_t lane exactly so this scan
+// vectorizes: filter_roles() turns (role lane, admissible-role mask) into
+// the ascending indices of the admitted entries, 16/32 roles per compare
+// (SSE2/AVX2), and the DFS then walks only those.
+//
+// Dispatch is by runtime cpu check (AVX2 via __builtin_cpu_supports,
+// SSE2 as the x86-64 baseline, scalar elsewhere), overridable with
+// PANAGREE_NO_SIMD=1 which forces the scalar path - the golden reference
+// every vector kernel is property-tested against. All kernels produce
+// bit-identical output by contract; which one runs is a pure throughput
+// choice.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "panagree/topology/graph.hpp"
+
+namespace panagree::paths {
+
+/// Bitmask over NeighborRole values: bit (1 << role) admits that role.
+using RoleMask = std::uint8_t;
+
+/// The bit admitting `role`.
+[[nodiscard]] constexpr RoleMask role_bit(topology::NeighborRole role) {
+  return static_cast<RoleMask>(std::uint8_t{1}
+                               << static_cast<std::uint8_t>(role));
+}
+
+inline constexpr RoleMask kProviderBit =
+    role_bit(topology::NeighborRole::kProvider);
+inline constexpr RoleMask kPeerBit = role_bit(topology::NeighborRole::kPeer);
+inline constexpr RoleMask kCustomerBit =
+    role_bit(topology::NeighborRole::kCustomer);
+inline constexpr RoleMask kAllRoles = kProviderBit | kPeerBit | kCustomerBit;
+inline constexpr RoleMask kNoRoles = 0;
+
+/// Writes the ascending indices i in [0, count) with roles[i] admitted by
+/// `mask` into `out` (capacity >= count) and returns how many were
+/// written. `roles` must hold NeighborRole values (< 8). Scalar golden
+/// reference - the vector kernels are defined to match it bit for bit.
+std::size_t filter_roles_scalar(const std::uint8_t* roles, std::size_t count,
+                                RoleMask mask, std::uint32_t* out);
+
+/// filter_roles_scalar through the fastest kernel the cpu supports (AVX2,
+/// then SSE2, then scalar; PANAGREE_NO_SIMD=1 forces scalar). Identical
+/// output on every path.
+std::size_t filter_roles(const std::uint8_t* roles, std::size_t count,
+                         RoleMask mask, std::uint32_t* out);
+
+/// Name of the kernel filter_roles() dispatches to: "avx2", "sse2" or
+/// "scalar". For readiness lines and tests.
+[[nodiscard]] const char* role_filter_dispatch();
+
+}  // namespace panagree::paths

@@ -1,0 +1,155 @@
+// Lock-free range-stealing primitive of the work-stealing source driver.
+//
+// One StealRange holds a worker's remaining slice [begin, end) of the
+// global index space, packed as (begin << 32 | end) in a single 64-bit
+// atomic. Every ownership transfer is one CAS on that word: the owner
+// claims chunks off the front, a thief takes the back half of whatever is
+// left. Packing both cursors into one word is what makes the protocol
+// trivially overlap-free - a CAS always operates on a consistent
+// (begin, end) pair, whereas separate begin/end atomics can hand the same
+// index to an owner incrementing begin and a thief decrementing end.
+//
+// The driver (paths::map_indices) seeds one StealRange per worker with a
+// cost-balanced contiguous partition; an idle worker scans its victims
+// round-robin and installs the stolen half as its own range, so stolen
+// work remains stealable in turn. Indices only ever move between ranges -
+// none are created or dropped - which a global remaining-counter in the
+// driver turns into a simple termination test.
+#pragma once
+
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <new>
+#include <span>
+#include <utility>
+#include <vector>
+
+namespace panagree::paths {
+
+// The std constant is the right alignment for keeping per-worker hot
+// atomics off each other's cache lines, but naming it is an ABI-affecting
+// choice GCC flags with -Winterference-size; capture it once, silenced,
+// and use the local constant everywhere.
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Winterference-size"
+#endif
+#ifdef __cpp_lib_hardware_interference_size
+inline constexpr std::size_t kCacheLineAlign =
+    std::hardware_destructive_interference_size;
+#else
+inline constexpr std::size_t kCacheLineAlign = 64;
+#endif
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic pop
+#endif
+
+namespace detail {
+
+/// A worker's remaining index slice, claimable from the front by its
+/// owner and stealable from the back by anyone else. All methods are
+/// safe to call concurrently from any thread.
+class StealRange {
+ public:
+  /// Largest chunk an owner claims in one CAS. Bounds how much work can
+  /// ride along, unstealable, in a single claim - the work-stealing
+  /// equivalent of scheduling granularity.
+  static constexpr std::uint32_t kMaxChunk = 256;
+
+  StealRange() = default;
+
+  /// Installs [begin, end) as the current slice. Only valid when the
+  /// range is empty (an empty range is never CAS-written by thieves or
+  /// owners, so the plain store cannot clobber a concurrent transfer).
+  void reset(std::uint32_t begin, std::uint32_t end) {
+    range_.store(pack(begin, end), std::memory_order_release);
+  }
+
+  /// Claims up to kMaxChunk indices (1/8 of the remainder, at least one)
+  /// off the front into [begin, end). Returns false when empty.
+  bool try_claim(std::uint32_t& begin, std::uint32_t& end) {
+    std::uint64_t packed = range_.load(std::memory_order_acquire);
+    for (;;) {
+      const std::uint32_t b = unpack_begin(packed);
+      const std::uint32_t e = unpack_end(packed);
+      if (b >= e) {
+        return false;
+      }
+      // Geometric decay: big claims amortize the CAS while the range is
+      // fat, shrinking claims leave a fine-grained tail for thieves.
+      const std::uint32_t chunk =
+          std::min({kMaxChunk, std::uint32_t{1} + (e - b) / 8, e - b});
+      if (range_.compare_exchange_weak(packed, pack(b + chunk, e),
+                                       std::memory_order_acq_rel,
+                                       std::memory_order_acquire)) {
+        begin = b;
+        end = b + chunk;
+        return true;
+      }
+    }
+  }
+
+  /// Steals the back half into [begin, end). Returns false when fewer
+  /// than two indices remain - the last index is left to the owner,
+  /// whose claim may already be in flight.
+  bool try_steal(std::uint32_t& begin, std::uint32_t& end) {
+    std::uint64_t packed = range_.load(std::memory_order_acquire);
+    for (;;) {
+      const std::uint32_t b = unpack_begin(packed);
+      const std::uint32_t e = unpack_end(packed);
+      if (e - b < 2 || b >= e) {
+        return false;
+      }
+      const std::uint32_t mid = b + (e - b) / 2;
+      if (range_.compare_exchange_weak(packed, pack(b, mid),
+                                       std::memory_order_acq_rel,
+                                       std::memory_order_acquire)) {
+        begin = mid;
+        end = e;
+        return true;
+      }
+    }
+  }
+
+  /// Indices not yet claimed or stolen (a racing snapshot, like any
+  /// concurrent size).
+  [[nodiscard]] std::uint32_t remaining() const {
+    const std::uint64_t packed = range_.load(std::memory_order_acquire);
+    const std::uint32_t b = unpack_begin(packed);
+    const std::uint32_t e = unpack_end(packed);
+    return b < e ? e - b : 0;
+  }
+
+ private:
+  static constexpr std::uint64_t pack(std::uint32_t begin,
+                                      std::uint32_t end) {
+    return (static_cast<std::uint64_t>(begin) << 32) | end;
+  }
+  static constexpr std::uint32_t unpack_begin(std::uint64_t packed) {
+    return static_cast<std::uint32_t>(packed >> 32);
+  }
+  static constexpr std::uint32_t unpack_end(std::uint64_t packed) {
+    return static_cast<std::uint32_t>(packed);
+  }
+
+  /// Own cache line: neighboring workers' ranges must not false-share
+  /// (the per-item claim traffic of the old single-cursor driver showing
+  /// up again through the back door).
+  alignas(kCacheLineAlign) std::atomic<std::uint64_t> range_{0};
+};
+
+}  // namespace detail
+
+/// Splits [0, count) into `workers` contiguous ranges of roughly equal
+/// total cost (equal sizes when `costs` is empty; otherwise costs.size()
+/// must be count, every cost >= 0). Ranges cover the space exactly, in
+/// order, and may be empty - a single dominant index gets a range of its
+/// own while its worker's siblings share the rest. This is the seed
+/// layout of the work-stealing driver: balanced seeds make steals rare,
+/// and contiguous seeds keep each worker's result writes local.
+[[nodiscard]] std::vector<std::pair<std::uint32_t, std::uint32_t>>
+partition_by_cost(std::span<const std::uint64_t> costs, std::size_t count,
+                  std::size_t workers);
+
+}  // namespace panagree::paths

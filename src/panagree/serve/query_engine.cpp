@@ -126,6 +126,7 @@ void QueryEngine::prime() {
   scenario::SweepConfig sweep;
   sweep.threads = config_.threads;
   sweep.dirty_radius = scenario::kLength3DirtyRadius;
+  sweep.exec.pin_threads = config_.pin_threads;
   auto state = std::make_shared<State>(*base_, sources_, sweep);
   state->runner.prime(enumerate);
   state->refresh_contributions(aggregator_);

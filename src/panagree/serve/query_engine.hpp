@@ -64,6 +64,9 @@ struct EngineConfig {
   /// concurrent identical requests share one enumeration up to this many
   /// distinct deltas; past the cap, requests compute unshared.
   std::size_t max_batch = 256;
+  /// Pin the prime()/rebase() fan-out workers to cpus (NUMA-blocked; see
+  /// paths::ExecPolicy). Results are identical either way.
+  bool pin_threads = false;
   /// Scoring weights of whatif utilities.
   scenario::UtilityWeights weights;
 };

@@ -116,6 +116,22 @@ class CompiledTopology {
     return row_start_[as + 1] - row_start_[as];
   }
 
+  /// The roles of `as`'s row as a bare contiguous uint8_t lane, parallel
+  /// to entries(as): role_lane(as)[i] == entries(as)[i].role. Derived
+  /// from the entry array at construction (both compile and borrow modes
+  /// - the .pansnap format is unchanged) so the admissible-role scan of
+  /// the path engine can run vectorized (paths::filter_roles) instead of
+  /// striding through 8-byte Entry records for one byte each.
+  [[nodiscard]] const std::uint8_t* role_lane(AsId as) const {
+    check(as);
+    return roles_ + row_start_[as];
+  }
+
+  /// The whole role lane (num_entries() values), for benchmarks/tests.
+  [[nodiscard]] std::span<const std::uint8_t> role_lane_array() const {
+    return {roles_, num_entries_};
+  }
+
   /// The adjacency entry for neighbor `y` in `x`'s row; nullptr if not
   /// connected. O(log degree(x)) with a linear fast path for short groups.
   [[nodiscard]] const Entry* find(AsId x, AsId y) const;
@@ -186,6 +202,10 @@ class CompiledTopology {
 
   /// Points the access pointers at the owned vectors.
   void point_at_owned() noexcept;
+  /// Rebuilds owned_roles_ from the entry array and points roles_ at it.
+  /// The lane is derived data and always owned, even when the CSR arrays
+  /// themselves are borrowed from a mapped snapshot.
+  void build_role_lane();
   /// Copy/move helper: re-point at own storage (owning) or copy the
   /// borrowed views.
   void adopt_views_from(const CompiledTopology& other);
@@ -221,6 +241,9 @@ class CompiledTopology {
   const std::uint32_t* providers_end_ = nullptr;
   const std::uint32_t* peers_end_ = nullptr;
   const Entry* entries_ = nullptr;
+  /// Contiguous role-per-entry lane parallel to entries_ (always backed
+  /// by owned_roles_; see build_role_lane).
+  const std::uint8_t* roles_ = nullptr;
   std::size_t num_ases_ = 0;
   std::size_t num_entries_ = 0;
   const Graph* graph_ = nullptr;
@@ -230,6 +253,8 @@ class CompiledTopology {
   std::vector<std::uint32_t> owned_providers_end_;
   std::vector<std::uint32_t> owned_peers_end_;
   std::vector<Entry> owned_entries_;
+  /// The derived role lane, owned in both modes.
+  std::vector<std::uint8_t> owned_roles_;
 };
 
 }  // namespace panagree::topology

@@ -1,0 +1,205 @@
+// Tests for the SIMD role-filter pass: the dispatched kernel (AVX2/SSE2)
+// must match the scalar golden reference bit for bit on arbitrary rows
+// and masks, CompiledTopology's derived role lane must mirror its entry
+// array, and - the end-to-end property - the role-filtered DFS must
+// enumerate exactly the same paths in the same order as the unfiltered
+// one for every shipped policy. scenario::Overlay has no role lane, so
+// an *empty* overlay over the same snapshot runs the generic DFS and
+// serves as the unfiltered oracle.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "panagree/paths/enumerator.hpp"
+#include "panagree/paths/role_filter.hpp"
+#include "panagree/scenario/overlay.hpp"
+#include "panagree/topology/compiled.hpp"
+#include "panagree/topology/generator.hpp"
+
+namespace panagree::paths {
+namespace {
+
+using topology::AsId;
+using topology::CompiledTopology;
+using topology::NeighborRole;
+
+/// Deterministic role sequence (values 0..2, like a real role lane).
+std::vector<std::uint8_t> random_roles(std::size_t count,
+                                       std::uint64_t seed) {
+  std::vector<std::uint8_t> roles(count);
+  std::uint64_t state = seed * 2654435761ULL + 1;
+  for (std::size_t i = 0; i < count; ++i) {
+    state = state * 6364136223846793005ULL + 1442695040888963407ULL;
+    roles[i] = static_cast<std::uint8_t>((state >> 33) % 3);
+  }
+  return roles;
+}
+
+TEST(RoleFilter, ScalarMatchesHandComputed) {
+  // provider, peer, customer, customer, peer, provider
+  const std::vector<std::uint8_t> roles = {0, 1, 2, 2, 1, 0};
+  std::vector<std::uint32_t> out(roles.size());
+
+  std::size_t n =
+      filter_roles_scalar(roles.data(), roles.size(), kCustomerBit,
+                          out.data());
+  ASSERT_EQ(n, 2U);
+  EXPECT_EQ(out[0], 2U);
+  EXPECT_EQ(out[1], 3U);
+
+  n = filter_roles_scalar(roles.data(), roles.size(),
+                          kProviderBit | kPeerBit, out.data());
+  ASSERT_EQ(n, 4U);
+  EXPECT_EQ(out[0], 0U);
+  EXPECT_EQ(out[1], 1U);
+  EXPECT_EQ(out[2], 4U);
+  EXPECT_EQ(out[3], 5U);
+
+  EXPECT_EQ(filter_roles_scalar(roles.data(), roles.size(), kNoRoles,
+                                out.data()),
+            0U);
+  n = filter_roles_scalar(roles.data(), roles.size(), kAllRoles, out.data());
+  ASSERT_EQ(n, roles.size());
+  for (std::uint32_t i = 0; i < n; ++i) {
+    EXPECT_EQ(out[i], i);
+  }
+}
+
+TEST(RoleFilter, DispatchedMatchesScalarOnRandomRows) {
+  // Sizes straddling the 16-byte (SSE2) and 32-byte (AVX2) vector widths
+  // plus their remainder tails, and a large row; every one of the 8 masks.
+  const std::size_t sizes[] = {0,  1,  2,  15, 16, 17, 31, 32,
+                               33, 47, 63, 64, 65, 100, 4096};
+  for (const std::size_t count : sizes) {
+    for (std::uint64_t seed = 0; seed < 4; ++seed) {
+      const auto roles = random_roles(count, seed * 97 + count);
+      for (int mask = 0; mask <= kAllRoles; ++mask) {
+        std::vector<std::uint32_t> expect(count + 1, 0xdeadbeef);
+        std::vector<std::uint32_t> got(count + 1, 0xdeadbeef);
+        const std::size_t n_expect =
+            filter_roles_scalar(roles.data(), count,
+                                static_cast<RoleMask>(mask), expect.data());
+        const std::size_t n_got = filter_roles(
+            roles.data(), count, static_cast<RoleMask>(mask), got.data());
+        ASSERT_EQ(n_got, n_expect)
+            << "count=" << count << " mask=" << mask << " seed=" << seed
+            << " kernel=" << role_filter_dispatch();
+        for (std::size_t i = 0; i < n_expect; ++i) {
+          ASSERT_EQ(got[i], expect[i])
+              << "count=" << count << " mask=" << mask << " index=" << i
+              << " kernel=" << role_filter_dispatch();
+        }
+        // Nothing written past the reported count.
+        EXPECT_EQ(got[n_got], 0xdeadbeefU);
+      }
+    }
+  }
+}
+
+TEST(RoleFilter, DispatchNameIsKnown) {
+  const std::string name = role_filter_dispatch();
+  EXPECT_TRUE(name == "avx2" || name == "sse2" || name == "scalar") << name;
+  // The selection is made once per process and must be stable.
+  EXPECT_STREQ(role_filter_dispatch(), name.c_str());
+}
+
+TEST(RoleFilter, CompiledRoleLaneMirrorsEntryArray) {
+  const auto generated = topology::generate_internet([] {
+    topology::GeneratorParams params;
+    params.num_ases = 400;
+    params.tier1_count = 5;
+    params.seed = 11;
+    return params;
+  }());
+  const CompiledTopology compiled(generated.graph);
+  for (AsId as = 0; as < compiled.num_ases(); ++as) {
+    const auto row = compiled.entries(as);
+    const std::uint8_t* lane = compiled.role_lane(as);
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      ASSERT_EQ(lane[i], static_cast<std::uint8_t>(row[i].role))
+          << "as=" << as << " i=" << i;
+    }
+  }
+  // The borrow path (what a mmap'd snapshot takes) must derive the same
+  // lane from the same entry bytes.
+  const CompiledTopology borrowed = CompiledTopology::borrow(
+      generated.graph, compiled.row_start_array(),
+      compiled.providers_end_array(), compiled.peers_end_array(),
+      compiled.entry_array());
+  ASSERT_EQ(borrowed.role_lane_array().size(),
+            compiled.role_lane_array().size());
+  EXPECT_EQ(std::memcmp(borrowed.role_lane_array().data(),
+                        compiled.role_lane_array().data(),
+                        compiled.role_lane_array().size()),
+            0);
+}
+
+/// Collects every policy-admitted path from `src` through `enumerator`.
+template <typename Topo, typename Policy>
+std::vector<Path> collect(const BasicPathEnumerator<Topo>& enumerator,
+                          AsId src, std::size_t max_len,
+                          const Policy& policy) {
+  std::vector<Path> out;
+  enumerator.visit_paths(src, max_len, policy, [&](const Path& path) {
+    out.push_back(path);
+    return true;
+  });
+  return out;
+}
+
+// The end-to-end contract from the header: with and without the role
+// filter, the DFS enumerates the same paths in the same order. The
+// CompiledTopology enumerator runs the filtered path (role lane +
+// admissible_roles); an empty Overlay over the same snapshot has no role
+// lane and runs the generic row scan.
+TEST(RoleFilter, FilteredDfsMatchesUnfilteredAcrossPolicies) {
+  const auto generated = topology::generate_internet([] {
+    topology::GeneratorParams params;
+    params.num_ases = 300;
+    params.tier1_count = 4;
+    params.seed = 23;
+    return params;
+  }());
+  const CompiledTopology compiled(generated.graph);
+  const scenario::Overlay overlay(compiled);  // empty: same adjacency
+  const BasicPathEnumerator<CompiledTopology> filtered(compiled);
+  const BasicPathEnumerator<scenario::Overlay> unfiltered(overlay);
+
+  // A peer pair for the mutual-transit policy: find one peering link.
+  std::vector<std::pair<AsId, AsId>> mutual;
+  for (AsId as = 0; as < compiled.num_ases() && mutual.empty(); ++as) {
+    for (const auto& entry : compiled.entries(as)) {
+      if (entry.role == NeighborRole::kPeer) {
+        mutual.emplace_back(as, entry.neighbor);
+        break;
+      }
+    }
+  }
+  ASSERT_FALSE(mutual.empty()) << "generator produced no peering links";
+  const MutualTransitStep mutual_transit(mutual);
+  const BasicMaLength3Step<CompiledTopology> ma_direct(compiled, false);
+  const BasicMaLength3Step<scenario::Overlay> ma_direct_ov(overlay, false);
+  const BasicMaLength3Step<CompiledTopology> ma_indirect(compiled, true);
+  const BasicMaLength3Step<scenario::Overlay> ma_indirect_ov(overlay, true);
+
+  for (AsId src = 0; src < compiled.num_ases(); src += 7) {
+    ASSERT_EQ(collect(filtered, src, 4, ValleyFreeStep{}),
+              collect(unfiltered, src, 4, ValleyFreeStep{}))
+        << "valley-free, src=" << src;
+    ASSERT_EQ(collect(filtered, src, 4, mutual_transit),
+              collect(unfiltered, src, 4, mutual_transit))
+        << "mutual-transit, src=" << src;
+    ASSERT_EQ(collect(filtered, src, 3, ma_direct),
+              collect(unfiltered, src, 3, ma_direct_ov))
+        << "ma-direct, src=" << src;
+    ASSERT_EQ(collect(filtered, src, 3, ma_indirect),
+              collect(unfiltered, src, 3, ma_indirect_ov))
+        << "ma-indirect, src=" << src;
+  }
+}
+
+}  // namespace
+}  // namespace panagree::paths

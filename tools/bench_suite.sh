@@ -33,12 +33,15 @@ export PANAGREE_SNAPSHOT="$OUT/suite.pansnap"
 # perf_micro: the CSR / sweep / optimizer trajectory benches. The
 # heavyweight *_FullRecompute and *_Exhaustive ablation baselines are
 # excluded on purpose - they exist to measure one-off speedup factors,
-# not to be tracked per commit. Default --benchmark_min_time stays: the
-# rotating-source micro benches need enough iterations to average the
-# heavy-tailed per-source costs, or run-to-run noise defeats the 30%
-# regression gate.
+# not to be tracked per commit. The MapSources trio and RoleFilter pair
+# ARE tracked including their baselines (AtomicCursor, Scalar): they are
+# cheap, and gating both sides keeps the work-stealing and SIMD speedup
+# ratios visible in the committed JSON, not just asserted once. Default
+# --benchmark_min_time stays: the rotating-source micro benches need
+# enough iterations to average the heavy-tailed per-source costs, or
+# run-to-run noise defeats the 30% regression gate.
 "$BUILD/bench_perf_micro" \
-  --benchmark_filter='BM_(RoleLookup|Length3Enumeration|CompileTopology|ScenarioSweep_Incremental|Optimizer_Greedy|SnapshotLoad_Mmap|QueryEngine_CachedSource)'
+  --benchmark_filter='BM_(RoleLookup|Length3Enumeration|CompileTopology|ScenarioSweep_Incremental|Optimizer_Greedy|SnapshotLoad_Mmap|QueryEngine_CachedSource|MapSources|RoleFilter)'
 
 echo "bench suite results in $OUT:"
 ls -l "$OUT"

@@ -62,4 +62,15 @@ inline std::size_t parse_threads(const char* tool, int argc, char** argv,
                     require_value(tool, "--threads", argc, argv, i));
 }
 
+/// Default of the shared --pin-threads flag: the PANAGREE_PIN_THREADS
+/// environment toggle (unset, empty, or "0" = off; anything else = on).
+/// --pin-threads pins fan-out workers to cpus, NUMA-blocked on
+/// multi-node hosts (paths::ExecPolicy); results are identical either
+/// way - pinning is pure placement.
+inline bool env_pin_threads() {
+  const char* env = std::getenv("PANAGREE_PIN_THREADS");
+  return env != nullptr && env[0] != '\0' &&
+         std::string_view(env) != std::string_view("0");
+}
+
 }  // namespace panagree::cli

@@ -1,7 +1,7 @@
 // panagree-serve: the long-running path/what-if query daemon.
 //
 //   panagree-serve [--snapshot FILE] [--port P] [--threads N]
-//       [--max-batch B] [--sources N] [--max-queue Q]
+//       [--max-batch B] [--sources N] [--max-queue Q] [--pin-threads]
 //
 // Opens the topology (a mmap'd .pansnap via --snapshot or
 // PANAGREE_SNAPSHOT wins; PANAGREE_CAIDA / the synthetic generator
@@ -18,7 +18,9 @@
 // (0 = one per core); --max-batch bounds the per-epoch what-if memo
 // (concurrent identical what-ifs share one enumeration); --sources is
 // the cached sample size (the paper's 500 by default, PANAGREE_SOURCES
-// honored).
+// honored). --pin-threads (or PANAGREE_PIN_THREADS=1) pins fan-out
+// workers to cpus and NUMA-shards the snapshot pages; the readiness
+// line reports the effective affinity either way.
 #include <cerrno>
 #include <chrono>
 #include <csignal>
@@ -29,6 +31,7 @@
 
 #include "cli_common.hpp"
 #include "panagree/paths/parallel.hpp"
+#include "panagree/paths/role_filter.hpp"
 #include "panagree/serve/server.hpp"
 #include "serve_common.hpp"
 
@@ -41,7 +44,8 @@ constexpr const char* kTool = "panagree-serve";
 void usage() {
   std::cerr << "usage: panagree-serve [--snapshot FILE] [--port P]"
                " [--threads N]\n"
-               "           [--max-batch B] [--sources N] [--max-queue Q]\n";
+               "           [--max-batch B] [--sources N] [--max-queue Q]"
+               " [--pin-threads]\n";
 }
 
 /// Self-pipe the signal handlers write one byte into; main blocks on the
@@ -64,6 +68,7 @@ int main(int argc, char** argv) {
   std::size_t max_batch = 256;
   std::size_t sources_n = benchcfg::num_sources();
   std::size_t max_queue = 1024;
+  bool pin_threads = cli::env_pin_threads();
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--snapshot") {
@@ -86,6 +91,8 @@ int main(int argc, char** argv) {
     } else if (arg == "--max-queue") {
       max_queue = cli::parse_size(
           kTool, arg, cli::require_value(kTool, arg, argc, argv, i));
+    } else if (arg == "--pin-threads") {
+      pin_threads = true;
     } else {
       usage();
       return cli::kUsageExit;
@@ -95,7 +102,13 @@ int main(int argc, char** argv) {
   try {
     servecfg::ServeContext context(
         snapshot.empty() ? nullptr : snapshot.c_str(), sources_n, threads,
-        max_batch);
+        max_batch, pin_threads);
+    if (pin_threads) {
+      // NUMA-shard the CSR pages before the prime fan-out first-touches
+      // them (no-op on single-node hosts; results identical regardless).
+      (void)paths::bind_topology_to_nodes(paths::TopologyPlacement::system(),
+                                          context.net.compiled());
+    }
     const auto prime_start = std::chrono::steady_clock::now();
     context.engine.prime();
     const double prime_ms = std::chrono::duration<double, std::milli>(
@@ -123,7 +136,16 @@ int main(int argc, char** argv) {
     ::sigaction(SIGINT, &action, nullptr);
 
     // The readiness line scripts and clients wait for - stdout, flushed.
-    std::cout << "listening on 127.0.0.1:" << server.port() << std::endl;
+    // The trailing fields report the *effective* placement: the process
+    // affinity (narrowed when workers pinned under a restrictive
+    // placement), the NUMA layout seen, and the role-filter kernel in
+    // use - so scripts can verify --pin-threads / PANAGREE_NO_SIMD took
+    // effect without attaching to the process.
+    std::cout << "listening on 127.0.0.1:" << server.port()
+              << " affinity=" << paths::affinity_summary()
+              << " pinned=" << (pin_threads ? "on" : "off") << " numa=\""
+              << paths::TopologyPlacement::system().describe()
+              << "\" simd=" << paths::role_filter_dispatch() << std::endl;
 
     char byte = 0;
     while (::read(g_signal_pipe[0], &byte, 1) < 0 && errno == EINTR) {

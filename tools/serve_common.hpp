@@ -25,13 +25,14 @@ struct ServeContext {
   /// the synthetic generator); `sources_n` is the cached sample size,
   /// sampled with the benches' shared seed.
   ServeContext(const char* snapshot_override, std::size_t sources_n,
-               std::size_t threads, std::size_t max_batch)
+               std::size_t threads, std::size_t max_batch,
+               bool pin_threads = false)
       : net(benchcfg::load_internet(0, snapshot_override)),
         economy(econ::make_default_economy(net.graph())),
         sources(diversity::sample_sources(net.graph(), sources_n,
                                           benchcfg::kSampleSeed)),
         engine(net.compiled(), &net.world(), &economy, sources,
-               engine_config(threads, max_batch)) {}
+               engine_config(threads, max_batch, pin_threads)) {}
 
   ServeContext(const ServeContext&) = delete;
   ServeContext& operator=(const ServeContext&) = delete;
@@ -43,10 +44,12 @@ struct ServeContext {
 
  private:
   static serve::EngineConfig engine_config(std::size_t threads,
-                                           std::size_t max_batch) {
+                                           std::size_t max_batch,
+                                           bool pin_threads) {
     serve::EngineConfig config;
     config.threads = threads;
     config.max_batch = max_batch;
+    config.pin_threads = pin_threads;
     return config;
   }
 };
