@@ -28,6 +28,7 @@
 #include "panagree/diversity/length3.hpp"
 #include "exhaustive_rank.hpp"
 #include "panagree/econ/business.hpp"
+#include "panagree/obs/metrics.hpp"
 #include "panagree/scenario/optimizer.hpp"
 #include "panagree/diversity/report.hpp"
 #include "panagree/pan/beaconing.hpp"
@@ -854,6 +855,38 @@ void BM_RoleFilter_Simd(benchmark::State& state) {
                                                                      : 0.0;
 }
 BENCHMARK(BM_RoleFilter_Simd);
+
+// ------------------------------------------------- obs record overhead
+//
+// The cost instrumented hot paths pay per record: one sharded relaxed
+// fetch_add for a counter, two for a histogram. These are the numbers
+// that justify leaving obs on in production builds - the regression gate
+// keeps them in the single-digit-nanosecond range. Under
+// PANAGREE_OBS_OFF both loops measure an empty body.
+
+void BM_Obs_CounterHot(benchmark::State& state) {
+  obs::Counter& counter =
+      obs::Registry::global().counter("bench.obs_counter_hot");
+  for (auto _ : state) {
+    counter.increment();
+    benchmark::ClobberMemory();
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_Obs_CounterHot);
+
+void BM_Obs_HistogramRecord(benchmark::State& state) {
+  obs::Histogram& histogram =
+      obs::Registry::global().histogram("bench.obs_histogram_record");
+  std::uint64_t value = 0;
+  for (auto _ : state) {
+    histogram.record(value);
+    value = (value + 997) % 100000;  // spread across buckets
+    benchmark::ClobberMemory();
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_Obs_HistogramRecord);
 
 void BM_BoscoExpectedNash(benchmark::State& state) {
   const bosco::UniformDistribution dist(-1.0, 1.0);

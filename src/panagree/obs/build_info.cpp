@@ -1,0 +1,57 @@
+#include "panagree/obs/build_info.hpp"
+
+#include "panagree/obs/build_info_gen.hpp"
+
+namespace panagree::obs {
+
+namespace {
+
+#define PANAGREE_STR_(x) #x
+#define PANAGREE_STR(x) PANAGREE_STR_(x)
+
+constexpr const char* kCompiler =
+#if defined(__clang__)
+    "clang-" PANAGREE_STR(__clang_major__) "." PANAGREE_STR(
+        __clang_minor__) "." PANAGREE_STR(__clang_patchlevel__);
+#elif defined(__GNUC__)
+    "gcc-" PANAGREE_STR(__GNUC__) "." PANAGREE_STR(
+        __GNUC_MINOR__) "." PANAGREE_STR(__GNUC_PATCHLEVEL__);
+#else
+    "unknown";
+#endif
+
+#undef PANAGREE_STR
+#undef PANAGREE_STR_
+
+constexpr const char* kObs =
+#if defined(PANAGREE_OBS_OFF)
+    "off";
+#else
+    "on";
+#endif
+
+}  // namespace
+
+const BuildInfo& build_info() noexcept {
+  static const BuildInfo info{
+      PANAGREE_BUILD_GIT_DESCRIBE, kCompiler, PANAGREE_BUILD_TYPE,
+      PANAGREE_BUILD_FLAGS,        kObs,
+  };
+  return info;
+}
+
+std::string build_info_line() {
+  const BuildInfo& info = build_info();
+  std::string line = "build=";
+  line += info.git_describe;
+  line += " compiler=";
+  line += info.compiler;
+  line += " type=";
+  line += info.build_type.empty() ? std::string_view("default")
+                                  : info.build_type;
+  line += " obs=";
+  line += info.obs;
+  return line;
+}
+
+}  // namespace panagree::obs

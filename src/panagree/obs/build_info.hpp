@@ -1,0 +1,40 @@
+// Build identity: what exactly is this binary? Surfaced by --version in
+// every tool, the serve readiness line, and the `stats` response, so a
+// bench number or a bug report can always be tied back to a commit and
+// a flag set.
+//
+// The git describe string and configured flags come from a
+// CMake-generated header (build_info_gen.hpp, configure-time); compiler
+// identity comes from predefined macros (compile-time, so it is correct
+// even when CC/CXX differ from the configure-time default).
+#pragma once
+
+#include <string>
+#include <string_view>
+
+namespace panagree::obs {
+
+struct BuildInfo {
+  /// `git describe --always --dirty` at configure time ("unknown" when
+  /// not built from a checkout).
+  std::string_view git_describe;
+  /// Compiler id and version, e.g. "gcc-13.2.0".
+  std::string_view compiler;
+  /// CMAKE_BUILD_TYPE ("" when unset).
+  std::string_view build_type;
+  /// The optimization-relevant CXX flags the build was configured with.
+  std::string_view flags;
+  /// "on" / "off": whether the obs layer records (PANAGREE_OBS_OFF).
+  std::string_view obs;
+};
+
+/// The process's build identity; all fields refer to static storage.
+[[nodiscard]] const BuildInfo& build_info() noexcept;
+
+/// One space-separated `key=value` line:
+///   build=<git> compiler=<id> type=<build_type> obs=<on|off>
+/// (flags are omitted here - they can contain spaces; --version prints
+/// them on their own line).
+[[nodiscard]] std::string build_info_line();
+
+}  // namespace panagree::obs

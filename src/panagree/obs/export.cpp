@@ -1,0 +1,160 @@
+#include "panagree/obs/export.hpp"
+
+#include <charconv>
+#include <cmath>
+
+namespace panagree::obs {
+
+namespace {
+
+void append_uint(std::string& out, std::uint64_t value) {
+  char buffer[24];
+  const auto [ptr, ec] = std::to_chars(buffer, buffer + sizeof(buffer),
+                                       value);
+  (void)ec;
+  out.append(buffer, ptr);
+}
+
+void append_int(std::string& out, std::int64_t value) {
+  char buffer[24];
+  const auto [ptr, ec] = std::to_chars(buffer, buffer + sizeof(buffer),
+                                       value);
+  (void)ec;
+  out.append(buffer, ptr);
+}
+
+/// `paths.items_claimed` -> `panagree_paths_items_claimed`.
+void append_prom_name(std::string& out, std::string_view name) {
+  out += "panagree_";
+  for (const char c : name) {
+    const bool word = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                      (c >= '0' && c <= '9');
+    out.push_back(word ? c : '_');
+  }
+}
+
+}  // namespace
+
+MetricsSnapshot snapshot_metrics() {
+  MetricsSnapshot snap;
+#if !defined(PANAGREE_OBS_OFF)
+  const Registry& registry = Registry::global();
+  registry.for_each_counter(
+      [](std::string_view name, const Counter& counter, void* ctx) {
+        static_cast<MetricsSnapshot*>(ctx)->counters.push_back(
+            {std::string(name), counter.value()});
+      },
+      &snap);
+  registry.for_each_gauge(
+      [](std::string_view name, const Gauge& gauge, void* ctx) {
+        static_cast<MetricsSnapshot*>(ctx)->gauges.push_back(
+            {std::string(name), gauge.value()});
+      },
+      &snap);
+  registry.for_each_histogram(
+      [](std::string_view name, const Histogram& histogram, void* ctx) {
+        HistogramSample sample;
+        sample.name = std::string(name);
+        sample.sum = histogram.sum();
+        for (std::size_t b = 0; b < kHistogramBuckets; ++b) {
+          const std::uint64_t count = histogram.bucket_count(b);
+          if (count != 0) {
+            sample.buckets.emplace_back(static_cast<std::uint32_t>(b),
+                                        count);
+            sample.count += count;
+          }
+        }
+        static_cast<MetricsSnapshot*>(ctx)->histograms.push_back(
+            std::move(sample));
+      },
+      &snap);
+#endif
+  return snap;
+}
+
+std::uint64_t histogram_percentile(const HistogramSample& h,
+                                   double percentile) {
+  if (h.count == 0) {
+    return 0;
+  }
+  if (percentile < 0.0) {
+    percentile = 0.0;
+  }
+  if (percentile > 100.0) {
+    percentile = 100.0;
+  }
+  // Nearest rank, 1-based: the smallest rank whose cumulative share
+  // reaches p%.
+  const auto rank = static_cast<std::uint64_t>(
+      std::ceil(percentile / 100.0 * static_cast<double>(h.count)));
+  const std::uint64_t target = rank == 0 ? 1 : rank;
+  std::uint64_t cumulative = 0;
+  for (const auto& [bucket, count] : h.buckets) {
+    cumulative += count;
+    if (cumulative >= target) {
+      return histogram_bucket_bound(bucket);
+    }
+  }
+  return histogram_bucket_bound(h.buckets.back().first);
+}
+
+std::string to_prometheus_text(const MetricsSnapshot& snap) {
+  std::string out;
+  for (const CounterSample& counter : snap.counters) {
+    out += "# TYPE ";
+    append_prom_name(out, counter.name);
+    out += " counter\n";
+    append_prom_name(out, counter.name);
+    out += "_total ";
+    append_uint(out, counter.value);
+    out.push_back('\n');
+  }
+  for (const GaugeSample& gauge : snap.gauges) {
+    out += "# TYPE ";
+    append_prom_name(out, gauge.name);
+    out += " gauge\n";
+    append_prom_name(out, gauge.name);
+    out.push_back(' ');
+    append_int(out, gauge.value);
+    out.push_back('\n');
+  }
+  for (const HistogramSample& histogram : snap.histograms) {
+    out += "# TYPE ";
+    append_prom_name(out, histogram.name);
+    out += " histogram\n";
+    std::uint64_t cumulative = 0;
+    for (const auto& [bucket, count] : histogram.buckets) {
+      cumulative += count;
+      append_prom_name(out, histogram.name);
+      out += "_bucket{le=\"";
+      if (bucket >= kHistogramBuckets - 1) {
+        out += "+Inf";
+      } else {
+        append_uint(out, histogram_bucket_bound(bucket));
+      }
+      out += "\"} ";
+      append_uint(out, cumulative);
+      out.push_back('\n');
+    }
+    // Prometheus requires the +Inf bucket even when the overflow bucket
+    // is empty: it must equal _count.
+    if (histogram.buckets.empty() ||
+        histogram.buckets.back().first < kHistogramBuckets - 1) {
+      append_prom_name(out, histogram.name);
+      out += "_bucket{le=\"+Inf\"} ";
+      append_uint(out, cumulative);
+      out.push_back('\n');
+    }
+    append_prom_name(out, histogram.name);
+    out += "_sum ";
+    append_uint(out, histogram.sum);
+    out.push_back('\n');
+    append_prom_name(out, histogram.name);
+    out += "_count ";
+    append_uint(out, histogram.count);
+    out.push_back('\n');
+  }
+  return out;
+}
+
+}  // namespace panagree::obs

@@ -1,0 +1,81 @@
+// Metric exposition: a plain-data snapshot of the registry plus the two
+// text formats built on it (the wire `stats` response lives in
+// serve/wire.cpp, Prometheus text here).
+//
+// MetricsSnapshot is deliberately macro-independent plain data - it is
+// also the parse result of a `stats` response on the client side, so it
+// must exist (and round-trip) even in a PANAGREE_OBS_OFF build, where
+// snapshot_metrics() simply returns an empty snapshot.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "panagree/obs/metrics.hpp"
+
+namespace panagree::obs {
+
+struct CounterSample {
+  std::string name;
+  std::uint64_t value = 0;
+
+  friend bool operator==(const CounterSample&,
+                         const CounterSample&) = default;
+};
+
+struct GaugeSample {
+  std::string name;
+  std::int64_t value = 0;
+
+  friend bool operator==(const GaugeSample&, const GaugeSample&) = default;
+};
+
+struct HistogramSample {
+  std::string name;
+  std::uint64_t count = 0;
+  std::uint64_t sum = 0;
+  /// Sparse non-empty buckets as (bucket index, count), ascending by
+  /// index. Bucket semantics are histogram_bucket()'s log2 rule.
+  std::vector<std::pair<std::uint32_t, std::uint64_t>> buckets;
+
+  friend bool operator==(const HistogramSample&,
+                         const HistogramSample&) = default;
+};
+
+/// One coherent-enough view of every registered metric, each section
+/// sorted ascending by name. "Coherent enough": each metric is read
+/// atomically per shard while the registry is locked against
+/// registration, but concurrent recorders may land between reads of two
+/// different metrics - monitoring precision, not a consistent cut.
+struct MetricsSnapshot {
+  std::vector<CounterSample> counters;
+  std::vector<GaugeSample> gauges;
+  std::vector<HistogramSample> histograms;
+
+  [[nodiscard]] bool empty() const noexcept {
+    return counters.empty() && gauges.empty() && histograms.empty();
+  }
+
+  friend bool operator==(const MetricsSnapshot&,
+                         const MetricsSnapshot&) = default;
+};
+
+/// Snapshots Registry::global(). Empty under PANAGREE_OBS_OFF.
+[[nodiscard]] MetricsSnapshot snapshot_metrics();
+
+/// Nearest-rank percentile estimate from the log2 buckets: the value
+/// reported is the inclusive upper bound of the bucket containing the
+/// nearest-rank sample (index ceil(p/100 * count), 1-based). Returns 0
+/// for an empty histogram.
+[[nodiscard]] std::uint64_t histogram_percentile(const HistogramSample& h,
+                                                 double percentile);
+
+/// Prometheus text exposition (text format 0.0.4): counters and gauges
+/// as single samples, histograms as cumulative `_bucket{le="..."}`
+/// series plus `_sum`/`_count`. Metric names are prefixed with
+/// `panagree_` and '.' becomes '_'.
+[[nodiscard]] std::string to_prometheus_text(const MetricsSnapshot& snap);
+
+}  // namespace panagree::obs

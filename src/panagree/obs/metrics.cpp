@@ -1,0 +1,119 @@
+#include "panagree/obs/metrics.hpp"
+
+#if !defined(PANAGREE_OBS_OFF)
+
+#include <deque>
+#include <map>
+#include <mutex>
+#include <string>
+#include <variant>
+
+namespace panagree::obs {
+
+inline namespace obs_on {
+
+// Metric storage: the deques own the instances (stable addresses across
+// growth - Counter/Histogram are not movable by design), the map interns
+// the names and points into them. All mutation is under `mutex`; handed
+// out references outlive the lock because nothing is ever erased.
+struct Registry::Impl {
+  using Slot = std::variant<Counter*, Gauge*, Histogram*>;
+
+  mutable std::mutex mutex;
+  std::deque<Counter> counters;
+  std::deque<Gauge> gauges;
+  std::deque<Histogram> histograms;
+  std::map<std::string, Slot, std::less<>> by_name;
+};
+
+Registry::Registry() : impl_(new Impl) {}
+
+// The global registry is never destroyed before process exit; the
+// destructor exists only so local registries in tests clean up.
+Registry::~Registry() { delete impl_; }
+
+Registry& Registry::global() {
+  // Leaked intentionally: instrumented code may record during static
+  // destruction (atexit-ordered trace flush, detached helpers), so the
+  // registry must outlive every other static.
+  static Registry* instance = new Registry;
+  return *instance;
+}
+
+namespace {
+
+template <typename T>
+[[nodiscard]] T& intern(Registry::Impl& impl, std::string_view name,
+                        std::deque<T>& storage, const char* kind) {
+  const std::scoped_lock lock(impl.mutex);
+  const auto it = impl.by_name.find(name);
+  if (it != impl.by_name.end()) {
+    T* const* slot = std::get_if<T*>(&it->second);
+    util::require(slot != nullptr,
+                  "obs: metric \"" + std::string(name) +
+                      "\" already registered as a different kind than " +
+                      kind);
+    return **slot;
+  }
+  T& metric = storage.emplace_back();
+  impl.by_name.emplace(std::string(name), &metric);
+  return metric;
+}
+
+}  // namespace
+
+Counter& Registry::counter(std::string_view name) {
+  return intern(*impl_, name, impl_->counters, "counter");
+}
+
+Gauge& Registry::gauge(std::string_view name) {
+  return intern(*impl_, name, impl_->gauges, "gauge");
+}
+
+Histogram& Registry::histogram(std::string_view name) {
+  return intern(*impl_, name, impl_->histograms, "histogram");
+}
+
+std::size_t Registry::size() const noexcept {
+  const std::scoped_lock lock(impl_->mutex);
+  return impl_->by_name.size();
+}
+
+void Registry::for_each_counter(void (*fn)(std::string_view,
+                                           const Counter&, void*),
+                                void* ctx) const {
+  const std::scoped_lock lock(impl_->mutex);
+  for (const auto& [name, slot] : impl_->by_name) {
+    if (Counter* const* counter = std::get_if<Counter*>(&slot)) {
+      fn(name, **counter, ctx);
+    }
+  }
+}
+
+void Registry::for_each_gauge(void (*fn)(std::string_view, const Gauge&,
+                                         void*),
+                              void* ctx) const {
+  const std::scoped_lock lock(impl_->mutex);
+  for (const auto& [name, slot] : impl_->by_name) {
+    if (Gauge* const* gauge = std::get_if<Gauge*>(&slot)) {
+      fn(name, **gauge, ctx);
+    }
+  }
+}
+
+void Registry::for_each_histogram(void (*fn)(std::string_view,
+                                             const Histogram&, void*),
+                                  void* ctx) const {
+  const std::scoped_lock lock(impl_->mutex);
+  for (const auto& [name, slot] : impl_->by_name) {
+    if (Histogram* const* histogram = std::get_if<Histogram*>(&slot)) {
+      fn(name, **histogram, ctx);
+    }
+  }
+}
+
+}  // namespace obs_on
+
+}  // namespace panagree::obs
+
+#endif  // !PANAGREE_OBS_OFF

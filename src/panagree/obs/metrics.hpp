@@ -1,0 +1,318 @@
+// Lock-free metrics primitives: sharded counters, gauges, log2
+// histograms, and a process-wide registry of interned metric names.
+//
+// Design constraints, in order:
+//
+//  1. The hot-path record must be one relaxed atomic add on a cache line
+//     no other thread is writing. Counters spread increments over
+//     kShards cache-line-aligned slots (threads hash to a slot once, via
+//     a thread_local), so 8 workers bumping `paths.items_claimed` never
+//     contend; value() sums the shards. Histograms shard the same way.
+//  2. Registration is the cold path: call sites look a metric up once
+//     and cache the reference (`static obs::Counter& c =
+//     Registry::global().counter("...")`). The registry hands out
+//     stable addresses for the life of the process and interns each
+//     name exactly once; re-registering a name as a different kind is a
+//     precondition error, not a silent alias.
+//  3. The whole layer compiles out under PANAGREE_OBS_OFF. The stub and
+//     the real implementation live in different *inline namespaces*
+//     (obs_off / obs_on) so a translation unit built with the macro gets
+//     header-only no-op types whose mangled names cannot collide with
+//     the library's real symbols - mixing instrumented and
+//     uninstrumented TUs in one binary is ODR-clean by construction.
+//
+// Readers (value(), snapshots) are racy-by-design against concurrent
+// writers: they see some interleaving of relaxed adds, which is exactly
+// the precision monitoring needs. The shard-sum identity - value() after
+// all writers join equals the number of add()s - is property-tested.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <bit>
+#include <cstdint>
+#include <string_view>
+
+#include "panagree/util/error.hpp"
+
+namespace panagree::obs {
+
+/// Number of fixed log2 buckets in a Histogram. Bucket 0 holds exact
+/// zeros; bucket i (1 <= i < 63) holds values in [2^(i-1), 2^i - 1];
+/// bucket 63 holds everything >= 2^62.
+inline constexpr std::size_t kHistogramBuckets = 64;
+
+/// Bucket index for a recorded value (log2 rule above).
+[[nodiscard]] constexpr std::size_t histogram_bucket(
+    std::uint64_t value) noexcept {
+  const std::size_t width = static_cast<std::size_t>(std::bit_width(value));
+  return width < kHistogramBuckets ? width : kHistogramBuckets - 1;
+}
+
+/// Inclusive upper bound of a bucket (saturates at uint64 max for the
+/// overflow bucket). Percentile estimates report this bound.
+[[nodiscard]] constexpr std::uint64_t histogram_bucket_bound(
+    std::size_t bucket) noexcept {
+  if (bucket == 0) {
+    return 0;
+  }
+  if (bucket >= kHistogramBuckets - 1) {
+    return ~std::uint64_t{0};
+  }
+  return (std::uint64_t{1} << bucket) - 1;
+}
+
+#if defined(PANAGREE_OBS_OFF)
+
+// ------------------------------------------------------------- compiled out
+//
+// Header-only no-ops: every record call inlines to nothing, the registry
+// hands out shared dummy instances. Kept API-identical to obs_on so
+// instrumented code compiles unchanged.
+
+inline namespace obs_off {
+
+class Counter {
+ public:
+  void add(std::uint64_t = 1) noexcept {}
+  void increment() noexcept {}
+  [[nodiscard]] std::uint64_t value() const noexcept { return 0; }
+};
+
+class Gauge {
+ public:
+  void set(std::int64_t) noexcept {}
+  void add(std::int64_t) noexcept {}
+  void update_max(std::int64_t) noexcept {}
+  [[nodiscard]] std::int64_t value() const noexcept { return 0; }
+};
+
+class Histogram {
+ public:
+  void record(std::uint64_t) noexcept {}
+  [[nodiscard]] std::uint64_t count() const noexcept { return 0; }
+  [[nodiscard]] std::uint64_t sum() const noexcept { return 0; }
+  [[nodiscard]] std::uint64_t bucket_count(std::size_t) const noexcept {
+    return 0;
+  }
+};
+
+class Registry {
+ public:
+  [[nodiscard]] static Registry& global() {
+    static Registry instance;
+    return instance;
+  }
+
+  [[nodiscard]] Counter& counter(std::string_view) { return counter_; }
+  [[nodiscard]] Gauge& gauge(std::string_view) { return gauge_; }
+  [[nodiscard]] Histogram& histogram(std::string_view) {
+    return histogram_;
+  }
+  [[nodiscard]] std::size_t size() const noexcept { return 0; }
+
+ private:
+  Counter counter_;
+  Gauge gauge_;
+  Histogram histogram_;
+};
+
+/// True when records actually land somewhere (false here).
+[[nodiscard]] constexpr bool enabled() noexcept { return false; }
+
+}  // namespace obs_off
+
+#else  // !PANAGREE_OBS_OFF
+
+// ------------------------------------------------------------------ enabled
+
+inline namespace obs_on {
+
+namespace detail {
+
+inline constexpr std::size_t kCacheLine = 64;
+/// Shard fan-out (power of two). 16 slots cover any realistic worker
+/// count here; extra shards only cost idle cache lines.
+inline constexpr std::size_t kShards = 16;
+
+/// Each thread draws one shard slot on first use and keeps it for life.
+/// Round-robin assignment (not hashing) guarantees the first kShards
+/// threads all land on distinct cache lines.
+[[nodiscard]] inline std::size_t shard_slot() noexcept {
+  static std::atomic<std::size_t> next{0};
+  thread_local const std::size_t slot =
+      next.fetch_add(1, std::memory_order_relaxed) % kShards;
+  return slot;
+}
+
+struct alignas(kCacheLine) PaddedAtomic {
+  std::atomic<std::uint64_t> value{0};
+};
+
+}  // namespace detail
+
+/// Monotonic event counter. add() is one relaxed fetch_add on the
+/// calling thread's private shard.
+class Counter {
+ public:
+  Counter() = default;
+  Counter(const Counter&) = delete;
+  Counter& operator=(const Counter&) = delete;
+
+  void add(std::uint64_t n = 1) noexcept {
+    shards_[detail::shard_slot()].value.fetch_add(
+        n, std::memory_order_relaxed);
+  }
+  void increment() noexcept { add(1); }
+
+  /// Sum over shards. Exact once writers have joined; a live snapshot
+  /// otherwise.
+  [[nodiscard]] std::uint64_t value() const noexcept {
+    std::uint64_t total = 0;
+    for (const auto& shard : shards_) {
+      total += shard.value.load(std::memory_order_relaxed);
+    }
+    return total;
+  }
+
+ private:
+  std::array<detail::PaddedAtomic, detail::kShards> shards_{};
+};
+
+/// Last-write-wins level (queue depth, mapped bytes, kernel in use).
+/// Set-dominated, so a single cache-line-isolated cell instead of
+/// shards; add() and update_max() are still lock-free for the
+/// depth/high-water uses.
+class Gauge {
+ public:
+  Gauge() = default;
+  Gauge(const Gauge&) = delete;
+  Gauge& operator=(const Gauge&) = delete;
+
+  void set(std::int64_t v) noexcept {
+    cell_.store(v, std::memory_order_relaxed);
+  }
+  void add(std::int64_t delta) noexcept {
+    cell_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  /// Raises the gauge to `v` if above the current value (high-water
+  /// marks).
+  void update_max(std::int64_t v) noexcept {
+    std::int64_t seen = cell_.load(std::memory_order_relaxed);
+    while (v > seen && !cell_.compare_exchange_weak(
+                           seen, v, std::memory_order_relaxed)) {
+    }
+  }
+  [[nodiscard]] std::int64_t value() const noexcept {
+    return cell_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  alignas(detail::kCacheLine) std::atomic<std::int64_t> cell_{0};
+};
+
+/// Fixed-bucket log2 histogram (latencies in ns, ball sizes, batch
+/// sizes). record() is two relaxed adds (bucket + sum) on the calling
+/// thread's shard block; no thread ever writes another thread's block,
+/// so there is no false sharing between recording threads.
+class Histogram {
+ public:
+  Histogram() = default;
+  Histogram(const Histogram&) = delete;
+  Histogram& operator=(const Histogram&) = delete;
+
+  void record(std::uint64_t value) noexcept {
+    Shard& shard = shards_[detail::shard_slot() % kHistShards];
+    shard.buckets[histogram_bucket(value)].fetch_add(
+        1, std::memory_order_relaxed);
+    shard.sum.fetch_add(value, std::memory_order_relaxed);
+  }
+
+  [[nodiscard]] std::uint64_t count() const noexcept {
+    std::uint64_t total = 0;
+    for (std::size_t b = 0; b < kHistogramBuckets; ++b) {
+      total += bucket_count(b);
+    }
+    return total;
+  }
+
+  [[nodiscard]] std::uint64_t sum() const noexcept {
+    std::uint64_t total = 0;
+    for (const Shard& shard : shards_) {
+      total += shard.sum.load(std::memory_order_relaxed);
+    }
+    return total;
+  }
+
+  [[nodiscard]] std::uint64_t bucket_count(std::size_t bucket) const noexcept {
+    std::uint64_t total = 0;
+    for (const Shard& shard : shards_) {
+      total += shard.buckets[bucket].load(std::memory_order_relaxed);
+    }
+    return total;
+  }
+
+ private:
+  /// Fewer shards than Counter: a shard block is already 65 lines wide,
+  /// and histogram call sites record at request granularity, not inner
+  /// loops.
+  static constexpr std::size_t kHistShards = 8;
+
+  struct alignas(detail::kCacheLine) Shard {
+    std::array<std::atomic<std::uint64_t>, kHistogramBuckets> buckets{};
+    std::atomic<std::uint64_t> sum{0};
+  };
+
+  std::array<Shard, kHistShards> shards_{};
+};
+
+/// Process-wide metric registry. Lookups intern the name (one owned
+/// string per metric for the life of the process) behind a mutex -
+/// strictly a registration-time cost, never on the record path.
+class Registry {
+ public:
+  [[nodiscard]] static Registry& global();
+
+  /// Returns the counter registered under `name`, creating it on first
+  /// use. Throws util::PreconditionError if `name` is already
+  /// registered as a different kind.
+  [[nodiscard]] Counter& counter(std::string_view name);
+  [[nodiscard]] Gauge& gauge(std::string_view name);
+  [[nodiscard]] Histogram& histogram(std::string_view name);
+
+  /// Number of registered metrics (all kinds).
+  [[nodiscard]] std::size_t size() const noexcept;
+
+  // Export-side iteration (sorted by name, registry locked for the
+  // duration; values are still live atomics). Function-pointer visitors
+  // keep <functional> out of this hot-path header.
+  void for_each_counter(void (*fn)(std::string_view, const Counter&,
+                                   void*),
+                        void* ctx) const;
+  void for_each_gauge(void (*fn)(std::string_view, const Gauge&, void*),
+                      void* ctx) const;
+  void for_each_histogram(void (*fn)(std::string_view, const Histogram&,
+                                     void*),
+                          void* ctx) const;
+
+  Registry();
+  ~Registry();
+  Registry(const Registry&) = delete;
+  Registry& operator=(const Registry&) = delete;
+
+  // Public so the out-of-line interning helper can name it; the
+  // definition lives in metrics.cpp and impl_ itself stays private.
+  struct Impl;
+
+ private:
+  Impl* impl_;
+};
+
+/// True when records actually land somewhere.
+[[nodiscard]] constexpr bool enabled() noexcept { return true; }
+
+}  // namespace obs_on
+
+#endif  // PANAGREE_OBS_OFF
+
+}  // namespace panagree::obs

@@ -1,0 +1,168 @@
+#include "panagree/obs/trace.hpp"
+
+#if !defined(PANAGREE_OBS_OFF)
+
+#include <atomic>
+#include <chrono>
+#include <charconv>
+#include <cstdio>
+#include <cstdlib>
+#include <mutex>
+#include <vector>
+
+namespace panagree::obs {
+
+inline namespace obs_on {
+
+namespace {
+
+struct Event {
+  const char* name;
+  std::uint64_t start_ns;
+  std::uint64_t duration_ns;
+  std::uint32_t tid;
+};
+
+struct Recorder {
+  std::mutex mutex;
+  std::string path;
+  std::vector<Event> events;
+  std::uint64_t epoch_ns = 0;  // ts are relative to trace_init
+};
+
+std::atomic<bool> g_enabled{false};
+
+// Leaked: spans may close during static destruction, after which the
+// atexit flush has already written the document.
+Recorder& recorder() {
+  static Recorder* instance = new Recorder;
+  return *instance;
+}
+
+[[nodiscard]] std::uint64_t now_ns() noexcept {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+[[nodiscard]] std::uint32_t thread_ordinal() noexcept {
+  static std::atomic<std::uint32_t> next{1};
+  thread_local const std::uint32_t tid =
+      next.fetch_add(1, std::memory_order_relaxed);
+  return tid;
+}
+
+void append_uint(std::string& out, std::uint64_t value) {
+  char buffer[24];
+  const auto [ptr, ec] = std::to_chars(buffer, buffer + sizeof(buffer),
+                                       value);
+  (void)ec;
+  out.append(buffer, ptr);
+}
+
+/// Microseconds with fixed 3-digit (nanosecond) precision - enough for
+/// Chrome's viewer and deterministic to format.
+void append_us(std::string& out, std::uint64_t ns) {
+  append_uint(out, ns / 1000);
+  out.push_back('.');
+  const std::uint64_t frac = ns % 1000;
+  out.push_back(static_cast<char>('0' + frac / 100));
+  out.push_back(static_cast<char>('0' + frac / 10 % 10));
+  out.push_back(static_cast<char>('0' + frac % 10));
+}
+
+}  // namespace
+
+bool trace_enabled() noexcept {
+  return g_enabled.load(std::memory_order_relaxed);
+}
+
+void trace_init(std::string_view path) {
+  if (path.empty()) {
+    return;
+  }
+  Recorder& rec = recorder();
+  {
+    const std::scoped_lock lock(rec.mutex);
+    if (!rec.path.empty()) {
+      return;  // first init wins
+    }
+    rec.path = std::string(path);
+    rec.epoch_ns = now_ns();
+    rec.events.reserve(1024);
+  }
+  g_enabled.store(true, std::memory_order_release);
+  std::atexit(trace_flush);
+}
+
+void trace_init_from_env() {
+  const char* path = std::getenv("PANAGREE_TRACE");
+  if (path != nullptr && *path != '\0') {
+    trace_init(path);
+  }
+}
+
+void trace_flush() {
+  Recorder& rec = recorder();
+  const std::scoped_lock lock(rec.mutex);
+  if (rec.path.empty()) {
+    return;
+  }
+  std::string out;
+  out.reserve(64 + rec.events.size() * 96);
+  out += "{\"traceEvents\":[";
+  bool first = true;
+  for (const Event& event : rec.events) {
+    if (!first) {
+      out.push_back(',');
+    }
+    first = false;
+    out += "{\"name\":\"";
+    out += event.name;  // span names are literals, JSON-safe by contract
+    out += "\",\"ph\":\"X\",\"ts\":";
+    append_us(out, event.start_ns);
+    out += ",\"dur\":";
+    append_us(out, event.duration_ns);
+    out += ",\"pid\":1,\"tid\":";
+    append_uint(out, event.tid);
+    out.push_back('}');
+  }
+  out += "]}\n";
+  std::FILE* file = std::fopen(rec.path.c_str(), "w");
+  if (file == nullptr) {
+    return;  // tracing must never take the process down
+  }
+  std::fwrite(out.data(), 1, out.size(), file);
+  std::fclose(file);
+}
+
+std::size_t trace_event_count() noexcept {
+  Recorder& rec = recorder();
+  const std::scoped_lock lock(rec.mutex);
+  return rec.events.size();
+}
+
+TraceSpan::TraceSpan(const char* name) noexcept
+    : name_(trace_enabled() ? name : nullptr) {
+  if (name_ != nullptr) {
+    start_ns_ = now_ns();
+  }
+}
+
+TraceSpan::~TraceSpan() {
+  if (name_ == nullptr) {
+    return;
+  }
+  const std::uint64_t end_ns = now_ns();
+  Recorder& rec = recorder();
+  const std::scoped_lock lock(rec.mutex);
+  rec.events.push_back(Event{name_, start_ns_ - rec.epoch_ns,
+                             end_ns - start_ns_, thread_ordinal()});
+}
+
+}  // namespace obs_on
+
+}  // namespace panagree::obs
+
+#endif  // !PANAGREE_OBS_OFF

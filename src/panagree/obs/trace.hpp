@@ -1,0 +1,99 @@
+// Lightweight span tracing to Chrome-tracing / Perfetto JSON.
+//
+// Off by default: TraceSpan's constructor is one relaxed atomic load
+// when no trace file is configured (no clock read, no allocation).
+// Enable by calling trace_init(path) - the tools do this from the
+// PANAGREE_TRACE environment variable via trace_init_from_env() - and
+// every span records (name, start, duration, thread) into an in-memory
+// buffer flushed to `path` as a single JSON document at trace_flush()
+// or process exit.
+//
+// Span names must be string literals (or otherwise outlive the
+// recorder): the recorder stores the pointer, not a copy, so that a
+// span's cost stays off the traced code's profile.
+//
+// The emitted document is the Chrome trace-event format consumed by
+// chrome://tracing and ui.perfetto.dev:
+//
+//   {"traceEvents":[
+//     {"name":"sweep.prime","ph":"X","ts":12.5,"dur":104.0,
+//      "pid":1,"tid":2}, ...]}
+//
+// ts/dur are microseconds (doubles, Chrome's unit); tid is a small
+// per-process thread ordinal, stable per thread; pid is fixed at 1
+// (single-process traces diff cleanly).
+//
+// Under PANAGREE_OBS_OFF the span type is a header-only no-op in a
+// distinct inline namespace (same ODR story as metrics.hpp) and the
+// init/flush entry points remain callable but record nothing.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace panagree::obs {
+
+#if defined(PANAGREE_OBS_OFF)
+
+inline namespace obs_off {
+
+class TraceSpan {
+ public:
+  explicit TraceSpan(const char*) noexcept {}
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+};
+
+[[nodiscard]] constexpr bool trace_enabled() noexcept { return false; }
+inline void trace_init(std::string_view) {}
+inline void trace_init_from_env() {}
+inline void trace_flush() {}
+[[nodiscard]] inline std::size_t trace_event_count() noexcept { return 0; }
+
+}  // namespace obs_off
+
+#else  // !PANAGREE_OBS_OFF
+
+inline namespace obs_on {
+
+/// True once trace_init succeeded; spans record only then.
+[[nodiscard]] bool trace_enabled() noexcept;
+
+/// Starts recording and arranges a flush to `path` at process exit.
+/// Idempotent per process: the first call wins (later calls with a
+/// different path are ignored - tracing is a process-level decision).
+void trace_init(std::string_view path);
+
+/// trace_init(getenv("PANAGREE_TRACE")) when the variable is set and
+/// non-empty; no-op otherwise. Every tool calls this at startup.
+void trace_init_from_env();
+
+/// Writes the complete JSON document now, truncating the file; the
+/// buffer is retained, so every flush produces a whole, valid document
+/// (the process-exit flush simply rewrites the final one). Safe to
+/// call when disabled.
+void trace_flush();
+
+/// Number of spans currently buffered (test hook).
+[[nodiscard]] std::size_t trace_event_count() noexcept;
+
+/// RAII complete-event span: records [construction, destruction) of the
+/// enclosing scope under `name`.
+class TraceSpan {
+ public:
+  explicit TraceSpan(const char* name) noexcept;
+  ~TraceSpan();
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+ private:
+  const char* name_;          // nullptr when tracing is disabled
+  std::uint64_t start_ns_ = 0;
+};
+
+}  // namespace obs_on
+
+#endif  // PANAGREE_OBS_OFF
+
+}  // namespace panagree::obs

@@ -31,6 +31,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <cstddef>
 #include <cstdint>
 #include <exception>
@@ -41,6 +42,7 @@
 #include <type_traits>
 #include <vector>
 
+#include "panagree/obs/metrics.hpp"
 #include "panagree/paths/placement.hpp"
 #include "panagree/paths/steal.hpp"
 #include "panagree/topology/compiled.hpp"
@@ -48,6 +50,66 @@
 #include "panagree/util/error.hpp"
 
 namespace panagree::paths {
+
+namespace detail {
+
+/// Driver metrics. Workers tally locally and flush once at exit, so the
+/// instrumented hot loop adds no atomics at all; under PANAGREE_OBS_OFF
+/// the tally code compiles out entirely (obs::enabled() is constexpr).
+struct DriverMetrics {
+  obs::Counter& items_claimed;
+  obs::Counter& items_stolen;
+  obs::Counter& steal_failures;
+  obs::Histogram& worker_busy_ns;
+};
+
+[[nodiscard]] inline DriverMetrics& driver_metrics() {
+  static DriverMetrics metrics{
+      obs::Registry::global().counter("paths.items_claimed"),
+      obs::Registry::global().counter("paths.items_stolen"),
+      obs::Registry::global().counter("paths.steal_failures"),
+      obs::Registry::global().histogram("paths.worker_busy_ns"),
+  };
+  return metrics;
+}
+
+/// One worker's local tallies; flushed by the destructor (covers every
+/// exit path of the worker body, including the failure returns).
+struct WorkerTally {
+  std::uint64_t claimed = 0;
+  std::uint64_t stolen = 0;
+  std::uint64_t steal_failures = 0;
+  std::uint64_t busy_ns = 0;
+
+  ~WorkerTally() {
+    if constexpr (obs::enabled()) {
+      DriverMetrics& metrics = driver_metrics();
+      if (claimed != 0) {
+        metrics.items_claimed.add(claimed);
+      }
+      if (stolen != 0) {
+        metrics.items_stolen.add(stolen);
+      }
+      if (steal_failures != 0) {
+        metrics.steal_failures.add(steal_failures);
+      }
+      metrics.worker_busy_ns.record(busy_ns);
+    }
+  }
+};
+
+[[nodiscard]] inline std::uint64_t busy_clock_ns() noexcept {
+  if constexpr (obs::enabled()) {
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count());
+  } else {
+    return 0;
+  }
+}
+
+}  // namespace detail
 
 /// Resolves a requested worker count: 0 means "use the hardware", anything
 /// else is taken literally. Always >= 1.
@@ -124,9 +186,13 @@ template <typename Fn>
   std::vector<Result> results(count);
   const std::size_t workers = std::min(resolve_thread_count(threads), count);
   if (workers <= 1 || count < options.min_parallel) {
+    detail::WorkerTally tally;
+    const std::uint64_t start = detail::busy_clock_ns();
     for (std::size_t i = 0; i < count; ++i) {
       results[i] = fn(i);
     }
+    tally.busy_ns = detail::busy_clock_ns() - start;
+    tally.claimed = count;
     return results;
   }
 
@@ -159,6 +225,8 @@ template <typename Fn>
       // Best-effort: a refused bind runs unpinned, results unchanged.
       (void)placement->bind_worker(self, workers);
     }
+    detail::WorkerTally tally;  // flushes to the obs registry at exit
+    bool range_is_stolen = false;
     detail::StealRange& own = ranges[self];
     for (;;) {
       std::uint32_t begin = 0;
@@ -167,6 +235,7 @@ template <typename Fn>
         if (shared.failed.load(std::memory_order_relaxed)) {
           return;
         }
+        const std::uint64_t start = detail::busy_clock_ns();
         try {
           for (std::uint32_t i = begin; i < end; ++i) {
             results[i] = fn(static_cast<std::size_t>(i));
@@ -179,6 +248,11 @@ template <typename Fn>
           }
           return;
         }
+        tally.busy_ns += detail::busy_clock_ns() - start;
+        // Attribution: items run out of the seed range count as claimed,
+        // items run after a steal as stolen (each item exactly once, by
+        // the worker that executed it).
+        (range_is_stolen ? tally.stolen : tally.claimed) += end - begin;
         shared.remaining.fetch_sub(end - begin, std::memory_order_acq_rel);
       }
       // Own range dry: scan victims round-robin for a back half.
@@ -187,6 +261,7 @@ template <typename Fn>
         const std::size_t victim = (self + off) % workers;
         if (ranges[victim].try_steal(begin, end)) {
           own.reset(begin, end);  // stolen work is stealable in turn
+          range_is_stolen = true;
           stole = true;
         }
       }
@@ -195,6 +270,10 @@ template <typename Fn>
             shared.failed.load(std::memory_order_relaxed)) {
           return;
         }
+        // A full victim scan came up empty while work is still in
+        // flight: the steal-failure count is the driver's contention /
+        // idle-spin signal.
+        ++tally.steal_failures;
         // Everything is claimed-and-running or briefly in transit between
         // ranges; don't spin the cpu a working thread could use.
         std::this_thread::yield();

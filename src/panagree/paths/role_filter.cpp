@@ -2,6 +2,8 @@
 
 #include <cstdlib>
 
+#include "panagree/obs/metrics.hpp"
+
 #if defined(__x86_64__) || defined(__i386__)
 #include <immintrin.h>
 #endif
@@ -12,6 +14,10 @@ namespace {
 
 using FilterFn = std::size_t (*)(const std::uint8_t*, std::size_t, RoleMask,
                                  std::uint32_t*);
+
+/// 0=scalar, 1=sse2, 2=avx2 - the numeric face of role_filter_dispatch()
+/// for the `rolefilter.kernel_id` gauge.
+enum KernelId : std::int64_t { kScalar = 0, kSse2 = 1, kAvx2 = 2 };
 
 std::size_t filter_scalar_impl(const std::uint8_t* roles, std::size_t count,
                                RoleMask mask, std::uint32_t* out) {
@@ -105,6 +111,7 @@ __attribute__((target("avx2"))) std::size_t filter_avx2_impl(
 struct Dispatch {
   FilterFn fn;
   const char* name;
+  std::int64_t kernel_id;
 };
 
 Dispatch select_dispatch() {
@@ -114,23 +121,45 @@ Dispatch select_dispatch() {
 #if defined(__x86_64__) || defined(__i386__)
   if (!forced_scalar) {
     if (__builtin_cpu_supports("avx2")) {
-      return {&filter_avx2_impl, "avx2"};
+      return {&filter_avx2_impl, "avx2", kAvx2};
     }
 #if defined(__SSE2__)
-    return {&filter_sse2_impl, "sse2"};
+    return {&filter_sse2_impl, "sse2", kSse2};
 #endif
   }
 #else
   (void)forced_scalar;
 #endif
-  return {&filter_scalar_impl, "scalar"};
+  return {&filter_scalar_impl, "scalar", kScalar};
 }
 
 const Dispatch& dispatch() {
   // Selected once per process: the environment override is read at first
-  // use, like the rest of the PANAGREE_* env knobs.
-  static const Dispatch selected = select_dispatch();
+  // use, like the rest of the PANAGREE_* env knobs. The kernel gauge is
+  // set in the same once-block - dispatch never changes after this.
+  static const Dispatch selected = [] {
+    const Dispatch chosen = select_dispatch();
+    obs::Registry::global().gauge("rolefilter.kernel_id").set(
+        chosen.kernel_id);
+    return chosen;
+  }();
   return selected;
+}
+
+// Row-granular tallies: filter_roles runs once per DFS row, so this is
+// the hottest instrumented point in the repo - two sharded relaxed adds
+// per row, cost documented by BM_Obs_CounterHot.
+struct FilterMetrics {
+  obs::Counter& rows;
+  obs::Counter& entries_admitted;
+};
+
+FilterMetrics& filter_metrics() {
+  static FilterMetrics metrics{
+      obs::Registry::global().counter("rolefilter.rows"),
+      obs::Registry::global().counter("rolefilter.entries_admitted"),
+  };
+  return metrics;
 }
 
 }  // namespace
@@ -142,7 +171,13 @@ std::size_t filter_roles_scalar(const std::uint8_t* roles, std::size_t count,
 
 std::size_t filter_roles(const std::uint8_t* roles, std::size_t count,
                          RoleMask mask, std::uint32_t* out) {
-  return dispatch().fn(roles, count, mask, out);
+  const std::size_t n = dispatch().fn(roles, count, mask, out);
+  if constexpr (obs::enabled()) {
+    FilterMetrics& metrics = filter_metrics();
+    metrics.rows.increment();
+    metrics.entries_admitted.add(n);
+  }
+  return n;
 }
 
 const char* role_filter_dispatch() { return dispatch().name; }

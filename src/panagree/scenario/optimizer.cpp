@@ -4,6 +4,7 @@
 #include <unordered_map>
 #include <utility>
 
+#include "panagree/obs/trace.hpp"
 #include "panagree/util/error.hpp"
 
 namespace panagree::scenario {
@@ -273,6 +274,7 @@ OptimizerResult Optimizer::run(const std::vector<Delta>& candidates) const {
   };
 
   for (std::size_t round = 0; round < config_.max_steps; ++round) {
+    const obs::TraceSpan round_span("optimizer.round");
     std::vector<Proposal> proposals;
     for (std::size_t s = 0; s < states.size(); ++s) {
       SearchState& state = states[s];

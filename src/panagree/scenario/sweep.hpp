@@ -44,14 +44,57 @@
 // endpoints are both seeds.
 #pragma once
 
+#include <chrono>
 #include <cstddef>
 #include <span>
 #include <vector>
 
+#include "panagree/obs/metrics.hpp"
+#include "panagree/obs/trace.hpp"
 #include "panagree/paths/parallel.hpp"
 #include "panagree/scenario/program.hpp"
 
 namespace panagree::scenario {
+
+namespace detail {
+
+/// Sweep metrics: the invalidation-ball distribution is *the* quantity
+/// deciding whether incremental sweeps pay off, so it is always on
+/// (relaxed adds at scenario granularity, not per source).
+struct SweepMetrics {
+  obs::Counter& recomputed_sources;
+  obs::Counter& cached_sources;
+  obs::Histogram& ball_size;
+  obs::Histogram& dirty_sources;
+  obs::Histogram& prime_ns;
+  obs::Histogram& evaluate_ns;
+};
+
+[[nodiscard]] inline SweepMetrics& sweep_metrics() {
+  obs::Registry& reg = obs::Registry::global();
+  static SweepMetrics metrics{
+      reg.counter("sweep.recomputed_sources"),
+      reg.counter("sweep.cached_sources"),
+      reg.histogram("sweep.ball_size"),
+      reg.histogram("sweep.dirty_sources"),
+      reg.histogram("sweep.prime_ns"),
+      reg.histogram("sweep.evaluate_ns"),
+  };
+  return metrics;
+}
+
+[[nodiscard]] inline std::uint64_t sweep_clock_ns() noexcept {
+  if constexpr (obs::enabled()) {
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count());
+  } else {
+    return 0;
+  }
+}
+
+}  // namespace detail
 
 struct SweepConfig {
   /// Worker threads for per-source fan-outs (0 = hardware concurrency).
@@ -134,12 +177,18 @@ class SweepRunner {
   /// Idempotent per fn; re-priming with a different fn replaces the cache.
   template <typename Fn>
   void prime(const Fn& fn) {
+    const obs::TraceSpan span("sweep.prime");
+    const std::uint64_t start = detail::sweep_clock_ns();
     const Overlay empty(*base_);
     cache_ = paths::map_sources(
         sources_, config_.threads,
         [&](AsId src) { return fn(empty, src); }, map_options(sources_));
     state_ = Delta{};
     primed_ = true;
+    if constexpr (obs::enabled()) {
+      detail::sweep_metrics().prime_ns.record(detail::sweep_clock_ns() -
+                                              start);
+    }
   }
 
   /// The cached per-source results of state(), in sources() order (the
@@ -227,6 +276,8 @@ class SweepRunner {
   void evaluate_dirty_visit(const Delta& delta, const Fn& fn, Visit&& visit,
                             SweepStats* stats = nullptr) const {
     util::require(primed_, "SweepRunner::evaluate_dirty_visit: prime() first");
+    const obs::TraceSpan span("sweep.evaluate");
+    const std::uint64_t start = detail::sweep_clock_ns();
     Overlay overlay(*base_);
     overlay.apply(state_.empty() ? delta : compose(state_, delta));
     const std::vector<AsId> ball = invalidation_ball(
@@ -242,6 +293,14 @@ class SweepRunner {
       stats->recomputed_sources = recomputed;
       stats->cached_sources = sources_.size() - recomputed;
       stats->ball_size = ball.size();
+    }
+    if constexpr (obs::enabled()) {
+      detail::SweepMetrics& metrics = detail::sweep_metrics();
+      metrics.recomputed_sources.add(recomputed);
+      metrics.cached_sources.add(sources_.size() - recomputed);
+      metrics.ball_size.record(ball.size());
+      metrics.dirty_sources.record(recomputed);
+      metrics.evaluate_ns.record(detail::sweep_clock_ns() - start);
     }
   }
 
@@ -286,6 +345,8 @@ class SweepRunner {
   std::size_t recompute_dirty(const Delta& delta, const Fn& fn,
                               SweepStats* stats) {
     util::require(primed_, "SweepRunner::evaluate_visit: prime() first");
+    const obs::TraceSpan span("sweep.evaluate");
+    const std::uint64_t start = detail::sweep_clock_ns();
     Overlay overlay(*base_);
     overlay.apply(state_.empty() ? delta : compose(state_, delta));
     const std::vector<AsId> ball = invalidation_ball(
@@ -308,6 +369,14 @@ class SweepRunner {
       stats->recomputed_sources = dirty_sources_.size();
       stats->cached_sources = sources_.size() - dirty_sources_.size();
       stats->ball_size = ball.size();
+    }
+    if constexpr (obs::enabled()) {
+      detail::SweepMetrics& metrics = detail::sweep_metrics();
+      metrics.recomputed_sources.add(dirty_sources_.size());
+      metrics.cached_sources.add(sources_.size() - dirty_sources_.size());
+      metrics.ball_size.record(ball.size());
+      metrics.dirty_sources.record(dirty_sources_.size());
+      metrics.evaluate_ns.record(detail::sweep_clock_ns() - start);
     }
     return dirty_sources_.size();
   }

@@ -1,13 +1,79 @@
 #include "panagree/serve/query_engine.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <string>
 #include <tuple>
 #include <utility>
 
+#include "panagree/obs/build_info.hpp"
+#include "panagree/obs/metrics.hpp"
+#include "panagree/obs/trace.hpp"
+
 namespace panagree::serve {
 
 namespace {
+
+// Engine-level metrics (see README "Observability"). References cached
+// once; every record is a relaxed add.
+struct EngineMetrics {
+  obs::Registry& reg = obs::Registry::global();
+  obs::Counter& paths_cache_hits = reg.counter("engine.paths_cache_hits");
+  obs::Counter& paths_cold = reg.counter("engine.paths_cold");
+  obs::Counter& memo_hits = reg.counter("engine.whatif_memo_hits");
+  obs::Counter& memo_shared = reg.counter("engine.whatif_memo_shared");
+  obs::Counter& memo_unshared = reg.counter("engine.whatif_unshared");
+  obs::Counter& rebases = reg.counter("engine.rebases");
+  obs::Histogram& batch = reg.histogram("engine.whatif_batch");
+};
+
+[[nodiscard]] EngineMetrics& engine_metrics() {
+  static EngineMetrics metrics;
+  return metrics;
+}
+
+// Per-request-kind accounting at the dispatch point shared by the
+// server workers and --direct (so a scripted session scores the same
+// counters either way).
+struct RequestMetrics {
+  obs::Counter& count;
+  obs::Histogram& latency_ns;
+};
+
+[[nodiscard]] RequestMetrics& request_metrics(RequestKind kind) {
+  obs::Registry& reg = obs::Registry::global();
+  static RequestMetrics paths{reg.counter("serve.requests.paths"),
+                              reg.histogram("serve.latency_ns.paths")};
+  static RequestMetrics diversity{
+      reg.counter("serve.requests.diversity"),
+      reg.histogram("serve.latency_ns.diversity")};
+  static RequestMetrics whatif{reg.counter("serve.requests.whatif"),
+                               reg.histogram("serve.latency_ns.whatif")};
+  static RequestMetrics stats{reg.counter("serve.requests.stats"),
+                              reg.histogram("serve.latency_ns.stats")};
+  switch (kind) {
+    case RequestKind::kPaths: return paths;
+    case RequestKind::kDiversity: return diversity;
+    case RequestKind::kWhatIf: return whatif;
+    case RequestKind::kStats: return stats;
+  }
+  return paths;  // unreachable
+}
+
+[[nodiscard]] RequestMetrics& error_metrics() {
+  obs::Registry& reg = obs::Registry::global();
+  static RequestMetrics errors{reg.counter("serve.requests.errors"),
+                               reg.histogram("serve.latency_ns.errors")};
+  return errors;
+}
+
+[[nodiscard]] std::uint64_t elapsed_ns(
+    std::chrono::steady_clock::time_point start) {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - start)
+          .count());
+}
 
 scenario::SourcePathSet enumerate(const scenario::Overlay& overlay,
                                   AsId src) {
@@ -153,11 +219,13 @@ void QueryEngine::paths(AsId src, const PathsSink& sink) const {
   const std::shared_ptr<const State> state = snapshot();
   const auto it = source_index_.find(src);
   if (it != source_index_.end()) {
+    engine_metrics().paths_cache_hits.increment();
     const scenario::SourcePathSet& sets = state->runner.baseline()[it->second];
     sink(sets.grc(), sets.ma());
     return;
   }
   util::require(src < base_->num_ases(), "QueryEngine: source out of range");
+  engine_metrics().paths_cold.increment();
   const scenario::SourcePathSet sets = enumerate(state->overlay, src);
   sink(sets.grc(), sets.ma());
 }
@@ -166,9 +234,11 @@ DiversityResult QueryEngine::diversity(AsId src) const {
   const std::shared_ptr<const State> state = snapshot();
   const auto it = source_index_.find(src);
   if (it != source_index_.end()) {
+    engine_metrics().paths_cache_hits.increment();
     return to_diversity_result(state->contribs[it->second]);
   }
   util::require(src < base_->num_ases(), "QueryEngine: source out of range");
+  engine_metrics().paths_cold.increment();
   const scenario::SourcePathSet sets = enumerate(state->overlay, src);
   return to_diversity_result(aggregator_.contribution(state->overlay, sets));
 }
@@ -226,6 +296,7 @@ WhatIfResult QueryEngine::whatif(const scenario::Delta& delta) const {
     epoch = epoch_;
   }
   if (config_.max_batch == 0) {
+    engine_metrics().memo_unshared.increment();
     return compute_whatif(*state, delta);
   }
 
@@ -246,11 +317,14 @@ WhatIfResult QueryEngine::whatif(const scenario::Delta& delta) const {
     // else: batch full - compute unshared below.
   }
   if (!owner && shared.valid()) {
+    engine_metrics().memo_hits.increment();
     return shared.get();
   }
   if (!owner) {
+    engine_metrics().memo_unshared.increment();
     return compute_whatif(*state, delta);
   }
+  engine_metrics().memo_shared.increment();
   try {
     WhatIfResult result = compute_whatif(*state, delta);
     promise.set_value(result);
@@ -276,37 +350,69 @@ void QueryEngine::rebase(const scenario::Delta& step) {
     state_ = std::move(next);
     ++epoch_;
   }
+  engine_metrics().rebases.increment();
   flush_whatif_memo();
 }
 
 void QueryEngine::flush_whatif_memo() const {
   const std::lock_guard<std::mutex> lock(memo_mutex_);
+  // The memo size at flush is the realized epoch batch: how many
+  // distinct deltas shared this state generation.
+  engine_metrics().batch.record(memo_.size());
   memo_.clear();
 }
 
 void QueryEngine::handle_line(std::string_view line, std::string& out) const {
+  const auto start = std::chrono::steady_clock::now();
   std::uint64_t id = 0;
   try {
     const Request request = parse_request(line, &id);
+    // Count the request before handling it, so a stats response
+    // deterministically includes itself (the CI smoke asserts exact
+    // counts for a scripted session).
+    RequestMetrics& metrics = request_metrics(request.kind);
+    metrics.count.increment();
     switch (request.kind) {
-      case RequestKind::kPaths:
+      case RequestKind::kPaths: {
+        const obs::TraceSpan span("serve.paths");
         paths(request.source,
               [&](std::span<const diversity::Length3Path> grc,
                   std::span<const diversity::Length3Path> ma) {
                 append_paths_response(out, request.id, request.source, grc,
                                       ma);
               });
+        metrics.latency_ns.record(elapsed_ns(start));
         return;
-      case RequestKind::kDiversity:
+      }
+      case RequestKind::kDiversity: {
+        const obs::TraceSpan span("serve.diversity");
         append_diversity_response(out, request.id, request.source,
                                   diversity(request.source));
+        metrics.latency_ns.record(elapsed_ns(start));
         return;
-      case RequestKind::kWhatIf:
+      }
+      case RequestKind::kWhatIf: {
+        const obs::TraceSpan span("serve.whatif");
         append_whatif_response(out, request.id, whatif(request.delta));
+        metrics.latency_ns.record(elapsed_ns(start));
         return;
+      }
+      case RequestKind::kStats: {
+        const obs::TraceSpan span("serve.stats");
+        // Latency recorded before the snapshot, so the histogram's count
+        // matches the counter in the response it ships.
+        metrics.latency_ns.record(elapsed_ns(start));
+        append_stats_response(out, request.id,
+                              obs::build_info().git_describe, epoch(),
+                              obs::snapshot_metrics());
+        return;
+      }
     }
     append_error_response(out, id, "unhandled request kind");
   } catch (const std::exception& e) {
+    RequestMetrics& errors = error_metrics();
+    errors.count.increment();
+    errors.latency_ns.record(elapsed_ns(start));
     append_error_response(out, id, e.what());
   }
 }

@@ -13,9 +13,28 @@
 #include <iostream>
 #include <utility>
 
+#include "panagree/obs/metrics.hpp"
+
 namespace panagree::serve {
 
 namespace {
+
+// Server-level metrics: connection/queue behavior (request-level
+// accounting lives in QueryEngine::handle_line, shared with --direct).
+struct ServerMetrics {
+  obs::Registry& reg = obs::Registry::global();
+  obs::Counter& accepts = reg.counter("server.accepts");
+  obs::Counter& backpressure_waits = reg.counter("server.backpressure_waits");
+  obs::Counter& send_drops = reg.counter("server.send_drops");
+  obs::Counter& oversize_drops = reg.counter("server.oversize_drops");
+  obs::Gauge& queue_depth = reg.gauge("server.queue_depth");
+  obs::Gauge& queue_depth_hwm = reg.gauge("server.queue_depth_hwm");
+};
+
+[[nodiscard]] ServerMetrics& server_metrics() {
+  static ServerMetrics metrics;
+  return metrics;
+}
 
 /// A request line longer than this is rejected and its connection
 /// dropped: the protocol's objects are small, so an unbounded line is a
@@ -243,6 +262,7 @@ void Server::accept_loop() {
       ::close(fd);
       return;
     }
+    server_metrics().accepts.increment();
     // Bound how long a worker can block writing to a client that
     // stopped reading (see kSendTimeoutSeconds).
     const timeval timeout{.tv_sec = kSendTimeoutSeconds, .tv_usec = 0};
@@ -286,6 +306,7 @@ void Server::reader_loop(ReaderSlot* slot) {
     }
     buffer.erase(0, begin);
     if (buffer.size() > kMaxLineBytes) {
+      server_metrics().oversize_drops.increment();
       std::string out;
       append_error_response(out, 0, "request line too long");
       const std::lock_guard<std::mutex> lock(conn->write_mutex);
@@ -305,13 +326,23 @@ void Server::reader_loop(ReaderSlot* slot) {
 }
 
 void Server::enqueue(WorkItem item) {
+  ServerMetrics& metrics = server_metrics();
   std::unique_lock<std::mutex> lock(queue_mutex_);
+  if (queue_.size() >= config_.max_queue &&
+      !stopping_.load(std::memory_order_relaxed)) {
+    // The queue bound is backpressure, not a drop: the reader (and with
+    // it the client's TCP window) stalls until a worker makes room.
+    metrics.backpressure_waits.increment();
+  }
   space_cv_.wait(lock, [this] {
     return queue_.size() < config_.max_queue ||
            stopping_.load(std::memory_order_relaxed);
   });
   queue_.push_back(std::move(item));
+  const auto depth = static_cast<std::int64_t>(queue_.size());
   lock.unlock();
+  metrics.queue_depth.set(depth);
+  metrics.queue_depth_hwm.update_max(depth);
   queue_cv_.notify_one();
 }
 
@@ -324,6 +355,8 @@ void Server::worker_loop() {
     }
     WorkItem item = std::move(queue_.front());
     queue_.pop_front();
+    server_metrics().queue_depth.set(
+        static_cast<std::int64_t>(queue_.size()));
     lock.unlock();
     space_cv_.notify_one();
 
@@ -335,6 +368,7 @@ void Server::worker_loop() {
         // Peer gone or not reading (send timeout): drop the connection
         // so its reader exits and later responses fail fast instead of
         // blocking more workers.
+        server_metrics().send_drops.increment();
         ::shutdown(item.conn->fd, SHUT_RDWR);
       }
     }

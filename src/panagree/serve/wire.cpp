@@ -1,256 +1,26 @@
 #include "panagree/serve/wire.hpp"
 
-#include <cctype>
 #include <charconv>
 #include <cmath>
 #include <cstdio>
-#include <map>
-#include <memory>
-#include <variant>
-#include <vector>
+#include <limits>
+
+#include "panagree/util/json.hpp"
 
 namespace panagree::serve {
 
 namespace {
 
+using util::json::Array;
+using util::json::Object;
+using util::json::Value;
+
 [[noreturn]] void reject(const std::string& what) {
   throw ProtocolError("protocol: " + what);
 }
 
-// ------------------------------------------------------------ JSON reader
-//
-// A deliberately small model: numbers keep both an integer and a double
-// view (JSON does not distinguish, but ids and AS numbers must not round
-// through doubles), objects are key-ordered maps (requests are tiny).
-
-struct Value;
-using Object = std::map<std::string, Value, std::less<>>;
-using Array = std::vector<Value>;
-
-struct Value {
-  std::variant<std::nullptr_t, bool, std::uint64_t, double, std::string,
-               std::unique_ptr<Array>, std::unique_ptr<Object>>
-      data = nullptr;
-};
-
-class Parser {
- public:
-  explicit Parser(std::string_view text) : text_(text) {}
-
-  [[nodiscard]] Value parse() {
-    Value value = parse_value(0);
-    skip_ws();
-    if (pos_ != text_.size()) {
-      reject("trailing bytes after JSON value");
-    }
-    return value;
-  }
-
- private:
-  static constexpr std::size_t kMaxDepth = 16;
-
-  void skip_ws() {
-    while (pos_ < text_.size() &&
-           (text_[pos_] == ' ' || text_[pos_] == '\t' ||
-            text_[pos_] == '\r' || text_[pos_] == '\n')) {
-      ++pos_;
-    }
-  }
-
-  [[nodiscard]] char peek() {
-    if (pos_ >= text_.size()) {
-      reject("unexpected end of input");
-    }
-    return text_[pos_];
-  }
-
-  void expect(char c) {
-    if (pos_ >= text_.size() || text_[pos_] != c) {
-      reject(std::string("expected '") + c + "'");
-    }
-    ++pos_;
-  }
-
-  bool consume_literal(std::string_view literal) {
-    if (text_.substr(pos_, literal.size()) != literal) {
-      return false;
-    }
-    pos_ += literal.size();
-    return true;
-  }
-
-  [[nodiscard]] Value parse_value(std::size_t depth) {
-    if (depth > kMaxDepth) {
-      reject("nesting too deep");
-    }
-    skip_ws();
-    const char c = peek();
-    Value value;
-    if (c == '{') {
-      value.data = parse_object(depth);
-    } else if (c == '[') {
-      value.data = parse_array(depth);
-    } else if (c == '"') {
-      value.data = parse_string();
-    } else if (c == 't') {
-      if (!consume_literal("true")) {
-        reject("bad literal");
-      }
-      value.data = true;
-    } else if (c == 'f') {
-      if (!consume_literal("false")) {
-        reject("bad literal");
-      }
-      value.data = false;
-    } else if (c == 'n') {
-      if (!consume_literal("null")) {
-        reject("bad literal");
-      }
-      value.data = nullptr;
-    } else {
-      parse_number(value);
-    }
-    return value;
-  }
-
-  [[nodiscard]] std::unique_ptr<Object> parse_object(std::size_t depth) {
-    expect('{');
-    auto object = std::make_unique<Object>();
-    skip_ws();
-    if (peek() == '}') {
-      ++pos_;
-      return object;
-    }
-    for (;;) {
-      skip_ws();
-      std::string key = parse_string();
-      skip_ws();
-      expect(':');
-      if (!object->emplace(std::move(key), parse_value(depth + 1)).second) {
-        reject("duplicate object key");
-      }
-      skip_ws();
-      if (peek() == ',') {
-        ++pos_;
-        continue;
-      }
-      expect('}');
-      return object;
-    }
-  }
-
-  [[nodiscard]] std::unique_ptr<Array> parse_array(std::size_t depth) {
-    expect('[');
-    auto array = std::make_unique<Array>();
-    skip_ws();
-    if (peek() == ']') {
-      ++pos_;
-      return array;
-    }
-    for (;;) {
-      array->push_back(parse_value(depth + 1));
-      skip_ws();
-      if (peek() == ',') {
-        ++pos_;
-        continue;
-      }
-      expect(']');
-      return array;
-    }
-  }
-
-  [[nodiscard]] std::string parse_string() {
-    expect('"');
-    std::string out;
-    for (;;) {
-      if (pos_ >= text_.size()) {
-        reject("unterminated string");
-      }
-      const char c = text_[pos_++];
-      if (c == '"') {
-        return out;
-      }
-      if (static_cast<unsigned char>(c) < 0x20) {
-        reject("raw control character in string");
-      }
-      if (c != '\\') {
-        out.push_back(c);
-        continue;
-      }
-      if (pos_ >= text_.size()) {
-        reject("unterminated escape");
-      }
-      const char e = text_[pos_++];
-      switch (e) {
-        case '"': out.push_back('"'); break;
-        case '\\': out.push_back('\\'); break;
-        case '/': out.push_back('/'); break;
-        case 'b': out.push_back('\b'); break;
-        case 'f': out.push_back('\f'); break;
-        case 'n': out.push_back('\n'); break;
-        case 'r': out.push_back('\r'); break;
-        case 't': out.push_back('\t'); break;
-        case 'u': {
-          // Requests are ASCII-shaped; accept \uXXXX for the BMP's ASCII
-          // range only - nothing in the protocol needs more.
-          if (pos_ + 4 > text_.size()) {
-            reject("truncated \\u escape");
-          }
-          unsigned code = 0;
-          const auto [ptr, ec] = std::from_chars(
-              text_.data() + pos_, text_.data() + pos_ + 4, code, 16);
-          if (ec != std::errc() || ptr != text_.data() + pos_ + 4 ||
-              code > 0x7f) {
-            reject("unsupported \\u escape");
-          }
-          pos_ += 4;
-          out.push_back(static_cast<char>(code));
-          break;
-        }
-        default:
-          reject("unknown escape");
-      }
-    }
-  }
-
-  void parse_number(Value& value) {
-    const std::size_t start = pos_;
-    if (pos_ < text_.size() && text_[pos_] == '-') {
-      ++pos_;
-    }
-    while (pos_ < text_.size() &&
-           (std::isdigit(static_cast<unsigned char>(text_[pos_])) != 0 ||
-            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
-            text_[pos_] == '+' || text_[pos_] == '-')) {
-      ++pos_;
-    }
-    const std::string_view token = text_.substr(start, pos_ - start);
-    if (token.empty()) {
-      reject("expected a value");
-    }
-    // Integer first (exact); fall back to double.
-    if (token.find_first_of(".eE") == std::string_view::npos &&
-        token.front() != '-') {
-      std::uint64_t integer = 0;
-      const auto [ptr, ec] = std::from_chars(
-          token.data(), token.data() + token.size(), integer);
-      if (ec == std::errc() && ptr == token.data() + token.size()) {
-        value.data = integer;
-        return;
-      }
-    }
-    double number = 0.0;
-    const auto [ptr, ec] =
-        std::from_chars(token.data(), token.data() + token.size(), number);
-    if (ec != std::errc() || ptr != token.data() + token.size()) {
-      reject("malformed number");
-    }
-    value.data = number;
-  }
-
-  std::string_view text_;
-  std::size_t pos_ = 0;
-};
+// Typed accessors over the shared JSON model; every mismatch is a
+// protocol error naming the offending field.
 
 [[nodiscard]] const Object& as_object(const Value& value, const char* what) {
   const auto* object =
@@ -284,6 +54,40 @@ class Parser {
     reject(std::string(what) + " must be a non-negative integer");
   }
   return *integer;
+}
+
+/// Signed integer: the reader parses negative integrals as doubles
+/// (integer-first applies to non-negative tokens only), so accept both
+/// representations as long as the value is integral and in range.
+[[nodiscard]] std::int64_t as_int(const Value& value, const char* what) {
+  if (const auto* integer = std::get_if<std::uint64_t>(&value.data)) {
+    if (*integer >
+        static_cast<std::uint64_t>(
+            std::numeric_limits<std::int64_t>::max())) {
+      reject(std::string(what) + " out of range");
+    }
+    return static_cast<std::int64_t>(*integer);
+  }
+  if (const auto* number = std::get_if<double>(&value.data)) {
+    const double rounded = std::nearbyint(*number);
+    if (rounded != *number ||
+        *number < static_cast<double>(
+                      std::numeric_limits<std::int64_t>::min()) ||
+        *number > static_cast<double>(
+                      std::numeric_limits<std::int64_t>::max())) {
+      reject(std::string(what) + " must be an integer");
+    }
+    return static_cast<std::int64_t>(rounded);
+  }
+  reject(std::string(what) + " must be an integer");
+}
+
+[[nodiscard]] bool as_bool(const Value& value, const char* what) {
+  const auto* flag = std::get_if<bool>(&value.data);
+  if (flag == nullptr) {
+    reject(std::string(what) + " must be a boolean");
+  }
+  return *flag;
 }
 
 [[nodiscard]] const Value* find(const Object& object, std::string_view key) {
@@ -341,7 +145,25 @@ class Parser {
   return delta;
 }
 
+/// json::parse with ProtocolError rethrow - reader errors are protocol
+/// errors at this layer.
+[[nodiscard]] Value parse_json_line(std::string_view line) {
+  try {
+    return util::json::parse(line);
+  } catch (const util::ParseError& e) {
+    reject(e.what());
+  }
+}
+
 void append_uint(std::string& out, std::uint64_t value) {
+  char buffer[24];
+  const auto [ptr, ec] =
+      std::to_chars(buffer, buffer + sizeof(buffer), value);
+  (void)ec;
+  out.append(buffer, ptr);
+}
+
+void append_int(std::string& out, std::int64_t value) {
   char buffer[24];
   const auto [ptr, ec] =
       std::to_chars(buffer, buffer + sizeof(buffer), value);
@@ -383,8 +205,7 @@ Request parse_request(std::string_view line, std::uint64_t* id_out) {
   while (!line.empty() && (line.back() == '\n' || line.back() == '\r')) {
     line.remove_suffix(1);
   }
-  Parser parser(line);
-  const Value root = parser.parse();
+  const Value root = parse_json_line(line);
   const Object& object = as_object(root, "request");
   Request request;
   request.id = as_uint(require_field(object, "id"), "\"id\"");
@@ -410,6 +231,8 @@ Request parse_request(std::string_view line, std::uint64_t* id_out) {
     if (request.delta.empty()) {
       reject("whatif request with an empty delta");
     }
+  } else if (kind == "stats") {
+    request.kind = RequestKind::kStats;
   } else {
     reject("unknown kind \"" + kind + "\"");
   }
@@ -514,6 +337,124 @@ void append_error_response(std::string& out, std::uint64_t id,
   out += ",\"error\":";
   append_json_string(out, message);
   out += "}\n";
+}
+
+void append_stats_response(std::string& out, std::uint64_t id,
+                           std::string_view build, std::uint64_t epoch,
+                           const obs::MetricsSnapshot& metrics) {
+  append_response_head(out, id, true);
+  out += ",\"kind\":\"stats\",\"build\":";
+  append_json_string(out, build);
+  out += ",\"epoch\":";
+  append_uint(out, epoch);
+  out += ",\"counters\":{";
+  bool first = true;
+  for (const obs::CounterSample& counter : metrics.counters) {
+    if (!first) {
+      out.push_back(',');
+    }
+    first = false;
+    append_json_string(out, counter.name);
+    out.push_back(':');
+    append_uint(out, counter.value);
+  }
+  out += "},\"gauges\":{";
+  first = true;
+  for (const obs::GaugeSample& gauge : metrics.gauges) {
+    if (!first) {
+      out.push_back(',');
+    }
+    first = false;
+    append_json_string(out, gauge.name);
+    out.push_back(':');
+    append_int(out, gauge.value);
+  }
+  out += "},\"histograms\":{";
+  first = true;
+  for (const obs::HistogramSample& histogram : metrics.histograms) {
+    if (!first) {
+      out.push_back(',');
+    }
+    first = false;
+    append_json_string(out, histogram.name);
+    out += ":{\"count\":";
+    append_uint(out, histogram.count);
+    out += ",\"sum\":";
+    append_uint(out, histogram.sum);
+    out += ",\"buckets\":[";
+    bool first_bucket = true;
+    for (const auto& [bucket, count] : histogram.buckets) {
+      if (!first_bucket) {
+        out.push_back(',');
+      }
+      first_bucket = false;
+      out.push_back('[');
+      append_uint(out, bucket);
+      out.push_back(',');
+      append_uint(out, count);
+      out.push_back(']');
+    }
+    out += "]}";
+  }
+  out += "}}\n";
+}
+
+StatsResult parse_stats_response(std::string_view line) {
+  while (!line.empty() && (line.back() == '\n' || line.back() == '\r')) {
+    line.remove_suffix(1);
+  }
+  const Value root = parse_json_line(line);
+  const Object& object = as_object(root, "stats response");
+  if (!as_bool(require_field(object, "ok"), "\"ok\"")) {
+    const Value* error = find(object, "error");
+    reject("stats request failed: " +
+           (error != nullptr ? as_string(*error, "\"error\"")
+                             : std::string("unknown error")));
+  }
+  const std::string& kind =
+      as_string(require_field(object, "kind"), "\"kind\"");
+  if (kind != "stats") {
+    reject("expected a stats response, got kind \"" + kind + "\"");
+  }
+  StatsResult result;
+  result.id = as_uint(require_field(object, "id"), "\"id\"");
+  result.build = as_string(require_field(object, "build"), "\"build\"");
+  result.epoch = as_uint(require_field(object, "epoch"), "\"epoch\"");
+  const Object& counters =
+      as_object(require_field(object, "counters"), "\"counters\"");
+  for (const auto& [name, value] : counters) {
+    result.metrics.counters.push_back(
+        {name, as_uint(value, "counter value")});
+  }
+  const Object& gauges =
+      as_object(require_field(object, "gauges"), "\"gauges\"");
+  for (const auto& [name, value] : gauges) {
+    result.metrics.gauges.push_back({name, as_int(value, "gauge value")});
+  }
+  const Object& histograms =
+      as_object(require_field(object, "histograms"), "\"histograms\"");
+  for (const auto& [name, value] : histograms) {
+    const Object& body = as_object(value, "histogram");
+    obs::HistogramSample sample;
+    sample.name = name;
+    sample.count = as_uint(require_field(body, "count"), "\"count\"");
+    sample.sum = as_uint(require_field(body, "sum"), "\"sum\"");
+    for (const Value& entry :
+         as_array(require_field(body, "buckets"), "\"buckets\"")) {
+      const Array& pair = as_array(entry, "\"buckets\" entry");
+      if (pair.size() != 2) {
+        reject("\"buckets\" entries must be [bucket, count] pairs");
+      }
+      const std::uint64_t bucket = as_uint(pair[0], "bucket index");
+      if (bucket >= obs::kHistogramBuckets) {
+        reject("bucket index out of range");
+      }
+      sample.buckets.emplace_back(static_cast<std::uint32_t>(bucket),
+                                  as_uint(pair[1], "bucket count"));
+    }
+    result.metrics.histograms.push_back(std::move(sample));
+  }
+  return result;
 }
 
 }  // namespace panagree::serve

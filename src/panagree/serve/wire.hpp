@@ -4,15 +4,24 @@
 // Every request and every response is one JSON object on one line. The
 // protocol is versioned by the "v" field; a server rejects versions other
 // than kProtocolVersion with an error response instead of guessing. Three
-// request kinds mirror the query engine's operations:
+// request kinds mirror the query engine's operations, plus an
+// introspection kind:
 //
 //   {"v":1,"id":7,"kind":"paths","source":42}
 //   {"v":1,"id":8,"kind":"diversity","source":42}
 //   {"v":1,"id":9,"kind":"whatif","add":[{"a":1,"b":2,"type":"peering"}],
 //    "remove":[[3,4]]}
+//   {"v":1,"id":10,"kind":"stats"}
 //
 // ("transit" links follow Graph's convention: "a" is the provider, "b"
 // the customer. "add"/"remove" both default to empty.)
+//
+// A stats response carries the server's build identity and a snapshot of
+// the obs registry (counters/gauges/histograms, names sorted ascending,
+// histograms as sparse [bucket, count] pairs). Its bytes are a pure
+// function of the snapshot contents - same fixed-field-order rule as
+// every other response - but NOT of the session alone (counters are
+// process-wide), so stats stays out of byte-identity diffs.
 //
 // Responses echo the request id, carry "ok", and serialize with a *fixed
 // field order and number format* (std::to_chars, shortest round-trip for
@@ -20,8 +29,7 @@
 // is what lets the CI smoke job and serve_test diff server output against
 // direct library calls byte-for-byte.
 //
-// Parsing is a small recursive-descent JSON reader (objects, arrays,
-// strings with escapes, integers, doubles, bools, null; depth-limited).
+// Parsing rides on util/json.hpp (the shared recursive-descent reader).
 // Malformed input throws ProtocolError - the server turns that into an
 // error response and keeps the connection alive.
 #pragma once
@@ -32,6 +40,7 @@
 #include <string_view>
 
 #include "panagree/diversity/length3.hpp"
+#include "panagree/obs/export.hpp"
 #include "panagree/scenario/overlay.hpp"
 #include "panagree/util/error.hpp"
 
@@ -49,7 +58,7 @@ class ProtocolError : public util::ParseError {
 
 inline constexpr std::uint32_t kProtocolVersion = 1;
 
-enum class RequestKind : std::uint8_t { kPaths, kDiversity, kWhatIf };
+enum class RequestKind : std::uint8_t { kPaths, kDiversity, kWhatIf, kStats };
 
 /// One parsed request line.
 struct Request {
@@ -112,6 +121,29 @@ void append_whatif_response(std::string& out, std::uint64_t id,
                             const WhatIfResult& result);
 void append_error_response(std::string& out, std::uint64_t id,
                            std::string_view message);
+
+/// Serializes a stats response: build identity + registry snapshot.
+/// Field order: v, id, ok, kind, build, epoch, counters, gauges,
+/// histograms; metric names in each section ascending. Bytes are a pure
+/// function of (id, build, epoch, metrics).
+void append_stats_response(std::string& out, std::uint64_t id,
+                           std::string_view build, std::uint64_t epoch,
+                           const obs::MetricsSnapshot& metrics);
+
+/// Parsed stats response (client side of `stats`).
+struct StatsResult {
+  std::uint64_t id = 0;
+  std::string build;
+  std::uint64_t epoch = 0;
+  obs::MetricsSnapshot metrics;
+
+  friend bool operator==(const StatsResult&, const StatsResult&) = default;
+};
+
+/// Parses one stats response line. Throws ProtocolError on malformed
+/// input or an error response. append_stats_response(parse(x)) == x:
+/// the round trip is byte-stable (tested).
+[[nodiscard]] StatsResult parse_stats_response(std::string_view line);
 
 /// Shortest-round-trip double formatting (std::to_chars) - the single
 /// number format of the protocol, exposed for tests and clients.

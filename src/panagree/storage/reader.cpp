@@ -4,6 +4,7 @@
 #include <cstring>
 #include <unordered_map>
 
+#include "panagree/obs/metrics.hpp"
 #include "panagree/storage/snapshot.hpp"
 
 namespace panagree::storage {
@@ -351,6 +352,15 @@ MappedSnapshot MappedSnapshot::open(const std::string& path) {
       state->graph, row_start, providers_end, peers_end, entries);
 
   const MmapAdviceReport advice = apply_advice(file, sections);
+  if constexpr (obs::enabled()) {
+    obs::Registry& registry = obs::Registry::global();
+    registry.counter("storage.snapshots_opened").increment();
+    registry.gauge("storage.mmap_bytes")
+        .set(static_cast<std::int64_t>(file.size()));
+    registry.gauge("storage.willneed_applied")
+        .set(advice.willneed_applied ? 1 : 0);
+    registry.gauge("storage.thp_applied").set(advice.hugepage_applied ? 1 : 0);
+  }
   return MappedSnapshot(std::move(file), std::move(state), advice);
 }
 

@@ -1,0 +1,271 @@
+// Minimal recursive-descent JSON reader, shared by the wire protocol
+// (serve/wire.cpp), the stats-response parser, and the trace-file
+// validation in tests.
+//
+// A deliberately small model: numbers keep both an integer and a double
+// view (JSON does not distinguish, but ids and AS numbers must not round
+// through doubles), objects are key-ordered maps (the documents this repo
+// parses are tiny). Strings accept the standard escapes plus \uXXXX for
+// the ASCII range only - nothing in the repo's formats needs more.
+//
+// parse() throws util::ParseError on malformed input; callers that need a
+// domain-specific error type (serve::ProtocolError) catch and rewrap.
+#pragma once
+
+#include <charconv>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <variant>
+#include <vector>
+
+#include "panagree/util/error.hpp"
+
+namespace panagree::util::json {
+
+struct Value;
+using Object = std::map<std::string, Value, std::less<>>;
+using Array = std::vector<Value>;
+
+struct Value {
+  std::variant<std::nullptr_t, bool, std::uint64_t, double, std::string,
+               std::unique_ptr<Array>, std::unique_ptr<Object>>
+      data = nullptr;
+};
+
+namespace detail {
+
+[[noreturn]] inline void reject(const std::string& what) {
+  throw ParseError("json: " + what);
+}
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  [[nodiscard]] Value parse() {
+    Value value = parse_value(0);
+    skip_ws();
+    if (pos_ != text_.size()) {
+      reject("trailing bytes after JSON value");
+    }
+    return value;
+  }
+
+ private:
+  static constexpr std::size_t kMaxDepth = 16;
+
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' ||
+            text_[pos_] == '\r' || text_[pos_] == '\n')) {
+      ++pos_;
+    }
+  }
+
+  [[nodiscard]] char peek() {
+    if (pos_ >= text_.size()) {
+      reject("unexpected end of input");
+    }
+    return text_[pos_];
+  }
+
+  void expect(char c) {
+    if (pos_ >= text_.size() || text_[pos_] != c) {
+      reject(std::string("expected '") + c + "'");
+    }
+    ++pos_;
+  }
+
+  bool consume_literal(std::string_view literal) {
+    if (text_.substr(pos_, literal.size()) != literal) {
+      return false;
+    }
+    pos_ += literal.size();
+    return true;
+  }
+
+  [[nodiscard]] Value parse_value(std::size_t depth) {
+    if (depth > kMaxDepth) {
+      reject("nesting too deep");
+    }
+    skip_ws();
+    const char c = peek();
+    Value value;
+    if (c == '{') {
+      value.data = parse_object(depth);
+    } else if (c == '[') {
+      value.data = parse_array(depth);
+    } else if (c == '"') {
+      value.data = parse_string();
+    } else if (c == 't') {
+      if (!consume_literal("true")) {
+        reject("bad literal");
+      }
+      value.data = true;
+    } else if (c == 'f') {
+      if (!consume_literal("false")) {
+        reject("bad literal");
+      }
+      value.data = false;
+    } else if (c == 'n') {
+      if (!consume_literal("null")) {
+        reject("bad literal");
+      }
+      value.data = nullptr;
+    } else {
+      parse_number(value);
+    }
+    return value;
+  }
+
+  [[nodiscard]] std::unique_ptr<Object> parse_object(std::size_t depth) {
+    expect('{');
+    auto object = std::make_unique<Object>();
+    skip_ws();
+    if (peek() == '}') {
+      ++pos_;
+      return object;
+    }
+    for (;;) {
+      skip_ws();
+      std::string key = parse_string();
+      skip_ws();
+      expect(':');
+      if (!object->emplace(std::move(key), parse_value(depth + 1)).second) {
+        reject("duplicate object key");
+      }
+      skip_ws();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect('}');
+      return object;
+    }
+  }
+
+  [[nodiscard]] std::unique_ptr<Array> parse_array(std::size_t depth) {
+    expect('[');
+    auto array = std::make_unique<Array>();
+    skip_ws();
+    if (peek() == ']') {
+      ++pos_;
+      return array;
+    }
+    for (;;) {
+      array->push_back(parse_value(depth + 1));
+      skip_ws();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect(']');
+      return array;
+    }
+  }
+
+  [[nodiscard]] std::string parse_string() {
+    expect('"');
+    std::string out;
+    for (;;) {
+      if (pos_ >= text_.size()) {
+        reject("unterminated string");
+      }
+      const char c = text_[pos_++];
+      if (c == '"') {
+        return out;
+      }
+      if (static_cast<unsigned char>(c) < 0x20) {
+        reject("raw control character in string");
+      }
+      if (c != '\\') {
+        out.push_back(c);
+        continue;
+      }
+      if (pos_ >= text_.size()) {
+        reject("unterminated escape");
+      }
+      const char e = text_[pos_++];
+      switch (e) {
+        case '"': out.push_back('"'); break;
+        case '\\': out.push_back('\\'); break;
+        case '/': out.push_back('/'); break;
+        case 'b': out.push_back('\b'); break;
+        case 'f': out.push_back('\f'); break;
+        case 'n': out.push_back('\n'); break;
+        case 'r': out.push_back('\r'); break;
+        case 't': out.push_back('\t'); break;
+        case 'u': {
+          // The repo's documents are ASCII-shaped; accept \uXXXX for the
+          // ASCII range only.
+          if (pos_ + 4 > text_.size()) {
+            reject("truncated \\u escape");
+          }
+          unsigned code = 0;
+          const auto [ptr, ec] = std::from_chars(
+              text_.data() + pos_, text_.data() + pos_ + 4, code, 16);
+          if (ec != std::errc() || ptr != text_.data() + pos_ + 4 ||
+              code > 0x7f) {
+            reject("unsupported \\u escape");
+          }
+          pos_ += 4;
+          out.push_back(static_cast<char>(code));
+          break;
+        }
+        default:
+          reject("unknown escape");
+      }
+    }
+  }
+
+  void parse_number(Value& value) {
+    const std::size_t start = pos_;
+    if (pos_ < text_.size() && text_[pos_] == '-') {
+      ++pos_;
+    }
+    while (pos_ < text_.size() &&
+           ((text_[pos_] >= '0' && text_[pos_] <= '9') ||
+            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            text_[pos_] == '+' || text_[pos_] == '-')) {
+      ++pos_;
+    }
+    const std::string_view token = text_.substr(start, pos_ - start);
+    if (token.empty()) {
+      reject("expected a value");
+    }
+    // Integer first (exact); fall back to double.
+    if (token.find_first_of(".eE") == std::string_view::npos &&
+        token.front() != '-') {
+      std::uint64_t integer = 0;
+      const auto [ptr, ec] = std::from_chars(
+          token.data(), token.data() + token.size(), integer);
+      if (ec == std::errc() && ptr == token.data() + token.size()) {
+        value.data = integer;
+        return;
+      }
+    }
+    double number = 0.0;
+    const auto [ptr, ec] =
+        std::from_chars(token.data(), token.data() + token.size(), number);
+    if (ec != std::errc() || ptr != token.data() + token.size()) {
+      reject("malformed number");
+    }
+    value.data = number;
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace detail
+
+/// Parses one complete JSON document. Throws util::ParseError on anything
+/// malformed, including trailing bytes after the value.
+[[nodiscard]] inline Value parse(std::string_view text) {
+  return detail::Parser(text).parse();
+}
+
+}  // namespace panagree::util::json

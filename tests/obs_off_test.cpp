@@ -1,0 +1,74 @@
+// PANAGREE_OBS_OFF compile-out smoke: this translation unit defines the
+// macro before including the obs headers, so it sees the header-only
+// obs_off stubs - while linking against a library built with obs ON.
+// That mix is exactly what the inline-namespace design must keep
+// ODR-clean: the stub types live in obs::obs_off, the library's real
+// symbols in obs::obs_on, and the two never collide.
+//
+// The test asserts the stubs' contract: enabled() is a compile-time
+// false, every record call is accepted and observably does nothing, and
+// the registry hands out (shared) dummy instances.
+#define PANAGREE_OBS_OFF 1
+
+#include <gtest/gtest.h>
+
+#include "panagree/obs/metrics.hpp"
+#include "panagree/obs/trace.hpp"
+
+namespace panagree::obs {
+namespace {
+
+static_assert(!enabled(), "obs must report disabled under PANAGREE_OBS_OFF");
+static_assert(!trace_enabled(), "tracing must be off under PANAGREE_OBS_OFF");
+
+TEST(ObsOff, RecordsAreNoOps) {
+  Counter counter;
+  counter.add(41);
+  counter.increment();
+  EXPECT_EQ(counter.value(), 0U);
+
+  Gauge gauge;
+  gauge.set(7);
+  gauge.add(3);
+  gauge.update_max(100);
+  EXPECT_EQ(gauge.value(), 0);
+
+  Histogram histogram;
+  histogram.record(12345);
+  EXPECT_EQ(histogram.count(), 0U);
+  EXPECT_EQ(histogram.sum(), 0U);
+  EXPECT_EQ(histogram.bucket_count(histogram_bucket(12345)), 0U);
+}
+
+TEST(ObsOff, RegistryHandsOutDummies) {
+  Registry& registry = Registry::global();
+  Counter& counter = registry.counter("obs_off_test.counter");
+  counter.add(5);
+  EXPECT_EQ(counter.value(), 0U);
+  // No interning happens; the registry stays empty no matter how many
+  // names are requested.
+  (void)registry.gauge("obs_off_test.gauge");
+  (void)registry.histogram("obs_off_test.hist");
+  EXPECT_EQ(registry.size(), 0U);
+}
+
+TEST(ObsOff, SpansAndInitAreInert) {
+  // The stub span compiles with the same shape instrumented code uses.
+  {
+    const TraceSpan span("obs_off_test.span");
+  }
+  trace_init("/nonexistent/never-written.json");
+  trace_init_from_env();
+  EXPECT_FALSE(trace_enabled());
+  EXPECT_EQ(trace_event_count(), 0U);
+  trace_flush();
+}
+
+// The bucket helpers are macro-independent and must agree with the
+// instrumented build (the wire format depends on them).
+static_assert(histogram_bucket(0) == 0);
+static_assert(histogram_bucket(1) == 1);
+static_assert(histogram_bucket_bound(1) == 1);
+
+}  // namespace
+}  // namespace panagree::obs

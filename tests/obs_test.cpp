@@ -1,0 +1,335 @@
+// Property tests of the obs metrics primitives, the exposition formats,
+// and the trace recorder.
+//
+// The concurrency properties here are the layer's core contracts:
+//
+//   * shard-sum identity - a Counter's value() after all writers join is
+//     exactly the number of add()s, regardless of how threads were
+//     assigned to shards;
+//   * histogram-total conservation - every record() lands in exactly one
+//     bucket, so count() == records and sum() == sum of recorded values.
+//
+// Both are exercised at 1, 2, and 8 threads (8 exceeds the histogram's
+// shard fan-out on purpose: slot collisions must not lose updates).
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "panagree/obs/build_info.hpp"
+#include "panagree/obs/export.hpp"
+#include "panagree/obs/metrics.hpp"
+#include "panagree/obs/trace.hpp"
+#include "panagree/util/error.hpp"
+#include "panagree/util/json.hpp"
+
+namespace panagree::obs {
+namespace {
+
+TEST(ObsHistogramBucket, Log2Rule) {
+  EXPECT_EQ(histogram_bucket(0), 0U);
+  EXPECT_EQ(histogram_bucket(1), 1U);
+  EXPECT_EQ(histogram_bucket(2), 2U);
+  EXPECT_EQ(histogram_bucket(3), 2U);
+  EXPECT_EQ(histogram_bucket(4), 3U);
+  EXPECT_EQ(histogram_bucket(1023), 10U);
+  EXPECT_EQ(histogram_bucket(1024), 11U);
+  EXPECT_EQ(histogram_bucket(~std::uint64_t{0}), kHistogramBuckets - 1);
+}
+
+TEST(ObsHistogramBucket, BoundsBracketTheirBucket) {
+  // Every bucket's inclusive upper bound maps back into that bucket, and
+  // bound+1 maps into the next (except the saturating overflow bucket).
+  for (std::size_t b = 0; b + 1 < kHistogramBuckets; ++b) {
+    const std::uint64_t bound = histogram_bucket_bound(b);
+    EXPECT_EQ(histogram_bucket(bound), b) << "bucket " << b;
+    EXPECT_EQ(histogram_bucket(bound + 1), b + 1) << "bucket " << b;
+  }
+  EXPECT_EQ(histogram_bucket_bound(kHistogramBuckets - 1),
+            ~std::uint64_t{0});
+}
+
+/// Fans `threads` workers over `per_thread` calls of `fn(worker, i)`.
+void run_workers(std::size_t threads, std::size_t per_thread,
+                 void (*fn)(std::size_t, std::size_t, void*), void* ctx) {
+  std::vector<std::thread> pool;
+  pool.reserve(threads);
+  for (std::size_t w = 0; w < threads; ++w) {
+    pool.emplace_back([=] {
+      for (std::size_t i = 0; i < per_thread; ++i) {
+        fn(w, i, ctx);
+      }
+    });
+  }
+  for (std::thread& worker : pool) {
+    worker.join();
+  }
+}
+
+class ObsConcurrency : public testing::TestWithParam<std::size_t> {};
+
+TEST_P(ObsConcurrency, CounterShardSumIdentity) {
+  const std::size_t threads = GetParam();
+  constexpr std::size_t kPerThread = 20000;
+  Counter counter;
+  run_workers(
+      threads, kPerThread,
+      [](std::size_t, std::size_t, void* ctx) {
+        static_cast<Counter*>(ctx)->increment();
+      },
+      &counter);
+  EXPECT_EQ(counter.value(), threads * kPerThread);
+}
+
+TEST_P(ObsConcurrency, HistogramTotalConservation) {
+  const std::size_t threads = GetParam();
+  constexpr std::size_t kPerThread = 20000;
+  Histogram histogram;
+  run_workers(
+      threads, kPerThread,
+      [](std::size_t worker, std::size_t i, void* ctx) {
+        // Values spread over many buckets, deterministic per (worker, i).
+        static_cast<Histogram*>(ctx)->record((worker * kPerThread + i) % 4097);
+      },
+      &histogram);
+  EXPECT_EQ(histogram.count(), threads * kPerThread);
+  std::uint64_t expected_sum = 0;
+  for (std::size_t w = 0; w < threads; ++w) {
+    for (std::size_t i = 0; i < kPerThread; ++i) {
+      expected_sum += (w * kPerThread + i) % 4097;
+    }
+  }
+  EXPECT_EQ(histogram.sum(), expected_sum);
+  std::uint64_t bucket_total = 0;
+  for (std::size_t b = 0; b < kHistogramBuckets; ++b) {
+    bucket_total += histogram.bucket_count(b);
+  }
+  EXPECT_EQ(bucket_total, histogram.count());
+}
+
+INSTANTIATE_TEST_SUITE_P(Threads, ObsConcurrency,
+                         testing::Values(std::size_t{1}, std::size_t{2},
+                                         std::size_t{8}));
+
+TEST(ObsGauge, SetAddUpdateMax) {
+  Gauge gauge;
+  EXPECT_EQ(gauge.value(), 0);
+  gauge.set(-7);
+  EXPECT_EQ(gauge.value(), -7);
+  gauge.add(10);
+  EXPECT_EQ(gauge.value(), 3);
+  gauge.update_max(9);
+  EXPECT_EQ(gauge.value(), 9);
+  gauge.update_max(2);  // never lowers
+  EXPECT_EQ(gauge.value(), 9);
+}
+
+TEST(ObsRegistry, InterningIsUniquePerName) {
+  Registry& registry = Registry::global();
+  Counter& a = registry.counter("obs_test.interned");
+  Counter& b = registry.counter("obs_test.interned");
+  EXPECT_EQ(&a, &b);
+  Gauge& g1 = registry.gauge("obs_test.gauge");
+  Gauge& g2 = registry.gauge("obs_test.gauge");
+  EXPECT_EQ(&g1, &g2);
+  Histogram& h1 = registry.histogram("obs_test.hist");
+  Histogram& h2 = registry.histogram("obs_test.hist");
+  EXPECT_EQ(&h1, &h2);
+  // Distinct names get distinct storage.
+  EXPECT_NE(&a, &registry.counter("obs_test.interned2"));
+}
+
+TEST(ObsRegistry, KindMismatchThrows) {
+  Registry& registry = Registry::global();
+  (void)registry.counter("obs_test.kind_probe");
+  EXPECT_THROW((void)registry.gauge("obs_test.kind_probe"),
+               util::PreconditionError);
+  EXPECT_THROW((void)registry.histogram("obs_test.kind_probe"),
+               util::PreconditionError);
+}
+
+TEST(ObsSnapshot, ReflectsRegisteredMetrics) {
+  Registry& registry = Registry::global();
+  registry.counter("obs_test.snap_counter").add(5);
+  registry.gauge("obs_test.snap_gauge").set(-3);
+  registry.histogram("obs_test.snap_hist").record(100);
+
+  const MetricsSnapshot snap = snapshot_metrics();
+  bool saw_counter = false;
+  bool saw_gauge = false;
+  bool saw_hist = false;
+  for (const CounterSample& c : snap.counters) {
+    if (c.name == "obs_test.snap_counter") {
+      saw_counter = true;
+      EXPECT_GE(c.value, 5U);
+    }
+  }
+  for (const GaugeSample& g : snap.gauges) {
+    if (g.name == "obs_test.snap_gauge") {
+      saw_gauge = true;
+      EXPECT_EQ(g.value, -3);
+    }
+  }
+  for (const HistogramSample& h : snap.histograms) {
+    if (h.name == "obs_test.snap_hist") {
+      saw_hist = true;
+      EXPECT_GE(h.count, 1U);
+      EXPECT_GE(h.sum, 100U);
+      std::uint64_t from_buckets = 0;
+      for (const auto& [bucket, count] : h.buckets) {
+        EXPECT_LT(bucket, kHistogramBuckets);
+        from_buckets += count;
+      }
+      EXPECT_EQ(from_buckets, h.count);
+    }
+  }
+  EXPECT_TRUE(saw_counter);
+  EXPECT_TRUE(saw_gauge);
+  EXPECT_TRUE(saw_hist);
+
+  // Sections are sorted ascending by name (the byte-stability anchor).
+  for (std::size_t i = 1; i < snap.counters.size(); ++i) {
+    EXPECT_LT(snap.counters[i - 1].name, snap.counters[i].name);
+  }
+}
+
+TEST(ObsPercentile, NearestRankOverBuckets) {
+  HistogramSample h;
+  h.name = "p";
+  EXPECT_EQ(histogram_percentile(h, 50.0), 0U);  // empty -> 0
+
+  // 10 samples in bucket 1 (value 1), 10 in bucket 4 ([8,15]).
+  h.count = 20;
+  h.sum = 10 * 1 + 10 * 8;
+  h.buckets = {{1, 10}, {4, 10}};
+  EXPECT_EQ(histogram_percentile(h, 50.0), histogram_bucket_bound(1));
+  EXPECT_EQ(histogram_percentile(h, 51.0), histogram_bucket_bound(4));
+  EXPECT_EQ(histogram_percentile(h, 100.0), histogram_bucket_bound(4));
+  EXPECT_EQ(histogram_percentile(h, 0.0), histogram_bucket_bound(1));
+}
+
+TEST(ObsPrometheus, TextExposition) {
+  MetricsSnapshot snap;
+  snap.counters.push_back({"serve.requests.paths", 42});
+  snap.gauges.push_back({"server.queue_depth", -1});
+  HistogramSample h;
+  h.name = "serve.latency_ns.paths";
+  h.count = 3;
+  h.sum = 70;
+  h.buckets = {{5, 2}, {6, 1}};
+  snap.histograms.push_back(h);
+
+  const std::string text = to_prometheus_text(snap);
+  EXPECT_NE(text.find("# TYPE panagree_serve_requests_paths counter\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("panagree_serve_requests_paths_total 42\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("# TYPE panagree_server_queue_depth gauge\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("panagree_server_queue_depth -1\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("# TYPE panagree_serve_latency_ns_paths histogram\n"),
+            std::string::npos);
+  // Cumulative buckets with a mandatory +Inf series equal to _count.
+  EXPECT_NE(text.find("_bucket{le=\"31\"} 2\n"), std::string::npos);
+  EXPECT_NE(text.find("_bucket{le=\"63\"} 3\n"), std::string::npos);
+  EXPECT_NE(text.find("_bucket{le=\"+Inf\"} 3\n"), std::string::npos);
+  EXPECT_NE(text.find("panagree_serve_latency_ns_paths_sum 70\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("panagree_serve_latency_ns_paths_count 3\n"),
+            std::string::npos);
+  // Every non-comment line is `name{labels} value` with a sane name.
+  std::istringstream lines(text);
+  std::string line;
+  while (std::getline(lines, line)) {
+    ASSERT_FALSE(line.empty());
+    if (line[0] == '#') {
+      continue;
+    }
+    EXPECT_NE(line.find(' '), std::string::npos) << line;
+    EXPECT_TRUE(line.rfind("panagree_", 0) == 0) << line;
+  }
+}
+
+TEST(ObsBuildInfo, FieldsPopulated) {
+  const BuildInfo& info = build_info();
+  EXPECT_FALSE(info.git_describe.empty());
+  EXPECT_FALSE(info.compiler.empty());
+  EXPECT_EQ(info.obs, enabled() ? "on" : "off");
+  const std::string line = build_info_line();
+  EXPECT_NE(line.find("build="), std::string::npos);
+  EXPECT_NE(line.find("compiler="), std::string::npos);
+  EXPECT_NE(line.find("obs=on"), std::string::npos);
+}
+
+TEST(ObsTrace, RecorderEmitsValidNestedJson) {
+  const std::filesystem::path path =
+      std::filesystem::temp_directory_path() / "panagree_obs_trace_test.json";
+  std::filesystem::remove(path);
+  trace_init(path.native());
+  ASSERT_TRUE(trace_enabled());
+
+  const std::size_t before = trace_event_count();
+  {
+    const TraceSpan outer("obs_test.outer");
+    {
+      const TraceSpan inner("obs_test.inner");
+    }
+  }
+  EXPECT_EQ(trace_event_count(), before + 2);
+  trace_flush();
+
+  std::ifstream in(path);
+  ASSERT_TRUE(in.is_open());
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  const util::json::Value doc = util::json::parse(buffer.str());
+  const util::json::Object& root =
+      *std::get<std::unique_ptr<util::json::Object>>(doc.data);
+  const auto events_it = root.find("traceEvents");
+  ASSERT_NE(events_it, root.end());
+  const util::json::Array& events =
+      *std::get<std::unique_ptr<util::json::Array>>(events_it->second.data);
+  ASSERT_GE(events.size(), 2U);
+
+  // Find our two spans and check nesting: inner closed first (spans are
+  // recorded at destruction, so inner precedes outer in the buffer) and
+  // the outer interval contains the inner one.
+  double inner_ts = -1;
+  double inner_dur = -1;
+  double outer_ts = -1;
+  double outer_dur = -1;
+  const auto num = [](const util::json::Value& v) {
+    if (const auto* u = std::get_if<std::uint64_t>(&v.data)) {
+      return static_cast<double>(*u);
+    }
+    return std::get<double>(v.data);
+  };
+  for (const util::json::Value& event : events) {
+    const util::json::Object& fields =
+        *std::get<std::unique_ptr<util::json::Object>>(event.data);
+    const std::string& name =
+        std::get<std::string>(fields.at("name").data);
+    EXPECT_EQ(std::get<std::string>(fields.at("ph").data), "X");
+    if (name == "obs_test.inner") {
+      inner_ts = num(fields.at("ts"));
+      inner_dur = num(fields.at("dur"));
+    } else if (name == "obs_test.outer") {
+      outer_ts = num(fields.at("ts"));
+      outer_dur = num(fields.at("dur"));
+    }
+  }
+  ASSERT_GE(inner_ts, 0.0);
+  ASSERT_GE(outer_ts, 0.0);
+  EXPECT_LE(outer_ts, inner_ts);
+  EXPECT_GE(outer_ts + outer_dur, inner_ts + inner_dur);
+  std::filesystem::remove(path);
+}
+
+}  // namespace
+}  // namespace panagree::obs

@@ -15,6 +15,7 @@
 
 #include "panagree/diversity/report.hpp"
 #include "panagree/econ/business.hpp"
+#include "panagree/obs/build_info.hpp"
 #include "panagree/serve/client.hpp"
 #include "panagree/serve/server.hpp"
 #include "panagree/topology/generator.hpp"
@@ -85,6 +86,62 @@ TEST(Wire, ResponsesAreSingleTerminatedLines) {
   EXPECT_EQ(out,
             "{\"v\":1,\"id\":5,\"ok\":false,"
             "\"error\":\"bad \\\"quote\\\"\\n\"}\n");
+}
+
+TEST(Wire, ParsesStatsRequest) {
+  const Request request =
+      parse_request(R"({"v":1,"id":11,"kind":"stats"})");
+  EXPECT_EQ(request.id, 11u);
+  EXPECT_EQ(request.kind, RequestKind::kStats);
+}
+
+TEST(Wire, StatsResponseIsByteStableAndRoundTrips) {
+  obs::MetricsSnapshot snap;
+  snap.counters.push_back({"a.counter", 3});
+  snap.counters.push_back({"b.counter", 0});
+  snap.gauges.push_back({"a.gauge", -12});
+  obs::HistogramSample hist;
+  hist.name = "a.hist";
+  hist.count = 4;
+  hist.sum = 90;
+  hist.buckets = {{1, 1}, {5, 3}};
+  snap.histograms.push_back(hist);
+
+  std::string out;
+  append_stats_response(out, 42, "v1.2-3-gabc", 7, snap);
+  // The exposition is a byte-stable contract: fixed field order, names
+  // sorted, integers via to_chars - scrapes diff cleanly across runs.
+  EXPECT_EQ(out,
+            "{\"v\":1,\"id\":42,\"ok\":true,\"kind\":\"stats\","
+            "\"build\":\"v1.2-3-gabc\",\"epoch\":7,"
+            "\"counters\":{\"a.counter\":3,\"b.counter\":0},"
+            "\"gauges\":{\"a.gauge\":-12},"
+            "\"histograms\":{\"a.hist\":{\"count\":4,\"sum\":90,"
+            "\"buckets\":[[1,1],[5,3]]}}}\n");
+
+  const StatsResult parsed = parse_stats_response(out);
+  EXPECT_EQ(parsed.id, 42u);
+  EXPECT_EQ(parsed.build, "v1.2-3-gabc");
+  EXPECT_EQ(parsed.epoch, 7u);
+  EXPECT_EQ(parsed.metrics, snap);
+
+  // Round-trip byte-stability: re-serializing the parsed snapshot
+  // reproduces the original line exactly.
+  std::string again;
+  append_stats_response(again, 42, parsed.build, parsed.epoch,
+                        parsed.metrics);
+  EXPECT_EQ(again, out);
+}
+
+TEST(Wire, StatsResponseParserRejectsGarbage) {
+  EXPECT_THROW(parse_stats_response("not json"), ProtocolError);
+  EXPECT_THROW(
+      parse_stats_response(
+          R"({"v":1,"id":1,"ok":true,"kind":"paths","epoch":0})"),
+      ProtocolError);
+  EXPECT_THROW(parse_stats_response(
+                   R"({"v":1,"id":1,"ok":false,"error":"boom"})"),
+               ProtocolError);
 }
 
 // ----------------------------------------------------------- query engine
@@ -296,6 +353,41 @@ TEST(QueryEngine, RebaseFoldsStepAndBumpsEpoch) {
   const WhatIfResult served = engine->whatif(probe);
   EXPECT_DOUBLE_EQ(served.utility, scenario::operator_utility(marginal));
   EXPECT_EQ(served.recomputed_sources, stats.recomputed_sources);
+}
+
+TEST(QueryEngine, StatsRequestServesLiveRegistrySnapshot) {
+  const ServeFixture& f = fixture();
+  const auto engine = f.make_engine();
+
+  // Stats responses carry process-wide counters, so they are excluded
+  // from byte-identity sessions - but one response must parse, describe
+  // this engine's epoch/build, and (self-counting) include the stats
+  // request that produced it.
+  std::string out;
+  engine->handle_line(R"({"v":1,"id":21,"kind":"stats"})", out);
+  const StatsResult first = parse_stats_response(out);
+  EXPECT_EQ(first.id, 21u);
+  EXPECT_EQ(first.epoch, engine->epoch());
+  EXPECT_EQ(first.build, obs::build_info().git_describe);
+  std::uint64_t stats_count = 0;
+  for (const obs::CounterSample& counter : first.metrics.counters) {
+    if (counter.name == "serve.requests.stats") {
+      stats_count = counter.value;
+    }
+  }
+  EXPECT_GE(stats_count, 1u);
+
+  // A second scrape sees a strictly larger stats-request counter.
+  out.clear();
+  engine->handle_line(R"({"v":1,"id":22,"kind":"stats"})", out);
+  const StatsResult second = parse_stats_response(out);
+  std::uint64_t stats_count_again = 0;
+  for (const obs::CounterSample& counter : second.metrics.counters) {
+    if (counter.name == "serve.requests.stats") {
+      stats_count_again = counter.value;
+    }
+  }
+  EXPECT_EQ(stats_count_again, stats_count + 1);
 }
 
 // ------------------------------------------------- server byte-identity

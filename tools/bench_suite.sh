@@ -36,12 +36,15 @@ export PANAGREE_SNAPSHOT="$OUT/suite.pansnap"
 # not to be tracked per commit. The MapSources trio and RoleFilter pair
 # ARE tracked including their baselines (AtomicCursor, Scalar): they are
 # cheap, and gating both sides keeps the work-stealing and SIMD speedup
-# ratios visible in the committed JSON, not just asserted once. Default
-# --benchmark_min_time stays: the rotating-source micro benches need
-# enough iterations to average the heavy-tailed per-source costs, or
-# run-to-run noise defeats the 30% regression gate.
+# ratios visible in the committed JSON, not just asserted once. The Obs
+# pair gates the per-record overhead of the metrics layer itself
+# (counter = one sharded relaxed add, histogram = two) so accidental
+# fattening of the record path is caught like any other regression.
+# Default --benchmark_min_time stays: the rotating-source micro benches
+# need enough iterations to average the heavy-tailed per-source costs,
+# or run-to-run noise defeats the 30% regression gate.
 "$BUILD/bench_perf_micro" \
-  --benchmark_filter='BM_(RoleLookup|Length3Enumeration|CompileTopology|ScenarioSweep_Incremental|Optimizer_Greedy|SnapshotLoad_Mmap|QueryEngine_CachedSource|MapSources|RoleFilter)'
+  --benchmark_filter='BM_(RoleLookup|Length3Enumeration|CompileTopology|ScenarioSweep_Incremental|Optimizer_Greedy|SnapshotLoad_Mmap|QueryEngine_CachedSource|MapSources|RoleFilter|Obs)'
 
 echo "bench suite results in $OUT:"
 ls -l "$OUT"

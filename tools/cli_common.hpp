@@ -21,6 +21,10 @@
 #include <iostream>
 #include <string_view>
 
+#include "panagree/obs/build_info.hpp"
+#include "panagree/obs/trace.hpp"
+#include "panagree/paths/role_filter.hpp"
+
 namespace panagree::cli {
 
 /// Exit status of malformed command lines, shared by every tool.
@@ -61,6 +65,21 @@ inline std::size_t parse_threads(const char* tool, int argc, char** argv,
   return parse_size(tool, "--threads",
                     require_value(tool, "--threads", argc, argv, i));
 }
+
+/// The shared --version flag: one line of build provenance (git
+/// describe, compiler, obs on/off, runtime SIMD dispatch) plus the
+/// compile flags on a second line. Exit 0 - tools handle --version
+/// before validating any other argument.
+[[noreturn]] inline void print_version(const char* tool) {
+  std::cout << tool << " " << obs::build_info_line()
+            << " simd=" << paths::role_filter_dispatch() << "\n"
+            << "flags: " << obs::build_info().flags << "\n";
+  std::exit(0);
+}
+
+/// Arms the trace recorder from PANAGREE_TRACE=<file> (no-op when the
+/// variable is unset or obs is compiled out). Call once at tool startup.
+inline void init_tracing() { obs::trace_init_from_env(); }
 
 /// Default of the shared --pin-threads flag: the PANAGREE_PIN_THREADS
 /// environment toggle (unset, empty, or "0" = off; anything else = on).

@@ -18,6 +18,7 @@
 #include <string>
 
 #include "bench_common.hpp"
+#include "cli_common.hpp"
 #include "panagree/storage/snapshot.hpp"
 
 using namespace panagree;
@@ -54,7 +55,9 @@ int main(int argc, char** argv) {
   try {
     for (int i = 1; i < argc; ++i) {
       const std::string arg = argv[i];
-      if (arg == "--verify") {
+      if (arg == "--version") {
+        cli::print_version("panagree-compile");
+      } else if (arg == "--verify") {
         if (i + 1 >= argc) {
           usage();
           return 2;
@@ -105,6 +108,7 @@ int main(int argc, char** argv) {
     usage();
     return 2;
   }
+  cli::init_tracing();
 
   try {
     const auto start = std::chrono::steady_clock::now();

@@ -38,7 +38,9 @@ int main(int raw_argc, char** raw_argv) {
   std::vector<char*> args;
   args.push_back(raw_argv[0]);
   for (int i = 1; i < raw_argc; ++i) {
-    if (std::string(raw_argv[i]) == "--threads") {
+    if (std::string(raw_argv[i]) == "--version") {
+      panagree::cli::print_version("panagree-diversity");
+    } else if (std::string(raw_argv[i]) == "--threads") {
       threads = panagree::cli::parse_threads("panagree-diversity", raw_argc,
                                              raw_argv, i);
     } else if (std::string(raw_argv[i]) == "--pin-threads") {
@@ -47,6 +49,7 @@ int main(int raw_argc, char** raw_argv) {
       args.push_back(raw_argv[i]);
     }
   }
+  panagree::cli::init_tracing();
   const int argc = static_cast<int>(args.size());
   char** argv = args.data();
   if (argc < 2) {

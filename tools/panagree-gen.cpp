@@ -15,8 +15,10 @@
 #include <fstream>
 #include <iostream>
 #include <string>
+#include <string_view>
 
 #include "bench_common.hpp"
+#include "cli_common.hpp"
 #include "panagree/topology/caida.hpp"
 #include "panagree/topology/generator.hpp"
 
@@ -28,6 +30,10 @@ int main(int argc, char** argv) {
   params.tier1_count = 12;
   params.seed = 424242;
   std::string output;
+  if (argc > 1 && std::string_view(argv[1]) == "--version") {
+    cli::print_version("panagree-gen");
+  }
+  cli::init_tracing();
   try {
     if (argc > 1) {
       params.num_ases = std::stoul(argv[1]);

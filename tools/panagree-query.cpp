@@ -4,6 +4,7 @@
 //   panagree-query --direct [--snapshot FILE] [--sources N] [--threads N]
 //   panagree-query --port P --bench [--snapshot FILE] [--requests N]
 //       [--connections C] [--kind paths|diversity|whatif|mix] [--sources N]
+//   panagree-query --port P --stats [--prom]   # scrape server metrics
 //
 // One-shot mode reads newline-delimited JSON requests (see
 // serve/wire.hpp) from stdin, sends each to the server, waits for its
@@ -19,17 +20,25 @@
 // share of N deterministic requests (rotating over the sampled sources
 // and candidate peering deltas of the topology, which is why it needs
 // the snapshot too) and the tool reports throughput and latency
-// percentiles.
+// percentiles (nearest-rank: the smallest sample >= p percent of the
+// sorted distribution - an actual observed latency, never interpolated).
+//
+// --stats sends one `{"kind":"stats"}` request and prints the raw wire
+// response (byte-stable field order); --stats --prom re-emits it as
+// Prometheus text exposition instead.
 #include <algorithm>
 #include <chrono>
+#include <cmath>
 #include <iostream>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "cli_common.hpp"
+#include "panagree/obs/export.hpp"
 #include "panagree/scenario/sweep.hpp"
 #include "panagree/serve/client.hpp"
+#include "panagree/serve/wire.hpp"
 #include "serve_common.hpp"
 
 using namespace panagree;
@@ -46,7 +55,8 @@ void usage() {
          "       panagree-query --port P --bench [--snapshot FILE]"
          " [--requests N]\n"
          "           [--connections C] [--kind paths|diversity|whatif|mix]"
-         " [--sources N]\n";
+         " [--sources N]\n"
+         "       panagree-query --port P --stats [--prom]\n";
 }
 
 /// Blank (including CR-only, from CRLF scripts) lines carry no request;
@@ -69,6 +79,8 @@ struct Options {
   bool have_port = false;
   bool direct = false;
   bool bench = false;
+  bool stats = false;
+  bool prom = false;
   std::string snapshot;
   std::size_t sources_n = benchcfg::num_sources();
   std::size_t threads = benchcfg::num_threads();
@@ -173,17 +185,37 @@ int run_bench(const Options& options) {
     return cli::kUsageExit;
   }
   std::sort(all.begin(), all.end());
+  // Nearest-rank percentile: rank = ceil(p/100 * count), 1-based, so the
+  // reported value is always an observed sample (p100 = max, and p0
+  // clamps to the min). No interpolation - small samples stay honest.
   const auto percentile = [&](double p) {
-    const std::size_t index = static_cast<std::size_t>(
-        p * static_cast<double>(all.size() - 1) / 100.0 + 0.5);
-    return all[std::min(index, all.size() - 1)];
+    const auto rank = static_cast<std::size_t>(
+        std::ceil(p / 100.0 * static_cast<double>(all.size())));
+    return all[std::max<std::size_t>(rank, 1) - 1];
   };
   std::cout << "== panagree-query --bench: " << all.size()
             << " requests over " << connections << " connections ==\n"
             << "qps " << static_cast<double>(all.size()) / wall_s
-            << "\nlatency ms: p50 " << percentile(50.0) << ", p90 "
-            << percentile(90.0) << ", p99 " << percentile(99.0) << ", max "
-            << all.back() << "\n";
+            << "\nlatency ms (nearest-rank): count " << all.size()
+            << ", min " << all.front() << ", p50 " << percentile(50.0)
+            << ", p95 " << percentile(95.0) << ", p99 " << percentile(99.0)
+            << ", max " << all.back() << "\n";
+  return 0;
+}
+
+/// --stats: one stats request over the wire; prints the raw response
+/// line (the byte-stable exposition format) or, with --prom, the same
+/// snapshot re-emitted as Prometheus text.
+int run_stats(const Options& options) {
+  serve::ClientConnection conn(static_cast<std::uint16_t>(options.port));
+  conn.send_line("{\"v\":1,\"id\":1,\"kind\":\"stats\"}");
+  const std::string response = read_response(conn);
+  if (!options.prom) {
+    std::cout << response;
+    return 0;
+  }
+  const serve::StatsResult stats = serve::parse_stats_response(response);
+  std::cout << obs::to_prometheus_text(stats.metrics);
   return 0;
 }
 
@@ -224,7 +256,9 @@ int main(int argc, char** argv) {
   Options options;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
-    if (arg == "--port") {
+    if (arg == "--version") {
+      cli::print_version(kTool);
+    } else if (arg == "--port") {
       options.port = cli::parse_size(
           kTool, arg, cli::require_value(kTool, arg, argc, argv, i));
       options.have_port = true;
@@ -232,6 +266,10 @@ int main(int argc, char** argv) {
       options.direct = true;
     } else if (arg == "--bench") {
       options.bench = true;
+    } else if (arg == "--stats") {
+      options.stats = true;
+    } else if (arg == "--prom") {
+      options.prom = true;
     } else if (arg == "--snapshot") {
       options.snapshot = cli::require_value(kTool, arg, argc, argv, i);
     } else if (arg == "--sources") {
@@ -259,12 +297,18 @@ int main(int argc, char** argv) {
   }
   if (options.port > 65535 || (options.have_port && options.direct) ||
       (!options.have_port && !options.direct) ||
-      (options.bench && !options.have_port)) {
+      (options.bench && !options.have_port) ||
+      (options.stats && !options.have_port) ||
+      (options.stats && options.bench) || (options.prom && !options.stats)) {
     usage();
     return cli::kUsageExit;
   }
+  cli::init_tracing();
 
   try {
+    if (options.stats) {
+      return run_stats(options);
+    }
     if (options.bench) {
       return run_bench(options);
     }

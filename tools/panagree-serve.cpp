@@ -2,6 +2,7 @@
 //
 //   panagree-serve [--snapshot FILE] [--port P] [--threads N]
 //       [--max-batch B] [--sources N] [--max-queue Q] [--pin-threads]
+//       [--stats-interval SEC] [--version]
 //
 // Opens the topology (a mmap'd .pansnap via --snapshot or
 // PANAGREE_SNAPSHOT wins; PANAGREE_CAIDA / the synthetic generator
@@ -21,15 +22,24 @@
 // honored). --pin-threads (or PANAGREE_PIN_THREADS=1) pins fan-out
 // workers to cpus and NUMA-shards the snapshot pages; the readiness
 // line reports the effective affinity either way.
+//
+// --stats-interval SEC (opt-in, 0 = off) prints a one-line metrics
+// summary to stderr every SEC seconds while idle-waiting for shutdown;
+// PANAGREE_TRACE=<file> arms span tracing (see obs/trace.hpp).
+#include <algorithm>
 #include <cerrno>
 #include <chrono>
 #include <csignal>
 #include <iostream>
 #include <string>
+#include <string_view>
 
+#include <poll.h>
 #include <unistd.h>
 
 #include "cli_common.hpp"
+#include "panagree/obs/build_info.hpp"
+#include "panagree/obs/export.hpp"
 #include "panagree/paths/parallel.hpp"
 #include "panagree/paths/role_filter.hpp"
 #include "panagree/serve/server.hpp"
@@ -45,7 +55,29 @@ void usage() {
   std::cerr << "usage: panagree-serve [--snapshot FILE] [--port P]"
                " [--threads N]\n"
                "           [--max-batch B] [--sources N] [--max-queue Q]"
-               " [--pin-threads]\n";
+               " [--pin-threads]\n"
+               "           [--stats-interval SEC] [--version]\n";
+}
+
+/// The opt-in periodic stats line: engine/server counters and the queue
+/// high-water mark, one `name=value` pair per metric, greppable via the
+/// "[serve] stats" prefix. Empty (prefix only) under PANAGREE_OBS_OFF.
+void emit_stats_line(std::uint64_t epoch) {
+  const obs::MetricsSnapshot snap = obs::snapshot_metrics();
+  std::cerr << "[serve] stats epoch=" << epoch;
+  for (const obs::CounterSample& counter : snap.counters) {
+    const std::string_view name = counter.name;
+    if (name.rfind("serve.requests.", 0) == 0 ||
+        name.rfind("engine.", 0) == 0 || name.rfind("server.", 0) == 0) {
+      std::cerr << ' ' << name << '=' << counter.value;
+    }
+  }
+  for (const obs::GaugeSample& gauge : snap.gauges) {
+    if (std::string_view(gauge.name).rfind("server.queue_depth", 0) == 0) {
+      std::cerr << ' ' << gauge.name << '=' << gauge.value;
+    }
+  }
+  std::cerr << std::endl;
 }
 
 /// Self-pipe the signal handlers write one byte into; main blocks on the
@@ -68,10 +100,13 @@ int main(int argc, char** argv) {
   std::size_t max_batch = 256;
   std::size_t sources_n = benchcfg::num_sources();
   std::size_t max_queue = 1024;
+  std::size_t stats_interval = 0;
   bool pin_threads = cli::env_pin_threads();
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
-    if (arg == "--snapshot") {
+    if (arg == "--version") {
+      cli::print_version(kTool);
+    } else if (arg == "--snapshot") {
       snapshot = cli::require_value(kTool, arg, argc, argv, i);
     } else if (arg == "--port") {
       port = cli::parse_size(kTool, arg,
@@ -91,6 +126,9 @@ int main(int argc, char** argv) {
     } else if (arg == "--max-queue") {
       max_queue = cli::parse_size(
           kTool, arg, cli::require_value(kTool, arg, argc, argv, i));
+    } else if (arg == "--stats-interval") {
+      stats_interval = cli::parse_size(
+          kTool, arg, cli::require_value(kTool, arg, argc, argv, i));
     } else if (arg == "--pin-threads") {
       pin_threads = true;
     } else {
@@ -98,6 +136,7 @@ int main(int argc, char** argv) {
       return cli::kUsageExit;
     }
   }
+  cli::init_tracing();
 
   try {
     servecfg::ServeContext context(
@@ -145,10 +184,31 @@ int main(int argc, char** argv) {
               << " affinity=" << paths::affinity_summary()
               << " pinned=" << (pin_threads ? "on" : "off") << " numa=\""
               << paths::TopologyPlacement::system().describe()
-              << "\" simd=" << paths::role_filter_dispatch() << std::endl;
+              << "\" simd=" << paths::role_filter_dispatch()
+              << " build=" << obs::build_info().git_describe << std::endl;
 
-    char byte = 0;
-    while (::read(g_signal_pipe[0], &byte, 1) < 0 && errno == EINTR) {
+    // Idle-wait for the shutdown byte; with --stats-interval the wait
+    // is chopped into poll timeouts that each emit one stats line.
+    const int poll_timeout_ms =
+        stats_interval == 0
+            ? -1
+            : static_cast<int>(
+                  std::min<std::size_t>(stats_interval, 86400) * 1000);
+    for (;;) {
+      struct pollfd pfd{g_signal_pipe[0], POLLIN, 0};
+      const int ready = ::poll(&pfd, 1, poll_timeout_ms);
+      if (ready < 0) {
+        if (errno == EINTR) {
+          continue;
+        }
+        std::cerr << kTool << ": poll failed\n";
+        break;
+      }
+      if (ready == 0) {
+        emit_stats_line(context.engine.epoch());
+        continue;
+      }
+      break;  // shutdown byte pending
     }
     std::cerr << "[serve] shutdown signal; draining\n";
     server.stop();

@@ -83,7 +83,9 @@ bool parse_args(int argc, char** argv, Options& options) {
   std::size_t positional = 0;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
-    if (arg == "--optimize") {
+    if (arg == "--version") {
+      cli::print_version("panagree-sweep");
+    } else if (arg == "--optimize") {
       if (i + 1 >= argc) {
         return false;
       }
@@ -165,6 +167,7 @@ int main(int argc, char** argv) {
     usage();
     return 2;
   }
+  cli::init_tracing();
   const std::size_t num_scenarios = options.num_scenarios;
   const std::size_t top_k = options.top_k;
   const std::uint64_t seed = options.seed;
