@@ -26,6 +26,7 @@
 #include "panagree/core/bosco/efficiency.hpp"
 #include "panagree/core/bosco/equilibrium.hpp"
 #include "panagree/diversity/length3.hpp"
+#include "panagree/dynamics/convergence.hpp"
 #include "exhaustive_rank.hpp"
 #include "panagree/econ/business.hpp"
 #include "panagree/obs/metrics.hpp"
@@ -35,6 +36,7 @@
 #include "panagree/pan/forwarding.hpp"
 #include "panagree/paths/parallel.hpp"
 #include "panagree/paths/role_filter.hpp"
+#include "panagree/scenario/failure.hpp"
 #include "panagree/scenario/metrics.hpp"
 #include "panagree/scenario/sweep.hpp"
 #include "panagree/serve/query_engine.hpp"
@@ -428,6 +430,66 @@ void BM_ScenarioSweep_Incremental(benchmark::State& state) {
       recomputed / static_cast<double>(sweep_deltas().size());
 }
 BENCHMARK(BM_ScenarioSweep_Incremental)
+    ->Arg(1)
+    ->Arg(4)
+    ->Unit(benchmark::kMillisecond);
+
+// ------------------------------------------- convergence dynamics pair
+//
+// BM_Convergence_Fixpoint is the raw engine: synchronous best-route
+// rounds to fixpoint for a fixed destination sample on the 3000-AS
+// topology. BM_Convergence_FailureSweep is the --failures workload unit:
+// one candidate deployment re-evaluated under 8 single-link failure
+// sets through a primed incremental sweep (prime outside the timing
+// loop; the per-set cost is the invalidation ball, not the topology).
+
+void BM_Convergence_Fixpoint(benchmark::State& state) {
+  const auto& compiled = cached_compiled();
+  const std::vector<topology::AsId> dests(sweep_sources().begin(),
+                                          sweep_sources().begin() + 4);
+  dynamics::ConvergenceEngine engine;
+  std::size_t checksum = 0;
+  for (auto _ : state) {
+    checksum = 0;
+    for (const topology::AsId dest : dests) {
+      const dynamics::ConvergenceResult result =
+          engine.converge(compiled, dest);
+      checksum += result.rounds + result.reachable;
+    }
+    benchmark::DoNotOptimize(checksum);
+  }
+  state.SetItemsProcessed(state.iterations() * dests.size());
+  state.counters["checksum"] = static_cast<double>(checksum);
+}
+BENCHMARK(BM_Convergence_Fixpoint)->Unit(benchmark::kMillisecond);
+
+void BM_Convergence_FailureSweep(benchmark::State& state) {
+  const auto& compiled = cached_compiled();
+  scenario::SweepConfig config;
+  config.threads = static_cast<std::size_t>(state.range(0));
+  config.dirty_radius = scenario::kLength3DirtyRadius;
+  const auto enumerate = [](const scenario::Overlay& overlay,
+                            topology::AsId src) {
+    return scenario::enumerate_length3(overlay, src);
+  };
+  scenario::SweepRunner<scenario::SourcePathSet> runner(compiled,
+                                                        sweep_sources(),
+                                                        config);
+  runner.prime(enumerate);
+  const scenario::FailureSets failures =
+      scenario::failure_sets(compiled, 1, 8, 1234);
+  const scenario::Delta& candidate = sweep_deltas().front();
+  std::size_t checksum = 0;
+  for (auto _ : state) {
+    const scenario::FailureDiversity fd =
+        scenario::failure_diversity(runner, candidate, failures.sets);
+    checksum = fd.min.total_paths() + fd.worst_set;
+    benchmark::DoNotOptimize(checksum);
+  }
+  state.SetItemsProcessed(state.iterations() * failures.sets.size());
+  state.counters["checksum"] = static_cast<double>(checksum);
+}
+BENCHMARK(BM_Convergence_FailureSweep)
     ->Arg(1)
     ->Arg(4)
     ->Unit(benchmark::kMillisecond);

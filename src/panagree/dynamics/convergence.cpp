@@ -1,0 +1,43 @@
+#include "panagree/dynamics/convergence.hpp"
+
+namespace panagree::dynamics {
+
+ChurnReport churn(const ConvergenceResult& before,
+                  const ConvergenceResult& after) {
+  util::require(before.routes.size() == after.routes.size(),
+                "churn: tables cover different topologies");
+  ChurnReport report;
+  for (std::size_t u = 0; u < before.routes.size(); ++u) {
+    const Route& a = before.routes[u];
+    const Route& b = after.routes[u];
+    if (a.reachable() && b.reachable()) {
+      if (a.next_hop != b.next_hop) {
+        ++report.changed_next_hops;
+      }
+    } else if (a.reachable()) {
+      ++report.routes_lost;
+    } else if (b.reachable()) {
+      ++report.routes_gained;
+    }
+  }
+  return report;
+}
+
+ChurnReport churn(const RoutingSnapshot& before,
+                  const RoutingSnapshot& after) {
+  util::require(before.dests == after.dests,
+                "churn: snapshots cover different destination samples");
+  ChurnReport report;
+  for (std::size_t i = 0; i < before.results.size(); ++i) {
+    report += churn(before.results[i], after.results[i]);
+  }
+  if constexpr (obs::enabled()) {
+    detail::DynamicsMetrics& metrics = detail::dynamics_metrics();
+    metrics.churn_next_hops.add(report.changed_next_hops);
+    metrics.routes_lost.add(report.routes_lost);
+    metrics.routes_gained.add(report.routes_gained);
+  }
+  return report;
+}
+
+}  // namespace panagree::dynamics

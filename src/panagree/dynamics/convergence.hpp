@@ -1,0 +1,342 @@
+// Routing dynamics: iterative next-hop propagation to fixpoint.
+//
+// Every other analysis in the repo is steady-state - it enumerates the
+// paths a *converged* control plane could use. This engine models the
+// convergence itself: per destination, the synchronous best-route
+// iteration every AS would run under Gao-Rexford preferences (customer
+// routes over peer routes over provider routes, then shorter AS paths)
+// and valley-free export (customer-learned routes go to everyone, the
+// rest only to customers), repeated until no route changes. The shape is
+// the classic ~200-line iterative next-hop fixpoint loop of BGP
+// simulators, lifted onto the CSR topology views of this repo.
+//
+// Three properties the rest of the engine leans on:
+//
+//   * *Determinism.* Rounds are synchronous (Jacobi: round t reads only
+//     round t-1 state) and ties break on the lowest next-hop AS id, so
+//     the fixpoint - and the round count reaching it - is a pure function
+//     of the topology view. Thread counts, iteration order, and prior
+//     calls never change a result (dynamics_test locks this in).
+//
+//   * *View genericity.* converge() is templated over the topology-view
+//     protocol (num_ases / for_each_entry yielding Entry-shaped values),
+//     so it runs unchanged on a CompiledTopology snapshot or on a
+//     scenario::Overlay carrying link-down / link-add deltas - failure
+//     what-ifs reuse the whole machinery with zero copies.
+//
+//   * *Fixpoint sanity.* At a fixpoint the next-hop graph toward the
+//     destination is loop-free (route lengths strictly decrease along
+//     next hops), and under the Gao-Rexford hierarchy (no
+//     provider-customer cycles) the synchronous iteration provably
+//     reaches one. Topologies violating the hierarchy (possible in raw
+//     CAIDA data) are caught by the round cap and reported as
+//     `converged = false` instead of hanging.
+//
+// Churn - the operational cost of a deployment or failure - is the
+// comparison of two converged tables: next-hop changes, routes lost,
+// routes gained. compare_routing() folds it over a destination sample.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <vector>
+
+#include "panagree/obs/metrics.hpp"
+#include "panagree/obs/trace.hpp"
+#include "panagree/paths/parallel.hpp"
+#include "panagree/topology/compiled.hpp"
+#include "panagree/util/error.hpp"
+
+namespace panagree::dynamics {
+
+using topology::AsId;
+using topology::NeighborRole;
+
+namespace detail {
+
+/// Convergence metrics: round counts are *the* dynamics headline, so they
+/// are always on (one histogram record per converge() call, not per
+/// round).
+struct DynamicsMetrics {
+  obs::Counter& destinations;
+  obs::Counter& round_cap_hits;
+  obs::Histogram& rounds;
+  obs::Histogram& converge_ns;
+  obs::Counter& churn_next_hops;
+  obs::Counter& routes_lost;
+  obs::Counter& routes_gained;
+};
+
+[[nodiscard]] inline DynamicsMetrics& dynamics_metrics() {
+  obs::Registry& reg = obs::Registry::global();
+  static DynamicsMetrics metrics{
+      reg.counter("dynamics.destinations"),
+      reg.counter("dynamics.round_cap_hits"),
+      reg.histogram("dynamics.rounds"),
+      reg.histogram("dynamics.converge_ns"),
+      reg.counter("dynamics.churn_next_hops"),
+      reg.counter("dynamics.routes_lost"),
+      reg.counter("dynamics.routes_gained"),
+  };
+  return metrics;
+}
+
+[[nodiscard]] inline std::uint64_t dynamics_clock_ns() noexcept {
+  if constexpr (obs::enabled()) {
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count());
+  } else {
+    return 0;
+  }
+}
+
+}  // namespace detail
+
+/// Gao-Rexford preference class of a route, by the relationship to the
+/// neighbor it was learned from. Higher is better; kSelf marks the
+/// destination's own (exported-to-everyone) route.
+enum class RouteClass : std::uint8_t {
+  kNone = 0,      ///< no route
+  kProvider = 1,  ///< learned from a provider (worst)
+  kPeer = 2,      ///< learned from a peer
+  kCustomer = 3,  ///< learned from a customer (best)
+  kSelf = 4,      ///< the destination itself
+};
+
+/// One AS's best route toward the converged destination.
+struct Route {
+  AsId next_hop = topology::kInvalidAs;
+  /// AS hops to the destination (0 for the destination itself).
+  std::uint32_t length = 0;
+  RouteClass cls = RouteClass::kNone;
+
+  [[nodiscard]] bool reachable() const { return cls != RouteClass::kNone; }
+
+  friend bool operator==(const Route&, const Route&) = default;
+};
+
+struct ConvergenceOptions {
+  /// Hard round cap; 0 = 2 * num_ases + 16, far above the Gao-Rexford
+  /// bound (route lengths never exceed the AS count). Hitting the cap
+  /// means the topology admits a routing oscillation (a provider cycle);
+  /// the result is returned as-is with converged = false.
+  std::size_t max_rounds = 0;
+};
+
+/// The converged routing table of one destination.
+struct ConvergenceResult {
+  /// routes[u] is u's best route toward the destination (index == AsId).
+  std::vector<Route> routes;
+  /// Synchronous rounds in which at least one route changed - 0 when the
+  /// initial state is already stable (an unreachable island destination).
+  std::size_t rounds = 0;
+  /// ASes with a route, the destination included.
+  std::size_t reachable = 0;
+  bool converged = true;
+
+  friend bool operator==(const ConvergenceResult&,
+                         const ConvergenceResult&) = default;
+};
+
+/// Reusable per-thread working state of converge(): the two route tables
+/// of the Jacobi iteration survive across calls, so a fan-out over many
+/// destinations allocates twice per thread instead of twice per
+/// destination.
+class ConvergenceEngine {
+ public:
+  ConvergenceEngine() = default;
+
+  /// Iterates the synchronous best-route rounds for `dest` over any
+  /// topology view exposing num_ases() and for_each_entry(as, fn)
+  /// yielding CompiledTopology::Entry-shaped values (the snapshot itself
+  /// or a scenario::Overlay). Pure: the result depends only on the view
+  /// and `dest`, never on engine history.
+  template <typename Topo>
+  [[nodiscard]] ConvergenceResult converge(
+      const Topo& topo, AsId dest, const ConvergenceOptions& options = {}) {
+    util::require(dest < topo.num_ases(),
+                  "ConvergenceEngine: destination out of range");
+    const obs::TraceSpan span("dynamics.converge");
+    const std::uint64_t start = detail::dynamics_clock_ns();
+    const std::size_t n = topo.num_ases();
+    const std::size_t cap =
+        options.max_rounds != 0 ? options.max_rounds : 2 * n + 16;
+
+    prev_.assign(n, Route{});
+    cur_.assign(n, Route{});
+    prev_[dest] = Route{dest, 0, RouteClass::kSelf};
+    cur_[dest] = prev_[dest];
+
+    ConvergenceResult result;
+    bool changed = true;
+    while (changed && result.rounds < cap) {
+      changed = false;
+      for (AsId u = 0; u < static_cast<AsId>(n); ++u) {
+        if (u == dest) {
+          continue;
+        }
+        Route best;
+        topo.for_each_entry(u, [&](const auto& entry) {
+          const Route& offered = prev_[entry.neighbor];
+          if (!offered.reachable()) {
+            return;
+          }
+          // Split horizon: a route is never offered back to its own next
+          // hop (the distance-vector analog of BGP's AS-path loop check;
+          // fixpoints are identical, transients shorter).
+          if (offered.next_hop == u) {
+            return;
+          }
+          // Valley-free export: the neighbor advertises customer-learned
+          // (and its own) routes to everyone, everything else only to its
+          // customers - and u is the neighbor's customer exactly when the
+          // neighbor is u's provider.
+          const bool exported = offered.cls == RouteClass::kCustomer ||
+                                offered.cls == RouteClass::kSelf ||
+                                entry.role == NeighborRole::kProvider;
+          if (!exported) {
+            return;
+          }
+          const Route candidate{entry.neighbor, offered.length + 1,
+                                class_of(entry.role)};
+          if (better(candidate, best)) {
+            best = candidate;
+          }
+        });
+        cur_[u] = best;
+        changed = changed || !(best == prev_[u]);
+      }
+      if (changed) {
+        ++result.rounds;
+        prev_.swap(cur_);
+      }
+    }
+    result.converged = !changed;
+    result.routes = prev_;
+    for (const Route& route : result.routes) {
+      if (route.reachable()) {
+        ++result.reachable;
+      }
+    }
+    if constexpr (obs::enabled()) {
+      detail::DynamicsMetrics& metrics = detail::dynamics_metrics();
+      metrics.destinations.add(1);
+      metrics.rounds.record(result.rounds);
+      metrics.converge_ns.record(detail::dynamics_clock_ns() - start);
+      if (!result.converged) {
+        metrics.round_cap_hits.add(1);
+      }
+    }
+    return result;
+  }
+
+ private:
+  /// Preference class of a route learned from a neighbor with `role` (the
+  /// role of the neighbor as seen from the selecting AS).
+  [[nodiscard]] static RouteClass class_of(NeighborRole role) {
+    switch (role) {
+      case NeighborRole::kCustomer:
+        return RouteClass::kCustomer;
+      case NeighborRole::kPeer:
+        return RouteClass::kPeer;
+      case NeighborRole::kProvider:
+        break;
+    }
+    return RouteClass::kProvider;
+  }
+
+  /// Strict preference order: class, then length, then lowest next-hop id
+  /// (the deterministic tie-break that makes the fixpoint a pure function
+  /// of the topology).
+  [[nodiscard]] static bool better(const Route& a, const Route& b) {
+    if (a.cls != b.cls) {
+      return static_cast<std::uint8_t>(a.cls) >
+             static_cast<std::uint8_t>(b.cls);
+    }
+    if (a.length != b.length) {
+      return a.length < b.length;
+    }
+    return a.next_hop < b.next_hop;
+  }
+
+  std::vector<Route> prev_;
+  std::vector<Route> cur_;
+};
+
+/// One-shot converge() with throwaway working state.
+template <typename Topo>
+[[nodiscard]] ConvergenceResult converge(const Topo& topo, AsId dest,
+                                         const ConvergenceOptions& options =
+                                             {}) {
+  ConvergenceEngine engine;
+  return engine.converge(topo, dest, options);
+}
+
+/// Converged tables of a destination sample - the unit failure what-ifs
+/// and deployment churn reports compare.
+struct RoutingSnapshot {
+  std::vector<AsId> dests;
+  /// results[i] is the converged table of dests[i].
+  std::vector<ConvergenceResult> results;
+  std::size_t max_rounds = 0;
+  std::size_t total_rounds = 0;
+  /// (dest, AS) pairs with a route, destinations included.
+  std::size_t reachable_pairs = 0;
+  bool all_converged = true;
+};
+
+/// Converges every destination in `dests` (fan-out over the parallel
+/// driver; results in dests order, byte-identical at any thread count).
+template <typename Topo>
+[[nodiscard]] RoutingSnapshot converge_all(const Topo& topo,
+                                           std::vector<AsId> dests,
+                                           std::size_t threads = 0,
+                                           const ConvergenceOptions& options =
+                                               {}) {
+  RoutingSnapshot snapshot;
+  snapshot.results = paths::map_indices(
+      dests.size(), threads, [&](std::size_t i) {
+        thread_local ConvergenceEngine engine;
+        return engine.converge(topo, dests[i], options);
+      });
+  snapshot.dests = std::move(dests);
+  for (const ConvergenceResult& result : snapshot.results) {
+    snapshot.max_rounds = std::max(snapshot.max_rounds, result.rounds);
+    snapshot.total_rounds += result.rounds;
+    snapshot.reachable_pairs += result.reachable;
+    snapshot.all_converged = snapshot.all_converged && result.converged;
+  }
+  return snapshot;
+}
+
+/// Path churn between two converged tables of the *same* destination:
+/// ASes whose next hop moved (both sides reachable), routes lost, routes
+/// gained. Also the per-snapshot aggregate via the RoutingSnapshot
+/// overload, which records the obs churn counters.
+struct ChurnReport {
+  std::size_t changed_next_hops = 0;
+  std::size_t routes_lost = 0;
+  std::size_t routes_gained = 0;
+
+  ChurnReport& operator+=(const ChurnReport& other) {
+    changed_next_hops += other.changed_next_hops;
+    routes_lost += other.routes_lost;
+    routes_gained += other.routes_gained;
+    return *this;
+  }
+
+  friend bool operator==(const ChurnReport&, const ChurnReport&) = default;
+};
+
+[[nodiscard]] ChurnReport churn(const ConvergenceResult& before,
+                                const ConvergenceResult& after);
+
+/// Summed churn over a destination sample. Both snapshots must cover the
+/// same dests in the same order (they came from converge_all over the two
+/// compared views).
+[[nodiscard]] ChurnReport churn(const RoutingSnapshot& before,
+                                const RoutingSnapshot& after);
+
+}  // namespace panagree::dynamics

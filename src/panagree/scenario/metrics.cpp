@@ -67,6 +67,40 @@ ScenarioMetrics finalize(const SourceContribution& total) {
   return metrics;
 }
 
+DiversityCounts count_diversity(
+    std::span<const SourcePathSet* const> results) {
+  DiversityCounts out;
+  // Reused across sources: per source, the sorted-unique destination lists
+  // of the GRC set and the MA set decide pair membership.
+  std::vector<AsId> grc_dsts;
+  std::vector<AsId> ma_dsts;
+  for (const SourcePathSet* result : results) {
+    out.grc_paths += result->grc().size();
+    out.ma_paths += result->ma().size();
+    grc_dsts.clear();
+    ma_dsts.clear();
+    for (const diversity::Length3Path& path : result->grc()) {
+      grc_dsts.push_back(path.dst);
+    }
+    for (const diversity::Length3Path& path : result->ma()) {
+      ma_dsts.push_back(path.dst);
+    }
+    std::sort(grc_dsts.begin(), grc_dsts.end());
+    grc_dsts.erase(std::unique(grc_dsts.begin(), grc_dsts.end()),
+                   grc_dsts.end());
+    std::sort(ma_dsts.begin(), ma_dsts.end());
+    ma_dsts.erase(std::unique(ma_dsts.begin(), ma_dsts.end()),
+                  ma_dsts.end());
+    out.grc_pairs += grc_dsts.size();
+    for (const AsId dst : ma_dsts) {
+      if (!std::binary_search(grc_dsts.begin(), grc_dsts.end(), dst)) {
+        ++out.ma_extra_pairs;
+      }
+    }
+  }
+  return out;
+}
+
 MetricsAggregator::MetricsAggregator(const CompiledTopology& base,
                                      const geo::World* world,
                                      const econ::Economy* economy)

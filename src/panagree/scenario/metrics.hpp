@@ -144,6 +144,50 @@ struct ScenarioMetrics {
 /// (the mean-geodistance division happens here, once).
 [[nodiscard]] ScenarioMetrics finalize(const SourceContribution& total);
 
+/// The §VI diversity counters of one scenario stripped to the additive
+/// integer core (no geodistance or fee folds) - the per-failure-set unit
+/// of the k-failure headline metric, cheap enough to recompute once per
+/// enumerated failure set.
+struct DiversityCounts {
+  std::size_t grc_paths = 0;
+  std::size_t ma_paths = 0;
+  std::size_t grc_pairs = 0;
+  std::size_t ma_extra_pairs = 0;
+
+  [[nodiscard]] std::size_t total_paths() const {
+    return grc_paths + ma_paths;
+  }
+  [[nodiscard]] std::size_t reachable_pairs() const {
+    return grc_pairs + ma_extra_pairs;
+  }
+
+  friend bool operator==(const DiversityCounts&,
+                         const DiversityCounts&) = default;
+};
+
+/// Folds per-source path sets (the SweepRunner reference shape) into
+/// DiversityCounts. Pair semantics match MetricsAggregator::aggregate: a
+/// destination with any GRC path is a grc_pair, one reached only by MA
+/// paths an ma_extra_pair.
+[[nodiscard]] DiversityCounts count_diversity(
+    std::span<const SourcePathSet* const> results);
+
+/// Diversity surviving k link failures: the §VI GRC/MA counts
+/// re-evaluated under every enumerated (or budget-sampled) k-failure set,
+/// folded to the worst case and the mean - "how much of the path-aware
+/// agreement value is still there when links go down", the headline
+/// what-if metric of the dynamics layer (scenario::failure_diversity
+/// computes it through the incremental sweep machinery).
+struct FailureDiversity {
+  std::size_t sets = 0;       ///< failure sets evaluated
+  /// Counters of the worst failure set (fewest surviving GRC+MA paths,
+  /// ties to the lower set index).
+  DiversityCounts min;
+  std::size_t worst_set = 0;  ///< index of that set in the evaluated list
+  double mean_paths = 0.0;    ///< mean surviving GRC+MA paths
+  double mean_pairs = 0.0;    ///< mean surviving reachable pairs
+};
+
 /// Elementwise scenario - baseline (size_t fields as signed deltas via
 /// doubles would lose exactness; kept as a dedicated type instead).
 struct MetricsDelta {

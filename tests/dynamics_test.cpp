@@ -1,0 +1,336 @@
+// Tests for the convergence engine: Gao-Rexford route selection on hand
+// graphs, valley-free export, deterministic fixpoints (pure function of
+// the topology at every thread count), loop-free next-hop graphs, and
+// churn reports across deployments.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "panagree/dynamics/convergence.hpp"
+#include "panagree/scenario/overlay.hpp"
+#include "panagree/topology/compiled.hpp"
+#include "panagree/topology/generator.hpp"
+#include "panagree/util/error.hpp"
+
+namespace panagree::dynamics {
+namespace {
+
+using scenario::Delta;
+using scenario::Overlay;
+using topology::CompiledTopology;
+using topology::Graph;
+using topology::LinkType;
+
+/// 0 can reach dest 4 through its customer 1, its peer 2, and its
+/// provider 3 - each of which provides to 4 (so each one's own route is
+/// customer-learned and exported to everybody, including 0).
+Graph preference_graph() {
+  Graph g;
+  for (int i = 0; i < 5; ++i) {
+    g.add_as();
+  }
+  g.add_provider_customer(0, 1);  // 1 is 0's customer
+  g.add_peering(0, 2);            // 2 is 0's peer
+  g.add_provider_customer(3, 0);  // 3 is 0's provider
+  g.add_provider_customer(1, 4);
+  g.add_provider_customer(2, 4);
+  g.add_provider_customer(3, 4);
+  return g;
+}
+
+TEST(Converge, DestinationHoldsTheSelfRoute) {
+  const Graph g = preference_graph();
+  const CompiledTopology c(g);
+  const ConvergenceResult result = converge(c, 4);
+  EXPECT_TRUE(result.converged);
+  EXPECT_EQ(result.routes[4].cls, RouteClass::kSelf);
+  EXPECT_EQ(result.routes[4].length, 0u);
+  EXPECT_EQ(result.routes[4].next_hop, 4u);
+}
+
+TEST(Converge, CustomerRoutesBeatPeerAndProviderRoutes) {
+  const Graph g = preference_graph();
+  const CompiledTopology c(g);
+  const ConvergenceResult result = converge(c, 4);
+  ASSERT_TRUE(result.converged);
+  // All three of 0's candidates have length 2; the customer-learned one
+  // wins regardless of shorter alternatives elsewhere in the order.
+  EXPECT_EQ(result.routes[0].next_hop, 1u);
+  EXPECT_EQ(result.routes[0].cls, RouteClass::kCustomer);
+  EXPECT_EQ(result.routes[0].length, 2u);
+  // The direct providers hold customer routes of length 1.
+  for (const AsId as : {1u, 2u, 3u}) {
+    EXPECT_EQ(result.routes[as].cls, RouteClass::kCustomer);
+    EXPECT_EQ(result.routes[as].length, 1u);
+    EXPECT_EQ(result.routes[as].next_hop, 4u);
+  }
+  EXPECT_EQ(result.reachable, 5u);
+}
+
+TEST(Converge, PeerLearnedRoutesAreNotExportedToPeers) {
+  // 0 -peer- 1 -peer- 2: 1's route toward 2 is peer-learned, so 0 never
+  // hears about it (the valley 0-1-2 would be peer-peer).
+  Graph g;
+  for (int i = 0; i < 3; ++i) {
+    g.add_as();
+  }
+  g.add_peering(0, 1);
+  g.add_peering(1, 2);
+  const CompiledTopology c(g);
+  const ConvergenceResult result = converge(c, 2);
+  EXPECT_TRUE(result.converged);
+  EXPECT_FALSE(result.routes[0].reachable());
+  EXPECT_EQ(result.routes[1].cls, RouteClass::kPeer);
+  EXPECT_EQ(result.reachable, 2u);
+}
+
+TEST(Converge, EverythingIsExportedToCustomers) {
+  // 1 provides to 0 and peers with 2: the peer-learned route does reach
+  // the customer 0, as a provider-learned route of length 2.
+  Graph g;
+  for (int i = 0; i < 3; ++i) {
+    g.add_as();
+  }
+  g.add_provider_customer(1, 0);
+  g.add_peering(1, 2);
+  const CompiledTopology c(g);
+  const ConvergenceResult result = converge(c, 2);
+  EXPECT_TRUE(result.converged);
+  ASSERT_TRUE(result.routes[0].reachable());
+  EXPECT_EQ(result.routes[0].cls, RouteClass::kProvider);
+  EXPECT_EQ(result.routes[0].next_hop, 1u);
+  EXPECT_EQ(result.routes[0].length, 2u);
+}
+
+TEST(Converge, TiesBreakOnTheLowestNextHopId) {
+  // 1 and 2 are both 0's customers and both provide to 3: two
+  // customer-class length-2 routes; the lower next-hop id wins.
+  Graph g;
+  for (int i = 0; i < 4; ++i) {
+    g.add_as();
+  }
+  g.add_provider_customer(0, 1);
+  g.add_provider_customer(0, 2);
+  g.add_provider_customer(1, 3);
+  g.add_provider_customer(2, 3);
+  const CompiledTopology c(g);
+  const ConvergenceResult result = converge(c, 3);
+  ASSERT_TRUE(result.converged);
+  EXPECT_EQ(result.routes[0].cls, RouteClass::kCustomer);
+  EXPECT_EQ(result.routes[0].length, 2u);
+  EXPECT_EQ(result.routes[0].next_hop, 1u);
+}
+
+TEST(Converge, IsolatedDestinationIsStableAtRoundZero) {
+  Graph g;
+  for (int i = 0; i < 3; ++i) {
+    g.add_as();
+  }
+  g.add_peering(0, 1);  // 2 stays an island
+  const CompiledTopology c(g);
+  const ConvergenceResult result = converge(c, 2);
+  EXPECT_TRUE(result.converged);
+  EXPECT_EQ(result.rounds, 0u);
+  EXPECT_EQ(result.reachable, 1u);
+}
+
+TEST(Converge, RoundCapReportsNonConvergence) {
+  const Graph g = preference_graph();
+  const CompiledTopology c(g);
+  ConvergenceOptions options;
+  options.max_rounds = 1;  // the fixpoint needs more
+  const ConvergenceResult result = converge(c, 4, options);
+  EXPECT_FALSE(result.converged);
+  EXPECT_EQ(result.rounds, 1u);
+}
+
+TEST(Converge, DestinationOutOfRangeThrows) {
+  const Graph g = preference_graph();
+  const CompiledTopology c(g);
+  EXPECT_THROW((void)converge(c, 99), util::PreconditionError);
+}
+
+topology::GeneratedTopology generated(std::size_t num_ases,
+                                      std::uint64_t seed) {
+  return topology::generate_internet([&] {
+    topology::GeneratorParams params;
+    params.num_ases = num_ases;
+    params.tier1_count = 4;
+    params.seed = seed;
+    return params;
+  }());
+}
+
+TEST(Converge, FixpointIsAPureFunctionOfTheTopology) {
+  const auto topo = generated(150, 11);
+  const CompiledTopology c(topo.graph);
+  ConvergenceEngine engine;
+  const ConvergenceResult first = engine.converge(c, 17);
+  // Reusing the engine (dirty scratch), a fresh engine, and the one-shot
+  // helper all land on the identical result and round count.
+  const ConvergenceResult again = engine.converge(c, 17);
+  const ConvergenceResult fresh = converge(c, 17);
+  EXPECT_EQ(first, again);
+  EXPECT_EQ(first, fresh);
+  EXPECT_TRUE(first.converged);
+  EXPECT_GT(first.rounds, 0u);
+}
+
+TEST(Converge, NextHopGraphIsLoopFreeAndLengthsDecrease) {
+  const auto topo = generated(150, 11);
+  const CompiledTopology c(topo.graph);
+  const AsId dest = 17;
+  const ConvergenceResult result = converge(c, dest);
+  ASSERT_TRUE(result.converged);
+  for (AsId u = 0; u < c.num_ases(); ++u) {
+    if (!result.routes[u].reachable() || u == dest) {
+      continue;
+    }
+    // Lengths strictly decrease along next hops, so following them must
+    // reach the destination in at most `length` steps.
+    AsId at = u;
+    std::uint32_t steps = 0;
+    while (at != dest) {
+      const Route& route = result.routes[at];
+      ASSERT_TRUE(route.reachable()) << "broken chain at AS " << at;
+      const Route& next = result.routes[route.next_hop];
+      ASSERT_EQ(next.length + 1, route.length) << "AS " << at;
+      at = route.next_hop;
+      ASSERT_LE(++steps, result.routes[u].length) << "loop from AS " << u;
+    }
+  }
+}
+
+TEST(Converge, ConvergedPathsAreValleyFree) {
+  const auto topo = generated(150, 11);
+  const CompiledTopology c(topo.graph);
+  const AsId dest = 17;
+  const ConvergenceResult result = converge(c, dest);
+  ASSERT_TRUE(result.converged);
+  for (AsId u = 0; u < c.num_ases(); ++u) {
+    if (!result.routes[u].reachable() || u == dest) {
+      continue;
+    }
+    // The hop sequence must match uphill* peer? downhill*: after the
+    // first peer or downhill edge, only downhill edges may follow.
+    bool downhill_only = false;
+    AsId at = u;
+    while (at != dest) {
+      const AsId next = result.routes[at].next_hop;
+      const auto role = c.role_of(at, next);
+      ASSERT_TRUE(role.has_value());
+      if (downhill_only) {
+        ASSERT_EQ(*role, topology::NeighborRole::kCustomer)
+            << "valley on the path from AS " << u;
+      } else if (*role != topology::NeighborRole::kProvider) {
+        downhill_only = true;
+      }
+      at = next;
+    }
+  }
+}
+
+TEST(ConvergeAll, ByteIdenticalAtEveryThreadCount) {
+  const auto topo = generated(200, 23);
+  const CompiledTopology c(topo.graph);
+  std::vector<AsId> dests;
+  for (AsId as = 0; as < c.num_ases(); as += 17) {
+    dests.push_back(as);
+  }
+  const RoutingSnapshot one = converge_all(c, dests, 1);
+  for (const std::size_t threads : {2u, 8u}) {
+    const RoutingSnapshot many = converge_all(c, dests, threads);
+    ASSERT_EQ(one.dests, many.dests);
+    ASSERT_EQ(one.results.size(), many.results.size());
+    for (std::size_t i = 0; i < one.results.size(); ++i) {
+      EXPECT_EQ(one.results[i], many.results[i]) << "dest " << dests[i];
+    }
+    EXPECT_EQ(one.max_rounds, many.max_rounds);
+    EXPECT_EQ(one.total_rounds, many.total_rounds);
+    EXPECT_EQ(one.reachable_pairs, many.reachable_pairs);
+    EXPECT_EQ(one.all_converged, many.all_converged);
+  }
+}
+
+TEST(ConvergeAll, RunsOnAnOverlayView) {
+  const auto topo = generated(150, 11);
+  const CompiledTopology c(topo.graph);
+  const Overlay base_view(c);
+  std::vector<AsId> dests{3, 17, 60};
+  // The empty overlay is the base: identical snapshots.
+  const RoutingSnapshot direct = converge_all(c, dests, 2);
+  const RoutingSnapshot via_overlay = converge_all(base_view, dests, 2);
+  EXPECT_EQ(direct.results.size(), via_overlay.results.size());
+  for (std::size_t i = 0; i < direct.results.size(); ++i) {
+    EXPECT_EQ(direct.results[i], via_overlay.results[i]);
+  }
+}
+
+TEST(Churn, DeploymentChurnMatchesThePerRouteComparison) {
+  const auto topo = generated(150, 11);
+  const CompiledTopology c(topo.graph);
+  std::vector<AsId> dests{3, 17, 60, 101};
+  const RoutingSnapshot before = converge_all(c, dests, 2);
+
+  Delta delta;
+  delta.add.push_back({20, 120, LinkType::kPeering});
+  Overlay overlay(c);
+  overlay.apply(delta);
+  const RoutingSnapshot after = converge_all(overlay, dests, 2);
+
+  ChurnReport expected;
+  for (std::size_t i = 0; i < dests.size(); ++i) {
+    for (AsId u = 0; u < c.num_ases(); ++u) {
+      const Route& b = before.results[i].routes[u];
+      const Route& a = after.results[i].routes[u];
+      if (b.reachable() && a.reachable() && b.next_hop != a.next_hop) {
+        ++expected.changed_next_hops;
+      } else if (b.reachable() && !a.reachable()) {
+        ++expected.routes_lost;
+      } else if (!b.reachable() && a.reachable()) {
+        ++expected.routes_gained;
+      }
+    }
+  }
+  EXPECT_EQ(churn(before, after), expected);
+  // Adding a link never loses a route.
+  EXPECT_EQ(churn(before, after).routes_lost, 0u);
+}
+
+TEST(Churn, RemoveThenReAddIsTheIdentity) {
+  const auto topo = generated(150, 11);
+  const CompiledTopology c(topo.graph);
+  std::vector<AsId> dests{3, 17, 60};
+  const RoutingSnapshot base = converge_all(c, dests, 2);
+
+  // Rewire a base peering link onto itself: the overlaid rows are
+  // identical to the base (entries sort by role group and neighbor id,
+  // not insertion order), so convergence - and churn - must be zero.
+  const auto& links = c.graph().links();
+  const auto it = std::find_if(links.begin(), links.end(), [](const auto& l) {
+    return l.type == LinkType::kPeering;
+  });
+  ASSERT_NE(it, links.end());
+  Delta rewire;
+  rewire.remove.emplace_back(it->a, it->b);
+  rewire.add.push_back({it->a, it->b, LinkType::kPeering});
+  Overlay overlay(c);
+  overlay.apply(rewire);
+  const RoutingSnapshot rewired = converge_all(overlay, dests, 2);
+  for (std::size_t i = 0; i < dests.size(); ++i) {
+    EXPECT_EQ(base.results[i], rewired.results[i]);
+  }
+  EXPECT_EQ(churn(base, rewired), ChurnReport{});
+}
+
+TEST(Churn, SnapshotOverloadRequiresMatchingDestinations) {
+  const auto topo = generated(150, 11);
+  const CompiledTopology c(topo.graph);
+  const RoutingSnapshot a = converge_all(c, {3, 17}, 1);
+  const RoutingSnapshot b = converge_all(c, {3, 60}, 1);
+  EXPECT_THROW((void)churn(a, b), util::PreconditionError);
+}
+
+}  // namespace
+}  // namespace panagree::dynamics

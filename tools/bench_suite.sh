@@ -44,7 +44,7 @@ export PANAGREE_SNAPSHOT="$OUT/suite.pansnap"
 # need enough iterations to average the heavy-tailed per-source costs,
 # or run-to-run noise defeats the 30% regression gate.
 "$BUILD/bench_perf_micro" \
-  --benchmark_filter='BM_(RoleLookup|Length3Enumeration|CompileTopology|ScenarioSweep_Incremental|Optimizer_Greedy|SnapshotLoad_Mmap|QueryEngine_CachedSource|MapSources|RoleFilter|Obs)'
+  --benchmark_filter='BM_(RoleLookup|Length3Enumeration|CompileTopology|ScenarioSweep_Incremental|Optimizer_Greedy|SnapshotLoad_Mmap|QueryEngine_CachedSource|MapSources|RoleFilter|Obs|Convergence)'
 
 echo "bench suite results in $OUT:"
 ls -l "$OUT"

@@ -4,6 +4,7 @@
 //
 //   panagree-sweep [scenarios] [top-k] [seed]
 //       [--optimize greedy|beam] [--steps N] [--beam W] [--no-share]
+//       [--failures K] [--samples N]
 //       [--snapshot FILE] [--threads N] [--pin-threads]
 //
 // Defaults: 200 candidate deployments, top 10 shown, seed 4242. Every
@@ -22,6 +23,17 @@
 // grown prefix, and shares candidate recomputes across rounds unless
 // --no-share. --steps bounds the program length.
 //
+// With --failures K the tool ranks deployments by *surviving* diversity
+// instead of steady-state utility: every candidate is re-evaluated under
+// the K-link failure universe (exhaustive when it fits --samples,
+// deterministically sampled above it; each failure set is a remove-only
+// delta through the same incremental sweep), ranked by the worst-case and
+// mean §VI GRC+MA paths that survive. Each candidate also reports its
+// deployment churn - next-hop changes and convergence rounds of the
+// dynamics::converge fixpoint over a destination sample. Output is a pure
+// function of the topology and flags: --threads only changes wall-clock
+// time (CI diffs the bytes at 1 and 4 threads).
+//
 // Environment (see bench_common.hpp): PANAGREE_ASES, PANAGREE_SOURCES,
 // PANAGREE_THREADS, and PANAGREE_CAIDA to sweep a real CAIDA as-rel2
 // topology instead of the synthetic one. --snapshot FILE (or
@@ -35,7 +47,9 @@
 #include "bench_common.hpp"
 #include "cli_common.hpp"
 #include "panagree/diversity/report.hpp"
+#include "panagree/dynamics/convergence.hpp"
 #include "panagree/econ/business.hpp"
+#include "panagree/scenario/failure.hpp"
 #include "panagree/scenario/metrics.hpp"
 #include "panagree/scenario/optimizer.hpp"
 #include "panagree/scenario/sweep.hpp"
@@ -55,6 +69,8 @@ struct Options {
   std::size_t beam_width = 0;   // explicit --beam W, 0 = unset
   std::size_t max_steps = 4;
   bool share = true;
+  std::size_t failures = 0;     // --failures K (0 = steady-state modes)
+  std::size_t samples = 32;     // --samples N failure-set budget
   std::string snapshot;  // --snapshot FILE (empty = PANAGREE_SNAPSHOT/env)
   /// --threads N (default: the PANAGREE_THREADS env, 0 = hardware).
   std::size_t threads = benchcfg::num_threads();
@@ -75,6 +91,7 @@ void usage() {
   std::cerr << "usage: panagree-sweep [scenarios] [top-k] [seed]\n"
             << "           [--optimize greedy|beam] [--steps N] [--beam W]"
                " [--no-share]\n"
+            << "           [--failures K] [--samples N]\n"
             << "           [--snapshot FILE] [--threads N]"
                " [--pin-threads]\n";
 }
@@ -109,6 +126,19 @@ bool parse_args(int argc, char** argv, Options& options) {
         return false;
       }
       options.beam_width = std::stoul(argv[++i]);
+    } else if (arg == "--failures") {
+      if (i + 1 >= argc) {
+        return false;
+      }
+      options.failures = std::stoul(argv[++i]);
+      if (options.failures == 0) {
+        return false;
+      }
+    } else if (arg == "--samples") {
+      if (i + 1 >= argc) {
+        return false;
+      }
+      options.samples = std::stoul(argv[++i]);
     } else if (arg == "--snapshot") {
       if (i + 1 >= argc) {
         return false;
@@ -154,6 +184,140 @@ std::string describe(const scenario::Delta& delta) {
   return out;
 }
 
+/// --failures K: rank candidate deployments by the diversity surviving
+/// K-link failures, with deployment churn + convergence rounds from the
+/// dynamics fixpoint engine. Everything printed is a pure function of the
+/// topology and flags (CI diffs this output across thread counts).
+int run_failure_sweep(const Options& options,
+                      const topology::CompiledTopology& compiled,
+                      const topology::Graph& graph,
+                      const std::vector<AsId>& sources) {
+  scenario::SweepConfig config;
+  config.threads = options.threads;
+  config.dirty_radius = scenario::kLength3DirtyRadius;
+  config.exec.pin_threads = options.pin_threads;
+  scenario::SweepRunner<scenario::SourcePathSet> runner(compiled, sources,
+                                                        config);
+  runner.prime([](const scenario::Overlay& overlay, AsId src) {
+    return scenario::enumerate_length3(overlay, src);
+  });
+
+  const scenario::FailureSets failure = scenario::failure_sets(
+      compiled, options.failures, options.samples, options.seed);
+  if (failure.sets.empty()) {
+    std::cerr << "error: no " << options.failures
+              << "-link failure sets on this topology\n";
+    return 1;
+  }
+
+  // Steady-state baseline + its diversity under the same failure sets.
+  std::vector<const scenario::SourcePathSet*> baseline_refs;
+  baseline_refs.reserve(runner.baseline().size());
+  for (const scenario::SourcePathSet& sets : runner.baseline()) {
+    baseline_refs.push_back(&sets);
+  }
+  const scenario::DiversityCounts base_counts =
+      scenario::count_diversity(baseline_refs);
+  const scenario::FailureDiversity base_fd =
+      scenario::failure_diversity(runner, scenario::Delta{}, failure.sets);
+
+  // Converged routing tables of a small destination sample - the before
+  // side of every candidate's churn report.
+  const std::vector<AsId> dests = diversity::sample_sources(
+      graph, std::min<std::size_t>(12, graph.num_ases()),
+      benchcfg::kSampleSeed + 1);
+  const dynamics::RoutingSnapshot base_routes =
+      dynamics::converge_all(compiled, dests, options.threads);
+
+  const auto candidates = scenario::candidate_peering_deltas(
+      compiled, options.num_scenarios, options.seed);
+  if (candidates.size() < options.num_scenarios) {
+    std::cerr << "[sweep] only " << candidates.size()
+              << " distinct candidates available\n";
+  }
+
+  struct Ranked {
+    std::size_t scenario = 0;
+    scenario::FailureDiversity fd;
+    dynamics::ChurnReport churn;
+    std::size_t rounds = 0;
+    bool converged = true;
+  };
+  std::vector<Ranked> ranked;
+  ranked.reserve(candidates.size());
+  for (std::size_t i = 0; i < candidates.size(); ++i) {
+    Ranked entry;
+    entry.scenario = i;
+    entry.fd =
+        scenario::failure_diversity(runner, candidates[i], failure.sets);
+    scenario::Overlay overlay(compiled);
+    overlay.apply(candidates[i]);
+    const dynamics::RoutingSnapshot routes =
+        dynamics::converge_all(overlay, dests, options.threads);
+    entry.churn = dynamics::churn(base_routes, routes);
+    entry.rounds = routes.max_rounds;
+    entry.converged = routes.all_converged;
+    ranked.push_back(std::move(entry));
+  }
+  std::sort(ranked.begin(), ranked.end(), [](const Ranked& a,
+                                             const Ranked& b) {
+    if (a.fd.min.total_paths() != b.fd.min.total_paths()) {
+      return a.fd.min.total_paths() > b.fd.min.total_paths();
+    }
+    if (a.fd.mean_paths != b.fd.mean_paths) {
+      return a.fd.mean_paths > b.fd.mean_paths;
+    }
+    return a.scenario < b.scenario;
+  });
+
+  std::cout << "== panagree-sweep --failures " << options.failures << ": "
+            << candidates.size() << " candidate deployments over "
+            << graph.num_ases() << " ASes, " << failure.sets.size() << " "
+            << options.failures << "-link failure sets ("
+            << (failure.sampled ? "sampled from " : "exhaustive of ")
+            << failure.universe << ") ==\n"
+            << "baseline over " << sources.size()
+            << " sources: " << base_counts.grc_paths << " GRC + "
+            << base_counts.ma_paths << " MA paths, "
+            << base_counts.reachable_pairs() << " reachable pairs\n"
+            << "baseline under failures: min " << base_fd.min.total_paths()
+            << " paths / " << base_fd.min.reachable_pairs()
+            << " pairs (worst set #" << base_fd.worst_set << "), mean "
+            << util::format_double(base_fd.mean_paths, 1) << " paths\n"
+            << "routing sample: " << dests.size()
+            << " destinations, base convergence max "
+            << base_routes.max_rounds << " rounds, "
+            << base_routes.reachable_pairs << " reachable (dest, AS) pairs\n"
+            << "\n";
+  if (!base_routes.all_converged) {
+    std::cerr << "[sweep] warning: base routing hit the round cap "
+                 "(provider cycle?)\n";
+  }
+  util::Table table({"rank", "deployment", "min paths", "mean paths",
+                     "min pairs", "churn", "gained", "rounds"});
+  for (std::size_t i = 0; i < std::min(options.top_k, ranked.size()); ++i) {
+    const Ranked& r = ranked[i];
+    table.add_row({std::to_string(i + 1),
+                   describe(candidates[r.scenario]),
+                   std::to_string(r.fd.min.total_paths()),
+                   util::format_double(r.fd.mean_paths, 1),
+                   std::to_string(r.fd.min.reachable_pairs()),
+                   std::to_string(r.churn.changed_next_hops),
+                   std::to_string(r.churn.routes_gained),
+                   std::to_string(r.rounds)});
+    if (!r.converged) {
+      std::cerr << "[sweep] warning: candidate " << r.scenario
+                << " hit the convergence round cap\n";
+    }
+  }
+  table.print(std::cout);
+  std::cout << "\nranked by worst-case surviving GRC+MA paths under "
+            << options.failures
+            << "-link failures (then mean); churn = next-hop changes over "
+            << dests.size() << " converged destinations.\n";
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -191,6 +355,10 @@ int main(int argc, char** argv) {
 
     const std::vector<AsId> sources = diversity::sample_sources(
         net.graph(), benchcfg::num_sources(), benchcfg::kSampleSeed);
+
+    if (options.failures > 0) {
+      return run_failure_sweep(options, compiled, net.graph(), sources);
+    }
 
     if (options.optimize) {
       const auto candidates =
