@@ -30,6 +30,7 @@
 #include "exhaustive_rank.hpp"
 #include "panagree/econ/business.hpp"
 #include "panagree/obs/metrics.hpp"
+#include "panagree/obs/slowlog.hpp"
 #include "panagree/scenario/optimizer.hpp"
 #include "panagree/diversity/report.hpp"
 #include "panagree/pan/beaconing.hpp"
@@ -949,6 +950,54 @@ void BM_Obs_HistogramRecord(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_Obs_HistogramRecord);
+
+void BM_Obs_SlowlogRecord(benchmark::State& state) {
+  // Worst case for the slow-query ring's writer: threshold 0 (every
+  // record admitted) and strictly ascending wall times, so once the 64
+  // slots fill, every record scans all slots and evicts the minimum.
+  obs::SlowQueryLog log(obs::kDefaultSlowLogSlots);
+  log.set_threshold_ns(0);
+  obs::SlowQueryRecord rec;
+  for (auto _ : state) {
+    ++rec.wall_ns;
+    log.record(rec);
+    benchmark::ClobberMemory();
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.counters["captured"] = static_cast<double>(log.snapshot().size());
+}
+BENCHMARK(BM_Obs_SlowlogRecord);
+
+void BM_Serve_StageClockOverhead(benchmark::State& state) {
+  // What one fully observed request costs on top of the work itself: the
+  // cache-served fast path through handle_line with an external stage
+  // clock, plus finish_request_observation (8 histogram records, a
+  // slowlog offer, and - tracing disarmed here - no span recording).
+  // Compare against BM_QueryEngine_CachedSource/1024 for the
+  // uninstrumented floor of the same request.
+  const serve::QueryEngine& engine = cached_engine();
+  const auto& sources = sweep_sources();
+  const std::string line_prefix = R"({"v":1,"id":1,"kind":"paths","source":)";
+  std::vector<std::string> lines;
+  lines.reserve(sources.size());
+  for (const topology::AsId src : sources) {
+    lines.push_back(line_prefix + std::to_string(src) + "}");
+  }
+  std::string out;
+  std::size_t i = 0;
+  for (auto _ : state) {
+    out.clear();
+    serve::RequestStages stages;
+    stages.enqueue_ns = serve::stage_now_ns();
+    engine.handle_line(lines[i % lines.size()], out, &stages);
+    stages.send_ns = 1;  // stand in for the server's send stage
+    serve::finish_request_observation(stages);
+    ++i;
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_Serve_StageClockOverhead);
 
 void BM_BoscoExpectedNash(benchmark::State& state) {
   const bosco::UniformDistribution dist(-1.0, 1.0);

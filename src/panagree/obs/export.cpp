@@ -1,11 +1,23 @@
 #include "panagree/obs/export.hpp"
 
 #include <charconv>
+#include <chrono>
 #include <cmath>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/resource.h>
+#endif
 
 namespace panagree::obs {
 
 namespace {
+
+#if !defined(PANAGREE_OBS_OFF)
+// Static-initialized at load time so uptime_s measures the process, not
+// the first stats request.
+const std::chrono::steady_clock::time_point g_process_start =
+    std::chrono::steady_clock::now();
+#endif
 
 void append_uint(std::string& out, std::uint64_t value) {
   char buffer[24];
@@ -70,6 +82,28 @@ MetricsSnapshot snapshot_metrics() {
       &snap);
 #endif
   return snap;
+}
+
+void refresh_process_gauges() {
+#if !defined(PANAGREE_OBS_OFF)
+  static Gauge& uptime = Registry::global().gauge("process.uptime_s");
+  static Gauge& peak_rss = Registry::global().gauge("process.peak_rss_kb");
+  uptime.set(std::chrono::duration_cast<std::chrono::seconds>(
+                 std::chrono::steady_clock::now() - g_process_start)
+                 .count());
+#if defined(__unix__) || defined(__APPLE__)
+  rusage usage{};
+  if (getrusage(RUSAGE_SELF, &usage) == 0) {
+#if defined(__APPLE__)
+    peak_rss.set(usage.ru_maxrss / 1024);  // ru_maxrss is bytes on macOS
+#else
+    peak_rss.set(usage.ru_maxrss);
+#endif
+  }
+#else
+  (void)peak_rss;
+#endif
+#endif  // !PANAGREE_OBS_OFF
 }
 
 std::uint64_t histogram_percentile(const HistogramSample& h,

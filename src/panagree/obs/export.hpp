@@ -65,6 +65,13 @@ struct MetricsSnapshot {
 /// Snapshots Registry::global(). Empty under PANAGREE_OBS_OFF.
 [[nodiscard]] MetricsSnapshot snapshot_metrics();
 
+/// Re-reads the process-level gauges - `process.uptime_s` (seconds
+/// since the library was loaded) and `process.peak_rss_kb` (getrusage
+/// peak resident set) - so the next snapshot carries fresh values.
+/// Called by the serve layer on every stats/slowlog request; no-op
+/// under PANAGREE_OBS_OFF.
+void refresh_process_gauges();
+
 /// Nearest-rank percentile estimate from the log2 buckets: the value
 /// reported is the inclusive upper bound of the bucket containing the
 /// nearest-rank sample (index ceil(p/100 * count), 1-based). Returns 0

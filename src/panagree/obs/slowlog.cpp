@@ -1,0 +1,192 @@
+#include "panagree/obs/slowlog.hpp"
+
+#include <algorithm>
+#include <tuple>
+
+namespace panagree::obs {
+
+namespace {
+
+[[nodiscard]] auto record_key(const SlowQueryRecord& r) noexcept {
+  // wall_ns leads (descending via the caller's comparison); the rest is
+  // an arbitrary-but-total tiebreak so equal-wall records still order
+  // deterministically.
+  return std::tuple(r.wire_id, r.kind, r.source, r.delta_links, r.queue_ns,
+                    r.parse_ns, r.engine_ns, r.serialize_ns, r.send_ns);
+}
+
+}  // namespace
+
+bool slow_record_before(const SlowQueryRecord& a,
+                        const SlowQueryRecord& b) noexcept {
+  if (a.wall_ns != b.wall_ns) {
+    return a.wall_ns > b.wall_ns;
+  }
+  return record_key(a) < record_key(b);
+}
+
+}  // namespace panagree::obs
+
+#if !defined(PANAGREE_OBS_OFF)
+
+namespace panagree::obs {
+
+inline namespace obs_on {
+
+namespace {
+
+/// Slot payload layout: field i of the record, in declaration order.
+void store_record(std::array<std::atomic<std::uint64_t>, kSlowQueryFields>&
+                      fields,
+                  const SlowQueryRecord& rec) noexcept {
+  const std::uint64_t values[kSlowQueryFields] = {
+      rec.wire_id,   rec.kind,     rec.source,       rec.delta_links,
+      rec.wall_ns,   rec.queue_ns, rec.parse_ns,     rec.engine_ns,
+      rec.serialize_ns, rec.send_ns};
+  for (std::size_t i = 0; i < kSlowQueryFields; ++i) {
+    fields[i].store(values[i], std::memory_order_relaxed);
+  }
+}
+
+[[nodiscard]] SlowQueryRecord load_record(
+    const std::array<std::atomic<std::uint64_t>, kSlowQueryFields>& fields)
+    noexcept {
+  SlowQueryRecord rec;
+  rec.wire_id = fields[0].load(std::memory_order_relaxed);
+  rec.kind = fields[1].load(std::memory_order_relaxed);
+  rec.source = fields[2].load(std::memory_order_relaxed);
+  rec.delta_links = fields[3].load(std::memory_order_relaxed);
+  rec.wall_ns = fields[4].load(std::memory_order_relaxed);
+  rec.queue_ns = fields[5].load(std::memory_order_relaxed);
+  rec.parse_ns = fields[6].load(std::memory_order_relaxed);
+  rec.engine_ns = fields[7].load(std::memory_order_relaxed);
+  rec.serialize_ns = fields[8].load(std::memory_order_relaxed);
+  rec.send_ns = fields[9].load(std::memory_order_relaxed);
+  return rec;
+}
+
+/// Index of the record's wall_ns field inside the slot payload.
+inline constexpr std::size_t kWallField = 4;
+
+/// A writer that keeps losing claim races gives up after this many full
+/// scans: the ring is monitoring, not accounting, and a dropped record
+/// under that much write pressure is indistinguishable from losing the
+/// min-wall comparison a microsecond later.
+inline constexpr int kClaimAttempts = 4;
+
+/// A reader retries a slot this many times before skipping it (only
+/// reachable when a writer keeps re-claiming the same slot mid-read).
+inline constexpr int kReadAttempts = 8;
+
+}  // namespace
+
+SlowQueryLog::SlowQueryLog(std::size_t slots)
+    : slots_n_(std::bit_ceil(slots == 0 ? std::size_t{1} : slots)),
+      slots_(new Slot[slots_n_]) {}
+
+SlowQueryLog& SlowQueryLog::global() {
+  // Leaked for the same reason as the metrics registry: worker threads
+  // may record during static destruction.
+  static SlowQueryLog* instance = new SlowQueryLog(kDefaultSlowLogSlots);
+  return *instance;
+}
+
+void SlowQueryLog::set_threshold_ns(std::uint64_t ns) noexcept {
+  threshold_ns_.store(ns, std::memory_order_relaxed);
+}
+
+std::uint64_t SlowQueryLog::threshold_ns() const noexcept {
+  return threshold_ns_.load(std::memory_order_relaxed);
+}
+
+void SlowQueryLog::record(const SlowQueryRecord& rec) noexcept {
+  if (rec.wall_ns < threshold_ns()) {
+    return;
+  }
+  for (int attempt = 0; attempt < kClaimAttempts; ++attempt) {
+    // Victim selection: first never-written slot, else the stable slot
+    // with the smallest wall. Slots mid-write (odd seq) are skipped -
+    // their writer is installing a record that already beat the
+    // threshold, so passing them over cannot evict the wrong slot.
+    std::size_t victim = slots_n_;
+    std::uint64_t victim_seq = 0;
+    std::uint64_t min_wall = ~std::uint64_t{0};
+    bool victim_empty = false;
+    for (std::size_t i = 0; i < slots_n_; ++i) {
+      const std::uint64_t seq = slots_[i].seq.load(std::memory_order_acquire);
+      if (seq == 0) {
+        victim = i;
+        victim_seq = seq;
+        victim_empty = true;
+        break;
+      }
+      if ((seq & 1) != 0) {
+        continue;
+      }
+      const std::uint64_t wall =
+          slots_[i].fields[kWallField].load(std::memory_order_relaxed);
+      if (wall < min_wall) {
+        min_wall = wall;
+        victim = i;
+        victim_seq = seq;
+      }
+    }
+    if (victim == slots_n_) {
+      return;  // every slot mid-write; drop
+    }
+    if (!victim_empty && rec.wall_ns <= min_wall) {
+      return;  // ring is full of slower requests; keep the slowest N
+    }
+    Slot& slot = slots_[victim];
+    std::uint64_t expected = victim_seq;
+    if (slot.seq.compare_exchange_strong(expected, victim_seq + 1,
+                                         std::memory_order_acq_rel,
+                                         std::memory_order_relaxed)) {
+      store_record(slot.fields, rec);
+      slot.seq.store(victim_seq + 2, std::memory_order_release);
+      return;
+    }
+    // Lost the claim race; rescan - the ring's contents just changed.
+  }
+}
+
+std::vector<SlowQueryRecord> SlowQueryLog::snapshot() const {
+  std::vector<SlowQueryRecord> out;
+  out.reserve(slots_n_);
+  for (std::size_t i = 0; i < slots_n_; ++i) {
+    const Slot& slot = slots_[i];
+    for (int attempt = 0; attempt < kReadAttempts; ++attempt) {
+      const std::uint64_t before =
+          slot.seq.load(std::memory_order_acquire);
+      if (before == 0) {
+        break;  // never written
+      }
+      if ((before & 1) != 0) {
+        continue;  // writer inside; retry
+      }
+      const SlowQueryRecord rec = load_record(slot.fields);
+      // Order the payload loads before the re-check of seq (the
+      // standard seqlock read fence; the loads themselves are atomic,
+      // so a concurrent writer is not a data race, just a retry).
+      std::atomic_thread_fence(std::memory_order_acquire);
+      if (slot.seq.load(std::memory_order_relaxed) == before) {
+        out.push_back(rec);
+        break;
+      }
+    }
+  }
+  std::sort(out.begin(), out.end(), slow_record_before);
+  return out;
+}
+
+void SlowQueryLog::clear() noexcept {
+  for (std::size_t i = 0; i < slots_n_; ++i) {
+    slots_[i].seq.store(0, std::memory_order_release);
+  }
+}
+
+}  // namespace obs_on
+
+}  // namespace panagree::obs
+
+#endif  // !PANAGREE_OBS_OFF

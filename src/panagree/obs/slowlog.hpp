@@ -1,0 +1,165 @@
+// Lock-free slow-query ring: a fixed-size, power-of-two-slot buffer
+// holding the slowest requests the serving layer has seen, published
+// with per-slot seqlocks so writers never block each other and readers
+// never block writers.
+//
+// Shape of the problem: the serving hot path must record a slow request
+// with a handful of relaxed atomic stores (no mutex, no allocation),
+// while an operator asking for the `slowlog` wire kind takes a
+// consistent snapshot at any moment. Classic seqlock, adapted for
+// TSan-cleanliness: each slot carries a sequence word (even = stable,
+// odd = writer inside) and stores its payload in plain relaxed
+// std::atomic<uint64_t> fields, so a reader racing a writer performs no
+// data race - it merely observes a sequence mismatch and discards the
+// copy.
+//
+// Writer protocol (record):
+//   1. Drop the record if wall_ns < threshold_ns (the --slow-ms /
+//      PANAGREE_SLOW_MS knob; 0 captures everything).
+//   2. Scan for a victim slot: the first never-written slot (seq == 0),
+//      else the stable slot with the smallest wall_ns. If the ring is
+//      full and the record is no slower than the current minimum, drop
+//      it - this is what keeps the "slowest N" invariant.
+//   3. CAS the victim's seq even -> odd to claim it (losing the race
+//      just rescans; after a few attempts the record is dropped -
+//      monitoring is best-effort by design), store the payload fields
+//      relaxed, then publish with a release store of seq + 2.
+//
+// Reader protocol (snapshot): per slot, load seq (acquire), skip odd or
+// zero, copy the fields relaxed, fence, re-load seq; keep the copy only
+// if the sequence did not move. Results are sorted slowest-first with a
+// full-record tiebreak so a snapshot is a deterministic function of the
+// set of published records - the `slowlog` wire response byte-stability
+// test leans on this.
+//
+// The record struct is macro-independent plain data (the wire parser
+// builds them client-side); only the ring itself compiles to a no-op
+// under PANAGREE_OBS_OFF.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#if !defined(PANAGREE_OBS_OFF)
+#include <array>
+#include <atomic>
+#include <bit>
+#include <memory>
+
+#include "panagree/obs/metrics.hpp"  // detail::kCacheLine
+#endif
+
+namespace panagree::obs {
+
+/// One captured request. `kind` is a small caller-defined code (the
+/// serve layer maps its RequestKind enum through it - obs stays
+/// protocol-agnostic); the five stage fields sum to wall_ns by
+/// construction on the serve side.
+struct SlowQueryRecord {
+  std::uint64_t wire_id = 0;
+  std::uint64_t kind = 0;
+  std::uint64_t source = 0;
+  std::uint64_t delta_links = 0;
+  std::uint64_t wall_ns = 0;
+  std::uint64_t queue_ns = 0;
+  std::uint64_t parse_ns = 0;
+  std::uint64_t engine_ns = 0;
+  std::uint64_t serialize_ns = 0;
+  std::uint64_t send_ns = 0;
+
+  friend bool operator==(const SlowQueryRecord&,
+                         const SlowQueryRecord&) = default;
+};
+
+/// Number of uint64 payload fields in a SlowQueryRecord (slot layout).
+inline constexpr std::size_t kSlowQueryFields = 10;
+
+/// Default ring capacity (slots) for SlowQueryLog::global().
+inline constexpr std::size_t kDefaultSlowLogSlots = 64;
+
+/// Default capture threshold: 10 ms. Tools override it from --slow-ms /
+/// PANAGREE_SLOW_MS.
+inline constexpr std::uint64_t kDefaultSlowThresholdNs = 10'000'000;
+
+/// Deterministic snapshot order: wall_ns descending, then the remaining
+/// fields ascending as a total tiebreak. Exposed so tests and the wire
+/// layer agree on what "sorted" means.
+[[nodiscard]] bool slow_record_before(const SlowQueryRecord& a,
+                                      const SlowQueryRecord& b) noexcept;
+
+#if defined(PANAGREE_OBS_OFF)
+
+inline namespace obs_off {
+
+class SlowQueryLog {
+ public:
+  explicit SlowQueryLog(std::size_t = kDefaultSlowLogSlots) {}
+
+  [[nodiscard]] static SlowQueryLog& global() {
+    static SlowQueryLog instance;
+    return instance;
+  }
+
+  void set_threshold_ns(std::uint64_t) noexcept {}
+  [[nodiscard]] std::uint64_t threshold_ns() const noexcept { return 0; }
+  [[nodiscard]] std::size_t capacity() const noexcept { return 0; }
+  void record(const SlowQueryRecord&) noexcept {}
+  [[nodiscard]] std::vector<SlowQueryRecord> snapshot() const {
+    return {};
+  }
+  void clear() noexcept {}
+};
+
+}  // namespace obs_off
+
+#else  // !PANAGREE_OBS_OFF
+
+inline namespace obs_on {
+
+class SlowQueryLog {
+ public:
+  /// `slots` is rounded up to the next power of two (minimum 1).
+  explicit SlowQueryLog(std::size_t slots = kDefaultSlowLogSlots);
+
+  SlowQueryLog(const SlowQueryLog&) = delete;
+  SlowQueryLog& operator=(const SlowQueryLog&) = delete;
+
+  /// The process-wide ring the serving layer records into
+  /// (kDefaultSlowLogSlots slots, kDefaultSlowThresholdNs threshold).
+  [[nodiscard]] static SlowQueryLog& global();
+
+  /// Capture threshold in nanoseconds; records with wall_ns below it
+  /// are dropped. 0 captures every request.
+  void set_threshold_ns(std::uint64_t ns) noexcept;
+  [[nodiscard]] std::uint64_t threshold_ns() const noexcept;
+
+  [[nodiscard]] std::size_t capacity() const noexcept { return slots_n_; }
+
+  /// Offers a record to the ring (lock-free, best-effort; see the
+  /// writer protocol above).
+  void record(const SlowQueryRecord& rec) noexcept;
+
+  /// Consistent copies of every published slot, sorted by
+  /// slow_record_before. Never blocks writers.
+  [[nodiscard]] std::vector<SlowQueryRecord> snapshot() const;
+
+  /// Resets every slot to never-written (test hook; concurrent writers
+  /// may immediately repopulate).
+  void clear() noexcept;
+
+ private:
+  struct alignas(detail::kCacheLine) Slot {
+    std::atomic<std::uint64_t> seq{0};
+    std::array<std::atomic<std::uint64_t>, kSlowQueryFields> fields{};
+  };
+
+  std::size_t slots_n_;
+  std::unique_ptr<Slot[]> slots_;
+  std::atomic<std::uint64_t> threshold_ns_{kDefaultSlowThresholdNs};
+};
+
+}  // namespace obs_on
+
+#endif  // PANAGREE_OBS_OFF
+
+}  // namespace panagree::obs

@@ -21,6 +21,10 @@ struct Event {
   std::uint64_t start_ns;
   std::uint64_t duration_ns;
   std::uint32_t tid;
+  std::uint64_t id;        // span id; 0 = anonymous leaf
+  std::uint64_t parent;    // parent span id; 0 = root
+  std::uint64_t wire_id;
+  bool has_wire_id;
 };
 
 struct Recorder {
@@ -31,6 +35,7 @@ struct Recorder {
 };
 
 std::atomic<bool> g_enabled{false};
+std::atomic<std::uint64_t> g_next_span_id{1};
 
 // Leaked: spans may close during static destruction, after which the
 // atexit flush has already written the document.
@@ -72,6 +77,19 @@ void append_us(std::string& out, std::uint64_t ns) {
   out.push_back(static_cast<char>('0' + frac % 10));
 }
 
+void push_event(const char* name, std::uint64_t start_ns,
+                std::uint64_t end_ns, std::uint64_t id,
+                std::uint64_t parent, std::uint64_t wire_id,
+                bool has_wire_id) {
+  Recorder& rec = recorder();
+  const std::scoped_lock lock(rec.mutex);
+  const std::uint64_t rel_start =
+      start_ns > rec.epoch_ns ? start_ns - rec.epoch_ns : 0;
+  const std::uint64_t duration = end_ns > start_ns ? end_ns - start_ns : 0;
+  rec.events.push_back(Event{name, rel_start, duration, thread_ordinal(),
+                             id, parent, wire_id, has_wire_id});
+}
+
 }  // namespace
 
 bool trace_enabled() noexcept {
@@ -110,7 +128,7 @@ void trace_flush() {
     return;
   }
   std::string out;
-  out.reserve(64 + rec.events.size() * 96);
+  out.reserve(64 + rec.events.size() * 128);
   out += "{\"traceEvents\":[";
   bool first = true;
   for (const Event& event : rec.events) {
@@ -126,7 +144,15 @@ void trace_flush() {
     append_us(out, event.duration_ns);
     out += ",\"pid\":1,\"tid\":";
     append_uint(out, event.tid);
-    out.push_back('}');
+    out += ",\"args\":{\"id\":";
+    append_uint(out, event.id);
+    out += ",\"parent\":";
+    append_uint(out, event.parent);
+    if (event.has_wire_id) {
+      out += ",\"wire_id\":";
+      append_uint(out, event.wire_id);
+    }
+    out += "}}";
   }
   out += "]}\n";
   std::FILE* file = std::fopen(rec.path.c_str(), "w");
@@ -143,22 +169,39 @@ std::size_t trace_event_count() noexcept {
   return rec.events.size();
 }
 
+std::uint64_t trace_now_ns() noexcept { return now_ns(); }
+
+std::uint64_t trace_next_span_id() noexcept {
+  return g_next_span_id.fetch_add(1, std::memory_order_relaxed);
+}
+
+void trace_record_span(const char* name, std::uint64_t start_ns,
+                       std::uint64_t end_ns, const SpanArgs& args) {
+  if (!trace_enabled()) {
+    return;
+  }
+  push_event(name, start_ns, end_ns, args.id, args.parent, args.wire_id,
+             args.has_wire_id);
+}
+
 TraceSpan::TraceSpan(const char* name) noexcept
     : name_(trace_enabled() ? name : nullptr) {
   if (name_ != nullptr) {
     start_ns_ = now_ns();
+    id_ = trace_next_span_id();
   }
+}
+
+TraceSpan::TraceSpan(const char* name, const TraceSpan& parent) noexcept
+    : TraceSpan(name) {
+  parent_ = parent.id_;
 }
 
 TraceSpan::~TraceSpan() {
   if (name_ == nullptr) {
     return;
   }
-  const std::uint64_t end_ns = now_ns();
-  Recorder& rec = recorder();
-  const std::scoped_lock lock(rec.mutex);
-  rec.events.push_back(Event{name_, start_ns_ - rec.epoch_ns,
-                             end_ns - start_ns_, thread_ordinal()});
+  push_event(name_, start_ns_, now_ns(), id_, parent_, 0, false);
 }
 
 }  // namespace obs_on

@@ -8,6 +8,16 @@
 // buffer flushed to `path` as a single JSON document at trace_flush()
 // or process exit.
 //
+// Spans form a *tree*: every recorded span carries a process-unique id
+// and the id of its parent (0 = root). RAII spans parent explicitly via
+// the two-argument constructor; spans whose lifetime does not follow
+// scope nesting (a request's queue wait, the socket send after the
+// handler returned) are recorded retroactively with trace_record_span
+// and explicit [start, end) timestamps from trace_now_ns()'s clock.
+// The serving daemon uses exactly this to emit one root span per
+// request (name "serve.request", carrying the wire id) with one child
+// span per stage.
+//
 // Span names must be string literals (or otherwise outlive the
 // recorder): the recorder stores the pointer, not a copy, so that a
 // span's cost stays off the traced code's profile.
@@ -17,11 +27,12 @@
 //
 //   {"traceEvents":[
 //     {"name":"sweep.prime","ph":"X","ts":12.5,"dur":104.0,
-//      "pid":1,"tid":2}, ...]}
+//      "pid":1,"tid":2,"args":{"id":3,"parent":0}}, ...]}
 //
 // ts/dur are microseconds (doubles, Chrome's unit); tid is a small
 // per-process thread ordinal, stable per thread; pid is fixed at 1
-// (single-process traces diff cleanly).
+// (single-process traces diff cleanly). args.id / args.parent encode
+// the span tree; request root spans additionally carry args.wire_id.
 //
 // Under PANAGREE_OBS_OFF the span type is a header-only no-op in a
 // distinct inline namespace (same ODR story as metrics.hpp) and the
@@ -34,6 +45,20 @@
 
 namespace panagree::obs {
 
+/// Explicit identity of a retroactively recorded span (see
+/// trace_record_span). Plain data, macro-independent: instrumented code
+/// builds one unconditionally and the obs_off stub ignores it.
+struct SpanArgs {
+  /// This span's id (trace_next_span_id()), or 0 for an anonymous leaf.
+  std::uint64_t id = 0;
+  /// Parent span id; 0 marks a root.
+  std::uint64_t parent = 0;
+  /// Request wire id carried by serve request root spans; only emitted
+  /// when has_wire_id is set (wire ids are allowed to be 0).
+  std::uint64_t wire_id = 0;
+  bool has_wire_id = false;
+};
+
 #if defined(PANAGREE_OBS_OFF)
 
 inline namespace obs_off {
@@ -41,8 +66,11 @@ inline namespace obs_off {
 class TraceSpan {
  public:
   explicit TraceSpan(const char*) noexcept {}
+  TraceSpan(const char*, const TraceSpan&) noexcept {}
   TraceSpan(const TraceSpan&) = delete;
   TraceSpan& operator=(const TraceSpan&) = delete;
+
+  [[nodiscard]] std::uint64_t id() const noexcept { return 0; }
 };
 
 [[nodiscard]] constexpr bool trace_enabled() noexcept { return false; }
@@ -50,6 +78,12 @@ inline void trace_init(std::string_view) {}
 inline void trace_init_from_env() {}
 inline void trace_flush() {}
 [[nodiscard]] inline std::size_t trace_event_count() noexcept { return 0; }
+[[nodiscard]] inline std::uint64_t trace_now_ns() noexcept { return 0; }
+[[nodiscard]] inline std::uint64_t trace_next_span_id() noexcept {
+  return 0;
+}
+inline void trace_record_span(const char*, std::uint64_t, std::uint64_t,
+                              const SpanArgs& = {}) {}
 
 }  // namespace obs_off
 
@@ -78,18 +112,42 @@ void trace_flush();
 /// Number of spans currently buffered (test hook).
 [[nodiscard]] std::size_t trace_event_count() noexcept;
 
+/// The recorder's clock (steady, nanoseconds): timestamps for
+/// trace_record_span must come from here so retroactive spans line up
+/// with RAII ones.
+[[nodiscard]] std::uint64_t trace_now_ns() noexcept;
+
+/// Draws a fresh process-unique span id (never 0). Use for spans whose
+/// children are recorded before the span itself (a request root closes
+/// after its stages).
+[[nodiscard]] std::uint64_t trace_next_span_id() noexcept;
+
+/// Records an already-finished span with explicit [start_ns, end_ns)
+/// trace_now_ns() timestamps and an explicit tree position. No-op when
+/// tracing is disabled; end < start records a zero-duration span.
+void trace_record_span(const char* name, std::uint64_t start_ns,
+                       std::uint64_t end_ns, const SpanArgs& args = {});
+
 /// RAII complete-event span: records [construction, destruction) of the
-/// enclosing scope under `name`.
+/// enclosing scope under `name`. The one-argument form is a root; the
+/// two-argument form is a child of `parent` (which must still be alive,
+/// i.e. the usual nested-scope shape).
 class TraceSpan {
  public:
   explicit TraceSpan(const char* name) noexcept;
+  TraceSpan(const char* name, const TraceSpan& parent) noexcept;
   ~TraceSpan();
   TraceSpan(const TraceSpan&) = delete;
   TraceSpan& operator=(const TraceSpan&) = delete;
 
+  /// This span's id (0 when tracing is disabled).
+  [[nodiscard]] std::uint64_t id() const noexcept { return id_; }
+
  private:
   const char* name_;          // nullptr when tracing is disabled
   std::uint64_t start_ns_ = 0;
+  std::uint64_t id_ = 0;
+  std::uint64_t parent_ = 0;
 };
 
 }  // namespace obs_on

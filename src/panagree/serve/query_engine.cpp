@@ -51,13 +51,38 @@ struct RequestMetrics {
                                reg.histogram("serve.latency_ns.whatif")};
   static RequestMetrics stats{reg.counter("serve.requests.stats"),
                               reg.histogram("serve.latency_ns.stats")};
+  static RequestMetrics slowlog{reg.counter("serve.requests.slowlog"),
+                                reg.histogram("serve.latency_ns.slowlog")};
   switch (kind) {
     case RequestKind::kPaths: return paths;
     case RequestKind::kDiversity: return diversity;
     case RequestKind::kWhatIf: return whatif;
     case RequestKind::kStats: return stats;
+    case RequestKind::kSlowLog: return slowlog;
   }
   return paths;  // unreachable
+}
+
+// Per-stage latency histograms the stage clock folds every request into
+// (finish_request_observation). engine_cache/engine_sweep split the
+// engine stage by which machinery served it.
+struct StageMetrics {
+  obs::Registry& reg = obs::Registry::global();
+  obs::Histogram& queue = reg.histogram("serve.stage_ns.queue");
+  obs::Histogram& parse = reg.histogram("serve.stage_ns.parse");
+  obs::Histogram& engine = reg.histogram("serve.stage_ns.engine");
+  obs::Histogram& engine_cache =
+      reg.histogram("serve.stage_ns.engine_cache");
+  obs::Histogram& engine_sweep =
+      reg.histogram("serve.stage_ns.engine_sweep");
+  obs::Histogram& serialize = reg.histogram("serve.stage_ns.serialize");
+  obs::Histogram& send = reg.histogram("serve.stage_ns.send");
+  obs::Histogram& wall = reg.histogram("serve.stage_ns.wall");
+};
+
+[[nodiscard]] StageMetrics& stage_metrics() {
+  static StageMetrics metrics;
+  return metrics;
 }
 
 [[nodiscard]] RequestMetrics& error_metrics() {
@@ -65,14 +90,6 @@ struct RequestMetrics {
   static RequestMetrics errors{reg.counter("serve.requests.errors"),
                                reg.histogram("serve.latency_ns.errors")};
   return errors;
-}
-
-[[nodiscard]] std::uint64_t elapsed_ns(
-    std::chrono::steady_clock::time_point start) {
-  return static_cast<std::uint64_t>(
-      std::chrono::duration_cast<std::chrono::nanoseconds>(
-          std::chrono::steady_clock::now() - start)
-          .count());
 }
 
 scenario::SourcePathSet enumerate(const scenario::Overlay& overlay,
@@ -362,11 +379,20 @@ void QueryEngine::flush_whatif_memo() const {
   memo_.clear();
 }
 
-void QueryEngine::handle_line(std::string_view line, std::string& out) const {
-  const auto start = std::chrono::steady_clock::now();
+void QueryEngine::handle_line(std::string_view line, std::string& out,
+                              RequestStages* stages) const {
+  RequestStages local;
+  RequestStages& st = stages != nullptr ? *stages : local;
+  st.start_ns = stage_now_ns();
   std::uint64_t id = 0;
+  bool parsed = false;
   try {
     const Request request = parse_request(line, &id);
+    const std::uint64_t parsed_ns = stage_now_ns();
+    st.parse_ns = parsed_ns - st.start_ns;
+    st.wire_id = request.id;
+    st.slow_kind = static_cast<std::uint64_t>(request.kind);
+    parsed = true;
     // Count the request before handling it, so a stats response
     // deterministically includes itself (the CI smoke asserts exact
     // counts for a scripted session).
@@ -374,46 +400,169 @@ void QueryEngine::handle_line(std::string_view line, std::string& out) const {
     metrics.count.increment();
     switch (request.kind) {
       case RequestKind::kPaths: {
-        const obs::TraceSpan span("serve.paths");
+        st.source = request.source;
+        st.work = source_index_.contains(request.source)
+                      ? EngineWork::kCache
+                      : EngineWork::kSweep;
+        // Serialization happens inside the engine sink (the spans are
+        // only valid during the call), so it is measured directly and
+        // subtracted from the surrounding interval: engine + serialize
+        // covers [parse end, response done) exactly.
+        std::uint64_t serialize_ns = 0;
         paths(request.source,
               [&](std::span<const diversity::Length3Path> grc,
                   std::span<const diversity::Length3Path> ma) {
+                const std::uint64_t serialize_start = stage_now_ns();
                 append_paths_response(out, request.id, request.source, grc,
                                       ma);
+                serialize_ns = stage_now_ns() - serialize_start;
               });
-        metrics.latency_ns.record(elapsed_ns(start));
-        return;
+        const std::uint64_t done_ns = stage_now_ns();
+        st.serialize_ns = serialize_ns;
+        st.engine_ns = done_ns - parsed_ns - serialize_ns;
+        metrics.latency_ns.record(done_ns - st.start_ns);
+        break;
       }
       case RequestKind::kDiversity: {
-        const obs::TraceSpan span("serve.diversity");
-        append_diversity_response(out, request.id, request.source,
-                                  diversity(request.source));
-        metrics.latency_ns.record(elapsed_ns(start));
-        return;
+        st.source = request.source;
+        st.work = source_index_.contains(request.source)
+                      ? EngineWork::kCache
+                      : EngineWork::kSweep;
+        const DiversityResult result = diversity(request.source);
+        const std::uint64_t engine_done_ns = stage_now_ns();
+        st.engine_ns = engine_done_ns - parsed_ns;
+        append_diversity_response(out, request.id, request.source, result);
+        const std::uint64_t done_ns = stage_now_ns();
+        st.serialize_ns = done_ns - engine_done_ns;
+        metrics.latency_ns.record(done_ns - st.start_ns);
+        break;
       }
       case RequestKind::kWhatIf: {
-        const obs::TraceSpan span("serve.whatif");
-        append_whatif_response(out, request.id, whatif(request.delta));
-        metrics.latency_ns.record(elapsed_ns(start));
-        return;
+        st.delta_links =
+            request.delta.add.size() + request.delta.remove.size();
+        st.work = EngineWork::kSweep;
+        const WhatIfResult result = whatif(request.delta);
+        const std::uint64_t engine_done_ns = stage_now_ns();
+        st.engine_ns = engine_done_ns - parsed_ns;
+        append_whatif_response(out, request.id, result);
+        const std::uint64_t done_ns = stage_now_ns();
+        st.serialize_ns = done_ns - engine_done_ns;
+        metrics.latency_ns.record(done_ns - st.start_ns);
+        break;
       }
       case RequestKind::kStats: {
-        const obs::TraceSpan span("serve.stats");
         // Latency recorded before the snapshot, so the histogram's count
         // matches the counter in the response it ships.
-        metrics.latency_ns.record(elapsed_ns(start));
+        metrics.latency_ns.record(stage_now_ns() - st.start_ns);
+        obs::refresh_process_gauges();
+        const std::uint64_t current_epoch = epoch();
+        const obs::MetricsSnapshot snap = obs::snapshot_metrics();
+        const std::uint64_t engine_done_ns = stage_now_ns();
+        st.engine_ns = engine_done_ns - parsed_ns;
         append_stats_response(out, request.id,
-                              obs::build_info().git_describe, epoch(),
-                              obs::snapshot_metrics());
-        return;
+                              obs::build_info().git_describe,
+                              current_epoch, snap);
+        st.serialize_ns = stage_now_ns() - engine_done_ns;
+        break;
+      }
+      case RequestKind::kSlowLog: {
+        metrics.latency_ns.record(stage_now_ns() - st.start_ns);
+        obs::SlowQueryLog& log = obs::SlowQueryLog::global();
+        const std::vector<obs::SlowQueryRecord> entries = log.snapshot();
+        const std::uint64_t engine_done_ns = stage_now_ns();
+        st.engine_ns = engine_done_ns - parsed_ns;
+        append_slowlog_response(out, request.id, log.threshold_ns(),
+                                entries);
+        st.serialize_ns = stage_now_ns() - engine_done_ns;
+        break;
       }
     }
-    append_error_response(out, id, "unhandled request kind");
   } catch (const std::exception& e) {
+    const std::uint64_t caught_ns = stage_now_ns();
+    // Attribute the time up to the failure to the stage it died in:
+    // parse failures to parse, everything later to engine.
+    if (!parsed) {
+      st.parse_ns = caught_ns - st.start_ns;
+    } else {
+      st.engine_ns = caught_ns - st.start_ns - st.parse_ns;
+      st.serialize_ns = 0;
+    }
+    st.wire_id = id;
+    st.slow_kind = kSlowKindError;
+    st.work = EngineWork::kNone;
     RequestMetrics& errors = error_metrics();
     errors.count.increment();
-    errors.latency_ns.record(elapsed_ns(start));
+    errors.latency_ns.record(caught_ns - st.start_ns);
     append_error_response(out, id, e.what());
+    st.serialize_ns += stage_now_ns() - caught_ns;
+  }
+  if (stages == nullptr) {
+    // --direct / in-process callers: no queue or send stages, finish
+    // the observation here.
+    finish_request_observation(st);
+  }
+}
+
+void finish_request_observation(const RequestStages& st) {
+  if constexpr (!obs::enabled()) {
+    return;
+  }
+  StageMetrics& metrics = stage_metrics();
+  metrics.queue.record(st.queue_ns());
+  metrics.parse.record(st.parse_ns);
+  metrics.engine.record(st.engine_ns);
+  switch (st.work) {
+    case EngineWork::kCache:
+      metrics.engine_cache.record(st.engine_ns);
+      break;
+    case EngineWork::kSweep:
+      metrics.engine_sweep.record(st.engine_ns);
+      break;
+    case EngineWork::kNone:
+      break;
+  }
+  metrics.serialize.record(st.serialize_ns);
+  metrics.send.record(st.send_ns);
+  metrics.wall.record(st.wall_ns());
+
+  obs::SlowQueryRecord record;
+  record.wire_id = st.wire_id;
+  record.kind = st.slow_kind;
+  record.source = st.source;
+  record.delta_links = st.delta_links;
+  record.wall_ns = st.wall_ns();
+  record.queue_ns = st.queue_ns();
+  record.parse_ns = st.parse_ns;
+  record.engine_ns = st.engine_ns;
+  record.serialize_ns = st.serialize_ns;
+  record.send_ns = st.send_ns;
+  obs::SlowQueryLog::global().record(record);
+
+  if (obs::trace_enabled()) {
+    // The span tree: one root per request carrying the wire id, one
+    // child per nonzero stage. Stage start offsets are the cumulative
+    // sums of the stage durations (serialize interleaves with engine
+    // inside the paths sink, so its own interval is approximated as
+    // following the engine stage; durations stay exact).
+    const std::uint64_t root_id = obs::trace_next_span_id();
+    const std::uint64_t root_start =
+        st.enqueue_ns != 0 ? st.enqueue_ns : st.start_ns;
+    std::uint64_t cursor = root_start;
+    const auto stage = [&](const char* name, std::uint64_t duration_ns) {
+      if (duration_ns != 0) {
+        obs::trace_record_span(
+            name, cursor, cursor + duration_ns,
+            obs::SpanArgs{obs::trace_next_span_id(), root_id, 0, false});
+      }
+      cursor += duration_ns;
+    };
+    stage("serve.stage.queue", st.queue_ns());
+    stage("serve.stage.parse", st.parse_ns);
+    stage("serve.stage.engine", st.engine_ns);
+    stage("serve.stage.serialize", st.serialize_ns);
+    stage("serve.stage.send", st.send_ns);
+    obs::trace_record_span("serve.request", root_start, cursor,
+                           obs::SpanArgs{root_id, 0, st.wire_id, true});
   }
 }
 

@@ -36,6 +36,7 @@
 // compute unshared rather than grow memory.
 #pragma once
 
+#include <chrono>
 #include <cstdint>
 #include <functional>
 #include <future>
@@ -49,11 +50,87 @@
 #include <vector>
 
 #include "panagree/econ/business.hpp"
+#include "panagree/obs/metrics.hpp"
 #include "panagree/scenario/metrics.hpp"
 #include "panagree/scenario/sweep.hpp"
 #include "panagree/serve/wire.hpp"
 
 namespace panagree::serve {
+
+/// The stage clock's time source: steady-clock nanoseconds when the obs
+/// layer is live, constant 0 under PANAGREE_OBS_OFF - which collapses
+/// every stage duration to zero and makes the whole per-request clock a
+/// no-op without a single branch in the instrumented code.
+[[nodiscard]] inline std::uint64_t stage_now_ns() noexcept {
+  if constexpr (obs::enabled()) {
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count());
+  } else {
+    return 0;
+  }
+}
+
+/// Which engine machinery served a request's engine stage - the
+/// sweep/cache sub-attribution folded into the per-stage histograms
+/// (serve.stage_ns.engine_cache vs serve.stage_ns.engine_sweep).
+enum class EngineWork : std::uint8_t {
+  kNone,   // introspection kinds (stats, slowlog) and failed requests
+  kCache,  // served out of the primed per-source cache
+  kSweep,  // went through enumeration / the incremental sweep
+};
+
+/// Per-request stage clock, threaded from accept to send. handle_line
+/// fills parse/engine/serialize and the request identity; the server
+/// supplies enqueue_ns before the call and send_ns after, then hands the
+/// record to finish_request_observation. The five stage durations sum to
+/// wall_ns() by construction: serialization that happens inside an
+/// engine sink (the paths response) is measured directly and subtracted
+/// from the surrounding engine interval, so no nanosecond is counted
+/// twice or dropped.
+struct RequestStages {
+  /// Server reader's enqueue timestamp (stage_now_ns clock); 0 means no
+  /// queue stage (--direct calls).
+  std::uint64_t enqueue_ns = 0;
+  /// handle_line entry timestamp (set by handle_line).
+  std::uint64_t start_ns = 0;
+  std::uint64_t parse_ns = 0;
+  std::uint64_t engine_ns = 0;
+  std::uint64_t serialize_ns = 0;
+  /// Socket write duration (set by the server after send_all; 0 for
+  /// --direct).
+  std::uint64_t send_ns = 0;
+
+  std::uint64_t wire_id = 0;
+  /// Wire slow-kind code (RequestKind value, or kSlowKindError).
+  std::uint64_t slow_kind = 0;
+  std::uint64_t source = 0;
+  std::uint64_t delta_links = 0;
+  EngineWork work = EngineWork::kNone;
+
+  /// Queue wait: handle start minus enqueue (0 without a queue stage).
+  [[nodiscard]] std::uint64_t queue_ns() const noexcept {
+    return enqueue_ns != 0 && start_ns > enqueue_ns
+               ? start_ns - enqueue_ns
+               : 0;
+  }
+
+  /// Total attributed wall time: the exact sum of the five stages.
+  [[nodiscard]] std::uint64_t wall_ns() const noexcept {
+    return queue_ns() + parse_ns + engine_ns + serialize_ns + send_ns;
+  }
+};
+
+/// Folds a completed request's stage clock into the per-stage
+/// histograms (serve.stage_ns.*), offers it to the slow-query ring
+/// (obs::SlowQueryLog::global()), and - when PANAGREE_TRACE is live -
+/// records its span tree: one "serve.request" root span carrying the
+/// wire id, one "serve.stage.*" child span per nonzero stage. Called by
+/// the server worker after the response bytes are on the socket (so a
+/// slowlog response never contains its own request) and by handle_line
+/// itself for --direct calls.
+void finish_request_observation(const RequestStages& stages);
 
 struct EngineConfig {
   /// Worker threads of prime()/rebase() per-source fan-outs
@@ -128,7 +205,13 @@ class QueryEngine {
   /// makes their bytes identical. Never throws: malformed requests and
   /// engine rejections become error responses (id 0 when the line was too
   /// broken to carry one).
-  void handle_line(std::string_view line, std::string& out) const;
+  ///
+  /// Stage clock: when `stages` is non-null the parse/engine/serialize
+  /// durations and request identity are written into it and observation
+  /// is left to the caller (the server finishes after send); when null,
+  /// the request is finished here with no queue/send stages (--direct).
+  void handle_line(std::string_view line, std::string& out,
+                   RequestStages* stages = nullptr) const;
 
  private:
   struct State;

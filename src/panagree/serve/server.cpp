@@ -301,7 +301,7 @@ void Server::reader_loop(ReaderSlot* slot) {
       std::string line = buffer.substr(begin, newline - begin);
       begin = newline + 1;
       if (!line.empty() && line != "\r") {
-        enqueue(WorkItem{conn, std::move(line)});
+        enqueue(WorkItem{conn, std::move(line), stage_now_ns()});
       }
     }
     buffer.erase(0, begin);
@@ -319,7 +319,7 @@ void Server::reader_loop(ReaderSlot* slot) {
   // NDJSON convenience: serve a trailing request the client forgot to
   // newline-terminate before closing its write half.
   if (!dropped && !buffer.empty() && buffer != "\r") {
-    enqueue(WorkItem{std::move(conn), std::move(buffer)});
+    enqueue(WorkItem{std::move(conn), std::move(buffer), stage_now_ns()});
   }
   // Last store: the accept loop joins and frees done slots.
   slot->done.store(true, std::memory_order_release);
@@ -361,9 +361,12 @@ void Server::worker_loop() {
     space_cv_.notify_one();
 
     std::string out;
-    engine_->handle_line(item.line, out);
+    RequestStages stages;
+    stages.enqueue_ns = item.enqueue_ns;
+    engine_->handle_line(item.line, out, &stages);
     {
       const std::lock_guard<std::mutex> write(item.conn->write_mutex);
+      const std::uint64_t send_start_ns = stage_now_ns();
       if (!send_all(item.conn->fd, out)) {
         // Peer gone or not reading (send timeout): drop the connection
         // so its reader exits and later responses fail fast instead of
@@ -371,8 +374,13 @@ void Server::worker_loop() {
         server_metrics().send_drops.increment();
         ::shutdown(item.conn->fd, SHUT_RDWR);
       }
+      stages.send_ns = stage_now_ns() - send_start_ns;
     }
     handled_.fetch_add(1, std::memory_order_relaxed);
+    // Observation completes only after the response bytes are on the
+    // socket: the send stage is real, and a slowlog request can never
+    // observe itself.
+    finish_request_observation(stages);
   }
 }
 

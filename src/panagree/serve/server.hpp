@@ -79,6 +79,10 @@ class Server {
   struct WorkItem {
     std::shared_ptr<Connection> conn;
     std::string line;
+    /// Reader-side enqueue timestamp (stage_now_ns clock): the queue
+    /// stage of the request's stage clock starts here. 0 under
+    /// PANAGREE_OBS_OFF.
+    std::uint64_t enqueue_ns = 0;
   };
 
   void accept_loop();

@@ -199,7 +199,25 @@ void append_response_head(std::string& out, std::uint64_t id, bool ok) {
   out += ok ? ",\"ok\":true" : ",\"ok\":false";
 }
 
+/// Slow-query kind names, indexed by code (0-4 mirror RequestKind).
+constexpr std::string_view kSlowKindNames[] = {
+    "paths", "diversity", "whatif", "stats", "slowlog", "error", "unknown"};
+
 }  // namespace
+
+std::string_view slow_kind_name(std::uint64_t code) noexcept {
+  return code <= kSlowKindUnknown ? kSlowKindNames[code]
+                                  : kSlowKindNames[kSlowKindUnknown];
+}
+
+std::uint64_t slow_kind_code(std::string_view name) {
+  for (std::uint64_t code = 0; code <= kSlowKindUnknown; ++code) {
+    if (kSlowKindNames[code] == name) {
+      return code;
+    }
+  }
+  reject("unknown slow-query kind \"" + std::string(name) + "\"");
+}
 
 Request parse_request(std::string_view line, std::uint64_t* id_out) {
   while (!line.empty() && (line.back() == '\n' || line.back() == '\r')) {
@@ -233,6 +251,8 @@ Request parse_request(std::string_view line, std::uint64_t* id_out) {
     }
   } else if (kind == "stats") {
     request.kind = RequestKind::kStats;
+  } else if (kind == "slowlog") {
+    request.kind = RequestKind::kSlowLog;
   } else {
     reject("unknown kind \"" + kind + "\"");
   }
@@ -397,6 +417,91 @@ void append_stats_response(std::string& out, std::uint64_t id,
     out += "]}";
   }
   out += "}}\n";
+}
+
+void append_slowlog_response(std::string& out, std::uint64_t id,
+                             std::uint64_t threshold_ns,
+                             std::span<const obs::SlowQueryRecord> entries) {
+  append_response_head(out, id, true);
+  out += ",\"kind\":\"slowlog\",\"threshold_ns\":";
+  append_uint(out, threshold_ns);
+  out += ",\"entries\":[";
+  bool first = true;
+  for (const obs::SlowQueryRecord& entry : entries) {
+    if (!first) {
+      out.push_back(',');
+    }
+    first = false;
+    out += "{\"wire_id\":";
+    append_uint(out, entry.wire_id);
+    out += ",\"kind\":\"";
+    out += slow_kind_name(entry.kind);
+    out += "\",\"source\":";
+    append_uint(out, entry.source);
+    out += ",\"delta_links\":";
+    append_uint(out, entry.delta_links);
+    out += ",\"wall_ns\":";
+    append_uint(out, entry.wall_ns);
+    out += ",\"queue_ns\":";
+    append_uint(out, entry.queue_ns);
+    out += ",\"parse_ns\":";
+    append_uint(out, entry.parse_ns);
+    out += ",\"engine_ns\":";
+    append_uint(out, entry.engine_ns);
+    out += ",\"serialize_ns\":";
+    append_uint(out, entry.serialize_ns);
+    out += ",\"send_ns\":";
+    append_uint(out, entry.send_ns);
+    out.push_back('}');
+  }
+  out += "]}\n";
+}
+
+SlowLogResult parse_slowlog_response(std::string_view line) {
+  while (!line.empty() && (line.back() == '\n' || line.back() == '\r')) {
+    line.remove_suffix(1);
+  }
+  const Value root = parse_json_line(line);
+  const Object& object = as_object(root, "slowlog response");
+  if (!as_bool(require_field(object, "ok"), "\"ok\"")) {
+    const Value* error = find(object, "error");
+    reject("slowlog request failed: " +
+           (error != nullptr ? as_string(*error, "\"error\"")
+                             : std::string("unknown error")));
+  }
+  const std::string& kind =
+      as_string(require_field(object, "kind"), "\"kind\"");
+  if (kind != "slowlog") {
+    reject("expected a slowlog response, got kind \"" + kind + "\"");
+  }
+  SlowLogResult result;
+  result.id = as_uint(require_field(object, "id"), "\"id\"");
+  result.threshold_ns =
+      as_uint(require_field(object, "threshold_ns"), "\"threshold_ns\"");
+  for (const Value& value :
+       as_array(require_field(object, "entries"), "\"entries\"")) {
+    const Object& body = as_object(value, "slowlog entry");
+    obs::SlowQueryRecord entry;
+    entry.wire_id =
+        as_uint(require_field(body, "wire_id"), "\"wire_id\"");
+    entry.kind =
+        slow_kind_code(as_string(require_field(body, "kind"), "\"kind\""));
+    entry.source = as_uint(require_field(body, "source"), "\"source\"");
+    entry.delta_links =
+        as_uint(require_field(body, "delta_links"), "\"delta_links\"");
+    entry.wall_ns = as_uint(require_field(body, "wall_ns"), "\"wall_ns\"");
+    entry.queue_ns =
+        as_uint(require_field(body, "queue_ns"), "\"queue_ns\"");
+    entry.parse_ns =
+        as_uint(require_field(body, "parse_ns"), "\"parse_ns\"");
+    entry.engine_ns =
+        as_uint(require_field(body, "engine_ns"), "\"engine_ns\"");
+    entry.serialize_ns =
+        as_uint(require_field(body, "serialize_ns"), "\"serialize_ns\"");
+    entry.send_ns = as_uint(require_field(body, "send_ns"), "\"send_ns\"");
+    result.entries.push_back(entry);
+  }
+  return result;
 }
 
 StatsResult parse_stats_response(std::string_view line) {

@@ -4,14 +4,15 @@
 // Every request and every response is one JSON object on one line. The
 // protocol is versioned by the "v" field; a server rejects versions other
 // than kProtocolVersion with an error response instead of guessing. Three
-// request kinds mirror the query engine's operations, plus an
-// introspection kind:
+// request kinds mirror the query engine's operations, plus two
+// introspection kinds:
 //
 //   {"v":1,"id":7,"kind":"paths","source":42}
 //   {"v":1,"id":8,"kind":"diversity","source":42}
 //   {"v":1,"id":9,"kind":"whatif","add":[{"a":1,"b":2,"type":"peering"}],
 //    "remove":[[3,4]]}
 //   {"v":1,"id":10,"kind":"stats"}
+//   {"v":1,"id":11,"kind":"slowlog"}
 //
 // ("transit" links follow Graph's convention: "a" is the provider, "b"
 // the customer. "add"/"remove" both default to empty.)
@@ -22,6 +23,18 @@
 // function of the snapshot contents - same fixed-field-order rule as
 // every other response - but NOT of the session alone (counters are
 // process-wide), so stats stays out of byte-identity diffs.
+//
+// A slowlog response carries the server's slow-query ring (obs::
+// SlowQueryLog): the capture threshold plus one entry per captured
+// request - wire id, kind, source, delta link count, and the per-stage
+// nanosecond breakdown (queue/parse/engine/serialize/send, which sum to
+// wall_ns by construction), entries sorted slowest-first. Same
+// byte-stability rule as stats: the bytes are a pure function of
+// (id, threshold, entries) and the parse/serialize round trip is
+// byte-identical, but the *contents* are process-wide runtime state, so
+// slowlog is excluded from byte-identity diffs against --direct exactly
+// like stats. A request's own slowlog entry is recorded after its
+// response is sent, so a slowlog response never contains itself.
 //
 // Responses echo the request id, carry "ok", and serialize with a *fixed
 // field order and number format* (std::to_chars, shortest round-trip for
@@ -39,8 +52,11 @@
 #include <string>
 #include <string_view>
 
+#include <vector>
+
 #include "panagree/diversity/length3.hpp"
 #include "panagree/obs/export.hpp"
+#include "panagree/obs/slowlog.hpp"
 #include "panagree/scenario/overlay.hpp"
 #include "panagree/util/error.hpp"
 
@@ -58,7 +74,28 @@ class ProtocolError : public util::ParseError {
 
 inline constexpr std::uint32_t kProtocolVersion = 1;
 
-enum class RequestKind : std::uint8_t { kPaths, kDiversity, kWhatIf, kStats };
+enum class RequestKind : std::uint8_t {
+  kPaths,
+  kDiversity,
+  kWhatIf,
+  kStats,
+  kSlowLog,
+};
+
+/// SlowQueryRecord.kind codes as they appear on the wire. Codes 0-4 are
+/// the RequestKind values; kSlowKindError marks requests that failed
+/// (their kind may be unknown) and kSlowKindUnknown absorbs any
+/// out-of-range code a future server might emit.
+inline constexpr std::uint64_t kSlowKindError = 5;
+inline constexpr std::uint64_t kSlowKindUnknown = 6;
+
+/// Wire name of a slow-query kind code ("paths", ..., "error",
+/// "unknown"); out-of-range codes map to "unknown".
+[[nodiscard]] std::string_view slow_kind_name(std::uint64_t code) noexcept;
+
+/// Inverse of slow_kind_name; throws ProtocolError for names that are
+/// not one of the seven.
+[[nodiscard]] std::uint64_t slow_kind_code(std::string_view name);
 
 /// One parsed request line.
 struct Request {
@@ -144,6 +181,31 @@ struct StatsResult {
 /// input or an error response. append_stats_response(parse(x)) == x:
 /// the round trip is byte-stable (tested).
 [[nodiscard]] StatsResult parse_stats_response(std::string_view line);
+
+/// Serializes a slowlog response. Field order: v, id, ok, kind,
+/// threshold_ns, entries; each entry: wire_id, kind (name string),
+/// source, delta_links, wall_ns, queue_ns, parse_ns, engine_ns,
+/// serialize_ns, send_ns. `entries` must already be in snapshot order
+/// (obs::slow_record_before); bytes are a pure function of
+/// (id, threshold_ns, entries).
+void append_slowlog_response(std::string& out, std::uint64_t id,
+                             std::uint64_t threshold_ns,
+                             std::span<const obs::SlowQueryRecord> entries);
+
+/// Parsed slowlog response (client side of `slowlog`).
+struct SlowLogResult {
+  std::uint64_t id = 0;
+  std::uint64_t threshold_ns = 0;
+  std::vector<obs::SlowQueryRecord> entries;
+
+  friend bool operator==(const SlowLogResult&,
+                         const SlowLogResult&) = default;
+};
+
+/// Parses one slowlog response line. Throws ProtocolError on malformed
+/// input or an error response. append_slowlog_response(parse(x)) == x:
+/// the round trip is byte-stable (tested).
+[[nodiscard]] SlowLogResult parse_slowlog_response(std::string_view line);
 
 /// Shortest-round-trip double formatting (std::to_chars) - the single
 /// number format of the protocol, exposed for tests and clients.

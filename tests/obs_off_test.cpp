@@ -13,6 +13,7 @@
 #include <gtest/gtest.h>
 
 #include "panagree/obs/metrics.hpp"
+#include "panagree/obs/slowlog.hpp"
 #include "panagree/obs/trace.hpp"
 
 namespace panagree::obs {
@@ -53,15 +54,40 @@ TEST(ObsOff, RegistryHandsOutDummies) {
 }
 
 TEST(ObsOff, SpansAndInitAreInert) {
-  // The stub span compiles with the same shape instrumented code uses.
+  // The stub span compiles with the same shape instrumented code uses -
+  // including the parented form and retroactive recording.
   {
     const TraceSpan span("obs_off_test.span");
+    EXPECT_EQ(span.id(), 0U);
+    const TraceSpan child("obs_off_test.child", span);
+    EXPECT_EQ(child.id(), 0U);
   }
+  trace_record_span("obs_off_test.recorded", 0, 0, SpanArgs{});
+  EXPECT_EQ(trace_next_span_id(), 0U);
   trace_init("/nonexistent/never-written.json");
   trace_init_from_env();
   EXPECT_FALSE(trace_enabled());
   EXPECT_EQ(trace_event_count(), 0U);
   trace_flush();
+}
+
+TEST(ObsOff, SlowQueryLogIsInert) {
+  SlowQueryLog log(8);
+  log.set_threshold_ns(0);
+  EXPECT_EQ(log.threshold_ns(), 0U);
+  EXPECT_EQ(log.capacity(), 0U);
+  SlowQueryRecord rec;
+  rec.wall_ns = 1;
+  log.record(rec);
+  EXPECT_TRUE(log.snapshot().empty());
+  log.clear();
+  SlowQueryLog::global().record(rec);
+  EXPECT_TRUE(SlowQueryLog::global().snapshot().empty());
+  // The record struct and its sort order stay available (the wire layer
+  // uses them regardless of the macro).
+  SlowQueryRecord slower;
+  slower.wall_ns = 2;
+  EXPECT_TRUE(slow_record_before(slower, rec));
 }
 
 // The bucket helpers are macro-independent and must agree with the

@@ -11,6 +11,7 @@
 //
 // Both are exercised at 1, 2, and 8 threads (8 exceeds the histogram's
 // shard fan-out on purpose: slot collisions must not lose updates).
+#include <atomic>
 #include <cstdint>
 #include <filesystem>
 #include <fstream>
@@ -24,6 +25,7 @@
 #include "panagree/obs/build_info.hpp"
 #include "panagree/obs/export.hpp"
 #include "panagree/obs/metrics.hpp"
+#include "panagree/obs/slowlog.hpp"
 #include "panagree/obs/trace.hpp"
 #include "panagree/util/error.hpp"
 #include "panagree/util/json.hpp"
@@ -275,13 +277,27 @@ TEST(ObsTrace, RecorderEmitsValidNestedJson) {
   ASSERT_TRUE(trace_enabled());
 
   const std::size_t before = trace_event_count();
+  std::uint64_t outer_id = 0;
   {
     const TraceSpan outer("obs_test.outer");
+    outer_id = outer.id();
+    EXPECT_NE(outer_id, 0U);
     {
-      const TraceSpan inner("obs_test.inner");
+      const TraceSpan inner("obs_test.inner", outer);
+      EXPECT_NE(inner.id(), 0U);
+      EXPECT_NE(inner.id(), outer_id);
     }
   }
-  EXPECT_EQ(trace_event_count(), before + 2);
+  // Retroactive recording: a span named after the fact, tied to a wire
+  // request id - the shape finish_request_observation emits.
+  SpanArgs recorded_args;
+  recorded_args.id = trace_next_span_id();
+  recorded_args.parent = outer_id;
+  recorded_args.wire_id = 7;
+  recorded_args.has_wire_id = true;
+  trace_record_span("obs_test.recorded", trace_now_ns(), trace_now_ns(),
+                    recorded_args);
+  EXPECT_EQ(trace_event_count(), before + 3);
   trace_flush();
 
   std::ifstream in(path);
@@ -304,6 +320,9 @@ TEST(ObsTrace, RecorderEmitsValidNestedJson) {
   double inner_dur = -1;
   double outer_ts = -1;
   double outer_dur = -1;
+  std::uint64_t inner_parent = 0;
+  std::uint64_t outer_json_id = 0;
+  bool saw_recorded = false;
   const auto num = [](const util::json::Value& v) {
     if (const auto* u = std::get_if<std::uint64_t>(&v.data)) {
       return static_cast<double>(*u);
@@ -316,19 +335,191 @@ TEST(ObsTrace, RecorderEmitsValidNestedJson) {
     const std::string& name =
         std::get<std::string>(fields.at("name").data);
     EXPECT_EQ(std::get<std::string>(fields.at("ph").data), "X");
+    // Every event carries the span-tree args: its own id and the parent
+    // (0 for roots).
+    const auto args_it = fields.find("args");
+    ASSERT_NE(args_it, fields.end()) << name;
+    const util::json::Object& args =
+        *std::get<std::unique_ptr<util::json::Object>>(args_it->second.data);
+    ASSERT_NE(args.find("id"), args.end()) << name;
+    ASSERT_NE(args.find("parent"), args.end()) << name;
     if (name == "obs_test.inner") {
       inner_ts = num(fields.at("ts"));
       inner_dur = num(fields.at("dur"));
+      inner_parent =
+          static_cast<std::uint64_t>(num(args.at("parent")));
     } else if (name == "obs_test.outer") {
       outer_ts = num(fields.at("ts"));
       outer_dur = num(fields.at("dur"));
+      outer_json_id = static_cast<std::uint64_t>(num(args.at("id")));
+      EXPECT_EQ(num(args.at("parent")), 0.0);
+      EXPECT_EQ(args.find("wire_id"), args.end());
+    } else if (name == "obs_test.recorded") {
+      saw_recorded = true;
+      EXPECT_EQ(num(args.at("parent")), static_cast<double>(outer_id));
+      ASSERT_NE(args.find("wire_id"), args.end());
+      EXPECT_EQ(num(args.at("wire_id")), 7.0);
     }
   }
   ASSERT_GE(inner_ts, 0.0);
   ASSERT_GE(outer_ts, 0.0);
   EXPECT_LE(outer_ts, inner_ts);
   EXPECT_GE(outer_ts + outer_dur, inner_ts + inner_dur);
+  EXPECT_EQ(outer_json_id, outer_id);
+  EXPECT_EQ(inner_parent, outer_id);
+  EXPECT_TRUE(saw_recorded);
   std::filesystem::remove(path);
+}
+
+// ---- SlowQueryLog: the lock-free slow-query ring ---------------------
+
+/// A record whose nine non-wall fields are all derived from `wall` by
+/// fixed offsets - any torn slot (fields from two different writes)
+/// breaks at least one of the equalities checked by `is_consistent`.
+[[nodiscard]] SlowQueryRecord patterned_record(std::uint64_t wall) {
+  SlowQueryRecord rec;
+  rec.wall_ns = wall;
+  rec.wire_id = wall + 1;
+  rec.kind = wall % 5;
+  rec.source = wall + 2;
+  rec.delta_links = wall + 3;
+  rec.queue_ns = wall + 4;
+  rec.parse_ns = wall + 5;
+  rec.engine_ns = wall + 6;
+  rec.serialize_ns = wall + 7;
+  rec.send_ns = wall + 8;
+  return rec;
+}
+
+[[nodiscard]] bool is_consistent(const SlowQueryRecord& rec) {
+  return rec == patterned_record(rec.wall_ns);
+}
+
+TEST(ObsSlowLog, CapacityRoundsToPowerOfTwo) {
+  EXPECT_EQ(SlowQueryLog(5).capacity(), 8U);
+  EXPECT_EQ(SlowQueryLog(8).capacity(), 8U);
+  EXPECT_EQ(SlowQueryLog(1).capacity(), 1U);
+  EXPECT_EQ(SlowQueryLog(0).capacity(), 1U);
+  EXPECT_EQ(SlowQueryLog().capacity(), kDefaultSlowLogSlots);
+}
+
+TEST(ObsSlowLog, ThresholdGatesCapture) {
+  SlowQueryLog log(8);
+  log.set_threshold_ns(1000);
+  EXPECT_EQ(log.threshold_ns(), 1000U);
+  log.record(patterned_record(999));
+  EXPECT_TRUE(log.snapshot().empty());
+  log.record(patterned_record(1000));
+  ASSERT_EQ(log.snapshot().size(), 1U);
+  EXPECT_EQ(log.snapshot()[0].wall_ns, 1000U);
+  log.clear();
+  EXPECT_TRUE(log.snapshot().empty());
+  // Threshold survives clear().
+  log.record(patterned_record(500));
+  EXPECT_TRUE(log.snapshot().empty());
+}
+
+TEST(ObsSlowLog, EvictionKeepsSlowestN) {
+  SlowQueryLog log(8);
+  log.set_threshold_ns(0);
+  // 100 distinct wall times in an adversarial order (ascending, so every
+  // later record must evict the current minimum).
+  for (std::uint64_t wall = 1; wall <= 100; ++wall) {
+    log.record(patterned_record(wall));
+  }
+  const std::vector<SlowQueryRecord> snap = log.snapshot();
+  ASSERT_EQ(snap.size(), 8U);
+  for (std::size_t i = 0; i < snap.size(); ++i) {
+    EXPECT_EQ(snap[i].wall_ns, 100U - i) << i;  // slowest first
+    EXPECT_TRUE(is_consistent(snap[i])) << i;
+  }
+}
+
+TEST(ObsSlowLog, SnapshotSortsSlowestFirstWithStableTies) {
+  SlowQueryRecord a = patterned_record(10);
+  SlowQueryRecord b = patterned_record(10);
+  b.wire_id = 5;  // same wall, lower wire_id -> before by the tiebreak
+  EXPECT_TRUE(slow_record_before(b, a));
+  EXPECT_FALSE(slow_record_before(a, b));
+  EXPECT_FALSE(slow_record_before(a, a));
+  EXPECT_TRUE(slow_record_before(patterned_record(11), a));
+}
+
+class ObsSlowLogConcurrency : public testing::TestWithParam<std::size_t> {};
+
+TEST_P(ObsSlowLogConcurrency, ConcurrentWritersNeverTearASlot) {
+  const std::size_t threads = GetParam();
+  constexpr std::size_t kPerThread = 5000;
+  SlowQueryLog log(16);
+  log.set_threshold_ns(0);
+
+  // A reader snapshots continuously while the writers hammer the ring;
+  // every record it ever observes must be internally consistent (the
+  // seqlock contract), and so must the final snapshot.
+  std::atomic<bool> stop{false};
+  std::atomic<std::size_t> reader_checked{0};
+  std::thread reader([&] {
+    while (!stop.load(std::memory_order_acquire)) {
+      for (const SlowQueryRecord& rec : log.snapshot()) {
+        EXPECT_TRUE(is_consistent(rec)) << "torn record, wall="
+                                        << rec.wall_ns;
+        reader_checked.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
+  });
+  std::vector<std::thread> writers;
+  writers.reserve(threads);
+  for (std::size_t w = 0; w < threads; ++w) {
+    writers.emplace_back([&log, w] {
+      for (std::size_t i = 0; i < kPerThread; ++i) {
+        // Distinct wall per (worker, i) so torn slots are detectable.
+        log.record(patterned_record(w * kPerThread + i + 1));
+      }
+    });
+  }
+  for (std::thread& writer : writers) {
+    writer.join();
+  }
+  stop.store(true, std::memory_order_release);
+  reader.join();
+
+  const std::vector<SlowQueryRecord> snap = log.snapshot();
+  EXPECT_FALSE(snap.empty());
+  EXPECT_LE(snap.size(), log.capacity());
+  for (const SlowQueryRecord& rec : snap) {
+    EXPECT_TRUE(is_consistent(rec));
+    EXPECT_LE(rec.wall_ns, threads * kPerThread);
+  }
+  // Single writer has no contention: the ring must hold exactly the
+  // slowest capacity() records.
+  if (threads == 1) {
+    ASSERT_EQ(snap.size(), log.capacity());
+    for (std::size_t i = 0; i < snap.size(); ++i) {
+      EXPECT_EQ(snap[i].wall_ns, kPerThread - i);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Threads, ObsSlowLogConcurrency,
+                         testing::Values(std::size_t{1}, std::size_t{2},
+                                         std::size_t{8}));
+
+TEST(ObsProcessGauges, RefreshPopulatesUptimeAndPeakRss) {
+  refresh_process_gauges();
+  const MetricsSnapshot snap = snapshot_metrics();
+  bool saw_uptime = false;
+  bool saw_rss = false;
+  for (const GaugeSample& gauge : snap.gauges) {
+    if (gauge.name == "process.uptime_s") {
+      saw_uptime = true;
+      EXPECT_GE(gauge.value, 0);
+    } else if (gauge.name == "process.peak_rss_kb") {
+      saw_rss = true;
+      EXPECT_GT(gauge.value, 0);  // any live process has a peak RSS
+    }
+  }
+  EXPECT_TRUE(saw_uptime);
+  EXPECT_TRUE(saw_rss);
 }
 
 }  // namespace

@@ -7,8 +7,12 @@
 
 #include <algorithm>
 #include <chrono>
+#include <filesystem>
+#include <fstream>
 #include <memory>
 #include <optional>
+#include <set>
+#include <sstream>
 #include <string>
 #include <thread>
 #include <vector>
@@ -16,9 +20,13 @@
 #include "panagree/diversity/report.hpp"
 #include "panagree/econ/business.hpp"
 #include "panagree/obs/build_info.hpp"
+#include "panagree/obs/slowlog.hpp"
+#include "panagree/obs/trace.hpp"
 #include "panagree/serve/client.hpp"
 #include "panagree/serve/server.hpp"
+#include "panagree/serve/wire.hpp"
 #include "panagree/topology/generator.hpp"
+#include "panagree/util/json.hpp"
 #include "panagree/util/rng.hpp"
 
 namespace panagree::serve {
@@ -131,6 +139,88 @@ TEST(Wire, StatsResponseIsByteStableAndRoundTrips) {
   append_stats_response(again, 42, parsed.build, parsed.epoch,
                         parsed.metrics);
   EXPECT_EQ(again, out);
+}
+
+TEST(Wire, ParsesSlowlogRequest) {
+  const Request request =
+      parse_request(R"({"v":1,"id":13,"kind":"slowlog"})");
+  EXPECT_EQ(request.id, 13u);
+  EXPECT_EQ(request.kind, RequestKind::kSlowLog);
+}
+
+TEST(Wire, SlowKindNamesRoundTrip) {
+  for (const std::uint64_t code : {0u, 1u, 2u, 3u, 4u, 5u}) {
+    EXPECT_EQ(slow_kind_code(slow_kind_name(code)), code);
+  }
+  EXPECT_EQ(slow_kind_name(static_cast<std::uint64_t>(RequestKind::kPaths)),
+            "paths");
+  EXPECT_EQ(slow_kind_name(kSlowKindError), "error");
+  // Out-of-range codes clamp instead of reading past the name table.
+  EXPECT_EQ(slow_kind_name(kSlowKindUnknown), "unknown");
+  EXPECT_EQ(slow_kind_name(999), "unknown");
+  EXPECT_THROW((void)slow_kind_code("nope"), ProtocolError);
+}
+
+TEST(Wire, SlowlogResponseIsByteStableAndRoundTrips) {
+  obs::SlowQueryRecord first;
+  first.wire_id = 9;
+  first.kind = static_cast<std::uint64_t>(RequestKind::kWhatIf);
+  first.source = 0;
+  first.delta_links = 2;
+  first.wall_ns = 500;
+  first.queue_ns = 50;
+  first.parse_ns = 100;
+  first.engine_ns = 200;
+  first.serialize_ns = 100;
+  first.send_ns = 50;
+  obs::SlowQueryRecord second;
+  second.wire_id = 4;
+  second.kind = static_cast<std::uint64_t>(RequestKind::kPaths);
+  second.source = 17;
+  second.wall_ns = 300;
+  second.queue_ns = 0;
+  second.parse_ns = 60;
+  second.engine_ns = 180;
+  second.serialize_ns = 40;
+  second.send_ns = 20;
+  const std::vector<obs::SlowQueryRecord> entries{first, second};
+
+  std::string out;
+  append_slowlog_response(out, 33, 250, entries);
+  // Byte-stable contract: fixed field order, integers via to_chars.
+  EXPECT_EQ(
+      out,
+      "{\"v\":1,\"id\":33,\"ok\":true,\"kind\":\"slowlog\","
+      "\"threshold_ns\":250,\"entries\":["
+      "{\"wire_id\":9,\"kind\":\"whatif\",\"source\":0,\"delta_links\":2,"
+      "\"wall_ns\":500,\"queue_ns\":50,\"parse_ns\":100,\"engine_ns\":200,"
+      "\"serialize_ns\":100,\"send_ns\":50},"
+      "{\"wire_id\":4,\"kind\":\"paths\",\"source\":17,\"delta_links\":0,"
+      "\"wall_ns\":300,\"queue_ns\":0,\"parse_ns\":60,\"engine_ns\":180,"
+      "\"serialize_ns\":40,\"send_ns\":20}]}\n");
+
+  const SlowLogResult parsed = parse_slowlog_response(out);
+  EXPECT_EQ(parsed.id, 33u);
+  EXPECT_EQ(parsed.threshold_ns, 250u);
+  EXPECT_EQ(parsed.entries, entries);
+
+  // Round-trip byte-stability: re-serializing the parsed entries
+  // reproduces the original line exactly.
+  std::string again;
+  append_slowlog_response(again, parsed.id, parsed.threshold_ns,
+                          parsed.entries);
+  EXPECT_EQ(again, out);
+}
+
+TEST(Wire, SlowlogResponseParserRejectsGarbage) {
+  EXPECT_THROW(parse_slowlog_response("not json"), ProtocolError);
+  EXPECT_THROW(
+      parse_slowlog_response(
+          R"({"v":1,"id":1,"ok":true,"kind":"stats","entries":[]})"),
+      ProtocolError);
+  EXPECT_THROW(parse_slowlog_response(
+                   R"({"v":1,"id":1,"ok":false,"error":"boom"})"),
+               ProtocolError);
 }
 
 TEST(Wire, StatsResponseParserRejectsGarbage) {
@@ -543,6 +633,234 @@ TEST(Server, StopDrainsOutstandingRequests) {
     ++answered;
   }
   EXPECT_EQ(answered, kOutstanding);
+}
+
+// ------------------------------------------------ stage clock & slowlog
+
+TEST(QueryEngine, HandleLineFillsStageClock) {
+  if (!obs::enabled()) {
+    GTEST_SKIP() << "stage clock compiles out under PANAGREE_OBS_OFF";
+  }
+  const ServeFixture& f = fixture();
+  const auto engine = f.make_engine();
+  const AsId cached = f.sources_.front();
+  AsId cold = 0;
+  while (std::find(f.sources_.begin(), f.sources_.end(), cold) !=
+         f.sources_.end()) {
+    ++cold;
+  }
+
+  const auto run = [&](const std::string& line) {
+    RequestStages stages;
+    stages.enqueue_ns = stage_now_ns();
+    std::string out;
+    engine->handle_line(line, out, &stages);
+    if (stages.slow_kind == kSlowKindError) {
+      ADD_FAILURE() << "request failed: " << line << " -> " << out;
+    }
+    // The stage-sum identity: attributed wall time is exactly the sum of
+    // the five stages (send is the server's to fill; 0 here).
+    EXPECT_EQ(stages.wall_ns(), stages.queue_ns() + stages.parse_ns +
+                                    stages.engine_ns + stages.serialize_ns +
+                                    stages.send_ns)
+        << line;
+    EXPECT_GT(stages.parse_ns, 0u) << line;
+    EXPECT_EQ(stages.send_ns, 0u) << line;
+    return stages;
+  };
+
+  const RequestStages cached_stages =
+      run(R"({"v":1,"id":1,"kind":"paths","source":)" +
+          std::to_string(cached) + "}");
+  EXPECT_EQ(cached_stages.wire_id, 1u);
+  EXPECT_EQ(cached_stages.slow_kind,
+            static_cast<std::uint64_t>(RequestKind::kPaths));
+  EXPECT_EQ(cached_stages.work, EngineWork::kCache);
+  EXPECT_GT(cached_stages.serialize_ns, 0u);
+
+  const RequestStages cold_stages =
+      run(R"({"v":1,"id":2,"kind":"paths","source":)" +
+          std::to_string(cold) + "}");
+  EXPECT_EQ(cold_stages.work, EngineWork::kSweep);
+  EXPECT_GT(cold_stages.engine_ns, 0u);
+
+  const scenario::LinkChange link = f.candidates(1).front().add.front();
+  const RequestStages whatif_stages =
+      run(R"({"v":1,"id":3,"kind":"whatif","add":[{"a":)" +
+          std::to_string(link.a) + R"(,"b":)" + std::to_string(link.b) +
+          R"(,"type":"peering"}],"remove":[]})");
+  EXPECT_EQ(whatif_stages.work, EngineWork::kSweep);
+  EXPECT_EQ(whatif_stages.delta_links, 1u);
+  EXPECT_GT(whatif_stages.engine_ns, 0u);
+
+  const RequestStages stats_stages =
+      run(R"({"v":1,"id":4,"kind":"stats"})");
+  EXPECT_EQ(stats_stages.slow_kind,
+            static_cast<std::uint64_t>(RequestKind::kStats));
+  EXPECT_EQ(stats_stages.work, EngineWork::kNone);
+  EXPECT_GT(stats_stages.serialize_ns, 0u);
+
+  RequestStages error_stages;
+  error_stages.enqueue_ns = stage_now_ns();
+  {
+    std::string out;
+    engine->handle_line(R"({"v":1,"id":5,"kind":"garbage"})", out,
+                        &error_stages);
+  }
+  EXPECT_EQ(error_stages.wall_ns(),
+            error_stages.queue_ns() + error_stages.parse_ns +
+                error_stages.engine_ns + error_stages.serialize_ns +
+                error_stages.send_ns);
+  EXPECT_GT(error_stages.parse_ns, 0u);
+  EXPECT_EQ(error_stages.wire_id, 5u);
+  EXPECT_EQ(error_stages.slow_kind, kSlowKindError);
+  EXPECT_EQ(error_stages.work, EngineWork::kNone);
+  EXPECT_EQ(error_stages.engine_ns, 0u);
+}
+
+TEST(Server, SlowlogCapturesEveryRequestWithStageBreakdown) {
+  if (!obs::enabled()) {
+    GTEST_SKIP() << "slowlog compiles out under PANAGREE_OBS_OFF";
+  }
+  const ServeFixture& f = fixture();
+  const auto engine = f.make_engine();
+  obs::SlowQueryLog& log = obs::SlowQueryLog::global();
+  log.set_threshold_ns(0);  // capture everything
+  log.clear();
+
+  // A scripted session over the wire; stop() drains and joins the
+  // workers, so every request's observation (recorded after its bytes
+  // hit the socket) is complete before the ring is inspected.
+  {
+    Server server(*engine, {});
+    server.start();
+    serve::ClientConnection client(server.port());
+    client.send_line(R"({"v":1,"id":1,"kind":"paths","source":)" +
+                     std::to_string(f.sources_.front()) + "}");
+    (void)client.read_line();
+    client.send_line(R"({"v":1,"id":2,"kind":"diversity","source":)" +
+                     std::to_string(f.sources_.back()) + "}");
+    (void)client.read_line();
+    client.send_line(R"({"v":1,"id":3,"kind":"garbage"})");
+    (void)client.read_line();
+    server.stop();
+  }
+
+  const std::vector<obs::SlowQueryRecord> snap = log.snapshot();
+  std::set<std::uint64_t> captured;
+  for (const obs::SlowQueryRecord& rec : snap) {
+    captured.insert(rec.wire_id);
+    // The serve-side invariant the wire comment promises: stage ns sum
+    // exactly to the recorded wall time.
+    EXPECT_EQ(rec.wall_ns, rec.queue_ns + rec.parse_ns + rec.engine_ns +
+                               rec.serialize_ns + rec.send_ns);
+    EXPECT_GT(rec.wall_ns, 0u);
+    EXPECT_GT(rec.send_ns, 0u);  // server-side send stage populated
+  }
+  EXPECT_TRUE(captured.contains(1));
+  EXPECT_TRUE(captured.contains(2));
+  EXPECT_TRUE(captured.contains(3));
+
+  // The ring is served over the wire by the slowlog kind - and since
+  // recording happens after the response bytes are sent, a slowlog
+  // response never lists its own request.
+  {
+    Server server(*engine, {});
+    server.start();
+    serve::ClientConnection client(server.port());
+    client.send_line(R"({"v":1,"id":777,"kind":"slowlog"})");
+    const SlowLogResult served = parse_slowlog_response(client.read_line());
+    EXPECT_EQ(served.id, 777u);
+    EXPECT_EQ(served.threshold_ns, 0u);
+    std::set<std::uint64_t> wire_ids;
+    for (const obs::SlowQueryRecord& rec : served.entries) {
+      wire_ids.insert(rec.wire_id);
+    }
+    EXPECT_TRUE(wire_ids.contains(1));
+    EXPECT_FALSE(wire_ids.contains(777));
+    // Entries arrive slowest-first (the deterministic snapshot order).
+    for (std::size_t i = 1; i < served.entries.size(); ++i) {
+      EXPECT_FALSE(slow_record_before(served.entries[i],
+                                      served.entries[i - 1]));
+    }
+    server.stop();
+  }
+  log.set_threshold_ns(obs::kDefaultSlowThresholdNs);
+  log.clear();
+}
+
+TEST(Server, TraceSpansFormARequestRootedTree) {
+  if (!obs::enabled()) {
+    GTEST_SKIP() << "tracing compiles out under PANAGREE_OBS_OFF";
+  }
+  const std::filesystem::path path =
+      std::filesystem::temp_directory_path() / "panagree_serve_span_tree.json";
+  std::filesystem::remove(path);
+  obs::trace_init(path.native());
+  ASSERT_TRUE(obs::trace_enabled());
+
+  const ServeFixture& f = fixture();
+  const auto engine = f.make_engine();
+  {
+    Server server(*engine, {});
+    server.start();
+    serve::ClientConnection client(server.port());
+    for (std::uint64_t id = 1; id <= 3; ++id) {
+      client.send_line(R"({"v":1,"id":)" + std::to_string(id) +
+                       R"(,"kind":"paths","source":)" +
+                       std::to_string(f.sources_[id]) + "}");
+      (void)client.read_line();
+    }
+    server.stop();  // joins workers: every span tree is recorded
+  }
+  obs::trace_flush();
+
+  std::ifstream in(path);
+  ASSERT_TRUE(in.is_open());
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  const util::json::Value doc = util::json::parse(buffer.str());
+  const util::json::Object& root =
+      *std::get<std::unique_ptr<util::json::Object>>(doc.data);
+  const util::json::Array& events =
+      *std::get<std::unique_ptr<util::json::Array>>(
+          root.at("traceEvents").data);
+
+  const auto num = [](const util::json::Value& v) {
+    if (const auto* u = std::get_if<std::uint64_t>(&v.data)) {
+      return static_cast<double>(*u);
+    }
+    return std::get<double>(v.data);
+  };
+  std::set<std::uint64_t> root_ids;
+  std::set<std::uint64_t> wire_ids;
+  std::vector<std::uint64_t> stage_parents;
+  for (const util::json::Value& event : events) {
+    const util::json::Object& fields =
+        *std::get<std::unique_ptr<util::json::Object>>(event.data);
+    const std::string& name = std::get<std::string>(fields.at("name").data);
+    const util::json::Object& args =
+        *std::get<std::unique_ptr<util::json::Object>>(
+            fields.at("args").data);
+    if (name == "serve.request") {
+      root_ids.insert(static_cast<std::uint64_t>(num(args.at("id"))));
+      EXPECT_EQ(num(args.at("parent")), 0.0);  // requests are roots
+      ASSERT_NE(args.find("wire_id"), args.end());
+      wire_ids.insert(static_cast<std::uint64_t>(num(args.at("wire_id"))));
+    } else if (name.rfind("serve.stage.", 0) == 0) {
+      stage_parents.push_back(
+          static_cast<std::uint64_t>(num(args.at("parent"))));
+    }
+  }
+  EXPECT_EQ(root_ids.size(), 3u);
+  EXPECT_EQ(wire_ids, (std::set<std::uint64_t>{1, 2, 3}));
+  EXPECT_FALSE(stage_parents.empty());
+  // The tree property: every stage span hangs off one of the request
+  // roots - no orphans, no cross-request parents.
+  for (const std::uint64_t parent : stage_parents) {
+    EXPECT_TRUE(root_ids.contains(parent)) << parent;
+  }
+  std::filesystem::remove(path);
 }
 
 }  // namespace

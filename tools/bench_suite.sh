@@ -39,12 +39,15 @@ export PANAGREE_SNAPSHOT="$OUT/suite.pansnap"
 # ratios visible in the committed JSON, not just asserted once. The Obs
 # pair gates the per-record overhead of the metrics layer itself
 # (counter = one sharded relaxed add, histogram = two) so accidental
-# fattening of the record path is caught like any other regression.
+# fattening of the record path is caught like any other regression -
+# including the slow-query ring's worst-case eviction scan
+# (Obs_SlowlogRecord) and the whole per-request stage-clock +
+# observation cost on the cache-served fast path (Serve_StageClock).
 # Default --benchmark_min_time stays: the rotating-source micro benches
 # need enough iterations to average the heavy-tailed per-source costs,
 # or run-to-run noise defeats the 30% regression gate.
 "$BUILD/bench_perf_micro" \
-  --benchmark_filter='BM_(RoleLookup|Length3Enumeration|CompileTopology|ScenarioSweep_Incremental|Optimizer_Greedy|SnapshotLoad_Mmap|QueryEngine_CachedSource|MapSources|RoleFilter|Obs|Convergence)'
+  --benchmark_filter='BM_(RoleLookup|Length3Enumeration|CompileTopology|ScenarioSweep_Incremental|Optimizer_Greedy|SnapshotLoad_Mmap|QueryEngine_CachedSource|MapSources|RoleFilter|Obs|Serve_StageClock|Convergence)'
 
 echo "bench suite results in $OUT:"
 ls -l "$OUT"

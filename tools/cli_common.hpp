@@ -81,6 +81,18 @@ inline std::size_t parse_threads(const char* tool, int argc, char** argv,
 /// variable is unset or obs is compiled out). Call once at tool startup.
 inline void init_tracing() { obs::trace_init_from_env(); }
 
+/// Default of the --slow-ms option (slow-query capture threshold in
+/// milliseconds; 0 = capture every request): the PANAGREE_SLOW_MS
+/// environment override when set and well-formed, `fallback` otherwise.
+/// Malformed values error out like any malformed option (kUsageExit).
+inline std::size_t env_slow_ms(const char* tool, std::size_t fallback) {
+  const char* env = std::getenv("PANAGREE_SLOW_MS");
+  if (env == nullptr || env[0] == '\0') {
+    return fallback;
+  }
+  return parse_size(tool, "PANAGREE_SLOW_MS", env);
+}
+
 /// Default of the shared --pin-threads flag: the PANAGREE_PIN_THREADS
 /// environment toggle (unset, empty, or "0" = off; anything else = on).
 /// --pin-threads pins fan-out workers to cpus, NUMA-blocked on

@@ -5,6 +5,7 @@
 //   panagree-query --port P --bench [--snapshot FILE] [--requests N]
 //       [--connections C] [--kind paths|diversity|whatif|mix] [--sources N]
 //   panagree-query --port P --stats [--prom]   # scrape server metrics
+//   panagree-query --port P --slowlog          # dump the slow-query ring
 //
 // One-shot mode reads newline-delimited JSON requests (see
 // serve/wire.hpp) from stdin, sends each to the server, waits for its
@@ -26,6 +27,12 @@
 // --stats sends one `{"kind":"stats"}` request and prints the raw wire
 // response (byte-stable field order); --stats --prom re-emits it as
 // Prometheus text exposition instead.
+//
+// --slowlog sends one `{"kind":"slowlog"}` request and prints the raw
+// wire response: the server's slow-query ring (threshold and entries
+// with per-stage nanosecond breakdowns, slowest first). Like stats, the
+// bytes are a stable function of the contents but reflect process-wide
+// runtime state - not diffable against --direct.
 #include <algorithm>
 #include <chrono>
 #include <cmath>
@@ -56,7 +63,8 @@ void usage() {
          " [--requests N]\n"
          "           [--connections C] [--kind paths|diversity|whatif|mix]"
          " [--sources N]\n"
-         "       panagree-query --port P --stats [--prom]\n";
+         "       panagree-query --port P --stats [--prom]\n"
+         "       panagree-query --port P --slowlog\n";
 }
 
 /// Blank (including CR-only, from CRLF scripts) lines carry no request;
@@ -81,6 +89,7 @@ struct Options {
   bool bench = false;
   bool stats = false;
   bool prom = false;
+  bool slowlog = false;
   std::string snapshot;
   std::size_t sources_n = benchcfg::num_sources();
   std::size_t threads = benchcfg::num_threads();
@@ -203,6 +212,18 @@ int run_bench(const Options& options) {
   return 0;
 }
 
+/// --slowlog: one slowlog request over the wire; prints the raw
+/// response line (parsed first, so a server error response surfaces as
+/// an error exit rather than passing through).
+int run_slowlog(const Options& options) {
+  serve::ClientConnection conn(static_cast<std::uint16_t>(options.port));
+  conn.send_line("{\"v\":1,\"id\":1,\"kind\":\"slowlog\"}");
+  const std::string response = read_response(conn);
+  (void)serve::parse_slowlog_response(response);
+  std::cout << response;
+  return 0;
+}
+
 /// --stats: one stats request over the wire; prints the raw response
 /// line (the byte-stable exposition format) or, with --prom, the same
 /// snapshot re-emitted as Prometheus text.
@@ -268,6 +289,8 @@ int main(int argc, char** argv) {
       options.bench = true;
     } else if (arg == "--stats") {
       options.stats = true;
+    } else if (arg == "--slowlog") {
+      options.slowlog = true;
     } else if (arg == "--prom") {
       options.prom = true;
     } else if (arg == "--snapshot") {
@@ -299,6 +322,8 @@ int main(int argc, char** argv) {
       (!options.have_port && !options.direct) ||
       (options.bench && !options.have_port) ||
       (options.stats && !options.have_port) ||
+      (options.slowlog && !options.have_port) ||
+      (options.slowlog && (options.stats || options.bench)) ||
       (options.stats && options.bench) || (options.prom && !options.stats)) {
     usage();
     return cli::kUsageExit;
@@ -308,6 +333,9 @@ int main(int argc, char** argv) {
   try {
     if (options.stats) {
       return run_stats(options);
+    }
+    if (options.slowlog) {
+      return run_slowlog(options);
     }
     if (options.bench) {
       return run_bench(options);

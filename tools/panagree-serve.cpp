@@ -2,7 +2,7 @@
 //
 //   panagree-serve [--snapshot FILE] [--port P] [--threads N]
 //       [--max-batch B] [--sources N] [--max-queue Q] [--pin-threads]
-//       [--stats-interval SEC] [--version]
+//       [--stats-interval SEC] [--slow-ms MS] [--version]
 //
 // Opens the topology (a mmap'd .pansnap via --snapshot or
 // PANAGREE_SNAPSHOT wins; PANAGREE_CAIDA / the synthetic generator
@@ -25,7 +25,15 @@
 //
 // --stats-interval SEC (opt-in, 0 = off) prints a one-line metrics
 // summary to stderr every SEC seconds while idle-waiting for shutdown;
-// PANAGREE_TRACE=<file> arms span tracing (see obs/trace.hpp).
+// PANAGREE_TRACE=<file> arms span tracing (see obs/trace.hpp); the
+// trace document is flushed after the SIGTERM drain, so a signal-
+// terminated daemon keeps everything captured mid-run.
+//
+// --slow-ms MS (default: PANAGREE_SLOW_MS, else 10) sets the slow-query
+// capture threshold: requests whose attributed wall time reaches MS
+// milliseconds land in the slow-query ring served by the `slowlog` wire
+// kind (panagree-query --slowlog, panagree-top). 0 captures every
+// request - what the CI smoke uses to assert full stage breakdowns.
 #include <algorithm>
 #include <cerrno>
 #include <chrono>
@@ -56,7 +64,8 @@ void usage() {
                " [--threads N]\n"
                "           [--max-batch B] [--sources N] [--max-queue Q]"
                " [--pin-threads]\n"
-               "           [--stats-interval SEC] [--version]\n";
+               "           [--stats-interval SEC] [--slow-ms MS]"
+               " [--version]\n";
 }
 
 /// The opt-in periodic stats line: engine/server counters and the queue
@@ -101,6 +110,7 @@ int main(int argc, char** argv) {
   std::size_t sources_n = benchcfg::num_sources();
   std::size_t max_queue = 1024;
   std::size_t stats_interval = 0;
+  std::size_t slow_ms = cli::env_slow_ms(kTool, 10);
   bool pin_threads = cli::env_pin_threads();
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -129,6 +139,9 @@ int main(int argc, char** argv) {
     } else if (arg == "--stats-interval") {
       stats_interval = cli::parse_size(
           kTool, arg, cli::require_value(kTool, arg, argc, argv, i));
+    } else if (arg == "--slow-ms") {
+      slow_ms = cli::parse_size(
+          kTool, arg, cli::require_value(kTool, arg, argc, argv, i));
     } else if (arg == "--pin-threads") {
       pin_threads = true;
     } else {
@@ -137,6 +150,8 @@ int main(int argc, char** argv) {
     }
   }
   cli::init_tracing();
+  obs::SlowQueryLog::global().set_threshold_ns(
+      static_cast<std::uint64_t>(slow_ms) * 1'000'000);
 
   try {
     servecfg::ServeContext context(
@@ -214,6 +229,10 @@ int main(int argc, char** argv) {
     server.stop();
     std::cerr << "[serve] drained after " << server.handled_requests()
               << " requests\n";
+    // Flush the trace document now that the drain has recorded the last
+    // request's span tree - exit paths that bypass atexit (a second
+    // signal, _exit in a wrapper) must not lose the trace.
+    obs::trace_flush();
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << "\n";
     return 1;
