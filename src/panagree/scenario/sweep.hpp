@@ -64,6 +64,7 @@ namespace detail {
 struct SweepMetrics {
   obs::Counter& recomputed_sources;
   obs::Counter& cached_sources;
+  obs::Counter& primes;
   obs::Histogram& ball_size;
   obs::Histogram& dirty_sources;
   obs::Histogram& prime_ns;
@@ -75,6 +76,7 @@ struct SweepMetrics {
   static SweepMetrics metrics{
       reg.counter("sweep.recomputed_sources"),
       reg.counter("sweep.cached_sources"),
+      reg.counter("sweep.prime"),
       reg.histogram("sweep.ball_size"),
       reg.histogram("sweep.dirty_sources"),
       reg.histogram("sweep.prime_ns"),
@@ -186,9 +188,25 @@ class SweepRunner {
     state_ = Delta{};
     primed_ = true;
     if constexpr (obs::enabled()) {
-      detail::sweep_metrics().prime_ns.record(detail::sweep_clock_ns() -
-                                              start);
+      detail::SweepMetrics& metrics = detail::sweep_metrics();
+      metrics.primes.increment();
+      metrics.prime_ns.record(detail::sweep_clock_ns() - start);
     }
+  }
+
+  /// Installs an externally produced baseline (e.g. deserialized from a
+  /// snapshot's primed-baseline sections) as if prime() had run: `results`
+  /// becomes the cache (must be in sources() order and equal what
+  /// `fn(empty overlay, source)` would compute - the caller vouches for
+  /// that), state() resets to empty. Records no prime metrics: the whole
+  /// point is that nothing was enumerated.
+  void restore_baseline(std::vector<Result>&& results) {
+    util::require(results.size() == sources_.size(),
+                  "SweepRunner::restore_baseline: result count does not "
+                  "match the source sample");
+    cache_ = std::move(results);
+    state_ = Delta{};
+    primed_ = true;
   }
 
   /// The cached per-source results of state(), in sources() order (the

@@ -32,37 +32,6 @@ struct EngineMetrics {
   return metrics;
 }
 
-// Per-request-kind accounting at the dispatch point shared by the
-// server workers and --direct (so a scripted session scores the same
-// counters either way).
-struct RequestMetrics {
-  obs::Counter& count;
-  obs::Histogram& latency_ns;
-};
-
-[[nodiscard]] RequestMetrics& request_metrics(RequestKind kind) {
-  obs::Registry& reg = obs::Registry::global();
-  static RequestMetrics paths{reg.counter("serve.requests.paths"),
-                              reg.histogram("serve.latency_ns.paths")};
-  static RequestMetrics diversity{
-      reg.counter("serve.requests.diversity"),
-      reg.histogram("serve.latency_ns.diversity")};
-  static RequestMetrics whatif{reg.counter("serve.requests.whatif"),
-                               reg.histogram("serve.latency_ns.whatif")};
-  static RequestMetrics stats{reg.counter("serve.requests.stats"),
-                              reg.histogram("serve.latency_ns.stats")};
-  static RequestMetrics slowlog{reg.counter("serve.requests.slowlog"),
-                                reg.histogram("serve.latency_ns.slowlog")};
-  switch (kind) {
-    case RequestKind::kPaths: return paths;
-    case RequestKind::kDiversity: return diversity;
-    case RequestKind::kWhatIf: return whatif;
-    case RequestKind::kStats: return stats;
-    case RequestKind::kSlowLog: return slowlog;
-  }
-  return paths;  // unreachable
-}
-
 // Per-stage latency histograms the stage clock folds every request into
 // (finish_request_observation). engine_cache/engine_sweep split the
 // engine stage by which machinery served it.
@@ -85,17 +54,49 @@ struct StageMetrics {
   return metrics;
 }
 
-[[nodiscard]] RequestMetrics& error_metrics() {
-  obs::Registry& reg = obs::Registry::global();
-  static RequestMetrics errors{reg.counter("serve.requests.errors"),
-                               reg.histogram("serve.latency_ns.errors")};
-  return errors;
-}
-
 scenario::SourcePathSet enumerate(const scenario::Overlay& overlay,
                                   AsId src) {
   return scenario::enumerate_length3(overlay, src);
 }
+
+}  // namespace
+
+namespace detail {
+
+RequestMetricsRef& request_metrics(RequestKind kind) {
+  obs::Registry& reg = obs::Registry::global();
+  static RequestMetricsRef paths{reg.counter("serve.requests.paths"),
+                                 reg.histogram("serve.latency_ns.paths")};
+  static RequestMetricsRef diversity{
+      reg.counter("serve.requests.diversity"),
+      reg.histogram("serve.latency_ns.diversity")};
+  static RequestMetricsRef whatif{reg.counter("serve.requests.whatif"),
+                                  reg.histogram("serve.latency_ns.whatif")};
+  static RequestMetricsRef stats{reg.counter("serve.requests.stats"),
+                                 reg.histogram("serve.latency_ns.stats")};
+  static RequestMetricsRef slowlog{reg.counter("serve.requests.slowlog"),
+                                   reg.histogram("serve.latency_ns.slowlog")};
+  static RequestMetricsRef rebase{reg.counter("serve.requests.rebase"),
+                                  reg.histogram("serve.latency_ns.rebase")};
+  switch (kind) {
+    case RequestKind::kPaths: return paths;
+    case RequestKind::kDiversity: return diversity;
+    case RequestKind::kWhatIf: return whatif;
+    case RequestKind::kStats: return stats;
+    case RequestKind::kSlowLog: return slowlog;
+    case RequestKind::kRebase: return rebase;
+  }
+  return paths;  // unreachable
+}
+
+RequestMetricsRef& error_metrics() {
+  obs::Registry& reg = obs::Registry::global();
+  static RequestMetricsRef errors{reg.counter("serve.requests.errors"),
+                                  reg.histogram("serve.latency_ns.errors")};
+  return errors;
+}
+
+}  // namespace detail
 
 /// Order-insensitive key of a delta: the memo must batch "the same dirty
 /// ball" however the client listed the links. Pair direction is kept for
@@ -129,6 +130,8 @@ std::string canonical_delta_key(const scenario::Delta& delta) {
   }
   return key;
 }
+
+namespace {
 
 [[nodiscard]] DiversityResult to_diversity_result(
     const scenario::SourceContribution& contribution) {
@@ -212,6 +215,26 @@ void QueryEngine::prime() {
   sweep.exec.pin_threads = config_.pin_threads;
   auto state = std::make_shared<State>(*base_, sources_, sweep);
   state->runner.prime(enumerate);
+  state->refresh_contributions(aggregator_);
+  const std::unique_lock<std::shared_mutex> lock(state_mutex_);
+  state_ = std::move(state);
+}
+
+void QueryEngine::prime_restored(
+    std::vector<scenario::SourcePathSet>&& baseline) {
+  const std::lock_guard<std::mutex> writer(rebase_mutex_);
+  {
+    const std::shared_lock<std::shared_mutex> lock(state_mutex_);
+    if (state_ != nullptr) {
+      return;
+    }
+  }
+  scenario::SweepConfig sweep;
+  sweep.threads = config_.threads;
+  sweep.dirty_radius = scenario::kLength3DirtyRadius;
+  sweep.exec.pin_threads = config_.pin_threads;
+  auto state = std::make_shared<State>(*base_, sources_, sweep);
+  state->runner.restore_baseline(std::move(baseline));
   state->refresh_contributions(aggregator_);
   const std::unique_lock<std::shared_mutex> lock(state_mutex_);
   state_ = std::move(state);
@@ -301,6 +324,33 @@ WhatIfResult QueryEngine::compute_whatif(const State& state,
   result.cached_sources = stats.cached_sources;
   result.ball_size = stats.ball_size;
   return result;
+}
+
+QueryEngine::ContributionView QueryEngine::contributions() const {
+  const std::shared_ptr<const State> state = snapshot();
+  ContributionView view;
+  view.contribs = state->contribs;
+  view.pin = std::move(state);
+  return view;
+}
+
+QueryEngine::WhatIfSlice QueryEngine::whatif_slice(
+    const scenario::Delta& delta) const {
+  const std::shared_ptr<const State> state = snapshot();
+  WhatIfSlice slice;
+  scenario::MetricsAggregator::Scratch scratch;
+  state->runner.evaluate_dirty_visit(
+      delta, enumerate,
+      [&](std::size_t i, const scenario::Overlay& overlay,
+          const scenario::SourcePathSet& result) {
+        slice.dirty_positions.push_back(i);
+        slice.fresh.push_back(
+            aggregator_.contribution(overlay, result, scratch));
+      },
+      &slice.stats);
+  slice.baseline = state->contribs;
+  slice.pin = std::move(state);
+  return slice;
 }
 
 WhatIfResult QueryEngine::whatif(const scenario::Delta& delta) const {
@@ -396,7 +446,7 @@ void QueryEngine::handle_line(std::string_view line, std::string& out,
     // Count the request before handling it, so a stats response
     // deterministically includes itself (the CI smoke asserts exact
     // counts for a scripted session).
-    RequestMetrics& metrics = request_metrics(request.kind);
+    detail::RequestMetricsRef& metrics = detail::request_metrics(request.kind);
     metrics.count.increment();
     switch (request.kind) {
       case RequestKind::kPaths: {
@@ -465,6 +515,12 @@ void QueryEngine::handle_line(std::string_view line, std::string& out,
         st.serialize_ns = stage_now_ns() - engine_done_ns;
         break;
       }
+      case RequestKind::kRebase:
+        // Rebase over the wire is the shard router's job (it owns the
+        // cross-shard epoch barrier); on the bare engine it would race
+        // the const dispatch path, so the kind is rejected here.
+        throw util::PreconditionError(
+            "rebase requires the shard-router front end");
       case RequestKind::kSlowLog: {
         metrics.latency_ns.record(stage_now_ns() - st.start_ns);
         obs::SlowQueryLog& log = obs::SlowQueryLog::global();
@@ -490,7 +546,7 @@ void QueryEngine::handle_line(std::string_view line, std::string& out,
     st.wire_id = id;
     st.slow_kind = kSlowKindError;
     st.work = EngineWork::kNone;
-    RequestMetrics& errors = error_metrics();
+    detail::RequestMetricsRef& errors = detail::error_metrics();
     errors.count.increment();
     errors.latency_ns.record(caught_ns - st.start_ns);
     append_error_response(out, id, e.what());

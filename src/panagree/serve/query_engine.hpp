@@ -132,6 +132,28 @@ struct RequestStages {
 /// itself for --direct calls.
 void finish_request_observation(const RequestStages& stages);
 
+/// Order-insensitive canonical key of a delta (whatif/rebase memo key):
+/// added links keep their direction (provider/customer roles), removals
+/// are normalized undirected, both sorted. Shared by the engine's epoch
+/// batch and the shard router's.
+[[nodiscard]] std::string canonical_delta_key(const scenario::Delta& delta);
+
+namespace detail {
+
+/// Per-request-kind counter + latency histogram (serve.requests.*,
+/// serve.latency_ns.*), shared by every dispatch front end so a scripted
+/// session scores the same counters through the engine, the shard
+/// router, or --direct.
+struct RequestMetricsRef {
+  obs::Counter& count;
+  obs::Histogram& latency_ns;
+};
+
+[[nodiscard]] RequestMetricsRef& request_metrics(RequestKind kind);
+[[nodiscard]] RequestMetricsRef& error_metrics();
+
+}  // namespace detail
+
 struct EngineConfig {
   /// Worker threads of prime()/rebase() per-source fan-outs
   /// (0 = hardware concurrency). Request handling itself runs on the
@@ -167,6 +189,15 @@ class QueryEngine {
   /// per-source contribution (the expensive one-time cost). Idempotent.
   void prime();
 
+  /// Primes from an externally restored baseline instead of enumerating:
+  /// `baseline` must hold, in sources() order, exactly what prime()'s
+  /// enumeration would produce (e.g. deserialized from a snapshot's
+  /// primed-baseline sections). The contribution folds still run (cheap);
+  /// the per-source path enumeration - the expensive part - is skipped
+  /// entirely and no sweep.prime metrics are recorded. Idempotent like
+  /// prime(): a no-op on an already-primed engine.
+  void prime_restored(std::vector<scenario::SourcePathSet>&& baseline);
+
   [[nodiscard]] const std::vector<AsId>& sources() const { return sources_; }
   /// Bumped by every rebase(); whatif memo entries never cross epochs.
   [[nodiscard]] std::uint64_t epoch() const;
@@ -198,6 +229,36 @@ class QueryEngine {
   /// Drops the what-if memo without changing state - lets benches and
   /// tests measure the unshared evaluation cost.
   void flush_whatif_memo() const;
+
+  /// A pinned view of the per-source baseline contributions of the
+  /// current state, in sources() order. `pin` keeps the underlying state
+  /// generation alive for as long as the view is held - the shard
+  /// router's fold across shards reads these spans lock-free.
+  struct ContributionView {
+    std::shared_ptr<const void> pin;
+    std::span<const scenario::SourceContribution> contribs;
+  };
+  [[nodiscard]] ContributionView contributions() const;
+
+  /// The epoch-batch seam the shard router plugs into: evaluates `delta`
+  /// over this engine's source sample and returns the splice inputs -
+  /// per-source baseline contributions, the dirty positions (local
+  /// indices into sources()), their freshly recomputed contributions, and
+  /// the sweep accounting - instead of a finalized score. The router
+  /// concatenates the slices of all shards in canonical source order and
+  /// runs the finalize/subtract/utility fold once, which is what keeps an
+  /// N-shard response byte-identical to the single-engine one (floating-
+  /// point addition is order-sensitive; partial per-shard sums would
+  /// round differently). Bypasses the engine's whatif memo - batching
+  /// happens at the router.
+  struct WhatIfSlice {
+    std::shared_ptr<const void> pin;
+    std::span<const scenario::SourceContribution> baseline;
+    std::vector<std::size_t> dirty_positions;
+    std::vector<scenario::SourceContribution> fresh;
+    scenario::SweepStats stats;
+  };
+  [[nodiscard]] WhatIfSlice whatif_slice(const scenario::Delta& delta) const;
 
   /// Parses one request line, dispatches it, and appends the
   /// newline-terminated response to `out`: the single entry point shared

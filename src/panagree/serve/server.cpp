@@ -1,7 +1,9 @@
 #include "panagree/serve/server.hpp"
 
 #include <arpa/inet.h>
+#include <fcntl.h>
 #include <netinet/in.h>
+#include <poll.h>
 #include <sys/socket.h>
 #include <sys/time.h>
 #include <unistd.h>
@@ -14,6 +16,7 @@
 #include <utility>
 
 #include "panagree/obs/metrics.hpp"
+#include "panagree/serve/shard_router.hpp"
 
 namespace panagree::serve {
 
@@ -50,6 +53,14 @@ constexpr time_t kSendTimeoutSeconds = 30;
 [[noreturn]] void fail(const char* what) {
   throw ServeError(std::string("serve: ") + what + ": " +
                    std::strerror(errno));
+}
+
+void validate(const ServerConfig& config) {
+  util::require(config.worker_threads > 0,
+                "Server: need at least one worker thread");
+  util::require(config.reader_threads > 0,
+                "Server: need at least one reader thread");
+  util::require(config.max_queue > 0, "Server: need a non-empty queue");
 }
 
 /// False when the peer is gone or stopped reading (send timeout): the
@@ -91,20 +102,51 @@ struct Server::Connection {
   std::mutex write_mutex;
 };
 
-struct Server::ReaderSlot {
-  std::shared_ptr<Connection> conn;
+struct Server::ReaderShard {
+  ~ReaderShard() {
+    if (wake_fds[0] >= 0) {
+      ::close(wake_fds[0]);
+    }
+    if (wake_fds[1] >= 0) {
+      ::close(wake_fds[1]);
+    }
+  }
+
+  /// Wakes the reader out of poll(). Best effort: the pipe is
+  /// non-blocking, and a full pipe already guarantees a pending wakeup.
+  void notify() const {
+    const char byte = 0;
+    [[maybe_unused]] const ssize_t n = ::write(wake_fds[1], &byte, 1);
+  }
+
+  /// wake_fds[0] sits in the reader's poll set; everyone else writes a
+  /// byte to wake_fds[1] after touching `pending` or `stopping_`.
+  int wake_fds[2] = {-1, -1};
   std::thread thread;
-  /// Set by the reader as its last action; the accept loop joins and
-  /// erases done slots, so disconnected clients do not accumulate fds
-  /// and unjoined threads for the daemon's lifetime.
-  std::atomic<bool> done{false};
+  std::mutex mutex;
+  /// Dealt by the accept loop, adopted by the reader at its next wakeup.
+  std::vector<std::shared_ptr<Connection>> pending;
+  /// Mirror of the reader's adopted connections, for stop()'s SHUT_RD
+  /// sweep (the reader's own tracking state stays thread-private).
+  std::vector<std::shared_ptr<Connection>> live;
 };
 
 Server::Server(const QueryEngine& engine, ServerConfig config)
-    : engine_(&engine), config_(config) {
-  util::require(config_.worker_threads > 0,
-                "Server: need at least one worker thread");
-  util::require(config_.max_queue > 0, "Server: need a non-empty queue");
+    : handler_([&engine](std::string_view line, std::string& out,
+                         RequestStages* stages) {
+        engine.handle_line(line, out, stages);
+      }),
+      config_(config) {
+  validate(config_);
+}
+
+Server::Server(ShardRouter& router, ServerConfig config)
+    : handler_([&router](std::string_view line, std::string& out,
+                         RequestStages* stages) {
+        router.handle_line(line, out, stages);
+      }),
+      config_(config) {
+  validate(config_);
 }
 
 Server::~Server() { stop(); }
@@ -150,17 +192,47 @@ void Server::start() {
 
   stopping_ = false;
   draining_ = false;
+  next_shard_ = 0;
+  reader_shards_.reserve(config_.reader_threads);
+  for (std::size_t i = 0; i < config_.reader_threads; ++i) {
+    auto shard = std::make_unique<ReaderShard>();
+    // Non-blocking both ways: the reader drains the pipe without
+    // blocking, and notify() never stalls an accept or stop on a full
+    // pipe (a full pipe is already a pending wakeup).
+    if (::pipe2(shard->wake_fds, O_CLOEXEC | O_NONBLOCK) != 0) {
+      const int saved = errno;
+      reader_shards_.clear();
+      ::close(listen_fd_);
+      listen_fd_ = -1;
+      errno = saved;
+      fail("pipe2");
+    }
+    reader_shards_.push_back(std::move(shard));
+  }
   workers_.reserve(config_.worker_threads);
   try {
+    for (const std::unique_ptr<ReaderShard>& shard : reader_shards_) {
+      ReaderShard* raw = shard.get();
+      raw->thread = std::thread([this, raw] { reader_loop(*raw); });
+    }
     for (std::size_t i = 0; i < config_.worker_threads; ++i) {
       workers_.emplace_back([this] { worker_loop(); });
     }
     // Spawned last: on a throw above there is no accept thread to stop.
     accept_thread_ = std::thread([this] { accept_loop(); });
   } catch (...) {
-    // Thread spawn failed (resource pressure): release the workers that
-    // did start and surface the error instead of terminating on a
-    // joinable-thread destructor.
+    // Thread spawn failed (resource pressure): release the readers and
+    // workers that did start and surface the error instead of
+    // terminating on a joinable-thread destructor.
+    stopping_ = true;
+    for (const std::unique_ptr<ReaderShard>& shard : reader_shards_) {
+      shard->notify();
+    }
+    for (const std::unique_ptr<ReaderShard>& shard : reader_shards_) {
+      if (shard->thread.joinable()) {
+        shard->thread.join();
+      }
+    }
     {
       const std::lock_guard<std::mutex> lock(queue_mutex_);
       draining_ = true;
@@ -170,6 +242,8 @@ void Server::start() {
       worker.join();
     }
     workers_.clear();
+    reader_shards_.clear();
+    stopping_ = false;
     draining_ = false;
     ::close(listen_fd_);
     listen_fd_ = -1;
@@ -184,21 +258,29 @@ void Server::stop() {
   }
   stopping_ = true;
   // Unblock accept(); the loop exits on the resulting error. After this
-  // join no new reader slots can appear.
+  // join no new connections can be dealt to a reader shard.
   ::shutdown(listen_fd_, SHUT_RDWR);
   accept_thread_.join();
-  // Shut only the read half: pending responses must still flush.
-  {
-    const std::lock_guard<std::mutex> lock(conns_mutex_);
-    for (const std::unique_ptr<ReaderSlot>& slot : slots_) {
-      ::shutdown(slot->conn->fd, SHUT_RD);
+  // Shut only the read half of every connection (dealt or adopted):
+  // readers see EOF, enqueue any trailing lines, and retire the
+  // connections, while pending responses still flush.
+  for (const std::unique_ptr<ReaderShard>& shard : reader_shards_) {
+    const std::lock_guard<std::mutex> lock(shard->mutex);
+    for (const std::shared_ptr<Connection>& conn : shard->pending) {
+      ::shutdown(conn->fd, SHUT_RD);
+    }
+    for (const std::shared_ptr<Connection>& conn : shard->live) {
+      ::shutdown(conn->fd, SHUT_RD);
     }
   }
   // Readers blocked on a full queue release on stopping_ (the queue may
   // overshoot its bound by at most one line per reader during the drain).
   space_cv_.notify_all();
-  for (const std::unique_ptr<ReaderSlot>& slot : slots_) {
-    slot->thread.join();
+  for (const std::unique_ptr<ReaderShard>& shard : reader_shards_) {
+    shard->notify();
+  }
+  for (const std::unique_ptr<ReaderShard>& shard : reader_shards_) {
+    shard->thread.join();
   }
   // Every request line is enqueued; let the workers drain the queue.
   {
@@ -211,29 +293,10 @@ void Server::stop() {
     worker.join();
   }
   workers_.clear();
-  slots_.clear();  // closes the remaining descriptors
+  reader_shards_.clear();  // closes wake pipes and remaining descriptors
   ::close(listen_fd_);
   listen_fd_ = -1;
   running_ = false;
-}
-
-void Server::reap_finished_readers() {
-  std::vector<std::unique_ptr<ReaderSlot>> finished;
-  {
-    const std::lock_guard<std::mutex> lock(conns_mutex_);
-    const auto live = std::partition(
-        slots_.begin(), slots_.end(),
-        [](const std::unique_ptr<ReaderSlot>& slot) {
-          return !slot->done.load(std::memory_order_acquire);
-        });
-    for (auto it = live; it != slots_.end(); ++it) {
-      finished.push_back(std::move(*it));
-    }
-    slots_.erase(live, slots_.end());
-  }
-  for (const std::unique_ptr<ReaderSlot>& slot : finished) {
-    slot->thread.join();  // done is the reader's last store: no wait
-  }
 }
 
 void Server::accept_loop() {
@@ -254,7 +317,6 @@ void Server::accept_loop() {
       // accept loop silently: say so, shed load briefly, keep going.
       std::cerr << "[serve] accept: " << std::strerror(errno)
                 << "; retrying\n";
-      reap_finished_readers();
       std::this_thread::sleep_for(std::chrono::milliseconds(10));
       continue;
     }
@@ -268,61 +330,125 @@ void Server::accept_loop() {
     const timeval timeout{.tv_sec = kSendTimeoutSeconds, .tv_usec = 0};
     ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &timeout, sizeof(timeout));
 
-    reap_finished_readers();
-    auto slot = std::make_unique<ReaderSlot>();
-    slot->conn = std::make_shared<Connection>(fd);
-    ReaderSlot* raw = slot.get();
-    const std::lock_guard<std::mutex> lock(conns_mutex_);
-    slots_.push_back(std::move(slot));
-    raw->thread = std::thread([this, raw] { reader_loop(raw); });
+    // Deal round-robin: connection counts stay balanced across readers
+    // without any shared load accounting.
+    ReaderShard& shard = *reader_shards_[next_shard_];
+    next_shard_ = (next_shard_ + 1) % reader_shards_.size();
+    {
+      const std::lock_guard<std::mutex> lock(shard.mutex);
+      shard.pending.push_back(std::make_shared<Connection>(fd));
+    }
+    shard.notify();
   }
 }
 
-void Server::reader_loop(ReaderSlot* slot) {
-  std::shared_ptr<Connection> conn = slot->conn;
-  std::string buffer;
+void Server::reader_loop(ReaderShard& shard) {
+  /// The reader's private per-connection state; `shard.live` mirrors the
+  /// conn pointers so stop() can reach the fds without racing us.
+  struct Tracked {
+    std::shared_ptr<Connection> conn;
+    std::string buffer;
+  };
+  std::vector<Tracked> conns;
+  std::vector<pollfd> pfds;
   char chunk[4096];
-  bool dropped = false;
+  const auto drop = [&](std::size_t index) {
+    {
+      const std::lock_guard<std::mutex> lock(shard.mutex);
+      auto& live = shard.live;
+      live.erase(std::remove(live.begin(), live.end(), conns[index].conn),
+                 live.end());
+    }
+    conns.erase(conns.begin() + static_cast<std::ptrdiff_t>(index));
+  };
   for (;;) {
-    const ssize_t n = ::recv(conn->fd, chunk, sizeof(chunk), 0);
-    if (n < 0 && errno == EINTR) {
-      continue;  // a signal mid-read is not a disconnect
-    }
-    if (n <= 0) {
-      break;
-    }
-    buffer.append(chunk, static_cast<std::size_t>(n));
-    std::size_t begin = 0;
-    for (;;) {
-      const std::size_t newline = buffer.find('\n', begin);
-      if (newline == std::string::npos) {
-        break;
+    {
+      const std::lock_guard<std::mutex> lock(shard.mutex);
+      for (std::shared_ptr<Connection>& conn : shard.pending) {
+        conns.push_back(Tracked{std::move(conn), {}});
+        shard.live.push_back(conns.back().conn);
       }
-      std::string line = buffer.substr(begin, newline - begin);
-      begin = newline + 1;
-      if (!line.empty() && line != "\r") {
-        enqueue(WorkItem{conn, std::move(line), stage_now_ns()});
+      shard.pending.clear();
+    }
+    if (stopping_.load(std::memory_order_relaxed) && conns.empty()) {
+      return;
+    }
+    pfds.clear();
+    pfds.push_back(pollfd{shard.wake_fds[0], POLLIN, 0});
+    for (const Tracked& tracked : conns) {
+      pfds.push_back(pollfd{tracked.conn->fd, POLLIN, 0});
+    }
+    const int ready = ::poll(pfds.data(),
+                             static_cast<nfds_t>(pfds.size()), -1);
+    if (ready < 0) {
+      if (errno == EINTR) {
+        continue;  // a signal mid-poll is not an error
+      }
+      std::cerr << "[serve] poll: " << std::strerror(errno)
+                << "; retrying\n";
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+      continue;
+    }
+    if (pfds[0].revents != 0) {
+      char drained[64];
+      while (::read(shard.wake_fds[0], drained, sizeof(drained)) > 0) {
       }
     }
-    buffer.erase(0, begin);
-    if (buffer.size() > kMaxLineBytes) {
-      server_metrics().oversize_drops.increment();
-      std::string out;
-      append_error_response(out, 0, "request line too long");
-      const std::lock_guard<std::mutex> lock(conn->write_mutex);
-      (void)send_all(conn->fd, out);
-      ::shutdown(conn->fd, SHUT_RD);
-      dropped = true;
-      break;
+    // Backwards so drop(index) never shifts a conns[i] <-> pfds[i + 1]
+    // pairing we have yet to visit.
+    for (std::size_t index = conns.size(); index-- > 0;) {
+      if (pfds[index + 1].revents == 0) {
+        continue;
+      }
+      Tracked& tracked = conns[index];
+      // One recv per readiness: poll() said POLLIN (or HUP/ERR, where
+      // recv reports the condition), so a single blocking recv cannot
+      // stall the shard's other connections.
+      const ssize_t n = ::recv(tracked.conn->fd, chunk, sizeof(chunk), 0);
+      if (n < 0 && (errno == EINTR || errno == EAGAIN ||
+                    errno == EWOULDBLOCK)) {
+        continue;
+      }
+      if (n <= 0) {
+        // EOF or error. NDJSON convenience first: serve a trailing
+        // request the client forgot to newline-terminate before closing
+        // its write half.
+        if (!tracked.buffer.empty() && tracked.buffer != "\r") {
+          enqueue(WorkItem{tracked.conn, std::move(tracked.buffer),
+                           stage_now_ns()});
+        }
+        drop(index);
+        continue;
+      }
+      tracked.buffer.append(chunk, static_cast<std::size_t>(n));
+      std::size_t begin = 0;
+      for (;;) {
+        const std::size_t newline = tracked.buffer.find('\n', begin);
+        if (newline == std::string::npos) {
+          break;
+        }
+        std::string line = tracked.buffer.substr(begin, newline - begin);
+        begin = newline + 1;
+        if (!line.empty() && line != "\r") {
+          enqueue(WorkItem{tracked.conn, std::move(line), stage_now_ns()});
+        }
+      }
+      tracked.buffer.erase(0, begin);
+      if (tracked.buffer.size() > kMaxLineBytes) {
+        server_metrics().oversize_drops.increment();
+        std::string out;
+        append_error_response(out, 0, "request line too long");
+        {
+          const std::lock_guard<std::mutex> lock(tracked.conn->write_mutex);
+          (void)send_all(tracked.conn->fd, out);
+        }
+        // Read half only: responses for lines already enqueued still
+        // flush; the fd closes when the last queued WorkItem releases it.
+        ::shutdown(tracked.conn->fd, SHUT_RD);
+        drop(index);
+      }
     }
   }
-  // NDJSON convenience: serve a trailing request the client forgot to
-  // newline-terminate before closing its write half.
-  if (!dropped && !buffer.empty() && buffer != "\r") {
-    enqueue(WorkItem{std::move(conn), std::move(buffer), stage_now_ns()});
-  }
-  // Last store: the accept loop joins and frees done slots.
-  slot->done.store(true, std::memory_order_release);
 }
 
 void Server::enqueue(WorkItem item) {
@@ -331,7 +457,8 @@ void Server::enqueue(WorkItem item) {
   if (queue_.size() >= config_.max_queue &&
       !stopping_.load(std::memory_order_relaxed)) {
     // The queue bound is backpressure, not a drop: the reader (and with
-    // it the client's TCP window) stalls until a worker makes room.
+    // it the shard's clients' TCP windows) stalls until a worker makes
+    // room.
     metrics.backpressure_waits.increment();
   }
   space_cv_.wait(lock, [this] {
@@ -363,14 +490,14 @@ void Server::worker_loop() {
     std::string out;
     RequestStages stages;
     stages.enqueue_ns = item.enqueue_ns;
-    engine_->handle_line(item.line, out, &stages);
+    handler_(item.line, out, &stages);
     {
       const std::lock_guard<std::mutex> write(item.conn->write_mutex);
       const std::uint64_t send_start_ns = stage_now_ns();
       if (!send_all(item.conn->fd, out)) {
         // Peer gone or not reading (send timeout): drop the connection
-        // so its reader exits and later responses fail fast instead of
-        // blocking more workers.
+        // so its reader retires it and later responses fail fast instead
+        // of blocking more workers.
         server_metrics().send_drops.increment();
         ::shutdown(item.conn->fd, SHUT_RDWR);
       }

@@ -1,11 +1,17 @@
 // serve::Server - the network front end of the query engine.
 //
-// One accept loop on a loopback TCP socket, one reader thread per
-// connection, and a pool of worker threads draining a bounded request
-// queue. Readers split the byte stream into newline-delimited request
-// lines and enqueue them; when the queue is full they block (back-
-// pressure on the socket, never unbounded memory). Workers hand each
-// line to QueryEngine::handle_line and write the response back under the
+// One accept loop on a loopback TCP socket, a FIXED pool of reader
+// threads multiplexing all accepted connections through poll()
+// readiness, and a pool of worker threads draining a bounded request
+// queue. The accept loop deals connections round-robin to the reader
+// shards; each reader owns its connections' read buffers and splits the
+// byte streams into newline-delimited request lines. Serving thousands
+// of idle clients therefore costs table entries, not a blocked thread
+// stack per connection (the old thread-per-connection readers). When the
+// queue is full a reader blocks (backpressure on the socket - stalling
+// one reader stalls its shard of connections, never unbounded memory).
+// Workers hand each line to the front end's handle_line (a bare
+// QueryEngine or a ShardRouter) and write the response back under the
 // connection's write lock - responses carry the request id, so clients
 // that pipeline match them by id rather than by stream order.
 //
@@ -20,6 +26,7 @@
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <stdexcept>
@@ -30,6 +37,8 @@
 #include "panagree/serve/query_engine.hpp"
 
 namespace panagree::serve {
+
+class ShardRouter;
 
 /// Socket-layer failure (bind, listen, accept loop setup).
 class ServeError : public std::runtime_error {
@@ -44,19 +53,27 @@ struct ServerConfig {
   std::size_t worker_threads = 2;
   /// Bounded request queue; readers block when it is full.
   std::size_t max_queue = 1024;
+  /// Pooled reader threads; connections are dealt round-robin across
+  /// them. 2 keeps one shard making progress while the other blocks on
+  /// queue backpressure.
+  std::size_t reader_threads = 2;
 };
 
 class Server {
  public:
   /// `engine` must be primed and outlive the server.
   Server(const QueryEngine& engine, ServerConfig config = {});
+  /// Sharded front end: requests dispatch through `router`, which must
+  /// have primed shards (refresh_baseline() called) and outlive the
+  /// server. This is the constructor that serves the `rebase` admin kind.
+  Server(ShardRouter& router, ServerConfig config = {});
   ~Server();
 
   Server(const Server&) = delete;
   Server& operator=(const Server&) = delete;
 
-  /// Binds, listens, and spawns the accept loop + workers. Throws
-  /// ServeError if the socket cannot be set up.
+  /// Binds, listens, and spawns the accept loop + reader pool + workers.
+  /// Throws ServeError if the socket cannot be set up.
   void start();
 
   /// The bound port (after start(); resolves port 0 requests).
@@ -73,9 +90,9 @@ class Server {
 
  private:
   struct Connection;
-  /// One live connection's reader thread; reaped by the accept loop once
-  /// the client disconnects (done), joined latest at stop().
-  struct ReaderSlot;
+  /// One pooled reader: a poll() loop over the connections the accept
+  /// loop dealt to it, plus a wakeup pipe for handoffs and stop().
+  struct ReaderShard;
   struct WorkItem {
     std::shared_ptr<Connection> conn;
     std::string line;
@@ -86,12 +103,14 @@ class Server {
   };
 
   void accept_loop();
-  void reader_loop(ReaderSlot* slot);
+  void reader_loop(ReaderShard& shard);
   void worker_loop();
   void enqueue(WorkItem item);
-  void reap_finished_readers();
 
-  const QueryEngine* engine_;
+  /// The dispatch seam: QueryEngine::handle_line or
+  /// ShardRouter::handle_line, bound at construction.
+  std::function<void(std::string_view, std::string&, RequestStages*)>
+      handler_;
   ServerConfig config_;
   int listen_fd_ = -1;
   std::uint16_t port_ = 0;
@@ -100,11 +119,9 @@ class Server {
   std::atomic<bool> stopping_{false};
   std::thread accept_thread_;
   std::vector<std::thread> workers_;
-
-  /// Mutated only by the accept thread (under the mutex); stop() reads
-  /// it after joining the accept thread.
-  std::mutex conns_mutex_;
-  std::vector<std::unique_ptr<ReaderSlot>> slots_;
+  std::vector<std::unique_ptr<ReaderShard>> reader_shards_;
+  /// Round-robin dealing cursor; only the accept thread touches it.
+  std::size_t next_shard_ = 0;
 
   std::mutex queue_mutex_;
   std::condition_variable queue_cv_;

@@ -1,0 +1,390 @@
+#include "panagree/serve/shard_router.hpp"
+
+#include <future>
+#include <string>
+#include <utility>
+
+#include "panagree/obs/build_info.hpp"
+#include "panagree/obs/metrics.hpp"
+
+namespace panagree::serve {
+
+namespace {
+
+// The router shares the engine's memo metric names: either front end's
+// epoch batch lands in the same counters, so dashboards need no sharding
+// awareness to read cache effectiveness.
+struct RouterMetrics {
+  obs::Registry& reg = obs::Registry::global();
+  obs::Counter& memo_hits = reg.counter("engine.whatif_memo_hits");
+  obs::Counter& memo_shared = reg.counter("engine.whatif_memo_shared");
+  obs::Counter& memo_unshared = reg.counter("engine.whatif_unshared");
+  obs::Histogram& batch = reg.histogram("engine.whatif_batch");
+};
+
+[[nodiscard]] RouterMetrics& router_metrics() {
+  static RouterMetrics metrics;
+  return metrics;
+}
+
+}  // namespace
+
+/// Per-shard observability: serve.shards carries the shard count (the
+/// label panagree-top keys on), serve.shard.<i>.requests counts requests
+/// that did work on shard i (fan-out kinds count on every shard), and
+/// serve.shard.<i>.epoch republishes each shard's epoch so a stats
+/// consumer can assert fleet coherence from outside.
+struct ShardRouter::ShardObs {
+  std::vector<obs::Counter*> requests;
+  std::vector<obs::Gauge*> epochs;
+
+  explicit ShardObs(std::size_t num_shards) {
+    obs::Registry& reg = obs::Registry::global();
+    reg.gauge("serve.shards").set(static_cast<std::int64_t>(num_shards));
+    requests.reserve(num_shards);
+    epochs.reserve(num_shards);
+    for (std::size_t shard = 0; shard < num_shards; ++shard) {
+      const std::string prefix =
+          "serve.shard." + std::to_string(shard) + ".";
+      requests.push_back(&reg.counter(prefix + "requests"));
+      epochs.push_back(&reg.gauge(prefix + "epoch"));
+    }
+  }
+};
+
+ShardRouter::ShardRouter(std::vector<QueryEngine*> shards,
+                         RouterConfig config)
+    : shards_(std::move(shards)), config_(config) {
+  util::require(!shards_.empty(), "ShardRouter: no shards");
+  for (std::size_t shard = 0; shard < shards_.size(); ++shard) {
+    for (const AsId src : shards_[shard]->sources()) {
+      sources_.push_back(src);
+      util::require(source_shard_.emplace(src, shard).second,
+                    "ShardRouter: source sampled by two shards");
+    }
+  }
+  obs_ = std::make_unique<ShardObs>(shards_.size());
+}
+
+ShardRouter::~ShardRouter() = default;
+
+std::uint64_t ShardRouter::epoch() const {
+  const std::shared_lock<std::shared_mutex> barrier(barrier_mutex_);
+  return epoch_;
+}
+
+void ShardRouter::refresh_baseline() {
+  const std::unique_lock<std::shared_mutex> barrier(barrier_mutex_);
+  // The global baseline fold, in canonical source order (shard ranges are
+  // contiguous): the exact += sequence a single engine runs in
+  // refresh_contributions, so subtract() references identical bytes.
+  scenario::SourceContribution total;
+  for (QueryEngine* shard : shards_) {
+    const QueryEngine::ContributionView view = shard->contributions();
+    for (const scenario::SourceContribution& contribution : view.contribs) {
+      total += contribution;
+    }
+  }
+  baseline_metrics_ = scenario::finalize(total);
+  primed_ = true;
+  for (std::size_t shard = 0; shard < shards_.size(); ++shard) {
+    obs_->epochs[shard]->set(
+        static_cast<std::int64_t>(shards_[shard]->epoch()));
+  }
+}
+
+std::size_t ShardRouter::shard_of(AsId src) const {
+  const auto it = source_shard_.find(src);
+  return it != source_shard_.end() ? it->second : 0;
+}
+
+void ShardRouter::paths(AsId src, const QueryEngine::PathsSink& sink) const {
+  const std::shared_lock<std::shared_mutex> barrier(barrier_mutex_);
+  const std::size_t shard = shard_of(src);
+  obs_->requests[shard]->increment();
+  shards_[shard]->paths(src, sink);
+}
+
+DiversityResult ShardRouter::diversity(AsId src) const {
+  const std::shared_lock<std::shared_mutex> barrier(barrier_mutex_);
+  const std::size_t shard = shard_of(src);
+  obs_->requests[shard]->increment();
+  return shards_[shard]->diversity(src);
+}
+
+WhatIfResult ShardRouter::compute_whatif(
+    const scenario::Delta& delta) const {
+  // Fan the per-shard slice evaluations out concurrently (shard 0 runs on
+  // the calling thread); the fold below is strictly in shard order, so
+  // concurrency never reaches the floating-point sums.
+  std::vector<QueryEngine::WhatIfSlice> slices(shards_.size());
+  std::vector<std::future<QueryEngine::WhatIfSlice>> pending;
+  pending.reserve(shards_.size() - 1);
+  for (std::size_t shard = 1; shard < shards_.size(); ++shard) {
+    pending.push_back(
+        std::async(std::launch::async, [this, shard, &delta] {
+          return shards_[shard]->whatif_slice(delta);
+        }));
+  }
+  slices[0] = shards_[0]->whatif_slice(delta);
+  for (std::size_t shard = 1; shard < shards_.size(); ++shard) {
+    slices[shard] = pending[shard - 1].get();
+  }
+
+  // Splice the dirty slices into the baseline contributions in canonical
+  // source order across all shards - one global fold, identical to the
+  // single-engine splice.
+  scenario::SourceContribution total;
+  scenario::SweepStats stats;
+  // Every shard grows the same invalidation ball over the same composed
+  // state; the per-source accounting is disjoint and sums.
+  stats.ball_size = slices[0].stats.ball_size;
+  for (const QueryEngine::WhatIfSlice& slice : slices) {
+    stats.recomputed_sources += slice.stats.recomputed_sources;
+    stats.cached_sources += slice.stats.cached_sources;
+    std::size_t next = 0;
+    for (std::size_t i = 0; i < slice.baseline.size(); ++i) {
+      if (next < slice.dirty_positions.size() &&
+          slice.dirty_positions[next] == i) {
+        total += slice.fresh[next];
+        ++next;
+      } else {
+        total += slice.baseline[i];
+      }
+    }
+  }
+  const scenario::ScenarioMetrics metrics = scenario::finalize(total);
+  const scenario::MetricsDelta marginal =
+      scenario::subtract(metrics, baseline_metrics_);
+
+  WhatIfResult result;
+  result.paths_delta = marginal.paths;
+  result.pairs_delta = marginal.pairs;
+  result.mean_km_delta = marginal.mean_best_geodistance_km;
+  result.fees_delta = marginal.transit_fees;
+  result.utility = scenario::operator_utility(marginal, config_.weights);
+  result.recomputed_sources = stats.recomputed_sources;
+  result.cached_sources = stats.cached_sources;
+  result.ball_size = stats.ball_size;
+  return result;
+}
+
+WhatIfResult ShardRouter::whatif(const scenario::Delta& delta) const {
+  const std::shared_lock<std::shared_mutex> barrier(barrier_mutex_);
+  util::require(primed_, "ShardRouter: refresh_baseline() first");
+  for (obs::Counter* requests : obs_->requests) {
+    requests->increment();
+  }
+  if (config_.max_batch == 0) {
+    router_metrics().memo_unshared.increment();
+    return compute_whatif(delta);
+  }
+
+  // Same epoch-batch memo as QueryEngine::whatif, one level up: entries
+  // are keyed by canonical delta and valid only within the epoch the
+  // barrier lock pins.
+  const std::string key = canonical_delta_key(delta);
+  std::shared_future<WhatIfResult> shared;
+  std::promise<WhatIfResult> promise;
+  bool owner = false;
+  {
+    const std::lock_guard<std::mutex> lock(memo_mutex_);
+    const auto it = memo_.find(key);
+    if (it != memo_.end() && it->second.epoch == epoch_) {
+      shared = it->second.future;
+    } else if (it != memo_.end() || memo_.size() < config_.max_batch) {
+      shared = promise.get_future().share();
+      memo_[key] = MemoEntry{epoch_, shared};
+      owner = true;
+    }
+    // else: batch full - compute unshared below.
+  }
+  if (!owner && shared.valid()) {
+    router_metrics().memo_hits.increment();
+    return shared.get();
+  }
+  if (!owner) {
+    router_metrics().memo_unshared.increment();
+    return compute_whatif(delta);
+  }
+  router_metrics().memo_shared.increment();
+  try {
+    WhatIfResult result = compute_whatif(delta);
+    promise.set_value(result);
+    return result;
+  } catch (...) {
+    promise.set_exception(std::current_exception());
+    throw;
+  }
+}
+
+std::uint64_t ShardRouter::rebase(const scenario::Delta& step) {
+  const std::unique_lock<std::shared_mutex> barrier(barrier_mutex_);
+  util::require(primed_, "ShardRouter: refresh_baseline() first");
+  for (obs::Counter* requests : obs_->requests) {
+    requests->increment();
+  }
+  // The barrier is held exclusively across every per-shard rebase, the
+  // baseline re-fold, and the epoch bump: no reader can run between a
+  // rebased shard and a not-yet-rebased one. An invalid step throws out
+  // of the first shard before any state changed (engine rebase is
+  // copy-then-swap), leaving the fleet coherent on the old epoch.
+  for (QueryEngine* shard : shards_) {
+    shard->rebase(step);
+  }
+  scenario::SourceContribution total;
+  for (QueryEngine* shard : shards_) {
+    const QueryEngine::ContributionView view = shard->contributions();
+    for (const scenario::SourceContribution& contribution : view.contribs) {
+      total += contribution;
+    }
+  }
+  baseline_metrics_ = scenario::finalize(total);
+  ++epoch_;
+  for (std::size_t shard = 0; shard < shards_.size(); ++shard) {
+    obs_->epochs[shard]->set(
+        static_cast<std::int64_t>(shards_[shard]->epoch()));
+  }
+  {
+    const std::lock_guard<std::mutex> lock(memo_mutex_);
+    router_metrics().batch.record(memo_.size());
+    memo_.clear();
+  }
+  return epoch_;
+}
+
+void ShardRouter::flush_whatif_memo() const {
+  const std::lock_guard<std::mutex> lock(memo_mutex_);
+  memo_.clear();
+}
+
+void ShardRouter::handle_line(std::string_view line, std::string& out,
+                              RequestStages* stages) {
+  RequestStages local;
+  RequestStages& st = stages != nullptr ? *stages : local;
+  st.start_ns = stage_now_ns();
+  std::uint64_t id = 0;
+  bool parsed = false;
+  try {
+    const Request request = parse_request(line, &id);
+    const std::uint64_t parsed_ns = stage_now_ns();
+    st.parse_ns = parsed_ns - st.start_ns;
+    st.wire_id = request.id;
+    st.slow_kind = static_cast<std::uint64_t>(request.kind);
+    parsed = true;
+    // Count the request before handling it, exactly like
+    // QueryEngine::handle_line (the stats response includes itself).
+    detail::RequestMetricsRef& metrics = detail::request_metrics(request.kind);
+    metrics.count.increment();
+    switch (request.kind) {
+      case RequestKind::kPaths: {
+        st.source = request.source;
+        st.work = source_shard_.contains(request.source)
+                      ? EngineWork::kCache
+                      : EngineWork::kSweep;
+        // Serialization happens inside the sink (see the engine's
+        // handle_line): measured directly, subtracted from the engine
+        // interval.
+        std::uint64_t serialize_ns = 0;
+        paths(request.source,
+              [&](std::span<const diversity::Length3Path> grc,
+                  std::span<const diversity::Length3Path> ma) {
+                const std::uint64_t serialize_start = stage_now_ns();
+                append_paths_response(out, request.id, request.source, grc,
+                                      ma);
+                serialize_ns = stage_now_ns() - serialize_start;
+              });
+        const std::uint64_t done_ns = stage_now_ns();
+        st.serialize_ns = serialize_ns;
+        st.engine_ns = done_ns - parsed_ns - serialize_ns;
+        metrics.latency_ns.record(done_ns - st.start_ns);
+        break;
+      }
+      case RequestKind::kDiversity: {
+        st.source = request.source;
+        st.work = source_shard_.contains(request.source)
+                      ? EngineWork::kCache
+                      : EngineWork::kSweep;
+        const DiversityResult result = diversity(request.source);
+        const std::uint64_t engine_done_ns = stage_now_ns();
+        st.engine_ns = engine_done_ns - parsed_ns;
+        append_diversity_response(out, request.id, request.source, result);
+        const std::uint64_t done_ns = stage_now_ns();
+        st.serialize_ns = done_ns - engine_done_ns;
+        metrics.latency_ns.record(done_ns - st.start_ns);
+        break;
+      }
+      case RequestKind::kWhatIf: {
+        st.delta_links =
+            request.delta.add.size() + request.delta.remove.size();
+        st.work = EngineWork::kSweep;
+        const WhatIfResult result = whatif(request.delta);
+        const std::uint64_t engine_done_ns = stage_now_ns();
+        st.engine_ns = engine_done_ns - parsed_ns;
+        append_whatif_response(out, request.id, result);
+        const std::uint64_t done_ns = stage_now_ns();
+        st.serialize_ns = done_ns - engine_done_ns;
+        metrics.latency_ns.record(done_ns - st.start_ns);
+        break;
+      }
+      case RequestKind::kRebase: {
+        st.delta_links =
+            request.delta.add.size() + request.delta.remove.size();
+        st.work = EngineWork::kSweep;
+        const std::uint64_t new_epoch = rebase(request.delta);
+        const std::uint64_t engine_done_ns = stage_now_ns();
+        st.engine_ns = engine_done_ns - parsed_ns;
+        append_rebase_response(out, request.id, new_epoch);
+        const std::uint64_t done_ns = stage_now_ns();
+        st.serialize_ns = done_ns - engine_done_ns;
+        metrics.latency_ns.record(done_ns - st.start_ns);
+        break;
+      }
+      case RequestKind::kStats: {
+        metrics.latency_ns.record(stage_now_ns() - st.start_ns);
+        obs::refresh_process_gauges();
+        const std::uint64_t current_epoch = epoch();
+        const obs::MetricsSnapshot snap = obs::snapshot_metrics();
+        const std::uint64_t engine_done_ns = stage_now_ns();
+        st.engine_ns = engine_done_ns - parsed_ns;
+        append_stats_response(out, request.id,
+                              obs::build_info().git_describe,
+                              current_epoch, snap);
+        st.serialize_ns = stage_now_ns() - engine_done_ns;
+        break;
+      }
+      case RequestKind::kSlowLog: {
+        metrics.latency_ns.record(stage_now_ns() - st.start_ns);
+        obs::SlowQueryLog& log = obs::SlowQueryLog::global();
+        const std::vector<obs::SlowQueryRecord> entries = log.snapshot();
+        const std::uint64_t engine_done_ns = stage_now_ns();
+        st.engine_ns = engine_done_ns - parsed_ns;
+        append_slowlog_response(out, request.id, log.threshold_ns(),
+                                entries);
+        st.serialize_ns = stage_now_ns() - engine_done_ns;
+        break;
+      }
+    }
+  } catch (const std::exception& e) {
+    const std::uint64_t caught_ns = stage_now_ns();
+    if (!parsed) {
+      st.parse_ns = caught_ns - st.start_ns;
+    } else {
+      st.engine_ns = caught_ns - st.start_ns - st.parse_ns;
+      st.serialize_ns = 0;
+    }
+    st.wire_id = id;
+    st.slow_kind = kSlowKindError;
+    st.work = EngineWork::kNone;
+    detail::RequestMetricsRef& errors = detail::error_metrics();
+    errors.count.increment();
+    errors.latency_ns.record(caught_ns - st.start_ns);
+    append_error_response(out, id, e.what());
+    st.serialize_ns += stage_now_ns() - caught_ns;
+  }
+  if (stages == nullptr) {
+    finish_request_observation(st);
+  }
+}
+
+}  // namespace panagree::serve

@@ -199,9 +199,10 @@ void append_response_head(std::string& out, std::uint64_t id, bool ok) {
   out += ok ? ",\"ok\":true" : ",\"ok\":false";
 }
 
-/// Slow-query kind names, indexed by code (0-4 mirror RequestKind).
+/// Slow-query kind names, indexed by code (0-5 mirror RequestKind).
 constexpr std::string_view kSlowKindNames[] = {
-    "paths", "diversity", "whatif", "stats", "slowlog", "error", "unknown"};
+    "paths",   "diversity", "whatif",  "stats",
+    "slowlog", "rebase",    "error",   "unknown"};
 
 }  // namespace
 
@@ -253,6 +254,12 @@ Request parse_request(std::string_view line, std::uint64_t* id_out) {
     request.kind = RequestKind::kStats;
   } else if (kind == "slowlog") {
     request.kind = RequestKind::kSlowLog;
+  } else if (kind == "rebase") {
+    request.kind = RequestKind::kRebase;
+    request.delta = parse_delta(object);
+    if (request.delta.empty()) {
+      reject("rebase request with an empty delta");
+    }
   } else {
     reject("unknown kind \"" + kind + "\"");
   }
@@ -356,6 +363,14 @@ void append_error_response(std::string& out, std::uint64_t id,
   append_response_head(out, id, false);
   out += ",\"error\":";
   append_json_string(out, message);
+  out += "}\n";
+}
+
+void append_rebase_response(std::string& out, std::uint64_t id,
+                            std::uint64_t epoch) {
+  append_response_head(out, id, true);
+  out += ",\"kind\":\"rebase\",\"epoch\":";
+  append_uint(out, epoch);
   out += "}\n";
 }
 

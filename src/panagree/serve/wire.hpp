@@ -5,7 +5,7 @@
 // protocol is versioned by the "v" field; a server rejects versions other
 // than kProtocolVersion with an error response instead of guessing. Three
 // request kinds mirror the query engine's operations, plus two
-// introspection kinds:
+// introspection kinds and one admin kind:
 //
 //   {"v":1,"id":7,"kind":"paths","source":42}
 //   {"v":1,"id":8,"kind":"diversity","source":42}
@@ -13,9 +13,20 @@
 //    "remove":[[3,4]]}
 //   {"v":1,"id":10,"kind":"stats"}
 //   {"v":1,"id":11,"kind":"slowlog"}
+//   {"v":1,"id":12,"kind":"rebase","add":[{"a":1,"b":2,"type":"peering"}]}
 //
 // ("transit" links follow Graph's convention: "a" is the provider, "b"
 // the customer. "add"/"remove" both default to empty.)
+//
+// `rebase` is the admin kind: it adopts the delta into the serving
+// baseline (every subsequent paths/diversity/whatif answers against the
+// rebased topology) and responds {"v":1,"id":12,"ok":true,
+// "kind":"rebase","epoch":E} with the post-rebase epoch. Against a
+// sharded front-end the delta is applied to every shard under one epoch
+// barrier, so concurrent readers never observe a mix of old and new
+// shards. The bare QueryEngine rejects the kind with an error response
+// (rebase there is a library call on the owning thread, not a wire
+// operation).
 //
 // A stats response carries the server's build identity and a snapshot of
 // the obs registry (counters/gauges/histograms, names sorted ascending,
@@ -80,21 +91,23 @@ enum class RequestKind : std::uint8_t {
   kWhatIf,
   kStats,
   kSlowLog,
+  kRebase,
 };
 
-/// SlowQueryRecord.kind codes as they appear on the wire. Codes 0-4 are
+/// SlowQueryRecord.kind codes as they appear on the wire. Codes 0-5 are
 /// the RequestKind values; kSlowKindError marks requests that failed
 /// (their kind may be unknown) and kSlowKindUnknown absorbs any
-/// out-of-range code a future server might emit.
-inline constexpr std::uint64_t kSlowKindError = 5;
-inline constexpr std::uint64_t kSlowKindUnknown = 6;
+/// out-of-range code a future server might emit. Only the *names* ever
+/// hit the wire, so renumbering these constants is wire-compatible.
+inline constexpr std::uint64_t kSlowKindError = 6;
+inline constexpr std::uint64_t kSlowKindUnknown = 7;
 
 /// Wire name of a slow-query kind code ("paths", ..., "error",
 /// "unknown"); out-of-range codes map to "unknown".
 [[nodiscard]] std::string_view slow_kind_name(std::uint64_t code) noexcept;
 
 /// Inverse of slow_kind_name; throws ProtocolError for names that are
-/// not one of the seven.
+/// not one of the eight.
 [[nodiscard]] std::uint64_t slow_kind_code(std::string_view name);
 
 /// One parsed request line.
@@ -158,6 +171,9 @@ void append_whatif_response(std::string& out, std::uint64_t id,
                             const WhatIfResult& result);
 void append_error_response(std::string& out, std::uint64_t id,
                            std::string_view message);
+/// Serializes a rebase acknowledgment carrying the post-rebase epoch.
+void append_rebase_response(std::string& out, std::uint64_t id,
+                            std::uint64_t epoch);
 
 /// Serializes a stats response: build identity + registry snapshot.
 /// Field order: v, id, ok, kind, build, epoch, counters, gauges,

@@ -43,11 +43,16 @@ export PANAGREE_SNAPSHOT="$OUT/suite.pansnap"
 # including the slow-query ring's worst-case eviction scan
 # (Obs_SlowlogRecord) and the whole per-request stage-clock +
 # observation cost on the cache-served fast path (Serve_StageClock).
+# The sharded-serving pair gates the 4-shard what-if fan-out + fold
+# (Serve_ShardedWhatIf - its utility_sum must keep matching
+# QueryEngine_WhatIfBatched, the byte-identity fingerprint) and the
+# mmap-only cold start off the primed-baseline section
+# (SnapshotLoad_PrimedBaseline).
 # Default --benchmark_min_time stays: the rotating-source micro benches
 # need enough iterations to average the heavy-tailed per-source costs,
 # or run-to-run noise defeats the 30% regression gate.
 "$BUILD/bench_perf_micro" \
-  --benchmark_filter='BM_(RoleLookup|Length3Enumeration|CompileTopology|ScenarioSweep_Incremental|Optimizer_Greedy|SnapshotLoad_Mmap|QueryEngine_CachedSource|MapSources|RoleFilter|Obs|Serve_StageClock|Convergence)'
+  --benchmark_filter='BM_(RoleLookup|Length3Enumeration|CompileTopology|ScenarioSweep_Incremental|Optimizer_Greedy|SnapshotLoad_Mmap|SnapshotLoad_PrimedBaseline|QueryEngine_CachedSource|MapSources|RoleFilter|Obs|Serve_StageClock|Serve_ShardedWhatIf|Convergence)'
 
 echo "bench suite results in $OUT:"
 ls -l "$OUT"

@@ -2,7 +2,7 @@
 // snapshot - the one-time startup cost every later tool and bench skips.
 //
 //   panagree-compile <out.pansnap> [--caida FILE | --synthetic N]
-//       [--seed S]
+//       [--seed S] [--shards N] [--sources M]
 //
 // Input selection mirrors bench_common: an explicit --caida/--synthetic
 // flag wins; otherwise PANAGREE_CAIDA (or the synthetic generator at
@@ -12,13 +12,26 @@
 // capacities are assigned, the CSR snapshot is compiled, and everything is
 // written as one versioned binary file. Consumers mmap it back with
 // --snapshot FILE or PANAGREE_SNAPSHOT=FILE.
+//
+// --shards N additionally writes the source-partitioned serving plan and
+// the primed per-source baseline (the sharded daemon's mmap-only cold
+// start): the canonical source sample (--sources M, default the benches'
+// PANAGREE_SOURCES, sampled with the shared seed) is cut into N
+// contiguous ranges, the length-3 baseline of every source is enumerated
+// here - the expensive part of the daemon's prime() - and persisted, so
+// panagree-serve adopts it straight off the mapping instead of
+// recomputing it at every start.
 #include <algorithm>
 #include <chrono>
 #include <iostream>
+#include <optional>
 #include <string>
 
 #include "bench_common.hpp"
 #include "cli_common.hpp"
+#include "panagree/diversity/report.hpp"
+#include "panagree/scenario/metrics.hpp"
+#include "panagree/scenario/sweep.hpp"
 #include "panagree/storage/snapshot.hpp"
 
 using namespace panagree;
@@ -28,7 +41,54 @@ namespace {
 void usage() {
   std::cerr << "usage: panagree-compile <out.pansnap>"
                " [--caida FILE | --synthetic N] [--seed S]\n"
+               "           [--shards N] [--sources M]\n"
                "       panagree-compile --verify <file.pansnap>\n";
+}
+
+/// --shards: sample the canonical sources, enumerate every baseline
+/// path set (exactly what QueryEngine::prime computes - the daemon
+/// adopts these verbatim), and flatten them into the snapshot's shard
+/// plan + primed-baseline sections.
+storage::ShardPlanData make_shard_plan(const topology::GeneratedTopology& topo,
+                                       const topology::CompiledTopology& compiled,
+                                       std::size_t shards,
+                                       std::size_t sources_n) {
+  storage::ShardPlanData plan;
+  plan.num_shards = shards;
+  plan.sources = diversity::sample_sources(topo.graph, sources_n,
+                                           benchcfg::kSampleSeed);
+  const std::size_t n = plan.sources.size();
+  util::require(shards <= std::max<std::size_t>(n, 1),
+                "panagree-compile: more shards than sampled sources");
+  plan.shard_begin.reserve(shards + 1);
+  for (std::size_t s = 0; s <= shards; ++s) {
+    plan.shard_begin.push_back(static_cast<std::uint32_t>(s * n / shards));
+  }
+  scenario::SweepConfig sweep_config;
+  sweep_config.threads = benchcfg::num_threads();
+  sweep_config.dirty_radius = scenario::kLength3DirtyRadius;
+  scenario::SweepRunner<scenario::SourcePathSet> runner(compiled, plan.sources,
+                                                        sweep_config);
+  runner.prime([](const scenario::Overlay& overlay, topology::AsId src) {
+    return scenario::enumerate_length3(overlay, src);
+  });
+  plan.grc_counts.reserve(n);
+  plan.path_begin.reserve(n + 1);
+  plan.path_begin.push_back(0);
+  for (const scenario::SourcePathSet& set : runner.baseline()) {
+    plan.grc_counts.push_back(static_cast<std::uint32_t>(set.grc().size()));
+    plan.path_begin.push_back(
+        plan.path_begin.back() +
+        static_cast<std::uint32_t>(set.grc().size() + set.ma().size()));
+    for (const auto paths : {set.grc(), set.ma()}) {
+      for (const diversity::Length3Path& path : paths) {
+        plan.path_words.push_back(path.src);
+        plan.path_words.push_back(path.mid);
+        plan.path_words.push_back(path.dst);
+      }
+    }
+  }
+  return plan;
 }
 
 /// --verify: open an existing snapshot, validate it, and report what the
@@ -51,6 +111,8 @@ int main(int argc, char** argv) {
   std::string caida;
   std::string verify;
   std::size_t synthetic = 0;
+  std::size_t shards = 0;
+  std::size_t sources_n = benchcfg::num_sources();
   std::uint64_t seed = benchcfg::kTopologySeed;
   try {
     for (int i = 1; i < argc; ++i) {
@@ -81,6 +143,22 @@ int main(int argc, char** argv) {
           return 2;
         }
         seed = std::stoull(argv[++i]);
+      } else if (arg == "--shards") {
+        if (i + 1 >= argc) {
+          usage();
+          return 2;
+        }
+        shards = std::stoul(argv[++i]);
+        if (shards == 0) {
+          usage();
+          return 2;
+        }
+      } else if (arg == "--sources") {
+        if (i + 1 >= argc) {
+          usage();
+          return 2;
+        }
+        sources_n = std::stoul(argv[++i]);
       } else if (output.empty() && !arg.starts_with("--")) {
         output = arg;
       } else {
@@ -145,7 +223,15 @@ int main(int argc, char** argv) {
     }
     topology::assign_degree_gravity_capacities(topo.graph);
     const topology::CompiledTopology compiled(topo.graph);
-    storage::write_snapshot(output, topo, compiled);
+    std::optional<storage::ShardPlanData> plan;
+    if (shards > 0) {
+      plan = make_shard_plan(topo, compiled, shards, sources_n);
+      std::cerr << "[compile] shard plan: " << shards << " shards over "
+                << plan->sources.size() << " sources, "
+                << plan->path_begin.back() << " baseline paths\n";
+    }
+    storage::write_snapshot(output, topo, compiled,
+                            plan ? &*plan : nullptr);
     const double total_ms = std::chrono::duration<double, std::milli>(
                                 std::chrono::steady_clock::now() - start)
                                 .count();

@@ -1,15 +1,23 @@
 // panagree-serve: the long-running path/what-if query daemon.
 //
 //   panagree-serve [--snapshot FILE] [--port P] [--threads N]
-//       [--max-batch B] [--sources N] [--max-queue Q] [--pin-threads]
-//       [--stats-interval SEC] [--slow-ms MS] [--version]
+//       [--max-batch B] [--sources N] [--shards N] [--max-queue Q]
+//       [--pin-threads] [--stats-interval SEC] [--slow-ms MS] [--version]
 //
 // Opens the topology (a mmap'd .pansnap via --snapshot or
 // PANAGREE_SNAPSHOT wins; PANAGREE_CAIDA / the synthetic generator
-// otherwise), primes the query engine's per-source baseline once, and
-// answers newline-delimited JSON requests (see serve/wire.hpp) on
+// otherwise), primes the per-source baseline once, and answers
+// newline-delimited JSON requests (see serve/wire.hpp) on
 // 127.0.0.1:--port until SIGTERM/SIGINT, which drains gracefully: every
 // accepted request is answered before exit.
+//
+// --shards N partitions the source sample across N QueryEngine shards
+// behind a serve::ShardRouter (responses stay byte-identical to
+// --shards 1); the router also serves the admin `rebase` wire kind.
+// When the snapshot carries a primed baseline for exactly this source
+// sample (panagree-compile --shards), priming adopts it straight off
+// the mapping - no path enumeration, cold start is one mmap - and the
+// readiness line reports primed=snapshot (primed=computed otherwise).
 //
 // --port 0 binds an ephemeral port; the chosen port is in the
 // "listening" line. That line goes to *stdout* (everything else to
@@ -62,10 +70,10 @@ constexpr const char* kTool = "panagree-serve";
 void usage() {
   std::cerr << "usage: panagree-serve [--snapshot FILE] [--port P]"
                " [--threads N]\n"
-               "           [--max-batch B] [--sources N] [--max-queue Q]"
-               " [--pin-threads]\n"
-               "           [--stats-interval SEC] [--slow-ms MS]"
-               " [--version]\n";
+               "           [--max-batch B] [--sources N] [--shards N]"
+               " [--max-queue Q]\n"
+               "           [--pin-threads] [--stats-interval SEC]"
+               " [--slow-ms MS] [--version]\n";
 }
 
 /// The opt-in periodic stats line: engine/server counters and the queue
@@ -108,6 +116,7 @@ int main(int argc, char** argv) {
   std::size_t threads = benchcfg::num_threads();
   std::size_t max_batch = 256;
   std::size_t sources_n = benchcfg::num_sources();
+  std::size_t shards = 1;
   std::size_t max_queue = 1024;
   std::size_t stats_interval = 0;
   std::size_t slow_ms = cli::env_slow_ms(kTool, 10);
@@ -133,6 +142,13 @@ int main(int argc, char** argv) {
     } else if (arg == "--sources") {
       sources_n = cli::parse_size(
           kTool, arg, cli::require_value(kTool, arg, argc, argv, i));
+    } else if (arg == "--shards") {
+      shards = cli::parse_size(
+          kTool, arg, cli::require_value(kTool, arg, argc, argv, i));
+      if (shards == 0) {
+        std::cerr << kTool << ": --shards must be at least 1\n";
+        return cli::kUsageExit;
+      }
     } else if (arg == "--max-queue") {
       max_queue = cli::parse_size(
           kTool, arg, cli::require_value(kTool, arg, argc, argv, i));
@@ -156,7 +172,7 @@ int main(int argc, char** argv) {
   try {
     servecfg::ServeContext context(
         snapshot.empty() ? nullptr : snapshot.c_str(), sources_n, threads,
-        max_batch, pin_threads);
+        max_batch, shards, pin_threads);
     if (pin_threads) {
       // NUMA-shard the CSR pages before the prime fan-out first-touches
       // them (no-op on single-node hosts; results identical regardless).
@@ -164,20 +180,23 @@ int main(int argc, char** argv) {
                                           context.net.compiled());
     }
     const auto prime_start = std::chrono::steady_clock::now();
-    context.engine.prime();
+    const bool primed_from_snapshot = context.prime();
     const double prime_ms = std::chrono::duration<double, std::milli>(
                                 std::chrono::steady_clock::now() -
                                 prime_start)
                                 .count();
     std::cerr << "[serve] primed " << context.sources.size()
-              << " sources in " << prime_ms << " ms ("
-              << context.net.graph().num_ases() << " ASes)\n";
+              << " sources across " << shards << " shard"
+              << (shards == 1 ? "" : "s") << " in " << prime_ms << " ms ("
+              << (primed_from_snapshot ? "snapshot baseline"
+                                       : "fresh enumeration")
+              << ", " << context.net.graph().num_ases() << " ASes)\n";
 
     serve::ServerConfig server_config;
     server_config.port = static_cast<std::uint16_t>(port);
     server_config.worker_threads = paths::resolve_thread_count(threads);
     server_config.max_queue = max_queue;
-    serve::Server server(context.engine, server_config);
+    serve::Server server(context.router, server_config);
     server.start();
 
     if (::pipe(g_signal_pipe) != 0) {
@@ -197,8 +216,10 @@ int main(int argc, char** argv) {
     // effect without attaching to the process.
     std::cout << "listening on 127.0.0.1:" << server.port()
               << " affinity=" << paths::affinity_summary()
-              << " pinned=" << (pin_threads ? "on" : "off") << " numa=\""
-              << paths::TopologyPlacement::system().describe()
+              << " pinned=" << (pin_threads ? "on" : "off")
+              << " shards=" << shards
+              << " primed=" << (primed_from_snapshot ? "snapshot" : "computed")
+              << " numa=\"" << paths::TopologyPlacement::system().describe()
               << "\" simd=" << paths::role_filter_dispatch()
               << " build=" << obs::build_info().git_describe << std::endl;
 
@@ -220,7 +241,7 @@ int main(int argc, char** argv) {
         break;
       }
       if (ready == 0) {
-        emit_stats_line(context.engine.epoch());
+        emit_stats_line(context.router.epoch());
         continue;
       }
       break;  // shutdown byte pending

@@ -4,7 +4,7 @@
 //
 //   panagree-sweep [scenarios] [top-k] [seed]
 //       [--optimize greedy|beam] [--steps N] [--beam W] [--no-share]
-//       [--failures K] [--samples N]
+//       [--failures K | --fail-ases] [--samples N]
 //       [--snapshot FILE] [--threads N] [--pin-threads]
 //
 // Defaults: 200 candidate deployments, top 10 shown, seed 4242. Every
@@ -28,7 +28,11 @@
 // the K-link failure universe (exhaustive when it fits --samples,
 // deterministically sampled above it; each failure set is a remove-only
 // delta through the same incremental sweep), ranked by the worst-case and
-// mean §VI GRC+MA paths that survive. Each candidate also reports its
+// mean §VI GRC+MA paths that survive. --fail-ases swaps in the
+// node-level universe instead: each failure set takes one AS dark
+// (scenario::as_failure_delta - every incident link removed at once),
+// exhaustive over the graph when it fits --samples and deterministically
+// sampled above it, through the identical ranking machinery. Each candidate also reports its
 // deployment churn - next-hop changes and convergence rounds of the
 // dynamics::converge fixpoint over a destination sample. Output is a pure
 // function of the topology and flags: --threads only changes wall-clock
@@ -42,6 +46,7 @@
 // of a CAIDA-scale graph skip the entire startup pipeline.
 #include <algorithm>
 #include <iostream>
+#include <numeric>
 #include <string>
 
 #include "bench_common.hpp"
@@ -70,6 +75,7 @@ struct Options {
   std::size_t max_steps = 4;
   bool share = true;
   std::size_t failures = 0;     // --failures K (0 = steady-state modes)
+  bool fail_ases = false;       // --fail-ases (AS-level failure universe)
   std::size_t samples = 32;     // --samples N failure-set budget
   std::string snapshot;  // --snapshot FILE (empty = PANAGREE_SNAPSHOT/env)
   /// --threads N (default: the PANAGREE_THREADS env, 0 = hardware).
@@ -91,7 +97,7 @@ void usage() {
   std::cerr << "usage: panagree-sweep [scenarios] [top-k] [seed]\n"
             << "           [--optimize greedy|beam] [--steps N] [--beam W]"
                " [--no-share]\n"
-            << "           [--failures K] [--samples N]\n"
+            << "           [--failures K | --fail-ases] [--samples N]\n"
             << "           [--snapshot FILE] [--threads N]"
                " [--pin-threads]\n";
 }
@@ -134,6 +140,8 @@ bool parse_args(int argc, char** argv, Options& options) {
       if (options.failures == 0) {
         return false;
       }
+    } else if (arg == "--fail-ases") {
+      options.fail_ases = true;
     } else if (arg == "--samples") {
       if (i + 1 >= argc) {
         return false;
@@ -184,8 +192,37 @@ std::string describe(const scenario::Delta& delta) {
   return out;
 }
 
-/// --failures K: rank candidate deployments by the diversity surviving
-/// K-link failures, with deployment churn + convergence rounds from the
+/// --fail-ases: the node-level failure universe. Every target AS goes
+/// dark as one remove-only delta of all its incident links; exhaustive
+/// over the graph when it fits `max_sets`, otherwise the deterministic
+/// sample the shared source sampler picks for `seed` (isolated ASes -
+/// nothing to fail - are skipped either way).
+scenario::FailureSets as_failure_sets(
+    const topology::CompiledTopology& compiled,
+    const topology::Graph& graph, std::size_t max_sets,
+    std::uint64_t seed) {
+  scenario::FailureSets failure;
+  failure.universe = graph.num_ases();
+  std::vector<AsId> targets;
+  if (max_sets > 0 && graph.num_ases() > max_sets) {
+    failure.sampled = true;
+    targets = diversity::sample_sources(graph, max_sets, seed);
+  } else {
+    targets.resize(graph.num_ases());
+    std::iota(targets.begin(), targets.end(), AsId{0});
+  }
+  for (const AsId as : targets) {
+    scenario::Delta delta = scenario::as_failure_delta(compiled, as);
+    if (!delta.remove.empty()) {
+      failure.sets.push_back(std::move(delta));
+    }
+  }
+  return failure;
+}
+
+/// --failures K / --fail-ases: rank candidate deployments by the
+/// diversity surviving the failure universe (K-link sets or single-AS
+/// blackouts), with deployment churn + convergence rounds from the
 /// dynamics fixpoint engine. Everything printed is a pure function of the
 /// topology and flags (CI diffs this output across thread counts).
 int run_failure_sweep(const Options& options,
@@ -202,11 +239,16 @@ int run_failure_sweep(const Options& options,
     return scenario::enumerate_length3(overlay, src);
   });
 
-  const scenario::FailureSets failure = scenario::failure_sets(
-      compiled, options.failures, options.samples, options.seed);
+  const std::string set_kind =
+      options.fail_ases ? "AS-failure"
+                        : std::to_string(options.failures) + "-link failure";
+  const scenario::FailureSets failure =
+      options.fail_ases
+          ? as_failure_sets(compiled, graph, options.samples, options.seed)
+          : scenario::failure_sets(compiled, options.failures,
+                                   options.samples, options.seed);
   if (failure.sets.empty()) {
-    std::cerr << "error: no " << options.failures
-              << "-link failure sets on this topology\n";
+    std::cerr << "error: no " << set_kind << " sets on this topology\n";
     return 1;
   }
 
@@ -270,10 +312,13 @@ int run_failure_sweep(const Options& options,
     return a.scenario < b.scenario;
   });
 
-  std::cout << "== panagree-sweep --failures " << options.failures << ": "
-            << candidates.size() << " candidate deployments over "
+  std::cout << "== panagree-sweep "
+            << (options.fail_ases
+                    ? std::string("--fail-ases")
+                    : "--failures " + std::to_string(options.failures))
+            << ": " << candidates.size() << " candidate deployments over "
             << graph.num_ases() << " ASes, " << failure.sets.size() << " "
-            << options.failures << "-link failure sets ("
+            << set_kind << " sets ("
             << (failure.sampled ? "sampled from " : "exhaustive of ")
             << failure.universe << ") ==\n"
             << "baseline over " << sources.size()
@@ -312,8 +357,10 @@ int run_failure_sweep(const Options& options,
   }
   table.print(std::cout);
   std::cout << "\nranked by worst-case surviving GRC+MA paths under "
-            << options.failures
-            << "-link failures (then mean); churn = next-hop changes over "
+            << (options.fail_ases
+                    ? std::string("single-AS")
+                    : std::to_string(options.failures) + "-link")
+            << " failures (then mean); churn = next-hop changes over "
             << dests.size() << " converged destinations.\n";
   return 0;
 }
@@ -356,7 +403,11 @@ int main(int argc, char** argv) {
     const std::vector<AsId> sources = diversity::sample_sources(
         net.graph(), benchcfg::num_sources(), benchcfg::kSampleSeed);
 
-    if (options.failures > 0) {
+    if (options.failures > 0 || options.fail_ases) {
+      if (options.failures > 0 && options.fail_ases) {
+        usage();  // one failure universe at a time
+        return 2;
+      }
       return run_failure_sweep(options, compiled, net.graph(), sources);
     }
 
